@@ -1,0 +1,87 @@
+//! Ablation benchmarks for FedHiSyn's design choices (DESIGN.md §6):
+//! aggregation rule (Eq. 9 vs Eq. 10), ring ordering, and cluster count —
+//! measuring the wall-clock cost of a round under each variant. (Accuracy
+//! ablations live in the fig/table binaries; Criterion measures time.)
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedhisyn_core::{run_experiment, AggregationRule, ExperimentConfig, FedHiSyn, RingOrder};
+use fedhisyn_data::{DatasetProfile, Partition, Scale};
+
+fn base_cfg() -> ExperimentConfig {
+    ExperimentConfig::builder(DatasetProfile::MnistLike)
+        .scale(Scale::Smoke)
+        .devices(8)
+        .partition(Partition::Dirichlet { beta: 0.3 })
+        .local_epochs(1)
+        .rounds(1)
+        .seed(7)
+        .build()
+}
+
+fn bench_aggregation_rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fedhisyn_aggregation_rule");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for rule in [AggregationRule::Uniform, AggregationRule::TimeWeighted] {
+        group.bench_with_input(BenchmarkId::from_parameter(rule.label()), &rule, |b, &rule| {
+            let mut cfg = base_cfg();
+            cfg.aggregation = rule;
+            b.iter(|| {
+                let mut env = cfg.build_env();
+                let mut algo = FedHiSyn::new(&cfg, 3);
+                black_box(run_experiment(&mut algo, &mut env, 1).final_accuracy())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fedhisyn_ring_order");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for order in [RingOrder::SmallToLarge, RingOrder::LargeToSmall, RingOrder::Random] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{order:?}")),
+            &order,
+            |b, &order| {
+                let cfg = base_cfg();
+                b.iter(|| {
+                    let mut env = cfg.build_env();
+                    let mut algo = FedHiSyn::new(&cfg, 3);
+                    algo.ring_order = order;
+                    black_box(run_experiment(&mut algo, &mut env, 1).final_accuracy())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cluster_counts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fedhisyn_cluster_count");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for k in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let cfg = base_cfg();
+            b.iter(|| {
+                let mut env = cfg.build_env();
+                let mut algo = FedHiSyn::new(&cfg, k);
+                black_box(run_experiment(&mut algo, &mut env, 1).final_accuracy())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aggregation_rules,
+    bench_ring_orders,
+    bench_cluster_counts
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Server aggregation benchmarks (Eq. 3 / 9 / 10 over realistic model
+//! sizes and fleet counts).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedhisyn_core::aggregate::{AggregationRule, Contribution};
+use fedhisyn_nn::ParamVec;
+use fedhisyn_tensor::{rng_from_seed, Tensor};
+
+fn bench_aggregation(c: &mut Criterion) {
+    let n_params = 178_110; // the paper's MNIST MLP
+    let n_models = 100; // full fleet
+    let mut rng = rng_from_seed(0);
+    let models: Vec<ParamVec> = (0..n_models)
+        .map(|_| ParamVec::from_vec(Tensor::randn(vec![n_params], 1.0, &mut rng).into_vec()))
+        .collect();
+    let contributions: Vec<Contribution<'_>> = models
+        .iter()
+        .enumerate()
+        .map(|(i, params)| Contribution {
+            params,
+            samples: 100 + i,
+            class_mean_time: 1.0 + i as f64,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("aggregate_100x178k");
+    group.sample_size(20);
+    for rule in [
+        AggregationRule::Uniform,
+        AggregationRule::SampleWeighted,
+        AggregationRule::TimeWeighted,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rule.label()),
+            &rule,
+            |b, rule| b.iter(|| black_box(rule.aggregate(&contributions).len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Device-tiering benchmarks: the server's per-round clustering cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedhisyn_cluster::{kmeans_1d, quantile_bins};
+use fedhisyn_tensor::rng_from_seed;
+use rand::Rng;
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_1d");
+    for &n in &[100usize, 1000] {
+        let mut rng = rng_from_seed(0);
+        let latencies: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
+        group.bench_with_input(BenchmarkId::new("k10", n), &n, |b, _| {
+            b.iter(|| {
+                let mut rng = rng_from_seed(1);
+                black_box(kmeans_1d(&latencies, 10, 100, &mut rng).inertia)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantile_bins(c: &mut Criterion) {
+    let mut rng = rng_from_seed(2);
+    let latencies: Vec<f64> = (0..1000).map(|_| rng.gen_range(1.0..10.0)).collect();
+    c.bench_function("quantile_bins_1000x10", |b| {
+        b.iter(|| black_box(quantile_bins(&latencies, 10).len()))
+    });
+}
+
+criterion_group!(benches, bench_kmeans, bench_quantile_bins);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Microbenchmarks for the GEMM kernels that dominate training time.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedhisyn_tensor::{gemm, gemm_nt, gemm_tn, par_gemm, rng_from_seed, Tensor};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for &n in &[32usize, 64, 128] {
+        let mut rng = rng_from_seed(0);
+        let a = Tensor::randn(vec![n, n], 1.0, &mut rng);
+        let b = Tensor::randn(vec![n, n], 1.0, &mut rng);
+        let mut out = vec![0.0f32; n * n];
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |bench, _| {
+            bench.iter(|| {
+                gemm(a.data(), b.data(), &mut out, n, n, n, 1.0, 0.0);
+                black_box(out[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &n, |bench, _| {
+            bench.iter(|| {
+                par_gemm(a.data(), b.data(), &mut out, n, n, n, 1.0, 0.0);
+                black_box(out[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_transposed_orientations(c: &mut Criterion) {
+    let n = 64usize;
+    let mut rng = rng_from_seed(1);
+    let a = Tensor::randn(vec![n, n], 1.0, &mut rng);
+    let b = Tensor::randn(vec![n, n], 1.0, &mut rng);
+    let mut out = vec![0.0f32; n * n];
+    let mut group = c.benchmark_group("gemm_orientations");
+    group.bench_function("nt", |bench| {
+        bench.iter(|| {
+            gemm_nt(a.data(), b.data(), &mut out, n, n, n, 1.0, 0.0);
+            black_box(out[0])
+        })
+    });
+    group.bench_function("tn", |bench| {
+        bench.iter(|| {
+            gemm_tn(a.data(), b.data(), &mut out, n, n, n, 1.0, 0.0);
+            black_box(out[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_transposed_orientations);
+criterion_main!(benches);

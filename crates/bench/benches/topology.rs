@@ -1,0 +1,39 @@
+//! Ring-construction benchmarks (per-round server work).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedhisyn_core::{Ring, RingOrder};
+use fedhisyn_simnet::LinkModel;
+use fedhisyn_tensor::rng_from_seed;
+use rand::Rng;
+
+fn bench_ring_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_build");
+    for &n in &[10usize, 100, 1000] {
+        let members: Vec<usize> = (0..n).collect();
+        let mut rng = rng_from_seed(0);
+        let latencies: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
+        for order in [RingOrder::SmallToLarge, RingOrder::Random] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{order:?}"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let mut rng = rng_from_seed(1);
+                        let ring = Ring::build(
+                            &members,
+                            &latencies,
+                            &LinkModel::zero(),
+                            order,
+                            &mut rng,
+                        );
+                        black_box(ring.len())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring_build);
+criterion_main!(benches);

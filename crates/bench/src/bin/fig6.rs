@@ -1,0 +1,48 @@
+//! Regenerate **Figure 6**: FedHiSyn accuracy vs the number of clustered
+//! classes K ∈ {1, 10, 20, 30, 40, 50} on MNIST-like and CIFAR10-like
+//! data at 50% participation.
+//!
+//! ```sh
+//! cargo run -p fedhisyn-bench --release --bin fig6 [-- --full]
+//! ```
+
+use fedhisyn_bench::harness::{print_series, write_json, BenchScale};
+use fedhisyn_core::{run_experiment, FedHiSyn};
+use fedhisyn_data::{DatasetProfile, Partition};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Series {
+    dataset: String,
+    k: usize,
+    accuracy: Vec<f32>,
+}
+
+fn main() {
+    let scale = BenchScale::from_args();
+    let ks_paper = [1usize, 10, 20, 30, 40, 50];
+    let ks: Vec<usize> = ks_paper.into_iter().filter(|&k| k <= scale.devices).collect();
+
+    let mut all = Vec::new();
+    for dataset in [DatasetProfile::MnistLike, DatasetProfile::Cifar10Like] {
+        let cfg = scale.config(dataset, Partition::Dirichlet { beta: 0.3 }, 0.5);
+        let mut labels = Vec::new();
+        let mut runs = Vec::new();
+        for &k in &ks {
+            eprintln!("running: {} K={k}", dataset.name());
+            let mut env = cfg.build_env();
+            let mut algo = FedHiSyn::new(&cfg, k);
+            let rec = run_experiment(&mut algo, &mut env, cfg.rounds);
+            all.push(Series { dataset: dataset.name().into(), k, accuracy: rec.accuracy_series() });
+            labels.push(format!("K={k}"));
+            runs.push(rec);
+        }
+        print_series(
+            &format!("Figure 6 ({}) — FedHiSyn accuracy vs K, 50% participation", dataset.name()),
+            &labels,
+            &runs,
+        );
+    }
+    println!("\nExpect: accuracy rises then falls in K; K≈10 (paper) / mid-range (smoke) is best.");
+    write_json("fig6", &all);
+}

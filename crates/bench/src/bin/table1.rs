@@ -1,0 +1,85 @@
+//! Regenerate **Table 1**: number of models transmitted (FedAvg-round
+//! units) to reach a target accuracy + final accuracy, for all seven
+//! algorithms across datasets × partitions × participation levels.
+//!
+//! ```sh
+//! cargo run -p fedhisyn-bench --release --bin table1          # smoke grid
+//! cargo run -p fedhisyn-bench --release --bin table1 -- --full # paper grid
+//! ```
+//!
+//! Smoke scale shrinks the grid (2 datasets × 2 partitions × 2
+//! participation levels) and re-targets accuracy per row (see
+//! `table::smoke_target`); `--full` runs the paper's complete
+//! 4 × 3 × 3 grid with the published fixed targets.
+
+use fedhisyn_bench::harness::{algorithm_suite, run_one, write_json, BenchScale};
+use fedhisyn_bench::table::{print_table, smoke_target, TableCell, TableRow};
+use fedhisyn_data::{DatasetProfile, Partition, Scale};
+
+fn main() {
+    let scale = BenchScale::from_args();
+    let full = matches!(scale.scale, Scale::Paper);
+
+    let datasets: Vec<DatasetProfile> = if full {
+        DatasetProfile::ALL.to_vec()
+    } else {
+        vec![DatasetProfile::MnistLike, DatasetProfile::Cifar10Like]
+    };
+    let partitions: Vec<Partition> = if full {
+        vec![
+            Partition::Iid,
+            Partition::Dirichlet { beta: 0.8 },
+            Partition::Dirichlet { beta: 0.3 },
+        ]
+    } else {
+        vec![Partition::Iid, Partition::Dirichlet { beta: 0.3 }]
+    };
+    let participations: Vec<f64> = if full { vec![1.0, 0.5, 0.1] } else { vec![1.0, 0.5] };
+
+    let mut rows: Vec<TableRow> = Vec::new();
+    for &participation in &participations {
+        for &partition in &partitions {
+            for &dataset in &datasets {
+                eprintln!(
+                    "running: {} | {} | {:.0}% participation",
+                    dataset.name(),
+                    partition.label(),
+                    participation * 100.0
+                );
+                let cfg = scale.config(dataset, partition, participation);
+                let records: Vec<_> = algorithm_suite(&cfg)
+                    .iter_mut()
+                    .map(|algo| run_one(&cfg, algo.as_mut()))
+                    .collect();
+                // Paper targets at full scale; re-calibrated at smoke scale.
+                let target = if full {
+                    dataset.paper_target_accuracy()
+                } else {
+                    smoke_target(&records, 0.9)
+                };
+                // One FedAvg round's uploads = expected participants.
+                let unit = (cfg.n_devices as f64 * participation).max(1.0);
+                let cells: Vec<TableCell> = records
+                    .iter()
+                    .map(|r| TableCell {
+                        algorithm: r.algorithm.clone(),
+                        cost: r.uploads_to_target(target, unit),
+                        final_accuracy: r.final_accuracy(),
+                    })
+                    .collect();
+                rows.push(TableRow {
+                    participation,
+                    partition: partition.label(),
+                    dataset: dataset.name().to_string(),
+                    target,
+                    cells,
+                });
+            }
+        }
+    }
+
+    println!("\nTable 1 — transmission cost to target (FedAvg-round units), X = not reached");
+    println!("format: cost(final accuracy)");
+    print_table(&rows);
+    write_json("table1", &rows);
+}

@@ -1,0 +1,198 @@
+//! Shared experiment plumbing for the table/figure binaries.
+
+use fedhisyn_baselines::{FedAT, FedAvg, FedProx, Scaffold, TAFedAvg, TFedAvg};
+use fedhisyn_core::{run_experiment, ExperimentConfig, FedHiSyn, FlAlgorithm, RunRecord};
+use fedhisyn_data::{DatasetProfile, Partition, Scale};
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Scale knobs shared by all binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchScale {
+    /// Paper or smoke data dimensions.
+    pub scale: Scale,
+    /// Fleet size.
+    pub devices: usize,
+    /// Communication rounds for MLP (flat) datasets.
+    pub rounds_flat: usize,
+    /// Communication rounds for CNN (image) datasets.
+    pub rounds_image: usize,
+    /// Local epochs per step.
+    pub local_epochs: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl BenchScale {
+    /// CI-sized default: finishes the whole suite in minutes on 2 cores.
+    /// Keeps the paper's local epochs (E = 5) — the client-drift effects
+    /// FedHiSyn exploits only appear with meaningful local work.
+    pub fn smoke() -> Self {
+        BenchScale {
+            scale: Scale::Smoke,
+            devices: 40,
+            rounds_flat: 15,
+            rounds_image: 18,
+            local_epochs: 5,
+            seed: 2022,
+        }
+    }
+
+    /// The paper's dimensions: 100 devices, 100–150 rounds, 5 local epochs.
+    pub fn full() -> Self {
+        BenchScale {
+            scale: Scale::Paper,
+            devices: 100,
+            rounds_flat: 100,
+            rounds_image: 150,
+            local_epochs: 5,
+            seed: 2022,
+        }
+    }
+
+    /// Parse `--full` from the CLI (everything else ignored).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            Self::full()
+        } else {
+            Self::smoke()
+        }
+    }
+
+    /// Rounds for a given dataset profile.
+    pub fn rounds_for(&self, profile: DatasetProfile) -> usize {
+        if profile.is_image() {
+            self.rounds_image
+        } else {
+            self.rounds_flat
+        }
+    }
+
+    /// Base experiment config for a (dataset, partition, participation)
+    /// cell.
+    pub fn config(
+        &self,
+        profile: DatasetProfile,
+        partition: Partition,
+        participation: f64,
+    ) -> ExperimentConfig {
+        ExperimentConfig::builder(profile)
+            .scale(self.scale)
+            .devices(self.devices)
+            .participation(participation)
+            .partition(partition)
+            .rounds(self.rounds_for(profile))
+            .local_epochs(self.local_epochs)
+            .seed(self.seed)
+            .build()
+    }
+}
+
+/// The paper's cluster count: `K = 10` at 50%/100% participation, `K = 2`
+/// at 10% (§6.1), clamped to the fleet size.
+pub fn paper_k(participation: f64, devices: usize) -> usize {
+    let k = if participation <= 0.25 { 2 } else { 10 };
+    k.min(devices.max(1))
+}
+
+/// All seven algorithms of Table 1 for one cell, in the paper's column
+/// order.
+pub fn algorithm_suite(cfg: &ExperimentConfig) -> Vec<Box<dyn FlAlgorithm>> {
+    let k = paper_k(cfg.participation, cfg.n_devices);
+    vec![
+        Box::new(FedHiSyn::new(cfg, k)),
+        Box::new(FedAvg::new(cfg)),
+        Box::new(FedProx::new(cfg)),
+        Box::new(FedAT::new(cfg, 5.min(cfg.n_devices))),
+        Box::new(Scaffold::new(cfg)),
+        Box::new(TAFedAvg::new(cfg)),
+        Box::new(TFedAvg::new(cfg)),
+    ]
+}
+
+/// Run one algorithm on a fresh environment built from `cfg`.
+pub fn run_one(cfg: &ExperimentConfig, algo: &mut dyn FlAlgorithm) -> RunRecord {
+    let mut env = cfg.build_env();
+    run_experiment(algo, &mut env, cfg.rounds)
+}
+
+/// Write `value` as JSON under `results/<name>.json` (best-effort; the
+/// printed tables are the primary artifact).
+pub fn write_json<T: Serialize>(name: &str, value: &T) {
+    let dir = PathBuf::from("results");
+    if fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("(wrote {})", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Print an accuracy-per-round series table: one column per labelled run.
+pub fn print_series(title: &str, labels: &[String], runs: &[RunRecord]) {
+    println!("\n== {title} ==");
+    print!("{:>5}", "round");
+    for l in labels {
+        print!(" {l:>14}");
+    }
+    println!();
+    let rounds = runs.iter().map(|r| r.rounds.len()).max().unwrap_or(0);
+    for round in 0..rounds {
+        print!("{round:>5}");
+        for run in runs {
+            match run.rounds.get(round) {
+                Some(r) => print!(" {:>13.1}%", r.accuracy * 100.0),
+                None => print!(" {:>14}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_k_matches_section_6_1() {
+        assert_eq!(paper_k(1.0, 100), 10);
+        assert_eq!(paper_k(0.5, 100), 10);
+        assert_eq!(paper_k(0.1, 100), 2);
+        assert_eq!(paper_k(1.0, 4), 4, "clamped to fleet size");
+    }
+
+    #[test]
+    fn suite_has_seven_algorithms() {
+        let scale = BenchScale::smoke();
+        let cfg = scale.config(DatasetProfile::MnistLike, Partition::Iid, 1.0);
+        let suite = algorithm_suite(&cfg);
+        assert_eq!(suite.len(), 7);
+        assert_eq!(suite[0].name(), "FedHiSyn");
+    }
+
+    #[test]
+    fn smoke_scale_is_smaller_than_full() {
+        let s = BenchScale::smoke();
+        let f = BenchScale::full();
+        assert!(s.devices < f.devices);
+        assert!(s.rounds_flat < f.rounds_flat);
+    }
+
+    #[test]
+    fn config_uses_profile_rounds() {
+        let s = BenchScale::smoke();
+        let mnist = s.config(DatasetProfile::MnistLike, Partition::Iid, 1.0);
+        let cifar = s.config(DatasetProfile::Cifar10Like, Partition::Iid, 1.0);
+        assert_eq!(mnist.rounds, s.rounds_flat);
+        assert_eq!(cifar.rounds, s.rounds_image);
+    }
+}

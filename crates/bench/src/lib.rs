@@ -1,0 +1,10 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each binary (`table1`, `fig2` … `fig7`) reproduces one artifact of the
+//! paper's evaluation, printing the same rows/series the paper reports and
+//! writing machine-readable JSON next to it. Binaries default to **smoke
+//! scale** (sized for a 2-core CI box) and accept `--full` for the paper's
+//! dimensions (100 devices, full grids — hours of CPU).
+
+pub mod harness;
+pub mod table;

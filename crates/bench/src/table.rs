@@ -1,0 +1,138 @@
+//! Table 1 rendering: transmission cost to target accuracy + final
+//! accuracy, in the paper's format.
+
+use fedhisyn_core::RunRecord;
+use serde::Serialize;
+
+/// One Table 1 cell: an algorithm's result for a (participation, partition,
+/// dataset) row.
+#[derive(Debug, Clone, Serialize)]
+pub struct TableCell {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Uploads to reach the target, in FedAvg-round units (`None` = the
+    /// paper's "X": never reached within the round budget).
+    pub cost: Option<f64>,
+    /// Final test accuracy.
+    pub final_accuracy: f32,
+}
+
+/// One Table 1 row: all algorithms on one experimental cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct TableRow {
+    /// Participation level (1.0 / 0.5 / 0.1).
+    pub participation: f64,
+    /// Partition label (IID / Dirichlet(β)).
+    pub partition: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Target accuracy used for the cost metric.
+    pub target: f32,
+    /// Per-algorithm cells, in column order.
+    pub cells: Vec<TableCell>,
+}
+
+/// Normalization constant: the transmission reporting divisors of §6.1.
+/// SCAFFOLD sends model+variate every round (×2 on the meter already);
+/// the paper divides FedAT's and TAFedAvg's reported rounds by 5 because
+/// their per-round uploads average ~5× a synchronous round's. Our meter
+/// counts *actual* uploads, so no further correction is applied — the
+/// measured cost is already in FedAvg-round units.
+pub fn cost_in_fedavg_rounds(record: &RunRecord, target: f32, participants_per_round: f64) -> Option<f64> {
+    record.uploads_to_target(target, participants_per_round)
+}
+
+/// Compute the per-row target accuracy at smoke scale: the paper's fixed
+/// targets (96/86/75/33%) assume real datasets; on synthetic stand-ins the
+/// achievable ceiling differs, so the harness re-targets each row at
+/// `fraction` of the best final accuracy any algorithm achieved —
+/// preserving the metric's meaning ("cost to reach a shared quality bar").
+pub fn smoke_target(records: &[RunRecord], fraction: f32) -> f32 {
+    let best = records
+        .iter()
+        .map(|r| r.final_accuracy())
+        .fold(0.0f32, f32::max);
+    best * fraction
+}
+
+/// Render rows in the paper's layout.
+pub fn print_table(rows: &[TableRow]) {
+    let algos: Vec<&str> = rows
+        .first()
+        .map(|r| r.cells.iter().map(|c| c.algorithm.as_str()).collect())
+        .unwrap_or_default();
+    println!(
+        "\n{:<6} {:<16} {:<10} {:<7}",
+        "part.", "partition", "dataset", "target"
+    );
+    print!("{:<41}", "");
+    for a in &algos {
+        print!(" {a:>18}");
+    }
+    println!();
+    for row in rows {
+        print!(
+            "{:<6} {:<16} {:<10} {:<7.1}",
+            format!("{:.0}%", row.participation * 100.0),
+            row.partition,
+            row.dataset,
+            row.target * 100.0
+        );
+        for cell in &row.cells {
+            let cost = match cell.cost {
+                Some(c) => format!("{c:.1}"),
+                None => "X".to_string(),
+            };
+            print!(" {:>18}", format!("{cost}({:.1}%)", cell.final_accuracy * 100.0));
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedhisyn_core::RoundRecord;
+
+    fn record(name: &str, accs: &[f32]) -> RunRecord {
+        let mut r = RunRecord::new(name);
+        for (i, &a) in accs.iter().enumerate() {
+            r.rounds.push(RoundRecord {
+                round: i,
+                accuracy: a,
+                uploads: ((i + 1) * 5) as f64,
+                downloads: 0.0,
+                peer_transfers: 0.0,
+                participants: 5,
+                virtual_time: i as f64,
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn cost_is_uploads_over_unit() {
+        let r = record("a", &[0.2, 0.6, 0.7]);
+        assert_eq!(cost_in_fedavg_rounds(&r, 0.5, 5.0), Some(2.0));
+        assert_eq!(cost_in_fedavg_rounds(&r, 0.9, 5.0), None);
+    }
+
+    #[test]
+    fn smoke_target_tracks_best_run() {
+        let rs = vec![record("a", &[0.4]), record("b", &[0.8]), record("c", &[0.6])];
+        let t = smoke_target(&rs, 0.9);
+        assert!((t - 0.72).abs() < 1e-6);
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        let rows = vec![TableRow {
+            participation: 1.0,
+            partition: "IID".into(),
+            dataset: "MNIST".into(),
+            target: 0.5,
+            cells: vec![TableCell { algorithm: "FedHiSyn".into(), cost: Some(1.5), final_accuracy: 0.9 }],
+        }];
+        print_table(&rows);
+    }
+}

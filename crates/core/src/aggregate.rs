@@ -1,0 +1,160 @@
+//! Server-side aggregation rules (paper §4.3).
+
+use fedhisyn_nn::ParamVec;
+use serde::{Deserialize, Serialize};
+
+/// A model arriving at the server, with the metadata aggregation may use.
+#[derive(Debug, Clone)]
+pub struct Contribution<'a> {
+    /// The uploaded parameters.
+    pub params: &'a ParamVec,
+    /// Samples on the uploading device (`n_i` in Eq. 3).
+    pub samples: usize,
+    /// Mean local-training time of the uploader's *class* (`l_i` in
+    /// Eq. 10).
+    pub class_mean_time: f64,
+}
+
+/// How the server combines uploaded models into the next global model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum AggregationRule {
+    /// Eq. 9: every upload weighs the same. The paper's default for
+    /// FedHiSyn — ring-trained models have no meaningful per-device sample
+    /// count.
+    #[default]
+    Uniform,
+    /// Eq. 3: classical FedAvg weighting by device sample count.
+    SampleWeighted,
+    /// Eq. 10: weight by the class's mean local-training time, so slower
+    /// classes (fewer ring hops) are not drowned out by fast ones.
+    TimeWeighted,
+}
+
+impl AggregationRule {
+    /// Aggregate a non-empty set of contributions into a new global model.
+    ///
+    /// # Panics
+    /// Panics on an empty contribution set or zero total weight.
+    pub fn aggregate(&self, contributions: &[Contribution<'_>]) -> ParamVec {
+        assert!(!contributions.is_empty(), "aggregate of empty contribution set");
+        match self {
+            AggregationRule::Uniform => {
+                ParamVec::mean(contributions.iter().map(|c| c.params))
+            }
+            AggregationRule::SampleWeighted => ParamVec::weighted_mean(
+                contributions.iter().map(|c| (c.samples as f32, c.params)),
+            ),
+            AggregationRule::TimeWeighted => ParamVec::weighted_mean(
+                contributions
+                    .iter()
+                    .map(|c| (c.class_mean_time as f32, c.params)),
+            ),
+        }
+    }
+
+    /// Short label used in experiment tables and bench ids.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AggregationRule::Uniform => "uniform",
+            AggregationRule::SampleWeighted => "sample-weighted",
+            AggregationRule::TimeWeighted => "time-weighted",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pv(v: &[f32]) -> ParamVec {
+        ParamVec::from_vec(v.to_vec())
+    }
+
+    #[test]
+    fn uniform_ignores_metadata() {
+        let a = pv(&[0.0, 0.0]);
+        let b = pv(&[2.0, 4.0]);
+        let contributions = [
+            Contribution { params: &a, samples: 1, class_mean_time: 100.0 },
+            Contribution { params: &b, samples: 999, class_mean_time: 0.1 },
+        ];
+        let g = AggregationRule::Uniform.aggregate(&contributions);
+        assert_eq!(g.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn sample_weighted_matches_eq3() {
+        let a = pv(&[0.0]);
+        let b = pv(&[10.0]);
+        let contributions = [
+            Contribution { params: &a, samples: 30, class_mean_time: 1.0 },
+            Contribution { params: &b, samples: 10, class_mean_time: 1.0 },
+        ];
+        let g = AggregationRule::SampleWeighted.aggregate(&contributions);
+        assert!((g.as_slice()[0] - 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn time_weighted_matches_eq10() {
+        let fast = pv(&[0.0]);
+        let slow = pv(&[8.0]);
+        let contributions = [
+            Contribution { params: &fast, samples: 10, class_mean_time: 1.0 },
+            Contribution { params: &slow, samples: 10, class_mean_time: 3.0 },
+        ];
+        let g = AggregationRule::TimeWeighted.aggregate(&contributions);
+        // (0·1 + 8·3) / 4 = 6: the slow class gets more weight.
+        assert!((g.as_slice()[0] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aggregation_is_convex() {
+        let a = pv(&[1.0, -5.0]);
+        let b = pv(&[3.0, 7.0]);
+        for rule in [
+            AggregationRule::Uniform,
+            AggregationRule::SampleWeighted,
+            AggregationRule::TimeWeighted,
+        ] {
+            let g = rule.aggregate(&[
+                Contribution { params: &a, samples: 3, class_mean_time: 2.0 },
+                Contribution { params: &b, samples: 5, class_mean_time: 4.0 },
+            ]);
+            for (i, &x) in g.as_slice().iter().enumerate() {
+                let lo = a.as_slice()[i].min(b.as_slice()[i]);
+                let hi = a.as_slice()[i].max(b.as_slice()[i]);
+                assert!(x >= lo - 1e-6 && x <= hi + 1e-6, "{rule:?} coord {i}: {x} outside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn single_contribution_is_identity() {
+        let a = pv(&[4.0, 2.0]);
+        for rule in [
+            AggregationRule::Uniform,
+            AggregationRule::SampleWeighted,
+            AggregationRule::TimeWeighted,
+        ] {
+            let g = rule.aggregate(&[Contribution {
+                params: &a,
+                samples: 7,
+                class_mean_time: 1.5,
+            }]);
+            assert_eq!(g.as_slice(), a.as_slice());
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(AggregationRule::Uniform.label(), "uniform");
+        assert_eq!(AggregationRule::SampleWeighted.label(), "sample-weighted");
+        assert_eq!(AggregationRule::TimeWeighted.label(), "time-weighted");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty contribution set")]
+    fn empty_set_panics() {
+        let _ = AggregationRule::Uniform.aggregate(&[]);
+    }
+}

@@ -1,0 +1,208 @@
+//! The federated-algorithm trait and the shared experiment runner.
+
+use fedhisyn_nn::ParamVec;
+use fedhisyn_tensor::{rng_from_seed, TensorRng};
+use rand::Rng;
+
+use crate::env::{seed_mix, FlEnv};
+use crate::local::evaluate_on_test;
+use crate::metrics::{RoundRecord, RunRecord};
+
+/// Per-round context handed to an algorithm by the runner.
+pub struct RoundContext<'a> {
+    /// The shared environment.
+    pub env: &'a FlEnv,
+    /// Round index (0-based).
+    pub round: usize,
+    /// Devices participating this round (sampled by the runner).
+    pub participants: &'a [usize],
+    /// Round-scoped RNG (derived deterministically from the master seed).
+    pub rng: &'a mut TensorRng,
+}
+
+/// A federated-learning algorithm.
+///
+/// Implementations own whatever cross-round state they need (the global
+/// model, SCAFFOLD control variates, FedAT tier models, …). The runner
+/// drives rounds, samples participation, evaluates the global model and
+/// snapshots the transmission meter.
+pub trait FlAlgorithm {
+    /// Display name (used in tables).
+    fn name(&self) -> String;
+
+    /// Fraction of devices participating each round (`1.0`, `0.5`, `0.1`
+    /// in the paper). The runner samples each device independently with
+    /// this probability, matching §6.1 ("each device has a 100%, 50%, and
+    /// 10% chance of participating").
+    fn participation(&self) -> f64;
+
+    /// Execute one communication round and return the global model after
+    /// server aggregation.
+    fn round(&mut self, ctx: &mut RoundContext<'_>) -> ParamVec;
+
+    /// Virtual duration of one round. Defaults to the paper's definition:
+    /// the slowest participant's local-training time times local epochs.
+    fn round_duration(&self, env: &FlEnv, participants: &[usize]) -> f64 {
+        env.slowest_latency(participants)
+    }
+}
+
+/// Sample the participating set: each device joins independently with
+/// probability `p`; re-drawn (deterministically) until non-empty.
+pub fn sample_participants(n_devices: usize, p: f64, rng: &mut impl Rng) -> Vec<usize> {
+    assert!((0.0..=1.0).contains(&p), "participation must be in [0, 1]");
+    assert!(n_devices > 0, "no devices");
+    loop {
+        let chosen: Vec<usize> = (0..n_devices).filter(|_| rng.gen::<f64>() < p).collect();
+        if !chosen.is_empty() {
+            return chosen;
+        }
+        if p == 0.0 {
+            // Degenerate config: keep the simulation alive with one device.
+            return vec![rng.gen_range(0..n_devices)];
+        }
+    }
+}
+
+/// Drive `algorithm` for `rounds` communication rounds over `env`,
+/// evaluating the global model after every round.
+///
+/// The environment's transmission meter is reset at the start so records
+/// from consecutive runs do not bleed into each other.
+pub fn run_experiment(
+    algorithm: &mut dyn FlAlgorithm,
+    env: &mut FlEnv,
+    rounds: usize,
+) -> RunRecord {
+    env.meter.reset();
+    let mut record = RunRecord::new(algorithm.name());
+    let mut virtual_time = 0.0f64;
+    for round in 0..rounds {
+        let mut rng = rng_from_seed(seed_mix(env.seed, round as u64, 0x5e55_105e, 0));
+        let participants =
+            sample_participants(env.n_devices(), algorithm.participation(), &mut rng);
+        // `t_i` already covers one full local step (E epochs), so the round
+        // duration is the slowest participant's `t_i` — no epoch factor.
+        virtual_time += algorithm.round_duration(env, &participants);
+        let global = {
+            let mut ctx = RoundContext { env, round, participants: &participants, rng: &mut rng };
+            algorithm.round(&mut ctx)
+        };
+        let accuracy = evaluate_on_test(env, &global);
+        let t = env.meter.snapshot();
+        record.rounds.push(RoundRecord {
+            round,
+            accuracy,
+            uploads: t.uploads,
+            downloads: t.downloads,
+            peer_transfers: t.peer_transfers,
+            participants: participants.len(),
+            virtual_time,
+        });
+    }
+    record
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedhisyn_data::Dataset;
+    use fedhisyn_nn::{ModelSpec, SgdConfig};
+    use fedhisyn_simnet::{sample_latencies, HeterogeneityModel, LinkModel, TrafficMeter};
+    use fedhisyn_tensor::Tensor;
+
+    fn tiny_env() -> FlEnv {
+        let mk = |n: usize| {
+            Dataset::new(Tensor::zeros(vec![n, 4]), (0..n).map(|i| i % 2).collect(), 2)
+        };
+        let mut rng = rng_from_seed(0);
+        FlEnv {
+            spec: ModelSpec::mlp(&[4, 4, 2]),
+            device_data: (0..5).map(|_| mk(6)).collect(),
+            test: mk(20),
+            profiles: sample_latencies(5, HeterogeneityModel::Homogeneous, 1.0, &mut rng),
+            link: LinkModel::zero(),
+            meter: TrafficMeter::new(),
+            local_epochs: 1,
+            batch_size: 4,
+            sgd: SgdConfig::default(),
+            seed: 3,
+        }
+    }
+
+    /// Minimal algorithm: uploads nothing, returns zeros.
+    struct Null {
+        p: f64,
+    }
+
+    impl FlAlgorithm for Null {
+        fn name(&self) -> String {
+            "null".into()
+        }
+        fn participation(&self) -> f64 {
+            self.p
+        }
+        fn round(&mut self, ctx: &mut RoundContext<'_>) -> ParamVec {
+            ctx.env.meter.record_upload(ctx.participants.len() as f64, 1);
+            ParamVec::zeros(ctx.env.param_count())
+        }
+    }
+
+    #[test]
+    fn runner_records_every_round() {
+        let mut env = tiny_env();
+        let mut algo = Null { p: 1.0 };
+        let rec = run_experiment(&mut algo, &mut env, 3);
+        assert_eq!(rec.rounds.len(), 3);
+        assert_eq!(rec.algorithm, "null");
+        // Full participation: 5 uploads per round, cumulative.
+        assert_eq!(rec.rounds[0].uploads, 5.0);
+        assert_eq!(rec.rounds[2].uploads, 15.0);
+        assert!(rec.rounds[2].virtual_time > 0.0);
+    }
+
+    #[test]
+    fn participation_sampling_is_probabilistic() {
+        let mut rng = rng_from_seed(1);
+        let mut total = 0usize;
+        for _ in 0..200 {
+            total += sample_participants(10, 0.5, &mut rng).len();
+        }
+        let mean = total as f64 / 200.0;
+        assert!((3.5..6.5).contains(&mean), "mean participants {mean}");
+    }
+
+    #[test]
+    fn full_participation_selects_everyone() {
+        let mut rng = rng_from_seed(2);
+        let p = sample_participants(7, 1.0, &mut rng);
+        assert_eq!(p, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn participants_never_empty() {
+        let mut rng = rng_from_seed(3);
+        for _ in 0..100 {
+            assert!(!sample_participants(5, 0.01, &mut rng).is_empty());
+        }
+        assert_eq!(sample_participants(5, 0.0, &mut rng).len(), 1);
+    }
+
+    #[test]
+    fn runner_resets_meter_between_runs() {
+        let mut env = tiny_env();
+        let mut algo = Null { p: 1.0 };
+        let _ = run_experiment(&mut algo, &mut env, 2);
+        let rec = run_experiment(&mut algo, &mut env, 1);
+        assert_eq!(rec.rounds[0].uploads, 5.0, "meter must be reset");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut env = tiny_env();
+        let mut algo = Null { p: 0.5 };
+        let a = run_experiment(&mut algo, &mut env, 4);
+        let b = run_experiment(&mut algo, &mut env, 4);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,154 @@
+//! Cross-algorithm comparison utilities — the arithmetic behind the
+//! paper's headline claims ("improves accuracy by up to 10.28%, reduces
+//! communication by up to 7.7×").
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::RunRecord;
+
+/// Head-to-head comparison of a candidate against a reference run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Candidate algorithm name.
+    pub candidate: String,
+    /// Reference algorithm name.
+    pub reference: String,
+    /// Candidate minus reference final accuracy (positive = candidate
+    /// better).
+    pub accuracy_delta: f32,
+    /// Reference-to-candidate ratio of uploads needed to reach the target
+    /// (`> 1` = candidate cheaper). `None` when either never reached it.
+    pub communication_savings: Option<f64>,
+    /// Target accuracy the savings ratio was computed at.
+    pub target: f32,
+}
+
+impl Comparison {
+    /// Compare `candidate` against `reference` at `target` accuracy,
+    /// normalizing uploads by `unit` (one FedAvg round's uploads).
+    pub fn between(
+        candidate: &RunRecord,
+        reference: &RunRecord,
+        target: f32,
+        unit: f64,
+    ) -> Comparison {
+        let cand_cost = candidate.uploads_to_target(target, unit);
+        let ref_cost = reference.uploads_to_target(target, unit);
+        let communication_savings = match (cand_cost, ref_cost) {
+            (Some(c), Some(r)) if c > 0.0 => Some(r / c),
+            _ => None,
+        };
+        Comparison {
+            candidate: candidate.algorithm.clone(),
+            reference: reference.algorithm.clone(),
+            accuracy_delta: candidate.final_accuracy() - reference.final_accuracy(),
+            communication_savings,
+            target,
+        }
+    }
+
+    /// True when the candidate is at least as accurate and no more
+    /// expensive (the paper's win condition).
+    pub fn candidate_dominates(&self) -> bool {
+        self.accuracy_delta >= 0.0
+            && self.communication_savings.map(|s| s >= 1.0).unwrap_or(false)
+    }
+}
+
+/// Round index where `a` first overtakes `b` in accuracy and stays ahead
+/// for the rest of the run (the crossover the paper's Figure 7 narrates).
+/// `None` when no such round exists.
+pub fn crossover_round(a: &RunRecord, b: &RunRecord) -> Option<usize> {
+    let n = a.rounds.len().min(b.rounds.len());
+    if n == 0 {
+        return None;
+    }
+    // Find the last round where b >= a, the crossover is right after.
+    let mut last_b_ahead: Option<usize> = None;
+    for i in 0..n {
+        if b.rounds[i].accuracy >= a.rounds[i].accuracy {
+            last_b_ahead = Some(i);
+        }
+    }
+    match last_b_ahead {
+        None => Some(0),
+        Some(i) if i + 1 < n => Some(i + 1),
+        Some(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::RoundRecord;
+
+    fn record(name: &str, accs: &[f32], uploads_per_round: f64) -> RunRecord {
+        let mut r = RunRecord::new(name);
+        for (i, &a) in accs.iter().enumerate() {
+            r.rounds.push(RoundRecord {
+                round: i,
+                accuracy: a,
+                uploads: (i + 1) as f64 * uploads_per_round,
+                downloads: 0.0,
+                peer_transfers: 0.0,
+                participants: 10,
+                virtual_time: i as f64 + 1.0,
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn savings_ratio_matches_hand_computation() {
+        // Candidate reaches 0.5 in round 0 (10 uploads), reference in
+        // round 3 (40 uploads): savings = 4x.
+        let cand = record("cand", &[0.6, 0.7], 10.0);
+        let refr = record("ref", &[0.1, 0.2, 0.3, 0.55], 10.0);
+        let cmp = Comparison::between(&cand, &refr, 0.5, 10.0);
+        assert_eq!(cmp.communication_savings, Some(4.0));
+        assert!(cmp.accuracy_delta > 0.0);
+        assert!(cmp.candidate_dominates());
+    }
+
+    #[test]
+    fn unreached_target_gives_no_savings() {
+        let cand = record("cand", &[0.2], 10.0);
+        let refr = record("ref", &[0.9], 10.0);
+        let cmp = Comparison::between(&cand, &refr, 0.5, 10.0);
+        assert_eq!(cmp.communication_savings, None);
+        assert!(!cmp.candidate_dominates());
+    }
+
+    #[test]
+    fn crossover_detected() {
+        let a = record("a", &[0.1, 0.3, 0.5, 0.6], 1.0);
+        let b = record("b", &[0.2, 0.35, 0.4, 0.45], 1.0);
+        // b ahead at rounds 0-1, a ahead from round 2 on.
+        assert_eq!(crossover_round(&a, &b), Some(2));
+    }
+
+    #[test]
+    fn always_ahead_crosses_at_zero() {
+        let a = record("a", &[0.5, 0.6], 1.0);
+        let b = record("b", &[0.1, 0.2], 1.0);
+        assert_eq!(crossover_round(&a, &b), Some(0));
+    }
+
+    #[test]
+    fn never_ahead_has_no_crossover() {
+        let a = record("a", &[0.1, 0.2], 1.0);
+        let b = record("b", &[0.5, 0.6], 1.0);
+        assert_eq!(crossover_round(&a, &b), None);
+        assert_eq!(crossover_round(&a, &RunRecord::new("empty")), None);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cand = record("cand", &[0.6], 10.0);
+        let refr = record("ref", &[0.5], 10.0);
+        let cmp = Comparison::between(&cand, &refr, 0.4, 10.0);
+        let json = serde_json::to_string(&cmp).unwrap();
+        let back: Comparison = serde_json::from_str(&json).unwrap();
+        assert_eq!(cmp, back);
+    }
+}

@@ -1,0 +1,328 @@
+//! Experiment configuration and environment construction.
+
+use fedhisyn_data::{partition_indices, Dataset, DatasetProfile, Partition, Scale};
+use fedhisyn_nn::{ModelSpec, ParamVec, SgdConfig};
+use fedhisyn_simnet::{sample_latencies, HeterogeneityModel, LinkModel, TrafficMeter};
+use fedhisyn_tensor::rng_from_seed;
+use serde::{Deserialize, Serialize};
+
+use crate::aggregate::AggregationRule;
+use crate::env::{seed_mix, FlEnv};
+
+/// A fully-specified federated experiment.
+///
+/// Defaults mirror the paper's hyper-parameters (§6.1): learning rate 0.1,
+/// mini-batch 50, 5 local epochs, heterogeneity degree `H = 10`, 100%
+/// participation, uniform aggregation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Which benchmark dataset (synthetic stand-in) to use.
+    pub profile: DatasetProfile,
+    /// Paper-scale or smoke-scale dimensions.
+    pub scale: Scale,
+    /// Fleet size (the paper uses 100).
+    pub n_devices: usize,
+    /// Per-round device participation probability.
+    pub participation: f64,
+    /// How data is split across devices.
+    pub partition: Partition,
+    /// Latency heterogeneity across the fleet.
+    pub heterogeneity: HeterogeneityModel,
+    /// Inter-device link delays.
+    pub link: LinkModel,
+    /// Communication rounds to run.
+    pub rounds: usize,
+    /// Local epochs per training step (`E`).
+    pub local_epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Server aggregation rule for FedHiSyn.
+    pub aggregation: AggregationRule,
+    /// Master seed (data, partition, participation, training order).
+    pub seed: u64,
+    /// Override the model architecture (defaults derive from the profile).
+    pub model_override: Option<ModelSpec>,
+}
+
+impl ExperimentConfig {
+    /// Start building a config for `profile` with paper defaults.
+    pub fn builder(profile: DatasetProfile) -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder {
+            cfg: ExperimentConfig {
+                profile,
+                scale: Scale::Smoke,
+                n_devices: 100,
+                participation: 1.0,
+                partition: Partition::Dirichlet { beta: 0.3 },
+                heterogeneity: HeterogeneityModel::Uniform { h: 10.0 },
+                link: LinkModel::zero(),
+                rounds: 10,
+                local_epochs: 5,
+                batch_size: 50,
+                lr: 0.1,
+                aggregation: AggregationRule::Uniform,
+                seed: 0,
+                model_override: None,
+            },
+        }
+    }
+
+    /// The model architecture implied by profile and scale (or the
+    /// override).
+    pub fn model_spec(&self) -> ModelSpec {
+        if let Some(spec) = &self.model_override {
+            return spec.clone();
+        }
+        let synth = self.profile.synth_config(self.scale, self.seed);
+        let classes = self.profile.classes();
+        if self.profile.is_image() {
+            let spatial = match synth.input {
+                fedhisyn_data::synth::InputKind::Image { spatial, .. } => spatial,
+                fedhisyn_data::synth::InputKind::Flat { .. } => unreachable!("image profile"),
+            };
+            match self.scale {
+                Scale::Paper => ModelSpec::paper_cnn(spatial, classes),
+                Scale::Smoke => ModelSpec::smoke_cnn(spatial, classes),
+            }
+        } else {
+            let dim = synth.total_input_dim();
+            match self.scale {
+                Scale::Paper => ModelSpec::paper_mlp(dim, classes),
+                // Same two-hidden-layer shape, narrowed for the CI budget.
+                Scale::Smoke => ModelSpec::mlp(&[dim, 48, 24, classes]),
+            }
+        }
+    }
+
+    /// Deterministic initial global model for this config.
+    pub fn initial_params(&self) -> ParamVec {
+        let mut rng = rng_from_seed(seed_mix(self.seed, 0xC0DE, 0, 0));
+        self.model_spec().build(&mut rng).params()
+    }
+
+    /// Materialize the simulated environment: synthesize data, partition
+    /// it, sample latencies.
+    pub fn build_env(&self) -> FlEnv {
+        let fd = self.profile.synth_config(self.scale, self.seed).generate();
+        let mut part_rng = rng_from_seed(seed_mix(self.seed, 0xDA7A, 0, 0));
+        let indices = partition_indices(&fd.train, self.n_devices, self.partition, &mut part_rng);
+        let device_data: Vec<Dataset> = indices.iter().map(|idx| fd.train.subset(idx)).collect();
+        let mut lat_rng = rng_from_seed(seed_mix(self.seed, 0x1A7E, 0, 0));
+        let profiles = sample_latencies(self.n_devices, self.heterogeneity, 1.0, &mut lat_rng);
+        FlEnv {
+            spec: self.model_spec(),
+            device_data,
+            test: fd.test,
+            profiles,
+            link: self.link.clone(),
+            meter: TrafficMeter::new(),
+            local_epochs: self.local_epochs,
+            batch_size: self.batch_size,
+            sgd: SgdConfig { lr: self.lr, momentum: 0.0, weight_decay: 0.0 },
+            seed: self.seed,
+        }
+    }
+}
+
+/// Builder for [`ExperimentConfig`].
+#[derive(Debug, Clone)]
+pub struct ExperimentConfigBuilder {
+    cfg: ExperimentConfig,
+}
+
+impl ExperimentConfigBuilder {
+    /// Set the scale (paper vs smoke dimensions).
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.cfg.scale = scale;
+        self
+    }
+
+    /// Set fleet size.
+    pub fn devices(mut self, n: usize) -> Self {
+        assert!(n > 0, "need at least one device");
+        self.cfg.n_devices = n;
+        self
+    }
+
+    /// Set per-round participation probability.
+    pub fn participation(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "participation in [0, 1]");
+        self.cfg.participation = p;
+        self
+    }
+
+    /// Set the data partition.
+    pub fn partition(mut self, p: Partition) -> Self {
+        self.cfg.partition = p;
+        self
+    }
+
+    /// Set latency heterogeneity.
+    pub fn heterogeneity(mut self, h: HeterogeneityModel) -> Self {
+        self.cfg.heterogeneity = h;
+        self
+    }
+
+    /// Set the link-delay model.
+    pub fn link(mut self, link: LinkModel) -> Self {
+        self.cfg.link = link;
+        self
+    }
+
+    /// Set the number of communication rounds.
+    pub fn rounds(mut self, r: usize) -> Self {
+        self.cfg.rounds = r;
+        self
+    }
+
+    /// Set local epochs per step.
+    pub fn local_epochs(mut self, e: usize) -> Self {
+        assert!(e > 0, "need at least one local epoch");
+        self.cfg.local_epochs = e;
+        self
+    }
+
+    /// Set the mini-batch size.
+    pub fn batch_size(mut self, b: usize) -> Self {
+        assert!(b > 0, "batch size must be positive");
+        self.cfg.batch_size = b;
+        self
+    }
+
+    /// Set the SGD learning rate.
+    pub fn lr(mut self, lr: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.cfg.lr = lr;
+        self
+    }
+
+    /// Set the aggregation rule.
+    pub fn aggregation(mut self, rule: AggregationRule) -> Self {
+        self.cfg.aggregation = rule;
+        self
+    }
+
+    /// Set the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Override the model architecture.
+    pub fn model(mut self, spec: ModelSpec) -> Self {
+        self.cfg.model_override = Some(spec);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> ExperimentConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ExperimentConfig {
+        ExperimentConfig::builder(DatasetProfile::MnistLike)
+            .devices(5)
+            .rounds(3)
+            .seed(9)
+            .build()
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let cfg = ExperimentConfig::builder(DatasetProfile::Cifar10Like)
+            .scale(Scale::Smoke)
+            .devices(7)
+            .participation(0.5)
+            .partition(Partition::Iid)
+            .rounds(4)
+            .local_epochs(2)
+            .batch_size(16)
+            .lr(0.05)
+            .aggregation(AggregationRule::TimeWeighted)
+            .seed(123)
+            .build();
+        assert_eq!(cfg.n_devices, 7);
+        assert_eq!(cfg.participation, 0.5);
+        assert_eq!(cfg.partition, Partition::Iid);
+        assert_eq!(cfg.rounds, 4);
+        assert_eq!(cfg.local_epochs, 2);
+        assert_eq!(cfg.batch_size, 16);
+        assert_eq!(cfg.lr, 0.05);
+        assert_eq!(cfg.aggregation, AggregationRule::TimeWeighted);
+        assert_eq!(cfg.seed, 123);
+    }
+
+    #[test]
+    fn env_has_one_shard_per_device() {
+        let cfg = base();
+        let env = cfg.build_env();
+        assert_eq!(env.n_devices(), 5);
+        assert!(env.device_data.iter().all(|d| !d.is_empty()));
+        let total: usize = env.device_data.iter().map(|d| d.len()).sum();
+        // All training samples distributed.
+        let fd = cfg.profile.synth_config(cfg.scale, cfg.seed).generate();
+        assert_eq!(total, fd.train.len());
+    }
+
+    #[test]
+    fn flat_profile_gets_mlp_and_image_gets_cnn() {
+        let mlp_cfg = base();
+        assert!(matches!(mlp_cfg.model_spec(), ModelSpec::Mlp { .. }));
+        let cnn_cfg = ExperimentConfig::builder(DatasetProfile::Cifar10Like).build();
+        assert!(matches!(cnn_cfg.model_spec(), ModelSpec::Cnn { .. }));
+    }
+
+    #[test]
+    fn model_override_wins() {
+        let spec = ModelSpec::mlp(&[32, 8, 10]);
+        let cfg = ExperimentConfig::builder(DatasetProfile::MnistLike)
+            .model(spec.clone())
+            .build();
+        assert_eq!(cfg.model_spec(), spec);
+    }
+
+    #[test]
+    fn initial_params_are_deterministic() {
+        let a = base().initial_params();
+        let b = base().initial_params();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), base().model_spec().param_count());
+    }
+
+    #[test]
+    fn different_seeds_give_different_data() {
+        let cfg_a = base();
+        let mut cfg_b = base();
+        cfg_b.seed = 10;
+        let env_a = cfg_a.build_env();
+        let env_b = cfg_b.build_env();
+        assert_ne!(env_a.test.x.data(), env_b.test.x.data());
+    }
+
+    #[test]
+    fn paper_scale_uses_paper_models() {
+        let cfg = ExperimentConfig::builder(DatasetProfile::MnistLike)
+            .scale(Scale::Paper)
+            .build();
+        assert_eq!(cfg.model_spec(), ModelSpec::paper_mlp(784, 10));
+        let cfg = ExperimentConfig::builder(DatasetProfile::Cifar100Like)
+            .scale(Scale::Paper)
+            .build();
+        assert_eq!(cfg.model_spec(), ModelSpec::paper_cnn(16, 100));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = base();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+}

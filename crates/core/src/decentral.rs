@@ -1,0 +1,406 @@
+//! Server-less (decentralized) training modes.
+//!
+//! These back the paper's three motivating observations (§3.2):
+//!
+//! * **Figure 2** — five device-communication modes on homogeneous
+//!   devices: no communication, random exchange (train received model
+//!   directly or average first), ring exchange (both variants).
+//! * **Figure 3** — ring orderings (random / small-to-large /
+//!   large-to-small) under heterogeneous latencies.
+//! * **Figure 4** — latency-clustered rings with `K ∈ {1, 2, 10, 30}`.
+//!
+//! There is no server: models persist on devices across rounds and the
+//! reported metric is the *mean device-model accuracy* on the global test
+//! split (the paper's estimator for Eq. 4's divergence `D`).
+
+use fedhisyn_cluster::kmeans_1d;
+use fedhisyn_nn::ParamVec;
+use fedhisyn_tensor::rng_from_seed;
+use rand::Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::env::{seed_mix, FlEnv};
+use crate::local::{build_model, local_train_plain};
+use crate::ring_sim::{simulate_ring_interval, ReceivePolicy};
+use crate::topology::{Ring, RingOrder};
+
+/// A decentralized communication mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DecentralMode {
+    /// No communication: every device refines its own model (Figure 2's
+    /// "no communication" control).
+    Isolated,
+    /// Every round each device sends its model to a uniformly random
+    /// other device (Figure 2's "random communication").
+    RandomExchange {
+        /// Average received model with the local one before training.
+        average: bool,
+    },
+    /// Latency-clustered rings (`k = 1` is Figure 3's single ring; larger
+    /// `k` is Figure 4).
+    ClusteredRings {
+        /// Number of latency classes.
+        k: usize,
+        /// Ring ordering rule.
+        order: RingOrder,
+        /// Average received model with the local one before training.
+        average: bool,
+    },
+}
+
+impl DecentralMode {
+    /// Label used in figure output.
+    pub fn label(&self) -> String {
+        match self {
+            DecentralMode::Isolated => "no-comm".into(),
+            DecentralMode::RandomExchange { average: false } => "random".into(),
+            DecentralMode::RandomExchange { average: true } => "random+avg".into(),
+            DecentralMode::ClusteredRings { k, order, average } => {
+                let ord = match order {
+                    RingOrder::SmallToLarge => "s2l",
+                    RingOrder::LargeToSmall => "l2s",
+                    RingOrder::Random => "rand",
+                };
+                if *average {
+                    format!("ring-{ord}+avg(k={k})")
+                } else {
+                    format!("ring-{ord}(k={k})")
+                }
+            }
+        }
+    }
+}
+
+/// State of a decentralized simulation: one persistent model per device.
+#[derive(Debug)]
+pub struct DecentralSim {
+    mode: DecentralMode,
+    models: Vec<ParamVec>,
+    /// Latency classes (fastest first), fixed for the whole run.
+    classes: Vec<Vec<usize>>,
+}
+
+impl DecentralSim {
+    /// Initialise: every device starts from the same seed model, and
+    /// clustering (when the mode needs it) is performed once since
+    /// latencies are static.
+    pub fn new(env: &FlEnv, mode: DecentralMode) -> Self {
+        let mut init_rng = rng_from_seed(seed_mix(env.seed, 0xDECE, 0, 0));
+        let init = env.spec.build(&mut init_rng).params();
+        let models = vec![init; env.n_devices()];
+        let classes = match mode {
+            DecentralMode::ClusteredRings { k, .. } => {
+                let latencies: Vec<f64> =
+                    (0..env.n_devices()).map(|d| env.latency(d)).collect();
+                let k_eff = k.min(env.n_devices());
+                let mut rng = rng_from_seed(seed_mix(env.seed, 0xC105, 0, 0));
+                kmeans_1d(&latencies, k_eff, 100, &mut rng)
+                    .groups_sorted_by_centroid()
+            }
+            _ => vec![(0..env.n_devices()).collect()],
+        };
+        DecentralSim { mode, models, classes }
+    }
+
+    /// Latency classes (fastest first). One class containing everyone for
+    /// non-clustered modes.
+    pub fn classes(&self) -> &[Vec<usize>] {
+        &self.classes
+    }
+
+    /// Current per-device models.
+    pub fn models(&self) -> &[ParamVec] {
+        &self.models
+    }
+
+    /// Execute one round (one interval of the slowest device's latency).
+    pub fn run_round(&mut self, env: &FlEnv, round: usize) {
+        match self.mode {
+            DecentralMode::Isolated => self.round_isolated(env, round),
+            DecentralMode::RandomExchange { average } => {
+                self.round_random(env, round, average)
+            }
+            DecentralMode::ClusteredRings { order, average, .. } => {
+                self.round_rings(env, round, order, average)
+            }
+        }
+    }
+
+    fn interval(&self, env: &FlEnv) -> f64 {
+        let all: Vec<usize> = (0..env.n_devices()).collect();
+        env.slowest_latency(&all)
+    }
+
+    fn round_isolated(&mut self, env: &FlEnv, round: usize) {
+        let interval = self.interval(env);
+        let updated: Vec<ParamVec> = self
+            .models
+            .par_iter()
+            .enumerate()
+            .map(|(d, params)| {
+                let steps = ((interval / env.latency(d)).ceil() as usize).max(1);
+                let mut current = params.clone();
+                for s in 0..steps {
+                    current = local_train_plain(
+                        env, d, &current, env.local_epochs, round, s as u64,
+                    );
+                }
+                current
+            })
+            .collect();
+        self.models = updated;
+    }
+
+    fn round_random(&mut self, env: &FlEnv, round: usize, average: bool) {
+        let interval = self.interval(env);
+        let n = env.n_devices();
+        // Train everyone for their step budget.
+        let trained: Vec<ParamVec> = self
+            .models
+            .par_iter()
+            .enumerate()
+            .map(|(d, params)| {
+                let steps = ((interval / env.latency(d)).ceil() as usize).max(1);
+                let mut current = params.clone();
+                for s in 0..steps {
+                    current = local_train_plain(
+                        env, d, &current, env.local_epochs, round, s as u64,
+                    );
+                }
+                current
+            })
+            .collect();
+        // Random communication (paper Fig. 2): every device sends to a
+        // uniformly random *other* device — NOT a permutation, so targets
+        // collide. A receiver keeps only the newest arrival (Alg. 1's
+        // buffer semantics); devices that receive nothing keep their own
+        // model (Eq. 7). This lineage loss is exactly why the paper finds
+        // random communication inferior to the ring.
+        let mut rng = rng_from_seed(seed_mix(env.seed, round as u64, 0x9A9D, 0));
+        let mut inbox: Vec<Option<usize>> = vec![None; n];
+        for sender in 0..n {
+            let mut target = rng.gen_range(0..n);
+            if n > 1 && target == sender {
+                target = (target + 1) % n;
+            }
+            env.meter.record_peer(1.0, env.param_count());
+            inbox[target] = Some(sender); // newest-wins
+        }
+        let mut next = Vec::with_capacity(n);
+        for (receiver, incoming) in inbox.iter().enumerate() {
+            match *incoming {
+                Some(sender) if !average => next.push(trained[sender].clone()),
+                Some(sender) => {
+                    let mut mixed = trained[receiver].clone();
+                    mixed.lerp(&trained[sender], 0.5);
+                    next.push(mixed);
+                }
+                None => next.push(trained[receiver].clone()),
+            }
+        }
+        self.models = next;
+    }
+
+    fn round_rings(&mut self, env: &FlEnv, round: usize, order: RingOrder, average: bool) {
+        let interval = self.interval(env);
+        let policy = if average {
+            ReceivePolicy::AverageThenTrain
+        } else {
+            ReceivePolicy::TrainReceived
+        };
+        // Build the rings (needs &mut rng, cheap) then run classes in
+        // parallel.
+        let rings: Vec<(Ring, Vec<f64>)> = self
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(ci, members)| {
+                let lat: Vec<f64> = members.iter().map(|&d| env.latency(d)).collect();
+                let mut rng =
+                    rng_from_seed(seed_mix(env.seed, round as u64, ci as u64, 0x4149));
+                let ring = Ring::build(members, &lat, &env.link, order, &mut rng);
+                let ring_lat: Vec<f64> = ring.order().iter().map(|&d| env.latency(d)).collect();
+                (ring, ring_lat)
+            })
+            .collect();
+        let models = &self.models;
+        let outcomes: Vec<(Vec<usize>, Vec<ParamVec>, usize)> = rings
+            .par_iter()
+            .map(|(ring, ring_lat)| {
+                let start: Vec<ParamVec> =
+                    ring.order().iter().map(|&d| models[d].clone()).collect();
+                let out = simulate_ring_interval(
+                    ring,
+                    ring_lat,
+                    &env.link,
+                    start,
+                    interval,
+                    policy,
+                    |device, params, salt| {
+                        local_train_plain(env, device, params, env.local_epochs, round, salt)
+                    },
+                );
+                // Carry the buffer state (pending arrivals) into the next
+                // interval — this is what keeps models circulating when a
+                // device only fits one step per interval.
+                (ring.order().to_vec(), out.next_models, out.transfers)
+            })
+            .collect();
+        for (order, nexts, transfers) in outcomes {
+            env.meter.record_peer(transfers as f64, env.param_count());
+            for (device, model) in order.into_iter().zip(nexts) {
+                self.models[device] = model;
+            }
+        }
+    }
+
+    /// Mean device-model accuracy on the global test split (the paper's
+    /// Figure 2–4 metric).
+    pub fn mean_accuracy(&self, env: &FlEnv) -> f32 {
+        let sum: f32 = self
+            .models
+            .par_iter()
+            .map(|params| {
+                let mut model = build_model(env, 0, params);
+                fedhisyn_nn::evaluate(&mut model, &env.test.x, &env.test.y, 256)
+            })
+            .sum();
+        sum / self.models.len() as f32
+    }
+
+    /// Mean accuracy of the devices in latency class `class` (Figure 4
+    /// reports the fastest class, i.e. `class = 0`).
+    pub fn class_accuracy(&self, env: &FlEnv, class: usize) -> f32 {
+        let members = &self.classes[class];
+        let sum: f32 = members
+            .par_iter()
+            .map(|&d| {
+                let mut model = build_model(env, 0, &self.models[d]);
+                fedhisyn_nn::evaluate(&mut model, &env.test.x, &env.test.y, 256)
+            })
+            .sum();
+        sum / members.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use fedhisyn_data::{DatasetProfile, Partition, Scale};
+    use fedhisyn_simnet::HeterogeneityModel;
+
+    fn env(devices: usize, h: f64) -> FlEnv {
+        ExperimentConfig::builder(DatasetProfile::MnistLike)
+            .scale(Scale::Smoke)
+            .devices(devices)
+            .partition(Partition::Dirichlet { beta: 0.5 })
+            .heterogeneity(if h <= 1.0 {
+                HeterogeneityModel::Homogeneous
+            } else {
+                HeterogeneityModel::Uniform { h }
+            })
+            .local_epochs(1)
+            .seed(5)
+            .build()
+            .build_env()
+    }
+
+    #[test]
+    fn isolated_devices_learn_something() {
+        let env = env(4, 1.0);
+        let mut sim = DecentralSim::new(&env, DecentralMode::Isolated);
+        let acc0 = sim.mean_accuracy(&env);
+        sim.run_round(&env, 0);
+        let acc1 = sim.mean_accuracy(&env);
+        assert!(acc1 > acc0, "isolated training should improve: {acc0} -> {acc1}");
+    }
+
+    #[test]
+    fn ring_exchange_moves_models() {
+        let env = env(4, 1.0);
+        let mut sim = DecentralSim::new(
+            &env,
+            DecentralMode::ClusteredRings { k: 1, order: RingOrder::SmallToLarge, average: false },
+        );
+        let before = sim.models()[0].clone();
+        sim.run_round(&env, 0);
+        assert_ne!(sim.models()[0], before);
+        assert!(env.meter.snapshot().peer_transfers >= 4.0);
+    }
+
+    #[test]
+    fn random_exchange_is_a_permutation() {
+        let env = env(5, 1.0);
+        let mut sim = DecentralSim::new(&env, DecentralMode::RandomExchange { average: false });
+        sim.run_round(&env, 0);
+        // All models valid (non-empty) after the permutation hand-off.
+        assert!(sim.models().iter().all(|m| m.len() == env.param_count()));
+    }
+
+    #[test]
+    fn clustered_rings_cluster_count() {
+        let env = env(9, 10.0);
+        let sim = DecentralSim::new(
+            &env,
+            DecentralMode::ClusteredRings { k: 3, order: RingOrder::SmallToLarge, average: false },
+        );
+        assert!(sim.classes().len() <= 3 && !sim.classes().is_empty());
+        let total: usize = sim.classes().iter().map(|c| c.len()).sum();
+        assert_eq!(total, 9);
+        // Fastest class first.
+        if sim.classes().len() >= 2 {
+            let fast_max = sim.classes()[0]
+                .iter()
+                .map(|&d| env.latency(d))
+                .fold(0.0, f64::max);
+            let next_min = sim.classes()[1]
+                .iter()
+                .map(|&d| env.latency(d))
+                .fold(f64::MAX, f64::min);
+            assert!(fast_max <= next_min + 1e-9);
+        }
+    }
+
+    #[test]
+    fn class_accuracy_indexes_classes() {
+        let env = env(6, 10.0);
+        let mut sim = DecentralSim::new(
+            &env,
+            DecentralMode::ClusteredRings { k: 2, order: RingOrder::SmallToLarge, average: false },
+        );
+        sim.run_round(&env, 0);
+        let acc = sim.class_accuracy(&env, 0);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(DecentralMode::Isolated.label(), "no-comm");
+        assert_eq!(DecentralMode::RandomExchange { average: true }.label(), "random+avg");
+        assert_eq!(
+            DecentralMode::ClusteredRings { k: 2, order: RingOrder::SmallToLarge, average: false }
+                .label(),
+            "ring-s2l(k=2)"
+        );
+    }
+
+    #[test]
+    fn deterministic_rounds() {
+        let run = || {
+            let env = env(4, 5.0);
+            let mut sim = DecentralSim::new(
+                &env,
+                DecentralMode::ClusteredRings {
+                    k: 2,
+                    order: RingOrder::SmallToLarge,
+                    average: false,
+                },
+            );
+            sim.run_round(&env, 0);
+            sim.models().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+}

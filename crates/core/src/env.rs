@@ -1,0 +1,147 @@
+//! The simulated federated environment shared by all algorithms.
+
+use fedhisyn_data::Dataset;
+use fedhisyn_nn::{ModelSpec, SgdConfig};
+use fedhisyn_simnet::{DeviceProfile, LinkModel, TrafficMeter};
+
+/// Everything an FL algorithm needs to run one experiment:
+/// the model architecture, each device's private shard, the global test
+/// split, the fleet's latency profiles and the transmission meter.
+///
+/// The environment is shared immutably across rayon workers during a
+/// round ([`TrafficMeter`] has interior mutability), which keeps
+/// parallel device updates data-race-free by construction.
+#[derive(Debug)]
+pub struct FlEnv {
+    /// Model architecture every device instantiates.
+    pub spec: ModelSpec,
+    /// Private training shard of each device (index = device id).
+    pub device_data: Vec<Dataset>,
+    /// Global held-out test split.
+    pub test: Dataset,
+    /// Per-device local-training latency `t_i` (one local step = `E`
+    /// epochs over the device's shard).
+    pub profiles: Vec<DeviceProfile>,
+    /// Inter-device / device-server delay model.
+    pub link: LinkModel,
+    /// Transmission accounting (Table 1 metric).
+    pub meter: TrafficMeter,
+    /// Local epochs per training step (`E`, the paper uses 5).
+    pub local_epochs: usize,
+    /// Mini-batch size (the paper uses 50).
+    pub batch_size: usize,
+    /// Optimizer settings (the paper uses plain SGD, lr 0.1).
+    pub sgd: SgdConfig,
+    /// Master experiment seed; all per-round randomness derives from it.
+    pub seed: u64,
+}
+
+impl FlEnv {
+    /// Number of devices in the fleet.
+    pub fn n_devices(&self) -> usize {
+        self.device_data.len()
+    }
+
+    /// Parameter count of the shared architecture.
+    pub fn param_count(&self) -> usize {
+        self.spec.param_count()
+    }
+
+    /// Latency of device `id`.
+    pub fn latency(&self, id: usize) -> f64 {
+        self.profiles[id].train_time
+    }
+
+    /// The slowest latency among `members` (the paper's round duration:
+    /// "the time required to complete the local training of the slowest
+    /// device").
+    pub fn slowest_latency(&self, members: &[usize]) -> f64 {
+        members
+            .iter()
+            .map(|&i| self.latency(i))
+            .fold(0.0f64, f64::max)
+    }
+}
+
+/// Derive an independent RNG seed from the experiment seed and a role.
+///
+/// SplitMix64 finalizer over the XOR of the inputs: cheap, stateless, and
+/// well-distributed, so per-(round, device, step) streams never collide in
+/// practice. All algorithm randomness flows through this function, which
+/// is what makes whole experiments reproducible bit-for-bit.
+pub fn seed_mix(master: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut z = master
+        ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ c.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedhisyn_simnet::HeterogeneityModel;
+    use fedhisyn_tensor::{rng_from_seed, Tensor};
+
+    fn tiny_env() -> FlEnv {
+        let mk = |n: usize| {
+            Dataset::new(Tensor::zeros(vec![n, 4]), (0..n).map(|i| i % 2).collect(), 2)
+        };
+        let mut rng = rng_from_seed(0);
+        FlEnv {
+            spec: ModelSpec::mlp(&[4, 4, 2]),
+            device_data: vec![mk(4), mk(6), mk(8)],
+            test: mk(10),
+            profiles: fedhisyn_simnet::sample_latencies(
+                3,
+                HeterogeneityModel::Uniform { h: 10.0 },
+                1.0,
+                &mut rng,
+            ),
+            link: LinkModel::zero(),
+            meter: TrafficMeter::new(),
+            local_epochs: 5,
+            batch_size: 50,
+            sgd: SgdConfig::default(),
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let env = tiny_env();
+        assert_eq!(env.n_devices(), 3);
+        assert_eq!(env.param_count(), 4 * 4 + 4 + 4 * 2 + 2);
+        assert!(env.latency(0) >= 1.0);
+    }
+
+    #[test]
+    fn slowest_latency_is_max_over_members() {
+        let env = tiny_env();
+        let all = env.slowest_latency(&[0, 1, 2]);
+        assert_eq!(all, (0..3).map(|i| env.latency(i)).fold(0.0, f64::max));
+        assert_eq!(env.slowest_latency(&[1]), env.latency(1));
+        assert_eq!(env.slowest_latency(&[]), 0.0);
+    }
+
+    #[test]
+    fn seed_mix_is_deterministic_and_sensitive() {
+        assert_eq!(seed_mix(1, 2, 3, 4), seed_mix(1, 2, 3, 4));
+        assert_ne!(seed_mix(1, 2, 3, 4), seed_mix(1, 2, 3, 5));
+        assert_ne!(seed_mix(1, 2, 3, 4), seed_mix(1, 2, 4, 3));
+        assert_ne!(seed_mix(1, 2, 3, 4), seed_mix(2, 2, 3, 4));
+    }
+
+    #[test]
+    fn seed_mix_spreads_bits() {
+        // Consecutive inputs should produce well-spread outputs: count
+        // distinct high bytes over 256 consecutive seeds.
+        let mut high_bytes = std::collections::HashSet::new();
+        for i in 0..256u64 {
+            high_bytes.insert((seed_mix(0, i, 0, 0) >> 56) as u8);
+        }
+        assert!(high_bytes.len() > 150, "got {} distinct high bytes", high_bytes.len());
+    }
+}

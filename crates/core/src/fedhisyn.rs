@@ -1,0 +1,276 @@
+//! FedHiSyn — Algorithm 1 of the paper.
+
+use fedhisyn_cluster::kmeans_1d;
+use fedhisyn_nn::ParamVec;
+use fedhisyn_tensor::{rng_from_seed, TensorRng};
+use rayon::prelude::*;
+
+use crate::aggregate::{AggregationRule, Contribution};
+use crate::algorithm::{FlAlgorithm, RoundContext};
+use crate::config::ExperimentConfig;
+use crate::env::{seed_mix, FlEnv};
+use crate::local::local_train_plain;
+use crate::ring_sim::{simulate_ring_interval, ReceivePolicy, RingOutcome};
+use crate::topology::{Ring, RingOrder};
+
+/// The FedHiSyn algorithm.
+///
+/// Per round (Alg. 1): the server broadcasts the global model to the
+/// participating devices, clusters them into `k` classes by latency
+/// (k-means, fastest class first), organizes each class into a
+/// small-to-large ring, lets every class train-and-relay for the round
+/// interval `R` (the slowest participant's latency), then synchronously
+/// aggregates every device's newest model.
+#[derive(Debug)]
+pub struct FedHiSyn {
+    /// Number of latency classes `K`.
+    pub k: usize,
+    /// Server aggregation rule (Eq. 9 by default, Eq. 10 optional).
+    pub aggregation: AggregationRule,
+    /// Ring ordering inside a class (the paper uses small-to-large).
+    pub ring_order: RingOrder,
+    /// What devices do with received models (the paper trains them
+    /// directly).
+    pub receive_policy: ReceivePolicy,
+    participation: f64,
+    global: ParamVec,
+}
+
+impl FedHiSyn {
+    /// Build from an experiment config with `k` latency classes.
+    pub fn new(cfg: &ExperimentConfig, k: usize) -> Self {
+        assert!(k > 0, "need at least one class");
+        FedHiSyn {
+            k,
+            aggregation: cfg.aggregation,
+            ring_order: RingOrder::SmallToLarge,
+            receive_policy: ReceivePolicy::TrainReceived,
+            participation: cfg.participation,
+            global: cfg.initial_params(),
+        }
+    }
+
+    /// Current global model.
+    pub fn global(&self) -> &ParamVec {
+        &self.global
+    }
+
+    /// Override the global model (used by warm-start experiments).
+    pub fn set_global(&mut self, params: ParamVec) {
+        assert_eq!(params.len(), self.global.len(), "global model size mismatch");
+        self.global = params;
+    }
+
+    /// Cluster `participants` into at most `k` latency classes, fastest
+    /// class first (Alg. 1 line 4).
+    pub fn cluster_participants(
+        env: &FlEnv,
+        participants: &[usize],
+        k: usize,
+        rng: &mut TensorRng,
+    ) -> Vec<Vec<usize>> {
+        let latencies: Vec<f64> = participants.iter().map(|&d| env.latency(d)).collect();
+        let k_eff = k.min(participants.len());
+        let clustering = kmeans_1d(&latencies, k_eff, 100, rng);
+        clustering
+            .groups_sorted_by_centroid()
+            .into_iter()
+            .map(|group| group.into_iter().map(|i| participants[i]).collect())
+            .collect()
+    }
+}
+
+impl FlAlgorithm for FedHiSyn {
+    fn name(&self) -> String {
+        "FedHiSyn".to_string()
+    }
+
+    fn participation(&self) -> f64 {
+        self.participation
+    }
+
+    fn round(&mut self, ctx: &mut RoundContext<'_>) -> ParamVec {
+        let env = ctx.env;
+        let s = ctx.participants;
+        let n_params = env.param_count();
+
+        // 1. Broadcast W_G to every participant.
+        env.meter.record_download(s.len() as f64, n_params);
+
+        // 2. Cluster by latency, fastest class first.
+        let classes = Self::cluster_participants(env, s, self.k, ctx.rng);
+
+        // 3. Round interval: slowest participant overall ("the time
+        //    required to complete the local training of the slowest
+        //    device", §6.1).
+        let interval = env.slowest_latency(s);
+
+        // 4. Build the rings up front (cheap, needs &mut rng), then run
+        //    every class in parallel — classes are independent rings.
+        let ring_seed = seed_mix(env.seed, ctx.round as u64, 0x1216, 0);
+        let rings: Vec<(Ring, Vec<f64>, f64)> = classes
+            .iter()
+            .enumerate()
+            .map(|(ci, members)| {
+                let latencies: Vec<f64> = members.iter().map(|&d| env.latency(d)).collect();
+                let mut rng = rng_from_seed(seed_mix(ring_seed, ci as u64, 0, 0));
+                let ring = Ring::build(members, &latencies, &env.link, self.ring_order, &mut rng);
+                let ring_lat: Vec<f64> =
+                    ring.order().iter().map(|&d| env.latency(d)).collect();
+                let mean_time = latencies.iter().sum::<f64>() / latencies.len() as f64;
+                (ring, ring_lat, mean_time)
+            })
+            .collect();
+
+        let round = ctx.round;
+        let global = &self.global;
+        let policy = self.receive_policy;
+        let outcomes: Vec<(RingOutcome, &Ring, f64)> = rings
+            .par_iter()
+            .map(|(ring, ring_lat, mean_time)| {
+                let start = vec![global.clone(); ring.len()];
+                let outcome = simulate_ring_interval(
+                    ring,
+                    ring_lat,
+                    &env.link,
+                    start,
+                    interval,
+                    policy,
+                    |device, params, salt| {
+                        local_train_plain(env, device, params, env.local_epochs, round, salt)
+                    },
+                );
+                (outcome, ring, *mean_time)
+            })
+            .collect();
+
+        // 5. Record ring traffic and upload every device's newest model.
+        let mut uploaded: Vec<(ParamVec, usize, f64)> = Vec::with_capacity(s.len());
+        for (outcome, ring, mean_time) in outcomes {
+            env.meter.record_peer(outcome.transfers as f64, n_params);
+            for (pos, model) in outcome.final_models.into_iter().enumerate() {
+                let device = ring.order()[pos];
+                uploaded.push((model, env.device_data[device].len(), mean_time));
+            }
+        }
+        env.meter.record_upload(uploaded.len() as f64, n_params);
+
+        // 6. Synchronous aggregation (Eq. 9 / Eq. 10).
+        let contributions: Vec<Contribution<'_>> = uploaded
+            .iter()
+            .map(|(params, samples, mean_time)| Contribution {
+                params,
+                samples: *samples,
+                class_mean_time: *mean_time,
+            })
+            .collect();
+        self.global = self.aggregation.aggregate(&contributions);
+        self.global.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::run_experiment;
+    use crate::config::ExperimentConfig;
+    use fedhisyn_data::{DatasetProfile, Partition, Scale};
+
+    fn smoke_config(devices: usize, k: usize) -> (ExperimentConfig, FedHiSyn) {
+        let cfg = ExperimentConfig::builder(DatasetProfile::MnistLike)
+            .scale(Scale::Smoke)
+            .devices(devices)
+            .partition(Partition::Dirichlet { beta: 0.5 })
+            .rounds(2)
+            .local_epochs(1)
+            .seed(11)
+            .build();
+        let algo = FedHiSyn::new(&cfg, k);
+        (cfg, algo)
+    }
+
+    #[test]
+    fn clustering_splits_fast_and_slow() {
+        let (cfg, _) = smoke_config(8, 2);
+        let env = cfg.build_env();
+        let participants: Vec<usize> = (0..8).collect();
+        let mut rng = rng_from_seed(0);
+        let classes = FedHiSyn::cluster_participants(&env, &participants, 2, &mut rng);
+        assert!(classes.len() <= 2 && !classes.is_empty());
+        let total: usize = classes.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 8, "every participant lands in exactly one class");
+        if classes.len() == 2 {
+            // Fastest class first.
+            let max_fast = classes[0].iter().map(|&d| env.latency(d)).fold(0.0, f64::max);
+            let min_slow = classes[1]
+                .iter()
+                .map(|&d| env.latency(d))
+                .fold(f64::MAX, f64::min);
+            assert!(max_fast <= min_slow + 1e-9);
+        }
+    }
+
+    #[test]
+    fn one_round_improves_over_init() {
+        let (cfg, mut algo) = smoke_config(6, 2);
+        let mut env = cfg.build_env();
+        let init_acc = crate::local::evaluate_on_test(&env, algo.global());
+        let rec = run_experiment(&mut algo, &mut env, 2);
+        assert!(
+            rec.final_accuracy() > init_acc,
+            "training should beat init: {init_acc} -> {}",
+            rec.final_accuracy()
+        );
+    }
+
+    #[test]
+    fn uploads_equal_participants_per_round() {
+        let (cfg, mut algo) = smoke_config(6, 2);
+        let mut env = cfg.build_env();
+        let rec = run_experiment(&mut algo, &mut env, 2);
+        // Full participation: every device uploads exactly once per round.
+        assert_eq!(rec.rounds[0].uploads, 6.0);
+        assert_eq!(rec.rounds[1].uploads, 12.0);
+        // Broadcast accounting too.
+        assert_eq!(rec.rounds[0].downloads, 6.0);
+    }
+
+    #[test]
+    fn ring_transfers_happen() {
+        let (cfg, mut algo) = smoke_config(6, 1);
+        let mut env = cfg.build_env();
+        let rec = run_experiment(&mut algo, &mut env, 1);
+        assert!(
+            rec.rounds[0].peer_transfers >= 6.0,
+            "each device sends at least one ring transfer, got {}",
+            rec.rounds[0].peer_transfers
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (cfg, mut a1) = smoke_config(5, 2);
+        let mut env1 = cfg.build_env();
+        let r1 = run_experiment(&mut a1, &mut env1, 2);
+        let (cfg2, mut a2) = smoke_config(5, 2);
+        let mut env2 = cfg2.build_env();
+        let r2 = run_experiment(&mut a2, &mut env2, 2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn k_larger_than_participants_is_clamped() {
+        let (cfg, mut algo) = smoke_config(4, 50);
+        let mut env = cfg.build_env();
+        let rec = run_experiment(&mut algo, &mut env, 1);
+        assert_eq!(rec.rounds.len(), 1);
+    }
+
+    #[test]
+    fn global_model_stays_finite() {
+        let (cfg, mut algo) = smoke_config(6, 3);
+        let mut env = cfg.build_env();
+        let _ = run_experiment(&mut algo, &mut env, 2);
+        assert!(algo.global().is_finite());
+    }
+}

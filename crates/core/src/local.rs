@@ -1,0 +1,139 @@
+//! Device-local training, shared by FedHiSyn and every baseline.
+
+use fedhisyn_nn::{sgd_epoch, GradHook, NoHook, ParamVec, Sequential, Sgd};
+use fedhisyn_tensor::rng_from_seed;
+
+use crate::env::{seed_mix, FlEnv};
+
+/// Train `params` on device `device`'s shard for `epochs` epochs and
+/// return the updated parameters (Eq. 6 of the paper when `params` came
+/// from a ring predecessor, Eq. 7 when it is the device's own model).
+///
+/// `salt` disambiguates multiple training steps of the same device within
+/// one round (ring hops); mixing it into the RNG seed keeps every step's
+/// batch order independent yet reproducible.
+pub fn local_train(
+    env: &FlEnv,
+    device: usize,
+    params: &ParamVec,
+    epochs: usize,
+    hook: &dyn GradHook,
+    round: usize,
+    salt: u64,
+) -> ParamVec {
+    let mut model = build_model(env, device, params);
+    let data = &env.device_data[device];
+    if data.is_empty() {
+        return params.clone();
+    }
+    let mut sgd = Sgd::new(env.sgd);
+    let mut rng = rng_from_seed(seed_mix(env.seed, round as u64, device as u64, salt));
+    for _ in 0..epochs {
+        sgd_epoch(&mut model, &data.x, &data.y, env.batch_size, &mut sgd, hook, &mut rng);
+    }
+    model.params()
+}
+
+/// [`local_train`] with no gradient correction.
+pub fn local_train_plain(
+    env: &FlEnv,
+    device: usize,
+    params: &ParamVec,
+    epochs: usize,
+    round: usize,
+    salt: u64,
+) -> ParamVec {
+    local_train(env, device, params, epochs, &NoHook, round, salt)
+}
+
+/// Instantiate the environment's architecture loaded with `params`.
+pub fn build_model(env: &FlEnv, device: usize, params: &ParamVec) -> Sequential {
+    // The init RNG is irrelevant (weights are overwritten), but keep it
+    // deterministic anyway so allocation patterns don't depend on state.
+    let mut rng = rng_from_seed(seed_mix(env.seed, u64::MAX, device as u64, 0));
+    let mut model = env.spec.build(&mut rng);
+    model.set_params(params);
+    model
+}
+
+/// Evaluate `params` on the environment's global test split.
+pub fn evaluate_on_test(env: &FlEnv, params: &ParamVec) -> f32 {
+    let mut model = build_model(env, 0, params);
+    fedhisyn_nn::evaluate(&mut model, &env.test.x, &env.test.y, 256)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedhisyn_data::{Dataset, DatasetProfile, Scale};
+    use fedhisyn_nn::{ModelSpec, SgdConfig};
+    use fedhisyn_simnet::{sample_latencies, HeterogeneityModel, LinkModel, TrafficMeter};
+    use fedhisyn_tensor::Tensor;
+
+    fn make_env() -> FlEnv {
+        let fd = DatasetProfile::MnistLike.synth_config(Scale::Smoke, 3).generate();
+        let dim = fd.config.total_input_dim();
+        let mut rng = rng_from_seed(1);
+        // 4 devices, each with a slice of the pooled training set.
+        let n = fd.train.len();
+        let per = n / 4;
+        let device_data: Vec<Dataset> = (0..4)
+            .map(|d| fd.train.subset(&((d * per..(d + 1) * per).collect::<Vec<_>>())))
+            .collect();
+        FlEnv {
+            spec: ModelSpec::mlp(&[dim, 16, 10]),
+            device_data,
+            test: fd.test,
+            profiles: sample_latencies(4, HeterogeneityModel::Uniform { h: 4.0 }, 1.0, &mut rng),
+            link: LinkModel::zero(),
+            meter: TrafficMeter::new(),
+            local_epochs: 2,
+            batch_size: 32,
+            sgd: SgdConfig::default(),
+            seed: 77,
+        }
+    }
+
+    #[test]
+    fn local_training_improves_accuracy() {
+        let env = make_env();
+        let init = env.spec.build(&mut rng_from_seed(0)).params();
+        let acc_before = evaluate_on_test(&env, &init);
+        let trained = local_train_plain(&env, 0, &init, 5, 0, 0);
+        let acc_after = evaluate_on_test(&env, &trained);
+        assert!(
+            acc_after > acc_before + 0.05,
+            "training should improve accuracy: {acc_before} -> {acc_after}"
+        );
+    }
+
+    #[test]
+    fn training_changes_params() {
+        let env = make_env();
+        let init = env.spec.build(&mut rng_from_seed(0)).params();
+        let trained = local_train_plain(&env, 1, &init, 1, 0, 0);
+        assert_ne!(init, trained);
+        assert!(trained.is_finite());
+    }
+
+    #[test]
+    fn training_is_deterministic_per_salt() {
+        let env = make_env();
+        let init = env.spec.build(&mut rng_from_seed(0)).params();
+        let a = local_train_plain(&env, 2, &init, 2, 3, 9);
+        let b = local_train_plain(&env, 2, &init, 2, 3, 9);
+        assert_eq!(a, b);
+        let c = local_train_plain(&env, 2, &init, 2, 3, 10);
+        assert_ne!(a, c, "different salt must give a different batch order");
+    }
+
+    #[test]
+    fn empty_device_returns_input() {
+        let mut env = make_env();
+        env.device_data[3] =
+            Dataset::new(Tensor::zeros(vec![0, env.spec.input_dims()[0]]), vec![], 10);
+        let init = env.spec.build(&mut rng_from_seed(0)).params();
+        let out = local_train_plain(&env, 3, &init, 3, 0, 0);
+        assert_eq!(out, init);
+    }
+}

@@ -1,0 +1,149 @@
+//! Experiment records: per-round metrics and Table 1 accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics captured after one communication round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index (0-based).
+    pub round: usize,
+    /// Global-model accuracy on the held-out test split.
+    pub accuracy: f32,
+    /// Cumulative device→server uploads, in model-equivalents.
+    pub uploads: f64,
+    /// Cumulative server→device downloads, in model-equivalents.
+    pub downloads: f64,
+    /// Cumulative device→device ring transfers, in model-equivalents.
+    pub peer_transfers: f64,
+    /// Devices that participated this round.
+    pub participants: usize,
+    /// Virtual time elapsed since the experiment started.
+    pub virtual_time: f64,
+}
+
+/// A complete experiment run for one algorithm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RunRecord {
+    /// Algorithm name (e.g. "FedHiSyn", "FedAvg").
+    pub algorithm: String,
+    /// Per-round metrics in order.
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl RunRecord {
+    /// New empty record for an algorithm.
+    pub fn new(algorithm: impl Into<String>) -> Self {
+        RunRecord { algorithm: algorithm.into(), rounds: Vec::new() }
+    }
+
+    /// Final test accuracy (0 when no rounds ran).
+    pub fn final_accuracy(&self) -> f32 {
+        self.rounds.last().map(|r| r.accuracy).unwrap_or(0.0)
+    }
+
+    /// Best test accuracy across rounds.
+    pub fn best_accuracy(&self) -> f32 {
+        self.rounds.iter().map(|r| r.accuracy).fold(0.0, f32::max)
+    }
+
+    /// First round index whose accuracy reached `target`, if any.
+    pub fn rounds_to_target(&self, target: f32) -> Option<usize> {
+        self.rounds.iter().find(|r| r.accuracy >= target).map(|r| r.round)
+    }
+
+    /// Table 1's metric: uploads (in model-equivalents) accumulated by the
+    /// first round that reached `target`, normalized by `unit` (one FedAvg
+    /// round's uploads = participants per round). `None` when the target
+    /// was never reached — rendered as the paper's "X" entries.
+    pub fn uploads_to_target(&self, target: f32, unit: f64) -> Option<f64> {
+        assert!(unit > 0.0, "normalization unit must be positive");
+        self.rounds
+            .iter()
+            .find(|r| r.accuracy >= target)
+            .map(|r| r.uploads / unit)
+    }
+
+    /// Total uploads at the end of the run.
+    pub fn total_uploads(&self) -> f64 {
+        self.rounds.last().map(|r| r.uploads).unwrap_or(0.0)
+    }
+
+    /// Accuracy series (for figure output).
+    pub fn accuracy_series(&self) -> Vec<f32> {
+        self.rounds.iter().map(|r| r.accuracy).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record_with(accs: &[f32]) -> RunRecord {
+        let mut r = RunRecord::new("test");
+        for (i, &a) in accs.iter().enumerate() {
+            r.rounds.push(RoundRecord {
+                round: i,
+                accuracy: a,
+                uploads: (i + 1) as f64 * 10.0,
+                downloads: (i + 1) as f64 * 10.0,
+                peer_transfers: 0.0,
+                participants: 10,
+                virtual_time: (i + 1) as f64,
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn final_and_best_accuracy() {
+        let r = record_with(&[0.1, 0.5, 0.4]);
+        assert_eq!(r.final_accuracy(), 0.4);
+        assert_eq!(r.best_accuracy(), 0.5);
+    }
+
+    #[test]
+    fn rounds_to_target_finds_first_crossing() {
+        let r = record_with(&[0.1, 0.3, 0.6, 0.7]);
+        assert_eq!(r.rounds_to_target(0.3), Some(1));
+        assert_eq!(r.rounds_to_target(0.65), Some(3));
+        assert_eq!(r.rounds_to_target(0.9), None);
+    }
+
+    #[test]
+    fn uploads_to_target_normalizes() {
+        let r = record_with(&[0.1, 0.6]);
+        // Crossed at round 1 with 20 uploads; unit 10 → 2 "FedAvg rounds".
+        assert_eq!(r.uploads_to_target(0.5, 10.0), Some(2.0));
+        assert_eq!(r.uploads_to_target(0.99, 10.0), None);
+    }
+
+    #[test]
+    fn empty_record_defaults() {
+        let r = RunRecord::new("empty");
+        assert_eq!(r.final_accuracy(), 0.0);
+        assert_eq!(r.best_accuracy(), 0.0);
+        assert_eq!(r.total_uploads(), 0.0);
+        assert!(r.rounds_to_target(0.1).is_none());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = record_with(&[0.2, 0.4]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RunRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn accuracy_series_matches_rounds() {
+        let r = record_with(&[0.2, 0.4, 0.5]);
+        assert_eq!(r.accuracy_series(), vec![0.2, 0.4, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_unit_panics() {
+        let r = record_with(&[0.9]);
+        let _ = r.uploads_to_target(0.5, 0.0);
+    }
+}

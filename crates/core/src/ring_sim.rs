@@ -1,0 +1,376 @@
+//! Event-driven simulation of one ring-training interval (Alg. 1, l. 7–16).
+//!
+//! Within a FedHiSyn class, every device trains continuously: it trains
+//! its current working model for one local step (`E` epochs, taking its
+//! latency `t_i` of virtual time), forwards the result to its ring
+//! successor, and immediately starts the next step on the newest model in
+//! its buffer — or keeps refining its own model when nothing has arrived
+//! (Eq. 7). The interval ends after `R` virtual seconds; each device then
+//! holds the model it most recently finished training, which is what it
+//! uploads.
+//!
+//! The simulation is generic over the actual training function so unit
+//! tests can verify the event choreography with arithmetic mocks while
+//! the algorithms plug in real SGD.
+
+use fedhisyn_nn::ParamVec;
+use fedhisyn_simnet::{EventQueue, LinkModel, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::topology::Ring;
+
+/// What a device does with a model received from its ring predecessor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ReceivePolicy {
+    /// Train the received model directly (the paper's choice; Eq. 6 —
+    /// Observation 1 found this strictly better).
+    #[default]
+    TrainReceived,
+    /// Average the received model with the local one, then train (the
+    /// paper's "averaging" control in Figure 2).
+    AverageThenTrain,
+}
+
+/// Result of simulating one interval on one ring.
+#[derive(Debug, Clone)]
+pub struct RingOutcome {
+    /// Final (most recently trained) model per ring position — what the
+    /// device *uploads* in FedHiSyn.
+    pub final_models: Vec<ParamVec>,
+    /// The model each position would train next: the newest unconsumed
+    /// arrival, or its own latest model when nothing is pending. This is
+    /// the device's buffer state at interval end (Alg. 1's `B_i.back()`),
+    /// which decentralized (server-less) training carries into the next
+    /// interval — without it, a homogeneous ring doing one step per
+    /// interval would never circulate models across intervals.
+    pub next_models: Vec<ParamVec>,
+    /// Local-training steps completed per ring position.
+    pub steps: Vec<usize>,
+    /// Device-to-device transfers performed.
+    pub transfers: usize,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// Ring position `pos` finishes the training step it started earlier.
+    Completion { pos: usize },
+    /// A model sent by `from_pos` arrives at ring position `pos`.
+    Arrival { pos: usize, model: ParamVec },
+}
+
+/// Simulate `interval` virtual seconds of ring training.
+///
+/// * `ring` — the communication ring (device ids),
+/// * `latencies[p]` — virtual seconds per local step for the device at
+///   ring position `p`,
+/// * `start[p]` — the model position `p` begins the interval with,
+/// * `train(device, model, salt)` — performs one local step; `salt` is a
+///   unique per-(position, step) value for deterministic batch shuffling.
+///
+/// Each position runs `ceil(interval / latency)` steps (at least one),
+/// matching Alg. 1's budget loop (`R_ci > 0`).
+pub fn simulate_ring_interval<F>(
+    ring: &Ring,
+    latencies: &[f64],
+    link: &LinkModel,
+    start: Vec<ParamVec>,
+    interval: f64,
+    policy: ReceivePolicy,
+    mut train: F,
+) -> RingOutcome
+where
+    F: FnMut(usize, &ParamVec, u64) -> ParamVec,
+{
+    let n = ring.len();
+    assert_eq!(latencies.len(), n, "one latency per ring position");
+    assert_eq!(start.len(), n, "one start model per ring position");
+    assert!(n > 0, "empty ring");
+    assert!(interval > 0.0, "interval must be positive");
+
+    let allowed: Vec<usize> = latencies
+        .iter()
+        .map(|&t| ((interval / t).ceil() as usize).max(1))
+        .collect();
+
+    let mut working: Vec<ParamVec> = start.clone();
+    let mut latest: Vec<ParamVec> = start;
+    let mut inbox: Vec<Option<ParamVec>> = vec![None; n];
+    let mut steps = vec![0usize; n];
+    let mut transfers = 0usize;
+
+    // Arrivals sort before completions at the same instant so that a
+    // zero-delay handoff between equal-latency devices lands in time for
+    // the receiver's next step (see `EventQueue` docs).
+    const CLASS_ARRIVAL: u8 = 0;
+    const CLASS_COMPLETION: u8 = 1;
+
+    let mut queue: EventQueue<Event> = EventQueue::new();
+    for (pos, &latency) in latencies.iter().enumerate() {
+        queue.push_class(SimTime::new(latency), CLASS_COMPLETION, Event::Completion { pos });
+    }
+
+    while let Some((now, event)) = queue.pop() {
+        match event {
+            Event::Arrival { pos, model } => {
+                // Newest-wins buffer (Alg. 1 trains B.back()); older
+                // pending models are dropped.
+                inbox[pos] = Some(model);
+            }
+            Event::Completion { pos } => {
+                let salt = (pos as u64) << 32 | steps[pos] as u64;
+                let trained = train(ring.order()[pos], &working[pos], salt);
+                steps[pos] += 1;
+                latest[pos] = trained.clone();
+
+                // Forward along the ring (skip degenerate single rings —
+                // sending to yourself is the same as continuing).
+                if n > 1 {
+                    let succ = ring.next_position(pos);
+                    let delay =
+                        link.delay(ring.order()[pos], ring.order()[succ]).max(0.0);
+                    queue.push_class(
+                        now + delay,
+                        CLASS_ARRIVAL,
+                        Event::Arrival { pos: succ, model: trained.clone() },
+                    );
+                    transfers += 1;
+                }
+
+                if steps[pos] < allowed[pos] {
+                    // Choose the next working model: newest arrival if any
+                    // (Eq. 6), else keep refining what we just trained
+                    // (Eq. 7).
+                    working[pos] = match (inbox[pos].take(), policy) {
+                        (Some(received), ReceivePolicy::TrainReceived) => received,
+                        (Some(received), ReceivePolicy::AverageThenTrain) => {
+                            let mut mixed = trained.clone();
+                            mixed.lerp(&received, 0.5);
+                            mixed
+                        }
+                        (None, _) => trained,
+                    };
+                    queue.push_class(
+                        now + latencies[pos],
+                        CLASS_COMPLETION,
+                        Event::Completion { pos },
+                    );
+                }
+            }
+        }
+    }
+
+    // Buffer state at interval end: pending arrival wins, else own model.
+    let next_models: Vec<ParamVec> = inbox
+        .iter_mut()
+        .zip(&latest)
+        .map(|(pending, own)| match (pending.take(), policy) {
+            (Some(received), ReceivePolicy::TrainReceived) => received,
+            (Some(received), ReceivePolicy::AverageThenTrain) => {
+                let mut mixed = own.clone();
+                mixed.lerp(&received, 0.5);
+                mixed
+            }
+            (None, _) => own.clone(),
+        })
+        .collect();
+
+    RingOutcome { final_models: latest, next_models, steps, transfers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::RingOrder;
+    use fedhisyn_tensor::rng_from_seed;
+
+    /// Mock trainer: appends nothing, just adds 1.0 to coordinate
+    /// `device` so model provenance is readable from the params.
+    fn mock_train(n_devices: usize) -> impl FnMut(usize, &ParamVec, u64) -> ParamVec {
+        move |device, model, _salt| {
+            let mut out = model.clone();
+            assert!(device < n_devices);
+            out.as_mut_slice()[device] += 1.0;
+            out
+        }
+    }
+
+    fn ring_of(latencies: &[f64]) -> (Ring, Vec<f64>) {
+        let members: Vec<usize> = (0..latencies.len()).collect();
+        let mut rng = rng_from_seed(0);
+        let ring = Ring::build(
+            &members,
+            latencies,
+            &LinkModel::zero(),
+            RingOrder::SmallToLarge,
+            &mut rng,
+        );
+        let lat: Vec<f64> = ring.order().iter().map(|&d| latencies[d]).collect();
+        (ring, lat)
+    }
+
+    #[test]
+    fn step_budget_is_ceil_of_interval_over_latency() {
+        let (ring, lat) = ring_of(&[1.0, 2.0, 4.0]);
+        let start = vec![ParamVec::zeros(3); 3];
+        let out = simulate_ring_interval(
+            &ring, &lat, &LinkModel::zero(), start, 4.0,
+            ReceivePolicy::TrainReceived, mock_train(3),
+        );
+        // Positions sorted by latency: 1.0 → 4 steps, 2.0 → 2, 4.0 → 1.
+        assert_eq!(out.steps, vec![4, 2, 1]);
+        // Every step sends one transfer.
+        assert_eq!(out.transfers, 7);
+    }
+
+    #[test]
+    fn slowest_device_always_completes_one_step() {
+        let (ring, lat) = ring_of(&[1.0, 100.0]);
+        let start = vec![ParamVec::zeros(2); 2];
+        let out = simulate_ring_interval(
+            &ring, &lat, &LinkModel::zero(), start, 1.0,
+            ReceivePolicy::TrainReceived, mock_train(2),
+        );
+        assert!(out.steps.iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn models_traverse_the_ring() {
+        // Two homogeneous devices, long interval: models ping-pong, so each
+        // device's final model must contain training from both devices.
+        let (ring, lat) = ring_of(&[1.0, 1.0]);
+        let start = vec![ParamVec::zeros(2); 2];
+        let out = simulate_ring_interval(
+            &ring, &lat, &LinkModel::zero(), start, 4.0,
+            ReceivePolicy::TrainReceived, mock_train(2),
+        );
+        for m in &out.final_models {
+            assert!(
+                m.as_slice().iter().all(|&x| x > 0.0),
+                "model {m:?} should have been trained on both devices"
+            );
+        }
+    }
+
+    #[test]
+    fn without_arrivals_devices_refine_their_own_model() {
+        // Single device: trains its own model `ceil(R/t)` times.
+        let (ring, lat) = ring_of(&[1.0]);
+        let start = vec![ParamVec::zeros(1)];
+        let out = simulate_ring_interval(
+            &ring, &lat, &LinkModel::zero(), start, 3.0,
+            ReceivePolicy::TrainReceived, mock_train(1),
+        );
+        assert_eq!(out.steps, vec![3]);
+        assert_eq!(out.transfers, 0, "singleton rings never transfer");
+        assert_eq!(out.final_models[0].as_slice()[0], 3.0);
+    }
+
+    #[test]
+    fn fast_device_trains_foreign_models_in_long_intervals() {
+        // Fast (t=1) and slow (t=4): at the fast device's 5th step in an
+        // interval of 8, it must have adopted the slow device's model at
+        // least once (arrival at t=4).
+        let (ring, lat) = ring_of(&[1.0, 4.0]);
+        let start = vec![ParamVec::zeros(2); 2];
+        let out = simulate_ring_interval(
+            &ring, &lat, &LinkModel::zero(), start, 8.0,
+            ReceivePolicy::TrainReceived, mock_train(2),
+        );
+        // Fast position is 0 (sorted small-to-large). Its final model must
+        // include slow-device training (coordinate 1 > 0).
+        assert!(out.final_models[0].as_slice()[1] > 0.0);
+    }
+
+    #[test]
+    fn link_delay_postpones_adoption() {
+        // With a huge link delay nothing arrives before devices finish, so
+        // every device only ever refines its own model.
+        let (ring, lat) = ring_of(&[1.0, 1.0]);
+        let start = vec![ParamVec::zeros(2); 2];
+        let out = simulate_ring_interval(
+            &ring, &lat, &LinkModel::Constant { delay: 100.0 }, start, 3.0,
+            ReceivePolicy::TrainReceived, mock_train(2),
+        );
+        // Position p trained only by its own device: exactly one non-zero
+        // coordinate each.
+        for (p, m) in out.final_models.iter().enumerate() {
+            let d = ring.order()[p];
+            assert_eq!(m.as_slice()[d] as usize, out.steps[p]);
+            let other: f32 = m
+                .as_slice()
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != d)
+                .map(|(_, &x)| x)
+                .sum();
+            assert_eq!(other, 0.0);
+        }
+    }
+
+    #[test]
+    fn average_policy_mixes_models() {
+        // Three steps: an arrival sent at t=1 is available at the t=2 step
+        // boundary, where the averaging policy halves it into the local
+        // model — fractional provenance must appear.
+        let (ring, lat) = ring_of(&[1.0, 1.0]);
+        let start = vec![ParamVec::from_vec(vec![0.0, 0.0]); 2];
+        let out = simulate_ring_interval(
+            &ring, &lat, &LinkModel::zero(), start, 3.0,
+            ReceivePolicy::AverageThenTrain, mock_train(2),
+        );
+        let has_fraction = out
+            .final_models
+            .iter()
+            .flat_map(|m| m.as_slice())
+            .any(|&x| x.fract() != 0.0);
+        assert!(has_fraction, "averaging should produce fractional provenance: {:?}", out.final_models);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let (ring, lat) = ring_of(&[1.0, 2.0, 3.0, 5.0]);
+        let run = || {
+            simulate_ring_interval(
+                &ring, &lat, &LinkModel::zero(),
+                vec![ParamVec::zeros(4); 4], 6.0,
+                ReceivePolicy::TrainReceived, mock_train(4),
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.transfers, b.transfers);
+        for (x, y) in a.final_models.iter().zip(&b.final_models) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn salts_are_unique_per_step() {
+        let (ring, lat) = ring_of(&[1.0, 1.0]);
+        let mut salts = Vec::new();
+        let _ = simulate_ring_interval(
+            &ring, &lat, &LinkModel::zero(),
+            vec![ParamVec::zeros(2); 2], 3.0,
+            ReceivePolicy::TrainReceived,
+            |_, m, salt| {
+                salts.push(salt);
+                m.clone()
+            },
+        );
+        let mut dedup = salts.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), salts.len(), "salts must be unique: {salts:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_panics() {
+        let (ring, lat) = ring_of(&[1.0]);
+        let _ = simulate_ring_interval(
+            &ring, &lat, &LinkModel::zero(), vec![ParamVec::zeros(1)], 0.0,
+            ReceivePolicy::TrainReceived, mock_train(1),
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Ring communication topologies (paper §4.1, Eq. 5).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use fedhisyn_simnet::LinkModel;
+
+/// How devices are ordered around a ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RingOrder {
+    /// Ascending local-training time — the paper's choice (Observation 2).
+    SmallToLarge,
+    /// Descending local-training time (the paper's other strong variant).
+    LargeToSmall,
+    /// Random permutation (the paper's weak control in Figure 3).
+    Random,
+}
+
+/// A directed ring over a set of device ids.
+///
+/// `order[p]` is the device at ring position `p`; each device forwards its
+/// trained model to the device at the next position (wrapping).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ring {
+    order: Vec<usize>,
+}
+
+impl Ring {
+    /// Build a ring over `members` (device ids) given each member's
+    /// ordering metric `M_i = t_i + D_{i,i+1}` (Eq. 5).
+    ///
+    /// The paper simplifies to equal inter-device delays, making the
+    /// metric `M_i = t_i`; we honour that by adding the link model's
+    /// *mean* successor delay, which is constant under
+    /// [`LinkModel::Constant`] and therefore cancels in the ordering.
+    pub fn build<R: Rng>(
+        members: &[usize],
+        latencies: &[f64],
+        link: &LinkModel,
+        order: RingOrder,
+        rng: &mut R,
+    ) -> Ring {
+        assert_eq!(members.len(), latencies.len(), "one latency per member");
+        assert!(!members.is_empty(), "a ring needs at least one member");
+        let mut idx: Vec<usize> = (0..members.len()).collect();
+        match order {
+            RingOrder::Random => idx.shuffle(rng),
+            RingOrder::SmallToLarge | RingOrder::LargeToSmall => {
+                // Eq. 5 metric. Successor delays are equal under the
+                // paper's simplification; we use the server-side mean so
+                // Pairwise models still produce a sensible order.
+                let mean_delay = link.server_delay();
+                idx.sort_by(|&a, &b| {
+                    let ma = latencies[a] + mean_delay;
+                    let mb = latencies[b] + mean_delay;
+                    ma.partial_cmp(&mb)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(members[a].cmp(&members[b]))
+                });
+                if order == RingOrder::LargeToSmall {
+                    idx.reverse();
+                }
+            }
+        }
+        Ring { order: idx.into_iter().map(|i| members[i]).collect() }
+    }
+
+    /// Devices in ring order.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Ring size.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when the ring has no members.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The successor of the device at ring position `pos`.
+    pub fn next_position(&self, pos: usize) -> usize {
+        (pos + 1) % self.order.len()
+    }
+
+    /// The device id that follows `device` in the ring.
+    ///
+    /// # Panics
+    /// Panics when `device` is not a ring member.
+    pub fn successor(&self, device: usize) -> usize {
+        let pos = self
+            .order
+            .iter()
+            .position(|&d| d == device)
+            .expect("device not in ring");
+        self.order[self.next_position(pos)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedhisyn_tensor::rng_from_seed;
+
+    #[test]
+    fn small_to_large_sorts_ascending() {
+        let members = vec![10, 20, 30, 40];
+        let lat = vec![4.0, 1.0, 3.0, 2.0];
+        let mut rng = rng_from_seed(0);
+        let ring = Ring::build(&members, &lat, &LinkModel::zero(), RingOrder::SmallToLarge, &mut rng);
+        assert_eq!(ring.order(), &[20, 40, 30, 10]);
+    }
+
+    #[test]
+    fn large_to_small_is_reverse() {
+        let members = vec![10, 20, 30];
+        let lat = vec![1.0, 2.0, 3.0];
+        let mut rng = rng_from_seed(0);
+        let ring = Ring::build(&members, &lat, &LinkModel::zero(), RingOrder::LargeToSmall, &mut rng);
+        assert_eq!(ring.order(), &[30, 20, 10]);
+    }
+
+    #[test]
+    fn random_is_a_permutation() {
+        let members: Vec<usize> = (0..20).collect();
+        let lat = vec![1.0; 20];
+        let mut rng = rng_from_seed(1);
+        let ring = Ring::build(&members, &lat, &LinkModel::zero(), RingOrder::Random, &mut rng);
+        let mut sorted = ring.order().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, members);
+    }
+
+    #[test]
+    fn successor_wraps_around() {
+        let members = vec![5, 6, 7];
+        let lat = vec![1.0, 2.0, 3.0];
+        let mut rng = rng_from_seed(2);
+        let ring = Ring::build(&members, &lat, &LinkModel::zero(), RingOrder::SmallToLarge, &mut rng);
+        // Order: 5, 6, 7; slowest (7) wraps to fastest (5) — the paper's
+        // "device with the longest local training time is connected to the
+        // device with the shortest".
+        assert_eq!(ring.successor(5), 6);
+        assert_eq!(ring.successor(6), 7);
+        assert_eq!(ring.successor(7), 5);
+    }
+
+    #[test]
+    fn singleton_ring_points_to_itself() {
+        let mut rng = rng_from_seed(3);
+        let ring = Ring::build(&[9], &[1.0], &LinkModel::zero(), RingOrder::SmallToLarge, &mut rng);
+        assert_eq!(ring.successor(9), 9);
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    fn equal_latencies_break_ties_by_id() {
+        let members = vec![3, 1, 2];
+        let lat = vec![1.0, 1.0, 1.0];
+        let mut rng = rng_from_seed(4);
+        let ring = Ring::build(&members, &lat, &LinkModel::zero(), RingOrder::SmallToLarge, &mut rng);
+        assert_eq!(ring.order(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn deterministic_random_order_given_seed() {
+        let members: Vec<usize> = (0..10).collect();
+        let lat = vec![1.0; 10];
+        let a = Ring::build(&members, &lat, &LinkModel::zero(), RingOrder::Random, &mut rng_from_seed(5));
+        let b = Ring::build(&members, &lat, &LinkModel::zero(), RingOrder::Random, &mut rng_from_seed(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in ring")]
+    fn successor_of_non_member_panics() {
+        let mut rng = rng_from_seed(6);
+        let ring = Ring::build(&[1], &[1.0], &LinkModel::zero(), RingOrder::SmallToLarge, &mut rng);
+        let _ = ring.successor(2);
+    }
+}

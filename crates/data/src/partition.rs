@@ -1,0 +1,421 @@
+//! Federated data partitioners.
+//!
+//! Given a pooled dataset, a partitioner decides which samples live on
+//! which device. The paper's Non-IID setting is label-skew Dirichlet:
+//! for each class, a proportion vector over devices is drawn from
+//! `Dir(β)` and samples of that class are dealt out accordingly. Smaller
+//! `β` ⇒ more skew; the paper uses β ∈ {0.3, 0.8} plus an IID control.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// A device-assignment strategy for a pooled dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Partition {
+    /// Shuffle and deal samples uniformly (the paper's IID control).
+    Iid,
+    /// Label-skew `Dir(β)` partition (the paper's Non-IID setting).
+    Dirichlet {
+        /// Concentration β > 0; smaller is more skewed.
+        beta: f64,
+    },
+    /// McMahan-style pathological split: sort by label, cut into
+    /// `shards_per_device × devices` shards, deal shards to devices.
+    Shards {
+        /// Number of label-shards each device receives (2 in McMahan et al.).
+        shards_per_device: usize,
+    },
+    /// Quantity skew (Li et al.'s `q ~ Dir(β)` setting): label
+    /// distributions stay IID but device *sizes* follow a Dirichlet draw,
+    /// modelling fleets where some devices hold far more data than others.
+    QuantitySkew {
+        /// Concentration β > 0; smaller is more unbalanced.
+        beta: f64,
+    },
+}
+
+impl Partition {
+    /// Human-readable name used in experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            Partition::Iid => "IID".to_string(),
+            Partition::Dirichlet { beta } => format!("Dirichlet({beta})"),
+            Partition::Shards { shards_per_device } => format!("Shards({shards_per_device})"),
+            Partition::QuantitySkew { beta } => format!("QuantitySkew({beta})"),
+        }
+    }
+}
+
+/// Assign each sample of `data` to one of `n_devices` devices.
+///
+/// Returns per-device index lists into `data`. Every sample is assigned to
+/// exactly one device, and no device is left empty (an empty device would
+/// silently drop out of every algorithm — instead we move one sample from
+/// the largest device, which keeps the conservation invariant testable).
+pub fn partition_indices<R: Rng>(
+    data: &Dataset,
+    n_devices: usize,
+    strategy: Partition,
+    rng: &mut R,
+) -> Vec<Vec<usize>> {
+    assert!(n_devices > 0, "need at least one device");
+    assert!(
+        data.len() >= n_devices,
+        "cannot give {} devices at least one of {} samples",
+        n_devices,
+        data.len()
+    );
+    let mut out = match strategy {
+        Partition::Iid => iid_partition(data.len(), n_devices, rng),
+        Partition::Dirichlet { beta } => dirichlet_partition(data, n_devices, beta, rng),
+        Partition::Shards { shards_per_device } => {
+            shards_partition(data, n_devices, shards_per_device, rng)
+        }
+        Partition::QuantitySkew { beta } => quantity_skew_partition(data, n_devices, beta, rng),
+    };
+    fix_empty_devices(&mut out, rng);
+    out
+}
+
+fn iid_partition<R: Rng>(n: usize, n_devices: usize, rng: &mut R) -> Vec<Vec<usize>> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let mut out = vec![Vec::with_capacity(n / n_devices + 1); n_devices];
+    for (i, sample) in idx.into_iter().enumerate() {
+        out[i % n_devices].push(sample);
+    }
+    out
+}
+
+fn dirichlet_partition<R: Rng>(
+    data: &Dataset,
+    n_devices: usize,
+    beta: f64,
+    rng: &mut R,
+) -> Vec<Vec<usize>> {
+    assert!(beta > 0.0, "Dirichlet beta must be positive");
+    let mut out = vec![Vec::new(); n_devices];
+    // Group sample indices by class.
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); data.classes];
+    for (i, &l) in data.y.iter().enumerate() {
+        by_class[l].push(i);
+    }
+    for idxs in by_class.iter_mut() {
+        if idxs.is_empty() {
+            continue;
+        }
+        idxs.shuffle(rng);
+        let props = sample_dirichlet(beta, n_devices, rng);
+        // Deal samples by cumulative proportion so counts match the draw
+        // as closely as integer rounding allows.
+        let n = idxs.len();
+        let mut cuts: Vec<usize> = Vec::with_capacity(n_devices);
+        let mut acc = 0.0f64;
+        for &p in &props {
+            acc += p;
+            cuts.push(((acc * n as f64).round() as usize).min(n));
+        }
+        let mut start = 0usize;
+        for (d, &end) in cuts.iter().enumerate() {
+            let end = end.max(start);
+            out[d].extend_from_slice(&idxs[start..end]);
+            start = end;
+        }
+        // Rounding may leave a tail — give it to the last device.
+        if start < n {
+            out[n_devices - 1].extend_from_slice(&idxs[start..]);
+        }
+    }
+    out
+}
+
+fn shards_partition<R: Rng>(
+    data: &Dataset,
+    n_devices: usize,
+    shards_per_device: usize,
+    rng: &mut R,
+) -> Vec<Vec<usize>> {
+    assert!(shards_per_device > 0, "need at least one shard per device");
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    idx.sort_by_key(|&i| data.y[i]);
+    let n_shards = n_devices * shards_per_device;
+    let shard_len = data.len() / n_shards;
+    assert!(shard_len > 0, "too many shards for dataset size");
+    let mut shard_ids: Vec<usize> = (0..n_shards).collect();
+    shard_ids.shuffle(rng);
+    let mut out = vec![Vec::with_capacity(shard_len * shards_per_device); n_devices];
+    for (k, &shard) in shard_ids.iter().enumerate() {
+        let device = k / shards_per_device;
+        let lo = shard * shard_len;
+        let hi = if shard == n_shards - 1 { data.len() } else { lo + shard_len };
+        out[device].extend_from_slice(&idx[lo..hi]);
+    }
+    out
+}
+
+fn quantity_skew_partition<R: Rng>(
+    data: &Dataset,
+    n_devices: usize,
+    beta: f64,
+    rng: &mut R,
+) -> Vec<Vec<usize>> {
+    assert!(beta > 0.0, "QuantitySkew beta must be positive");
+    let n = data.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let props = sample_dirichlet(beta, n_devices, rng);
+    let mut out = Vec::with_capacity(n_devices);
+    let mut acc = 0.0f64;
+    let mut start = 0usize;
+    for (d, &p) in props.iter().enumerate() {
+        acc += p;
+        let end = if d == n_devices - 1 { n } else { ((acc * n as f64).round() as usize).min(n) };
+        let end = end.max(start);
+        out.push(idx[start..end].to_vec());
+        start = end;
+    }
+    out
+}
+
+/// Move samples from the largest devices onto empty ones.
+fn fix_empty_devices<R: Rng>(parts: &mut [Vec<usize>], _rng: &mut R) {
+    while let Some(empty) = parts.iter().position(|p| p.is_empty()) {
+        let largest = parts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| p.len())
+            .map(|(i, _)| i)
+            .expect("non-empty partition list");
+        if parts[largest].len() <= 1 {
+            break; // nothing can be moved without creating a new empty
+        }
+        let moved = parts[largest].pop().expect("largest partition non-empty");
+        parts[empty].push(moved);
+    }
+}
+
+/// Draw one `Dir(β, …, β)` proportion vector of length `k`.
+///
+/// Uses the Gamma representation: `x_i ~ Gamma(β, 1)` normalized. Gamma
+/// variates come from Marsaglia–Tsang squeeze for `α ≥ 1`, with the
+/// standard `α < 1` boost (`Gamma(α) = Gamma(α+1)·U^{1/α}`).
+pub fn sample_dirichlet<R: Rng>(beta: f64, k: usize, rng: &mut R) -> Vec<f64> {
+    assert!(beta > 0.0 && k > 0);
+    let mut draws: Vec<f64> = (0..k).map(|_| sample_gamma(beta, rng)).collect();
+    let sum: f64 = draws.iter().sum();
+    if sum <= f64::MIN_POSITIVE {
+        // Pathologically tiny draws (possible for very small β): fall back
+        // to a one-hot on a random coordinate, which is the β→0 limit.
+        let hot = rng.gen_range(0..k);
+        draws.fill(0.0);
+        draws[hot] = 1.0;
+        return draws;
+    }
+    for d in draws.iter_mut() {
+        *d /= sum;
+    }
+    draws
+}
+
+/// Marsaglia–Tsang Gamma(α, 1) sampler.
+fn sample_gamma<R: Rng>(alpha: f64, rng: &mut R) -> f64 {
+    if alpha < 1.0 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(alpha + 1.0, rng) * u.powf(1.0 / alpha);
+    }
+    let d = alpha - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller.
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * z).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * z * z + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedhisyn_tensor::{rng_from_seed, Tensor};
+
+    fn dataset(n: usize, classes: usize) -> Dataset {
+        let x = Tensor::zeros(vec![n, 2]);
+        let y: Vec<usize> = (0..n).map(|i| i % classes).collect();
+        Dataset::new(x, y, classes)
+    }
+
+    fn assert_conservation(parts: &[Vec<usize>], n: usize) {
+        let mut seen = vec![false; n];
+        for p in parts {
+            for &i in p {
+                assert!(!seen[i], "sample {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some sample was dropped");
+    }
+
+    #[test]
+    fn iid_conserves_and_balances() {
+        let d = dataset(100, 10);
+        let mut rng = rng_from_seed(0);
+        let parts = partition_indices(&d, 10, Partition::Iid, &mut rng);
+        assert_conservation(&parts, 100);
+        for p in &parts {
+            assert_eq!(p.len(), 10);
+        }
+    }
+
+    #[test]
+    fn dirichlet_conserves_all_samples() {
+        let d = dataset(500, 10);
+        let mut rng = rng_from_seed(1);
+        for beta in [0.1, 0.3, 0.8, 10.0] {
+            let parts = partition_indices(&d, 20, Partition::Dirichlet { beta }, &mut rng);
+            assert_conservation(&parts, 500);
+            assert!(parts.iter().all(|p| !p.is_empty()));
+        }
+    }
+
+    #[test]
+    fn small_beta_is_more_skewed_than_large() {
+        let d = dataset(2000, 10);
+        let skew = |beta: f64, seed: u64| -> f64 {
+            let mut rng = rng_from_seed(seed);
+            let parts = partition_indices(&d, 10, Partition::Dirichlet { beta }, &mut rng);
+            // Mean over devices of the max class share (1/classes = IID).
+            parts
+                .iter()
+                .map(|p| {
+                    let sub = d.subset(p);
+                    let dist = sub.label_distribution();
+                    dist.into_iter().fold(0.0f64, f64::max)
+                })
+                .sum::<f64>()
+                / 10.0
+        };
+        // Average over seeds to avoid flakiness.
+        let skew_small: f64 = (0..5).map(|s| skew(0.1, s)).sum::<f64>() / 5.0;
+        let skew_large: f64 = (0..5).map(|s| skew(10.0, s)).sum::<f64>() / 5.0;
+        assert!(
+            skew_small > skew_large + 0.1,
+            "Dir(0.1) skew {skew_small} should exceed Dir(10) skew {skew_large}"
+        );
+    }
+
+    #[test]
+    fn shards_gives_few_classes_per_device() {
+        let d = dataset(400, 10);
+        let mut rng = rng_from_seed(2);
+        let parts =
+            partition_indices(&d, 20, Partition::Shards { shards_per_device: 2 }, &mut rng);
+        assert_conservation(&parts, 400);
+        for p in &parts {
+            let classes_held = d
+                .subset(p)
+                .class_histogram()
+                .iter()
+                .filter(|&&c| c > 0)
+                .count();
+            assert!(classes_held <= 4, "shards device saw {classes_held} classes");
+        }
+    }
+
+    #[test]
+    fn no_empty_devices_even_under_extreme_skew() {
+        let d = dataset(60, 3);
+        for seed in 0..10 {
+            let mut rng = rng_from_seed(seed);
+            let parts = partition_indices(&d, 30, Partition::Dirichlet { beta: 0.05 }, &mut rng);
+            assert!(parts.iter().all(|p| !p.is_empty()), "seed {seed} left an empty device");
+            assert_conservation(&parts, 60);
+        }
+    }
+
+    #[test]
+    fn dirichlet_proportions_sum_to_one() {
+        let mut rng = rng_from_seed(3);
+        for beta in [0.05, 0.5, 1.0, 5.0] {
+            let p = sample_dirichlet(beta, 16, &mut rng);
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "beta {beta}: sum {sum}");
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn gamma_mean_matches_alpha() {
+        let mut rng = rng_from_seed(4);
+        for alpha in [0.5f64, 1.0, 2.0, 7.5] {
+            let n = 20_000;
+            let mean: f64 = (0..n).map(|_| sample_gamma(alpha, &mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - alpha).abs() < 0.1 * alpha.max(1.0),
+                "alpha {alpha}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_labels() {
+        assert_eq!(Partition::Iid.label(), "IID");
+        assert_eq!(Partition::Dirichlet { beta: 0.3 }.label(), "Dirichlet(0.3)");
+        assert_eq!(Partition::Shards { shards_per_device: 2 }.label(), "Shards(2)");
+        assert_eq!(Partition::QuantitySkew { beta: 0.5 }.label(), "QuantitySkew(0.5)");
+    }
+
+    #[test]
+    fn quantity_skew_conserves_and_unbalances() {
+        let d = dataset(1000, 10);
+        let mut rng = rng_from_seed(31);
+        let parts =
+            partition_indices(&d, 10, Partition::QuantitySkew { beta: 0.2 }, &mut rng);
+        assert_conservation(&parts, 1000);
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(
+            max > 3 * min.max(1),
+            "Dir(0.2) sizes should be strongly unbalanced: {sizes:?}"
+        );
+    }
+
+    #[test]
+    fn quantity_skew_keeps_labels_roughly_iid() {
+        // Large shards should have near-global label distributions — the
+        // skew is in quantity, not labels.
+        let d = dataset(2000, 10);
+        let mut rng = rng_from_seed(32);
+        let parts =
+            partition_indices(&d, 5, Partition::QuantitySkew { beta: 1.0 }, &mut rng);
+        let global = d.label_distribution();
+        for p in parts.iter().filter(|p| p.len() >= 200) {
+            let shard = d.subset(p).label_distribution();
+            let l1: f64 = shard
+                .iter()
+                .zip(&global)
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            assert!(l1 < 0.3, "large shard should be near-IID, L1={l1}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn more_devices_than_samples_panics() {
+        let d = dataset(5, 2);
+        let mut rng = rng_from_seed(5);
+        let _ = partition_indices(&d, 10, Partition::Iid, &mut rng);
+    }
+}

@@ -1,0 +1,185 @@
+//! Dataset profiles mirroring the paper's four benchmarks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::synth::{InputKind, SynthConfig};
+
+/// Experiment scale: full paper dimensions or a smoke-test reduction.
+///
+/// The paper trained on GPU servers; the reproduction's default targets a
+/// 2-core CI machine, so [`Scale::Smoke`] shrinks feature dimensionality
+/// and sample counts while [`Scale::Paper`] keeps the published ones.
+/// Relative method ordering is preserved at either scale (EXPERIMENTS.md
+/// records both where feasible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Published dimensionality (784-d MLP inputs, 16×16×3 images, 100
+    /// devices).
+    Paper,
+    /// Reduced dimensionality for fast CI runs.
+    Smoke,
+}
+
+/// The four benchmark datasets of the paper (synthetic stand-ins).
+///
+/// Difficulty is ordered `MnistLike < EmnistLike < Cifar10Like <
+/// Cifar100Like` exactly as in the paper (§6.1), via decreasing class
+/// separation and increasing class count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetProfile {
+    /// 10-class, flat features, easy (stand-in for MNIST).
+    MnistLike,
+    /// 26-class, flat features, medium (stand-in for EMNIST-Letters).
+    EmnistLike,
+    /// 10-class, image features, hard (stand-in for CIFAR10).
+    Cifar10Like,
+    /// 100-class, image features, hardest (stand-in for CIFAR100).
+    Cifar100Like,
+}
+
+impl DatasetProfile {
+    /// All four profiles in the paper's order.
+    pub const ALL: [DatasetProfile; 4] = [
+        DatasetProfile::MnistLike,
+        DatasetProfile::EmnistLike,
+        DatasetProfile::Cifar10Like,
+        DatasetProfile::Cifar100Like,
+    ];
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        match self {
+            DatasetProfile::MnistLike => 10,
+            DatasetProfile::EmnistLike => 26,
+            DatasetProfile::Cifar10Like => 10,
+            DatasetProfile::Cifar100Like => 100,
+        }
+    }
+
+    /// Display name used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetProfile::MnistLike => "MNIST",
+            DatasetProfile::EmnistLike => "EMNIST",
+            DatasetProfile::Cifar10Like => "CIFAR-10",
+            DatasetProfile::Cifar100Like => "CIFAR-100",
+        }
+    }
+
+    /// Whether the profile uses image-shaped inputs (CNN models).
+    pub fn is_image(&self) -> bool {
+        matches!(self, DatasetProfile::Cifar10Like | DatasetProfile::Cifar100Like)
+    }
+
+    /// The paper's Table 1 target test accuracy for this dataset.
+    ///
+    /// These are the published targets (96% / 86% / 75% / 33%). At smoke
+    /// scale the harness recalibrates targets from measured baseline
+    /// ceilings; see `fedhisyn-bench`.
+    pub fn paper_target_accuracy(&self) -> f32 {
+        match self {
+            DatasetProfile::MnistLike => 0.96,
+            DatasetProfile::EmnistLike => 0.86,
+            DatasetProfile::Cifar10Like => 0.75,
+            DatasetProfile::Cifar100Like => 0.33,
+        }
+    }
+
+    /// Synthesis configuration at a given scale.
+    ///
+    /// Separation constants are calibrated (see EXPERIMENTS.md §0) so the
+    /// centralized accuracy *ceiling* of each task lands near the paper's
+    /// final accuracies — MNIST ≈ 98%, EMNIST ≈ 88%, CIFAR10 ≈ 80%,
+    /// CIFAR100 ≈ 40% — which is what makes the Table 1 targets and the
+    /// difficulty ordering meaningful on synthetic stand-ins. Note the
+    /// constants are not monotone across input kinds (image tasks need a
+    /// larger raw separation to reach the same ceiling because pooling
+    /// dilutes the per-pixel signal); difficulty is set by the resulting
+    /// ceiling, not by the raw constant.
+    pub fn synth_config(&self, scale: Scale, seed: u64) -> SynthConfig {
+        let input = match (self.is_image(), scale) {
+            (false, Scale::Paper) => InputKind::Flat { dim: 784 },
+            (false, Scale::Smoke) => InputKind::Flat { dim: 32 },
+            (true, Scale::Paper) => InputKind::Image { channels: 3, spatial: 16 },
+            (true, Scale::Smoke) => InputKind::Image { channels: 3, spatial: 8 },
+        };
+        let separation = match self {
+            DatasetProfile::MnistLike => 4.5,
+            DatasetProfile::EmnistLike => 3.9,
+            DatasetProfile::Cifar10Like => 3.6,
+            DatasetProfile::Cifar100Like => 3.7,
+        };
+        let (train_per_class, test_per_class) = match (self, scale) {
+            (DatasetProfile::Cifar100Like, Scale::Paper) => (500, 100),
+            (DatasetProfile::Cifar100Like, Scale::Smoke) => (50, 10),
+            (DatasetProfile::EmnistLike, Scale::Paper) => (1200, 300),
+            (DatasetProfile::EmnistLike, Scale::Smoke) => (150, 40),
+            (_, Scale::Paper) => (1200, 300),
+            (_, Scale::Smoke) => (200, 50),
+        };
+        SynthConfig {
+            classes: self.classes(),
+            input,
+            train_per_class,
+            test_per_class,
+            separation,
+            noise: 1.0,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_counts_match_paper() {
+        assert_eq!(DatasetProfile::MnistLike.classes(), 10);
+        assert_eq!(DatasetProfile::EmnistLike.classes(), 26);
+        assert_eq!(DatasetProfile::Cifar10Like.classes(), 10);
+        assert_eq!(DatasetProfile::Cifar100Like.classes(), 100);
+    }
+
+    #[test]
+    fn targets_match_table1() {
+        assert_eq!(DatasetProfile::MnistLike.paper_target_accuracy(), 0.96);
+        assert_eq!(DatasetProfile::EmnistLike.paper_target_accuracy(), 0.86);
+        assert_eq!(DatasetProfile::Cifar10Like.paper_target_accuracy(), 0.75);
+        assert_eq!(DatasetProfile::Cifar100Like.paper_target_accuracy(), 0.33);
+    }
+
+    #[test]
+    fn difficulty_ordering_within_input_kind() {
+        // Raw separation is only comparable within an input kind (images
+        // need more separation for the same ceiling); check the orderings
+        // that are meaningful.
+        let sep = |p: DatasetProfile| p.synth_config(Scale::Smoke, 0).separation;
+        // Flat: MNIST easier than EMNIST (larger separation, fewer classes).
+        assert!(sep(DatasetProfile::MnistLike) > sep(DatasetProfile::EmnistLike));
+        // Image: CIFAR100 is harder via 10x the classes and far fewer
+        // samples per class, not via separation.
+        assert!(
+            DatasetProfile::Cifar100Like.classes() > DatasetProfile::Cifar10Like.classes()
+        );
+        let c100 = DatasetProfile::Cifar100Like.synth_config(Scale::Smoke, 0);
+        let c10 = DatasetProfile::Cifar10Like.synth_config(Scale::Smoke, 0);
+        assert!(c100.train_per_class < c10.train_per_class);
+    }
+
+    #[test]
+    fn image_flag() {
+        assert!(!DatasetProfile::MnistLike.is_image());
+        assert!(DatasetProfile::Cifar100Like.is_image());
+    }
+
+    #[test]
+    fn smoke_configs_are_smaller() {
+        for p in DatasetProfile::ALL {
+            let paper = p.synth_config(Scale::Paper, 0);
+            let smoke = p.synth_config(Scale::Smoke, 0);
+            assert!(smoke.train_per_class < paper.train_per_class);
+            assert!(smoke.total_input_dim() <= paper.total_input_dim());
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Saturating activations (sigmoid, tanh).
+//!
+//! The paper's models are pure-ReLU, but downstream users composing their
+//! own [`crate::Sequential`] stacks (e.g. the `custom_algorithm` example)
+//! get the classic saturating nonlinearities too.
+
+use fedhisyn_tensor::Tensor;
+
+use crate::layers::Layer;
+
+/// Elementwise logistic sigmoid `σ(x) = 1 / (1 + e^{−x})`.
+///
+/// Backward uses the cached output: `σ'(x) = σ(x)(1 − σ(x))`.
+#[derive(Debug, Clone, Default)]
+pub struct Sigmoid {
+    output: Vec<f32>,
+}
+
+impl Sigmoid {
+    /// New sigmoid layer.
+    pub fn new() -> Self {
+        Sigmoid::default()
+    }
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = input.map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.output.clear();
+        self.output.extend_from_slice(out.data());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.output.len(), "Sigmoid::backward before forward");
+        let mut grad_in = grad_out.clone();
+        for (g, &y) in grad_in.data_mut().iter_mut().zip(&self.output) {
+            *g *= y * (1.0 - y);
+        }
+        grad_in
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+}
+
+/// Elementwise hyperbolic tangent.
+///
+/// Backward uses the cached output: `tanh'(x) = 1 − tanh²(x)`.
+#[derive(Debug, Clone, Default)]
+pub struct Tanh {
+    output: Vec<f32>,
+}
+
+impl Tanh {
+    /// New tanh layer.
+    pub fn new() -> Self {
+        Tanh::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = input.map(f32::tanh);
+        self.output.clear();
+        self.output.extend_from_slice(out.data());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.output.len(), "Tanh::backward before forward");
+        let mut grad_in = grad_out.clone();
+        for (g, &y) in grad_in.data_mut().iter_mut().zip(&self.output) {
+            *g *= 1.0 - y * y;
+        }
+        grad_in
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "tanh"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::testutil::check_input_gradient;
+    use fedhisyn_tensor::rng_from_seed;
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let mut layer = Sigmoid::new();
+        let x = Tensor::from_vec(vec![3], vec![-100.0, 0.0, 100.0]).unwrap();
+        let y = layer.forward(&x);
+        assert!(y.data()[0] < 1e-6);
+        assert!((y.data()[1] - 0.5).abs() < 1e-6);
+        assert!(y.data()[2] > 1.0 - 1e-6);
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        let mut layer = Tanh::new();
+        let x = Tensor::from_vec(vec![2], vec![1.5, -1.5]).unwrap();
+        let y = layer.forward(&x);
+        assert!((y.data()[0] + y.data()[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sigmoid_gradient_matches_finite_difference() {
+        let mut rng = rng_from_seed(0);
+        let mut layer = Sigmoid::new();
+        let x = Tensor::randn(vec![2, 5], 1.0, &mut rng);
+        check_input_gradient(&mut layer, &x, 2e-2);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_finite_difference() {
+        let mut rng = rng_from_seed(1);
+        let mut layer = Tanh::new();
+        let x = Tensor::randn(vec![2, 5], 1.0, &mut rng);
+        check_input_gradient(&mut layer, &x, 2e-2);
+    }
+
+    #[test]
+    fn activations_have_no_params() {
+        assert_eq!(Sigmoid::new().param_count(), 0);
+        assert_eq!(Tanh::new().param_count(), 0);
+    }
+
+    #[test]
+    fn saturated_sigmoid_has_vanishing_gradient() {
+        let mut layer = Sigmoid::new();
+        let x = Tensor::from_vec(vec![1], vec![50.0]).unwrap();
+        let _ = layer.forward(&x);
+        let g = layer.backward(&Tensor::from_vec(vec![1], vec![1.0]).unwrap());
+        assert!(g.data()[0].abs() < 1e-6);
+    }
+}

@@ -1,0 +1,365 @@
+//! 2-D convolution via im2col + GEMM.
+
+use fedhisyn_tensor::{gemm, gemm_nt, gemm_tn, Tensor};
+use rand::Rng;
+
+use crate::init::Init;
+use crate::layers::Layer;
+
+/// 2-D convolution with square kernels, stride 1 and symmetric padding.
+///
+/// Input is `[B, C, H, W]`; output `[B, F, OH, OW]` where
+/// `OH = H + 2·pad − k + 1`. The kernel bank is stored as a `[F, C·k·k]`
+/// matrix so the forward pass is a single GEMM against the im2col buffer —
+/// the standard lowering used by CPU conv implementations.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    pad: usize,
+    /// Cached im2col buffers for the last forward batch (one per sample).
+    cached_cols: Vec<Vec<f32>>,
+    cached_input_hw: (usize, usize),
+}
+
+impl Conv2d {
+    /// Create a convolution layer.
+    pub fn new<R: Rng>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        pad: usize,
+        init: Init,
+        rng: &mut R,
+    ) -> Self {
+        let fan_in = in_channels * kernel * kernel;
+        let fan_out = out_channels * kernel * kernel;
+        let weight = init.sample(vec![out_channels, fan_in], fan_in, fan_out, rng);
+        Conv2d {
+            weight,
+            bias: Tensor::zeros(vec![out_channels]),
+            grad_weight: Tensor::zeros(vec![out_channels, fan_in]),
+            grad_bias: Tensor::zeros(vec![out_channels]),
+            in_channels,
+            out_channels,
+            kernel,
+            pad,
+            cached_cols: Vec::new(),
+            cached_input_hw: (0, 0),
+        }
+    }
+
+    /// Output spatial size for an input spatial size.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        (h + 2 * self.pad + 1 - self.kernel, w + 2 * self.pad + 1 - self.kernel)
+    }
+
+    fn ckk(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Lower one `[C, H, W]` sample into a `[C·k·k, OH·OW]` column matrix.
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    x: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+    cols: &mut [f32],
+) {
+    debug_assert_eq!(x.len(), c * h * w);
+    debug_assert_eq!(cols.len(), c * k * k * oh * ow);
+    let mut r = 0usize;
+    for ci in 0..c {
+        let plane = &x[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..k {
+            for kj in 0..k {
+                let dst = &mut cols[r * oh * ow..(r + 1) * oh * ow];
+                for oy in 0..oh {
+                    let iy = oy as isize + ki as isize - pad as isize;
+                    let dst_row = &mut dst[oy * ow..(oy + 1) * ow];
+                    if iy < 0 || iy >= h as isize {
+                        dst_row.fill(0.0);
+                        continue;
+                    }
+                    let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                    for (ox, d) in dst_row.iter_mut().enumerate() {
+                        let ix = ox as isize + kj as isize - pad as isize;
+                        *d = if ix < 0 || ix >= w as isize { 0.0 } else { src_row[ix as usize] };
+                    }
+                }
+                r += 1;
+            }
+        }
+    }
+}
+
+/// Scatter a `[C·k·k, OH·OW]` column-gradient matrix back onto `[C, H, W]`.
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    cols: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+    x: &mut [f32],
+) {
+    debug_assert_eq!(x.len(), c * h * w);
+    let mut r = 0usize;
+    for ci in 0..c {
+        let plane = &mut x[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..k {
+            for kj in 0..k {
+                let src = &cols[r * oh * ow..(r + 1) * oh * ow];
+                for oy in 0..oh {
+                    let iy = oy as isize + ki as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let dst_row = &mut plane[iy as usize * w..(iy as usize + 1) * w];
+                    let src_row = &src[oy * ow..(oy + 1) * ow];
+                    for (ox, &s) in src_row.iter().enumerate() {
+                        let ix = ox as isize + kj as isize - pad as isize;
+                        if ix >= 0 && ix < w as isize {
+                            dst_row[ix as usize] += s;
+                        }
+                    }
+                }
+                r += 1;
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let dims = input.shape();
+        assert_eq!(dims.len(), 4, "Conv2d expects [B, C, H, W], got {dims:?}");
+        let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        assert_eq!(c, self.in_channels, "Conv2d channel mismatch");
+        let (oh, ow) = self.out_size(h, w);
+        self.cached_input_hw = (h, w);
+
+        let ckk = self.ckk();
+        self.cached_cols.resize(b, Vec::new());
+        let mut out = Tensor::zeros(vec![b, self.out_channels, oh, ow]);
+        let sample_in = c * h * w;
+        let sample_out = self.out_channels * oh * ow;
+        for bi in 0..b {
+            let cols = &mut self.cached_cols[bi];
+            cols.resize(ckk * oh * ow, 0.0);
+            im2col(
+                &input.data()[bi * sample_in..(bi + 1) * sample_in],
+                c, h, w, self.kernel, self.pad, oh, ow, cols,
+            );
+            let out_b = &mut out.data_mut()[bi * sample_out..(bi + 1) * sample_out];
+            gemm(self.weight.data(), cols, out_b, self.out_channels, ckk, oh * ow, 1.0, 0.0);
+            // Per-filter bias over each output plane.
+            for (f, plane) in out_b.chunks_exact_mut(oh * ow).enumerate() {
+                let bias = self.bias.data()[f];
+                if bias != 0.0 {
+                    for v in plane.iter_mut() {
+                        *v += bias;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (h, w) = self.cached_input_hw;
+        assert!(h > 0, "Conv2d::backward before forward");
+        let b = self.cached_cols.len();
+        let (oh, ow) = self.out_size(h, w);
+        let ckk = self.ckk();
+        let sample_out = self.out_channels * oh * ow;
+        assert_eq!(grad_out.len(), b * sample_out, "Conv2d: bad grad_out length");
+
+        let c = self.in_channels;
+        let mut grad_in = Tensor::zeros(vec![b, c, h, w]);
+        let sample_in = c * h * w;
+        let mut dcols = vec![0.0f32; ckk * oh * ow];
+        for bi in 0..b {
+            let gout_b = &grad_out.data()[bi * sample_out..(bi + 1) * sample_out];
+            let cols = &self.cached_cols[bi];
+            // dW += dY_b · colsᵀ   (F×OHOW) · (CKK×OHOW)ᵀ
+            gemm_nt(
+                gout_b,
+                cols,
+                self.grad_weight.data_mut(),
+                self.out_channels,
+                oh * ow,
+                ckk,
+                1.0,
+                1.0,
+            );
+            // db += plane sums of dY_b
+            for (f, plane) in gout_b.chunks_exact(oh * ow).enumerate() {
+                self.grad_bias.data_mut()[f] += plane.iter().sum::<f32>();
+            }
+            // dcols = Wᵀ · dY_b   (F×CKK)ᵀ · (F×OHOW)
+            gemm_tn(
+                self.weight.data(),
+                gout_b,
+                &mut dcols,
+                ckk,
+                self.out_channels,
+                oh * ow,
+                1.0,
+                0.0,
+            );
+            col2im(
+                &dcols,
+                c, h, w, self.kernel, self.pad, oh, ow,
+                &mut grad_in.data_mut()[bi * sample_in..(bi + 1) * sample_in],
+            );
+        }
+        grad_in
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Tensor)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn visit_grads(&self, f: &mut dyn FnMut(&Tensor)) {
+        f(&self.grad_weight);
+        f(&self.grad_bias);
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_weight.fill(0.0);
+        self.grad_bias.fill(0.0);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::testutil::{check_input_gradient, check_param_gradients};
+    use fedhisyn_tensor::rng_from_seed;
+
+    /// Direct (nested-loop) convolution used as a reference.
+    fn reference_conv(
+        x: &[f32], c: usize, h: usize, w: usize,
+        wt: &[f32], f: usize, k: usize, pad: usize, bias: &[f32],
+    ) -> Vec<f32> {
+        let oh = h + 2 * pad + 1 - k;
+        let ow = w + 2 * pad + 1 - k;
+        let mut out = vec![0.0f32; f * oh * ow];
+        for fi in 0..f {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias[fi];
+                    for ci in 0..c {
+                        for ki in 0..k {
+                            for kj in 0..k {
+                                let iy = oy as isize + ki as isize - pad as isize;
+                                let ix = ox as isize + kj as isize - pad as isize;
+                                if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                                    let xv = x[ci * h * w + iy as usize * w + ix as usize];
+                                    let wv = wt[fi * c * k * k + ci * k * k + ki * k + kj];
+                                    acc += xv * wv;
+                                }
+                            }
+                        }
+                    }
+                    out[fi * oh * ow + oy * ow + ox] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_matches_direct_convolution() {
+        let mut rng = rng_from_seed(0);
+        let (c, h, w, f, k, pad) = (2, 5, 5, 3, 3, 1);
+        let mut layer = Conv2d::new(c, f, k, pad, Init::HeNormal, &mut rng);
+        let bias = Tensor::randn(vec![f], 0.5, &mut rng);
+        layer.bias = bias.clone();
+        let x = Tensor::randn(vec![1, c, h, w], 1.0, &mut rng);
+        let got = layer.forward(&x);
+        let expected = reference_conv(x.data(), c, h, w, layer.weight.data(), f, k, pad, bias.data());
+        assert_eq!(got.shape(), &[1, f, h, w]);
+        for (i, (&g, &e)) in got.data().iter().zip(&expected).enumerate() {
+            assert!((g - e).abs() < 1e-4, "elem {i}: {g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn no_padding_shrinks_output() {
+        let mut rng = rng_from_seed(1);
+        let mut layer = Conv2d::new(1, 2, 3, 0, Init::HeNormal, &mut rng);
+        let x = Tensor::randn(vec![2, 1, 6, 6], 1.0, &mut rng);
+        let y = layer.forward(&x);
+        assert_eq!(y.shape(), &[2, 2, 4, 4]);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = rng_from_seed(2);
+        let mut layer = Conv2d::new(2, 3, 3, 1, Init::HeNormal, &mut rng);
+        let x = Tensor::randn(vec![2, 2, 4, 4], 1.0, &mut rng);
+        check_input_gradient(&mut layer, &x, 3e-2);
+    }
+
+    #[test]
+    fn param_gradients_match_finite_difference() {
+        let mut rng = rng_from_seed(3);
+        let mut layer = Conv2d::new(1, 2, 3, 1, Init::HeNormal, &mut rng);
+        let x = Tensor::randn(vec![1, 1, 4, 4], 1.0, &mut rng);
+        check_param_gradients(&mut layer, &x, 3e-2);
+    }
+
+    #[test]
+    fn im2col_col2im_are_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property.
+        let mut rng = rng_from_seed(4);
+        let (c, h, w, k, pad) = (2, 4, 4, 3, 1);
+        let (oh, ow) = (h, w);
+        let x = Tensor::randn(vec![c * h * w], 1.0, &mut rng);
+        let y = Tensor::randn(vec![c * k * k * oh * ow], 1.0, &mut rng);
+        let mut cols = vec![0.0f32; c * k * k * oh * ow];
+        im2col(x.data(), c, h, w, k, pad, oh, ow, &mut cols);
+        let lhs: f32 = cols.iter().zip(y.data()).map(|(&a, &b)| a * b).sum();
+        let mut xt = vec![0.0f32; c * h * w];
+        col2im(y.data(), c, h, w, k, pad, oh, ow, &mut xt);
+        let rhs: f32 = x.data().iter().zip(&xt).map(|(&a, &b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = rng_from_seed(5);
+        let layer = Conv2d::new(3, 8, 5, 2, Init::HeNormal, &mut rng);
+        assert_eq!(layer.param_count(), 8 * 3 * 25 + 8);
+    }
+}

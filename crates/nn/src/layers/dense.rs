@@ -1,0 +1,224 @@
+//! Fully-connected layer.
+
+use fedhisyn_tensor::{gemm_nt, gemm_tn, par_gemm, Tensor};
+use rand::Rng;
+
+use crate::init::Init;
+use crate::layers::Layer;
+
+/// A fully-connected layer: `Y = X · W + b`.
+///
+/// * `X`: `[batch, in_features]`
+/// * `W`: `[in_features, out_features]`
+/// * `b`: `[out_features]`
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+    in_features: usize,
+    out_features: usize,
+}
+
+impl Dense {
+    /// Create a dense layer with the given initialisation for the weights.
+    pub fn new<R: Rng>(in_features: usize, out_features: usize, init: Init, rng: &mut R) -> Self {
+        let weight = init.sample(vec![in_features, out_features], in_features, out_features, rng);
+        Dense {
+            weight,
+            bias: Tensor::zeros(vec![out_features]),
+            grad_weight: Tensor::zeros(vec![in_features, out_features]),
+            grad_bias: Tensor::zeros(vec![out_features]),
+            cached_input: None,
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let batch = input.len() / self.in_features;
+        assert_eq!(
+            batch * self.in_features,
+            input.len(),
+            "Dense: input length {} not divisible by in_features {}",
+            input.len(),
+            self.in_features
+        );
+        let mut out = Tensor::zeros(vec![batch, self.out_features]);
+        par_gemm(
+            input.data(),
+            self.weight.data(),
+            out.data_mut(),
+            batch,
+            self.in_features,
+            self.out_features,
+            1.0,
+            0.0,
+        );
+        // Broadcast-add the bias to every row.
+        let bias = self.bias.data();
+        for row in out.data_mut().chunks_exact_mut(self.out_features) {
+            for (o, &b) in row.iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("Dense::backward called before forward");
+        let batch = input.len() / self.in_features;
+        assert_eq!(grad_out.len(), batch * self.out_features, "Dense: bad grad_out length");
+
+        // dW += Xᵀ · dY
+        gemm_tn(
+            input.data(),
+            grad_out.data(),
+            self.grad_weight.data_mut(),
+            self.in_features,
+            batch,
+            self.out_features,
+            1.0,
+            1.0,
+        );
+        // db += column sums of dY
+        let gb = self.grad_bias.data_mut();
+        for row in grad_out.data().chunks_exact(self.out_features) {
+            for (g, &d) in gb.iter_mut().zip(row) {
+                *g += d;
+            }
+        }
+        // dX = dY · Wᵀ
+        let mut grad_in = Tensor::zeros(vec![batch, self.in_features]);
+        gemm_nt(
+            grad_out.data(),
+            self.weight.data(),
+            grad_in.data_mut(),
+            batch,
+            self.out_features,
+            self.in_features,
+            1.0,
+            0.0,
+        );
+        grad_in
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Tensor)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn visit_grads(&self, f: &mut dyn FnMut(&Tensor)) {
+        f(&self.grad_weight);
+        f(&self.grad_bias);
+    }
+
+    fn zero_grad(&mut self) {
+        self.grad_weight.fill(0.0);
+        self.grad_bias.fill(0.0);
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::testutil::{check_input_gradient, check_param_gradients};
+    use fedhisyn_tensor::rng_from_seed;
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut rng = rng_from_seed(0);
+        let mut layer = Dense::new(2, 3, Init::Zeros, &mut rng);
+        // W = [[1, 2, 3], [4, 5, 6]], b = [0.5, 0.5, 0.5]
+        layer.weight = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        layer.bias = Tensor::from_vec(vec![3], vec![0.5; 3]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2], vec![1., 1.]).unwrap();
+        let y = layer.forward(&x);
+        assert_eq!(y.data(), &[5.5, 7.5, 9.5]);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = rng_from_seed(1);
+        let mut layer = Dense::new(5, 4, Init::HeNormal, &mut rng);
+        let x = Tensor::randn(vec![3, 5], 1.0, &mut rng);
+        check_input_gradient(&mut layer, &x, 2e-2);
+    }
+
+    #[test]
+    fn param_gradients_match_finite_difference() {
+        let mut rng = rng_from_seed(2);
+        let mut layer = Dense::new(4, 3, Init::HeNormal, &mut rng);
+        let x = Tensor::randn(vec![2, 4], 1.0, &mut rng);
+        check_param_gradients(&mut layer, &x, 2e-2);
+    }
+
+    #[test]
+    fn backward_accumulates_until_zero_grad() {
+        let mut rng = rng_from_seed(3);
+        let mut layer = Dense::new(3, 2, Init::HeNormal, &mut rng);
+        let x = Tensor::randn(vec![2, 3], 1.0, &mut rng);
+        let out = layer.forward(&x);
+        let _ = layer.backward(&out);
+        let mut g1 = Vec::new();
+        layer.visit_grads(&mut |g| g1.extend_from_slice(g.data()));
+        let _ = layer.forward(&x);
+        let _ = layer.backward(&out);
+        let mut g2 = Vec::new();
+        layer.visit_grads(&mut |g| g2.extend_from_slice(g.data()));
+        for (a, b) in g1.iter().zip(&g2) {
+            assert!((2.0 * a - b).abs() < 1e-4, "{b} should be 2x {a}");
+        }
+        layer.zero_grad();
+        let mut g3 = Vec::new();
+        layer.visit_grads(&mut |g| g3.extend_from_slice(g.data()));
+        assert!(g3.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn param_count_is_weights_plus_bias() {
+        let mut rng = rng_from_seed(4);
+        let layer = Dense::new(7, 5, Init::HeNormal, &mut rng);
+        assert_eq!(layer.param_count(), 7 * 5 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "before forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = rng_from_seed(5);
+        let mut layer = Dense::new(2, 2, Init::HeNormal, &mut rng);
+        let g = Tensor::zeros(vec![1, 2]);
+        let _ = layer.backward(&g);
+    }
+}

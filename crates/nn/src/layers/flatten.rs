@@ -1,0 +1,77 @@
+//! Flatten `[B, C, H, W]` feature maps into `[B, C·H·W]` rows.
+
+use fedhisyn_tensor::Tensor;
+
+use crate::layers::Layer;
+
+/// Reshapes batch-first feature maps into dense-layer rows.
+///
+/// Data is row-major so no copy is needed beyond the clone; the backward
+/// pass restores the cached input shape.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    input_dims: Vec<usize>,
+}
+
+impl Flatten {
+    /// New flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert!(input.rank() >= 2, "Flatten expects a batch dimension");
+        self.input_dims = input.shape().to_vec();
+        let batch = input.shape()[0];
+        let features = input.len() / batch.max(1);
+        input
+            .reshape(vec![batch, features])
+            .expect("flatten reshape cannot change element count")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert!(!self.input_dims.is_empty(), "Flatten::backward before forward");
+        grad_out
+            .reshape(self.input_dims.clone())
+            .expect("flatten backward reshape cannot change element count")
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_and_restores_shape() {
+        let mut layer = Flatten::new();
+        let x = Tensor::zeros(vec![2, 3, 4, 4]);
+        let y = layer.forward(&x);
+        assert_eq!(y.shape(), &[2, 48]);
+        let g = Tensor::zeros(vec![2, 48]);
+        let gi = layer.backward(&g);
+        assert_eq!(gi.shape(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn preserves_data_order() {
+        let mut layer = Flatten::new();
+        let x = Tensor::from_vec(vec![1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let y = layer.forward(&x);
+        assert_eq!(y.data(), &[1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn stateless_param_count() {
+        assert_eq!(Flatten::new().param_count(), 0);
+    }
+}

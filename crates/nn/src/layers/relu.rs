@@ -1,0 +1,85 @@
+//! Rectified linear activation.
+
+use fedhisyn_tensor::Tensor;
+
+use crate::layers::Layer;
+
+/// Elementwise `max(0, x)` with a cached activation mask for backprop.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    /// True where the forward input was positive.
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// New ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.mask.clear();
+        self.mask.extend(input.data().iter().map(|&x| x > 0.0));
+        input.map(|x| x.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.len(), self.mask.len(), "Relu::backward before forward");
+        let mut grad_in = grad_out.clone();
+        for (g, &m) in grad_in.data_mut().iter_mut().zip(&self.mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+        grad_in
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut layer = Relu::new();
+        let x = Tensor::from_vec(vec![4], vec![-1., 0., 2., -3.]).unwrap();
+        let y = layer.forward(&x);
+        assert_eq!(y.data(), &[0., 0., 2., 0.]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut layer = Relu::new();
+        let x = Tensor::from_vec(vec![4], vec![-1., 0.5, 2., -3.]).unwrap();
+        let _ = layer.forward(&x);
+        let g = Tensor::from_vec(vec![4], vec![1., 1., 1., 1.]).unwrap();
+        let gi = layer.backward(&g);
+        assert_eq!(gi.data(), &[0., 1., 1., 0.]);
+    }
+
+    #[test]
+    fn zero_input_has_zero_gradient() {
+        // Subgradient convention: derivative at exactly 0 is 0.
+        let mut layer = Relu::new();
+        let x = Tensor::from_vec(vec![1], vec![0.]).unwrap();
+        let _ = layer.forward(&x);
+        let g = Tensor::from_vec(vec![1], vec![5.]).unwrap();
+        assert_eq!(layer.backward(&g).data(), &[0.]);
+    }
+
+    #[test]
+    fn has_no_params() {
+        let layer = Relu::new();
+        assert_eq!(layer.param_count(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Sequential model container.
+
+use fedhisyn_tensor::Tensor;
+
+use crate::layers::Layer;
+use crate::params::ParamVec;
+
+/// A stack of layers applied in order.
+///
+/// `Sequential` is the model type every federated device instantiates once;
+/// model *state* moves between devices as flat [`ParamVec`]s via
+/// [`Sequential::params`] / [`Sequential::set_params`], which is exactly the
+/// weight-transfer the paper's ring topology performs.
+#[derive(Clone, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Sequential")
+            .field("layers", &names)
+            .field("param_count", &self.param_count())
+            .finish()
+    }
+}
+
+impl Sequential {
+    /// Empty model.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Append a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Layer names in order (for summaries).
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Forward pass through all layers.
+    pub fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Backward pass; accumulates gradients in each layer.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Reset all gradient accumulators.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+
+    /// Total number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Snapshot all parameters into a flat vector.
+    pub fn params(&self) -> ParamVec {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            layer.visit_params(&mut |t| out.extend_from_slice(t.data()));
+        }
+        ParamVec::from_vec(out)
+    }
+
+    /// Snapshot all gradients into a flat vector (same ordering as params).
+    pub fn grads(&self) -> ParamVec {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            layer.visit_grads(&mut |t| out.extend_from_slice(t.data()));
+        }
+        ParamVec::from_vec(out)
+    }
+
+    /// Load parameters from a flat vector.
+    ///
+    /// # Panics
+    /// Panics when `params` does not match [`Sequential::param_count`].
+    pub fn set_params(&mut self, params: &ParamVec) {
+        assert_eq!(params.len(), self.param_count(), "set_params: size mismatch");
+        let mut offset = 0usize;
+        let data = params.as_slice();
+        for layer in &mut self.layers {
+            layer.visit_params_mut(&mut |t| {
+                let n = t.len();
+                t.data_mut().copy_from_slice(&data[offset..offset + n]);
+                offset += n;
+            });
+        }
+    }
+
+    /// Class predictions (argmax of logits) for a batch.
+    pub fn predict(&mut self, input: &Tensor) -> Vec<usize> {
+        let logits = self.forward(input);
+        let c = *logits.shape().last().expect("logits rank");
+        logits
+            .data()
+            .chunks_exact(c)
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use crate::layers::{Dense, Relu};
+    use fedhisyn_tensor::rng_from_seed;
+
+    fn tiny_model(seed: u64) -> Sequential {
+        let mut rng = rng_from_seed(seed);
+        Sequential::new()
+            .push(Dense::new(4, 8, Init::HeNormal, &mut rng))
+            .push(Relu::new())
+            .push(Dense::new(8, 3, Init::XavierNormal, &mut rng))
+    }
+
+    #[test]
+    fn param_round_trip() {
+        let mut a = tiny_model(0);
+        let b = tiny_model(1);
+        let pb = b.params();
+        a.set_params(&pb);
+        assert_eq!(a.params(), pb);
+    }
+
+    #[test]
+    fn param_count_matches_layers() {
+        let m = tiny_model(0);
+        assert_eq!(m.param_count(), 4 * 8 + 8 + 8 * 3 + 3);
+        assert_eq!(m.params().len(), m.param_count());
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut m = tiny_model(0);
+        let x = Tensor::zeros(vec![5, 4]);
+        let y = m.forward(&x);
+        assert_eq!(y.shape(), &[5, 3]);
+    }
+
+    #[test]
+    fn setting_params_changes_forward() {
+        let mut m = tiny_model(0);
+        let x = Tensor::ones(vec![1, 4]);
+        let y0 = m.forward(&x);
+        let other = tiny_model(9).params();
+        m.set_params(&other);
+        let y1 = m.forward(&x);
+        assert_ne!(y0.data(), y1.data());
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let m = tiny_model(0);
+        let mut c = m.clone();
+        let zeros = ParamVec::zeros(m.param_count());
+        c.set_params(&zeros);
+        assert_ne!(m.params(), c.params());
+    }
+
+    #[test]
+    fn grads_flat_matches_param_layout() {
+        let mut m = tiny_model(0);
+        m.zero_grad();
+        let g = m.grads();
+        assert_eq!(g.len(), m.param_count());
+        assert!(g.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn predict_returns_argmax() {
+        let mut m = Sequential::new();
+        // Identity-ish: single dense with known weights.
+        let mut rng = rng_from_seed(0);
+        let mut d = Dense::new(2, 2, Init::Zeros, &mut rng);
+        d.visit_params_mut(&mut |t| {
+            if t.len() == 4 {
+                t.data_mut().copy_from_slice(&[1.0, 0.0, 0.0, 1.0]);
+            }
+        });
+        m = m.push(d);
+        let x = Tensor::from_vec(vec![2, 2], vec![3., 1., 0., 2.]).unwrap();
+        assert_eq!(m.predict(&x), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn set_params_wrong_size_panics() {
+        let mut m = tiny_model(0);
+        m.set_params(&ParamVec::zeros(3));
+    }
+
+    #[test]
+    fn debug_lists_layers() {
+        let m = tiny_model(0);
+        let dbg = format!("{m:?}");
+        assert!(dbg.contains("dense"));
+        assert!(dbg.contains("relu"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Wire format for model exchange.
+//!
+//! Federated deployments ship weights over the network; this module
+//! defines the compact binary encoding the simulated transfers stand in
+//! for: a fixed header (magic, version, parameter count, seed-checksum)
+//! followed by little-endian `f32` parameters. The byte counts reported by
+//! [`encoded_len`] are what `fedhisyn-simnet`'s byte accounting models.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::params::ParamVec;
+
+/// Magic bytes identifying a FedHiSyn weight frame.
+pub const MAGIC: [u8; 4] = *b"FHSW";
+/// Current wire-format version.
+pub const VERSION: u16 = 1;
+/// Header size in bytes: magic (4) + version (2) + flags (2) + count (8) +
+/// checksum (4).
+pub const HEADER_LEN: usize = 20;
+
+/// Errors produced when decoding a weight frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Frame shorter than a header.
+    Truncated,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u16),
+    /// Payload length disagrees with the header's parameter count.
+    LengthMismatch {
+        /// Parameters promised by the header.
+        expected: usize,
+        /// Parameters actually present.
+        actual: usize,
+    },
+    /// Checksum mismatch (corrupted transfer).
+    BadChecksum,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadMagic => write!(f, "bad magic bytes"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::LengthMismatch { expected, actual } => {
+                write!(f, "payload has {actual} params, header says {expected}")
+            }
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Total encoded size of a model with `params` parameters.
+pub const fn encoded_len(params: usize) -> usize {
+    HEADER_LEN + params * 4
+}
+
+/// FNV-1a over the payload bytes — cheap integrity check, not crypto.
+fn checksum(payload: &[u8]) -> u32 {
+    let mut hash: u32 = 0x811C_9DC5;
+    for &b in payload {
+        hash ^= b as u32;
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
+}
+
+/// Encode a parameter vector into a weight frame.
+pub fn encode(params: &ParamVec) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_len(params.len()));
+    buf.put_slice(&MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u16_le(0); // flags, reserved
+    buf.put_u64_le(params.len() as u64);
+    let mut payload = BytesMut::with_capacity(params.len() * 4);
+    for &x in params.as_slice() {
+        payload.put_f32_le(x);
+    }
+    buf.put_u32_le(checksum(&payload));
+    buf.extend_from_slice(&payload);
+    buf.freeze()
+}
+
+/// Decode a weight frame back into a parameter vector.
+pub fn decode(frame: &[u8]) -> Result<ParamVec, WireError> {
+    if frame.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let mut buf = frame;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let _flags = buf.get_u16_le();
+    let count = buf.get_u64_le() as usize;
+    let expected_payload = count * 4;
+    let stored_checksum = buf.get_u32_le();
+    if buf.remaining() != expected_payload {
+        return Err(WireError::LengthMismatch { expected: count, actual: buf.remaining() / 4 });
+    }
+    if checksum(buf) != stored_checksum {
+        return Err(WireError::BadChecksum);
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(buf.get_f32_le());
+    }
+    Ok(ParamVec::from_vec(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ParamVec {
+        ParamVec::from_vec(vec![1.0, -2.5, 0.0, f32::MAX, f32::MIN_POSITIVE])
+    }
+
+    #[test]
+    fn round_trip_preserves_exact_bits() {
+        let p = sample();
+        let frame = encode(&p);
+        let back = decode(&frame).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn encoded_len_matches_frame_size() {
+        let p = sample();
+        assert_eq!(encode(&p).len(), encoded_len(p.len()));
+        assert_eq!(encoded_len(0), HEADER_LEN);
+    }
+
+    #[test]
+    fn empty_vector_round_trips() {
+        let p = ParamVec::zeros(0);
+        assert_eq!(decode(&encode(&p)).unwrap(), p);
+    }
+
+    #[test]
+    fn truncated_frame_is_rejected() {
+        assert_eq!(decode(&[1, 2, 3]), Err(WireError::Truncated));
+        let frame = encode(&sample());
+        assert!(matches!(
+            decode(&frame[..frame.len() - 1]),
+            Err(WireError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut frame = encode(&sample()).to_vec();
+        frame[0] = b'X';
+        assert_eq!(decode(&frame), Err(WireError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let mut frame = encode(&sample()).to_vec();
+        frame[4] = 99;
+        assert_eq!(decode(&frame), Err(WireError::BadVersion(99)));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut frame = encode(&sample()).to_vec();
+        let last = frame.len() - 1;
+        frame[last] ^= 0xFF;
+        assert_eq!(decode(&frame), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn nan_payloads_round_trip() {
+        let p = ParamVec::from_vec(vec![f32::NAN]);
+        let back = decode(&encode(&p)).unwrap();
+        assert!(back.as_slice()[0].is_nan());
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+        assert!(WireError::BadVersion(7).to_string().contains('7'));
+    }
+}

@@ -1,0 +1,171 @@
+//! Device latency profiles and heterogeneity models.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Static profile of one simulated device.
+///
+/// `train_time` is the virtual seconds the device needs for **one
+/// local-training step** (the paper's `t_i`: `E` local epochs over the
+/// device's shard). The paper's server records this latency and clusters
+/// on it (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// Device index in the fleet.
+    pub id: usize,
+    /// Virtual seconds per local-training step (`t_i`).
+    pub train_time: f64,
+}
+
+impl DeviceProfile {
+    /// New profile.
+    pub fn new(id: usize, train_time: f64) -> Self {
+        assert!(train_time.is_finite() && train_time > 0.0, "train_time must be positive");
+        DeviceProfile { id, train_time }
+    }
+
+    /// How many full local-training steps fit in a window of `interval`
+    /// virtual seconds (at least one is always granted — the paper's Alg. 1
+    /// lets every device finish the step it is on).
+    pub fn steps_within(&self, interval: f64) -> usize {
+        ((interval / self.train_time).floor() as usize).max(1)
+    }
+}
+
+/// How local-training latencies are distributed across the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HeterogeneityModel {
+    /// All devices share one latency (the paper's Figure 2 setting).
+    Homogeneous,
+    /// Latency factor uniform in `[1, h]` — the paper's main setting, with
+    /// `h = t_max / t_min` (Eq. 13); the paper uses `h` up to 20.
+    Uniform {
+        /// Heterogeneity degree `H = t_max / t_min ≥ 1`.
+        h: f64,
+    },
+    /// Two-modal fleet: a fraction of stragglers `h×` slower than the rest
+    /// (used by ablation benches; sharper than the uniform model).
+    Bimodal {
+        /// Heterogeneity degree of stragglers.
+        h: f64,
+        /// Fraction of devices that are stragglers, in `[0, 1]`.
+        straggler_fraction: f64,
+    },
+}
+
+impl HeterogeneityModel {
+    /// `H = t_max / t_min` implied by the model.
+    pub fn degree(&self) -> f64 {
+        match self {
+            HeterogeneityModel::Homogeneous => 1.0,
+            HeterogeneityModel::Uniform { h } => *h,
+            HeterogeneityModel::Bimodal { h, .. } => *h,
+        }
+    }
+}
+
+/// Sample `n` device profiles with base latency `base_time` (the fastest
+/// possible device) under a heterogeneity model.
+pub fn sample_latencies<R: Rng>(
+    n: usize,
+    model: HeterogeneityModel,
+    base_time: f64,
+    rng: &mut R,
+) -> Vec<DeviceProfile> {
+    assert!(n > 0, "need at least one device");
+    assert!(base_time > 0.0, "base_time must be positive");
+    (0..n)
+        .map(|id| {
+            let factor = match model {
+                HeterogeneityModel::Homogeneous => 1.0,
+                HeterogeneityModel::Uniform { h } => {
+                    assert!(h >= 1.0, "heterogeneity degree must be >= 1");
+                    rng.gen_range(1.0..=h)
+                }
+                HeterogeneityModel::Bimodal { h, straggler_fraction } => {
+                    assert!(h >= 1.0, "heterogeneity degree must be >= 1");
+                    assert!((0.0..=1.0).contains(&straggler_fraction));
+                    if rng.gen::<f64>() < straggler_fraction {
+                        h
+                    } else {
+                        1.0
+                    }
+                }
+            };
+            DeviceProfile::new(id, base_time * factor)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn homogeneous_latencies_are_equal() {
+        let profiles = sample_latencies(10, HeterogeneityModel::Homogeneous, 2.0, &mut rng(0));
+        assert!(profiles.iter().all(|p| p.train_time == 2.0));
+        assert_eq!(profiles.len(), 10);
+        assert_eq!(profiles[3].id, 3);
+    }
+
+    #[test]
+    fn uniform_latencies_respect_bounds() {
+        let h = 10.0;
+        let profiles =
+            sample_latencies(1000, HeterogeneityModel::Uniform { h }, 1.0, &mut rng(1));
+        for p in &profiles {
+            assert!(p.train_time >= 1.0 && p.train_time <= h);
+        }
+        let max = profiles.iter().map(|p| p.train_time).fold(0.0, f64::max);
+        let min = profiles.iter().map(|p| p.train_time).fold(f64::MAX, f64::min);
+        assert!(max / min > 5.0, "1000 samples should nearly span the range: {}", max / min);
+    }
+
+    #[test]
+    fn bimodal_has_two_levels() {
+        let profiles = sample_latencies(
+            200,
+            HeterogeneityModel::Bimodal { h: 10.0, straggler_fraction: 0.25 },
+            1.0,
+            &mut rng(2),
+        );
+        let stragglers = profiles.iter().filter(|p| p.train_time == 10.0).count();
+        let fast = profiles.iter().filter(|p| p.train_time == 1.0).count();
+        assert_eq!(stragglers + fast, 200);
+        assert!((30..=70).contains(&stragglers), "got {stragglers} stragglers");
+    }
+
+    #[test]
+    fn steps_within_floor_and_min_one() {
+        let p = DeviceProfile::new(0, 2.0);
+        assert_eq!(p.steps_within(10.0), 5);
+        assert_eq!(p.steps_within(9.9), 4);
+        assert_eq!(p.steps_within(1.0), 1, "every device completes at least one step");
+    }
+
+    #[test]
+    fn degree_reflects_model() {
+        assert_eq!(HeterogeneityModel::Homogeneous.degree(), 1.0);
+        assert_eq!(HeterogeneityModel::Uniform { h: 7.0 }.degree(), 7.0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = sample_latencies(50, HeterogeneityModel::Uniform { h: 5.0 }, 1.0, &mut rng(3));
+        let b = sample_latencies(50, HeterogeneityModel::Uniform { h: 5.0 }, 1.0, &mut rng(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_latency_panics() {
+        let _ = DeviceProfile::new(0, 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Virtual time.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time (seconds of simulated wall-clock).
+///
+/// Wraps `f64` with a *total* ordering (NaN is rejected at construction)
+/// so it can key a `BinaryHeap` without `partial_cmp` unwraps sprinkled
+/// through scheduler code.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from seconds.
+    ///
+    /// # Panics
+    /// Panics on NaN or negative input — virtual time is monotone.
+    pub fn new(seconds: f64) -> Self {
+        assert!(seconds.is_finite(), "SimTime must be finite, got {seconds}");
+        assert!(seconds >= 0.0, "SimTime must be non-negative, got {seconds}");
+        SimTime(seconds)
+    }
+
+    /// Seconds since time zero.
+    #[inline]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Duration until `later` (saturating at zero).
+    pub fn until(self, later: SimTime) -> f64 {
+        (later.0 - self.0).max(0.0)
+    }
+}
+
+impl Eq for SimTime {}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Construction rejects NaN, so partial_cmp cannot fail.
+        self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: f64) -> SimTime {
+        SimTime::new(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+    fn sub(self, rhs: SimTime) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::new(1.5) + 0.5;
+        assert_eq!(t.seconds(), 2.0);
+        assert_eq!(t - SimTime::new(0.5), 1.5);
+        let mut u = SimTime::ZERO;
+        u += 3.0;
+        assert_eq!(u.seconds(), 3.0);
+    }
+
+    #[test]
+    fn until_saturates() {
+        let a = SimTime::new(5.0);
+        let b = SimTime::new(3.0);
+        assert_eq!(a.until(b), 0.0);
+        assert_eq!(b.until(a), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_panics() {
+        let _ = SimTime::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_panics() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::new(1.25).to_string(), "1.250s");
+    }
+}

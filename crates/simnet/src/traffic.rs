@@ -1,0 +1,175 @@
+//! Model-transmission accounting.
+//!
+//! Table 1's headline metric is "number of models transmitted between
+//! devices and the server, relative to one round of FedAvg". The meter
+//! counts every transfer in model-equivalents:
+//!
+//! * a plain weight transfer counts 1.0,
+//! * a SCAFFOLD transfer counts 2.0 (model + control variate, per §6.1),
+//!
+//! and distinguishes server uploads (the paper's costed quantity), server
+//! downloads/broadcasts, and device-to-device ring transfers (free in the
+//! paper's cost model, tracked here for ablations).
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// A point-in-time copy of the meter's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TrafficSnapshot {
+    /// Device→server transfers, in model-equivalents.
+    pub uploads: f64,
+    /// Server→device transfers, in model-equivalents.
+    pub downloads: f64,
+    /// Device→device transfers, in model-equivalents.
+    pub peer_transfers: f64,
+    /// Total parameters moved (uploads + downloads + peers), for byte
+    /// accounting (`×4` for f32).
+    pub parameters_moved: f64,
+}
+
+impl TrafficSnapshot {
+    /// Server-side load: uploads + downloads.
+    pub fn server_models(&self) -> f64 {
+        self.uploads + self.downloads
+    }
+
+    /// Uploads expressed in "FedAvg rounds" of `participants` devices —
+    /// the unit Table 1 reports.
+    pub fn upload_rounds(&self, participants: usize) -> f64 {
+        assert!(participants > 0, "participants must be positive");
+        self.uploads / participants as f64
+    }
+
+    /// Bytes moved assuming 4-byte parameters.
+    pub fn bytes_moved(&self) -> f64 {
+        self.parameters_moved * 4.0
+    }
+}
+
+/// Thread-safe transmission meter shared across simulated devices.
+///
+/// Interior mutability (a `parking_lot::Mutex`) lets rayon-parallel device
+/// updates record transfers without threading `&mut` through every
+/// algorithm; contention is negligible because recording is two adds.
+#[derive(Debug, Default)]
+pub struct TrafficMeter {
+    inner: Mutex<TrafficSnapshot>,
+}
+
+impl TrafficMeter {
+    /// Fresh meter with zero counters.
+    pub fn new() -> Self {
+        TrafficMeter::default()
+    }
+
+    /// Record a device→server upload of `model_equivalents` models, each
+    /// carrying `parameters` parameters.
+    pub fn record_upload(&self, model_equivalents: f64, parameters: usize) {
+        let mut s = self.inner.lock();
+        s.uploads += model_equivalents;
+        s.parameters_moved += model_equivalents * parameters as f64;
+    }
+
+    /// Record a server→device download.
+    pub fn record_download(&self, model_equivalents: f64, parameters: usize) {
+        let mut s = self.inner.lock();
+        s.downloads += model_equivalents;
+        s.parameters_moved += model_equivalents * parameters as f64;
+    }
+
+    /// Record a device→device transfer (ring hop).
+    pub fn record_peer(&self, model_equivalents: f64, parameters: usize) {
+        let mut s = self.inner.lock();
+        s.peer_transfers += model_equivalents;
+        s.parameters_moved += model_equivalents * parameters as f64;
+    }
+
+    /// Copy out the counters.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        *self.inner.lock()
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        *self.inner.lock() = TrafficSnapshot::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = TrafficMeter::new();
+        m.record_upload(1.0, 100);
+        m.record_upload(2.0, 100);
+        m.record_download(1.0, 100);
+        m.record_peer(5.0, 100);
+        let s = m.snapshot();
+        assert_eq!(s.uploads, 3.0);
+        assert_eq!(s.downloads, 1.0);
+        assert_eq!(s.peer_transfers, 5.0);
+        assert_eq!(s.parameters_moved, 900.0);
+        assert_eq!(s.bytes_moved(), 3600.0);
+        assert_eq!(s.server_models(), 4.0);
+    }
+
+    #[test]
+    fn upload_rounds_normalizes() {
+        let m = TrafficMeter::new();
+        m.record_upload(50.0, 10);
+        assert_eq!(m.snapshot().upload_rounds(10), 5.0);
+    }
+
+    #[test]
+    fn scaffold_double_counting() {
+        let m = TrafficMeter::new();
+        // SCAFFOLD moves model + control variate: 2 model-equivalents.
+        m.record_upload(2.0, 1000);
+        assert_eq!(m.snapshot().uploads, 2.0);
+        assert_eq!(m.snapshot().parameters_moved, 2000.0);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let m = TrafficMeter::new();
+        m.record_upload(1.0, 1);
+        m.reset();
+        assert_eq!(m.snapshot(), TrafficSnapshot::default());
+    }
+
+    #[test]
+    fn meter_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TrafficMeter>();
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        use std::sync::Arc;
+        let m = Arc::new(TrafficMeter::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.record_peer(1.0, 10);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("thread panicked");
+        }
+        assert_eq!(m.snapshot().peer_transfers, 4000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_participants_panics() {
+        let s = TrafficSnapshot::default();
+        let _ = s.upload_rounds(0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type for tensor operations.
+
+use std::fmt;
+
+/// Errors raised by tensor constructors and kernels.
+///
+/// All shape-sensitive entry points validate their inputs and return
+/// `TensorError` instead of panicking, so federated-simulation code can
+/// surface configuration mistakes (e.g. a model/dataset dimensionality
+/// mismatch) as ordinary `Result`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of data elements does not match the product of the shape.
+    LengthMismatch {
+        /// Expected element count (product of dims).
+        expected: usize,
+        /// Provided element count.
+        actual: usize,
+    },
+    /// Two tensors that must share a shape do not.
+    ShapeMismatch {
+        /// Left-hand shape.
+        left: Vec<usize>,
+        /// Right-hand shape.
+        right: Vec<usize>,
+    },
+    /// Inner dimensions of a matrix product disagree.
+    InnerDimMismatch {
+        /// Inner dimension of the left operand.
+        left_inner: usize,
+        /// Inner dimension of the right operand.
+        right_inner: usize,
+    },
+    /// The operation requires a matrix (rank-2 tensor).
+    NotAMatrix {
+        /// Rank that was actually supplied.
+        rank: usize,
+    },
+    /// A reshape changed the total number of elements.
+    BadReshape {
+        /// Element count before reshape.
+        from: usize,
+        /// Element count requested.
+        to: usize,
+    },
+    /// An empty shape or zero-sized dimension where one is not allowed.
+    EmptyTensor,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape product {expected}")
+            }
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::InnerDimMismatch { left_inner, right_inner } => {
+                write!(f, "matmul inner dims disagree: {left_inner} vs {right_inner}")
+            }
+            TensorError::NotAMatrix { rank } => {
+                write!(f, "expected a rank-2 tensor, got rank {rank}")
+            }
+            TensorError::BadReshape { from, to } => {
+                write!(f, "reshape changes element count: {from} -> {to}")
+            }
+            TensorError::EmptyTensor => write!(f, "operation on empty tensor"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        assert!(e.to_string().contains('6'));
+        assert!(e.to_string().contains('5'));
+
+        let e = TensorError::ShapeMismatch { left: vec![2, 3], right: vec![3, 2] };
+        assert!(e.to_string().contains("[2, 3]"));
+
+        let e = TensorError::InnerDimMismatch { left_inner: 3, right_inner: 4 };
+        assert!(e.to_string().contains("inner"));
+
+        let e = TensorError::NotAMatrix { rank: 3 };
+        assert!(e.to_string().contains("rank 3"));
+
+        let e = TensorError::BadReshape { from: 6, to: 7 };
+        assert!(e.to_string().contains("6 -> 7"));
+
+        assert!(TensorError::EmptyTensor.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&TensorError::EmptyTensor);
+    }
+}

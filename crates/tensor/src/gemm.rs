@@ -1,0 +1,309 @@
+//! GEMM kernels in the three orientations required by backpropagation.
+//!
+//! * `gemm`    — `C = α·A·B + β·C` with `A:[m,k]`, `B:[k,n]` (forward pass)
+//! * `gemm_nt` — `C = α·A·Bᵀ + β·C` with `A:[m,k]`, `B:[n,k]` (input grads)
+//! * `gemm_tn` — `C = α·Aᵀ·B + β·C` with `A:[k,m]`, `B:[k,n]` (weight grads)
+//!
+//! All kernels run on row-major slices. `gemm` and `gemm_tn` use an `i-p-j`
+//! loop order whose inner loop is a contiguous `axpy` over a row of `C`;
+//! `gemm_nt` reduces rows against rows. Both patterns stream memory
+//! contiguously so LLVM vectorizes them without manual SIMD.
+//!
+//! [`par_gemm`] splits the rows of `C` across the rayon pool; per-row work
+//! is independent so the result is bit-identical to the serial kernel,
+//! preserving the workspace-wide determinism guarantee.
+
+use rayon::prelude::*;
+
+use crate::{Result, Tensor, TensorError};
+
+/// Minimum number of `m·k·n` multiply-adds before [`par_gemm`] fans out to
+/// the rayon pool; below this the fork/join overhead dominates.
+const PAR_FLOP_THRESHOLD: usize = 1 << 18;
+
+/// `C = alpha * A @ B + beta * C` on raw row-major slices.
+///
+/// `a` is `[m, k]`, `b` is `[k, n]`, `c` is `[m, n]`.
+///
+/// # Panics
+/// Panics if slice lengths do not match the given dimensions.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature, on purpose
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, alpha: f32, beta: f32) {
+    assert_eq!(a.len(), m * k, "gemm: bad A length");
+    assert_eq!(b.len(), k * n, "gemm: bad B length");
+    assert_eq!(c.len(), m * n, "gemm: bad C length");
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        gemm_row(arow, b, crow, k, n, alpha, beta);
+    }
+}
+
+/// One row of the `gemm` kernel: `crow = alpha * arow @ B + beta * crow`.
+#[inline]
+fn gemm_row(arow: &[f32], b: &[f32], crow: &mut [f32], k: usize, n: usize, alpha: f32, beta: f32) {
+    if beta == 0.0 {
+        crow.fill(0.0);
+    } else if beta != 1.0 {
+        for cv in crow.iter_mut() {
+            *cv *= beta;
+        }
+    }
+    for (p, &ap) in arow.iter().enumerate().take(k) {
+        let f = alpha * ap;
+        if f == 0.0 {
+            continue;
+        }
+        let brow = &b[p * n..(p + 1) * n];
+        for (cv, &bv) in crow.iter_mut().zip(brow) {
+            *cv += f * bv;
+        }
+    }
+}
+
+/// Parallel version of [`gemm`]: rows of `C` are distributed over rayon.
+///
+/// Falls back to the serial kernel for small problems where the fork/join
+/// overhead exceeds the arithmetic. Results are bit-identical to [`gemm`].
+#[allow(clippy::too_many_arguments)] // BLAS-style signature, on purpose
+pub fn par_gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, alpha: f32, beta: f32) {
+    assert_eq!(a.len(), m * k, "par_gemm: bad A length");
+    assert_eq!(b.len(), k * n, "par_gemm: bad B length");
+    assert_eq!(c.len(), m * n, "par_gemm: bad C length");
+    if m * k * n < PAR_FLOP_THRESHOLD || m < 2 {
+        gemm(a, b, c, m, k, n, alpha, beta);
+        return;
+    }
+    c.par_chunks_mut(n)
+        .zip(a.par_chunks(k))
+        .for_each(|(crow, arow)| gemm_row(arow, b, crow, k, n, alpha, beta));
+}
+
+/// `C = alpha * A @ Bᵀ + beta * C`; `a` is `[m, k]`, `b` is `[n, k]`, `c` is `[m, n]`.
+///
+/// Computes `c[i, j] = Σ_p a[i, p] · b[j, p]` — a dot product of two
+/// contiguous rows, the natural orientation for input-gradient passes
+/// (`dX = dY @ Wᵀ`).
+#[allow(clippy::too_many_arguments)] // BLAS-style signature, on purpose
+pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, alpha: f32, beta: f32) {
+    assert_eq!(a.len(), m * k, "gemm_nt: bad A length");
+    assert_eq!(b.len(), n * k, "gemm_nt: bad B length");
+    assert_eq!(c.len(), m * n, "gemm_nt: bad C length");
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let d: f32 = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+            let cv = &mut c[i * n + j];
+            *cv = alpha * d + beta * *cv;
+        }
+    }
+}
+
+/// `C = alpha * Aᵀ @ B + beta * C`; `a` is `[k, m]`, `b` is `[k, n]`, `c` is `[m, n]`.
+///
+/// Computes `c[i, j] = Σ_p a[p, i] · b[p, j]` by streaming over `p` and
+/// accumulating rank-1 updates — the orientation of weight-gradient passes
+/// (`dW = Xᵀ @ dY`).
+#[allow(clippy::too_many_arguments)] // BLAS-style signature, on purpose
+pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, alpha: f32, beta: f32) {
+    assert_eq!(a.len(), k * m, "gemm_tn: bad A length");
+    assert_eq!(b.len(), k * n, "gemm_tn: bad B length");
+    assert_eq!(c.len(), m * n, "gemm_tn: bad C length");
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for cv in c.iter_mut() {
+            *cv *= beta;
+        }
+    }
+    for p in 0..k {
+        let arow = &a[p * m..(p + 1) * m];
+        let brow = &b[p * n..(p + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            let f = alpha * av;
+            if f == 0.0 {
+                continue;
+            }
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += f * bv;
+            }
+        }
+    }
+}
+
+/// Matrix product of two rank-≤2 tensors: `A[m,k] @ B[k,n] -> [m,n]`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = a.shape_obj().as_matrix()?;
+    let (kb, n) = b.shape_obj().as_matrix()?;
+    if ka != kb {
+        return Err(TensorError::InnerDimMismatch { left_inner: ka, right_inner: kb });
+    }
+    let mut out = Tensor::zeros(vec![m, n]);
+    par_gemm(a.data(), b.data(), out.data_mut(), m, ka, n, 1.0, 0.0);
+    Ok(out)
+}
+
+/// `A[m,k] @ B[n,k]ᵀ -> [m,n]` on tensors.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, ka) = a.shape_obj().as_matrix()?;
+    let (n, kb) = b.shape_obj().as_matrix()?;
+    if ka != kb {
+        return Err(TensorError::InnerDimMismatch { left_inner: ka, right_inner: kb });
+    }
+    let mut out = Tensor::zeros(vec![m, n]);
+    gemm_nt(a.data(), b.data(), out.data_mut(), m, ka, n, 1.0, 0.0);
+    Ok(out)
+}
+
+/// `A[k,m]ᵀ @ B[k,n] -> [m,n]` on tensors.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (ka, m) = a.shape_obj().as_matrix()?;
+    let (kb, n) = b.shape_obj().as_matrix()?;
+    if ka != kb {
+        return Err(TensorError::InnerDimMismatch { left_inner: ka, right_inner: kb });
+    }
+    let mut out = Tensor::zeros(vec![m, n]);
+    gemm_tn(a.data(), b.data(), out.data_mut(), m, ka, n, 1.0, 0.0);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Naive triple-loop reference used to validate the optimized kernels.
+    fn reference_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn random_mat(m: usize, n: usize, seed: u64) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::randn(vec![m, n], 1.0, &mut rng)
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "elem {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_matches_reference() {
+        for &(m, k, n) in &[(1usize, 1usize, 1usize), (2, 3, 4), (5, 7, 3), (16, 16, 16), (33, 17, 9)] {
+            let a = random_mat(m, k, 1);
+            let b = random_mat(k, n, 2);
+            let expected = reference_gemm(a.data(), b.data(), m, k, n);
+            let got = matmul(&a, &b).unwrap();
+            assert_close(got.data(), &expected, 1e-5);
+        }
+    }
+
+    #[test]
+    fn par_gemm_bit_identical_to_serial() {
+        let (m, k, n) = (96, 80, 72); // above the parallel threshold
+        let a = random_mat(m, k, 3);
+        let b = random_mat(k, n, 4);
+        let mut c_serial = vec![0.0f32; m * n];
+        gemm(a.data(), b.data(), &mut c_serial, m, k, n, 1.0, 0.0);
+        let mut c_par = vec![0.0f32; m * n];
+        par_gemm(a.data(), b.data(), &mut c_par, m, k, n, 1.0, 0.0);
+        assert_eq!(c_serial, c_par, "parallel kernel must be bit-identical");
+    }
+
+    #[test]
+    fn gemm_nt_matches_reference() {
+        let (m, k, n) = (4, 6, 5);
+        let a = random_mat(m, k, 5);
+        let bt = random_mat(n, k, 6);
+        // Build B from Bᵀ to reuse the reference kernel.
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = bt.data()[j * k + p];
+            }
+        }
+        let expected = reference_gemm(a.data(), &b, m, k, n);
+        let got = matmul_nt(&a, &bt).unwrap();
+        assert_close(got.data(), &expected, 1e-5);
+    }
+
+    #[test]
+    fn gemm_tn_matches_reference() {
+        let (m, k, n) = (4, 6, 5);
+        let at = random_mat(k, m, 7);
+        let b = random_mat(k, n, 8);
+        let mut a = vec![0.0f32; m * k];
+        for i in 0..m {
+            for p in 0..k {
+                a[i * k + p] = at.data()[p * m + i];
+            }
+        }
+        let expected = reference_gemm(&a, b.data(), m, k, n);
+        let got = matmul_tn(&at, &b).unwrap();
+        assert_close(got.data(), &expected, 1e-5);
+    }
+
+    #[test]
+    fn alpha_beta_semantics() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        // 1x2 @ 2x1 = [11]
+        let mut c = [10.0f32];
+        gemm(&a, &b, &mut c, 1, 2, 1, 2.0, 0.5);
+        // 2 * 11 + 0.5 * 10 = 27
+        assert_eq!(c[0], 27.0);
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan() {
+        let a = [1.0f32];
+        let b = [1.0f32];
+        let mut c = [f32::NAN];
+        gemm(&a, &b, &mut c, 1, 1, 1, 1.0, 0.0);
+        assert_eq!(c[0], 1.0, "beta=0 must clobber NaN contents");
+    }
+
+    #[test]
+    fn vector_is_treated_as_row() {
+        let v = Tensor::from_vec(vec![3], vec![1., 2., 3.]).unwrap();
+        let m = Tensor::from_vec(vec![3, 2], vec![1., 0., 0., 1., 1., 1.]).unwrap();
+        let out = matmul(&v, &m).unwrap();
+        assert_eq!(out.shape(), &[1, 2]);
+        assert_eq!(out.data(), &[4., 5.]);
+    }
+
+    #[test]
+    fn inner_dim_mismatch_is_error() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        assert!(matmul_nt(&a, &Tensor::zeros(vec![2, 4])).is_err());
+        assert!(matmul_tn(&a, &Tensor::zeros(vec![4, 2])).is_err());
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = random_mat(8, 8, 11);
+        let mut eye = Tensor::zeros(vec![8, 8]);
+        for i in 0..8 {
+            *eye.at_mut(&[i, i]) = 1.0;
+        }
+        let out = matmul(&a, &eye).unwrap();
+        assert_close(out.data(), a.data(), 1e-6);
+    }
+}

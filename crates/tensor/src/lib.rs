@@ -1,0 +1,41 @@
+//! Dense `f32` tensors and the parallel compute kernels used throughout the
+//! FedHiSyn reproduction.
+//!
+//! The paper's models (an MLP for MNIST/EMNIST-like tasks and a small CNN
+//! for CIFAR-like tasks) only need a handful of primitives: row-major dense
+//! storage, GEMM in the three orientations required by backpropagation
+//! (`A·B`, `Aᵀ·B`, `A·Bᵀ`), elementwise arithmetic, reductions, and seeded
+//! random initialisation. Everything is `f32` — federated averaging is
+//! tolerant to single precision and it halves memory traffic relative to
+//! `f64`, which matters when 100 simulated devices train concurrently.
+//!
+//! # Example
+//!
+//! ```
+//! use fedhisyn_tensor::{Tensor, matmul};
+//!
+//! let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+//! let b = Tensor::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+//! let c = matmul(&a, &b).unwrap();
+//! assert_eq!(c.shape(), &[2, 2]);
+//! assert_eq!(c.data(), &[58., 64., 139., 154.]);
+//! ```
+
+mod error;
+mod gemm;
+pub mod ops;
+mod rng;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use gemm::{gemm, gemm_nt, gemm_tn, matmul, matmul_nt, matmul_tn, par_gemm};
+pub use ops::{
+    add, add_assign, axpy, dot, hadamard, l2_norm, lerp, scale, scale_assign, sub, sub_assign,
+};
+pub use rng::{fill_normal, fill_uniform, normal_f32, rng_from_seed, TensorRng};
+pub use shape::{num_elements, Shape};
+pub use tensor::Tensor;
+
+/// Library result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,173 @@
+//! Shape arithmetic for row-major dense tensors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::TensorError;
+
+/// Multiply dimensions together, i.e. the number of elements a shape holds.
+///
+/// An empty dimension list denotes a scalar and yields `1`.
+#[inline]
+pub fn num_elements(dims: &[usize]) -> usize {
+    dims.iter().product()
+}
+
+/// A row-major tensor shape.
+///
+/// Stores the dimension list plus the derived strides so that repeated
+/// index computations (hot in the im2col convolution path) do not need to
+/// recompute suffix products.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+    strides: Vec<usize>,
+}
+
+impl Shape {
+    /// Build a shape from a dimension list.
+    pub fn new(dims: Vec<usize>) -> Self {
+        let strides = row_major_strides(&dims);
+        Shape { dims, strides }
+    }
+
+    /// The dimension list.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Row-major strides (in elements, not bytes).
+    #[inline]
+    pub fn strides(&self) -> &[usize] {
+        &self.strides
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        num_elements(&self.dims)
+    }
+
+    /// True when the shape contains no elements (some dimension is zero).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear offset of a multi-dimensional index.
+    ///
+    /// Debug builds assert the index is in range; release builds rely on the
+    /// caller (slice indexing still bounds-checks the final access).
+    #[inline]
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        debug_assert!(
+            index.iter().zip(&self.dims).all(|(i, d)| i < d),
+            "index {index:?} out of bounds for dims {:?}",
+            self.dims
+        );
+        index.iter().zip(&self.strides).map(|(i, s)| i * s).sum()
+    }
+
+    /// Interpret this shape as a matrix, returning `(rows, cols)`.
+    ///
+    /// Rank-1 tensors are viewed as a single row.
+    pub fn as_matrix(&self) -> Result<(usize, usize), TensorError> {
+        match self.dims.as_slice() {
+            [n] => Ok((1, *n)),
+            [r, c] => Ok((*r, *c)),
+            _ => Err(TensorError::NotAMatrix { rank: self.rank() }),
+        }
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+fn row_major_strides(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    strides
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.strides(), &[12, 4, 1]);
+        assert_eq!(s.len(), 24);
+        assert_eq!(s.rank(), 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(vec![]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rank(), 0);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn zero_dim_is_empty() {
+        let s = Shape::new(vec![3, 0, 2]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn offset_matches_manual_computation() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.offset(&[0, 0, 0]), 0);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+        assert_eq!(s.offset(&[0, 1, 2]), 6);
+    }
+
+    #[test]
+    fn as_matrix_accepts_vectors_and_matrices() {
+        assert_eq!(Shape::new(vec![5]).as_matrix().unwrap(), (1, 5));
+        assert_eq!(Shape::new(vec![4, 7]).as_matrix().unwrap(), (4, 7));
+        assert!(Shape::new(vec![2, 2, 2]).as_matrix().is_err());
+    }
+
+    #[test]
+    fn from_slice_and_vec_agree() {
+        let dims = [3usize, 5];
+        let a = Shape::from(dims.as_slice());
+        let b = Shape::from(vec![3usize, 5]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn num_elements_of_empty_list_is_one() {
+        assert_eq!(num_elements(&[]), 1);
+        assert_eq!(num_elements(&[2, 3]), 6);
+    }
+
+    #[test]
+    fn clone_preserves_strides() {
+        let s = Shape::new(vec![6, 2]);
+        let c = s.clone();
+        assert_eq!(c.strides(), s.strides());
+        assert_eq!(c.dims(), s.dims());
+    }
+}

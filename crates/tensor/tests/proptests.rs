@@ -1,0 +1,127 @@
+//! Property-based tests for tensor algebra invariants.
+
+use fedhisyn_tensor::{
+    add, axpy, dot, gemm, hadamard, l2_norm, lerp, matmul, scale, sub, Tensor,
+};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    // Bounded range keeps accumulated rounding error proportional to inputs.
+    -100.0f32..100.0f32
+}
+
+fn tensor1d(len: usize) -> impl Strategy<Value = Tensor> {
+    pvec(finite_f32(), len..=len).prop_map(move |v| Tensor::from_vec(vec![len], v).unwrap())
+}
+
+fn close(a: f32, b: f32, tol: f32) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+fn all_close(a: &[f32], b: &[f32], tol: f32) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(&x, &y)| close(x, y, tol))
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in tensor1d(16), b in tensor1d(16)) {
+        let ab = add(&a, &b).unwrap();
+        let ba = add(&b, &a).unwrap();
+        prop_assert_eq!(ab.data(), ba.data());
+    }
+
+    #[test]
+    fn add_then_sub_round_trips(a in tensor1d(16), b in tensor1d(16)) {
+        let s = add(&a, &b).unwrap();
+        let r = sub(&s, &b).unwrap();
+        prop_assert!(all_close(r.data(), a.data(), 1e-4));
+    }
+
+    #[test]
+    fn scale_distributes_over_add(a in tensor1d(8), b in tensor1d(8), alpha in -10.0f32..10.0) {
+        let lhs = scale(&add(&a, &b).unwrap(), alpha);
+        let rhs = add(&scale(&a, alpha), &scale(&b, alpha)).unwrap();
+        prop_assert!(all_close(lhs.data(), rhs.data(), 1e-4));
+    }
+
+    #[test]
+    fn hadamard_with_ones_is_identity(a in tensor1d(12)) {
+        let ones = Tensor::ones(vec![12]);
+        let h = hadamard(&a, &ones).unwrap();
+        prop_assert_eq!(h.data(), a.data());
+    }
+
+    #[test]
+    fn dot_is_symmetric(a in pvec(finite_f32(), 10), b in pvec(finite_f32(), 10)) {
+        prop_assert!(close(dot(&a, &b), dot(&b, &a), 1e-5));
+    }
+
+    #[test]
+    fn cauchy_schwarz(a in pvec(finite_f32(), 10), b in pvec(finite_f32(), 10)) {
+        let d = dot(&a, &b).abs();
+        let bound = l2_norm(&a) * l2_norm(&b);
+        prop_assert!(d <= bound * (1.0 + 1e-4) + 1e-3, "{d} > {bound}");
+    }
+
+    #[test]
+    fn axpy_zero_alpha_is_noop(x in pvec(finite_f32(), 10), y in pvec(finite_f32(), 10)) {
+        let mut y2 = y.clone();
+        axpy(0.0, &x, &mut y2);
+        prop_assert_eq!(y2, y);
+    }
+
+    #[test]
+    fn lerp_stays_in_segment(x in pvec(finite_f32(), 6), y in pvec(finite_f32(), 6), t in 0.0f32..=1.0) {
+        let mut z = y.clone();
+        lerp(&mut z, &x, t);
+        for ((&zi, &xi), &yi) in z.iter().zip(&x).zip(&y) {
+            let lo = xi.min(yi) - 1e-3;
+            let hi = xi.max(yi) + 1e-3;
+            prop_assert!(zi >= lo && zi <= hi, "{zi} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn matmul_identity_right(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let mut rng = fedhisyn_tensor::rng_from_seed(seed);
+        let a = Tensor::randn(vec![rows, cols], 1.0, &mut rng);
+        let mut eye = Tensor::zeros(vec![cols, cols]);
+        for i in 0..cols { *eye.at_mut(&[i, i]) = 1.0; }
+        let out = matmul(&a, &eye).unwrap();
+        prop_assert!(all_close(out.data(), a.data(), 1e-5));
+    }
+
+    #[test]
+    fn matmul_linear_in_first_arg(seed in 0u64..1000, alpha in -5.0f32..5.0) {
+        let mut rng = fedhisyn_tensor::rng_from_seed(seed);
+        let a = Tensor::randn(vec![3, 4], 1.0, &mut rng);
+        let b = Tensor::randn(vec![4, 2], 1.0, &mut rng);
+        let lhs = matmul(&scale(&a, alpha), &b).unwrap();
+        let rhs = scale(&matmul(&a, &b).unwrap(), alpha);
+        prop_assert!(all_close(lhs.data(), rhs.data(), 1e-3));
+    }
+
+    #[test]
+    fn gemm_accumulates_with_beta_one(seed in 0u64..1000) {
+        let mut rng = fedhisyn_tensor::rng_from_seed(seed);
+        let a = Tensor::randn(vec![3, 3], 1.0, &mut rng);
+        let b = Tensor::randn(vec![3, 3], 1.0, &mut rng);
+        // C = A@B computed once with beta=0, then again accumulated on top:
+        // result must be exactly 2 * (A@B).
+        let mut c = vec![0.0f32; 9];
+        gemm(a.data(), b.data(), &mut c, 3, 3, 3, 1.0, 0.0);
+        let once = c.clone();
+        gemm(a.data(), b.data(), &mut c, 3, 3, 3, 1.0, 1.0);
+        let doubled: Vec<f32> = once.iter().map(|&x| 2.0 * x).collect();
+        prop_assert!(all_close(&c, &doubled, 1e-5));
+    }
+
+    #[test]
+    fn reshape_preserves_data(len in 1usize..64) {
+        let v: Vec<f32> = (0..len).map(|i| i as f32).collect();
+        let t = Tensor::from_vec(vec![len], v.clone()).unwrap();
+        let r = t.reshape(vec![len, 1]).unwrap();
+        prop_assert_eq!(r.data(), v.as_slice());
+    }
+}

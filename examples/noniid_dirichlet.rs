@@ -1,0 +1,66 @@
+//! Sweep the Dirichlet concentration β and watch the non-IID penalty.
+//!
+//! The paper's Table 1 moves from IID through Dirichlet(0.8) to
+//! Dirichlet(0.3); this example reproduces that axis on one dataset and
+//! reports both the label-divergence statistic (Eq. 4) and the final
+//! accuracies of FedHiSyn and FedAvg.
+//!
+//! ```sh
+//! cargo run --release --example noniid_dirichlet
+//! ```
+
+use fedhisyn::core::local;
+use fedhisyn::data::stats::mean_label_divergence;
+use fedhisyn::data::{partition_indices, DatasetProfile, Scale};
+use fedhisyn::prelude::*;
+use fedhisyn::tensor::rng_from_seed;
+
+fn main() {
+    let partitions = [
+        Partition::Iid,
+        Partition::Dirichlet { beta: 0.8 },
+        Partition::Dirichlet { beta: 0.3 },
+        Partition::Dirichlet { beta: 0.1 },
+    ];
+
+    println!("== Non-IID sweep (EMNIST-like, 16 devices, 6 rounds) ==\n");
+    println!("{:<16} {:>10} {:>12} {:>10}", "partition", "Eq.4 div", "FedHiSyn", "FedAvg");
+
+    for partition in partitions {
+        let cfg = ExperimentConfig::builder(DatasetProfile::EmnistLike)
+            .scale(Scale::Smoke)
+            .devices(16)
+            .partition(partition)
+            .rounds(6)
+            .local_epochs(3)
+            .seed(7)
+            .build();
+
+        // Measure the Eq. 4 divergence of this partition.
+        let fd = cfg.profile.synth_config(cfg.scale, cfg.seed).generate();
+        let mut rng = rng_from_seed(99);
+        let indices = partition_indices(&fd.train, cfg.n_devices, partition, &mut rng);
+        let divergence = mean_label_divergence(&fd.train, &indices);
+
+        let mut env = cfg.build_env();
+        let mut hisyn = FedHiSyn::new(&cfg, 4);
+        let r_hisyn = run_experiment(&mut hisyn, &mut env, cfg.rounds);
+
+        let mut env = cfg.build_env();
+        let mut avg = FedAvg::new(&cfg);
+        let r_avg = run_experiment(&mut avg, &mut env, cfg.rounds);
+
+        // Sanity: both start from the same initial model.
+        let env = cfg.build_env();
+        let _init = local::evaluate_on_test(&env, &cfg.initial_params());
+
+        println!(
+            "{:<16} {:>10.3} {:>11.1}% {:>9.1}%",
+            partition.label(),
+            divergence,
+            r_hisyn.final_accuracy() * 100.0,
+            r_avg.final_accuracy() * 100.0,
+        );
+    }
+    println!("\nExpect: divergence grows as beta falls; FedHiSyn degrades less than FedAvg.");
+}

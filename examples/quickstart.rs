@@ -1,0 +1,57 @@
+//! Quickstart: FedHiSyn vs FedAvg on non-IID data with heterogeneous
+//! devices.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fedhisyn::prelude::*;
+
+fn main() {
+    // A 20-device fleet, Dirichlet(0.3) label skew, 10x latency spread —
+    // the paper's core setting at smoke scale.
+    let cfg = ExperimentConfig::builder(DatasetProfile::MnistLike)
+        .scale(Scale::Smoke)
+        .devices(20)
+        .partition(Partition::Dirichlet { beta: 0.3 })
+        .heterogeneity(HeterogeneityModel::Uniform { h: 10.0 })
+        .rounds(8)
+        .local_epochs(3)
+        .seed(42)
+        .build();
+
+    println!("== FedHiSyn quickstart ==");
+    println!(
+        "dataset: {} | devices: {} | partition: {} | H: {}",
+        cfg.profile.name(),
+        cfg.n_devices,
+        cfg.partition.label(),
+        cfg.heterogeneity.degree(),
+    );
+    println!("model: {:?} ({} params)\n", cfg.model_spec(), cfg.model_spec().param_count());
+
+    // FedHiSyn with K = 4 latency classes.
+    let mut env = cfg.build_env();
+    let mut fedhisyn = FedHiSyn::new(&cfg, 4);
+    let hisyn = run_experiment(&mut fedhisyn, &mut env, cfg.rounds);
+
+    // FedAvg on the identical environment (fresh meter via rebuild).
+    let mut env = cfg.build_env();
+    let mut fedavg = FedAvg::new(&cfg);
+    let avg = run_experiment(&mut fedavg, &mut env, cfg.rounds);
+
+    println!("round | FedHiSyn acc | FedAvg acc");
+    for (a, b) in hisyn.rounds.iter().zip(&avg.rounds) {
+        println!("{:>5} | {:>11.1}% | {:>9.1}%", a.round, a.accuracy * 100.0, b.accuracy * 100.0);
+    }
+    println!(
+        "\nfinal: FedHiSyn {:.1}% vs FedAvg {:.1}%",
+        hisyn.final_accuracy() * 100.0,
+        avg.final_accuracy() * 100.0
+    );
+    println!(
+        "ring transfers used by FedHiSyn: {:.0} (device-to-device, free in the paper's cost model)",
+        hisyn.rounds.last().map(|r| r.peer_transfers).unwrap_or(0.0)
+    );
+}

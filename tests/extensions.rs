@@ -1,0 +1,115 @@
+//! Integration coverage for the extension surfaces: the wire format,
+//! quantity-skew partitioning, bandwidth links, time-weighted aggregation
+//! and cross-run comparisons.
+
+use fedhisyn::core::compare::{crossover_round, Comparison};
+use fedhisyn::nn::wire;
+use fedhisyn::prelude::*;
+
+fn cfg() -> ExperimentConfig {
+    ExperimentConfig::builder(DatasetProfile::MnistLike)
+        .scale(Scale::Smoke)
+        .devices(6)
+        .partition(Partition::Dirichlet { beta: 0.5 })
+        .rounds(2)
+        .local_epochs(1)
+        .seed(404)
+        .build()
+}
+
+#[test]
+fn trained_global_model_survives_the_wire() {
+    let cfg = cfg();
+    let mut env = cfg.build_env();
+    let mut algo = FedHiSyn::new(&cfg, 2);
+    let _ = run_experiment(&mut algo, &mut env, 2);
+    let global = algo.global().clone();
+    // Encode → decode → load into a model → accuracy must be identical.
+    let frame = wire::encode(&global);
+    assert_eq!(frame.len(), wire::encoded_len(global.len()));
+    let decoded = wire::decode(&frame).expect("valid frame");
+    let acc_direct = fedhisyn::core::local::evaluate_on_test(&env, &global);
+    let acc_wire = fedhisyn::core::local::evaluate_on_test(&env, &decoded);
+    assert_eq!(acc_direct, acc_wire, "wire round-trip must be bit-exact");
+}
+
+#[test]
+fn wire_byte_count_matches_traffic_meter_model() {
+    // The simnet byte accounting assumes 4 bytes per parameter; the wire
+    // format adds a constant header. Check they agree to within the
+    // header size.
+    let cfg = cfg();
+    let n = cfg.model_spec().param_count();
+    let params = cfg.initial_params();
+    let frame = wire::encode(&params);
+    let meter = fedhisyn::simnet::TrafficMeter::new();
+    meter.record_upload(1.0, n);
+    let accounted = meter.snapshot().bytes_moved();
+    assert_eq!(frame.len() as f64 - wire::HEADER_LEN as f64, accounted);
+}
+
+#[test]
+fn quantity_skew_experiment_runs_end_to_end() {
+    let cfg = ExperimentConfig::builder(DatasetProfile::MnistLike)
+        .scale(Scale::Smoke)
+        .devices(6)
+        .partition(Partition::QuantitySkew { beta: 0.4 })
+        .rounds(2)
+        .local_epochs(1)
+        .seed(11)
+        .build();
+    let env = cfg.build_env();
+    let sizes: Vec<usize> = env.device_data.iter().map(|d| d.len()).collect();
+    let max = *sizes.iter().max().unwrap();
+    let min = *sizes.iter().min().unwrap();
+    assert!(max > min, "quantity skew should unbalance shards: {sizes:?}");
+    let mut env = cfg.build_env();
+    let mut algo = FedAvg::new(&cfg);
+    let rec = run_experiment(&mut algo, &mut env, 2);
+    assert!(rec.final_accuracy() > 0.1);
+}
+
+#[test]
+fn bandwidth_link_slows_ring_adoption_but_still_trains() {
+    let mut cfg = cfg();
+    // A link so slow that ring transfers arrive long after the interval:
+    // FedHiSyn degrades gracefully to per-device training + aggregation.
+    cfg.link = LinkModel::Bandwidth {
+        base: 1000.0,
+        bytes_per_second: 1.0,
+        model_bytes: 4.0 * cfg.model_spec().param_count() as f64,
+    };
+    let mut env = cfg.build_env();
+    let mut algo = FedHiSyn::new(&cfg, 2);
+    let rec = run_experiment(&mut algo, &mut env, 2);
+    assert!(rec.final_accuracy() > 0.1, "must still learn without timely relays");
+}
+
+#[test]
+fn time_weighted_aggregation_runs_and_stays_finite() {
+    let mut cfg = cfg();
+    cfg.aggregation = AggregationRule::TimeWeighted;
+    let mut env = cfg.build_env();
+    let mut algo = FedHiSyn::new(&cfg, 2);
+    let rec = run_experiment(&mut algo, &mut env, 2);
+    assert!(rec.final_accuracy() > 0.1);
+    assert!(algo.global().is_finite());
+}
+
+#[test]
+fn comparison_utilities_work_on_real_runs() {
+    let cfg = cfg();
+    let mut env = cfg.build_env();
+    let mut hisyn = FedHiSyn::new(&cfg, 2);
+    let rh = run_experiment(&mut hisyn, &mut env, 2);
+    let mut env = cfg.build_env();
+    let mut avg = FedAvg::new(&cfg);
+    let ra = run_experiment(&mut avg, &mut env, 2);
+
+    let target = rh.final_accuracy().min(ra.final_accuracy()) * 0.5;
+    let cmp = Comparison::between(&rh, &ra, target, 6.0);
+    assert_eq!(cmp.candidate, "FedHiSyn");
+    assert_eq!(cmp.reference, "FedAvg");
+    assert!(cmp.communication_savings.is_some(), "both reach a trivial target");
+    let _ = crossover_round(&rh, &ra); // must not panic on real traces
+}

@@ -1,0 +1,180 @@
+//! Cross-crate property tests on the system's core invariants.
+
+use fedhisyn::cluster::{kmeans_1d, quantile_bins};
+use fedhisyn::core::aggregate::{AggregationRule, Contribution};
+use fedhisyn::core::ring_sim::{simulate_ring_interval, ReceivePolicy};
+use fedhisyn::core::{Ring, RingOrder};
+use fedhisyn::data::{partition_indices, Dataset, Partition};
+use fedhisyn::nn::ParamVec;
+use fedhisyn::simnet::LinkModel;
+use fedhisyn::tensor::{rng_from_seed, Tensor};
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+
+fn labels(n: usize, classes: usize) -> Vec<usize> {
+    (0..n).map(|i| (i * 7 + 3) % classes).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn partitions_conserve_every_sample(
+        n in 20usize..200,
+        devices in 1usize..10,
+        beta in 0.05f64..5.0,
+        seed in 0u64..500,
+        strategy_pick in 0usize..3,
+    ) {
+        prop_assume!(n >= devices * 2);
+        let classes = 5usize;
+        let data = Dataset::new(Tensor::zeros(vec![n, 2]), labels(n, classes), classes);
+        let strategy = match strategy_pick {
+            0 => Partition::Iid,
+            1 => Partition::Dirichlet { beta },
+            _ => Partition::Shards { shards_per_device: 2 },
+        };
+        if let Partition::Shards { shards_per_device } = strategy {
+            prop_assume!(n / (devices * shards_per_device) > 0);
+        }
+        let mut rng = rng_from_seed(seed);
+        let parts = partition_indices(&data, devices, strategy, &mut rng);
+        let mut seen = vec![false; n];
+        for p in &parts {
+            prop_assert!(!p.is_empty(), "no empty device");
+            for &i in p {
+                prop_assert!(!seen[i], "sample assigned twice");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "sample dropped");
+    }
+
+    #[test]
+    fn rings_are_permutations_with_sorted_latency(
+        n in 1usize..30,
+        seed in 0u64..200,
+    ) {
+        let members: Vec<usize> = (0..n).map(|i| i * 3 + 1).collect();
+        let mut rng = rng_from_seed(seed);
+        let latencies: Vec<f64> = (0..n).map(|i| ((i * 13 + seed as usize) % 17 + 1) as f64).collect();
+        for order in [RingOrder::SmallToLarge, RingOrder::LargeToSmall, RingOrder::Random] {
+            let ring = Ring::build(&members, &latencies, &LinkModel::zero(), order, &mut rng);
+            let mut sorted = ring.order().to_vec();
+            sorted.sort_unstable();
+            let mut expect = members.clone();
+            expect.sort_unstable();
+            prop_assert_eq!(sorted, expect, "ring must be a permutation of members");
+        }
+        // Small-to-large must be monotone in latency.
+        let ring = Ring::build(&members, &latencies, &LinkModel::zero(), RingOrder::SmallToLarge, &mut rng);
+        let lat_of = |d: usize| latencies[members.iter().position(|&m| m == d).unwrap()];
+        for w in ring.order().windows(2) {
+            prop_assert!(lat_of(w[0]) <= lat_of(w[1]));
+        }
+    }
+
+    #[test]
+    fn aggregation_stays_in_convex_hull(
+        models in pvec(pvec(-10.0f32..10.0, 4), 1..6),
+        weights in pvec(1usize..100, 6),
+    ) {
+        let pvs: Vec<ParamVec> = models.iter().map(|m| ParamVec::from_vec(m.clone())).collect();
+        let contributions: Vec<Contribution<'_>> = pvs
+            .iter()
+            .zip(&weights)
+            .map(|(params, &w)| Contribution {
+                params,
+                samples: w,
+                class_mean_time: w as f64 * 0.5 + 0.1,
+            })
+            .collect();
+        for rule in [AggregationRule::Uniform, AggregationRule::SampleWeighted, AggregationRule::TimeWeighted] {
+            let agg = rule.aggregate(&contributions);
+            for i in 0..4 {
+                let lo = models.iter().map(|m| m[i]).fold(f32::MAX, f32::min);
+                let hi = models.iter().map(|m| m[i]).fold(f32::MIN, f32::max);
+                let v = agg.as_slice()[i];
+                prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4,
+                    "{:?} coord {i}: {v} outside [{lo}, {hi}]", rule);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_sim_step_budget_is_ceil(
+        lats in pvec(1.0f64..10.0, 1..8),
+        interval in 1.0f64..30.0,
+    ) {
+        let members: Vec<usize> = (0..lats.len()).collect();
+        let mut rng = rng_from_seed(0);
+        let ring = Ring::build(&members, &lats, &LinkModel::zero(), RingOrder::SmallToLarge, &mut rng);
+        let ring_lat: Vec<f64> = ring.order().iter().map(|&d| lats[d]).collect();
+        let start = vec![ParamVec::zeros(2); ring.len()];
+        let out = simulate_ring_interval(
+            &ring, &ring_lat, &LinkModel::zero(), start, interval,
+            ReceivePolicy::TrainReceived,
+            |_, m, _| m.clone(),
+        );
+        for (pos, &steps) in out.steps.iter().enumerate() {
+            let expect = ((interval / ring_lat[pos]).ceil() as usize).max(1);
+            prop_assert_eq!(steps, expect, "position {}", pos);
+        }
+        // Transfers = total steps when the ring has >1 member.
+        let total: usize = out.steps.iter().sum();
+        if ring.len() > 1 {
+            prop_assert_eq!(out.transfers, total);
+        } else {
+            prop_assert_eq!(out.transfers, 0);
+        }
+    }
+
+    #[test]
+    fn kmeans_assignment_is_locally_optimal(
+        values in pvec(0.0f64..100.0, 5..40),
+        k in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(k <= values.len());
+        let mut rng = rng_from_seed(seed);
+        let c = kmeans_1d(&values, k, 200, &mut rng);
+        // Every point sits in the cluster of its nearest centroid.
+        for (i, &v) in values.iter().enumerate() {
+            let assigned = c.assignment[i];
+            let d_assigned = (v - c.centroids[assigned][0]).abs();
+            for cent in &c.centroids {
+                prop_assert!(d_assigned <= (v - cent[0]).abs() + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_bins_partition_and_order(
+        values in pvec(0.0f64..50.0, 3..40),
+        k in 1usize..6,
+    ) {
+        prop_assume!(k <= values.len());
+        let bins = quantile_bins(&values, k);
+        let mut all: Vec<usize> = bins.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..values.len()).collect::<Vec<_>>());
+        for w in bins.windows(2) {
+            let max_lo = w[0].iter().map(|&i| values[i]).fold(f64::MIN, f64::max);
+            let min_hi = w[1].iter().map(|&i| values[i]).fold(f64::MAX, f64::min);
+            prop_assert!(max_lo <= min_hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn param_vec_mean_is_idempotent_on_copies(
+        v in pvec(-5.0f32..5.0, 1..32),
+        copies in 1usize..6,
+    ) {
+        let pv = ParamVec::from_vec(v.clone());
+        let vs: Vec<ParamVec> = (0..copies).map(|_| pv.clone()).collect();
+        let mean = ParamVec::mean(vs.iter());
+        for (a, b) in mean.as_slice().iter().zip(&v) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+}
