@@ -1,7 +1,7 @@
 //! Shared helpers for the baseline algorithms.
 
 use fedhisyn_core::env::FlEnv;
-use fedhisyn_core::local::local_train;
+use fedhisyn_core::local::local_train_owned;
 use fedhisyn_nn::{GradHook, NoHook, ParamVec};
 
 /// Number of local-training *steps* (of `E` epochs each) device `d` can
@@ -14,6 +14,10 @@ pub fn achievable_steps(env: &FlEnv, device: usize, interval: f64) -> usize {
 
 /// Run `steps` consecutive local-training steps from `start`, optionally
 /// with a gradient hook. Returns the final parameters.
+///
+/// Clones `start` once; every step after that trains through the
+/// execution engine's cached model and moves the same parameter buffer
+/// along.
 pub fn continuous_local_train(
     env: &FlEnv,
     device: usize,
@@ -24,7 +28,15 @@ pub fn continuous_local_train(
 ) -> ParamVec {
     let mut current = start.clone();
     for s in 0..steps {
-        current = local_train(env, device, &current, env.local_epochs, hook, round, s as u64);
+        current = local_train_owned(
+            env,
+            device,
+            current,
+            env.local_epochs,
+            hook,
+            round,
+            s as u64,
+        );
     }
     current
 }

@@ -20,7 +20,10 @@ pub struct FedAvg {
 impl FedAvg {
     /// Build from an experiment config.
     pub fn new(cfg: &ExperimentConfig) -> Self {
-        FedAvg { participation: cfg.participation, global: cfg.initial_params() }
+        FedAvg {
+            participation: cfg.participation,
+            global: cfg.initial_params(),
+        }
     }
 
     /// Current global model.
@@ -52,7 +55,10 @@ impl FlAlgorithm for FedAvg {
             .par_iter()
             .map(|&d| {
                 let steps = achievable_steps(env, d, interval);
-                (d, continuous_local_train_plain(env, d, global, steps, round))
+                (
+                    d,
+                    continuous_local_train_plain(env, d, global, steps, round),
+                )
             })
             .collect();
 
@@ -108,7 +114,10 @@ mod tests {
         let rec = run_experiment(&mut algo, &mut env, 2);
         assert_eq!(rec.rounds[0].uploads, 5.0);
         assert_eq!(rec.rounds[1].uploads, 10.0);
-        assert_eq!(rec.rounds[1].peer_transfers, 0.0, "FedAvg has no ring traffic");
+        assert_eq!(
+            rec.rounds[1].peer_transfers, 0.0,
+            "FedAvg has no ring traffic"
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ impl FedProx {
     /// Build with an explicit proximal coefficient.
     pub fn with_mu(cfg: &ExperimentConfig, mu: f32) -> Self {
         assert!(mu >= 0.0, "mu must be non-negative");
-        FedProx { participation: cfg.participation, mu, global: cfg.initial_params() }
+        FedProx {
+            participation: cfg.participation,
+            mu,
+            global: cfg.initial_params(),
+        }
     }
 
     /// Current global model.
@@ -39,6 +43,10 @@ impl FedProx {
 }
 
 /// The proximal gradient correction: `g ← g + μ·(w − w_G)`.
+///
+/// Operates on the in-place parameter/gradient slices the engine walks:
+/// `offset` locates the slice inside the flat layout, which is where the
+/// matching anchor coordinates live.
 pub struct ProxHook<'a> {
     /// Proximal coefficient `μ`.
     pub mu: f32,
@@ -47,14 +55,13 @@ pub struct ProxHook<'a> {
 }
 
 impl GradHook for ProxHook<'_> {
-    fn adjust(&self, params: &ParamVec, grads: &mut ParamVec) {
-        assert_eq!(params.len(), self.anchor.len(), "anchor size mismatch");
-        for ((g, &w), &a) in grads
-            .as_mut_slice()
-            .iter_mut()
-            .zip(params.as_slice())
-            .zip(self.anchor.as_slice())
-        {
+    fn adjust(&self, offset: usize, params: &[f32], grads: &mut [f32]) {
+        assert!(
+            offset + grads.len() <= self.anchor.len(),
+            "anchor size mismatch"
+        );
+        let anchor = &self.anchor.as_slice()[offset..offset + grads.len()];
+        for ((g, &w), &a) in grads.iter_mut().zip(params).zip(anchor) {
             *g += self.mu * (w - a);
         }
     }
@@ -78,13 +85,19 @@ impl FlAlgorithm for FedProx {
 
         env.meter.record_download(s.len() as f64, n_params);
         let global = &self.global;
+        // The per-slice hook can only bounds-check, so pin the anchor to
+        // the model size once per round (the old whole-vector guard).
+        assert_eq!(global.len(), n_params, "proximal anchor size mismatch");
         let mu = self.mu;
         let updated: Vec<(usize, ParamVec)> = s
             .par_iter()
             .map(|&d| {
                 let steps = achievable_steps(env, d, interval);
                 let hook = ProxHook { mu, anchor: global };
-                (d, continuous_local_train(env, d, global, steps, round, &hook))
+                (
+                    d,
+                    continuous_local_train(env, d, global, steps, round, &hook),
+                )
             })
             .collect();
 
@@ -121,20 +134,42 @@ mod tests {
     #[test]
     fn prox_hook_pulls_toward_anchor() {
         let anchor = ParamVec::from_vec(vec![0.0, 0.0]);
-        let params = ParamVec::from_vec(vec![2.0, -4.0]);
-        let mut grads = ParamVec::from_vec(vec![0.0, 0.0]);
-        let hook = ProxHook { mu: 0.5, anchor: &anchor };
-        hook.adjust(&params, &mut grads);
-        assert_eq!(grads.as_slice(), &[1.0, -2.0]);
+        let params = [2.0, -4.0];
+        let mut grads = [0.0, 0.0];
+        let hook = ProxHook {
+            mu: 0.5,
+            anchor: &anchor,
+        };
+        hook.adjust(0, &params, &mut grads);
+        assert_eq!(grads, [1.0, -2.0]);
+    }
+
+    #[test]
+    fn prox_hook_respects_slice_offsets() {
+        // Adjusting the tail slice must read the anchor's tail, exactly as
+        // a whole-vector adjustment would.
+        let anchor = ParamVec::from_vec(vec![10.0, 20.0, 30.0]);
+        let params = [31.0];
+        let mut grads = [0.0];
+        ProxHook {
+            mu: 1.0,
+            anchor: &anchor,
+        }
+        .adjust(2, &params, &mut grads);
+        assert_eq!(grads, [1.0], "w - anchor[2] = 31 - 30");
     }
 
     #[test]
     fn zero_mu_equals_fedavg_gradients() {
         let anchor = ParamVec::from_vec(vec![1.0]);
-        let params = ParamVec::from_vec(vec![5.0]);
-        let mut grads = ParamVec::from_vec(vec![3.0]);
-        ProxHook { mu: 0.0, anchor: &anchor }.adjust(&params, &mut grads);
-        assert_eq!(grads.as_slice(), &[3.0]);
+        let params = [5.0];
+        let mut grads = [3.0];
+        ProxHook {
+            mu: 0.0,
+            anchor: &anchor,
+        }
+        .adjust(0, &params, &mut grads);
+        assert_eq!(grads, [3.0]);
     }
 
     #[test]
@@ -144,7 +179,11 @@ mod tests {
         let mut algo = FedProx::new(&cfg);
         let init = fedhisyn_core::local::evaluate_on_test(&env, algo.global());
         let rec = run_experiment(&mut algo, &mut env, 3);
-        assert!(rec.final_accuracy() > init, "{init} -> {}", rec.final_accuracy());
+        assert!(
+            rec.final_accuracy() > init,
+            "{init} -> {}",
+            rec.final_accuracy()
+        );
     }
 
     #[test]
@@ -162,10 +201,26 @@ mod tests {
         let env = cfg.build_env();
         let global = cfg.initial_params();
         let free = continuous_local_train(
-            &env, 0, &global, 1, 0, &ProxHook { mu: 0.0, anchor: &global },
+            &env,
+            0,
+            &global,
+            1,
+            0,
+            &ProxHook {
+                mu: 0.0,
+                anchor: &global,
+            },
         );
         let anchored = continuous_local_train(
-            &env, 0, &global, 1, 0, &ProxHook { mu: 1.0, anchor: &global },
+            &env,
+            0,
+            &global,
+            1,
+            0,
+            &ProxHook {
+                mu: 1.0,
+                anchor: &global,
+            },
         );
         let d_free = free.distance(&global);
         let d_anchored = anchored.distance(&global);

@@ -53,6 +53,9 @@ impl Scaffold {
 }
 
 /// SCAFFOLD's gradient correction: `g ← g + c − c_i`.
+///
+/// Operates on the in-place gradient slices the engine walks; `offset`
+/// indexes the matching coordinates of both flat control variates.
 pub struct ScaffoldHook<'a> {
     /// Server control variate.
     pub c_global: &'a ParamVec,
@@ -61,14 +64,15 @@ pub struct ScaffoldHook<'a> {
 }
 
 impl GradHook for ScaffoldHook<'_> {
-    fn adjust(&self, _params: &ParamVec, grads: &mut ParamVec) {
-        assert_eq!(grads.len(), self.c_global.len(), "control variate size mismatch");
-        for ((g, &cg), &cl) in grads
-            .as_mut_slice()
-            .iter_mut()
-            .zip(self.c_global.as_slice())
-            .zip(self.c_local.as_slice())
-        {
+    fn adjust(&self, offset: usize, _params: &[f32], grads: &mut [f32]) {
+        assert!(
+            offset + grads.len() <= self.c_global.len(),
+            "control variate size mismatch"
+        );
+        let span = offset..offset + grads.len();
+        let c_global = &self.c_global.as_slice()[span.clone()];
+        let c_local = &self.c_local.as_slice()[span];
+        for ((g, &cg), &cl) in grads.iter_mut().zip(c_global).zip(c_local) {
             *g += cg - cl;
         }
     }
@@ -96,13 +100,19 @@ impl FlAlgorithm for Scaffold {
         let global = &self.global;
         let c_global = &self.c_global;
         let c_local = &self.c_local;
+        // The per-slice hook can only bounds-check, so pin the variates to
+        // the model size once per round (the old whole-vector guard).
+        assert_eq!(c_global.len(), n_params, "control variate size mismatch");
         let lr = self.lr;
         // (device, trained params, new c_i)
         let updated: Vec<(usize, ParamVec, ParamVec)> = s
             .par_iter()
             .map(|&d| {
                 let steps = achievable_steps(env, d, interval);
-                let hook = ScaffoldHook { c_global, c_local: &c_local[d] };
+                let hook = ScaffoldHook {
+                    c_global,
+                    c_local: &c_local[d],
+                };
                 let trained = continuous_local_train(env, d, global, steps, round, &hook);
                 // Option II variate update: c_i+ = c_i − c + (x − y_i)/(K·η)
                 let k = (minibatch_steps(env, d) * steps).max(1);
@@ -167,10 +177,26 @@ mod tests {
     fn hook_applies_variate_difference() {
         let cg = ParamVec::from_vec(vec![1.0, 2.0]);
         let cl = ParamVec::from_vec(vec![0.5, 1.0]);
-        let mut grads = ParamVec::from_vec(vec![0.0, 0.0]);
-        ScaffoldHook { c_global: &cg, c_local: &cl }
-            .adjust(&ParamVec::zeros(2), &mut grads);
-        assert_eq!(grads.as_slice(), &[0.5, 1.0]);
+        let mut grads = [0.0, 0.0];
+        ScaffoldHook {
+            c_global: &cg,
+            c_local: &cl,
+        }
+        .adjust(0, &[0.0, 0.0], &mut grads);
+        assert_eq!(grads, [0.5, 1.0]);
+    }
+
+    #[test]
+    fn hook_respects_slice_offsets() {
+        let cg = ParamVec::from_vec(vec![1.0, 2.0, 3.0]);
+        let cl = ParamVec::from_vec(vec![0.0, 0.0, 1.0]);
+        let mut grads = [0.0];
+        ScaffoldHook {
+            c_global: &cg,
+            c_local: &cl,
+        }
+        .adjust(2, &[0.0], &mut grads);
+        assert_eq!(grads, [2.0], "c[2] - c_i[2] = 3 - 1");
     }
 
     #[test]
@@ -179,7 +205,10 @@ mod tests {
         let mut env = cfg.build_env();
         let mut algo = Scaffold::new(&cfg);
         let rec = run_experiment(&mut algo, &mut env, 1);
-        assert_eq!(rec.rounds[0].uploads, 10.0, "5 devices x 2 model-equivalents");
+        assert_eq!(
+            rec.rounds[0].uploads, 10.0,
+            "5 devices x 2 model-equivalents"
+        );
         assert_eq!(rec.rounds[0].downloads, 10.0);
     }
 
@@ -190,7 +219,11 @@ mod tests {
         let mut algo = Scaffold::new(&cfg);
         let init = fedhisyn_core::local::evaluate_on_test(&env, algo.global());
         let rec = run_experiment(&mut algo, &mut env, 3);
-        assert!(rec.final_accuracy() > init, "{init} -> {}", rec.final_accuracy());
+        assert!(
+            rec.final_accuracy() > init,
+            "{init} -> {}",
+            rec.final_accuracy()
+        );
         assert!(algo.global().is_finite());
         assert!(algo.control_variate().is_finite());
     }
@@ -202,7 +235,10 @@ mod tests {
         let mut algo = Scaffold::new(&cfg);
         assert_eq!(algo.control_variate().norm(), 0.0);
         let _ = run_experiment(&mut algo, &mut env, 2);
-        assert!(algo.control_variate().norm() > 0.0, "server variate should update");
+        assert!(
+            algo.control_variate().norm() > 0.0,
+            "server variate should update"
+        );
     }
 
     #[test]

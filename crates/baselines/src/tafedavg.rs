@@ -1,6 +1,6 @@
 //! TAFedAvg — fully asynchronous FedAvg.
 
-use fedhisyn_core::local::local_train_plain;
+use fedhisyn_core::local::local_train_plain_owned;
 use fedhisyn_core::{ExperimentConfig, FlAlgorithm, RoundContext};
 use fedhisyn_nn::ParamVec;
 use fedhisyn_simnet::{EventQueue, SimTime};
@@ -28,7 +28,11 @@ pub struct TAFedAvg {
 impl TAFedAvg {
     /// Build from an experiment config with the default `α₀ = 0.4`.
     pub fn new(cfg: &ExperimentConfig) -> Self {
-        TAFedAvg { participation: cfg.participation, alpha: 0.4, global: cfg.initial_params() }
+        TAFedAvg {
+            participation: cfg.participation,
+            alpha: 0.4,
+            global: cfg.initial_params(),
+        }
     }
 
     /// Current global model.
@@ -73,7 +77,11 @@ impl FlAlgorithm for TAFedAvg {
         for (slot, &d) in s.iter().enumerate() {
             queue.push(
                 SimTime::new(env.latency(d)),
-                Completion { device: slot, based_on: 0, step: 0 },
+                Completion {
+                    device: slot,
+                    based_on: 0,
+                    step: 0,
+                },
             );
         }
 
@@ -86,12 +94,14 @@ impl FlAlgorithm for TAFedAvg {
             let slot = ev.device;
             let d = s[slot];
             // The device finishes training the model it started earlier.
-            // The salt only needs to be unique per (device, step); the
-            // device id and round are mixed inside local_train.
-            let trained = local_train_plain(
+            // The slot's buffer is moved into the trainer (it is dead
+            // until the device pulls a fresh global). The salt only needs
+            // to be unique per (device, step); the device id and round are
+            // mixed inside local_train.
+            let trained = local_train_plain_owned(
                 env,
                 d,
-                &device_model[slot],
+                std::mem::take(&mut device_model[slot]),
                 env.local_epochs,
                 round,
                 ev.step,
@@ -109,7 +119,11 @@ impl FlAlgorithm for TAFedAvg {
                 device_model[slot] = self.global.clone();
                 queue.push(
                     next_done,
-                    Completion { device: slot, based_on: server_version, step: ev.step + 1 },
+                    Completion {
+                        device: slot,
+                        based_on: server_version,
+                        step: ev.step + 1,
+                    },
                 );
             }
         }

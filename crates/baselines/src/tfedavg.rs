@@ -20,7 +20,10 @@ pub struct TFedAvg {
 impl TFedAvg {
     /// Build from an experiment config.
     pub fn new(cfg: &ExperimentConfig) -> Self {
-        TFedAvg { participation: cfg.participation, global: cfg.initial_params() }
+        TFedAvg {
+            participation: cfg.participation,
+            global: cfg.initial_params(),
+        }
     }
 
     /// Current global model.

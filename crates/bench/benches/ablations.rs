@@ -24,15 +24,19 @@ fn bench_aggregation_rules(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(500));
     for rule in [AggregationRule::Uniform, AggregationRule::TimeWeighted] {
-        group.bench_with_input(BenchmarkId::from_parameter(rule.label()), &rule, |b, &rule| {
-            let mut cfg = base_cfg();
-            cfg.aggregation = rule;
-            b.iter(|| {
-                let mut env = cfg.build_env();
-                let mut algo = FedHiSyn::new(&cfg, 3);
-                black_box(run_experiment(&mut algo, &mut env, 1).final_accuracy())
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rule.label()),
+            &rule,
+            |b, &rule| {
+                let mut cfg = base_cfg();
+                cfg.aggregation = rule;
+                b.iter(|| {
+                    let mut env = cfg.build_env();
+                    let mut algo = FedHiSyn::new(&cfg, 3);
+                    black_box(run_experiment(&mut algo, &mut env, 1).final_accuracy())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -42,7 +46,11 @@ fn bench_ring_orders(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(3));
     group.warm_up_time(std::time::Duration::from_millis(500));
-    for order in [RingOrder::SmallToLarge, RingOrder::LargeToSmall, RingOrder::Random] {
+    for order in [
+        RingOrder::SmallToLarge,
+        RingOrder::LargeToSmall,
+        RingOrder::Random,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{order:?}")),
             &order,

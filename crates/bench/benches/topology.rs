@@ -13,23 +13,14 @@ fn bench_ring_build(c: &mut Criterion) {
         let mut rng = rng_from_seed(0);
         let latencies: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
         for order in [RingOrder::SmallToLarge, RingOrder::Random] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{order:?}"), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let mut rng = rng_from_seed(1);
-                        let ring = Ring::build(
-                            &members,
-                            &latencies,
-                            &LinkModel::zero(),
-                            order,
-                            &mut rng,
-                        );
-                        black_box(ring.len())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{order:?}"), n), &n, |b, _| {
+                b.iter(|| {
+                    let mut rng = rng_from_seed(1);
+                    let ring =
+                        Ring::build(&members, &latencies, &LinkModel::zero(), order, &mut rng);
+                    black_box(ring.len())
+                })
+            });
         }
     }
     group.finish();

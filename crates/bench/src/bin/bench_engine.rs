@@ -1,0 +1,126 @@
+//! Execution-engine perf tracker: measures FedHiSyn rounds/sec on the
+//! smoke-scale MLP workload through the cached zero-copy engine and the
+//! naive rebuild-per-call reference, verifies they agree bit-for-bit, and
+//! writes `BENCH_engine.json` so future PRs can track the trajectory.
+//!
+//! Usage: `cargo run --release --bin bench_engine [--rounds N]`
+
+use std::time::Instant;
+
+use fedhisyn_core::{run_experiment, ExecMode, ExperimentConfig, FedHiSyn};
+use fedhisyn_data::{DatasetProfile, Partition, Scale};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct ModeResult {
+    mode: String,
+    rounds: usize,
+    seconds: f64,
+    rounds_per_sec: f64,
+    final_accuracy: f32,
+}
+
+#[derive(Debug, Serialize)]
+struct EngineReport {
+    workload: String,
+    devices: usize,
+    local_epochs: usize,
+    results: Vec<ModeResult>,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+/// The paper's fleet size (100 devices, K = 10) on smoke-scale MNIST-like
+/// data with a skewed Dirichlet split. Small non-IID shards put each ring
+/// hop in the regime the engine targets: per-hop model rebuilds and flat
+/// copies are a large fraction of the reference path's time.
+fn workload(rounds: usize) -> ExperimentConfig {
+    ExperimentConfig::builder(DatasetProfile::MnistLike)
+        .scale(Scale::Smoke)
+        .devices(100)
+        .partition(Partition::Dirichlet { beta: 0.1 })
+        .local_epochs(1)
+        .rounds(rounds)
+        .seed(2022)
+        .build()
+}
+
+const K: usize = 10;
+
+fn time_mode(cfg: &ExperimentConfig, mode: ExecMode) -> (ModeResult, fedhisyn_nn::ParamVec) {
+    // Warm caches (and the thread pool) outside the timed window.
+    {
+        let mut env = workload(1).build_env();
+        env.exec = mode;
+        let mut algo = FedHiSyn::new(cfg, K);
+        let _ = run_experiment(&mut algo, &mut env, 1);
+    }
+    let mut env = cfg.build_env();
+    env.exec = mode;
+    let mut algo = FedHiSyn::new(cfg, K);
+    let start = Instant::now();
+    let record = run_experiment(&mut algo, &mut env, cfg.rounds);
+    let seconds = start.elapsed().as_secs_f64();
+    (
+        ModeResult {
+            mode: format!("{mode:?}"),
+            rounds: cfg.rounds,
+            seconds,
+            rounds_per_sec: cfg.rounds as f64 / seconds.max(1e-9),
+            final_accuracy: record.final_accuracy(),
+        },
+        algo.global().clone(),
+    )
+}
+
+fn main() {
+    let rounds = std::env::args()
+        .skip_while(|a| a != "--rounds")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4);
+    let cfg = workload(rounds);
+
+    let (cached, cached_global) = time_mode(&cfg, ExecMode::Cached);
+    let (reference, reference_global) = time_mode(&cfg, ExecMode::Reference);
+
+    let report = EngineReport {
+        workload: "smoke MNIST-like MLP, 100 devices, Dirichlet(0.1), K=10".into(),
+        devices: cfg.n_devices,
+        local_epochs: cfg.local_epochs,
+        speedup: cached.rounds_per_sec / reference.rounds_per_sec.max(1e-12),
+        bit_identical: cached_global == reference_global,
+        results: vec![cached, reference],
+    };
+
+    println!("== execution engine: FedHiSyn rounds/sec ==");
+    for r in &report.results {
+        println!(
+            "  {:<10} {:>6.2} rounds/s  ({} rounds in {:.2}s, final acc {:.1}%)",
+            r.mode,
+            r.rounds_per_sec,
+            r.rounds,
+            r.seconds,
+            r.final_accuracy * 100.0
+        );
+    }
+    println!(
+        "  speedup {:.2}x, bit-identical: {}",
+        report.speedup, report.bit_identical
+    );
+    assert!(
+        report.bit_identical,
+        "engine and reference paths diverged — determinism contract broken"
+    );
+
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write("BENCH_engine.json", json) {
+                eprintln!("warning: could not write BENCH_engine.json: {e}");
+            } else {
+                eprintln!("(wrote BENCH_engine.json)");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize report: {e}"),
+    }
+}

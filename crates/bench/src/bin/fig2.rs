@@ -28,13 +28,24 @@ fn main() {
         DecentralMode::Isolated,
         DecentralMode::RandomExchange { average: true },
         DecentralMode::RandomExchange { average: false },
-        DecentralMode::ClusteredRings { k: 1, order: RingOrder::SmallToLarge, average: true },
-        DecentralMode::ClusteredRings { k: 1, order: RingOrder::SmallToLarge, average: false },
+        DecentralMode::ClusteredRings {
+            k: 1,
+            order: RingOrder::SmallToLarge,
+            average: true,
+        },
+        DecentralMode::ClusteredRings {
+            k: 1,
+            order: RingOrder::SmallToLarge,
+            average: false,
+        },
     ];
 
     let mut all: Vec<Series> = Vec::new();
     for partition in [Partition::Iid, Partition::Dirichlet { beta: 0.3 }] {
-        println!("\n== Figure 2 ({}) — mean device accuracy ==", partition.label());
+        println!(
+            "\n== Figure 2 ({}) — mean device accuracy ==",
+            partition.label()
+        );
         print!("{:>5}", "round");
         for m in &modes {
             print!(" {:>16}", m.label());

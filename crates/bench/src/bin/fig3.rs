@@ -31,7 +31,10 @@ fn main() {
 
     let mut all = Vec::new();
     for partition in [Partition::Iid, Partition::Dirichlet { beta: 0.3 }] {
-        println!("\n== Figure 3 ({}) — ring ordering under H=10 ==", partition.label());
+        println!(
+            "\n== Figure 3 ({}) — ring ordering under H=10 ==",
+            partition.label()
+        );
         print!("{:>5}", "round");
         for (_, name) in &orders {
             print!(" {name:>16}");
@@ -54,7 +57,11 @@ fn main() {
                 let env = cfg.build_env();
                 let sim = DecentralSim::new(
                     &env,
-                    DecentralMode::ClusteredRings { k: 1, order, average: false },
+                    DecentralMode::ClusteredRings {
+                        k: 1,
+                        order,
+                        average: false,
+                    },
                 );
                 (sim, env)
             })

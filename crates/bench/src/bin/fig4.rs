@@ -80,7 +80,11 @@ fn main() {
             println!();
         }
         for (&k, accs) in ks.iter().zip(series) {
-            all.push(Series { k, partition: partition.label(), fastest_class_accuracy: accs });
+            all.push(Series {
+                k,
+                partition: partition.label(),
+                fastest_class_accuracy: accs,
+            });
         }
     }
     println!("\nExpect (Obs. 3): large K learns fastest early (more hops in the fast class) but");

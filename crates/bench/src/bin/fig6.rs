@@ -21,7 +21,10 @@ struct Series {
 fn main() {
     let scale = BenchScale::from_args();
     let ks_paper = [1usize, 10, 20, 30, 40, 50];
-    let ks: Vec<usize> = ks_paper.into_iter().filter(|&k| k <= scale.devices).collect();
+    let ks: Vec<usize> = ks_paper
+        .into_iter()
+        .filter(|&k| k <= scale.devices)
+        .collect();
 
     let mut all = Vec::new();
     for dataset in [DatasetProfile::MnistLike, DatasetProfile::Cifar10Like] {
@@ -33,12 +36,19 @@ fn main() {
             let mut env = cfg.build_env();
             let mut algo = FedHiSyn::new(&cfg, k);
             let rec = run_experiment(&mut algo, &mut env, cfg.rounds);
-            all.push(Series { dataset: dataset.name().into(), k, accuracy: rec.accuracy_series() });
+            all.push(Series {
+                dataset: dataset.name().into(),
+                k,
+                accuracy: rec.accuracy_series(),
+            });
             labels.push(format!("K={k}"));
             runs.push(rec);
         }
         print_series(
-            &format!("Figure 6 ({}) — FedHiSyn accuracy vs K, 50% participation", dataset.name()),
+            &format!(
+                "Figure 6 ({}) — FedHiSyn accuracy vs K, 50% participation",
+                dataset.name()
+            ),
             &labels,
             &runs,
         );

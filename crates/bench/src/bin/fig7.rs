@@ -29,7 +29,10 @@ fn main() {
 
     let mut rows = Vec::new();
     for dataset in [DatasetProfile::MnistLike, DatasetProfile::Cifar10Like] {
-        println!("\n== Figure 7 ({}) — final accuracy vs H ==", dataset.name());
+        println!(
+            "\n== Figure 7 ({}) — final accuracy vs H ==",
+            dataset.name()
+        );
         println!("{:>4} {:>12} {:>10}", "H", "FedHiSyn", "FedAvg");
         for &h in &hs {
             let mut cfg = scale.config(dataset, Partition::Dirichlet { beta: 0.3 }, 0.5);

@@ -34,7 +34,11 @@ fn main() {
     } else {
         vec![Partition::Iid, Partition::Dirichlet { beta: 0.3 }]
     };
-    let participations: Vec<f64> = if full { vec![1.0, 0.5, 0.1] } else { vec![1.0, 0.5] };
+    let participations: Vec<f64> = if full {
+        vec![1.0, 0.5, 0.1]
+    } else {
+        vec![1.0, 0.5]
+    };
 
     let mut rows: Vec<TableRow> = Vec::new();
     for &participation in &participations {

@@ -38,7 +38,11 @@ pub struct TableRow {
 /// their per-round uploads average ~5× a synchronous round's. Our meter
 /// counts *actual* uploads, so no further correction is applied — the
 /// measured cost is already in FedAvg-round units.
-pub fn cost_in_fedavg_rounds(record: &RunRecord, target: f32, participants_per_round: f64) -> Option<f64> {
+pub fn cost_in_fedavg_rounds(
+    record: &RunRecord,
+    target: f32,
+    participants_per_round: f64,
+) -> Option<f64> {
     record.uploads_to_target(target, participants_per_round)
 }
 
@@ -83,7 +87,10 @@ pub fn print_table(rows: &[TableRow]) {
                 Some(c) => format!("{c:.1}"),
                 None => "X".to_string(),
             };
-            print!(" {:>18}", format!("{cost}({:.1}%)", cell.final_accuracy * 100.0));
+            print!(
+                " {:>18}",
+                format!("{cost}({:.1}%)", cell.final_accuracy * 100.0)
+            );
         }
         println!();
     }
@@ -119,7 +126,11 @@ mod tests {
 
     #[test]
     fn smoke_target_tracks_best_run() {
-        let rs = vec![record("a", &[0.4]), record("b", &[0.8]), record("c", &[0.6])];
+        let rs = vec![
+            record("a", &[0.4]),
+            record("b", &[0.8]),
+            record("c", &[0.6]),
+        ];
         let t = smoke_target(&rs, 0.9);
         assert!((t - 0.72).abs() < 1e-6);
     }
@@ -131,7 +142,11 @@ mod tests {
             partition: "IID".into(),
             dataset: "MNIST".into(),
             target: 0.5,
-            cells: vec![TableCell { algorithm: "FedHiSyn".into(), cost: Some(1.5), final_accuracy: 0.9 }],
+            cells: vec![TableCell {
+                algorithm: "FedHiSyn".into(),
+                cost: Some(1.5),
+                final_accuracy: 0.9,
+            }],
         }];
         print_table(&rows);
     }

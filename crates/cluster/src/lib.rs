@@ -144,7 +144,12 @@ pub fn kmeans<R: Rng>(points: &[Vec<f64>], k: usize, max_iter: usize, rng: &mut 
         .zip(&assignment)
         .map(|(p, &c)| sq_dist(p, &centroids[c]))
         .sum();
-    Clustering { assignment, centroids, inertia, iterations }
+    Clustering {
+        assignment,
+        centroids,
+        inertia,
+        iterations,
+    }
 }
 
 /// k-means++ seeding: first centroid uniform, then D²-weighted.

@@ -36,14 +36,15 @@ impl AggregationRule {
     /// # Panics
     /// Panics on an empty contribution set or zero total weight.
     pub fn aggregate(&self, contributions: &[Contribution<'_>]) -> ParamVec {
-        assert!(!contributions.is_empty(), "aggregate of empty contribution set");
+        assert!(
+            !contributions.is_empty(),
+            "aggregate of empty contribution set"
+        );
         match self {
-            AggregationRule::Uniform => {
-                ParamVec::mean(contributions.iter().map(|c| c.params))
+            AggregationRule::Uniform => ParamVec::mean(contributions.iter().map(|c| c.params)),
+            AggregationRule::SampleWeighted => {
+                ParamVec::weighted_mean(contributions.iter().map(|c| (c.samples as f32, c.params)))
             }
-            AggregationRule::SampleWeighted => ParamVec::weighted_mean(
-                contributions.iter().map(|c| (c.samples as f32, c.params)),
-            ),
             AggregationRule::TimeWeighted => ParamVec::weighted_mean(
                 contributions
                     .iter()
@@ -75,8 +76,16 @@ mod tests {
         let a = pv(&[0.0, 0.0]);
         let b = pv(&[2.0, 4.0]);
         let contributions = [
-            Contribution { params: &a, samples: 1, class_mean_time: 100.0 },
-            Contribution { params: &b, samples: 999, class_mean_time: 0.1 },
+            Contribution {
+                params: &a,
+                samples: 1,
+                class_mean_time: 100.0,
+            },
+            Contribution {
+                params: &b,
+                samples: 999,
+                class_mean_time: 0.1,
+            },
         ];
         let g = AggregationRule::Uniform.aggregate(&contributions);
         assert_eq!(g.as_slice(), &[1.0, 2.0]);
@@ -87,8 +96,16 @@ mod tests {
         let a = pv(&[0.0]);
         let b = pv(&[10.0]);
         let contributions = [
-            Contribution { params: &a, samples: 30, class_mean_time: 1.0 },
-            Contribution { params: &b, samples: 10, class_mean_time: 1.0 },
+            Contribution {
+                params: &a,
+                samples: 30,
+                class_mean_time: 1.0,
+            },
+            Contribution {
+                params: &b,
+                samples: 10,
+                class_mean_time: 1.0,
+            },
         ];
         let g = AggregationRule::SampleWeighted.aggregate(&contributions);
         assert!((g.as_slice()[0] - 2.5).abs() < 1e-6);
@@ -99,8 +116,16 @@ mod tests {
         let fast = pv(&[0.0]);
         let slow = pv(&[8.0]);
         let contributions = [
-            Contribution { params: &fast, samples: 10, class_mean_time: 1.0 },
-            Contribution { params: &slow, samples: 10, class_mean_time: 3.0 },
+            Contribution {
+                params: &fast,
+                samples: 10,
+                class_mean_time: 1.0,
+            },
+            Contribution {
+                params: &slow,
+                samples: 10,
+                class_mean_time: 3.0,
+            },
         ];
         let g = AggregationRule::TimeWeighted.aggregate(&contributions);
         // (0·1 + 8·3) / 4 = 6: the slow class gets more weight.
@@ -117,13 +142,24 @@ mod tests {
             AggregationRule::TimeWeighted,
         ] {
             let g = rule.aggregate(&[
-                Contribution { params: &a, samples: 3, class_mean_time: 2.0 },
-                Contribution { params: &b, samples: 5, class_mean_time: 4.0 },
+                Contribution {
+                    params: &a,
+                    samples: 3,
+                    class_mean_time: 2.0,
+                },
+                Contribution {
+                    params: &b,
+                    samples: 5,
+                    class_mean_time: 4.0,
+                },
             ]);
             for (i, &x) in g.as_slice().iter().enumerate() {
                 let lo = a.as_slice()[i].min(b.as_slice()[i]);
                 let hi = a.as_slice()[i].max(b.as_slice()[i]);
-                assert!(x >= lo - 1e-6 && x <= hi + 1e-6, "{rule:?} coord {i}: {x} outside [{lo}, {hi}]");
+                assert!(
+                    x >= lo - 1e-6 && x <= hi + 1e-6,
+                    "{rule:?} coord {i}: {x} outside [{lo}, {hi}]"
+                );
             }
         }
     }

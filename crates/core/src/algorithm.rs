@@ -85,7 +85,12 @@ pub fn run_experiment(
         // duration is the slowest participant's `t_i` — no epoch factor.
         virtual_time += algorithm.round_duration(env, &participants);
         let global = {
-            let mut ctx = RoundContext { env, round, participants: &participants, rng: &mut rng };
+            let mut ctx = RoundContext {
+                env,
+                round,
+                participants: &participants,
+                rng: &mut rng,
+            };
             algorithm.round(&mut ctx)
         };
         let accuracy = evaluate_on_test(env, &global);
@@ -113,7 +118,11 @@ mod tests {
 
     fn tiny_env() -> FlEnv {
         let mk = |n: usize| {
-            Dataset::new(Tensor::zeros(vec![n, 4]), (0..n).map(|i| i % 2).collect(), 2)
+            Dataset::new(
+                Tensor::zeros(vec![n, 4]),
+                (0..n).map(|i| i % 2).collect(),
+                2,
+            )
         };
         let mut rng = rng_from_seed(0);
         FlEnv {
@@ -127,6 +136,7 @@ mod tests {
             batch_size: 4,
             sgd: SgdConfig::default(),
             seed: 3,
+            exec: crate::engine::ExecMode::default(),
         }
     }
 
@@ -143,7 +153,9 @@ mod tests {
             self.p
         }
         fn round(&mut self, ctx: &mut RoundContext<'_>) -> ParamVec {
-            ctx.env.meter.record_upload(ctx.participants.len() as f64, 1);
+            ctx.env
+                .meter
+                .record_upload(ctx.participants.len() as f64, 1);
             ParamVec::zeros(ctx.env.param_count())
         }
     }

@@ -51,7 +51,10 @@ impl Comparison {
     /// expensive (the paper's win condition).
     pub fn candidate_dominates(&self) -> bool {
         self.accuracy_delta >= 0.0
-            && self.communication_savings.map(|s| s >= 1.0).unwrap_or(false)
+            && self
+                .communication_savings
+                .map(|s| s >= 1.0)
+                .unwrap_or(false)
     }
 }
 

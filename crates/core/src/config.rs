@@ -120,8 +120,13 @@ impl ExperimentConfig {
             meter: TrafficMeter::new(),
             local_epochs: self.local_epochs,
             batch_size: self.batch_size,
-            sgd: SgdConfig { lr: self.lr, momentum: 0.0, weight_decay: 0.0 },
+            sgd: SgdConfig {
+                lr: self.lr,
+                momentum: 0.0,
+                weight_decay: 0.0,
+            },
             seed: self.seed,
+            exec: crate::engine::ExecMode::default(),
         }
     }
 }

@@ -21,8 +21,8 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::env::{seed_mix, FlEnv};
-use crate::local::{build_model, local_train_plain};
-use crate::ring_sim::{simulate_ring_interval, ReceivePolicy};
+use crate::local::{evaluate_on_test, local_train_plain_owned};
+use crate::ring_sim::{simulate_ring_interval, ReceivePolicy, RingStart};
 use crate::topology::{Ring, RingOrder};
 
 /// A decentralized communication mode.
@@ -91,16 +91,18 @@ impl DecentralSim {
         let models = vec![init; env.n_devices()];
         let classes = match mode {
             DecentralMode::ClusteredRings { k, .. } => {
-                let latencies: Vec<f64> =
-                    (0..env.n_devices()).map(|d| env.latency(d)).collect();
+                let latencies: Vec<f64> = (0..env.n_devices()).map(|d| env.latency(d)).collect();
                 let k_eff = k.min(env.n_devices());
                 let mut rng = rng_from_seed(seed_mix(env.seed, 0xC105, 0, 0));
-                kmeans_1d(&latencies, k_eff, 100, &mut rng)
-                    .groups_sorted_by_centroid()
+                kmeans_1d(&latencies, k_eff, 100, &mut rng).groups_sorted_by_centroid()
             }
             _ => vec![(0..env.n_devices()).collect()],
         };
-        DecentralSim { mode, models, classes }
+        DecentralSim {
+            mode,
+            models,
+            classes,
+        }
     }
 
     /// Latency classes (fastest first). One class containing everyone for
@@ -118,9 +120,7 @@ impl DecentralSim {
     pub fn run_round(&mut self, env: &FlEnv, round: usize) {
         match self.mode {
             DecentralMode::Isolated => self.round_isolated(env, round),
-            DecentralMode::RandomExchange { average } => {
-                self.round_random(env, round, average)
-            }
+            DecentralMode::RandomExchange { average } => self.round_random(env, round, average),
             DecentralMode::ClusteredRings { order, average, .. } => {
                 self.round_rings(env, round, order, average)
             }
@@ -142,9 +142,8 @@ impl DecentralSim {
                 let steps = ((interval / env.latency(d)).ceil() as usize).max(1);
                 let mut current = params.clone();
                 for s in 0..steps {
-                    current = local_train_plain(
-                        env, d, &current, env.local_epochs, round, s as u64,
-                    );
+                    current =
+                        local_train_plain_owned(env, d, current, env.local_epochs, round, s as u64);
                 }
                 current
             })
@@ -164,9 +163,8 @@ impl DecentralSim {
                 let steps = ((interval / env.latency(d)).ceil() as usize).max(1);
                 let mut current = params.clone();
                 for s in 0..steps {
-                    current = local_train_plain(
-                        env, d, &current, env.local_epochs, round, s as u64,
-                    );
+                    current =
+                        local_train_plain_owned(env, d, current, env.local_epochs, round, s as u64);
                 }
                 current
             })
@@ -217,8 +215,7 @@ impl DecentralSim {
             .enumerate()
             .map(|(ci, members)| {
                 let lat: Vec<f64> = members.iter().map(|&d| env.latency(d)).collect();
-                let mut rng =
-                    rng_from_seed(seed_mix(env.seed, round as u64, ci as u64, 0x4149));
+                let mut rng = rng_from_seed(seed_mix(env.seed, round as u64, ci as u64, 0x4149));
                 let ring = Ring::build(members, &lat, &env.link, order, &mut rng);
                 let ring_lat: Vec<f64> = ring.order().iter().map(|&d| env.latency(d)).collect();
                 (ring, ring_lat)
@@ -234,11 +231,11 @@ impl DecentralSim {
                     ring,
                     ring_lat,
                     &env.link,
-                    start,
+                    RingStart::PerPosition(start),
                     interval,
                     policy,
                     |device, params, salt| {
-                        local_train_plain(env, device, params, env.local_epochs, round, salt)
+                        local_train_plain_owned(env, device, params, env.local_epochs, round, salt)
                     },
                 );
                 // Carry the buffer state (pending arrivals) into the next
@@ -261,10 +258,7 @@ impl DecentralSim {
         let sum: f32 = self
             .models
             .par_iter()
-            .map(|params| {
-                let mut model = build_model(env, 0, params);
-                fedhisyn_nn::evaluate(&mut model, &env.test.x, &env.test.y, 256)
-            })
+            .map(|params| evaluate_on_test(env, params))
             .sum();
         sum / self.models.len() as f32
     }
@@ -275,10 +269,7 @@ impl DecentralSim {
         let members = &self.classes[class];
         let sum: f32 = members
             .par_iter()
-            .map(|&d| {
-                let mut model = build_model(env, 0, &self.models[d]);
-                fedhisyn_nn::evaluate(&mut model, &env.test.x, &env.test.y, 256)
-            })
+            .map(|&d| evaluate_on_test(env, &self.models[d]))
             .sum();
         sum / members.len() as f32
     }
@@ -314,7 +305,10 @@ mod tests {
         let acc0 = sim.mean_accuracy(&env);
         sim.run_round(&env, 0);
         let acc1 = sim.mean_accuracy(&env);
-        assert!(acc1 > acc0, "isolated training should improve: {acc0} -> {acc1}");
+        assert!(
+            acc1 > acc0,
+            "isolated training should improve: {acc0} -> {acc1}"
+        );
     }
 
     #[test]
@@ -322,7 +316,11 @@ mod tests {
         let env = env(4, 1.0);
         let mut sim = DecentralSim::new(
             &env,
-            DecentralMode::ClusteredRings { k: 1, order: RingOrder::SmallToLarge, average: false },
+            DecentralMode::ClusteredRings {
+                k: 1,
+                order: RingOrder::SmallToLarge,
+                average: false,
+            },
         );
         let before = sim.models()[0].clone();
         sim.run_round(&env, 0);
@@ -344,7 +342,11 @@ mod tests {
         let env = env(9, 10.0);
         let sim = DecentralSim::new(
             &env,
-            DecentralMode::ClusteredRings { k: 3, order: RingOrder::SmallToLarge, average: false },
+            DecentralMode::ClusteredRings {
+                k: 3,
+                order: RingOrder::SmallToLarge,
+                average: false,
+            },
         );
         assert!(sim.classes().len() <= 3 && !sim.classes().is_empty());
         let total: usize = sim.classes().iter().map(|c| c.len()).sum();
@@ -368,7 +370,11 @@ mod tests {
         let env = env(6, 10.0);
         let mut sim = DecentralSim::new(
             &env,
-            DecentralMode::ClusteredRings { k: 2, order: RingOrder::SmallToLarge, average: false },
+            DecentralMode::ClusteredRings {
+                k: 2,
+                order: RingOrder::SmallToLarge,
+                average: false,
+            },
         );
         sim.run_round(&env, 0);
         let acc = sim.class_accuracy(&env, 0);
@@ -378,10 +384,17 @@ mod tests {
     #[test]
     fn mode_labels() {
         assert_eq!(DecentralMode::Isolated.label(), "no-comm");
-        assert_eq!(DecentralMode::RandomExchange { average: true }.label(), "random+avg");
         assert_eq!(
-            DecentralMode::ClusteredRings { k: 2, order: RingOrder::SmallToLarge, average: false }
-                .label(),
+            DecentralMode::RandomExchange { average: true }.label(),
+            "random+avg"
+        );
+        assert_eq!(
+            DecentralMode::ClusteredRings {
+                k: 2,
+                order: RingOrder::SmallToLarge,
+                average: false
+            }
+            .label(),
             "ring-s2l(k=2)"
         );
     }

@@ -1,0 +1,179 @@
+//! The zero-copy training execution engine.
+//!
+//! Simulating one FedHiSyn round trains hundreds of device steps, and in
+//! the original implementation every single one rebuilt the full
+//! [`Sequential`] from the environment's [`ModelSpec`] (allocating every
+//! layer, every gradient buffer, every initial weight — all immediately
+//! overwritten). The engine replaces that with a **per-worker model
+//! cache**: each pool thread keeps one built model per distinct
+//! `ModelSpec` in a `thread_local!` slot, and training borrows it,
+//! loads the incoming parameters, runs the in-place SGD loop and copies
+//! the result back out into the caller's relay buffer.
+//!
+//! Combined with the in-place `sgd_epoch` (crate `fedhisyn-nn`) and the
+//! move-based ring relay (`ring_sim`), the steady-state cost of one ring
+//! hop is: one `set_params` load, the SGD arithmetic, and one
+//! `copy_params_into` store — no model construction and no intermediate
+//! flat copies.
+//!
+//! # Determinism contract
+//!
+//! Cached execution is **bit-identical** to naive rebuild-per-call
+//! execution ([`ExecMode::Reference`]): `set_params` overwrites every
+//! trainable value, optimizer state lives outside the model, and the
+//! in-place step applies the same element-wise arithmetic in the same
+//! order as the flat reference step. The golden test
+//! (`tests/engine_equivalence.rs`) runs whole experiments through both
+//! modes and asserts equal metrics and parameters.
+
+use std::cell::RefCell;
+
+use fedhisyn_nn::{ModelSpec, Sequential};
+use fedhisyn_tensor::rng_from_seed;
+use serde::{Deserialize, Serialize};
+
+/// Which execution path [`crate::local::local_train_owned`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ExecMode {
+    /// Train on the per-worker cached model (the fast path, default).
+    #[default]
+    Cached,
+    /// Rebuild a fresh model per call and use the copy-based reference
+    /// epoch — the pre-engine behaviour, kept for equivalence testing and
+    /// benchmarking.
+    Reference,
+}
+
+thread_local! {
+    /// One built model per distinct spec, per worker thread. Experiments
+    /// use a handful of specs at most, so a linear scan beats hashing.
+    static MODEL_CACHE: RefCell<Vec<(ModelSpec, Sequential)>> =
+        const { RefCell::new(Vec::new()) };
+}
+
+/// Facade over the per-worker model cache.
+pub struct ExecutionEngine;
+
+impl ExecutionEngine {
+    /// Borrow this worker's cached model for `spec`, building it on first
+    /// use.
+    ///
+    /// The cached model's weights are whatever the previous caller left
+    /// behind — callers must `set_params` before training (every engine
+    /// call site does).
+    ///
+    /// The model is **checked out** of the cache while `f` runs (the
+    /// `RefCell` borrow is never held across `f`), so re-entrant use on
+    /// the same thread is safe: the worker pool's work-helping can start
+    /// another training job on this thread while one is mid-epoch, and
+    /// the inner call simply checks out (or builds) a second model for
+    /// the same spec. Both are returned to the cache afterwards.
+    pub fn with_model<T>(spec: &ModelSpec, f: impl FnOnce(&mut Sequential) -> T) -> T {
+        let mut model = MODEL_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            match cache.iter().position(|(cached, _)| cached == spec) {
+                Some(idx) => cache.swap_remove(idx).1,
+                None => {
+                    // The init RNG is irrelevant — weights are overwritten
+                    // by set_params before every use — but keep it fixed so
+                    // building is deterministic regardless of caller state.
+                    let mut rng = rng_from_seed(0x0E0E_0E0E);
+                    spec.build(&mut rng)
+                }
+            }
+        });
+        let out = f(&mut model);
+        MODEL_CACHE.with(|cache| cache.borrow_mut().push((spec.clone(), model)));
+        out
+    }
+
+    /// Number of models cached on the calling thread (diagnostics/tests).
+    pub fn cached_models() -> usize {
+        MODEL_CACHE.with(|cache| cache.borrow().len())
+    }
+
+    /// Drop the **calling thread's** cache.
+    ///
+    /// Worker threads in the persistent pool keep their own caches, which
+    /// this cannot reach — a long-lived process sweeping many distinct
+    /// architectures retains one built model per (spec, worker) until
+    /// exit. Cross-worker eviction is a ROADMAP item; experiment binaries
+    /// today use a handful of specs, which is what the cache is sized for.
+    pub fn clear_thread_cache() {
+        MODEL_CACHE.with(|cache| cache.borrow_mut().clear());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedhisyn_nn::ParamVec;
+
+    #[test]
+    fn cache_is_keyed_on_spec() {
+        ExecutionEngine::clear_thread_cache();
+        let a = ModelSpec::mlp(&[4, 8, 2]);
+        let b = ModelSpec::mlp(&[4, 6, 2]);
+        ExecutionEngine::with_model(&a, |_| {});
+        ExecutionEngine::with_model(&a, |_| {});
+        assert_eq!(
+            ExecutionEngine::cached_models(),
+            1,
+            "same spec reuses the entry"
+        );
+        ExecutionEngine::with_model(&b, |_| {});
+        assert_eq!(
+            ExecutionEngine::cached_models(),
+            2,
+            "new spec adds an entry"
+        );
+        ExecutionEngine::clear_thread_cache();
+        assert_eq!(ExecutionEngine::cached_models(), 0);
+    }
+
+    #[test]
+    fn cached_model_state_is_overwritten_by_set_params() {
+        ExecutionEngine::clear_thread_cache();
+        let spec = ModelSpec::mlp(&[3, 5, 2]);
+        let n = spec.param_count();
+        // Dirty the cached model, then verify a fresh load sees only the
+        // loaded parameters.
+        ExecutionEngine::with_model(&spec, |m| {
+            m.set_params(&ParamVec::from_vec(vec![7.0; n]));
+        });
+        let clean = ParamVec::zeros(n);
+        let out = ExecutionEngine::with_model(&spec, |m| {
+            m.set_params(&clean);
+            m.params()
+        });
+        assert_eq!(out, clean);
+    }
+
+    #[test]
+    fn with_model_is_reentrant_on_one_thread() {
+        // The pool's work-helping can start a second training job on a
+        // thread whose first job is mid-epoch; the checkout design must
+        // support that without a RefCell double-borrow.
+        ExecutionEngine::clear_thread_cache();
+        let spec = ModelSpec::mlp(&[3, 4, 2]);
+        let outer_spec = spec.clone();
+        let (outer_n, inner_n) = ExecutionEngine::with_model(&spec, |outer| {
+            let inner_n = ExecutionEngine::with_model(&outer_spec, |inner| {
+                inner.set_params(&ParamVec::zeros(inner.param_count()));
+                inner.param_count()
+            });
+            (outer.param_count(), inner_n)
+        });
+        assert_eq!(outer_n, inner_n);
+        // Both checked-out models were returned to the cache.
+        assert_eq!(ExecutionEngine::cached_models(), 2);
+        ExecutionEngine::clear_thread_cache();
+    }
+
+    #[test]
+    fn with_model_returns_closure_value() {
+        let spec = ModelSpec::mlp(&[2, 2]);
+        let count = ExecutionEngine::with_model(&spec, |m| m.param_count());
+        assert_eq!(count, spec.param_count());
+    }
+}

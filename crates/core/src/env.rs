@@ -4,6 +4,8 @@ use fedhisyn_data::Dataset;
 use fedhisyn_nn::{ModelSpec, SgdConfig};
 use fedhisyn_simnet::{DeviceProfile, LinkModel, TrafficMeter};
 
+use crate::engine::ExecMode;
+
 /// Everything an FL algorithm needs to run one experiment:
 /// the model architecture, each device's private shard, the global test
 /// split, the fleet's latency profiles and the transmission meter.
@@ -34,6 +36,10 @@ pub struct FlEnv {
     pub sgd: SgdConfig,
     /// Master experiment seed; all per-round randomness derives from it.
     pub seed: u64,
+    /// Which training execution path to use (cached engine by default;
+    /// [`ExecMode::Reference`] rebuilds models per call for equivalence
+    /// testing). Both produce bit-identical results.
+    pub exec: ExecMode,
 }
 
 impl FlEnv {
@@ -87,7 +93,11 @@ mod tests {
 
     fn tiny_env() -> FlEnv {
         let mk = |n: usize| {
-            Dataset::new(Tensor::zeros(vec![n, 4]), (0..n).map(|i| i % 2).collect(), 2)
+            Dataset::new(
+                Tensor::zeros(vec![n, 4]),
+                (0..n).map(|i| i % 2).collect(),
+                2,
+            )
         };
         let mut rng = rng_from_seed(0);
         FlEnv {
@@ -106,6 +116,7 @@ mod tests {
             batch_size: 50,
             sgd: SgdConfig::default(),
             seed: 42,
+            exec: ExecMode::default(),
         }
     }
 
@@ -142,6 +153,10 @@ mod tests {
         for i in 0..256u64 {
             high_bytes.insert((seed_mix(0, i, 0, 0) >> 56) as u8);
         }
-        assert!(high_bytes.len() > 150, "got {} distinct high bytes", high_bytes.len());
+        assert!(
+            high_bytes.len() > 150,
+            "got {} distinct high bytes",
+            high_bytes.len()
+        );
     }
 }

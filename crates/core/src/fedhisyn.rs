@@ -9,8 +9,8 @@ use crate::aggregate::{AggregationRule, Contribution};
 use crate::algorithm::{FlAlgorithm, RoundContext};
 use crate::config::ExperimentConfig;
 use crate::env::{seed_mix, FlEnv};
-use crate::local::local_train_plain;
-use crate::ring_sim::{simulate_ring_interval, ReceivePolicy, RingOutcome};
+use crate::local::local_train_plain_owned;
+use crate::ring_sim::{simulate_ring_interval, ReceivePolicy, RingOutcome, RingStart};
 use crate::topology::{Ring, RingOrder};
 
 /// The FedHiSyn algorithm.
@@ -57,7 +57,11 @@ impl FedHiSyn {
 
     /// Override the global model (used by warm-start experiments).
     pub fn set_global(&mut self, params: ParamVec) {
-        assert_eq!(params.len(), self.global.len(), "global model size mismatch");
+        assert_eq!(
+            params.len(),
+            self.global.len(),
+            "global model size mismatch"
+        );
         self.global = params;
     }
 
@@ -115,8 +119,7 @@ impl FlAlgorithm for FedHiSyn {
                 let latencies: Vec<f64> = members.iter().map(|&d| env.latency(d)).collect();
                 let mut rng = rng_from_seed(seed_mix(ring_seed, ci as u64, 0, 0));
                 let ring = Ring::build(members, &latencies, &env.link, self.ring_order, &mut rng);
-                let ring_lat: Vec<f64> =
-                    ring.order().iter().map(|&d| env.latency(d)).collect();
+                let ring_lat: Vec<f64> = ring.order().iter().map(|&d| env.latency(d)).collect();
                 let mean_time = latencies.iter().sum::<f64>() / latencies.len() as f64;
                 (ring, ring_lat, mean_time)
             })
@@ -128,16 +131,18 @@ impl FlAlgorithm for FedHiSyn {
         let outcomes: Vec<(RingOutcome, &Ring, f64)> = rings
             .par_iter()
             .map(|(ring, ring_lat, mean_time)| {
-                let start = vec![global.clone(); ring.len()];
+                // The round-start broadcast is *shared*: the relay copies
+                // the global lazily, once per position, instead of this
+                // call materialising `ring.len()` clones up front.
                 let outcome = simulate_ring_interval(
                     ring,
                     ring_lat,
                     &env.link,
-                    start,
+                    RingStart::Shared(global),
                     interval,
                     policy,
                     |device, params, salt| {
-                        local_train_plain(env, device, params, env.local_epochs, round, salt)
+                        local_train_plain_owned(env, device, params, env.local_epochs, round, salt)
                     },
                 );
                 (outcome, ring, *mean_time)
@@ -201,7 +206,10 @@ mod tests {
         assert_eq!(total, 8, "every participant lands in exactly one class");
         if classes.len() == 2 {
             // Fastest class first.
-            let max_fast = classes[0].iter().map(|&d| env.latency(d)).fold(0.0, f64::max);
+            let max_fast = classes[0]
+                .iter()
+                .map(|&d| env.latency(d))
+                .fold(0.0, f64::max);
             let min_slow = classes[1]
                 .iter()
                 .map(|&d| env.latency(d))

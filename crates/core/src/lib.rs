@@ -41,6 +41,7 @@ pub mod algorithm;
 pub mod compare;
 pub mod config;
 pub mod decentral;
+pub mod engine;
 pub mod env;
 pub mod fedhisyn;
 pub mod local;
@@ -52,6 +53,7 @@ pub mod topology;
 pub use aggregate::AggregationRule;
 pub use algorithm::{run_experiment, FlAlgorithm, RoundContext};
 pub use config::{ExperimentConfig, ExperimentConfigBuilder};
+pub use engine::{ExecMode, ExecutionEngine};
 pub use env::{seed_mix, FlEnv};
 pub use fedhisyn::FedHiSyn;
 pub use metrics::{RoundRecord, RunRecord};

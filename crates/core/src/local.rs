@@ -1,17 +1,78 @@
 //! Device-local training, shared by FedHiSyn and every baseline.
+//!
+//! All algorithms funnel through [`local_train_owned`], which runs on the
+//! [`ExecutionEngine`]'s per-worker cached model and reuses the incoming
+//! parameter buffer for the result — one ring hop allocates nothing in
+//! steady state. The by-reference [`local_train`] wrapper exists for
+//! callers that need to keep their input (it pays one clone).
 
-use fedhisyn_nn::{sgd_epoch, GradHook, NoHook, ParamVec, Sequential, Sgd};
+use fedhisyn_nn::{sgd_epoch, sgd_epoch_reference, GradHook, NoHook, ParamVec, Sequential, Sgd};
 use fedhisyn_tensor::rng_from_seed;
 
+use crate::engine::{ExecMode, ExecutionEngine};
 use crate::env::{seed_mix, FlEnv};
 
-/// Train `params` on device `device`'s shard for `epochs` epochs and
-/// return the updated parameters (Eq. 6 of the paper when `params` came
-/// from a ring predecessor, Eq. 7 when it is the device's own model).
+/// Train `params` on device `device`'s shard for `epochs` epochs,
+/// consuming and returning the parameter buffer (Eq. 6 of the paper when
+/// `params` came from a ring predecessor, Eq. 7 when it is the device's
+/// own model).
 ///
 /// `salt` disambiguates multiple training steps of the same device within
 /// one round (ring hops); mixing it into the RNG seed keeps every step's
 /// batch order independent yet reproducible.
+pub fn local_train_owned(
+    env: &FlEnv,
+    device: usize,
+    mut params: ParamVec,
+    epochs: usize,
+    hook: &dyn GradHook,
+    round: usize,
+    salt: u64,
+) -> ParamVec {
+    let data = &env.device_data[device];
+    if data.is_empty() {
+        return params;
+    }
+    match env.exec {
+        ExecMode::Cached => ExecutionEngine::with_model(&env.spec, move |model| {
+            model.set_params(&params);
+            let mut sgd = Sgd::new(env.sgd);
+            let mut rng = rng_from_seed(seed_mix(env.seed, round as u64, device as u64, salt));
+            for _ in 0..epochs {
+                sgd_epoch(
+                    model,
+                    &data.x,
+                    &data.y,
+                    env.batch_size,
+                    &mut sgd,
+                    hook,
+                    &mut rng,
+                );
+            }
+            model.copy_params_into(&mut params);
+            params
+        }),
+        ExecMode::Reference => {
+            let mut model = build_model(env, device, &params);
+            let mut sgd = Sgd::new(env.sgd);
+            let mut rng = rng_from_seed(seed_mix(env.seed, round as u64, device as u64, salt));
+            for _ in 0..epochs {
+                sgd_epoch_reference(
+                    &mut model,
+                    &data.x,
+                    &data.y,
+                    env.batch_size,
+                    &mut sgd,
+                    hook,
+                    &mut rng,
+                );
+            }
+            model.params()
+        }
+    }
+}
+
+/// [`local_train_owned`] keeping the caller's input (clones once).
 pub fn local_train(
     env: &FlEnv,
     device: usize,
@@ -21,17 +82,19 @@ pub fn local_train(
     round: usize,
     salt: u64,
 ) -> ParamVec {
-    let mut model = build_model(env, device, params);
-    let data = &env.device_data[device];
-    if data.is_empty() {
-        return params.clone();
-    }
-    let mut sgd = Sgd::new(env.sgd);
-    let mut rng = rng_from_seed(seed_mix(env.seed, round as u64, device as u64, salt));
-    for _ in 0..epochs {
-        sgd_epoch(&mut model, &data.x, &data.y, env.batch_size, &mut sgd, hook, &mut rng);
-    }
-    model.params()
+    local_train_owned(env, device, params.clone(), epochs, hook, round, salt)
+}
+
+/// [`local_train_owned`] with no gradient correction.
+pub fn local_train_plain_owned(
+    env: &FlEnv,
+    device: usize,
+    params: ParamVec,
+    epochs: usize,
+    round: usize,
+    salt: u64,
+) -> ParamVec {
+    local_train_owned(env, device, params, epochs, &NoHook, round, salt)
 }
 
 /// [`local_train`] with no gradient correction.
@@ -46,7 +109,9 @@ pub fn local_train_plain(
     local_train(env, device, params, epochs, &NoHook, round, salt)
 }
 
-/// Instantiate the environment's architecture loaded with `params`.
+/// Instantiate the environment's architecture loaded with `params` —
+/// the naive path ([`ExecMode::Reference`]); engine-mode callers go
+/// through [`ExecutionEngine::with_model`] instead.
 pub fn build_model(env: &FlEnv, device: usize, params: &ParamVec) -> Sequential {
     // The init RNG is irrelevant (weights are overwritten), but keep it
     // deterministic anyway so allocation patterns don't depend on state.
@@ -58,8 +123,16 @@ pub fn build_model(env: &FlEnv, device: usize, params: &ParamVec) -> Sequential 
 
 /// Evaluate `params` on the environment's global test split.
 pub fn evaluate_on_test(env: &FlEnv, params: &ParamVec) -> f32 {
-    let mut model = build_model(env, 0, params);
-    fedhisyn_nn::evaluate(&mut model, &env.test.x, &env.test.y, 256)
+    match env.exec {
+        ExecMode::Cached => ExecutionEngine::with_model(&env.spec, |model| {
+            model.set_params(params);
+            fedhisyn_nn::evaluate(model, &env.test.x, &env.test.y, 256)
+        }),
+        ExecMode::Reference => {
+            let mut model = build_model(env, 0, params);
+            fedhisyn_nn::evaluate(&mut model, &env.test.x, &env.test.y, 256)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -71,14 +144,19 @@ mod tests {
     use fedhisyn_tensor::Tensor;
 
     fn make_env() -> FlEnv {
-        let fd = DatasetProfile::MnistLike.synth_config(Scale::Smoke, 3).generate();
+        let fd = DatasetProfile::MnistLike
+            .synth_config(Scale::Smoke, 3)
+            .generate();
         let dim = fd.config.total_input_dim();
         let mut rng = rng_from_seed(1);
         // 4 devices, each with a slice of the pooled training set.
         let n = fd.train.len();
         let per = n / 4;
         let device_data: Vec<Dataset> = (0..4)
-            .map(|d| fd.train.subset(&((d * per..(d + 1) * per).collect::<Vec<_>>())))
+            .map(|d| {
+                fd.train
+                    .subset(&((d * per..(d + 1) * per).collect::<Vec<_>>()))
+            })
             .collect();
         FlEnv {
             spec: ModelSpec::mlp(&[dim, 16, 10]),
@@ -91,6 +169,7 @@ mod tests {
             batch_size: 32,
             sgd: SgdConfig::default(),
             seed: 77,
+            exec: ExecMode::default(),
         }
     }
 
@@ -125,6 +204,33 @@ mod tests {
         assert_eq!(a, b);
         let c = local_train_plain(&env, 2, &init, 2, 3, 10);
         assert_ne!(a, c, "different salt must give a different batch order");
+    }
+
+    #[test]
+    fn cached_and_reference_modes_are_bit_identical() {
+        let mut env = make_env();
+        let init = env.spec.build(&mut rng_from_seed(0)).params();
+        env.exec = ExecMode::Cached;
+        let fast = local_train_plain(&env, 1, &init, 3, 2, 5);
+        let fast_acc = evaluate_on_test(&env, &fast);
+        env.exec = ExecMode::Reference;
+        let slow = local_train_plain(&env, 1, &init, 3, 2, 5);
+        let slow_acc = evaluate_on_test(&env, &slow);
+        assert_eq!(fast, slow, "engine must match rebuild-per-call reference");
+        assert_eq!(fast_acc, slow_acc);
+    }
+
+    #[test]
+    fn owned_training_reuses_the_input_buffer() {
+        let env = make_env();
+        let init = env.spec.build(&mut rng_from_seed(0)).params();
+        let ptr_before = init.as_slice().as_ptr();
+        let trained = local_train_plain_owned(&env, 0, init, 1, 0, 0);
+        assert_eq!(
+            ptr_before,
+            trained.as_slice().as_ptr(),
+            "cached path must hand back the same allocation"
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ pub struct RunRecord {
 impl RunRecord {
     /// New empty record for an algorithm.
     pub fn new(algorithm: impl Into<String>) -> Self {
-        RunRecord { algorithm: algorithm.into(), rounds: Vec::new() }
+        RunRecord {
+            algorithm: algorithm.into(),
+            rounds: Vec::new(),
+        }
     }
 
     /// Final test accuracy (0 when no rounds ran).
@@ -48,7 +51,10 @@ impl RunRecord {
 
     /// First round index whose accuracy reached `target`, if any.
     pub fn rounds_to_target(&self, target: f32) -> Option<usize> {
-        self.rounds.iter().find(|r| r.accuracy >= target).map(|r| r.round)
+        self.rounds
+            .iter()
+            .find(|r| r.accuracy >= target)
+            .map(|r| r.round)
     }
 
     /// Table 1's metric: uploads (in model-equivalents) accumulated by the

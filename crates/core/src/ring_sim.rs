@@ -9,6 +9,18 @@
 //! holds the model it most recently finished training, which is what it
 //! uploads.
 //!
+//! # Move-based relay
+//!
+//! Models flow through the simulation **by value**: the trainer consumes
+//! the working [`ParamVec`] and returns the trained one (reusing the same
+//! allocation on the engine path), arrivals move into the inbox, and the
+//! inbox moves into the next working slot. The only copy a steady-state
+//! hop performs is the clone placed on the wire for the ring successor —
+//! the original implementation additionally cloned into the `latest`
+//! snapshot on every completion and cloned the whole start vector up
+//! front. [`RingStart::Shared`] likewise materialises per-position copies
+//! of the interval-start broadcast lazily, exactly once each.
+//!
 //! The simulation is generic over the actual training function so unit
 //! tests can verify the event choreography with arithmetic mocks while
 //! the algorithms plug in real SGD.
@@ -29,6 +41,18 @@ pub enum ReceivePolicy {
     /// Average the received model with the local one, then train (the
     /// paper's "averaging" control in Figure 2).
     AverageThenTrain,
+}
+
+/// The models ring positions begin an interval with.
+#[derive(Debug)]
+pub enum RingStart<'a> {
+    /// Every position starts from the same model (FedHiSyn's round-start
+    /// broadcast of the global). Positions copy it lazily, once each —
+    /// the caller no longer materialises `ring.len()` clones up front.
+    Shared(&'a ParamVec),
+    /// Each position starts from its own model (decentralized training,
+    /// where models persist on devices across intervals).
+    PerPosition(Vec<ParamVec>),
 }
 
 /// Result of simulating one interval on one ring.
@@ -63,9 +87,11 @@ enum Event {
 /// * `ring` — the communication ring (device ids),
 /// * `latencies[p]` — virtual seconds per local step for the device at
 ///   ring position `p`,
-/// * `start[p]` — the model position `p` begins the interval with,
-/// * `train(device, model, salt)` — performs one local step; `salt` is a
-///   unique per-(position, step) value for deterministic batch shuffling.
+/// * `start` — the models positions begin the interval with (shared
+///   broadcast or per-position),
+/// * `train(device, model, salt)` — performs one local step, consuming
+///   and returning the model buffer; `salt` is a unique per-(position,
+///   step) value for deterministic batch shuffling.
 ///
 /// Each position runs `ceil(interval / latency)` steps (at least one),
 /// matching Alg. 1's budget loop (`R_ci > 0`).
@@ -73,17 +99,16 @@ pub fn simulate_ring_interval<F>(
     ring: &Ring,
     latencies: &[f64],
     link: &LinkModel,
-    start: Vec<ParamVec>,
+    start: RingStart<'_>,
     interval: f64,
     policy: ReceivePolicy,
     mut train: F,
 ) -> RingOutcome
 where
-    F: FnMut(usize, &ParamVec, u64) -> ParamVec,
+    F: FnMut(usize, ParamVec, u64) -> ParamVec,
 {
     let n = ring.len();
     assert_eq!(latencies.len(), n, "one latency per ring position");
-    assert_eq!(start.len(), n, "one start model per ring position");
     assert!(n > 0, "empty ring");
     assert!(interval > 0.0, "interval must be positive");
 
@@ -92,8 +117,19 @@ where
         .map(|&t| ((interval / t).ceil() as usize).max(1))
         .collect();
 
-    let mut working: Vec<ParamVec> = start.clone();
-    let mut latest: Vec<ParamVec> = start;
+    // `working[pos]` is the model the position trains next; `None` means
+    // "still on the shared start model" (copied lazily at first use).
+    let (mut working, shared): (Vec<Option<ParamVec>>, Option<&ParamVec>) = match start {
+        RingStart::Shared(global) => (vec![None; n], Some(global)),
+        RingStart::PerPosition(models) => {
+            assert_eq!(models.len(), n, "one start model per ring position");
+            (models.into_iter().map(Some).collect(), None)
+        }
+    };
+    // `latest[pos]` is only read after the position's final completion,
+    // and every position completes at least once (`allowed[pos] >= 1`),
+    // so placeholders are never observed.
+    let mut latest: Vec<ParamVec> = vec![ParamVec::default(); n];
     let mut inbox: Vec<Option<ParamVec>> = vec![None; n];
     let mut steps = vec![0usize; n];
     let mut transfers = 0usize;
@@ -106,7 +142,11 @@ where
 
     let mut queue: EventQueue<Event> = EventQueue::new();
     for (pos, &latency) in latencies.iter().enumerate() {
-        queue.push_class(SimTime::new(latency), CLASS_COMPLETION, Event::Completion { pos });
+        queue.push_class(
+            SimTime::new(latency),
+            CLASS_COMPLETION,
+            Event::Completion { pos },
+        );
     }
 
     while let Some((now, event)) = queue.pop() {
@@ -118,20 +158,26 @@ where
             }
             Event::Completion { pos } => {
                 let salt = (pos as u64) << 32 | steps[pos] as u64;
-                let trained = train(ring.order()[pos], &working[pos], salt);
+                let input = working[pos]
+                    .take()
+                    .unwrap_or_else(|| shared.expect("start model").clone());
+                let trained = train(ring.order()[pos], input, salt);
                 steps[pos] += 1;
-                latest[pos] = trained.clone();
 
                 // Forward along the ring (skip degenerate single rings —
-                // sending to yourself is the same as continuing).
+                // sending to yourself is the same as continuing). This
+                // clone is the hop's single copy: the wire needs its own
+                // buffer while the sender keeps training.
                 if n > 1 {
                     let succ = ring.next_position(pos);
-                    let delay =
-                        link.delay(ring.order()[pos], ring.order()[succ]).max(0.0);
+                    let delay = link.delay(ring.order()[pos], ring.order()[succ]).max(0.0);
                     queue.push_class(
                         now + delay,
                         CLASS_ARRIVAL,
-                        Event::Arrival { pos: succ, model: trained.clone() },
+                        Event::Arrival {
+                            pos: succ,
+                            model: trained.clone(),
+                        },
                     );
                     transfers += 1;
                 }
@@ -139,21 +185,27 @@ where
                 if steps[pos] < allowed[pos] {
                     // Choose the next working model: newest arrival if any
                     // (Eq. 6), else keep refining what we just trained
-                    // (Eq. 7).
-                    working[pos] = match (inbox[pos].take(), policy) {
+                    // (Eq. 7). `latest` is only read after the event loop,
+                    // and the position's *final* completion (the `else`
+                    // below) always overwrites it — so intermediate
+                    // completions never store into it, and `trained` can
+                    // be dropped or mixed in place here.
+                    working[pos] = Some(match (inbox[pos].take(), policy) {
                         (Some(received), ReceivePolicy::TrainReceived) => received,
                         (Some(received), ReceivePolicy::AverageThenTrain) => {
-                            let mut mixed = trained.clone();
+                            let mut mixed = trained;
                             mixed.lerp(&received, 0.5);
                             mixed
                         }
                         (None, _) => trained,
-                    };
+                    });
                     queue.push_class(
                         now + latencies[pos],
                         CLASS_COMPLETION,
                         Event::Completion { pos },
                     );
+                } else {
+                    latest[pos] = trained;
                 }
             }
         }
@@ -174,7 +226,12 @@ where
         })
         .collect();
 
-    RingOutcome { final_models: latest, next_models, steps, transfers }
+    RingOutcome {
+        final_models: latest,
+        next_models,
+        steps,
+        transfers,
+    }
 }
 
 #[cfg(test)]
@@ -183,14 +240,13 @@ mod tests {
     use crate::topology::RingOrder;
     use fedhisyn_tensor::rng_from_seed;
 
-    /// Mock trainer: appends nothing, just adds 1.0 to coordinate
-    /// `device` so model provenance is readable from the params.
-    fn mock_train(n_devices: usize) -> impl FnMut(usize, &ParamVec, u64) -> ParamVec {
-        move |device, model, _salt| {
-            let mut out = model.clone();
+    /// Mock trainer: adds 1.0 to coordinate `device` so model provenance
+    /// is readable from the params.
+    fn mock_train(n_devices: usize) -> impl FnMut(usize, ParamVec, u64) -> ParamVec {
+        move |device, mut model, _salt| {
             assert!(device < n_devices);
-            out.as_mut_slice()[device] += 1.0;
-            out
+            model.as_mut_slice()[device] += 1.0;
+            model
         }
     }
 
@@ -208,13 +264,21 @@ mod tests {
         (ring, lat)
     }
 
+    fn zero_start(n: usize, dims: usize) -> RingStart<'static> {
+        RingStart::PerPosition(vec![ParamVec::zeros(dims); n])
+    }
+
     #[test]
     fn step_budget_is_ceil_of_interval_over_latency() {
         let (ring, lat) = ring_of(&[1.0, 2.0, 4.0]);
-        let start = vec![ParamVec::zeros(3); 3];
         let out = simulate_ring_interval(
-            &ring, &lat, &LinkModel::zero(), start, 4.0,
-            ReceivePolicy::TrainReceived, mock_train(3),
+            &ring,
+            &lat,
+            &LinkModel::zero(),
+            zero_start(3, 3),
+            4.0,
+            ReceivePolicy::TrainReceived,
+            mock_train(3),
         );
         // Positions sorted by latency: 1.0 → 4 steps, 2.0 → 2, 4.0 → 1.
         assert_eq!(out.steps, vec![4, 2, 1]);
@@ -223,12 +287,39 @@ mod tests {
     }
 
     #[test]
+    fn shared_start_is_equivalent_to_per_position_copies() {
+        let (ring, lat) = ring_of(&[1.0, 2.0, 3.0]);
+        let global = ParamVec::from_vec(vec![0.5, -1.0, 2.0]);
+        let run = |start: RingStart<'_>| {
+            simulate_ring_interval(
+                &ring,
+                &lat,
+                &LinkModel::zero(),
+                start,
+                5.0,
+                ReceivePolicy::TrainReceived,
+                mock_train(3),
+            )
+        };
+        let shared = run(RingStart::Shared(&global));
+        let cloned = run(RingStart::PerPosition(vec![global.clone(); 3]));
+        assert_eq!(shared.final_models, cloned.final_models);
+        assert_eq!(shared.next_models, cloned.next_models);
+        assert_eq!(shared.steps, cloned.steps);
+        assert_eq!(shared.transfers, cloned.transfers);
+    }
+
+    #[test]
     fn slowest_device_always_completes_one_step() {
         let (ring, lat) = ring_of(&[1.0, 100.0]);
-        let start = vec![ParamVec::zeros(2); 2];
         let out = simulate_ring_interval(
-            &ring, &lat, &LinkModel::zero(), start, 1.0,
-            ReceivePolicy::TrainReceived, mock_train(2),
+            &ring,
+            &lat,
+            &LinkModel::zero(),
+            zero_start(2, 2),
+            1.0,
+            ReceivePolicy::TrainReceived,
+            mock_train(2),
         );
         assert!(out.steps.iter().all(|&s| s >= 1));
     }
@@ -238,10 +329,14 @@ mod tests {
         // Two homogeneous devices, long interval: models ping-pong, so each
         // device's final model must contain training from both devices.
         let (ring, lat) = ring_of(&[1.0, 1.0]);
-        let start = vec![ParamVec::zeros(2); 2];
         let out = simulate_ring_interval(
-            &ring, &lat, &LinkModel::zero(), start, 4.0,
-            ReceivePolicy::TrainReceived, mock_train(2),
+            &ring,
+            &lat,
+            &LinkModel::zero(),
+            zero_start(2, 2),
+            4.0,
+            ReceivePolicy::TrainReceived,
+            mock_train(2),
         );
         for m in &out.final_models {
             assert!(
@@ -255,10 +350,14 @@ mod tests {
     fn without_arrivals_devices_refine_their_own_model() {
         // Single device: trains its own model `ceil(R/t)` times.
         let (ring, lat) = ring_of(&[1.0]);
-        let start = vec![ParamVec::zeros(1)];
         let out = simulate_ring_interval(
-            &ring, &lat, &LinkModel::zero(), start, 3.0,
-            ReceivePolicy::TrainReceived, mock_train(1),
+            &ring,
+            &lat,
+            &LinkModel::zero(),
+            zero_start(1, 1),
+            3.0,
+            ReceivePolicy::TrainReceived,
+            mock_train(1),
         );
         assert_eq!(out.steps, vec![3]);
         assert_eq!(out.transfers, 0, "singleton rings never transfer");
@@ -271,10 +370,14 @@ mod tests {
         // interval of 8, it must have adopted the slow device's model at
         // least once (arrival at t=4).
         let (ring, lat) = ring_of(&[1.0, 4.0]);
-        let start = vec![ParamVec::zeros(2); 2];
         let out = simulate_ring_interval(
-            &ring, &lat, &LinkModel::zero(), start, 8.0,
-            ReceivePolicy::TrainReceived, mock_train(2),
+            &ring,
+            &lat,
+            &LinkModel::zero(),
+            zero_start(2, 2),
+            8.0,
+            ReceivePolicy::TrainReceived,
+            mock_train(2),
         );
         // Fast position is 0 (sorted small-to-large). Its final model must
         // include slow-device training (coordinate 1 > 0).
@@ -286,10 +389,14 @@ mod tests {
         // With a huge link delay nothing arrives before devices finish, so
         // every device only ever refines its own model.
         let (ring, lat) = ring_of(&[1.0, 1.0]);
-        let start = vec![ParamVec::zeros(2); 2];
         let out = simulate_ring_interval(
-            &ring, &lat, &LinkModel::Constant { delay: 100.0 }, start, 3.0,
-            ReceivePolicy::TrainReceived, mock_train(2),
+            &ring,
+            &lat,
+            &LinkModel::Constant { delay: 100.0 },
+            zero_start(2, 2),
+            3.0,
+            ReceivePolicy::TrainReceived,
+            mock_train(2),
         );
         // Position p trained only by its own device: exactly one non-zero
         // coordinate each.
@@ -313,17 +420,25 @@ mod tests {
         // boundary, where the averaging policy halves it into the local
         // model — fractional provenance must appear.
         let (ring, lat) = ring_of(&[1.0, 1.0]);
-        let start = vec![ParamVec::from_vec(vec![0.0, 0.0]); 2];
         let out = simulate_ring_interval(
-            &ring, &lat, &LinkModel::zero(), start, 3.0,
-            ReceivePolicy::AverageThenTrain, mock_train(2),
+            &ring,
+            &lat,
+            &LinkModel::zero(),
+            zero_start(2, 2),
+            3.0,
+            ReceivePolicy::AverageThenTrain,
+            mock_train(2),
         );
         let has_fraction = out
             .final_models
             .iter()
             .flat_map(|m| m.as_slice())
             .any(|&x| x.fract() != 0.0);
-        assert!(has_fraction, "averaging should produce fractional provenance: {:?}", out.final_models);
+        assert!(
+            has_fraction,
+            "averaging should produce fractional provenance: {:?}",
+            out.final_models
+        );
     }
 
     #[test]
@@ -331,9 +446,13 @@ mod tests {
         let (ring, lat) = ring_of(&[1.0, 2.0, 3.0, 5.0]);
         let run = || {
             simulate_ring_interval(
-                &ring, &lat, &LinkModel::zero(),
-                vec![ParamVec::zeros(4); 4], 6.0,
-                ReceivePolicy::TrainReceived, mock_train(4),
+                &ring,
+                &lat,
+                &LinkModel::zero(),
+                zero_start(4, 4),
+                6.0,
+                ReceivePolicy::TrainReceived,
+                mock_train(4),
             )
         };
         let a = run();
@@ -350,12 +469,15 @@ mod tests {
         let (ring, lat) = ring_of(&[1.0, 1.0]);
         let mut salts = Vec::new();
         let _ = simulate_ring_interval(
-            &ring, &lat, &LinkModel::zero(),
-            vec![ParamVec::zeros(2); 2], 3.0,
+            &ring,
+            &lat,
+            &LinkModel::zero(),
+            zero_start(2, 2),
+            3.0,
             ReceivePolicy::TrainReceived,
             |_, m, salt| {
                 salts.push(salt);
-                m.clone()
+                m
             },
         );
         let mut dedup = salts.clone();
@@ -365,12 +487,42 @@ mod tests {
     }
 
     #[test]
+    fn trainer_keeps_buffer_identity_across_refinement() {
+        // A single device refining its own model must hand the trainer the
+        // same allocation every step (move-based relay, no hidden clones).
+        let (ring, lat) = ring_of(&[1.0]);
+        let mut ptrs = Vec::new();
+        let _ = simulate_ring_interval(
+            &ring,
+            &lat,
+            &LinkModel::zero(),
+            zero_start(1, 2),
+            4.0,
+            ReceivePolicy::TrainReceived,
+            |_, m, _| {
+                ptrs.push(m.as_slice().as_ptr());
+                m
+            },
+        );
+        assert!(ptrs.len() >= 2);
+        assert!(
+            ptrs.windows(2).all(|w| w[0] == w[1]),
+            "refinement steps must reuse the same model buffer"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "interval must be positive")]
     fn zero_interval_panics() {
         let (ring, lat) = ring_of(&[1.0]);
         let _ = simulate_ring_interval(
-            &ring, &lat, &LinkModel::zero(), vec![ParamVec::zeros(1)], 0.0,
-            ReceivePolicy::TrainReceived, mock_train(1),
+            &ring,
+            &lat,
+            &LinkModel::zero(),
+            zero_start(1, 1),
+            0.0,
+            ReceivePolicy::TrainReceived,
+            mock_train(1),
         );
     }
 }

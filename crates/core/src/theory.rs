@@ -66,7 +66,13 @@ fn optimize_group(env: &FlEnv, members: &[usize], min_updates: usize, seed: u64)
             }
             let mut erng = rng_from_seed(seed_mix(seed, e as u64, d as u64, 1));
             fedhisyn_nn::sgd_epoch(
-                &mut model, &data.x, &data.y, env.batch_size, &mut sgd, &NoHook, &mut erng,
+                &mut model,
+                &data.x,
+                &data.y,
+                env.batch_size,
+                &mut sgd,
+                &NoHook,
+                &mut erng,
             );
         }
     }
@@ -236,6 +242,9 @@ mod tests {
         let before = pooled_loss(&env, &init);
         let trained = crate::local::local_train_plain(&env, 0, &init, 3, 0, 0);
         let after = pooled_loss(&env, &trained);
-        assert!(after < before, "training on any shard should cut pooled loss: {before} -> {after}");
+        assert!(
+            after < before,
+            "training on any shard should cut pooled loss: {before} -> {after}"
+        );
     }
 }

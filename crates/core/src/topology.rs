@@ -63,7 +63,9 @@ impl Ring {
                 }
             }
         }
-        Ring { order: idx.into_iter().map(|i| members[i]).collect() }
+        Ring {
+            order: idx.into_iter().map(|i| members[i]).collect(),
+        }
     }
 
     /// Devices in ring order.
@@ -110,7 +112,13 @@ mod tests {
         let members = vec![10, 20, 30, 40];
         let lat = vec![4.0, 1.0, 3.0, 2.0];
         let mut rng = rng_from_seed(0);
-        let ring = Ring::build(&members, &lat, &LinkModel::zero(), RingOrder::SmallToLarge, &mut rng);
+        let ring = Ring::build(
+            &members,
+            &lat,
+            &LinkModel::zero(),
+            RingOrder::SmallToLarge,
+            &mut rng,
+        );
         assert_eq!(ring.order(), &[20, 40, 30, 10]);
     }
 
@@ -119,7 +127,13 @@ mod tests {
         let members = vec![10, 20, 30];
         let lat = vec![1.0, 2.0, 3.0];
         let mut rng = rng_from_seed(0);
-        let ring = Ring::build(&members, &lat, &LinkModel::zero(), RingOrder::LargeToSmall, &mut rng);
+        let ring = Ring::build(
+            &members,
+            &lat,
+            &LinkModel::zero(),
+            RingOrder::LargeToSmall,
+            &mut rng,
+        );
         assert_eq!(ring.order(), &[30, 20, 10]);
     }
 
@@ -128,7 +142,13 @@ mod tests {
         let members: Vec<usize> = (0..20).collect();
         let lat = vec![1.0; 20];
         let mut rng = rng_from_seed(1);
-        let ring = Ring::build(&members, &lat, &LinkModel::zero(), RingOrder::Random, &mut rng);
+        let ring = Ring::build(
+            &members,
+            &lat,
+            &LinkModel::zero(),
+            RingOrder::Random,
+            &mut rng,
+        );
         let mut sorted = ring.order().to_vec();
         sorted.sort_unstable();
         assert_eq!(sorted, members);
@@ -139,7 +159,13 @@ mod tests {
         let members = vec![5, 6, 7];
         let lat = vec![1.0, 2.0, 3.0];
         let mut rng = rng_from_seed(2);
-        let ring = Ring::build(&members, &lat, &LinkModel::zero(), RingOrder::SmallToLarge, &mut rng);
+        let ring = Ring::build(
+            &members,
+            &lat,
+            &LinkModel::zero(),
+            RingOrder::SmallToLarge,
+            &mut rng,
+        );
         // Order: 5, 6, 7; slowest (7) wraps to fastest (5) — the paper's
         // "device with the longest local training time is connected to the
         // device with the shortest".
@@ -151,7 +177,13 @@ mod tests {
     #[test]
     fn singleton_ring_points_to_itself() {
         let mut rng = rng_from_seed(3);
-        let ring = Ring::build(&[9], &[1.0], &LinkModel::zero(), RingOrder::SmallToLarge, &mut rng);
+        let ring = Ring::build(
+            &[9],
+            &[1.0],
+            &LinkModel::zero(),
+            RingOrder::SmallToLarge,
+            &mut rng,
+        );
         assert_eq!(ring.successor(9), 9);
         assert_eq!(ring.len(), 1);
     }
@@ -161,7 +193,13 @@ mod tests {
         let members = vec![3, 1, 2];
         let lat = vec![1.0, 1.0, 1.0];
         let mut rng = rng_from_seed(4);
-        let ring = Ring::build(&members, &lat, &LinkModel::zero(), RingOrder::SmallToLarge, &mut rng);
+        let ring = Ring::build(
+            &members,
+            &lat,
+            &LinkModel::zero(),
+            RingOrder::SmallToLarge,
+            &mut rng,
+        );
         assert_eq!(ring.order(), &[1, 2, 3]);
     }
 
@@ -169,8 +207,20 @@ mod tests {
     fn deterministic_random_order_given_seed() {
         let members: Vec<usize> = (0..10).collect();
         let lat = vec![1.0; 10];
-        let a = Ring::build(&members, &lat, &LinkModel::zero(), RingOrder::Random, &mut rng_from_seed(5));
-        let b = Ring::build(&members, &lat, &LinkModel::zero(), RingOrder::Random, &mut rng_from_seed(5));
+        let a = Ring::build(
+            &members,
+            &lat,
+            &LinkModel::zero(),
+            RingOrder::Random,
+            &mut rng_from_seed(5),
+        );
+        let b = Ring::build(
+            &members,
+            &lat,
+            &LinkModel::zero(),
+            RingOrder::Random,
+            &mut rng_from_seed(5),
+        );
         assert_eq!(a, b);
     }
 
@@ -178,7 +228,13 @@ mod tests {
     #[should_panic(expected = "not in ring")]
     fn successor_of_non_member_panics() {
         let mut rng = rng_from_seed(6);
-        let ring = Ring::build(&[1], &[1.0], &LinkModel::zero(), RingOrder::SmallToLarge, &mut rng);
+        let ring = Ring::build(
+            &[1],
+            &[1.0],
+            &LinkModel::zero(),
+            RingOrder::SmallToLarge,
+            &mut rng,
+        );
         let _ = ring.successor(2);
     }
 }

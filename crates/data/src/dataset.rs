@@ -78,7 +78,11 @@ impl Dataset {
     /// Concatenate two datasets over the batch dimension.
     pub fn concat(&self, other: &Dataset) -> Dataset {
         assert_eq!(self.classes, other.classes, "class count mismatch");
-        assert_eq!(self.sample_dims(), other.sample_dims(), "sample shape mismatch");
+        assert_eq!(
+            self.sample_dims(),
+            other.sample_dims(),
+            "sample shape mismatch"
+        );
         let mut data = self.x.data().to_vec();
         data.extend_from_slice(other.x.data());
         let mut y = self.y.clone();

@@ -150,7 +150,11 @@ fn shards_partition<R: Rng>(
     for (k, &shard) in shard_ids.iter().enumerate() {
         let device = k / shards_per_device;
         let lo = shard * shard_len;
-        let hi = if shard == n_shards - 1 { data.len() } else { lo + shard_len };
+        let hi = if shard == n_shards - 1 {
+            data.len()
+        } else {
+            lo + shard_len
+        };
         out[device].extend_from_slice(&idx[lo..hi]);
     }
     out
@@ -172,7 +176,11 @@ fn quantity_skew_partition<R: Rng>(
     let mut start = 0usize;
     for (d, &p) in props.iter().enumerate() {
         acc += p;
-        let end = if d == n_devices - 1 { n } else { ((acc * n as f64).round() as usize).min(n) };
+        let end = if d == n_devices - 1 {
+            n
+        } else {
+            ((acc * n as f64).round() as usize).min(n)
+        };
         let end = end.max(start);
         out.push(idx[start..end].to_vec());
         start = end;
@@ -318,8 +326,14 @@ mod tests {
     fn shards_gives_few_classes_per_device() {
         let d = dataset(400, 10);
         let mut rng = rng_from_seed(2);
-        let parts =
-            partition_indices(&d, 20, Partition::Shards { shards_per_device: 2 }, &mut rng);
+        let parts = partition_indices(
+            &d,
+            20,
+            Partition::Shards {
+                shards_per_device: 2,
+            },
+            &mut rng,
+        );
         assert_conservation(&parts, 400);
         for p in &parts {
             let classes_held = d
@@ -328,7 +342,10 @@ mod tests {
                 .iter()
                 .filter(|&&c| c > 0)
                 .count();
-            assert!(classes_held <= 4, "shards device saw {classes_held} classes");
+            assert!(
+                classes_held <= 4,
+                "shards device saw {classes_held} classes"
+            );
         }
     }
 
@@ -338,7 +355,10 @@ mod tests {
         for seed in 0..10 {
             let mut rng = rng_from_seed(seed);
             let parts = partition_indices(&d, 30, Partition::Dirichlet { beta: 0.05 }, &mut rng);
-            assert!(parts.iter().all(|p| !p.is_empty()), "seed {seed} left an empty device");
+            assert!(
+                parts.iter().all(|p| !p.is_empty()),
+                "seed {seed} left an empty device"
+            );
             assert_conservation(&parts, 60);
         }
     }
@@ -371,16 +391,24 @@ mod tests {
     fn partition_labels() {
         assert_eq!(Partition::Iid.label(), "IID");
         assert_eq!(Partition::Dirichlet { beta: 0.3 }.label(), "Dirichlet(0.3)");
-        assert_eq!(Partition::Shards { shards_per_device: 2 }.label(), "Shards(2)");
-        assert_eq!(Partition::QuantitySkew { beta: 0.5 }.label(), "QuantitySkew(0.5)");
+        assert_eq!(
+            Partition::Shards {
+                shards_per_device: 2
+            }
+            .label(),
+            "Shards(2)"
+        );
+        assert_eq!(
+            Partition::QuantitySkew { beta: 0.5 }.label(),
+            "QuantitySkew(0.5)"
+        );
     }
 
     #[test]
     fn quantity_skew_conserves_and_unbalances() {
         let d = dataset(1000, 10);
         let mut rng = rng_from_seed(31);
-        let parts =
-            partition_indices(&d, 10, Partition::QuantitySkew { beta: 0.2 }, &mut rng);
+        let parts = partition_indices(&d, 10, Partition::QuantitySkew { beta: 0.2 }, &mut rng);
         assert_conservation(&parts, 1000);
         let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
         let max = *sizes.iter().max().unwrap();
@@ -397,16 +425,11 @@ mod tests {
         // skew is in quantity, not labels.
         let d = dataset(2000, 10);
         let mut rng = rng_from_seed(32);
-        let parts =
-            partition_indices(&d, 5, Partition::QuantitySkew { beta: 1.0 }, &mut rng);
+        let parts = partition_indices(&d, 5, Partition::QuantitySkew { beta: 1.0 }, &mut rng);
         let global = d.label_distribution();
         for p in parts.iter().filter(|p| p.len() >= 200) {
             let shard = d.subset(p).label_distribution();
-            let l1: f64 = shard
-                .iter()
-                .zip(&global)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let l1: f64 = shard.iter().zip(&global).map(|(a, b)| (a - b).abs()).sum();
             assert!(l1 < 0.3, "large shard should be near-IID, L1={l1}");
         }
     }

@@ -68,7 +68,10 @@ impl DatasetProfile {
 
     /// Whether the profile uses image-shaped inputs (CNN models).
     pub fn is_image(&self) -> bool {
-        matches!(self, DatasetProfile::Cifar10Like | DatasetProfile::Cifar100Like)
+        matches!(
+            self,
+            DatasetProfile::Cifar10Like | DatasetProfile::Cifar100Like
+        )
     }
 
     /// The paper's Table 1 target test accuracy for this dataset.
@@ -100,8 +103,14 @@ impl DatasetProfile {
         let input = match (self.is_image(), scale) {
             (false, Scale::Paper) => InputKind::Flat { dim: 784 },
             (false, Scale::Smoke) => InputKind::Flat { dim: 32 },
-            (true, Scale::Paper) => InputKind::Image { channels: 3, spatial: 16 },
-            (true, Scale::Smoke) => InputKind::Image { channels: 3, spatial: 8 },
+            (true, Scale::Paper) => InputKind::Image {
+                channels: 3,
+                spatial: 16,
+            },
+            (true, Scale::Smoke) => InputKind::Image {
+                channels: 3,
+                spatial: 8,
+            },
         };
         let separation = match self {
             DatasetProfile::MnistLike => 4.5,
@@ -159,9 +168,7 @@ mod tests {
         assert!(sep(DatasetProfile::MnistLike) > sep(DatasetProfile::EmnistLike));
         // Image: CIFAR100 is harder via 10x the classes and far fewer
         // samples per class, not via separation.
-        assert!(
-            DatasetProfile::Cifar100Like.classes() > DatasetProfile::Cifar10Like.classes()
-        );
+        assert!(DatasetProfile::Cifar100Like.classes() > DatasetProfile::Cifar10Like.classes());
         let c100 = DatasetProfile::Cifar100Like.synth_config(Scale::Smoke, 0);
         let c10 = DatasetProfile::Cifar10Like.synth_config(Scale::Smoke, 0);
         assert!(c100.train_per_class < c10.train_per_class);

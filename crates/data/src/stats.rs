@@ -73,7 +73,11 @@ pub fn summarize_partition(global: &Dataset, device_indices: &[Vec<usize>]) -> P
         devices,
         min_samples: sizes.iter().copied().min().unwrap_or(0),
         max_samples: sizes.iter().copied().max().unwrap_or(0),
-        mean_samples: if devices == 0 { 0.0 } else { total as f64 / devices as f64 },
+        mean_samples: if devices == 0 {
+            0.0
+        } else {
+            total as f64 / devices as f64
+        },
         divergence: label_divergence(global, device_indices),
         mean_classes_per_device: mean_classes,
     }
@@ -123,8 +127,7 @@ mod tests {
             (0..5)
                 .map(|s| {
                     let mut rng = rng_from_seed(s);
-                    let parts =
-                        partition_indices(&d, 10, Partition::Dirichlet { beta }, &mut rng);
+                    let parts = partition_indices(&d, 10, Partition::Dirichlet { beta }, &mut rng);
                     mean_label_divergence(&d, &parts)
                 })
                 .sum::<f64>()
@@ -132,13 +135,20 @@ mod tests {
         };
         let skewed = avg(0.1);
         let mild = avg(10.0);
-        assert!(skewed > mild, "Dir(0.1)={skewed} should exceed Dir(10)={mild}");
+        assert!(
+            skewed > mild,
+            "Dir(0.1)={skewed} should exceed Dir(10)={mild}"
+        );
     }
 
     #[test]
     fn summary_reports_sizes() {
         let d = dataset(30, 3);
-        let parts = vec![(0..10).collect::<Vec<_>>(), (10..15).collect(), (15..30).collect()];
+        let parts = vec![
+            (0..10).collect::<Vec<_>>(),
+            (10..15).collect(),
+            (15..30).collect(),
+        ];
         let s = summarize_partition(&d, &parts);
         assert_eq!(s.devices, 3);
         assert_eq!(s.min_samples, 5);

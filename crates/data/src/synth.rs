@@ -83,7 +83,11 @@ impl SynthConfig {
         let protos = self.prototypes(&mut rng);
         let train = self.sample_split(&protos, self.train_per_class, &mut rng);
         let test = self.sample_split(&protos, self.test_per_class, &mut rng);
-        FederatedDataset { train, test, config: *self }
+        FederatedDataset {
+            train,
+            test,
+            config: *self,
+        }
     }
 
     /// One prototype per class, each of norm `separation`.
@@ -139,7 +143,11 @@ impl SynthConfig {
         }
         let mut dims = vec![n];
         dims.extend(self.input.sample_dims());
-        Dataset::new(Tensor::from_vec(dims, data).expect("synth shape"), labels, self.classes)
+        Dataset::new(
+            Tensor::from_vec(dims, data).expect("synth shape"),
+            labels,
+            self.classes,
+        )
     }
 }
 
@@ -162,7 +170,11 @@ fn bilinear_upsample(grid: &[f32], low: usize, size: usize) -> Vec<f32> {
         return grid.to_vec();
     }
     let mut out = vec![0.0f32; size * size];
-    let scale = if size > 1 { (low - 1) as f32 / (size - 1) as f32 } else { 0.0 };
+    let scale = if size > 1 {
+        (low - 1) as f32 / (size - 1) as f32
+    } else {
+        0.0
+    };
     for y in 0..size {
         let fy = y as f32 * scale;
         let y0 = fy.floor() as usize;
@@ -238,7 +250,10 @@ mod tests {
     fn image_samples_have_image_shape() {
         let cfg = SynthConfig {
             classes: 3,
-            input: InputKind::Image { channels: 3, spatial: 8 },
+            input: InputKind::Image {
+                channels: 3,
+                spatial: 8,
+            },
             train_per_class: 5,
             test_per_class: 2,
             separation: 1.0,

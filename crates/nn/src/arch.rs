@@ -44,13 +44,20 @@ pub enum ModelSpec {
 impl ModelSpec {
     /// Convenience constructor for [`ModelSpec::Mlp`].
     pub fn mlp(dims: &[usize]) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
-        ModelSpec::Mlp { dims: dims.to_vec() }
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
+        ModelSpec::Mlp {
+            dims: dims.to_vec(),
+        }
     }
 
     /// The paper's MNIST/EMNIST MLP: `input → 200 → 100 → classes`.
     pub fn paper_mlp(input: usize, classes: usize) -> Self {
-        ModelSpec::Mlp { dims: vec![input, 200, 100, classes] }
+        ModelSpec::Mlp {
+            dims: vec![input, 200, 100, classes],
+        }
     }
 
     /// The paper's CIFAR CNN: two 5×5 conv layers with 64 filters, each
@@ -91,7 +98,11 @@ impl ModelSpec {
     pub fn input_dims(&self) -> Vec<usize> {
         match self {
             ModelSpec::Mlp { dims } => vec![dims[0]],
-            ModelSpec::Cnn { in_channels, spatial, .. } => vec![*in_channels, *spatial, *spatial],
+            ModelSpec::Cnn {
+                in_channels,
+                spatial,
+                ..
+            } => vec![*in_channels, *spatial, *spatial],
         }
     }
 
@@ -102,7 +113,11 @@ impl ModelSpec {
                 let mut m = Sequential::new();
                 for i in 0..dims.len() - 1 {
                     let last = i == dims.len() - 2;
-                    let init = if last { Init::XavierNormal } else { Init::HeNormal };
+                    let init = if last {
+                        Init::XavierNormal
+                    } else {
+                        Init::HeNormal
+                    };
                     m = m.push(Dense::new(dims[i], dims[i + 1], init, rng));
                     if !last {
                         m = m.push(Relu::new());
@@ -110,14 +125,27 @@ impl ModelSpec {
                 }
                 m
             }
-            ModelSpec::Cnn { in_channels, spatial, conv_filters, kernel, fc_dims, classes } => {
-                assert!(kernel % 2 == 1, "CNN kernels must be odd for symmetric padding");
+            ModelSpec::Cnn {
+                in_channels,
+                spatial,
+                conv_filters,
+                kernel,
+                fc_dims,
+                classes,
+            } => {
+                assert!(
+                    kernel % 2 == 1,
+                    "CNN kernels must be odd for symmetric padding"
+                );
                 let pad = kernel / 2;
                 let mut m = Sequential::new();
                 let mut ch = *in_channels;
                 let mut size = *spatial;
                 for &f in conv_filters {
-                    assert!(size % 2 == 0, "spatial size {size} not divisible for pooling");
+                    assert!(
+                        size % 2 == 0,
+                        "spatial size {size} not divisible for pooling"
+                    );
                     m = m
                         .push(Conv2d::new(ch, f, *kernel, pad, Init::HeNormal, rng))
                         .push(Relu::new())
@@ -128,7 +156,9 @@ impl ModelSpec {
                 m = m.push(Flatten::new());
                 let mut width = ch * size * size;
                 for &fc in fc_dims {
-                    m = m.push(Dense::new(width, fc, Init::HeNormal, rng)).push(Relu::new());
+                    m = m
+                        .push(Dense::new(width, fc, Init::HeNormal, rng))
+                        .push(Relu::new());
                     width = fc;
                 }
                 m.push(Dense::new(width, *classes, Init::XavierNormal, rng))
@@ -140,10 +170,15 @@ impl ModelSpec {
     /// cross-checked against the built model in tests).
     pub fn param_count(&self) -> usize {
         match self {
-            ModelSpec::Mlp { dims } => {
-                dims.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
-            }
-            ModelSpec::Cnn { in_channels, spatial, conv_filters, kernel, fc_dims, classes } => {
+            ModelSpec::Mlp { dims } => dims.windows(2).map(|w| w[0] * w[1] + w[1]).sum(),
+            ModelSpec::Cnn {
+                in_channels,
+                spatial,
+                conv_filters,
+                kernel,
+                fc_dims,
+                classes,
+            } => {
                 let mut total = 0usize;
                 let mut ch = *in_channels;
                 let mut size = *spatial;
@@ -181,7 +216,10 @@ mod tests {
     #[test]
     fn paper_mlp_matches_architecture() {
         let spec = ModelSpec::paper_mlp(784, 10);
-        assert_eq!(spec.param_count(), 784 * 200 + 200 + 200 * 100 + 100 + 100 * 10 + 10);
+        assert_eq!(
+            spec.param_count(),
+            784 * 200 + 200 + 200 * 100 + 100 + 100 * 10 + 10
+        );
         assert_eq!(spec.classes(), 10);
         assert_eq!(spec.input_dims(), vec![784]);
     }
@@ -204,7 +242,8 @@ mod tests {
         let y = m.forward(&Tensor::zeros(vec![1, 3, 16, 16]));
         assert_eq!(y.shape(), &[1, 100]);
         // conv(3→64,5×5) + conv(64→64,5×5) + fc(64·4·4→394) + fc(394→192) + fc(192→100)
-        let expect = 64 * 75 + 64 + 64 * 1600 + 64 + 1024 * 394 + 394 + 394 * 192 + 192 + 192 * 100 + 100;
+        let expect =
+            64 * 75 + 64 + 64 * 1600 + 64 + 1024 * 394 + 394 + 394 * 192 + 192 + 192 * 100 + 100;
         assert_eq!(m.param_count(), expect);
     }
 

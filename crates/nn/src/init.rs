@@ -20,7 +20,13 @@ pub enum Init {
 
 impl Init {
     /// Sample a tensor of the given dims with fan sizes `fan_in`/`fan_out`.
-    pub fn sample<R: Rng>(self, dims: Vec<usize>, fan_in: usize, fan_out: usize, rng: &mut R) -> Tensor {
+    pub fn sample<R: Rng>(
+        self,
+        dims: Vec<usize>,
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut R,
+    ) -> Tensor {
         match self {
             Init::HeNormal => {
                 let std = (2.0 / fan_in.max(1) as f32).sqrt();

@@ -32,7 +32,11 @@ impl Layer for Sigmoid {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert_eq!(grad_out.len(), self.output.len(), "Sigmoid::backward before forward");
+        assert_eq!(
+            grad_out.len(),
+            self.output.len(),
+            "Sigmoid::backward before forward"
+        );
         let mut grad_in = grad_out.clone();
         for (g, &y) in grad_in.data_mut().iter_mut().zip(&self.output) {
             *g *= y * (1.0 - y);
@@ -73,7 +77,11 @@ impl Layer for Tanh {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert_eq!(grad_out.len(), self.output.len(), "Tanh::backward before forward");
+        assert_eq!(
+            grad_out.len(),
+            self.output.len(),
+            "Tanh::backward before forward"
+        );
         let mut grad_in = grad_out.clone();
         for (g, &y) in grad_in.data_mut().iter_mut().zip(&self.output) {
             *g *= 1.0 - y * y;

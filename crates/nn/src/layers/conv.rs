@@ -56,7 +56,10 @@ impl Conv2d {
 
     /// Output spatial size for an input spatial size.
     pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
-        (h + 2 * self.pad + 1 - self.kernel, w + 2 * self.pad + 1 - self.kernel)
+        (
+            h + 2 * self.pad + 1 - self.kernel,
+            w + 2 * self.pad + 1 - self.kernel,
+        )
     }
 
     fn ckk(&self) -> usize {
@@ -95,7 +98,11 @@ fn im2col(
                     let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
                     for (ox, d) in dst_row.iter_mut().enumerate() {
                         let ix = ox as isize + kj as isize - pad as isize;
-                        *d = if ix < 0 || ix >= w as isize { 0.0 } else { src_row[ix as usize] };
+                        *d = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            src_row[ix as usize]
+                        };
                     }
                 }
                 r += 1;
@@ -163,10 +170,26 @@ impl Layer for Conv2d {
             cols.resize(ckk * oh * ow, 0.0);
             im2col(
                 &input.data()[bi * sample_in..(bi + 1) * sample_in],
-                c, h, w, self.kernel, self.pad, oh, ow, cols,
+                c,
+                h,
+                w,
+                self.kernel,
+                self.pad,
+                oh,
+                ow,
+                cols,
             );
             let out_b = &mut out.data_mut()[bi * sample_out..(bi + 1) * sample_out];
-            gemm(self.weight.data(), cols, out_b, self.out_channels, ckk, oh * ow, 1.0, 0.0);
+            gemm(
+                self.weight.data(),
+                cols,
+                out_b,
+                self.out_channels,
+                ckk,
+                oh * ow,
+                1.0,
+                0.0,
+            );
             // Per-filter bias over each output plane.
             for (f, plane) in out_b.chunks_exact_mut(oh * ow).enumerate() {
                 let bias = self.bias.data()[f];
@@ -187,7 +210,11 @@ impl Layer for Conv2d {
         let (oh, ow) = self.out_size(h, w);
         let ckk = self.ckk();
         let sample_out = self.out_channels * oh * ow;
-        assert_eq!(grad_out.len(), b * sample_out, "Conv2d: bad grad_out length");
+        assert_eq!(
+            grad_out.len(),
+            b * sample_out,
+            "Conv2d: bad grad_out length"
+        );
 
         let c = self.in_channels;
         let mut grad_in = Tensor::zeros(vec![b, c, h, w]);
@@ -224,7 +251,13 @@ impl Layer for Conv2d {
             );
             col2im(
                 &dcols,
-                c, h, w, self.kernel, self.pad, oh, ow,
+                c,
+                h,
+                w,
+                self.kernel,
+                self.pad,
+                oh,
+                ow,
                 &mut grad_in.data_mut()[bi * sample_in..(bi + 1) * sample_in],
             );
         }
@@ -244,6 +277,11 @@ impl Layer for Conv2d {
     fn visit_grads(&self, f: &mut dyn FnMut(&Tensor)) {
         f(&self.grad_weight);
         f(&self.grad_bias);
+    }
+
+    fn visit_params_grads_mut(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.weight, &mut self.grad_weight);
+        f(&mut self.bias, &mut self.grad_bias);
     }
 
     fn zero_grad(&mut self) {
@@ -267,9 +305,17 @@ mod tests {
     use fedhisyn_tensor::rng_from_seed;
 
     /// Direct (nested-loop) convolution used as a reference.
+    #[allow(clippy::too_many_arguments)] // mirrors the BLAS-style kernel signature
     fn reference_conv(
-        x: &[f32], c: usize, h: usize, w: usize,
-        wt: &[f32], f: usize, k: usize, pad: usize, bias: &[f32],
+        x: &[f32],
+        c: usize,
+        h: usize,
+        w: usize,
+        wt: &[f32],
+        f: usize,
+        k: usize,
+        pad: usize,
+        bias: &[f32],
     ) -> Vec<f32> {
         let oh = h + 2 * pad + 1 - k;
         let ow = w + 2 * pad + 1 - k;
@@ -307,7 +353,17 @@ mod tests {
         layer.bias = bias.clone();
         let x = Tensor::randn(vec![1, c, h, w], 1.0, &mut rng);
         let got = layer.forward(&x);
-        let expected = reference_conv(x.data(), c, h, w, layer.weight.data(), f, k, pad, bias.data());
+        let expected = reference_conv(
+            x.data(),
+            c,
+            h,
+            w,
+            layer.weight.data(),
+            f,
+            k,
+            pad,
+            bias.data(),
+        );
         assert_eq!(got.shape(), &[1, f, h, w]);
         for (i, (&g, &e)) in got.data().iter().zip(&expected).enumerate() {
             assert!((g - e).abs() < 1e-4, "elem {i}: {g} vs {e}");
@@ -353,7 +409,10 @@ mod tests {
         let mut xt = vec![0.0f32; c * h * w];
         col2im(y.data(), c, h, w, k, pad, oh, ow, &mut xt);
         let rhs: f32 = x.data().iter().zip(&xt).map(|(&a, &b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

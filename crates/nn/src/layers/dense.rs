@@ -25,7 +25,12 @@ pub struct Dense {
 impl Dense {
     /// Create a dense layer with the given initialisation for the weights.
     pub fn new<R: Rng>(in_features: usize, out_features: usize, init: Init, rng: &mut R) -> Self {
-        let weight = init.sample(vec![in_features, out_features], in_features, out_features, rng);
+        let weight = init.sample(
+            vec![in_features, out_features],
+            in_features,
+            out_features,
+            rng,
+        );
         Dense {
             weight,
             bias: Tensor::zeros(vec![out_features]),
@@ -86,7 +91,11 @@ impl Layer for Dense {
             .as_ref()
             .expect("Dense::backward called before forward");
         let batch = input.len() / self.in_features;
-        assert_eq!(grad_out.len(), batch * self.out_features, "Dense: bad grad_out length");
+        assert_eq!(
+            grad_out.len(),
+            batch * self.out_features,
+            "Dense: bad grad_out length"
+        );
 
         // dW += Xᵀ · dY
         gemm_tn(
@@ -134,6 +143,11 @@ impl Layer for Dense {
     fn visit_grads(&self, f: &mut dyn FnMut(&Tensor)) {
         f(&self.grad_weight);
         f(&self.grad_bias);
+    }
+
+    fn visit_params_grads_mut(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.weight, &mut self.grad_weight);
+        f(&mut self.bias, &mut self.grad_bias);
     }
 
     fn zero_grad(&mut self) {

@@ -32,7 +32,10 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert!(!self.input_dims.is_empty(), "Flatten::backward before forward");
+        assert!(
+            !self.input_dims.is_empty(),
+            "Flatten::backward before forward"
+        );
         grad_out
             .reshape(self.input_dims.clone())
             .expect("flatten backward reshape cannot change element count")

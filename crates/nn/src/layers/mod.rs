@@ -47,6 +47,17 @@ pub trait Layer: Send {
     /// Visit gradients, same order as [`Layer::visit_params`].
     fn visit_grads(&self, _f: &mut dyn FnMut(&Tensor)) {}
 
+    /// Visit `(parameter, gradient)` tensor pairs mutably, same order as
+    /// [`Layer::visit_params`].
+    ///
+    /// This is the in-place optimizer seam: parameters and their matching
+    /// gradient accumulators are handed out together so an SGD step (and
+    /// any [`crate::GradHook`] correction) can update layer storage
+    /// directly, with no flatten/scatter round-trip. Layers keep parameters
+    /// and gradients in separate fields, so the pairwise `&mut` borrows
+    /// never alias.
+    fn visit_params_grads_mut(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
     /// Reset gradient accumulators to zero.
     fn zero_grad(&mut self) {}
 
@@ -86,10 +97,20 @@ pub(crate) mod testutil {
         for i in (0..input.len()).step_by((input.len() / 8).max(1)) {
             let mut plus = input.clone();
             plus.data_mut()[i] += eps;
-            let lp: f32 = layer.forward(&plus).data().iter().map(|&x| 0.5 * x * x).sum();
+            let lp: f32 = layer
+                .forward(&plus)
+                .data()
+                .iter()
+                .map(|&x| 0.5 * x * x)
+                .sum();
             let mut minus = input.clone();
             minus.data_mut()[i] -= eps;
-            let lm: f32 = layer.forward(&minus).data().iter().map(|&x| 0.5 * x * x).sum();
+            let lm: f32 = layer
+                .forward(&minus)
+                .data()
+                .iter()
+                .map(|&x| 0.5 * x * x)
+                .sum();
             let numeric = (lp - lm) / (2.0 * eps);
             let analytic = grad_in.data()[i];
             assert!(
@@ -139,9 +160,19 @@ pub(crate) mod testutil {
                     });
                 };
                 nudge(layer, eps);
-                let lp: f32 = layer.forward(input).data().iter().map(|&x| 0.5 * x * x).sum();
+                let lp: f32 = layer
+                    .forward(input)
+                    .data()
+                    .iter()
+                    .map(|&x| 0.5 * x * x)
+                    .sum();
                 nudge(layer, -2.0 * eps);
-                let lm: f32 = layer.forward(input).data().iter().map(|&x| 0.5 * x * x).sum();
+                let lm: f32 = layer
+                    .forward(input)
+                    .data()
+                    .iter()
+                    .map(|&x| 0.5 * x * x)
+                    .sum();
                 nudge(layer, eps);
                 let numeric = (lp - lm) / (2.0 * eps);
                 let analytic = grads[param_idx][i];

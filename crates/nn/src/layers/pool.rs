@@ -20,7 +20,11 @@ impl MaxPool2d {
     /// New pooling layer with window size `kernel`.
     pub fn new(kernel: usize) -> Self {
         assert!(kernel > 0, "pool kernel must be positive");
-        MaxPool2d { kernel, argmax: Vec::new(), input_dims: Vec::new() }
+        MaxPool2d {
+            kernel,
+            argmax: Vec::new(),
+            input_dims: Vec::new(),
+        }
     }
 }
 
@@ -30,7 +34,10 @@ impl Layer for MaxPool2d {
         assert_eq!(dims.len(), 4, "MaxPool2d expects [B, C, H, W]");
         let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let k = self.kernel;
-        assert!(h % k == 0 && w % k == 0, "MaxPool2d: {h}x{w} not divisible by {k}");
+        assert!(
+            h % k == 0 && w % k == 0,
+            "MaxPool2d: {h}x{w} not divisible by {k}"
+        );
         let (oh, ow) = (h / k, w / k);
         self.input_dims = dims.to_vec();
         self.argmax.clear();
@@ -66,8 +73,15 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert!(!self.input_dims.is_empty(), "MaxPool2d::backward before forward");
-        assert_eq!(grad_out.len(), self.argmax.len(), "MaxPool2d: bad grad_out length");
+        assert!(
+            !self.input_dims.is_empty(),
+            "MaxPool2d::backward before forward"
+        );
+        assert_eq!(
+            grad_out.len(),
+            self.argmax.len(),
+            "MaxPool2d: bad grad_out length"
+        );
         let mut grad_in = Tensor::zeros(self.input_dims.clone());
         let gi = grad_in.data_mut();
         for (&idx, &g) in self.argmax.iter().zip(grad_out.data()) {

@@ -26,7 +26,11 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert_eq!(grad_out.len(), self.mask.len(), "Relu::backward before forward");
+        assert_eq!(
+            grad_out.len(),
+            self.mask.len(),
+            "Relu::backward before forward"
+        );
         let mut grad_in = grad_out.clone();
         for (g, &m) in grad_in.data_mut().iter_mut().zip(&self.mask) {
             if !m {

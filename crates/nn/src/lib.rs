@@ -45,4 +45,6 @@ pub use layers::Layer;
 pub use loss::softmax_cross_entropy;
 pub use model::Sequential;
 pub use params::ParamVec;
-pub use train::{evaluate, mean_loss, sgd_epoch, GradHook, NoHook, Sgd, SgdConfig};
+pub use train::{
+    evaluate, mean_loss, sgd_epoch, sgd_epoch_reference, GradHook, NoHook, Sgd, SgdConfig,
+};

@@ -5,6 +5,10 @@ use fedhisyn_tensor::Tensor;
 use crate::layers::Layer;
 use crate::params::ParamVec;
 
+/// Callback walking `(flat offset, parameter slice, gradient slice)`
+/// triples — see [`Sequential::for_each_param_grad_mut`].
+pub type ParamGradVisitor<'a> = dyn FnMut(usize, &mut [f32], &mut [f32]) + 'a;
+
 /// A stack of layers applied in order.
 ///
 /// `Sequential` is the model type every federated device instantiates once;
@@ -96,12 +100,57 @@ impl Sequential {
         ParamVec::from_vec(out)
     }
 
+    /// Copy all parameters into an existing flat buffer, reusing its
+    /// allocation (resized once if the length disagrees).
+    ///
+    /// This is the zero-allocation counterpart of [`Sequential::params`]
+    /// used by the execution engine to hand a trained model's weights back
+    /// into the relay buffer it was loaded from.
+    pub fn copy_params_into(&self, out: &mut ParamVec) {
+        let n = self.param_count();
+        if out.len() != n {
+            *out = ParamVec::zeros(n);
+        }
+        let data = out.as_mut_slice();
+        let mut offset = 0usize;
+        for layer in &self.layers {
+            layer.visit_params(&mut |t| {
+                data[offset..offset + t.len()].copy_from_slice(t.data());
+                offset += t.len();
+            });
+        }
+    }
+
+    /// Walk `(flat offset, parameter slice, gradient slice)` triples over
+    /// every trainable tensor, in the same order as [`Sequential::params`].
+    ///
+    /// The offset locates the slice inside the flat [`ParamVec`] layout, so
+    /// callers holding flat companion state (momentum buffers, proximal
+    /// anchors, control variates) can index it without materialising a
+    /// flat copy of the model. This is the in-place training path: the
+    /// optimizer mutates layer storage directly through the slices.
+    pub fn for_each_param_grad_mut(&mut self, f: &mut ParamGradVisitor<'_>) {
+        let mut offset = 0usize;
+        for layer in &mut self.layers {
+            layer.visit_params_grads_mut(&mut |p, g| {
+                let n = p.len();
+                debug_assert_eq!(n, g.len(), "param/grad tensor length mismatch");
+                f(offset, p.data_mut(), g.data_mut());
+                offset += n;
+            });
+        }
+    }
+
     /// Load parameters from a flat vector.
     ///
     /// # Panics
     /// Panics when `params` does not match [`Sequential::param_count`].
     pub fn set_params(&mut self, params: &ParamVec) {
-        assert_eq!(params.len(), self.param_count(), "set_params: size mismatch");
+        assert_eq!(
+            params.len(),
+            self.param_count(),
+            "set_params: size mismatch"
+        );
         let mut offset = 0usize;
         let data = params.as_slice();
         for layer in &mut self.layers {
@@ -220,6 +269,48 @@ mod tests {
     fn set_params_wrong_size_panics() {
         let mut m = tiny_model(0);
         m.set_params(&ParamVec::zeros(3));
+    }
+
+    #[test]
+    fn copy_params_into_matches_params_and_reuses_buffer() {
+        let m = tiny_model(3);
+        let mut buf = ParamVec::zeros(m.param_count());
+        let ptr_before = buf.as_slice().as_ptr();
+        m.copy_params_into(&mut buf);
+        assert_eq!(buf, m.params());
+        assert_eq!(ptr_before, buf.as_slice().as_ptr(), "buffer must be reused");
+        // Wrong-size buffers are resized, not panicked on.
+        let mut small = ParamVec::zeros(1);
+        m.copy_params_into(&mut small);
+        assert_eq!(small, m.params());
+    }
+
+    #[test]
+    fn param_grad_walk_covers_flat_layout_in_order() {
+        let mut m = tiny_model(4);
+        let flat = m.params();
+        let mut seen = 0usize;
+        let mut offsets = Vec::new();
+        m.for_each_param_grad_mut(&mut |offset, p, g| {
+            assert_eq!(p.len(), g.len());
+            assert_eq!(offset, seen, "offsets must be contiguous and ordered");
+            assert_eq!(&flat.as_slice()[offset..offset + p.len()], &*p);
+            offsets.push(offset);
+            seen += p.len();
+        });
+        assert_eq!(
+            seen,
+            m.param_count(),
+            "every parameter visited exactly once"
+        );
+        assert!(offsets.len() >= 4, "w/b pairs of both dense layers");
+    }
+
+    #[test]
+    fn in_place_mutation_through_walk_is_visible() {
+        let mut m = tiny_model(5);
+        m.for_each_param_grad_mut(&mut |_, p, _| p.fill(0.25));
+        assert!(m.params().as_slice().iter().all(|&x| x == 0.25));
     }
 
     #[test]

@@ -7,6 +7,19 @@
 //! * FedProx adds `μ·(w − w_global)` (proximal term),
 //! * SCAFFOLD adds `c − c_i` (control-variate drift correction),
 //! * plain FedAvg/FedHiSyn use [`NoHook`].
+//!
+//! # Zero-copy execution
+//!
+//! [`sgd_epoch`] updates model storage **in place**: after backprop it
+//! walks `(offset, params, grads)` slices via
+//! [`Sequential::for_each_param_grad_mut`], applies the hook and the SGD
+//! rule directly on layer memory, and reuses its batch scratch buffers
+//! across batches. Steady-state, a batch performs **zero** full parameter
+//! copies — the `params()` → `step` → `set_params()` round-trip of the
+//! original implementation (kept as [`sgd_epoch_reference`] for the golden
+//! equivalence test) is gone. Both paths apply identical element-wise
+//! arithmetic in identical order, so their results are bit-identical; the
+//! golden test in the workspace root asserts this.
 
 use fedhisyn_tensor::Tensor;
 use rand::seq::SliceRandom;
@@ -30,11 +43,19 @@ pub struct SgdConfig {
 
 impl Default for SgdConfig {
     fn default() -> Self {
-        SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.0 }
+        SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        }
     }
 }
 
-/// Stateful SGD optimizer operating on flat parameter vectors.
+/// Stateful SGD optimizer.
+///
+/// Momentum state is kept flat (one velocity entry per parameter in
+/// [`Sequential::params`] order) so it works identically through the flat
+/// [`Sgd::step`] and the in-place [`Sgd::step_in_place`] paths.
 #[derive(Debug, Clone)]
 pub struct Sgd {
     cfg: SgdConfig,
@@ -44,7 +65,10 @@ pub struct Sgd {
 impl Sgd {
     /// New optimizer with the given config.
     pub fn new(cfg: SgdConfig) -> Self {
-        Sgd { cfg, velocity: None }
+        Sgd {
+            cfg,
+            velocity: None,
+        }
     }
 
     /// The configuration this optimizer was built with.
@@ -60,36 +84,89 @@ impl Sgd {
     /// One update: `w ← w − lr · (g + wd·w)` with optional momentum.
     pub fn step(&mut self, params: &mut ParamVec, grads: &ParamVec) {
         assert_eq!(params.len(), grads.len(), "Sgd::step size mismatch");
-        let lr = self.cfg.lr;
-        let wd = self.cfg.weight_decay;
-        let mu = self.cfg.momentum;
+        let SgdConfig {
+            lr,
+            momentum: mu,
+            weight_decay: wd,
+        } = self.cfg;
         if mu == 0.0 {
-            let p = params.as_mut_slice();
-            for (w, &g) in p.iter_mut().zip(grads.as_slice()) {
-                *w -= lr * (g + wd * *w);
-            }
+            update_plain(params.as_mut_slice(), grads.as_slice(), lr, wd);
         } else {
             let v = self
                 .velocity
                 .get_or_insert_with(|| ParamVec::zeros(params.len()));
             assert_eq!(v.len(), params.len(), "velocity buffer size changed");
-            for ((w, &g), vel) in params
-                .as_mut_slice()
-                .iter_mut()
-                .zip(grads.as_slice())
-                .zip(v.as_mut_slice())
-            {
-                *vel = mu * *vel + g + wd * *w;
-                *w -= lr * *vel;
-            }
+            update_momentum(
+                params.as_mut_slice(),
+                grads.as_slice(),
+                v.as_mut_slice(),
+                lr,
+                wd,
+                mu,
+            );
+        }
+    }
+
+    /// One update applied **directly to model storage**: walks the model's
+    /// `(offset, params, grads)` slices, lets `hook` correct each gradient
+    /// slice in place, then applies the SGD rule on the spot.
+    ///
+    /// Bit-identical to snapshotting flat vectors and calling
+    /// [`Sgd::step`]: both paths perform the same element-wise arithmetic
+    /// in the same flat-layout order.
+    pub fn step_in_place(&mut self, model: &mut Sequential, hook: &dyn GradHook) {
+        let SgdConfig {
+            lr,
+            momentum: mu,
+            weight_decay: wd,
+        } = self.cfg;
+        if mu == 0.0 {
+            model.for_each_param_grad_mut(&mut |offset, params, grads| {
+                hook.adjust(offset, params, grads);
+                update_plain(params, grads, lr, wd);
+            });
+        } else {
+            let n = model.param_count();
+            let velocity = self.velocity.get_or_insert_with(|| ParamVec::zeros(n));
+            assert_eq!(velocity.len(), n, "velocity buffer size changed");
+            let vbuf = velocity.as_mut_slice();
+            model.for_each_param_grad_mut(&mut |offset, params, grads| {
+                hook.adjust(offset, params, grads);
+                let v = &mut vbuf[offset..offset + params.len()];
+                update_momentum(params, grads, v, lr, wd, mu);
+            });
         }
     }
 }
 
+#[inline]
+fn update_plain(params: &mut [f32], grads: &[f32], lr: f32, wd: f32) {
+    for (w, &g) in params.iter_mut().zip(grads) {
+        *w -= lr * (g + wd * *w);
+    }
+}
+
+#[inline]
+fn update_momentum(params: &mut [f32], grads: &[f32], v: &mut [f32], lr: f32, wd: f32, mu: f32) {
+    for ((w, &g), vel) in params.iter_mut().zip(grads).zip(v.iter_mut()) {
+        *vel = mu * *vel + g + wd * *w;
+        *w -= lr * *vel;
+    }
+}
+
 /// Gradient correction applied between backprop and the SGD step.
+///
+/// `adjust` is called once per parameter tensor with that tensor's
+/// `offset` into the flat [`Sequential::params`] layout, the current
+/// parameter values and the mutable gradient slice. Implementations must
+/// be element-wise with respect to the flat layout (corrections may read
+/// flat companion state such as an anchor or control variate at
+/// `offset..offset + grads.len()`), which makes slice-at-a-time and
+/// whole-vector invocation produce identical results.
 pub trait GradHook: Sync {
-    /// Adjust `grads` given the current `params`.
-    fn adjust(&self, params: &ParamVec, grads: &mut ParamVec);
+    /// Adjust the gradient slice for parameters at
+    /// `offset..offset + grads.len()` of the flat layout.
+    fn adjust(&self, offset: usize, params: &[f32], grads: &mut [f32]);
 }
 
 /// The identity hook (plain SGD).
@@ -97,7 +174,7 @@ pub trait GradHook: Sync {
 pub struct NoHook;
 
 impl GradHook for NoHook {
-    fn adjust(&self, _params: &ParamVec, _grads: &mut ParamVec) {}
+    fn adjust(&self, _offset: usize, _params: &[f32], _grads: &mut [f32]) {}
 }
 
 /// Gather rows `indices` of `x` (rank ≥ 2, batch-first) into `out`.
@@ -119,7 +196,60 @@ fn gather_batch(x: &Tensor, indices: &[usize], out: &mut Vec<f32>) -> Vec<usize>
 /// `x` is batch-first (`[N, D]` for MLPs, `[N, C, H, W]` for CNNs) and `y`
 /// holds `N` class labels. Samples are reshuffled every epoch with `rng`, so the
 /// whole federated simulation stays deterministic under a fixed seed.
+///
+/// Parameters are updated **in place** (see the module docs); the batch
+/// input and label buffers are reused across batches, so the steady-state
+/// loop performs no full-model copies and no per-batch scratch
+/// allocations.
 pub fn sgd_epoch<R: Rng>(
+    model: &mut Sequential,
+    x: &Tensor,
+    y: &[usize],
+    batch_size: usize,
+    sgd: &mut Sgd,
+    hook: &dyn GradHook,
+    rng: &mut R,
+) -> f32 {
+    let n = x.shape()[0];
+    assert_eq!(y.len(), n, "label count mismatch");
+    assert!(batch_size > 0, "batch_size must be positive");
+    if n == 0 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+
+    let mut xbuf: Vec<f32> = Vec::new();
+    let mut ybuf: Vec<usize> = Vec::with_capacity(batch_size);
+    let mut total = 0.0f64;
+    let mut batches = 0usize;
+    for chunk in order.chunks(batch_size) {
+        let bdims = gather_batch(x, chunk, &mut xbuf);
+        let xb = Tensor::from_vec(bdims, std::mem::take(&mut xbuf)).expect("batch shape");
+        ybuf.clear();
+        ybuf.extend(chunk.iter().map(|&i| y[i]));
+
+        model.zero_grad();
+        let logits = model.forward(&xb);
+        let (loss, dlogits) = softmax_cross_entropy(&logits, &ybuf);
+        model.backward(&dlogits);
+        sgd.step_in_place(model, hook);
+
+        xbuf = xb.into_vec();
+        total += loss as f64;
+        batches += 1;
+    }
+    (total / batches.max(1) as f64) as f32
+}
+
+/// The pre-refactor epoch: flatten gradients and parameters, correct and
+/// step on the flat copies, scatter the result back.
+///
+/// Kept as the reference implementation for the engine-equivalence golden
+/// test and the `nn_training` before/after benchmark. Semantically (and
+/// bit-for-bit) identical to [`sgd_epoch`] — it just pays four full-model
+/// copies per batch to get there.
+pub fn sgd_epoch_reference<R: Rng>(
     model: &mut Sequential,
     x: &Tensor,
     y: &[usize],
@@ -152,7 +282,7 @@ pub fn sgd_epoch<R: Rng>(
 
         let mut grads = model.grads();
         let mut params = model.params();
-        hook.adjust(&params, &mut grads);
+        hook.adjust(0, params.as_slice(), grads.as_mut_slice());
         sgd.step(&mut params, &grads);
         model.set_params(&params);
 
@@ -239,7 +369,10 @@ mod tests {
         let spec = ModelSpec::mlp(&[4, 8, 2]);
         let mut rng = rng_from_seed(1);
         let mut model = spec.build(&mut rng);
-        let mut sgd = Sgd::new(SgdConfig { lr: 0.1, ..Default::default() });
+        let mut sgd = Sgd::new(SgdConfig {
+            lr: 0.1,
+            ..Default::default()
+        });
         for _ in 0..30 {
             sgd_epoch(&mut model, &x, &y, 16, &mut sgd, &NoHook, &mut rng);
         }
@@ -268,7 +401,11 @@ mod tests {
         let spec = ModelSpec::mlp(&[4, 8, 2]);
         let mut rng = rng_from_seed(5);
         let mut model = spec.build(&mut rng);
-        let mut sgd = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 0.0 });
+        let mut sgd = Sgd::new(SgdConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        });
         for _ in 0..20 {
             sgd_epoch(&mut model, &x, &y, 16, &mut sgd, &NoHook, &mut rng);
         }
@@ -281,7 +418,11 @@ mod tests {
         let mut rng = rng_from_seed(6);
         let model = spec.build(&mut rng);
         let norm_before = model.params().norm();
-        let mut sgd = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.5 });
+        let mut sgd = Sgd::new(SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.5,
+        });
         // Zero gradients: only decay acts.
         let grads = ParamVec::zeros(model.param_count());
         let mut params = model.params();
@@ -295,8 +436,8 @@ mod tests {
     fn grad_hook_is_applied() {
         struct FreezeHook;
         impl GradHook for FreezeHook {
-            fn adjust(&self, _p: &ParamVec, g: &mut ParamVec) {
-                g.zero();
+            fn adjust(&self, _offset: usize, _p: &[f32], g: &mut [f32]) {
+                g.fill(0.0);
             }
         }
         let (x, y) = blob_data(32, 7);
@@ -307,6 +448,33 @@ mod tests {
         let mut sgd = Sgd::new(SgdConfig::default());
         sgd_epoch(&mut model, &x, &y, 8, &mut sgd, &FreezeHook, &mut rng);
         assert_eq!(model.params(), before, "zeroed grads must freeze the model");
+    }
+
+    #[test]
+    fn hook_offsets_tile_the_flat_layout() {
+        struct RecordHook(std::sync::Mutex<Vec<(usize, usize)>>);
+        impl GradHook for RecordHook {
+            fn adjust(&self, offset: usize, params: &[f32], grads: &mut [f32]) {
+                assert_eq!(params.len(), grads.len());
+                self.0.lock().unwrap().push((offset, grads.len()));
+            }
+        }
+        let (x, y) = blob_data(8, 12);
+        let spec = ModelSpec::mlp(&[4, 6, 2]);
+        let mut rng = rng_from_seed(13);
+        let mut model = spec.build(&mut rng);
+        let total = model.param_count();
+        let hook = RecordHook(std::sync::Mutex::new(Vec::new()));
+        let mut sgd = Sgd::new(SgdConfig::default());
+        sgd_epoch(&mut model, &x, &y, 8, &mut sgd, &hook, &mut rng);
+        let calls = hook.0.into_inner().unwrap();
+        // One batch: the recorded (offset, len) spans must tile [0, total).
+        let mut cursor = 0usize;
+        for &(offset, len) in &calls {
+            assert_eq!(offset, cursor, "slices must be contiguous");
+            cursor += len;
+        }
+        assert_eq!(cursor, total, "hook must see every parameter once per step");
     }
 
     #[test]
@@ -324,6 +492,54 @@ mod tests {
             model.params()
         };
         assert_eq!(run(1), run(1));
+    }
+
+    /// The load-bearing equivalence: the in-place epoch must be
+    /// bit-identical to the copy-based reference, including with momentum
+    /// (shared flat velocity) and a position-dependent hook.
+    #[test]
+    fn in_place_epoch_is_bit_identical_to_reference() {
+        struct AnchorHook {
+            anchor: ParamVec,
+            mu: f32,
+        }
+        impl GradHook for AnchorHook {
+            fn adjust(&self, offset: usize, params: &[f32], grads: &mut [f32]) {
+                let anchor = &self.anchor.as_slice()[offset..offset + grads.len()];
+                for ((g, &w), &a) in grads.iter_mut().zip(params).zip(anchor) {
+                    *g += self.mu * (w - a);
+                }
+            }
+        }
+        let (x, y) = blob_data(48, 20);
+        for momentum in [0.0f32, 0.9] {
+            let spec = ModelSpec::mlp(&[4, 10, 5, 2]);
+            let cfg = SgdConfig {
+                lr: 0.05,
+                momentum,
+                weight_decay: 0.01,
+            };
+            let anchor = spec.build(&mut rng_from_seed(55)).params();
+
+            let mut fast = spec.build(&mut rng_from_seed(21));
+            let mut slow = fast.clone();
+            let mut sgd_fast = Sgd::new(cfg);
+            let mut sgd_slow = Sgd::new(cfg);
+            let hook = AnchorHook { anchor, mu: 0.1 };
+            let mut rng_fast = rng_from_seed(22);
+            let mut rng_slow = rng_from_seed(22);
+            for _ in 0..3 {
+                let lf = sgd_epoch(&mut fast, &x, &y, 16, &mut sgd_fast, &hook, &mut rng_fast);
+                let ls =
+                    sgd_epoch_reference(&mut slow, &x, &y, 16, &mut sgd_slow, &hook, &mut rng_slow);
+                assert_eq!(lf.to_bits(), ls.to_bits(), "losses must match bit-for-bit");
+            }
+            assert_eq!(
+                fast.params(),
+                slow.params(),
+                "in-place and reference paths diverged (momentum {momentum})"
+            );
+        }
     }
 
     #[test]

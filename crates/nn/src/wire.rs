@@ -105,7 +105,10 @@ pub fn decode(frame: &[u8]) -> Result<ParamVec, WireError> {
     let expected_payload = count * 4;
     let stored_checksum = buf.get_u32_le();
     if buf.remaining() != expected_payload {
-        return Err(WireError::LengthMismatch { expected: count, actual: buf.remaining() / 4 });
+        return Err(WireError::LengthMismatch {
+            expected: count,
+            actual: buf.remaining() / 4,
+        });
     }
     if checksum(buf) != stored_checksum {
         return Err(WireError::BadChecksum);

@@ -20,7 +20,10 @@ pub struct DeviceProfile {
 impl DeviceProfile {
     /// New profile.
     pub fn new(id: usize, train_time: f64) -> Self {
-        assert!(train_time.is_finite() && train_time > 0.0, "train_time must be positive");
+        assert!(
+            train_time.is_finite() && train_time > 0.0,
+            "train_time must be positive"
+        );
         DeviceProfile { id, train_time }
     }
 
@@ -82,7 +85,10 @@ pub fn sample_latencies<R: Rng>(
                     assert!(h >= 1.0, "heterogeneity degree must be >= 1");
                     rng.gen_range(1.0..=h)
                 }
-                HeterogeneityModel::Bimodal { h, straggler_fraction } => {
+                HeterogeneityModel::Bimodal {
+                    h,
+                    straggler_fraction,
+                } => {
                     assert!(h >= 1.0, "heterogeneity degree must be >= 1");
                     assert!((0.0..=1.0).contains(&straggler_fraction));
                     if rng.gen::<f64>() < straggler_fraction {
@@ -118,28 +124,40 @@ mod tests {
     #[test]
     fn uniform_latencies_respect_bounds() {
         let h = 10.0;
-        let profiles =
-            sample_latencies(1000, HeterogeneityModel::Uniform { h }, 1.0, &mut rng(1));
+        let profiles = sample_latencies(1000, HeterogeneityModel::Uniform { h }, 1.0, &mut rng(1));
         for p in &profiles {
             assert!(p.train_time >= 1.0 && p.train_time <= h);
         }
         let max = profiles.iter().map(|p| p.train_time).fold(0.0, f64::max);
-        let min = profiles.iter().map(|p| p.train_time).fold(f64::MAX, f64::min);
-        assert!(max / min > 5.0, "1000 samples should nearly span the range: {}", max / min);
+        let min = profiles
+            .iter()
+            .map(|p| p.train_time)
+            .fold(f64::MAX, f64::min);
+        assert!(
+            max / min > 5.0,
+            "1000 samples should nearly span the range: {}",
+            max / min
+        );
     }
 
     #[test]
     fn bimodal_has_two_levels() {
         let profiles = sample_latencies(
             200,
-            HeterogeneityModel::Bimodal { h: 10.0, straggler_fraction: 0.25 },
+            HeterogeneityModel::Bimodal {
+                h: 10.0,
+                straggler_fraction: 0.25,
+            },
             1.0,
             &mut rng(2),
         );
         let stragglers = profiles.iter().filter(|p| p.train_time == 10.0).count();
         let fast = profiles.iter().filter(|p| p.train_time == 1.0).count();
         assert_eq!(stragglers + fast, 200);
-        assert!((30..=70).contains(&stragglers), "got {stragglers} stragglers");
+        assert!(
+            (30..=70).contains(&stragglers),
+            "got {stragglers} stragglers"
+        );
     }
 
     #[test]
@@ -147,7 +165,11 @@ mod tests {
         let p = DeviceProfile::new(0, 2.0);
         assert_eq!(p.steps_within(10.0), 5);
         assert_eq!(p.steps_within(9.9), 4);
-        assert_eq!(p.steps_within(1.0), 1, "every device completes at least one step");
+        assert_eq!(
+            p.steps_within(1.0),
+            1,
+            "every device completes at least one step"
+        );
     }
 
     #[test]

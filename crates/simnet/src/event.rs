@@ -71,7 +71,10 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedule `payload` at `time` with the default class.
@@ -84,7 +87,12 @@ impl<T> EventQueue<T> {
     pub fn push_class(&mut self, time: SimTime, class: u8, payload: T) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { time, class, seq, payload });
+        self.heap.push(Entry {
+            time,
+            class,
+            seq,
+            payload,
+        });
     }
 
     /// Pop the earliest event, if any.
@@ -153,12 +161,18 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(SimTime::new(1.0), "early");
         q.push(SimTime::new(5.0), "late");
-        assert_eq!(q.pop_before(SimTime::new(2.0)).map(|(_, p)| p), Some("early"));
+        assert_eq!(
+            q.pop_before(SimTime::new(2.0)).map(|(_, p)| p),
+            Some("early")
+        );
         assert!(q.pop_before(SimTime::new(2.0)).is_none());
         assert_eq!(q.len(), 1);
         // The deadline itself is exclusive.
         assert!(q.pop_before(SimTime::new(5.0)).is_none());
-        assert_eq!(q.pop_before(SimTime::new(5.0001)).map(|(_, p)| p), Some("late"));
+        assert_eq!(
+            q.pop_before(SimTime::new(5.0001)).map(|(_, p)| p),
+            Some("late")
+        );
     }
 
     #[test]
@@ -185,7 +199,11 @@ mod tests {
         q.push_class(SimTime::new(1.0), 0, "arrival");
         q.push_class(SimTime::new(0.5), 1, "earlier-completion");
         assert_eq!(q.pop().map(|(_, p)| p), Some("earlier-completion"));
-        assert_eq!(q.pop().map(|(_, p)| p), Some("arrival"), "class 0 first at equal time");
+        assert_eq!(
+            q.pop().map(|(_, p)| p),
+            Some("arrival"),
+            "class 0 first at equal time"
+        );
         assert_eq!(q.pop().map(|(_, p)| p), Some("completion"));
     }
 

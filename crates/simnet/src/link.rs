@@ -69,7 +69,11 @@ impl LinkModel {
                     delays[i * n + j]
                 }
             }
-            LinkModel::Bandwidth { base, bytes_per_second, model_bytes } => {
+            LinkModel::Bandwidth {
+                base,
+                bytes_per_second,
+                model_bytes,
+            } => {
                 assert!(*bytes_per_second > 0.0, "bandwidth must be positive");
                 base + model_bytes / bytes_per_second
             }
@@ -140,7 +144,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_pair_panics() {
-        let m = LinkModel::Pairwise { n: 2, delays: vec![0.0; 4] };
+        let m = LinkModel::Pairwise {
+            n: 2,
+            delays: vec![0.0; 4],
+        };
         let _ = m.delay(0, 5);
     }
 

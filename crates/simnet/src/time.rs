@@ -23,7 +23,10 @@ impl SimTime {
     /// Panics on NaN or negative input — virtual time is monotone.
     pub fn new(seconds: f64) -> Self {
         assert!(seconds.is_finite(), "SimTime must be finite, got {seconds}");
-        assert!(seconds >= 0.0, "SimTime must be non-negative, got {seconds}");
+        assert!(
+            seconds >= 0.0,
+            "SimTime must be non-negative, got {seconds}"
+        );
         SimTime(seconds)
     }
 

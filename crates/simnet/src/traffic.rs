@@ -11,8 +11,8 @@
 //! downloads/broadcasts, and device-to-device ring transfers (free in the
 //! paper's cost model, tracked here for ablations).
 
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// A point-in-time copy of the meter's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -49,7 +49,7 @@ impl TrafficSnapshot {
 
 /// Thread-safe transmission meter shared across simulated devices.
 ///
-/// Interior mutability (a `parking_lot::Mutex`) lets rayon-parallel device
+/// Interior mutability (a `std::sync::Mutex`) lets rayon-parallel device
 /// updates record transfers without threading `&mut` through every
 /// algorithm; contention is negligible because recording is two adds.
 #[derive(Debug, Default)]
@@ -66,33 +66,33 @@ impl TrafficMeter {
     /// Record a device→server upload of `model_equivalents` models, each
     /// carrying `parameters` parameters.
     pub fn record_upload(&self, model_equivalents: f64, parameters: usize) {
-        let mut s = self.inner.lock();
+        let mut s = self.inner.lock().expect("traffic meter poisoned");
         s.uploads += model_equivalents;
         s.parameters_moved += model_equivalents * parameters as f64;
     }
 
     /// Record a server→device download.
     pub fn record_download(&self, model_equivalents: f64, parameters: usize) {
-        let mut s = self.inner.lock();
+        let mut s = self.inner.lock().expect("traffic meter poisoned");
         s.downloads += model_equivalents;
         s.parameters_moved += model_equivalents * parameters as f64;
     }
 
     /// Record a device→device transfer (ring hop).
     pub fn record_peer(&self, model_equivalents: f64, parameters: usize) {
-        let mut s = self.inner.lock();
+        let mut s = self.inner.lock().expect("traffic meter poisoned");
         s.peer_transfers += model_equivalents;
         s.parameters_moved += model_equivalents * parameters as f64;
     }
 
     /// Copy out the counters.
     pub fn snapshot(&self) -> TrafficSnapshot {
-        *self.inner.lock()
+        *self.inner.lock().expect("traffic meter poisoned")
     }
 
     /// Reset all counters to zero.
     pub fn reset(&self) {
-        *self.inner.lock() = TrafficSnapshot::default();
+        *self.inner.lock().expect("traffic meter poisoned") = TrafficSnapshot::default();
     }
 }
 

@@ -51,13 +51,22 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape product {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape product {expected}"
+                )
             }
             TensorError::ShapeMismatch { left, right } => {
                 write!(f, "shape mismatch: {left:?} vs {right:?}")
             }
-            TensorError::InnerDimMismatch { left_inner, right_inner } => {
-                write!(f, "matmul inner dims disagree: {left_inner} vs {right_inner}")
+            TensorError::InnerDimMismatch {
+                left_inner,
+                right_inner,
+            } => {
+                write!(
+                    f,
+                    "matmul inner dims disagree: {left_inner} vs {right_inner}"
+                )
             }
             TensorError::NotAMatrix { rank } => {
                 write!(f, "expected a rank-2 tensor, got rank {rank}")
@@ -78,14 +87,23 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = TensorError::LengthMismatch { expected: 6, actual: 5 };
+        let e = TensorError::LengthMismatch {
+            expected: 6,
+            actual: 5,
+        };
         assert!(e.to_string().contains('6'));
         assert!(e.to_string().contains('5'));
 
-        let e = TensorError::ShapeMismatch { left: vec![2, 3], right: vec![3, 2] };
+        let e = TensorError::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![3, 2],
+        };
         assert!(e.to_string().contains("[2, 3]"));
 
-        let e = TensorError::InnerDimMismatch { left_inner: 3, right_inner: 4 };
+        let e = TensorError::InnerDimMismatch {
+            left_inner: 3,
+            right_inner: 4,
+        };
         assert!(e.to_string().contains("inner"));
 
         let e = TensorError::NotAMatrix { rank: 3 };

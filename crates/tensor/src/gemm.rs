@@ -28,7 +28,16 @@ const PAR_FLOP_THRESHOLD: usize = 1 << 18;
 /// # Panics
 /// Panics if slice lengths do not match the given dimensions.
 #[allow(clippy::too_many_arguments)] // BLAS-style signature, on purpose
-pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, alpha: f32, beta: f32) {
+pub fn gemm(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    beta: f32,
+) {
     assert_eq!(a.len(), m * k, "gemm: bad A length");
     assert_eq!(b.len(), k * n, "gemm: bad B length");
     assert_eq!(c.len(), m * n, "gemm: bad C length");
@@ -66,7 +75,16 @@ fn gemm_row(arow: &[f32], b: &[f32], crow: &mut [f32], k: usize, n: usize, alpha
 /// Falls back to the serial kernel for small problems where the fork/join
 /// overhead exceeds the arithmetic. Results are bit-identical to [`gemm`].
 #[allow(clippy::too_many_arguments)] // BLAS-style signature, on purpose
-pub fn par_gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, alpha: f32, beta: f32) {
+pub fn par_gemm(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    beta: f32,
+) {
     assert_eq!(a.len(), m * k, "par_gemm: bad A length");
     assert_eq!(b.len(), k * n, "par_gemm: bad B length");
     assert_eq!(c.len(), m * n, "par_gemm: bad C length");
@@ -85,7 +103,16 @@ pub fn par_gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usiz
 /// contiguous rows, the natural orientation for input-gradient passes
 /// (`dX = dY @ Wᵀ`).
 #[allow(clippy::too_many_arguments)] // BLAS-style signature, on purpose
-pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, alpha: f32, beta: f32) {
+pub fn gemm_nt(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    beta: f32,
+) {
     assert_eq!(a.len(), m * k, "gemm_nt: bad A length");
     assert_eq!(b.len(), n * k, "gemm_nt: bad B length");
     assert_eq!(c.len(), m * n, "gemm_nt: bad C length");
@@ -106,7 +133,16 @@ pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
 /// accumulating rank-1 updates — the orientation of weight-gradient passes
 /// (`dW = Xᵀ @ dY`).
 #[allow(clippy::too_many_arguments)] // BLAS-style signature, on purpose
-pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize, alpha: f32, beta: f32) {
+pub fn gemm_tn(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    beta: f32,
+) {
     assert_eq!(a.len(), k * m, "gemm_tn: bad A length");
     assert_eq!(b.len(), k * n, "gemm_tn: bad B length");
     assert_eq!(c.len(), m * n, "gemm_tn: bad C length");
@@ -138,7 +174,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, ka) = a.shape_obj().as_matrix()?;
     let (kb, n) = b.shape_obj().as_matrix()?;
     if ka != kb {
-        return Err(TensorError::InnerDimMismatch { left_inner: ka, right_inner: kb });
+        return Err(TensorError::InnerDimMismatch {
+            left_inner: ka,
+            right_inner: kb,
+        });
     }
     let mut out = Tensor::zeros(vec![m, n]);
     par_gemm(a.data(), b.data(), out.data_mut(), m, ka, n, 1.0, 0.0);
@@ -150,7 +189,10 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, ka) = a.shape_obj().as_matrix()?;
     let (n, kb) = b.shape_obj().as_matrix()?;
     if ka != kb {
-        return Err(TensorError::InnerDimMismatch { left_inner: ka, right_inner: kb });
+        return Err(TensorError::InnerDimMismatch {
+            left_inner: ka,
+            right_inner: kb,
+        });
     }
     let mut out = Tensor::zeros(vec![m, n]);
     gemm_nt(a.data(), b.data(), out.data_mut(), m, ka, n, 1.0, 0.0);
@@ -162,7 +204,10 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (ka, m) = a.shape_obj().as_matrix()?;
     let (kb, n) = b.shape_obj().as_matrix()?;
     if ka != kb {
-        return Err(TensorError::InnerDimMismatch { left_inner: ka, right_inner: kb });
+        return Err(TensorError::InnerDimMismatch {
+            left_inner: ka,
+            right_inner: kb,
+        });
     }
     let mut out = Tensor::zeros(vec![m, n]);
     gemm_tn(a.data(), b.data(), out.data_mut(), m, ka, n, 1.0, 0.0);
@@ -198,13 +243,22 @@ mod tests {
     fn assert_close(a: &[f32], b: &[f32], tol: f32) {
         assert_eq!(a.len(), b.len());
         for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
-            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "elem {i}: {x} vs {y}");
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "elem {i}: {x} vs {y}"
+            );
         }
     }
 
     #[test]
     fn gemm_matches_reference() {
-        for &(m, k, n) in &[(1usize, 1usize, 1usize), (2, 3, 4), (5, 7, 3), (16, 16, 16), (33, 17, 9)] {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (2, 3, 4),
+            (5, 7, 3),
+            (16, 16, 16),
+            (33, 17, 9),
+        ] {
             let a = random_mat(m, k, 1);
             let b = random_mat(k, n, 2);
             let expected = reference_gemm(a.data(), b.data(), m, k, n);

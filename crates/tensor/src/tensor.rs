@@ -22,7 +22,10 @@ impl Tensor {
     /// A tensor filled with zeros.
     pub fn zeros(dims: Vec<usize>) -> Self {
         let n = num_elements(&dims);
-        Tensor { shape: Shape::new(dims), data: vec![0.0; n] }
+        Tensor {
+            shape: Shape::new(dims),
+            data: vec![0.0; n],
+        }
     }
 
     /// A tensor filled with ones.
@@ -33,16 +36,25 @@ impl Tensor {
     /// A tensor filled with `value`.
     pub fn full(dims: Vec<usize>, value: f32) -> Self {
         let n = num_elements(&dims);
-        Tensor { shape: Shape::new(dims), data: vec![value; n] }
+        Tensor {
+            shape: Shape::new(dims),
+            data: vec![value; n],
+        }
     }
 
     /// Build a tensor from existing data, validating the length.
     pub fn from_vec(dims: Vec<usize>, data: Vec<f32>) -> Result<Self> {
         let expected = num_elements(&dims);
         if data.len() != expected {
-            return Err(TensorError::LengthMismatch { expected, actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected,
+                actual: data.len(),
+            });
         }
-        Ok(Tensor { shape: Shape::new(dims), data })
+        Ok(Tensor {
+            shape: Shape::new(dims),
+            data,
+        })
     }
 
     /// A tensor with i.i.d. `N(0, std^2)` entries drawn from `rng`.
@@ -123,16 +135,25 @@ impl Tensor {
     pub fn reshape(&self, dims: Vec<usize>) -> Result<Tensor> {
         let to = num_elements(&dims);
         if to != self.len() {
-            return Err(TensorError::BadReshape { from: self.len(), to });
+            return Err(TensorError::BadReshape {
+                from: self.len(),
+                to,
+            });
         }
-        Ok(Tensor { shape: Shape::new(dims), data: self.data.clone() })
+        Ok(Tensor {
+            shape: Shape::new(dims),
+            data: self.data.clone(),
+        })
     }
 
     /// In-place reshape (no data movement).
     pub fn reshape_in_place(&mut self, dims: Vec<usize>) -> Result<()> {
         let to = num_elements(&dims);
         if to != self.len() {
-            return Err(TensorError::BadReshape { from: self.len(), to });
+            return Err(TensorError::BadReshape {
+                from: self.len(),
+                to,
+            });
         }
         self.shape = Shape::new(dims);
         Ok(())
@@ -240,7 +261,13 @@ mod tests {
     fn from_vec_validates_length() {
         assert!(Tensor::from_vec(vec![2, 2], vec![1.0; 4]).is_ok());
         let err = Tensor::from_vec(vec![2, 2], vec![1.0; 5]).unwrap_err();
-        assert_eq!(err, TensorError::LengthMismatch { expected: 4, actual: 5 });
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 5
+            }
+        );
     }
 
     #[test]

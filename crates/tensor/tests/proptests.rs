@@ -1,8 +1,6 @@
 //! Property-based tests for tensor algebra invariants.
 
-use fedhisyn_tensor::{
-    add, axpy, dot, gemm, hadamard, l2_norm, lerp, matmul, scale, sub, Tensor,
-};
+use fedhisyn_tensor::{add, axpy, dot, gemm, hadamard, l2_norm, lerp, matmul, scale, sub, Tensor};
 use proptest::collection::vec as pvec;
 use proptest::prelude::*;
 

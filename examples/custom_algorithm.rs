@@ -21,7 +21,10 @@ struct FedMedian {
 
 impl FedMedian {
     fn new(cfg: &ExperimentConfig) -> Self {
-        FedMedian { participation: cfg.participation, global: cfg.initial_params() }
+        FedMedian {
+            participation: cfg.participation,
+            global: cfg.initial_params(),
+        }
     }
 }
 

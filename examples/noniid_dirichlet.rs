@@ -24,7 +24,10 @@ fn main() {
     ];
 
     println!("== Non-IID sweep (EMNIST-like, 16 devices, 6 rounds) ==\n");
-    println!("{:<16} {:>10} {:>12} {:>10}", "partition", "Eq.4 div", "FedHiSyn", "FedAvg");
+    println!(
+        "{:<16} {:>10} {:>12} {:>10}",
+        "partition", "Eq.4 div", "FedHiSyn", "FedAvg"
+    );
 
     for partition in partitions {
         let cfg = ExperimentConfig::builder(DatasetProfile::EmnistLike)

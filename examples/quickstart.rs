@@ -29,7 +29,11 @@ fn main() {
         cfg.partition.label(),
         cfg.heterogeneity.degree(),
     );
-    println!("model: {:?} ({} params)\n", cfg.model_spec(), cfg.model_spec().param_count());
+    println!(
+        "model: {:?} ({} params)\n",
+        cfg.model_spec(),
+        cfg.model_spec().param_count()
+    );
 
     // FedHiSyn with K = 4 latency classes.
     let mut env = cfg.build_env();
@@ -43,7 +47,12 @@ fn main() {
 
     println!("round | FedHiSyn acc | FedAvg acc");
     for (a, b) in hisyn.rounds.iter().zip(&avg.rounds) {
-        println!("{:>5} | {:>11.1}% | {:>9.1}%", a.round, a.accuracy * 100.0, b.accuracy * 100.0);
+        println!(
+            "{:>5} | {:>11.1}% | {:>9.1}%",
+            a.round,
+            a.accuracy * 100.0,
+            b.accuracy * 100.0
+        );
     }
     println!(
         "\nfinal: FedHiSyn {:.1}% vs FedAvg {:.1}%",

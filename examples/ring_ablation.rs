@@ -23,14 +23,37 @@ fn main() {
         DecentralMode::Isolated,
         DecentralMode::RandomExchange { average: true },
         DecentralMode::RandomExchange { average: false },
-        DecentralMode::ClusteredRings { k: 1, order: RingOrder::Random, average: false },
-        DecentralMode::ClusteredRings { k: 1, order: RingOrder::SmallToLarge, average: true },
-        DecentralMode::ClusteredRings { k: 1, order: RingOrder::SmallToLarge, average: false },
-        DecentralMode::ClusteredRings { k: 1, order: RingOrder::LargeToSmall, average: false },
-        DecentralMode::ClusteredRings { k: 3, order: RingOrder::SmallToLarge, average: false },
+        DecentralMode::ClusteredRings {
+            k: 1,
+            order: RingOrder::Random,
+            average: false,
+        },
+        DecentralMode::ClusteredRings {
+            k: 1,
+            order: RingOrder::SmallToLarge,
+            average: true,
+        },
+        DecentralMode::ClusteredRings {
+            k: 1,
+            order: RingOrder::SmallToLarge,
+            average: false,
+        },
+        DecentralMode::ClusteredRings {
+            k: 1,
+            order: RingOrder::LargeToSmall,
+            average: false,
+        },
+        DecentralMode::ClusteredRings {
+            k: 3,
+            order: RingOrder::SmallToLarge,
+            average: false,
+        },
     ];
 
-    println!("== Decentralized ring ablation ({} rounds, mean device accuracy) ==\n", rounds);
+    println!(
+        "== Decentralized ring ablation ({} rounds, mean device accuracy) ==\n",
+        rounds
+    );
     println!("{:<22} {:>10}", "mode", "final acc");
     for mode in modes {
         let env = cfg.build_env();

@@ -53,8 +53,8 @@ pub mod prelude {
     pub use fedhisyn_baselines::{FedAT, FedAvg, FedProx, Scaffold, TAFedAvg, TFedAvg};
     pub use fedhisyn_core::decentral::{DecentralMode, DecentralSim};
     pub use fedhisyn_core::{
-        run_experiment, AggregationRule, ExperimentConfig, FedHiSyn, FlAlgorithm, FlEnv,
-        RingOrder, RoundContext, RoundRecord, RunRecord,
+        run_experiment, AggregationRule, ExperimentConfig, FedHiSyn, FlAlgorithm, FlEnv, RingOrder,
+        RoundContext, RoundRecord, RunRecord,
     };
     pub use fedhisyn_data::{Dataset, DatasetProfile, Partition, Scale};
     pub use fedhisyn_nn::{ModelSpec, ParamVec};

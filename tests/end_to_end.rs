@@ -55,14 +55,19 @@ fn run_records_are_coherent() {
         for (i, w) in rec.rounds.windows(2).enumerate() {
             assert_eq!(w[1].round, w[0].round + 1, "{}", rec.algorithm);
             assert!(w[1].uploads >= w[0].uploads, "{} round {i}", rec.algorithm);
-            assert!(w[1].downloads >= w[0].downloads, "{} round {i}", rec.algorithm);
-            assert!(w[1].virtual_time > w[0].virtual_time, "{} round {i}", rec.algorithm);
+            assert!(
+                w[1].downloads >= w[0].downloads,
+                "{} round {i}",
+                rec.algorithm
+            );
+            assert!(
+                w[1].virtual_time > w[0].virtual_time,
+                "{} round {i}",
+                rec.algorithm
+            );
         }
         // Accuracy is a valid probability.
-        assert!(rec
-            .rounds
-            .iter()
-            .all(|r| (0.0..=1.0).contains(&r.accuracy)));
+        assert!(rec.rounds.iter().all(|r| (0.0..=1.0).contains(&r.accuracy)));
         // Every round had at least one participant.
         assert!(rec.rounds.iter().all(|r| r.participants > 0));
     }

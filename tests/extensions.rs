@@ -62,7 +62,10 @@ fn quantity_skew_experiment_runs_end_to_end() {
     let sizes: Vec<usize> = env.device_data.iter().map(|d| d.len()).collect();
     let max = *sizes.iter().max().unwrap();
     let min = *sizes.iter().min().unwrap();
-    assert!(max > min, "quantity skew should unbalance shards: {sizes:?}");
+    assert!(
+        max > min,
+        "quantity skew should unbalance shards: {sizes:?}"
+    );
     let mut env = cfg.build_env();
     let mut algo = FedAvg::new(&cfg);
     let rec = run_experiment(&mut algo, &mut env, 2);
@@ -82,7 +85,10 @@ fn bandwidth_link_slows_ring_adoption_but_still_trains() {
     let mut env = cfg.build_env();
     let mut algo = FedHiSyn::new(&cfg, 2);
     let rec = run_experiment(&mut algo, &mut env, 2);
-    assert!(rec.final_accuracy() > 0.1, "must still learn without timely relays");
+    assert!(
+        rec.final_accuracy() > 0.1,
+        "must still learn without timely relays"
+    );
 }
 
 #[test]
@@ -110,6 +116,9 @@ fn comparison_utilities_work_on_real_runs() {
     let cmp = Comparison::between(&rh, &ra, target, 6.0);
     assert_eq!(cmp.candidate, "FedHiSyn");
     assert_eq!(cmp.reference, "FedAvg");
-    assert!(cmp.communication_savings.is_some(), "both reach a trivial target");
+    assert!(
+        cmp.communication_savings.is_some(),
+        "both reach a trivial target"
+    );
     let _ = crossover_round(&rh, &ra); // must not panic on real traces
 }

@@ -38,7 +38,11 @@ fn observation1_ring_communication_beats_isolation_on_noniid() {
     let isolated = run_decentral(&cfg, DecentralMode::Isolated, rounds);
     let ring = run_decentral(
         &cfg,
-        DecentralMode::ClusteredRings { k: 1, order: RingOrder::SmallToLarge, average: false },
+        DecentralMode::ClusteredRings {
+            k: 1,
+            order: RingOrder::SmallToLarge,
+            average: false,
+        },
         rounds,
     );
     assert!(
@@ -56,10 +60,18 @@ fn observation1_ring_beats_random_communication() {
     let rounds = 8;
     let ring = run_decentral(
         &cfg,
-        DecentralMode::ClusteredRings { k: 1, order: RingOrder::SmallToLarge, average: false },
+        DecentralMode::ClusteredRings {
+            k: 1,
+            order: RingOrder::SmallToLarge,
+            average: false,
+        },
         rounds,
     );
-    let random = run_decentral(&cfg, DecentralMode::RandomExchange { average: false }, rounds);
+    let random = run_decentral(
+        &cfg,
+        DecentralMode::RandomExchange { average: false },
+        rounds,
+    );
     assert!(
         ring > random,
         "ring ({ring}) should beat random communication ({random})"
@@ -75,12 +87,20 @@ fn observation1_training_received_beats_averaging() {
     let rounds = 8;
     let direct = run_decentral(
         &cfg,
-        DecentralMode::ClusteredRings { k: 1, order: RingOrder::SmallToLarge, average: false },
+        DecentralMode::ClusteredRings {
+            k: 1,
+            order: RingOrder::SmallToLarge,
+            average: false,
+        },
         rounds,
     );
     let averaged = run_decentral(
         &cfg,
-        DecentralMode::ClusteredRings { k: 1, order: RingOrder::SmallToLarge, average: true },
+        DecentralMode::ClusteredRings {
+            k: 1,
+            order: RingOrder::SmallToLarge,
+            average: true,
+        },
         rounds,
     );
     assert!(
@@ -98,7 +118,11 @@ fn observation3_server_mitigates_forgetting() {
     let rounds = 4;
     let decentralized = run_decentral(
         &cfg,
-        DecentralMode::ClusteredRings { k: 1, order: RingOrder::SmallToLarge, average: false },
+        DecentralMode::ClusteredRings {
+            k: 1,
+            order: RingOrder::SmallToLarge,
+            average: false,
+        },
         rounds,
     );
     let mut env = cfg.build_env();
@@ -118,7 +142,11 @@ fn clustering_preserves_member_partition() {
     for k in [1usize, 2, 3, 12] {
         let sim = DecentralSim::new(
             &env,
-            DecentralMode::ClusteredRings { k, order: RingOrder::SmallToLarge, average: false },
+            DecentralMode::ClusteredRings {
+                k,
+                order: RingOrder::SmallToLarge,
+                average: false,
+            },
         );
         let mut all: Vec<usize> = sim.classes().iter().flatten().copied().collect();
         all.sort_unstable();
@@ -136,12 +164,20 @@ fn heterogeneity_makes_random_rings_worse_than_sorted() {
     let rounds = 3;
     let sorted = run_decentral(
         &cfg,
-        DecentralMode::ClusteredRings { k: 1, order: RingOrder::SmallToLarge, average: false },
+        DecentralMode::ClusteredRings {
+            k: 1,
+            order: RingOrder::SmallToLarge,
+            average: false,
+        },
         rounds,
     );
     let random = run_decentral(
         &cfg,
-        DecentralMode::ClusteredRings { k: 1, order: RingOrder::Random, average: false },
+        DecentralMode::ClusteredRings {
+            k: 1,
+            order: RingOrder::Random,
+            average: false,
+        },
         rounds,
     );
     assert!(

@@ -2,7 +2,7 @@
 
 use fedhisyn::cluster::{kmeans_1d, quantile_bins};
 use fedhisyn::core::aggregate::{AggregationRule, Contribution};
-use fedhisyn::core::ring_sim::{simulate_ring_interval, ReceivePolicy};
+use fedhisyn::core::ring_sim::{simulate_ring_interval, ReceivePolicy, RingStart};
 use fedhisyn::core::{Ring, RingOrder};
 use fedhisyn::data::{partition_indices, Dataset, Partition};
 use fedhisyn::nn::ParamVec;
@@ -110,11 +110,11 @@ proptest! {
         let mut rng = rng_from_seed(0);
         let ring = Ring::build(&members, &lats, &LinkModel::zero(), RingOrder::SmallToLarge, &mut rng);
         let ring_lat: Vec<f64> = ring.order().iter().map(|&d| lats[d]).collect();
-        let start = vec![ParamVec::zeros(2); ring.len()];
+        let start = RingStart::PerPosition(vec![ParamVec::zeros(2); ring.len()]);
         let out = simulate_ring_interval(
             &ring, &ring_lat, &LinkModel::zero(), start, interval,
             ReceivePolicy::TrainReceived,
-            |_, m, _| m.clone(),
+            |_, m, _| m,
         );
         for (pos, &steps) in out.steps.iter().enumerate() {
             let expect = ((interval / ring_lat[pos]).ceil() as usize).max(1);

@@ -59,7 +59,9 @@ fn serialized_config_rebuilds_identical_environment() {
     let cfg = ExperimentConfig::builder(DatasetProfile::EmnistLike)
         .scale(Scale::Smoke)
         .devices(6)
-        .partition(Partition::Shards { shards_per_device: 2 })
+        .partition(Partition::Shards {
+            shards_per_device: 2,
+        })
         .seed(17)
         .build();
     let json = serde_json::to_string(&cfg).unwrap();

@@ -66,8 +66,16 @@ fn async_protocols_upload_more_than_sync() {
     let mut at = FedAT::new(&cfg, 3);
     let at_rec = run_experiment(&mut at, &mut env, 2);
     // Under H=6, fast devices/tiers complete multiple cycles per round.
-    assert!(ta_rec.total_uploads() > 12.0, "TAFedAvg: {}", ta_rec.total_uploads());
-    assert!(at_rec.total_uploads() > 12.0, "FedAT: {}", at_rec.total_uploads());
+    assert!(
+        ta_rec.total_uploads() > 12.0,
+        "TAFedAvg: {}",
+        ta_rec.total_uploads()
+    );
+    assert!(
+        at_rec.total_uploads() > 12.0,
+        "FedAT: {}",
+        at_rec.total_uploads()
+    );
 }
 
 #[test]
@@ -76,7 +84,10 @@ fn only_fedhisyn_uses_peer_links() {
     let mut env = cfg.build_env();
     let mut hisyn = FedHiSyn::new(&cfg, 2);
     let hisyn_rec = run_experiment(&mut hisyn, &mut env, 1);
-    assert!(hisyn_rec.rounds[0].peer_transfers > 0.0, "rings must use peer links");
+    assert!(
+        hisyn_rec.rounds[0].peer_transfers > 0.0,
+        "rings must use peer links"
+    );
 
     for rec in [
         {

@@ -1,0 +1,333 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the subset of the parallel-iterator API this workspace uses
+//! (`par_iter().map(..).collect()/sum()`, `enumerate`, `par_chunks`,
+//! `par_chunks_mut(..).zip(..).for_each(..)`) on top of a small persistent
+//! worker pool.
+//!
+//! The pool is deliberately **persistent** (workers live for the whole
+//! process): `fedhisyn-core`'s execution engine keys one cached model per
+//! worker via `thread_local!`, which only pays off when the same OS threads
+//! service successive rounds. Scheduling is contiguous-chunk per worker, so
+//! results are collected in input order and every reduction is performed
+//! sequentially over the ordered output — parallelism never perturbs float
+//! summation order, preserving the workspace's bit-determinism guarantee.
+
+mod pool;
+
+pub mod prelude {
+    pub use crate::{ParChunksExt, ParChunksMutExt, ParIterExt};
+}
+
+pub use pool::current_num_threads;
+use pool::run_chunked;
+
+/// Entry point: `.par_iter()` on slices (and anything derefing to one).
+pub trait ParIterExt<T: Sync> {
+    /// Parallel iterator over `&T` items.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParIterExt<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `.par_chunks(n)` on slices.
+pub trait ParChunksExt<T: Sync> {
+    /// Parallel iterator over contiguous sub-slices of length `size`
+    /// (last one may be shorter).
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParChunksExt<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunks { items: self, size }
+    }
+}
+
+/// `.par_chunks_mut(n)` on slices.
+pub trait ParChunksMutExt<T: Send> {
+    /// Parallel iterator over disjoint mutable sub-slices of length `size`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParChunksMutExt<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut { items: self, size }
+    }
+}
+
+/// Borrowed parallel iterator over slice items.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each item through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Pair each item with its index.
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate { items: self.items }
+    }
+
+    /// Run `f` on each item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let items = self.items;
+        run_chunked(items.len(), &|lo, hi| {
+            for item in &items[lo..hi] {
+                f(item);
+            }
+        });
+    }
+}
+
+/// Index-tagged parallel iterator.
+pub struct ParEnumerate<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParEnumerate<'a, T> {
+    /// Map each `(index, &item)` pair through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> ParEnumMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn((usize, &'a T)) -> R + Sync,
+    {
+        ParEnumMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Evaluate `f(i)` for `i in 0..n` in parallel, preserving input order.
+fn ordered_map<R: Send>(n: usize, f: &(dyn Fn(usize) -> R + Sync)) -> Vec<R> {
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    {
+        let slots = ForceSync(out.as_mut_ptr());
+        run_chunked(n, &|lo, hi| {
+            let slots = &slots;
+            for i in lo..hi {
+                // Safety: chunks [lo, hi) are disjoint across workers, so
+                // each slot is written by exactly one thread; the Vec
+                // outlives run_chunked, which joins all work before
+                // returning.
+                unsafe { slots.0.add(i).write(Some(f(i))) };
+            }
+        });
+    }
+    out.into_iter()
+        .map(|x| x.expect("parallel map slot not filled"))
+        .collect()
+}
+
+struct ForceSync<T>(T);
+unsafe impl<T> Sync for ForceSync<T> {}
+
+/// Mapped parallel iterator; terminal ops execute the parallel work.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Evaluate in parallel, collecting results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let items = self.items;
+        let f = self.f;
+        ordered_map(items.len(), &|i| f(&items[i]))
+            .into_iter()
+            .collect()
+    }
+
+    /// Evaluate in parallel, then reduce **sequentially in input order**
+    /// (deterministic even for floats).
+    pub fn sum<S, R>(self) -> S
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        S: std::iter::Sum<R>,
+    {
+        let items = self.items;
+        let f = self.f;
+        ordered_map(items.len(), &|i| f(&items[i]))
+            .into_iter()
+            .sum()
+    }
+}
+
+/// Mapped + enumerated parallel iterator.
+pub struct ParEnumMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, F> ParEnumMap<'a, T, F> {
+    /// Evaluate in parallel, collecting results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn((usize, &'a T)) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let items = self.items;
+        let f = self.f;
+        ordered_map(items.len(), &|i| f((i, &items[i])))
+            .into_iter()
+            .collect()
+    }
+
+    /// Evaluate in parallel, then reduce sequentially in input order.
+    pub fn sum<S, R>(self) -> S
+    where
+        R: Send,
+        F: Fn((usize, &'a T)) -> R + Sync,
+        S: std::iter::Sum<R>,
+    {
+        let items = self.items;
+        let f = self.f;
+        ordered_map(items.len(), &|i| f((i, &items[i])))
+            .into_iter()
+            .sum()
+    }
+}
+
+/// Parallel iterator over immutable chunks.
+pub struct ParChunks<'a, T> {
+    items: &'a [T],
+    size: usize,
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ParChunksMut<'a, T> {
+    items: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Zip with an immutable chunk iterator (shorter side wins).
+    pub fn zip<U: Sync>(self, other: ParChunks<'a, U>) -> ParZipChunks<'a, T, U> {
+        ParZipChunks {
+            left: self,
+            right: other,
+        }
+    }
+}
+
+/// Zipped mutable/immutable chunk pairs.
+pub struct ParZipChunks<'a, T, U> {
+    left: ParChunksMut<'a, T>,
+    right: ParChunks<'a, U>,
+}
+
+impl<'a, T: Send, U: Sync> ParZipChunks<'a, T, U> {
+    /// Run `f` over each `(mutable chunk, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((&mut [T], &[U])) + Sync,
+    {
+        let mut pairs: Vec<Option<(&mut [T], &[U])>> = self
+            .left
+            .items
+            .chunks_mut(self.left.size)
+            .zip(self.right.items.chunks(self.right.size))
+            .map(Some)
+            .collect();
+        let n = pairs.len();
+        let slots = ForceSync(pairs.as_mut_ptr());
+        run_chunked(n, &|lo, hi| {
+            let slots = &slots;
+            for i in lo..hi {
+                // Safety: worker chunks are disjoint, so each slot is taken
+                // by exactly one thread, and `pairs` outlives `run_chunked`.
+                if let Some((l, r)) = unsafe { (*slots.0.add(i)).take() } {
+                    f((l, r));
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_map_matches_serial() {
+        let v = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        let tagged: Vec<(usize, u64)> = v.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(tagged, v.iter().cloned().enumerate().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_is_deterministic_for_floats() {
+        let v: Vec<f32> = (0..5000).map(|i| (i as f32).sin()).collect();
+        let a: f32 = v.par_iter().map(|&x| x * 0.5).sum();
+        let b: f32 = v.par_iter().map(|&x| x * 0.5).sum();
+        let serial: f32 = v.iter().map(|&x| x * 0.5).sum();
+        assert_eq!(a, b);
+        assert_eq!(a, serial, "parallel sum must match serial order");
+    }
+
+    #[test]
+    fn zipped_chunks_cover_everything() {
+        let mut c = [0f32; 12];
+        let a = [1f32; 6];
+        c.par_chunks_mut(4)
+            .zip(a.par_chunks(2))
+            .for_each(|(crow, arow)| {
+                for x in crow.iter_mut() {
+                    *x += arow.iter().sum::<f32>();
+                }
+            });
+        assert!(c.iter().all(|&x| x == 2.0));
+    }
+
+    // On a 1-CPU host the region runs serially and the original payload
+    // ("boom") escapes; with workers it is rewrapped as "worker panicked in
+    // parallel region" — either way the panic must propagate.
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let v: Vec<usize> = (0..1000).collect();
+        let _: Vec<usize> = v
+            .par_iter()
+            .map(|&x| {
+                if x == 777 {
+                    panic!("boom");
+                }
+                x
+            })
+            .collect();
+    }
+}

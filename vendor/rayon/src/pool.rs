@@ -1,0 +1,145 @@
+//! A minimal persistent worker pool with work-helping.
+//!
+//! Workers are spawned once and live for the whole process, so
+//! `thread_local!` caches held by higher layers (the execution engine's
+//! per-worker model cache) stay warm across successive parallel regions.
+//!
+//! A thread that submits a parallel region executes the first chunk itself
+//! and, while waiting for the rest, *helps* by draining the shared queue.
+//! That makes nested regions (a `par_chunks_mut` GEMM inside a `par_iter`
+//! round) deadlock-free without work stealing.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+}
+
+static QUEUE: OnceLock<Arc<Queue>> = OnceLock::new();
+
+/// Number of threads a parallel region can occupy (workers + caller).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn queue() -> &'static Arc<Queue> {
+    QUEUE.get_or_init(|| {
+        let q = Arc::new(Queue {
+            jobs: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        });
+        let workers = current_num_threads().saturating_sub(1);
+        for i in 0..workers {
+            let q2 = Arc::clone(&q);
+            std::thread::Builder::new()
+                .name(format!("fedhisyn-worker-{i}"))
+                .spawn(move || worker_loop(q2))
+                .expect("failed to spawn pool worker");
+        }
+        q
+    })
+}
+
+fn worker_loop(q: Arc<Queue>) {
+    loop {
+        let job = {
+            let mut jobs = q.jobs.lock().unwrap();
+            loop {
+                if let Some(j) = jobs.pop_front() {
+                    break j;
+                }
+                jobs = q.ready.wait(jobs).unwrap();
+            }
+        };
+        job();
+    }
+}
+
+/// Split `0..n` into contiguous chunks and run `f(lo, hi)` on each, in
+/// parallel. Blocks until every chunk has finished; panics (once) if any
+/// chunk panicked.
+pub(crate) fn run_chunked(n: usize, f: &(dyn Fn(usize, usize) + Sync)) {
+    if n == 0 {
+        return;
+    }
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        f(0, n);
+        return;
+    }
+
+    struct State {
+        remaining: AtomicUsize,
+        panicked: AtomicBool,
+    }
+    let state = Arc::new(State {
+        remaining: AtomicUsize::new(threads - 1),
+        panicked: AtomicBool::new(false),
+    });
+
+    // Safety: every job referencing `f` is guaranteed to finish before this
+    // function returns (we spin until `remaining == 0`), so erasing the
+    // borrow's lifetime cannot produce a dangling reference.
+    let f_static: &'static (dyn Fn(usize, usize) + Sync) = unsafe { std::mem::transmute(f) };
+
+    let per = n / threads;
+    let rem = n % threads;
+    let mut bounds = Vec::with_capacity(threads);
+    let mut lo = 0;
+    for t in 0..threads {
+        let len = per + usize::from(t < rem);
+        bounds.push((lo, lo + len));
+        lo += len;
+    }
+
+    let q = queue();
+    {
+        let mut jobs = q.jobs.lock().unwrap();
+        for &(jlo, jhi) in &bounds[1..] {
+            let st = Arc::clone(&state);
+            jobs.push_back(Box::new(move || {
+                if catch_unwind(AssertUnwindSafe(|| f_static(jlo, jhi))).is_err() {
+                    st.panicked.store(true, Ordering::SeqCst);
+                }
+                st.remaining.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        q.ready.notify_all();
+    }
+
+    let own = catch_unwind(AssertUnwindSafe(|| f_static(bounds[0].0, bounds[0].1)));
+
+    // Help drain the queue while waiting — the popped job may belong to
+    // another in-flight region; that is fine, it tracks its own state.
+    // With the queue empty, block on the condvar (with a timeout, since
+    // job *completions* don't signal it) instead of burning a core
+    // spinning through the region's tail.
+    while state.remaining.load(Ordering::SeqCst) > 0 {
+        let mut jobs = q.jobs.lock().unwrap();
+        match jobs.pop_front() {
+            Some(j) => {
+                drop(jobs);
+                j();
+            }
+            None => {
+                let (guard, _) = q
+                    .ready
+                    .wait_timeout(jobs, std::time::Duration::from_micros(200))
+                    .unwrap();
+                drop(guard);
+            }
+        }
+    }
+
+    if own.is_err() || state.panicked.load(Ordering::SeqCst) {
+        panic!("worker panicked in parallel region");
+    }
+}

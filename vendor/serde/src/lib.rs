@@ -1,0 +1,251 @@
+//! Offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor architecture, this shim converts values
+//! through an intermediate [`Value`] tree (the same role as
+//! `serde_json::Value`): `Serialize` renders a type *into* a `Value`,
+//! `Deserialize` rebuilds the type *from* one. The companion
+//! `serde_derive` proc-macros generate field-by-field conversions, and the
+//! vendored `serde_json` crate handles text. Round-trips are lossless for
+//! everything the workspace serializes (floats use shortest-repr printing,
+//! which round-trips bit-exactly for finite values).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A dynamically-typed serialization tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (used for `Option::None`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String (also used for unit enum variants).
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Ordered key-value map (field order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a map field.
+    pub fn field(&self, name: &str) -> Result<&Value, DeError> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| DeError::custom(format!("missing field `{name}`"))),
+            other => Err(DeError::custom(format!(
+                "expected map with field `{name}`, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Error with a free-form message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` to a serialization tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Convert a serialization tree back into `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls ----------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(x) => <$t>::try_from(*x)
+                        .map_err(|_| DeError::custom(format!("{x} out of range"))),
+                    Value::I64(x) => <$t>::try_from(*x)
+                        .map_err(|_| DeError::custom(format!("{x} out of range"))),
+                    Value::F64(x) if x.fract() == 0.0 && *x >= 0.0 => Ok(*x as $t),
+                    other => Err(DeError::custom(format!("expected integer, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as i64;
+                if x >= 0 { Value::U64(x as u64) } else { Value::I64(x) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(x) => <$t>::try_from(*x)
+                        .map_err(|_| DeError::custom(format!("{x} out of range"))),
+                    Value::I64(x) => <$t>::try_from(*x)
+                        .map_err(|_| DeError::custom(format!("{x} out of range"))),
+                    other => Err(DeError::custom(format!("expected integer, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(x) => Ok(*x as f64),
+            Value::I64(x) => Ok(*x as f64),
+            other => Err(DeError::custom(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // f32 -> f64 is exact; shortest-repr printing of the f64 then
+        // round-trips back to the identical f32.
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::custom(format!(
+                "expected sequence, found {other:?}"
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            other => Err(DeError::custom(format!("expected pair, found {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the item shapes this
+//! workspace actually uses — named-field structs, tuple structs, and enums
+//! whose variants are unit, named-field, or tuple — by walking the raw
+//! `proc_macro` token stream (no `syn`/`quote`; the build is offline).
+//! Generic items are rejected with a compile error.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("::core::compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match (item, mode) {
+        (Item::Struct { name, fields }, Mode::Serialize) => gen_struct_ser(&name, &fields),
+        (Item::Struct { name, fields }, Mode::Deserialize) => gen_struct_de(&name, &fields),
+        (Item::Enum { name, variants }, Mode::Serialize) => gen_enum_ser(&name, &variants),
+        (Item::Enum { name, variants }, Mode::Deserialize) => gen_enum_de(&name, &variants),
+    };
+    code.parse().unwrap()
+}
+
+// ---- token-stream parsing -----------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    i: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            i: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.i).cloned();
+        self.i += 1;
+        t
+    }
+
+    /// Skip attributes (`#[...]`, including doc comments) and visibility
+    /// (`pub`, `pub(...)`).
+    fn skip_attrs_and_vis(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.i += 1; // '#'
+                    self.i += 1; // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    self.i += 1;
+                    if let Some(TokenTree::Group(g)) = self.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            self.i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut c = Cursor::new(input);
+    c.skip_attrs_and_vis();
+    let kind = match c.bump() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match c.bump() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generics on `{name}`"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g)?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Struct {
+                    name,
+                    fields: Fields::Tuple(count_tuple_fields(g)),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Struct {
+                name,
+                fields: Fields::Unit,
+            }),
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g)?,
+            }),
+            other => Err(format!("expected enum body for `{name}`, found {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Advance past one type, honouring nested `<...>` angle brackets; stops
+/// after the top-level `,` (consumed) or at end of stream.
+fn skip_type(c: &mut Cursor) {
+    let mut depth = 0i64;
+    while let Some(t) = c.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                c.i += 1;
+                return;
+            }
+            _ => {}
+        }
+        c.i += 1;
+    }
+}
+
+fn parse_named_fields(g: &Group) -> Result<Vec<String>, String> {
+    let mut c = Cursor::new(g.stream());
+    let mut out = Vec::new();
+    while c.peek().is_some() {
+        c.skip_attrs_and_vis();
+        let name = match c.bump() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        match c.bump() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(&mut c);
+        out.push(name);
+    }
+    Ok(out)
+}
+
+fn count_tuple_fields(g: &Group) -> usize {
+    let mut c = Cursor::new(g.stream());
+    if c.peek().is_none() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i64;
+    while let Some(t) = c.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            // Trailing commas add no field, hence the lookahead guard.
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && depth == 0 && c.toks.get(c.i + 1).is_some() =>
+            {
+                count += 1;
+            }
+            _ => {}
+        }
+        c.i += 1;
+    }
+    count
+}
+
+fn parse_variants(g: &Group) -> Result<Vec<(String, Fields)>, String> {
+    let mut c = Cursor::new(g.stream());
+    let mut out = Vec::new();
+    while c.peek().is_some() {
+        c.skip_attrs_and_vis();
+        let name = match c.bump() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        let fields = match c.peek() {
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(vg)?);
+                c.i += 1;
+                f
+            }
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(vg));
+                c.i += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = c.peek() {
+            if p.as_char() == ',' {
+                c.i += 1;
+            }
+        }
+        out.push((name, fields));
+    }
+    Ok(out)
+}
+
+// ---- code generation ----------------------------------------------------
+
+fn named_to_map(fields: &[String], access: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({access}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn named_from_map(fields: &[String], src: &str) -> String {
+    fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value({src}.field({f:?})?)?,"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn gen_struct_ser(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(fs) => named_to_map(fs, "&self."),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        Fields::Named(fs) => format!(
+            "::std::result::Result::Ok({name} {{ {} }})",
+            named_from_map(fs, "v")
+        ),
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Seq(items) if items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({})),\n\
+                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         ::std::format!(\"expected {n}-tuple for {name}, found {{other:?}}\"))),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[(String, Fields)]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|(v, fields)| match fields {
+            Fields::Unit => {
+                format!("{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?})),")
+            }
+            Fields::Named(fs) => {
+                let binds = fs.join(", ");
+                let inner = named_to_map(fs, "");
+                format!(
+                    "{name}::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from({v:?}), {inner})]),"
+                )
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                };
+                format!(
+                    "{name}::{v}({}) => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from({v:?}), {inner})]),",
+                    binds.join(", ")
+                )
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {} }}\n\
+             }}\n\
+         }}",
+        arms.join("\n")
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(v, _)| format!("{v:?} => return ::std::result::Result::Ok({name}::{v}),"))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|(v, fields)| match fields {
+            Fields::Unit => None,
+            Fields::Named(fs) => Some(format!(
+                "{v:?} => return ::std::result::Result::Ok({name}::{v} {{ {} }}),",
+                named_from_map(fs, "inner")
+            )),
+            Fields::Tuple(1) => Some(format!(
+                "{v:?} => return ::std::result::Result::Ok(\
+                     {name}::{v}(::serde::Deserialize::from_value(inner)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                    .collect();
+                Some(format!(
+                    "{v:?} => {{\n\
+                         if let ::serde::Value::Seq(items) = inner {{\n\
+                             if items.len() == {n} {{\n\
+                                 return ::std::result::Result::Ok({name}::{v}({}));\n\
+                             }}\n\
+                         }}\n\
+                     }}",
+                    items.join(", ")
+                ))
+            }
+        })
+        .collect();
+
+    let unit_block = if unit_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "if let ::serde::Value::Str(s) = v {{\n\
+                 match s.as_str() {{ {} _ => {{}} }}\n\
+             }}",
+            unit_arms.join("\n")
+        )
+    };
+    let tagged_block = if tagged_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "if let ::serde::Value::Map(entries) = v {{\n\
+                 if entries.len() == 1 {{\n\
+                     let (tag, inner) = &entries[0];\n\
+                     let _ = inner;\n\
+                     match tag.as_str() {{ {} _ => {{}} }}\n\
+                 }}\n\
+             }}",
+            tagged_arms.join("\n")
+        )
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {unit_block}\n\
+                 {tagged_block}\n\
+                 ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"no matching variant of {name} for {{v:?}}\")))\n\
+             }}\n\
+         }}"
+    )
+}

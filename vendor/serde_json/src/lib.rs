@@ -1,0 +1,357 @@
+//! Offline stand-in for `serde_json`: JSON text <-> [`serde::Value`].
+//!
+//! Numbers print with Rust's shortest round-trip float formatting, so a
+//! serialize -> parse cycle reproduces every finite `f32`/`f64` bit-exactly
+//! — which is what the workspace's serialization tests assert.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// JSON encode/decode error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` to compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize `value` to 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parse JSON text into `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        i: 0,
+    };
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.i != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.i)));
+    }
+    T::from_value(&value).map_err(|e| Error(e.to_string()))
+}
+
+// ---- writer -------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(x) => out.push_str(&x.to_string()),
+        Value::I64(x) => out.push_str(&x.to_string()),
+        Value::F64(x) => write_f64(*x, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => write_block(out, indent, level, '[', ']', items.len(), |out, i| {
+            write_value(&items[i], out, indent, level + 1);
+        }),
+        Value::Map(entries) => {
+            write_block(out, indent, level, '{', '}', entries.len(), |out, i| {
+                write_string(&entries[i].0, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(&entries[i].1, out, indent, level + 1);
+            })
+        }
+    }
+}
+
+fn write_block(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    n: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..n {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        item(out, i);
+    }
+    if n > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * level));
+        }
+    }
+    out.push(close);
+}
+
+fn write_f64(x: f64, out: &mut String) {
+    if !x.is_finite() {
+        out.push_str("null"); // JSON has no NaN/inf, same as serde_json
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        out.push_str(&format!("{x:.1}"));
+    } else {
+        // Rust's Display for floats is the shortest round-trippable form.
+        out.push_str(&format!("{x}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---- parser -------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.i) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.bytes.get(self.i) == Some(&b) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.i
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.i..].starts_with(lit.as_bytes()) {
+            self.i += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.bytes.get(self.i) {
+            None => Err(Error("unexpected end of input".into())),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.i) == Some(&b']') {
+                    self.i += 1;
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.bytes.get(self.i) {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Value::Seq(items));
+                        }
+                        _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.i))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.i += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.i) == Some(&b'}') {
+                    self.i += 1;
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.bytes.get(self.i) {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Value::Map(entries));
+                        }
+                        _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.i))),
+                    }
+                }
+            }
+            Some(_) => self.parse_number(),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.i) {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.bytes.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u code point".into()))?,
+                            );
+                            self.i += 4;
+                        }
+                        _ => return Err(Error("bad escape".into())),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.i..])
+                        .map_err(|_| Error("invalid utf-8".into()))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.i;
+        while let Some(&b) = self.bytes.get(self.i) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.i])
+            .map_err(|_| Error("invalid number".into()))?;
+        if text.is_empty() {
+            return Err(Error(format!("expected value at byte {start}")));
+        }
+        let is_float = text.contains(['.', 'e', 'E']);
+        if !is_float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(mag) = stripped.parse::<u64>() {
+                    if mag <= i64::MAX as u64 {
+                        return Ok(Value::I64(-(mag as i64)));
+                    }
+                }
+            } else if let Ok(x) = text.parse::<u64>() {
+                return Ok(Value::U64(x));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_compact_and_pretty() {
+        let v = vec![0.1f32, -2.5, 1.0, 3.4028235e38];
+        let json = to_string(&v).unwrap();
+        let back: Vec<f32> = from_str(&json).unwrap();
+        assert_eq!(v, back);
+        let back2: Vec<f32> = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(v, back2);
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "line\n\"quoted\"\tend".to_string();
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn integers_preserve_precision() {
+        let x: u64 = u64::MAX - 3;
+        let back: u64 = from_str(&to_string(&x).unwrap()).unwrap();
+        assert_eq!(x, back);
+        let y: i64 = -1234567890123;
+        let back: i64 = from_str(&to_string(&y).unwrap()).unwrap();
+        assert_eq!(y, back);
+    }
+
+    #[test]
+    fn options_use_null() {
+        let some: Option<f64> = Some(2.5);
+        let none: Option<f64> = None;
+        assert_eq!(to_string(&none).unwrap(), "null");
+        let back: Option<f64> = from_str(&to_string(&some).unwrap()).unwrap();
+        assert_eq!(back, Some(2.5));
+        let back: Option<f64> = from_str("null").unwrap();
+        assert_eq!(back, None);
+    }
+}
