@@ -12,6 +12,20 @@ pub fn achievable_steps(env: &FlEnv, device: usize, interval: f64) -> usize {
     ((interval / env.latency(device)).ceil() as usize).max(1)
 }
 
+/// [`achievable_steps`] at the device's *effective* capacity for `round`
+/// (identical on a static fleet).
+pub fn achievable_steps_at(env: &FlEnv, device: usize, interval: f64, round: usize) -> usize {
+    ((interval / env.latency_at(device, round)).ceil() as usize).max(1)
+}
+
+/// Whether device `d` survives `round` without a mid-round crash. A
+/// casualty trains but never uploads: server-collected protocols drop its
+/// contribution (the round's work is lost with the device). Always true
+/// on a static fleet.
+pub fn survives_round(env: &FlEnv, device: usize, round: usize) -> bool {
+    env.fleet.fail_frac(device, round).is_none()
+}
+
 /// Run `steps` consecutive local-training steps from `start`, optionally
 /// with a gradient hook. Returns the final parameters.
 ///

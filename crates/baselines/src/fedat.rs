@@ -6,7 +6,7 @@ use fedhisyn_core::{AggregationRule, ExperimentConfig, FlAlgorithm, RoundContext
 use fedhisyn_nn::ParamVec;
 use rayon::prelude::*;
 
-use crate::common::continuous_local_train_plain;
+use crate::common::{continuous_local_train_plain, survives_round};
 
 /// FedAT (Chai et al., SC 2021; §6.1 of the FedHiSyn paper): devices are
 /// grouped into latency tiers; *within* a tier updates are synchronous
@@ -73,16 +73,32 @@ impl FlAlgorithm for FedAT {
 
     fn round(&mut self, ctx: &mut RoundContext<'_>) -> ParamVec {
         let env = ctx.env;
-        let s = ctx.participants;
-        let n_params = env.param_count();
-        let interval = env.slowest_latency(s);
         let round = ctx.round;
+        env.charge_download(ctx.participants.len() as f64);
 
-        env.meter.record_download(s.len() as f64, n_params);
+        // The reporting interval is set by the slowest *online*
+        // participant — the same clock `round_duration` records and the
+        // other baselines train against — before any casualty is dropped.
+        let interval = env.slowest_latency_at(ctx.participants, round);
+
+        // Mid-round casualties are approximated as absent for the whole
+        // reporting round: FedAT's internal tier rounds re-aggregate
+        // continuously, so a device lost partway poisons every later
+        // internal round — dropping it up front is the honest cut.
+        let s: Vec<usize> = ctx
+            .participants
+            .iter()
+            .copied()
+            .filter(|&d| survives_round(env, d, round))
+            .collect();
+        if s.is_empty() {
+            return self.global.clone();
+        }
+        let s = &s[..];
 
         // Tier the participants by latency (equal-population bins, as in
-        // FedAT's profiling-based tiering).
-        let latencies: Vec<f64> = s.iter().map(|&d| env.latency(d)).collect();
+        // FedAT's profiling-based tiering) observed *this round*.
+        let latencies: Vec<f64> = s.iter().map(|&d| env.latency_at(d, round)).collect();
         let m = self.tiers.min(s.len());
         let bins = quantile_bins(&latencies, m);
         if self.update_counts.len() < m {
@@ -97,7 +113,7 @@ impl FlAlgorithm for FedAT {
                 let members: Vec<usize> = bin.iter().map(|&i| s[i]).collect();
                 let period = members
                     .iter()
-                    .map(|&d| env.latency(d))
+                    .map(|&d| env.latency_at(d, round))
                     .fold(0.0f64, f64::max);
                 let internal_rounds = ((interval / period).ceil() as u64).max(1);
                 let mut tier_model = global.clone();
@@ -121,15 +137,18 @@ impl FlAlgorithm for FedAT {
                         .map(|(d, params)| Contribution {
                             params,
                             samples: env.device_data[*d].len(),
-                            class_mean_time: env.latency(*d),
+                            class_mean_time: env.latency_at(*d, round),
                         })
                         .collect();
                     tier_model = AggregationRule::SampleWeighted.aggregate(&contributions);
                     // Every internal round uploads each member's model.
-                    env.meter.record_upload(members.len() as f64, n_params);
+                    env.charge_upload(members.len() as f64);
                 }
-                let mean_lat =
-                    members.iter().map(|&d| env.latency(d)).sum::<f64>() / members.len() as f64;
+                let mean_lat = members
+                    .iter()
+                    .map(|&d| env.latency_at(d, round))
+                    .sum::<f64>()
+                    / members.len() as f64;
                 (tier_model, internal_rounds, mean_lat)
             })
             .collect();

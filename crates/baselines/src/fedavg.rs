@@ -5,7 +5,7 @@ use fedhisyn_core::{AggregationRule, ExperimentConfig, FlAlgorithm, RoundContext
 use fedhisyn_nn::ParamVec;
 use rayon::prelude::*;
 
-use crate::common::{achievable_steps, continuous_local_train_plain};
+use crate::common::{achievable_steps_at, continuous_local_train_plain, survives_round};
 
 /// FedAvg as evaluated by the paper (§6.1): the server collects weights at
 /// regular intervals, so a device with more compute performs more local
@@ -44,17 +44,23 @@ impl FlAlgorithm for FedAvg {
     fn round(&mut self, ctx: &mut RoundContext<'_>) -> ParamVec {
         let env = ctx.env;
         let s = ctx.participants;
-        let n_params = env.param_count();
-        let interval = env.slowest_latency(s);
-
-        env.meter.record_download(s.len() as f64, n_params);
-
         let round = ctx.round;
+        let interval = env.slowest_latency_at(s, round);
+
+        env.charge_download(s.len() as f64);
+
         let global = &self.global;
-        let updated: Vec<(usize, ParamVec)> = s
+        // Mid-round casualties never report: their round's work is lost
+        // with the device (partial cohort). Static fleets keep everyone.
+        let survivors: Vec<usize> = s
+            .iter()
+            .copied()
+            .filter(|&d| survives_round(env, d, round))
+            .collect();
+        let updated: Vec<(usize, ParamVec)> = survivors
             .par_iter()
             .map(|&d| {
-                let steps = achievable_steps(env, d, interval);
+                let steps = achievable_steps_at(env, d, interval, round);
                 (
                     d,
                     continuous_local_train_plain(env, d, global, steps, round),
@@ -62,13 +68,16 @@ impl FlAlgorithm for FedAvg {
             })
             .collect();
 
-        env.meter.record_upload(s.len() as f64, n_params);
+        env.charge_upload(updated.len() as f64);
+        if updated.is_empty() {
+            return self.global.clone();
+        }
         let contributions: Vec<Contribution<'_>> = updated
             .iter()
             .map(|(d, params)| Contribution {
                 params,
                 samples: env.device_data[*d].len(),
-                class_mean_time: env.latency(*d),
+                class_mean_time: env.latency_at(*d, round),
             })
             .collect();
         self.global = AggregationRule::SampleWeighted.aggregate(&contributions);

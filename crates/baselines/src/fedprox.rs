@@ -5,7 +5,7 @@ use fedhisyn_core::{AggregationRule, ExperimentConfig, FlAlgorithm, RoundContext
 use fedhisyn_nn::{GradHook, ParamVec};
 use rayon::prelude::*;
 
-use crate::common::{achievable_steps, continuous_local_train};
+use crate::common::{achievable_steps_at, continuous_local_train, survives_round};
 
 /// FedProx (Li et al., MLSys 2020; §6.1 of the FedHiSyn paper): local
 /// objectives gain a proximal term `(μ/2)·‖w − w_G‖²`, whose gradient
@@ -80,19 +80,25 @@ impl FlAlgorithm for FedProx {
         let env = ctx.env;
         let s = ctx.participants;
         let n_params = env.param_count();
-        let interval = env.slowest_latency(s);
         let round = ctx.round;
+        let interval = env.slowest_latency_at(s, round);
 
-        env.meter.record_download(s.len() as f64, n_params);
+        env.charge_download(s.len() as f64);
         let global = &self.global;
         // The per-slice hook can only bounds-check, so pin the anchor to
         // the model size once per round (the old whole-vector guard).
         assert_eq!(global.len(), n_params, "proximal anchor size mismatch");
         let mu = self.mu;
-        let updated: Vec<(usize, ParamVec)> = s
+        // Mid-round casualties never report (partial cohort).
+        let survivors: Vec<usize> = s
+            .iter()
+            .copied()
+            .filter(|&d| survives_round(env, d, round))
+            .collect();
+        let updated: Vec<(usize, ParamVec)> = survivors
             .par_iter()
             .map(|&d| {
-                let steps = achievable_steps(env, d, interval);
+                let steps = achievable_steps_at(env, d, interval, round);
                 let hook = ProxHook { mu, anchor: global };
                 (
                     d,
@@ -101,13 +107,16 @@ impl FlAlgorithm for FedProx {
             })
             .collect();
 
-        env.meter.record_upload(s.len() as f64, n_params);
+        env.charge_upload(updated.len() as f64);
+        if updated.is_empty() {
+            return self.global.clone();
+        }
         let contributions: Vec<Contribution<'_>> = updated
             .iter()
             .map(|(d, params)| Contribution {
                 params,
                 samples: env.device_data[*d].len(),
-                class_mean_time: env.latency(*d),
+                class_mean_time: env.latency_at(*d, round),
             })
             .collect();
         self.global = AggregationRule::SampleWeighted.aggregate(&contributions);

@@ -5,7 +5,7 @@ use fedhisyn_core::{AggregationRule, ExperimentConfig, FlAlgorithm, RoundContext
 use fedhisyn_nn::{GradHook, ParamVec};
 use rayon::prelude::*;
 
-use crate::common::{achievable_steps, continuous_local_train, minibatch_steps};
+use crate::common::{achievable_steps_at, continuous_local_train, minibatch_steps, survives_round};
 
 /// SCAFFOLD (Karimireddy et al., ICML 2020): the server maintains a global
 /// control variate `c` and each device a local one `c_i`; local gradients
@@ -91,11 +91,11 @@ impl FlAlgorithm for Scaffold {
         let env = ctx.env;
         let s = ctx.participants;
         let n_params = env.param_count();
-        let interval = env.slowest_latency(s);
         let round = ctx.round;
+        let interval = env.slowest_latency_at(s, round);
 
         // Download = model + server variate: 2 model-equivalents each.
-        env.meter.record_download(2.0 * s.len() as f64, n_params);
+        env.charge_download(2.0 * s.len() as f64);
 
         let global = &self.global;
         let c_global = &self.c_global;
@@ -104,11 +104,19 @@ impl FlAlgorithm for Scaffold {
         // the model size once per round (the old whole-vector guard).
         assert_eq!(c_global.len(), n_params, "control variate size mismatch");
         let lr = self.lr;
+        // Mid-round casualties never report: neither their model nor
+        // their variate delta reaches the server, and their local variate
+        // stays as-is (partial cohort).
+        let survivors: Vec<usize> = s
+            .iter()
+            .copied()
+            .filter(|&d| survives_round(env, d, round))
+            .collect();
         // (device, trained params, new c_i)
-        let updated: Vec<(usize, ParamVec, ParamVec)> = s
+        let updated: Vec<(usize, ParamVec, ParamVec)> = survivors
             .par_iter()
             .map(|&d| {
-                let steps = achievable_steps(env, d, interval);
+                let steps = achievable_steps_at(env, d, interval, round);
                 let hook = ScaffoldHook {
                     c_global,
                     c_local: &c_local[d],
@@ -132,7 +140,10 @@ impl FlAlgorithm for Scaffold {
             .collect();
 
         // Upload = model + variate delta: 2 model-equivalents each (§6.1).
-        env.meter.record_upload(2.0 * s.len() as f64, n_params);
+        env.charge_upload(2.0 * updated.len() as f64);
+        if updated.is_empty() {
+            return self.global.clone();
+        }
 
         // Server: aggregate models uniformly over participants and fold
         // variate deltas in at 1/N (N = fleet size), per the algorithm.
@@ -141,7 +152,7 @@ impl FlAlgorithm for Scaffold {
             .map(|(d, params, _)| Contribution {
                 params,
                 samples: env.device_data[*d].len(),
-                class_mean_time: env.latency(*d),
+                class_mean_time: env.latency_at(*d, round),
             })
             .collect();
         self.global = AggregationRule::Uniform.aggregate(&contributions);

@@ -62,21 +62,26 @@ impl FlAlgorithm for TAFedAvg {
     fn round(&mut self, ctx: &mut RoundContext<'_>) -> ParamVec {
         let env = ctx.env;
         let s = ctx.participants;
-        let n_params = env.param_count();
-        let interval = env.slowest_latency(s);
         let round = ctx.round;
+        let interval = env.slowest_latency_at(s, round);
 
         // Every participant pulls the global once at round start.
-        env.meter.record_download(s.len() as f64, n_params);
+        env.charge_download(s.len() as f64);
 
         // Device-local state: the model each device is currently training.
         let mut device_model: Vec<ParamVec> = vec![self.global.clone(); s.len()];
         let mut server_version: u64 = 0;
+        // A device that crashes mid-round stops reporting at its failure
+        // time: completions past the cutoff never reach the server.
+        let cutoff: Vec<Option<f64>> = s
+            .iter()
+            .map(|&d| env.fail_time(d, round, interval))
+            .collect();
 
         let mut queue: EventQueue<Completion> = EventQueue::new();
         for (slot, &d) in s.iter().enumerate() {
             queue.push(
-                SimTime::new(env.latency(d)),
+                SimTime::new(env.latency_at(d, round)),
                 Completion {
                     device: slot,
                     based_on: 0,
@@ -93,6 +98,13 @@ impl FlAlgorithm for TAFedAvg {
         while let Some((now, ev)) = queue.pop_before(deadline) {
             let slot = ev.device;
             let d = s[slot];
+            if let Some(t) = cutoff[slot] {
+                if now.seconds() > t {
+                    // The device died mid-step: this completion (and the
+                    // device's remaining round) never happens.
+                    continue;
+                }
+            }
             // The device finishes training the model it started earlier.
             // The slot's buffer is moved into the trainer (it is dead
             // until the device pulls a fresh global). The salt only needs
@@ -107,15 +119,15 @@ impl FlAlgorithm for TAFedAvg {
                 ev.step,
             );
             // Upload + server mix with staleness discount.
-            env.meter.record_upload(1.0, n_params);
+            env.charge_upload(1.0);
             let staleness = (server_version - ev.based_on) as f32;
             let alpha = self.alpha / (1.0 + staleness);
             self.global.lerp(&trained, alpha);
             server_version += 1;
             // Pull the fresh global and go again if time remains.
-            let next_done = now + env.latency(d);
+            let next_done = now + env.latency_at(d, round);
             if next_done <= deadline {
-                env.meter.record_download(1.0, n_params);
+                env.charge_download(1.0);
                 device_model[slot] = self.global.clone();
                 queue.push(
                     next_done,

@@ -5,7 +5,7 @@ use fedhisyn_core::{AggregationRule, ExperimentConfig, FlAlgorithm, RoundContext
 use fedhisyn_nn::ParamVec;
 use rayon::prelude::*;
 
-use crate::common::continuous_local_train_plain;
+use crate::common::{continuous_local_train_plain, survives_round};
 
 /// TFedAvg (§6.1): every participant trains exactly `E` local epochs and
 /// then *waits* for the slowest device before uploading — the classic
@@ -44,24 +44,32 @@ impl FlAlgorithm for TFedAvg {
     fn round(&mut self, ctx: &mut RoundContext<'_>) -> ParamVec {
         let env = ctx.env;
         let s = ctx.participants;
-        let n_params = env.param_count();
-
-        env.meter.record_download(s.len() as f64, n_params);
         let round = ctx.round;
+
+        env.charge_download(s.len() as f64);
         let global = &self.global;
+        // Mid-round casualties never report (partial cohort).
+        let survivors: Vec<usize> = s
+            .iter()
+            .copied()
+            .filter(|&d| survives_round(env, d, round))
+            .collect();
         // Exactly one local step each, regardless of speed.
-        let updated: Vec<(usize, ParamVec)> = s
+        let updated: Vec<(usize, ParamVec)> = survivors
             .par_iter()
             .map(|&d| (d, continuous_local_train_plain(env, d, global, 1, round)))
             .collect();
 
-        env.meter.record_upload(s.len() as f64, n_params);
+        env.charge_upload(updated.len() as f64);
+        if updated.is_empty() {
+            return self.global.clone();
+        }
         let contributions: Vec<Contribution<'_>> = updated
             .iter()
             .map(|(d, params)| Contribution {
                 params,
                 samples: env.device_data[*d].len(),
-                class_mean_time: env.latency(*d),
+                class_mean_time: env.latency_at(*d, round),
             })
             .collect();
         self.global = AggregationRule::SampleWeighted.aggregate(&contributions);

@@ -1,14 +1,18 @@
 //! Execution-engine perf tracker: measures FedHiSyn rounds/sec on the
 //! smoke-scale MLP workload through the cached zero-copy engine and the
-//! naive rebuild-per-call reference, verifies they agree bit-for-bit, and
-//! writes `BENCH_engine.json` so future PRs can track the trajectory.
+//! naive rebuild-per-call reference, verifies they agree bit-for-bit,
+//! runs the 1k-device churn stress smoke (FedHiSyn + two baselines on a
+//! dynamic fleet, determinism-checked), and writes `BENCH_engine.json`
+//! so future PRs can track the trajectory.
 //!
 //! Usage: `cargo run --release --bin bench_engine [--rounds N]`
 
 use std::time::Instant;
 
-use fedhisyn_core::{run_experiment, ExecMode, ExperimentConfig, FedHiSyn};
+use fedhisyn_baselines::{FedAvg, TFedAvg};
+use fedhisyn_core::{run_experiment, ExecMode, ExperimentConfig, FedHiSyn, RunRecord};
 use fedhisyn_data::{DatasetProfile, Partition, Scale};
+use fedhisyn_fleet::FleetDynamics;
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -21,6 +25,26 @@ struct ModeResult {
 }
 
 #[derive(Debug, Serialize)]
+struct ChurnResult {
+    algorithm: String,
+    rounds: usize,
+    seconds: f64,
+    rounds_per_sec: f64,
+    final_accuracy: f32,
+    uploads: f64,
+    deterministic: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct ChurnReport {
+    workload: String,
+    devices: usize,
+    dropout: f64,
+    mid_round_failure: f64,
+    results: Vec<ChurnResult>,
+}
+
+#[derive(Debug, Serialize)]
 struct EngineReport {
     workload: String,
     devices: usize,
@@ -28,6 +52,7 @@ struct EngineReport {
     results: Vec<ModeResult>,
     speedup: f64,
     bit_identical: bool,
+    churn: ChurnReport,
 }
 
 /// The paper's fleet size (100 devices, K = 10) on smoke-scale MNIST-like
@@ -46,6 +71,64 @@ fn workload(rounds: usize) -> ExperimentConfig {
 }
 
 const K: usize = 10;
+
+/// The 1k-device churn stress smoke: tiny Dirichlet shards, many rings,
+/// 10% per-round dropout and 5% mid-ring failures. This is the regime
+/// where the engine's per-hop savings compound and where the dynamic-
+/// fleet machinery (re-clustering, ring repair, partial cohorts) is all
+/// on the hot path.
+const CHURN_DEVICES: usize = 1000;
+const CHURN_ROUNDS: usize = 2;
+const CHURN_DROPOUT: f64 = 0.1;
+const CHURN_FAILURE: f64 = 0.05;
+
+fn churn_workload() -> ExperimentConfig {
+    let mut dynamics = FleetDynamics::churn(CHURN_DROPOUT);
+    dynamics.mid_round_failure = CHURN_FAILURE;
+    ExperimentConfig::builder(DatasetProfile::MnistLike)
+        .scale(Scale::Smoke)
+        .devices(CHURN_DEVICES)
+        .partition(Partition::Dirichlet { beta: 0.3 })
+        .fleet(dynamics)
+        .local_epochs(1)
+        .rounds(CHURN_ROUNDS)
+        .seed(2022)
+        .build()
+}
+
+fn time_churn(cfg: &ExperimentConfig, which: &str) -> ChurnResult {
+    let run = || -> (RunRecord, f64) {
+        let mut env = cfg.build_env();
+        let start = Instant::now();
+        let record = match which {
+            "FedHiSyn" => {
+                let mut a = FedHiSyn::new(cfg, 10);
+                run_experiment(&mut a, &mut env, cfg.rounds)
+            }
+            "FedAvg" => {
+                let mut a = FedAvg::new(cfg);
+                run_experiment(&mut a, &mut env, cfg.rounds)
+            }
+            "TFedAvg" => {
+                let mut a = TFedAvg::new(cfg);
+                run_experiment(&mut a, &mut env, cfg.rounds)
+            }
+            _ => unreachable!("unknown algorithm {which}"),
+        };
+        (record, start.elapsed().as_secs_f64())
+    };
+    let (a, seconds) = run();
+    let (b, _) = run();
+    ChurnResult {
+        algorithm: which.to_string(),
+        rounds: cfg.rounds,
+        seconds,
+        rounds_per_sec: cfg.rounds as f64 / seconds.max(1e-9),
+        final_accuracy: a.final_accuracy(),
+        uploads: a.total_uploads(),
+        deterministic: a == b,
+    }
+}
 
 fn time_mode(cfg: &ExperimentConfig, mode: ExecMode) -> (ModeResult, fedhisyn_nn::ParamVec) {
     // Warm caches (and the thread pool) outside the timed window.
@@ -84,6 +167,23 @@ fn main() {
     let (cached, cached_global) = time_mode(&cfg, ExecMode::Cached);
     let (reference, reference_global) = time_mode(&cfg, ExecMode::Reference);
 
+    let churn_cfg = churn_workload();
+    let churn = ChurnReport {
+        workload: format!(
+            "smoke MNIST-like MLP, {CHURN_DEVICES} devices, Dirichlet(0.3), \
+             {:.0}% dropout, {:.0}% mid-ring failure",
+            CHURN_DROPOUT * 100.0,
+            CHURN_FAILURE * 100.0
+        ),
+        devices: CHURN_DEVICES,
+        dropout: CHURN_DROPOUT,
+        mid_round_failure: CHURN_FAILURE,
+        results: ["FedHiSyn", "FedAvg", "TFedAvg"]
+            .iter()
+            .map(|which| time_churn(&churn_cfg, which))
+            .collect(),
+    };
+
     let report = EngineReport {
         workload: "smoke MNIST-like MLP, 100 devices, Dirichlet(0.1), K=10".into(),
         devices: cfg.n_devices,
@@ -91,6 +191,7 @@ fn main() {
         speedup: cached.rounds_per_sec / reference.rounds_per_sec.max(1e-12),
         bit_identical: cached_global == reference_global,
         results: vec![cached, reference],
+        churn,
     };
 
     println!("== execution engine: FedHiSyn rounds/sec ==");
@@ -112,6 +213,26 @@ fn main() {
         report.bit_identical,
         "engine and reference paths diverged — determinism contract broken"
     );
+
+    println!("\n== churn stress: {} ==", report.churn.workload);
+    for r in &report.churn.results {
+        println!(
+            "  {:<10} {:>6.2} rounds/s  ({} rounds in {:.2}s, final acc {:.1}%, \
+             {} uploads, deterministic: {})",
+            r.algorithm,
+            r.rounds_per_sec,
+            r.rounds,
+            r.seconds,
+            r.final_accuracy * 100.0,
+            r.uploads,
+            r.deterministic
+        );
+        assert!(
+            r.deterministic,
+            "{} diverged between identical churn runs — determinism contract broken",
+            r.algorithm
+        );
+    }
 
     match serde_json::to_string_pretty(&report) {
         Ok(json) => {

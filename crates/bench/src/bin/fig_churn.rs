@@ -1,0 +1,142 @@
+//! Accuracy under fleet churn: FedHiSyn vs server-collected baselines as
+//! the per-round dropout rate (with mid-ring failures riding along)
+//! sweeps from a static fleet to heavy churn.
+//!
+//! The paper's evaluation freezes the fleet; this figure asks the
+//! question the fleet-dynamics subsystem exists for: how much accuracy
+//! does each protocol keep when devices drop out between rounds and die
+//! inside rings? Everything is seed-deterministic — the run double-checks
+//! that by replaying one cell and asserting bit-identical records.
+//!
+//! ```sh
+//! cargo run -p fedhisyn-bench --release --bin fig_churn [-- --full] [-- --stress]
+//! ```
+//!
+//! `--stress` swaps the sweep for the 1k-device churn regime (tiny
+//! shards, many rings) and fewer rounds — the large-cohort smoke the
+//! ROADMAP calls for.
+
+use fedhisyn_baselines::{FedAvg, TFedAvg};
+use fedhisyn_bench::harness::{write_json, BenchScale};
+use fedhisyn_core::{run_experiment, ExperimentConfig, FedHiSyn, RunRecord};
+use fedhisyn_data::{DatasetProfile, Partition};
+use fedhisyn_fleet::FleetDynamics;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    algorithm: String,
+    churn_rate: f64,
+    final_accuracy: f32,
+    best_accuracy: f32,
+    total_uploads: f64,
+    wire_bytes: f64,
+    participants_last_round: usize,
+}
+
+fn dynamics_for(rate: f64) -> FleetDynamics {
+    if rate == 0.0 {
+        FleetDynamics::default()
+    } else {
+        // Dropout at `rate`, plus mid-ring failures at half the rate —
+        // churny fleets crash mid-interval too.
+        let mut d = FleetDynamics::churn(rate);
+        d.mid_round_failure = rate / 2.0;
+        d
+    }
+}
+
+fn config(scale: &BenchScale, devices: usize, rounds: usize, rate: f64) -> ExperimentConfig {
+    ExperimentConfig::builder(DatasetProfile::MnistLike)
+        .scale(scale.scale)
+        .devices(devices)
+        .partition(Partition::Dirichlet { beta: 0.3 })
+        .fleet(dynamics_for(rate))
+        .rounds(rounds)
+        .local_epochs(scale.local_epochs)
+        .seed(scale.seed)
+        .build()
+}
+
+fn run_cell(cfg: &ExperimentConfig, which: &str) -> (RunRecord, f64) {
+    let mut env = cfg.build_env();
+    let record = match which {
+        "FedHiSyn" => {
+            let mut a = FedHiSyn::new(cfg, 10.min(cfg.n_devices));
+            run_experiment(&mut a, &mut env, cfg.rounds)
+        }
+        "FedAvg" => {
+            let mut a = FedAvg::new(cfg);
+            run_experiment(&mut a, &mut env, cfg.rounds)
+        }
+        "TFedAvg" => {
+            let mut a = TFedAvg::new(cfg);
+            run_experiment(&mut a, &mut env, cfg.rounds)
+        }
+        _ => unreachable!("unknown algorithm {which}"),
+    };
+    (record, env.meter.snapshot().wire_bytes)
+}
+
+fn main() {
+    let scale = BenchScale::from_args();
+    let stress = std::env::args().any(|a| a == "--stress");
+    let (devices, rounds, rates): (usize, usize, &[f64]) = if stress {
+        (1000, 3, &[0.0, 0.1])
+    } else {
+        (
+            scale.devices,
+            scale.rounds_flat.min(12),
+            &[0.0, 0.05, 0.1, 0.2, 0.3],
+        )
+    };
+    let algorithms = ["FedHiSyn", "FedAvg", "TFedAvg"];
+
+    println!(
+        "== accuracy vs churn rate ({} devices, {} rounds, Dirichlet(0.3)) ==",
+        devices, rounds
+    );
+    print!("{:>6}", "churn");
+    for a in &algorithms {
+        print!(" {:>10}", a);
+    }
+    println!();
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &rate in rates {
+        print!("{:>5.0}%", rate * 100.0);
+        for which in &algorithms {
+            let cfg = config(&scale, devices, rounds, rate);
+            let (record, wire_bytes) = run_cell(&cfg, which);
+            print!(" {:>9.1}%", record.final_accuracy() * 100.0);
+            cells.push(Cell {
+                algorithm: which.to_string(),
+                churn_rate: rate,
+                final_accuracy: record.final_accuracy(),
+                best_accuracy: record.best_accuracy(),
+                total_uploads: record.total_uploads(),
+                wire_bytes,
+                participants_last_round: record.rounds.last().map(|r| r.participants).unwrap_or(0),
+            });
+        }
+        println!();
+    }
+
+    // Determinism spot-check: replay the churniest FedHiSyn cell and
+    // demand an identical trace.
+    let last_rate = *rates.last().expect("non-empty sweep");
+    let cfg = config(&scale, devices, rounds, last_rate);
+    let (a, _) = run_cell(&cfg, "FedHiSyn");
+    let (b, _) = run_cell(&cfg, "FedHiSyn");
+    assert_eq!(a, b, "churned runs must replay bit-identically");
+    println!("\ndeterminism check: churn {last_rate} replayed bit-identically ✓");
+
+    write_json(
+        if stress {
+            "fig_churn_stress"
+        } else {
+            "fig_churn"
+        },
+        &cells,
+    );
+}

@@ -41,9 +41,11 @@ pub trait FlAlgorithm {
     fn round(&mut self, ctx: &mut RoundContext<'_>) -> ParamVec;
 
     /// Virtual duration of one round. Defaults to the paper's definition:
-    /// the slowest participant's local-training time times local epochs.
-    fn round_duration(&self, env: &FlEnv, participants: &[usize]) -> f64 {
-        env.slowest_latency(participants)
+    /// the slowest participant's local-training time — at its *effective*
+    /// capacity for `round` (identical to the base profile on a static
+    /// fleet).
+    fn round_duration(&self, env: &FlEnv, participants: &[usize], round: usize) -> f64 {
+        env.slowest_latency_at(participants, round)
     }
 }
 
@@ -69,6 +71,12 @@ pub fn sample_participants(n_devices: usize, p: f64, rng: &mut impl Rng) -> Vec<
 ///
 /// The environment's transmission meter is reset at the start so records
 /// from consecutive runs do not bleed into each other.
+///
+/// On a dynamic fleet, devices that are offline this round (churn) are
+/// removed from the sampled cohort before the algorithm sees it. When
+/// *every* sampled device is offline (a blackout), the round is recorded
+/// with zero participants and the algorithm is not invoked — the server
+/// idles until devices rejoin. Static fleets never hit either path.
 pub fn run_experiment(
     algorithm: &mut dyn FlAlgorithm,
     env: &mut FlEnv,
@@ -79,11 +87,30 @@ pub fn run_experiment(
     let mut virtual_time = 0.0f64;
     for round in 0..rounds {
         let mut rng = rng_from_seed(seed_mix(env.seed, round as u64, 0x5e55_105e, 0));
-        let participants =
+        let mut participants =
             sample_participants(env.n_devices(), algorithm.participation(), &mut rng);
+        if env.dynamics_active() {
+            participants.retain(|&d| env.online(d, round));
+        }
+        if participants.is_empty() {
+            // Blackout: nobody reachable. Carry the previous accuracy
+            // forward (the global is unchanged) and advance no time.
+            let t = env.meter.snapshot();
+            let accuracy = record.rounds.last().map(|r| r.accuracy).unwrap_or(0.0);
+            record.rounds.push(RoundRecord {
+                round,
+                accuracy,
+                uploads: t.uploads,
+                downloads: t.downloads,
+                peer_transfers: t.peer_transfers,
+                participants: 0,
+                virtual_time,
+            });
+            continue;
+        }
         // `t_i` already covers one full local step (E epochs), so the round
         // duration is the slowest participant's `t_i` — no epoch factor.
-        virtual_time += algorithm.round_duration(env, &participants);
+        virtual_time += algorithm.round_duration(env, &participants, round);
         let global = {
             let mut ctx = RoundContext {
                 env,
@@ -125,11 +152,13 @@ mod tests {
             )
         };
         let mut rng = rng_from_seed(0);
+        let profiles = sample_latencies(5, HeterogeneityModel::Homogeneous, 1.0, &mut rng);
         FlEnv {
             spec: ModelSpec::mlp(&[4, 4, 2]),
             device_data: (0..5).map(|_| mk(6)).collect(),
             test: mk(20),
-            profiles: sample_latencies(5, HeterogeneityModel::Homogeneous, 1.0, &mut rng),
+            fleet: fedhisyn_fleet::FleetModel::static_fleet(&profiles),
+            profiles,
             link: LinkModel::zero(),
             meter: TrafficMeter::new(),
             local_epochs: 1,
@@ -153,9 +182,7 @@ mod tests {
             self.p
         }
         fn round(&mut self, ctx: &mut RoundContext<'_>) -> ParamVec {
-            ctx.env
-                .meter
-                .record_upload(ctx.participants.len() as f64, 1);
+            ctx.env.charge_upload(ctx.participants.len() as f64);
             ParamVec::zeros(ctx.env.param_count())
         }
     }
@@ -216,5 +243,42 @@ mod tests {
         let a = run_experiment(&mut algo, &mut env, 4);
         let b = run_experiment(&mut algo, &mut env, 4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn churned_out_devices_never_reach_the_algorithm() {
+        use fedhisyn_fleet::{AvailabilityModel, FleetDynamics, FleetModel};
+        let mut env = tiny_env();
+        // Heavy churn: ~70% of online devices drop each round (the first
+        // transition already applies at round 0).
+        env.fleet = FleetModel::new(
+            &env.profiles,
+            FleetDynamics {
+                availability: AvailabilityModel::Churn {
+                    dropout: 0.7,
+                    rejoin: 0.3,
+                },
+                ..FleetDynamics::default()
+            },
+            9,
+        );
+        let mut algo = Null { p: 1.0 };
+        let rec = run_experiment(&mut algo, &mut env, 6);
+        assert_eq!(rec.rounds.len(), 6, "blackout rounds are still recorded");
+        let fleet = &env.fleet;
+        for r in &rec.rounds {
+            let online = (0..env.n_devices())
+                .filter(|&d| fleet.online(d, r.round))
+                .count();
+            assert_eq!(
+                r.participants, online,
+                "round {}: cohort must equal the online set",
+                r.round
+            );
+        }
+        assert!(
+            rec.rounds.iter().any(|r| r.participants < env.n_devices()),
+            "churn at 70% must shrink some cohort"
+        );
     }
 }

@@ -1,6 +1,7 @@
 //! Experiment configuration and environment construction.
 
 use fedhisyn_data::{partition_indices, Dataset, DatasetProfile, Partition, Scale};
+use fedhisyn_fleet::{FleetDynamics, FleetModel};
 use fedhisyn_nn::{ModelSpec, ParamVec, SgdConfig};
 use fedhisyn_simnet::{sample_latencies, HeterogeneityModel, LinkModel, TrafficMeter};
 use fedhisyn_tensor::rng_from_seed;
@@ -28,6 +29,10 @@ pub struct ExperimentConfig {
     pub partition: Partition,
     /// Latency heterogeneity across the fleet.
     pub heterogeneity: HeterogeneityModel,
+    /// Time-varying fleet conditions (capacity drift, churn, mid-round
+    /// failures). Defaults to the static fleet, which reproduces the
+    /// paper's setting bit-for-bit.
+    pub fleet: FleetDynamics,
     /// Inter-device link delays.
     pub link: LinkModel,
     /// Communication rounds to run.
@@ -57,6 +62,7 @@ impl ExperimentConfig {
                 participation: 1.0,
                 partition: Partition::Dirichlet { beta: 0.3 },
                 heterogeneity: HeterogeneityModel::Uniform { h: 10.0 },
+                fleet: FleetDynamics::default(),
                 link: LinkModel::zero(),
                 rounds: 10,
                 local_epochs: 5,
@@ -111,10 +117,18 @@ impl ExperimentConfig {
         let device_data: Vec<Dataset> = indices.iter().map(|idx| fd.train.subset(idx)).collect();
         let mut lat_rng = rng_from_seed(seed_mix(self.seed, 0x1A7E, 0, 0));
         let profiles = sample_latencies(self.n_devices, self.heterogeneity, 1.0, &mut lat_rng);
+        // The fleet trajectory derives from its own seed stream so adding
+        // dynamics never perturbs data, partition or latency sampling.
+        let fleet = FleetModel::new(
+            &profiles,
+            self.fleet.clone(),
+            seed_mix(self.seed, 0xF1EE7, 0, 0),
+        );
         FlEnv {
             spec: self.model_spec(),
             device_data,
             test: fd.test,
+            fleet,
             profiles,
             link: self.link.clone(),
             meter: TrafficMeter::new(),
@@ -167,6 +181,13 @@ impl ExperimentConfigBuilder {
     /// Set latency heterogeneity.
     pub fn heterogeneity(mut self, h: HeterogeneityModel) -> Self {
         self.cfg.heterogeneity = h;
+        self
+    }
+
+    /// Set the fleet-dynamics model (capacity drift, churn, failures).
+    pub fn fleet(mut self, dynamics: FleetDynamics) -> Self {
+        dynamics.validate();
+        self.cfg.fleet = dynamics;
         self
     }
 
@@ -329,5 +350,27 @@ mod tests {
         let json = serde_json::to_string(&cfg).unwrap();
         let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn fleet_defaults_to_static_and_builder_activates_dynamics() {
+        let cfg = base();
+        assert!(cfg.fleet.is_static());
+        assert!(!cfg.build_env().dynamics_active());
+
+        let churned = ExperimentConfig::builder(DatasetProfile::MnistLike)
+            .devices(5)
+            .fleet(FleetDynamics::churn(0.2))
+            .seed(9)
+            .build();
+        assert!(!churned.fleet.is_static());
+        let env = churned.build_env();
+        assert!(env.dynamics_active());
+        // Dynamics ride on their own seed stream: base profiles, data and
+        // partition are unchanged relative to the static config.
+        let static_env = base().build_env();
+        for (a, b) in static_env.profiles.iter().zip(&env.profiles) {
+            assert_eq!(a.train_time, b.train_time);
+        }
     }
 }

@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::env::{seed_mix, FlEnv};
 use crate::local::{evaluate_on_test, local_train_plain_owned};
-use crate::ring_sim::{simulate_ring_interval, ReceivePolicy, RingStart};
+use crate::ring_sim::{simulate_ring_interval_faulty, ReceivePolicy, RingStart};
 use crate::topology::{Ring, RingOrder};
 
 /// A decentralized communication mode.
@@ -116,7 +116,10 @@ impl DecentralSim {
         &self.models
     }
 
-    /// Execute one round (one interval of the slowest device's latency).
+    /// Execute one round (one interval of the slowest *online* device's
+    /// effective latency). On a dynamic fleet, offline devices sit the
+    /// round out with their models intact; a device that crashes inside a
+    /// ring is handled by the relay's failure machinery.
     pub fn run_round(&mut self, env: &FlEnv, round: usize) {
         match self.mode {
             DecentralMode::Isolated => self.round_isolated(env, round),
@@ -127,46 +130,77 @@ impl DecentralSim {
         }
     }
 
-    fn interval(&self, env: &FlEnv) -> f64 {
-        let all: Vec<usize> = (0..env.n_devices()).collect();
-        env.slowest_latency(&all)
+    /// Devices reachable this round (everyone on a static fleet).
+    fn cohort(&self, env: &FlEnv, round: usize) -> Vec<usize> {
+        if !env.dynamics_active() {
+            return (0..env.n_devices()).collect();
+        }
+        (0..env.n_devices())
+            .filter(|&d| env.online(d, round))
+            .collect()
+    }
+
+    /// Whether device `d` both starts and survives the round — outside
+    /// the ring relay (which resolves failures event by event), Isolated
+    /// and RandomExchange treat a mid-round crash as losing the round's
+    /// work: the device keeps its round-start model.
+    fn participates(env: &FlEnv, d: usize, round: usize, interval: f64) -> bool {
+        env.online(d, round) && env.fail_time(d, round, interval).is_none()
     }
 
     fn round_isolated(&mut self, env: &FlEnv, round: usize) {
-        let interval = self.interval(env);
-        let updated: Vec<ParamVec> = self
+        let cohort = self.cohort(env, round);
+        if cohort.is_empty() {
+            return;
+        }
+        let interval = env.slowest_latency_at(&cohort, round);
+        let updated: Vec<Option<ParamVec>> = self
             .models
             .par_iter()
             .enumerate()
             .map(|(d, params)| {
-                let steps = ((interval / env.latency(d)).ceil() as usize).max(1);
+                if !Self::participates(env, d, round, interval) {
+                    return None;
+                }
+                let steps = ((interval / env.latency_at(d, round)).ceil() as usize).max(1);
                 let mut current = params.clone();
                 for s in 0..steps {
                     current =
                         local_train_plain_owned(env, d, current, env.local_epochs, round, s as u64);
                 }
-                current
+                Some(current)
             })
             .collect();
-        self.models = updated;
+        for (d, new) in updated.into_iter().enumerate() {
+            if let Some(m) = new {
+                self.models[d] = m;
+            }
+        }
     }
 
     fn round_random(&mut self, env: &FlEnv, round: usize, average: bool) {
-        let interval = self.interval(env);
+        let cohort = self.cohort(env, round);
+        if cohort.is_empty() {
+            return;
+        }
+        let interval = env.slowest_latency_at(&cohort, round);
         let n = env.n_devices();
-        // Train everyone for their step budget.
-        let trained: Vec<ParamVec> = self
+        // Train the participating devices for their step budget.
+        let trained: Vec<Option<ParamVec>> = self
             .models
             .par_iter()
             .enumerate()
             .map(|(d, params)| {
-                let steps = ((interval / env.latency(d)).ceil() as usize).max(1);
+                if !Self::participates(env, d, round, interval) {
+                    return None;
+                }
+                let steps = ((interval / env.latency_at(d, round)).ceil() as usize).max(1);
                 let mut current = params.clone();
                 for s in 0..steps {
                     current =
                         local_train_plain_owned(env, d, current, env.local_epochs, round, s as u64);
                 }
-                current
+                Some(current)
             })
             .collect();
         // Random communication (paper Fig. 2): every device sends to a
@@ -174,7 +208,11 @@ impl DecentralSim {
         // collide. A receiver keeps only the newest arrival (Alg. 1's
         // buffer semantics); devices that receive nothing keep their own
         // model (Eq. 7). This lineage loss is exactly why the paper finds
-        // random communication inferior to the ring.
+        // random communication inferior to the ring. Every device draws
+        // its target in id order regardless of availability, so the static
+        // path consumes an identical RNG stream; sends from or to absent
+        // devices simply do not happen (a send into the void still costs
+        // a transfer — the sender cannot know).
         let mut rng = rng_from_seed(seed_mix(env.seed, round as u64, 0x9A9D, 0));
         let mut inbox: Vec<Option<usize>> = vec![None; n];
         for sender in 0..n {
@@ -182,74 +220,150 @@ impl DecentralSim {
             if n > 1 && target == sender {
                 target = (target + 1) % n;
             }
-            env.meter.record_peer(1.0, env.param_count());
-            inbox[target] = Some(sender); // newest-wins
+            if trained[sender].is_none() {
+                continue;
+            }
+            env.charge_peer(1.0);
+            if trained[target].is_some() {
+                inbox[target] = Some(sender); // newest-wins
+            }
         }
         let mut next = Vec::with_capacity(n);
         for (receiver, incoming) in inbox.iter().enumerate() {
+            let own = trained[receiver].as_ref().unwrap_or(&self.models[receiver]);
             match *incoming {
-                Some(sender) if !average => next.push(trained[sender].clone()),
+                Some(sender) if !average => {
+                    next.push(trained[sender].clone().expect("sender participated"))
+                }
                 Some(sender) => {
-                    let mut mixed = trained[receiver].clone();
-                    mixed.lerp(&trained[sender], 0.5);
+                    let mut mixed = own.clone();
+                    mixed.lerp(trained[sender].as_ref().expect("sender participated"), 0.5);
                     next.push(mixed);
                 }
-                None => next.push(trained[receiver].clone()),
+                None => next.push(own.clone()),
             }
         }
         self.models = next;
     }
 
     fn round_rings(&mut self, env: &FlEnv, round: usize, order: RingOrder, average: bool) {
-        let interval = self.interval(env);
+        let cohort = self.cohort(env, round);
+        if cohort.is_empty() {
+            return;
+        }
+        let interval = env.slowest_latency_at(&cohort, round);
         let policy = if average {
             ReceivePolicy::AverageThenTrain
         } else {
             ReceivePolicy::TrainReceived
         };
-        // Build the rings (needs &mut rng, cheap) then run classes in
-        // parallel.
-        let rings: Vec<(Ring, Vec<f64>)> = self
-            .classes
+        let failure_policy = env.fleet.dynamics().failure_policy;
+        // Latency classes: fixed on a static fleet, re-clustered from the
+        // online cohort's *current* latencies on a dynamic one (a device
+        // migrates classes as its capacity state drifts).
+        let classes: Vec<Vec<usize>> = if env.dynamics_active() {
+            let latencies: Vec<f64> = cohort.iter().map(|&d| env.latency_at(d, round)).collect();
+            let k = match self.mode {
+                DecentralMode::ClusteredRings { k, .. } => k,
+                _ => 1,
+            };
+            let mut rng = rng_from_seed(seed_mix(env.seed, round as u64, 0xC105, 1));
+            kmeans_1d(&latencies, k.min(cohort.len()), 100, &mut rng)
+                .groups_sorted_by_centroid()
+                .into_iter()
+                .map(|group| group.into_iter().map(|i| cohort[i]).collect())
+                .collect()
+        } else {
+            self.classes.clone()
+        };
+
+        // Dismember the model vector: classes partition the cohort, so
+        // each ring *moves* its members' models into the relay instead of
+        // cloning them (mirroring `RingStart::Shared` for FedHiSyn).
+        // Offline devices keep their `Some` slot and are restored as-is.
+        let mut pool: Vec<Option<ParamVec>> = std::mem::take(&mut self.models)
+            .into_iter()
+            .map(Some)
+            .collect();
+
+        struct RingJob {
+            ring: Ring,
+            ring_lat: Vec<f64>,
+            failures: Vec<Option<f64>>,
+            /// Moved into the relay by the parallel pass…
+            start: Option<Vec<ParamVec>>,
+            /// …which stores the carry-over models and transfer count here.
+            done: Option<(Vec<ParamVec>, usize)>,
+        }
+        let mut jobs: Vec<RingJob> = classes
             .iter()
             .enumerate()
             .map(|(ci, members)| {
-                let lat: Vec<f64> = members.iter().map(|&d| env.latency(d)).collect();
+                let lat: Vec<f64> = members.iter().map(|&d| env.latency_at(d, round)).collect();
                 let mut rng = rng_from_seed(seed_mix(env.seed, round as u64, ci as u64, 0x4149));
                 let ring = Ring::build(members, &lat, &env.link, order, &mut rng);
-                let ring_lat: Vec<f64> = ring.order().iter().map(|&d| env.latency(d)).collect();
-                (ring, ring_lat)
-            })
-            .collect();
-        let models = &self.models;
-        let outcomes: Vec<(Vec<usize>, Vec<ParamVec>, usize)> = rings
-            .par_iter()
-            .map(|(ring, ring_lat)| {
-                let start: Vec<ParamVec> =
-                    ring.order().iter().map(|&d| models[d].clone()).collect();
-                let out = simulate_ring_interval(
+                let ring_lat: Vec<f64> = ring
+                    .order()
+                    .iter()
+                    .map(|&d| env.latency_at(d, round))
+                    .collect();
+                let failures: Vec<Option<f64>> = if env.dynamics_active() {
+                    ring.order()
+                        .iter()
+                        .map(|&d| env.fail_time(d, round, interval))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let start: Vec<ParamVec> = ring
+                    .order()
+                    .iter()
+                    .map(|&d| pool[d].take().expect("classes partition the cohort"))
+                    .collect();
+                RingJob {
                     ring,
                     ring_lat,
-                    &env.link,
-                    RingStart::PerPosition(start),
-                    interval,
-                    policy,
-                    |device, params, salt| {
-                        local_train_plain_owned(env, device, params, env.local_epochs, round, salt)
-                    },
-                );
-                // Carry the buffer state (pending arrivals) into the next
-                // interval — this is what keeps models circulating when a
-                // device only fits one step per interval.
-                (ring.order().to_vec(), out.next_models, out.transfers)
+                    failures,
+                    start: Some(start),
+                    done: None,
+                }
             })
             .collect();
-        for (order, nexts, transfers) in outcomes {
-            env.meter.record_peer(transfers as f64, env.param_count());
-            for (device, model) in order.into_iter().zip(nexts) {
-                self.models[device] = model;
+        // One job per chunk: each worker gets exclusive `&mut` access, so
+        // the start models move into the relay without any locking.
+        jobs.par_chunks_mut(1).for_each(|chunk| {
+            let job = &mut chunk[0];
+            let start = job.start.take().expect("each ring job runs exactly once");
+            let out = simulate_ring_interval_faulty(
+                &job.ring,
+                &job.ring_lat,
+                &env.link,
+                RingStart::PerPosition(start),
+                interval,
+                policy,
+                failure_policy,
+                &job.failures,
+                |device, params, salt| {
+                    local_train_plain_owned(env, device, params, env.local_epochs, round, salt)
+                },
+            );
+            // Carry the buffer state (pending arrivals) into the next
+            // interval — this is what keeps models circulating when a
+            // device only fits one step per interval. Dead positions
+            // carry the model they held at the crash.
+            job.done = Some((out.next_models, out.transfers));
+        });
+        for job in jobs {
+            let (nexts, transfers) = job.done.expect("every ring job ran");
+            env.charge_peer(transfers as f64);
+            for (&device, model) in job.ring.order().iter().zip(nexts) {
+                pool[device] = Some(model);
             }
         }
+        self.models = pool
+            .into_iter()
+            .map(|slot| slot.expect("every device model restored after the round"))
+            .collect();
     }
 
     /// Mean device-model accuracy on the global test split (the paper's
@@ -412,6 +526,70 @@ mod tests {
                 },
             );
             sim.run_round(&env, 0);
+            sim.models().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    fn churned_env(devices: usize, seed: u64) -> FlEnv {
+        use fedhisyn_fleet::FleetDynamics;
+        ExperimentConfig::builder(DatasetProfile::MnistLike)
+            .scale(Scale::Smoke)
+            .devices(devices)
+            .partition(Partition::Dirichlet { beta: 0.5 })
+            .heterogeneity(HeterogeneityModel::Uniform { h: 5.0 })
+            .fleet(FleetDynamics::edge_fleet(0.3, 0.1))
+            .local_epochs(1)
+            .seed(seed)
+            .build()
+            .build_env()
+    }
+
+    #[test]
+    fn offline_devices_keep_their_models_across_rounds() {
+        let env = churned_env(10, 17);
+        for mode in [
+            DecentralMode::Isolated,
+            DecentralMode::RandomExchange { average: false },
+            DecentralMode::ClusteredRings {
+                k: 2,
+                order: RingOrder::SmallToLarge,
+                average: false,
+            },
+        ] {
+            let mut sim = DecentralSim::new(&env, mode);
+            for round in 0..3 {
+                let before: Vec<ParamVec> = sim.models().to_vec();
+                sim.run_round(&env, round);
+                for (d, prev) in before.iter().enumerate() {
+                    if !env.online(d, round) {
+                        assert_eq!(
+                            &sim.models()[d],
+                            prev,
+                            "offline device {d} must keep its model ({mode:?}, round {round})"
+                        );
+                    }
+                    assert_eq!(sim.models()[d].len(), env.param_count());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_ring_rounds_are_deterministic() {
+        let run = || {
+            let env = churned_env(8, 31);
+            let mut sim = DecentralSim::new(
+                &env,
+                DecentralMode::ClusteredRings {
+                    k: 3,
+                    order: RingOrder::SmallToLarge,
+                    average: false,
+                },
+            );
+            for round in 0..3 {
+                sim.run_round(&env, round);
+            }
             sim.models().to_vec()
         };
         assert_eq!(run(), run());

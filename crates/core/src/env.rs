@@ -1,7 +1,8 @@
 //! The simulated federated environment shared by all algorithms.
 
 use fedhisyn_data::Dataset;
-use fedhisyn_nn::{ModelSpec, SgdConfig};
+use fedhisyn_fleet::FleetModel;
+use fedhisyn_nn::{wire, ModelSpec, SgdConfig};
 use fedhisyn_simnet::{DeviceProfile, LinkModel, TrafficMeter};
 
 use crate::engine::ExecMode;
@@ -21,9 +22,14 @@ pub struct FlEnv {
     pub device_data: Vec<Dataset>,
     /// Global held-out test split.
     pub test: Dataset,
-    /// Per-device local-training latency `t_i` (one local step = `E`
-    /// epochs over the device's shard).
+    /// Per-device *base* local-training latency `t_i` (one local step =
+    /// `E` epochs over the device's shard).
     pub profiles: Vec<DeviceProfile>,
+    /// Time-varying fleet conditions layered on the base profiles:
+    /// capacity multipliers, churn and mid-round failures. The default
+    /// ([`FleetModel::static_fleet`]) short-circuits every query, keeping
+    /// static experiments bit-identical to the pre-dynamics code.
+    pub fleet: FleetModel,
     /// Inter-device / device-server delay model.
     pub link: LinkModel,
     /// Transmission accounting (Table 1 metric).
@@ -53,9 +59,32 @@ impl FlEnv {
         self.spec.param_count()
     }
 
-    /// Latency of device `id`.
+    /// Base latency of device `id` (the static profile).
     pub fn latency(&self, id: usize) -> f64 {
         self.profiles[id].train_time
+    }
+
+    /// Effective latency of device `id` at `round`: the base profile
+    /// scaled by the fleet's capacity multiplier (1.0 on a static fleet,
+    /// so the static path is bit-identical to [`FlEnv::latency`]).
+    pub fn latency_at(&self, id: usize, round: usize) -> f64 {
+        self.profiles[id].train_time_at(self.fleet.multiplier(id, round))
+    }
+
+    /// Whether device `id` is reachable at the start of `round`.
+    pub fn online(&self, id: usize, round: usize) -> bool {
+        self.fleet.online(id, round)
+    }
+
+    /// Virtual time within a round of duration `interval` at which device
+    /// `id` crashes, or `None` when it survives the round.
+    pub fn fail_time(&self, id: usize, round: usize, interval: f64) -> Option<f64> {
+        self.fleet.fail_frac(id, round).map(|f| f * interval)
+    }
+
+    /// True when any fleet-dynamics process is active.
+    pub fn dynamics_active(&self) -> bool {
+        !self.fleet.is_static()
     }
 
     /// The slowest latency among `members` (the paper's round duration:
@@ -66,6 +95,39 @@ impl FlEnv {
             .iter()
             .map(|&i| self.latency(i))
             .fold(0.0f64, f64::max)
+    }
+
+    /// [`FlEnv::slowest_latency`] over *effective* latencies at `round`.
+    pub fn slowest_latency_at(&self, members: &[usize], round: usize) -> f64 {
+        members
+            .iter()
+            .map(|&i| self.latency_at(i, round))
+            .fold(0.0f64, f64::max)
+    }
+
+    /// Encoded size of one model transfer on the wire (header + checksum
+    /// + f32 payload; see `fedhisyn_nn::wire`).
+    pub fn frame_bytes(&self) -> usize {
+        wire::encoded_len(self.param_count())
+    }
+
+    /// Record `model_equivalents` device→server uploads, charged at the
+    /// wire-format frame size.
+    pub fn charge_upload(&self, model_equivalents: f64) {
+        self.meter
+            .record_upload(model_equivalents, self.param_count(), self.frame_bytes());
+    }
+
+    /// Record `model_equivalents` server→device downloads.
+    pub fn charge_download(&self, model_equivalents: f64) {
+        self.meter
+            .record_download(model_equivalents, self.param_count(), self.frame_bytes());
+    }
+
+    /// Record `model_equivalents` device→device ring transfers.
+    pub fn charge_peer(&self, model_equivalents: f64) {
+        self.meter
+            .record_peer(model_equivalents, self.param_count(), self.frame_bytes());
     }
 }
 
@@ -100,16 +162,18 @@ mod tests {
             )
         };
         let mut rng = rng_from_seed(0);
+        let profiles = fedhisyn_simnet::sample_latencies(
+            3,
+            HeterogeneityModel::Uniform { h: 10.0 },
+            1.0,
+            &mut rng,
+        );
         FlEnv {
             spec: ModelSpec::mlp(&[4, 4, 2]),
             device_data: vec![mk(4), mk(6), mk(8)],
             test: mk(10),
-            profiles: fedhisyn_simnet::sample_latencies(
-                3,
-                HeterogeneityModel::Uniform { h: 10.0 },
-                1.0,
-                &mut rng,
-            ),
+            fleet: FleetModel::static_fleet(&profiles),
+            profiles,
             link: LinkModel::zero(),
             meter: TrafficMeter::new(),
             local_epochs: 5,
@@ -135,6 +199,37 @@ mod tests {
         assert_eq!(all, (0..3).map(|i| env.latency(i)).fold(0.0, f64::max));
         assert_eq!(env.slowest_latency(&[1]), env.latency(1));
         assert_eq!(env.slowest_latency(&[]), 0.0);
+    }
+
+    #[test]
+    fn static_fleet_round_queries_match_base_profile() {
+        let env = tiny_env();
+        assert!(!env.dynamics_active());
+        for round in 0..3 {
+            for d in 0..3 {
+                assert_eq!(env.latency_at(d, round), env.latency(d));
+                assert!(env.online(d, round));
+                assert_eq!(env.fail_time(d, round, 10.0), None);
+            }
+            assert_eq!(
+                env.slowest_latency_at(&[0, 1, 2], round),
+                env.slowest_latency(&[0, 1, 2])
+            );
+        }
+    }
+
+    #[test]
+    fn charges_account_wire_frames() {
+        let env = tiny_env();
+        env.charge_upload(2.0);
+        env.charge_download(1.0);
+        env.charge_peer(3.0);
+        let s = env.meter.snapshot();
+        assert_eq!(s.uploads, 2.0);
+        assert_eq!(s.parameters_moved, 6.0 * env.param_count() as f64);
+        assert_eq!(s.wire_bytes, 6.0 * env.frame_bytes() as f64);
+        assert_eq!(env.frame_bytes(), wire::encoded_len(env.param_count()));
+        assert!(s.framing_overhead() > 0.0, "headers must cost bytes");
     }
 
     #[test]

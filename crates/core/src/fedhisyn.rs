@@ -10,7 +10,7 @@ use crate::algorithm::{FlAlgorithm, RoundContext};
 use crate::config::ExperimentConfig;
 use crate::env::{seed_mix, FlEnv};
 use crate::local::local_train_plain_owned;
-use crate::ring_sim::{simulate_ring_interval, ReceivePolicy, RingOutcome, RingStart};
+use crate::ring_sim::{simulate_ring_interval_faulty, ReceivePolicy, RingOutcome, RingStart};
 use crate::topology::{Ring, RingOrder};
 
 /// The FedHiSyn algorithm.
@@ -66,14 +66,21 @@ impl FedHiSyn {
     }
 
     /// Cluster `participants` into at most `k` latency classes, fastest
-    /// class first (Alg. 1 line 4).
+    /// class first (Alg. 1 line 4), from the latencies *observed at*
+    /// `round` — on a dynamic fleet a device migrates between classes as
+    /// its capacity state drifts; on a static fleet this reads the base
+    /// profile and is bit-identical to clustering once.
     pub fn cluster_participants(
         env: &FlEnv,
         participants: &[usize],
         k: usize,
+        round: usize,
         rng: &mut TensorRng,
     ) -> Vec<Vec<usize>> {
-        let latencies: Vec<f64> = participants.iter().map(|&d| env.latency(d)).collect();
+        let latencies: Vec<f64> = participants
+            .iter()
+            .map(|&d| env.latency_at(d, round))
+            .collect();
         let k_eff = k.min(participants.len());
         let clustering = kmeans_1d(&latencies, k_eff, 100, rng);
         clustering
@@ -96,51 +103,86 @@ impl FlAlgorithm for FedHiSyn {
     fn round(&mut self, ctx: &mut RoundContext<'_>) -> ParamVec {
         let env = ctx.env;
         let s = ctx.participants;
-        let n_params = env.param_count();
+        let round = ctx.round;
 
         // 1. Broadcast W_G to every participant.
-        env.meter.record_download(s.len() as f64, n_params);
+        env.charge_download(s.len() as f64);
 
-        // 2. Cluster by latency, fastest class first.
-        let classes = Self::cluster_participants(env, s, self.k, ctx.rng);
+        // 2. Cluster by the latencies observed *this round*, fastest
+        //    class first.
+        let classes = Self::cluster_participants(env, s, self.k, round, ctx.rng);
 
         // 3. Round interval: slowest participant overall ("the time
         //    required to complete the local training of the slowest
-        //    device", §6.1).
-        let interval = env.slowest_latency(s);
+        //    device", §6.1), at its current effective capacity.
+        let interval = env.slowest_latency_at(s, round);
 
         // 4. Build the rings up front (cheap, needs &mut rng), then run
         //    every class in parallel — classes are independent rings.
-        let ring_seed = seed_mix(env.seed, ctx.round as u64, 0x1216, 0);
-        let rings: Vec<(Ring, Vec<f64>, f64)> = classes
+        //    Each position carries its mid-interval failure time (if the
+        //    fleet model schedules one).
+        struct ClassRing {
+            ring: Ring,
+            ring_lat: Vec<f64>,
+            failures: Vec<Option<f64>>,
+            mean_time: f64,
+        }
+        let ring_seed = seed_mix(env.seed, round as u64, 0x1216, 0);
+        let rings: Vec<ClassRing> = classes
             .iter()
             .enumerate()
             .map(|(ci, members)| {
-                let latencies: Vec<f64> = members.iter().map(|&d| env.latency(d)).collect();
+                let latencies: Vec<f64> =
+                    members.iter().map(|&d| env.latency_at(d, round)).collect();
                 let mut rng = rng_from_seed(seed_mix(ring_seed, ci as u64, 0, 0));
                 let ring = Ring::build(members, &latencies, &env.link, self.ring_order, &mut rng);
-                let ring_lat: Vec<f64> = ring.order().iter().map(|&d| env.latency(d)).collect();
+                let ring_lat: Vec<f64> = ring
+                    .order()
+                    .iter()
+                    .map(|&d| env.latency_at(d, round))
+                    .collect();
+                let failures: Vec<Option<f64>> = if env.dynamics_active() {
+                    ring.order()
+                        .iter()
+                        .map(|&d| env.fail_time(d, round, interval))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 let mean_time = latencies.iter().sum::<f64>() / latencies.len() as f64;
-                (ring, ring_lat, mean_time)
+                ClassRing {
+                    ring,
+                    ring_lat,
+                    failures,
+                    mean_time,
+                }
             })
             .collect();
 
-        let round = ctx.round;
         let global = &self.global;
         let policy = self.receive_policy;
+        let failure_policy = env.fleet.dynamics().failure_policy;
         let outcomes: Vec<(RingOutcome, &Ring, f64)> = rings
             .par_iter()
-            .map(|(ring, ring_lat, mean_time)| {
+            .map(|job| {
+                let ClassRing {
+                    ring,
+                    ring_lat,
+                    failures,
+                    mean_time,
+                } = job;
                 // The round-start broadcast is *shared*: the relay copies
                 // the global lazily, once per position, instead of this
                 // call materialising `ring.len()` clones up front.
-                let outcome = simulate_ring_interval(
+                let outcome = simulate_ring_interval_faulty(
                     ring,
                     ring_lat,
                     &env.link,
                     RingStart::Shared(global),
                     interval,
                     policy,
+                    failure_policy,
+                    failures,
                     |device, params, salt| {
                         local_train_plain_owned(env, device, params, env.local_epochs, round, salt)
                     },
@@ -149,18 +191,27 @@ impl FlAlgorithm for FedHiSyn {
             })
             .collect();
 
-        // 5. Record ring traffic and upload every device's newest model.
+        // 5. Record ring traffic and upload every *surviving* device's
+        //    newest model (a mid-interval casualty cannot upload).
         let mut uploaded: Vec<(ParamVec, usize, f64)> = Vec::with_capacity(s.len());
         for (outcome, ring, mean_time) in outcomes {
-            env.meter.record_peer(outcome.transfers as f64, n_params);
+            env.charge_peer(outcome.transfers as f64);
             for (pos, model) in outcome.final_models.into_iter().enumerate() {
+                if !outcome.alive[pos] {
+                    continue;
+                }
                 let device = ring.order()[pos];
                 uploaded.push((model, env.device_data[device].len(), mean_time));
             }
         }
-        env.meter.record_upload(uploaded.len() as f64, n_params);
+        env.charge_upload(uploaded.len() as f64);
 
-        // 6. Synchronous aggregation (Eq. 9 / Eq. 10).
+        // 6. Synchronous aggregation (Eq. 9 / Eq. 10). If every
+        //    participant died mid-interval the server has nothing to
+        //    aggregate and keeps the current global.
+        if uploaded.is_empty() {
+            return self.global.clone();
+        }
         let contributions: Vec<Contribution<'_>> = uploaded
             .iter()
             .map(|(params, samples, mean_time)| Contribution {
@@ -200,7 +251,7 @@ mod tests {
         let env = cfg.build_env();
         let participants: Vec<usize> = (0..8).collect();
         let mut rng = rng_from_seed(0);
-        let classes = FedHiSyn::cluster_participants(&env, &participants, 2, &mut rng);
+        let classes = FedHiSyn::cluster_participants(&env, &participants, 2, 0, &mut rng);
         assert!(classes.len() <= 2 && !classes.is_empty());
         let total: usize = classes.iter().map(|c| c.len()).sum();
         assert_eq!(total, 8, "every participant lands in exactly one class");
@@ -280,5 +331,32 @@ mod tests {
         let mut env = cfg.build_env();
         let _ = run_experiment(&mut algo, &mut env, 2);
         assert!(algo.global().is_finite());
+    }
+
+    #[test]
+    fn runs_end_to_end_under_full_fleet_dynamics() {
+        use fedhisyn_fleet::FleetDynamics;
+        let cfg = ExperimentConfig::builder(DatasetProfile::MnistLike)
+            .scale(Scale::Smoke)
+            .devices(12)
+            .partition(Partition::Dirichlet { beta: 0.5 })
+            .fleet(FleetDynamics::edge_fleet(0.2, 0.15))
+            .rounds(3)
+            .local_epochs(1)
+            .seed(23)
+            .build();
+        let mut env = cfg.build_env();
+        let mut algo = FedHiSyn::new(&cfg, 3);
+        let rec = run_experiment(&mut algo, &mut env, 3);
+        assert_eq!(rec.rounds.len(), 3);
+        assert!(algo.global().is_finite());
+        // Mid-round failures mean uploads can fall short of participants.
+        let total_participants: usize = rec.rounds.iter().map(|r| r.participants).sum();
+        assert!(rec.rounds[2].uploads <= total_participants as f64);
+        // Determinism under dynamics.
+        let mut env2 = cfg.build_env();
+        let mut algo2 = FedHiSyn::new(&cfg, 3);
+        let rec2 = run_experiment(&mut algo2, &mut env2, 3);
+        assert_eq!(rec, rec2, "dynamic fleets must stay bit-reproducible");
     }
 }

@@ -57,4 +57,5 @@ pub use engine::{ExecMode, ExecutionEngine};
 pub use env::{seed_mix, FlEnv};
 pub use fedhisyn::FedHiSyn;
 pub use metrics::{RoundRecord, RunRecord};
+pub use ring_sim::FailurePolicy;
 pub use topology::{Ring, RingOrder};

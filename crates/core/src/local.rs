@@ -158,11 +158,13 @@ mod tests {
                     .subset(&((d * per..(d + 1) * per).collect::<Vec<_>>()))
             })
             .collect();
+        let profiles = sample_latencies(4, HeterogeneityModel::Uniform { h: 4.0 }, 1.0, &mut rng);
         FlEnv {
             spec: ModelSpec::mlp(&[dim, 16, 10]),
             device_data,
             test: fd.test,
-            profiles: sample_latencies(4, HeterogeneityModel::Uniform { h: 4.0 }, 1.0, &mut rng),
+            fleet: fedhisyn_fleet::FleetModel::static_fleet(&profiles),
+            profiles,
             link: LinkModel::zero(),
             meter: TrafficMeter::new(),
             local_epochs: 2,

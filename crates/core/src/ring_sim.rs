@@ -31,6 +31,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::topology::Ring;
 
+pub use fedhisyn_fleet::FailurePolicy;
+
 /// What a device does with a model received from its ring predecessor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum ReceivePolicy {
@@ -59,7 +61,10 @@ pub enum RingStart<'a> {
 #[derive(Debug, Clone)]
 pub struct RingOutcome {
     /// Final (most recently trained) model per ring position — what the
-    /// device *uploads* in FedHiSyn.
+    /// device *uploads* in FedHiSyn. For a position that died mid-interval
+    /// this is the freshest model the device *held* at death (preserved
+    /// for decentralized carry-over), or an empty placeholder when it
+    /// held nothing; check [`RingOutcome::alive`] before uploading.
     pub final_models: Vec<ParamVec>,
     /// The model each position would train next: the newest unconsumed
     /// arrival, or its own latest model when nothing is pending. This is
@@ -70,8 +75,13 @@ pub struct RingOutcome {
     pub next_models: Vec<ParamVec>,
     /// Local-training steps completed per ring position.
     pub steps: Vec<usize>,
-    /// Device-to-device transfers performed.
+    /// Device-to-device transfers performed (including failure-repair
+    /// forwards).
     pub transfers: usize,
+    /// Whether each ring position survived the interval. Dead positions
+    /// cannot upload; `final_models`/`next_models` hold their last-held
+    /// model (or a placeholder) for decentralized carry-over.
+    pub alive: Vec<bool>,
 }
 
 #[derive(Debug)]
@@ -80,6 +90,8 @@ enum Event {
     Completion { pos: usize },
     /// A model sent by `from_pos` arrives at ring position `pos`.
     Arrival { pos: usize, model: ParamVec },
+    /// Ring position `pos` crashes mid-interval.
+    Failure { pos: usize },
 }
 
 /// Simulate `interval` virtual seconds of ring training.
@@ -102,6 +114,68 @@ pub fn simulate_ring_interval<F>(
     start: RingStart<'_>,
     interval: f64,
     policy: ReceivePolicy,
+    train: F,
+) -> RingOutcome
+where
+    F: FnMut(usize, ParamVec, u64) -> ParamVec,
+{
+    simulate_ring_interval_faulty(
+        ring,
+        latencies,
+        link,
+        start,
+        interval,
+        policy,
+        FailurePolicy::default(),
+        &[],
+        train,
+    )
+}
+
+/// The first live ring position after `pos` (the repaired successor), or
+/// `None` when every other position is dead.
+fn next_live(ring: &Ring, dead: &[bool], pos: usize) -> Option<usize> {
+    let mut p = ring.next_position(pos);
+    while p != pos {
+        if !dead[p] {
+            return Some(p);
+        }
+        p = ring.next_position(p);
+    }
+    None
+}
+
+/// [`simulate_ring_interval`] under mid-interval device failures.
+///
+/// `failures[p]` is the virtual time within `[0, interval)` at which the
+/// device at ring position `p` crashes (`None` = survives; an empty slice
+/// = nobody fails, which is *exactly* the static code path: no failure
+/// events are scheduled and the event choreography is unchanged).
+///
+/// When a device dies:
+///
+/// * the step it was training never completes (its pending completion is
+///   discarded),
+/// * the freshest model it held — a pending unconsumed arrival, else the
+///   model it was training — is preserved as its last-held model (device
+///   storage survives a crash, which is what a decentralized rejoin
+///   resumes from), and under [`FailurePolicy::ForwardToSuccessor`] a
+///   copy is forwarded to the next *live* ring successor,
+/// * the ring repairs itself: subsequent sends skip dead positions, and
+///   in-flight arrivals addressed to a dead position are re-forwarded
+///   (or dropped, under [`FailurePolicy::DropInFlight`]),
+/// * the position is reported dead in [`RingOutcome::alive`] — it cannot
+///   upload this round.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_ring_interval_faulty<F>(
+    ring: &Ring,
+    latencies: &[f64],
+    link: &LinkModel,
+    start: RingStart<'_>,
+    interval: f64,
+    policy: ReceivePolicy,
+    failure_policy: FailurePolicy,
+    failures: &[Option<f64>],
     mut train: F,
 ) -> RingOutcome
 where
@@ -111,6 +185,10 @@ where
     assert_eq!(latencies.len(), n, "one latency per ring position");
     assert!(n > 0, "empty ring");
     assert!(interval > 0.0, "interval must be positive");
+    assert!(
+        failures.is_empty() || failures.len() == n,
+        "one failure slot per ring position (or none at all)"
+    );
 
     let allowed: Vec<usize> = latencies
         .iter()
@@ -126,19 +204,24 @@ where
             (models.into_iter().map(Some).collect(), None)
         }
     };
-    // `latest[pos]` is only read after the position's final completion,
-    // and every position completes at least once (`allowed[pos] >= 1`),
-    // so placeholders are never observed.
+    // `latest[pos]` is only read after the position's final completion
+    // (or its failure), and every surviving position completes at least
+    // once (`allowed[pos] >= 1`), so placeholders are only ever observed
+    // for a position that died holding nothing of its own — which callers
+    // must skip via `alive`.
     let mut latest: Vec<ParamVec> = vec![ParamVec::default(); n];
     let mut inbox: Vec<Option<ParamVec>> = vec![None; n];
     let mut steps = vec![0usize; n];
     let mut transfers = 0usize;
+    let mut dead = vec![false; n];
 
     // Arrivals sort before completions at the same instant so that a
     // zero-delay handoff between equal-latency devices lands in time for
-    // the receiver's next step (see `EventQueue` docs).
+    // the receiver's next step (see `EventQueue` docs). Failures sort
+    // last: a step finishing at the crash instant still counts.
     const CLASS_ARRIVAL: u8 = 0;
     const CLASS_COMPLETION: u8 = 1;
+    const CLASS_FAILURE: u8 = 2;
 
     let mut queue: EventQueue<Event> = EventQueue::new();
     for (pos, &latency) in latencies.iter().enumerate() {
@@ -148,13 +231,68 @@ where
             Event::Completion { pos },
         );
     }
+    for (pos, failure) in failures.iter().enumerate() {
+        if let Some(t) = *failure {
+            assert!(t.is_finite() && t >= 0.0, "failure time must be >= 0");
+            if t < interval {
+                queue.push_class(SimTime::new(t), CLASS_FAILURE, Event::Failure { pos });
+            }
+        }
+    }
 
     while let Some((now, event)) = queue.pop() {
         match event {
             Event::Arrival { pos, model } => {
+                if dead[pos] {
+                    // Ring repair: the sender did not know `pos` died.
+                    // Re-forward to the next live successor (one extra
+                    // hop on the wire) — or drop the model entirely.
+                    if failure_policy == FailurePolicy::ForwardToSuccessor {
+                        if let Some(succ) = next_live(ring, &dead, pos) {
+                            let delay = link.delay(ring.order()[pos], ring.order()[succ]).max(0.0);
+                            queue.push_class(
+                                now + delay,
+                                CLASS_ARRIVAL,
+                                Event::Arrival { pos: succ, model },
+                            );
+                            transfers += 1;
+                        }
+                    }
+                    continue;
+                }
                 // Newest-wins buffer (Alg. 1 trains B.back()); older
                 // pending models are dropped.
                 inbox[pos] = Some(model);
+            }
+            Event::Failure { pos } => {
+                dead[pos] = true;
+                // The freshest model the device held: a pending arrival
+                // beats the model it was mid-way through training. The
+                // device's storage survives the crash (that is what a
+                // decentralized rejoin resumes from), so preserve it as
+                // the position's last-held model either way.
+                if let Some(held) = inbox[pos].take().or_else(|| working[pos].take()) {
+                    if failure_policy == FailurePolicy::ForwardToSuccessor {
+                        if let Some(succ) = next_live(ring, &dead, pos) {
+                            let delay = link.delay(ring.order()[pos], ring.order()[succ]).max(0.0);
+                            queue.push_class(
+                                now + delay,
+                                CLASS_ARRIVAL,
+                                Event::Arrival {
+                                    pos: succ,
+                                    model: held.clone(),
+                                },
+                            );
+                            transfers += 1;
+                        }
+                    }
+                    latest[pos] = held;
+                }
+            }
+            Event::Completion { pos } if dead[pos] => {
+                // The device crashed mid-step: the step never completes,
+                // and its input was already salvaged by the failure
+                // handler.
             }
             Event::Completion { pos } => {
                 let salt = (pos as u64) << 32 | steps[pos] as u64;
@@ -164,22 +302,25 @@ where
                 let trained = train(ring.order()[pos], input, salt);
                 steps[pos] += 1;
 
-                // Forward along the ring (skip degenerate single rings —
-                // sending to yourself is the same as continuing). This
-                // clone is the hop's single copy: the wire needs its own
-                // buffer while the sender keeps training.
+                // Forward along the ring to the next *live* successor
+                // (identical to `next_position` while nobody has failed;
+                // skip degenerate single rings — sending to yourself is
+                // the same as continuing). This clone is the hop's single
+                // copy: the wire needs its own buffer while the sender
+                // keeps training.
                 if n > 1 {
-                    let succ = ring.next_position(pos);
-                    let delay = link.delay(ring.order()[pos], ring.order()[succ]).max(0.0);
-                    queue.push_class(
-                        now + delay,
-                        CLASS_ARRIVAL,
-                        Event::Arrival {
-                            pos: succ,
-                            model: trained.clone(),
-                        },
-                    );
-                    transfers += 1;
+                    if let Some(succ) = next_live(ring, &dead, pos) {
+                        let delay = link.delay(ring.order()[pos], ring.order()[succ]).max(0.0);
+                        queue.push_class(
+                            now + delay,
+                            CLASS_ARRIVAL,
+                            Event::Arrival {
+                                pos: succ,
+                                model: trained.clone(),
+                            },
+                        );
+                        transfers += 1;
+                    }
                 }
 
                 if steps[pos] < allowed[pos] {
@@ -231,6 +372,7 @@ where
         next_models,
         steps,
         transfers,
+        alive: dead.iter().map(|&d| !d).collect(),
     }
 }
 
@@ -509,6 +651,191 @@ mod tests {
             ptrs.windows(2).all(|w| w[0] == w[1]),
             "refinement steps must reuse the same model buffer"
         );
+    }
+
+    fn run_faulty(
+        latencies: &[f64],
+        interval: f64,
+        failure_policy: FailurePolicy,
+        failures: &[Option<f64>],
+    ) -> (RingOutcome, Ring) {
+        let (ring, lat) = ring_of(latencies);
+        let n = latencies.len();
+        let out = simulate_ring_interval_faulty(
+            &ring,
+            &lat,
+            &LinkModel::zero(),
+            zero_start(n, n),
+            interval,
+            ReceivePolicy::TrainReceived,
+            failure_policy,
+            failures,
+            mock_train(n),
+        );
+        (out, ring)
+    }
+
+    #[test]
+    fn explicit_no_failures_match_the_static_path() {
+        let latencies = [1.0, 2.0, 3.0];
+        let (ring, lat) = ring_of(&latencies);
+        let run = |failures: &[Option<f64>]| {
+            simulate_ring_interval_faulty(
+                &ring,
+                &lat,
+                &LinkModel::zero(),
+                zero_start(3, 3),
+                5.0,
+                ReceivePolicy::TrainReceived,
+                FailurePolicy::ForwardToSuccessor,
+                failures,
+                mock_train(3),
+            )
+        };
+        let none = run(&[]);
+        let explicit = run(&[None, None, None]);
+        assert_eq!(none.final_models, explicit.final_models);
+        assert_eq!(none.next_models, explicit.next_models);
+        assert_eq!(none.steps, explicit.steps);
+        assert_eq!(none.transfers, explicit.transfers);
+        assert!(none.alive.iter().all(|&a| a));
+    }
+
+    #[test]
+    fn mid_ring_failure_stops_the_dead_position() {
+        // Three equal devices, 4 steps each; position 1 dies at t = 1.5
+        // (after its first completion, mid-second-step).
+        let (out, _) = run_faulty(
+            &[1.0, 1.0, 1.0],
+            4.0,
+            FailurePolicy::ForwardToSuccessor,
+            &[None, Some(1.5), None],
+        );
+        assert_eq!(out.alive, vec![true, false, true]);
+        assert_eq!(out.steps[1], 1, "one completed step before the crash");
+        assert_eq!(out.steps[0], 4);
+        assert_eq!(out.steps[2], 4);
+    }
+
+    /// Two devices, position 1 starts with a marked model ([0, 100]) and
+    /// dies at t = 0.5, before its first completion. What the survivor
+    /// ends up with depends only on the failure policy.
+    fn marked_two_device_failure(policy: FailurePolicy) -> RingOutcome {
+        let (ring, lat) = ring_of(&[1.0, 1.0]);
+        let start = vec![ParamVec::zeros(2), ParamVec::from_vec(vec![0.0, 100.0])];
+        simulate_ring_interval_faulty(
+            &ring,
+            &lat,
+            &LinkModel::zero(),
+            RingStart::PerPosition(start),
+            3.0,
+            ReceivePolicy::TrainReceived,
+            policy,
+            &[None, Some(0.5)],
+            mock_train(2),
+        )
+    }
+
+    #[test]
+    fn forward_policy_salvages_the_in_flight_model() {
+        let out = marked_two_device_failure(FailurePolicy::ForwardToSuccessor);
+        assert_eq!(out.alive, vec![true, false]);
+        // The dead device's held model was forwarded: the survivor
+        // adopted the marked model and kept training it.
+        assert_eq!(
+            out.final_models[0].as_slice()[1],
+            100.0,
+            "survivor must have adopted the salvaged model: {:?}",
+            out.final_models[0]
+        );
+        // Exactly one transfer: the salvage forward (the survivor has no
+        // live successor to send to afterwards).
+        assert_eq!(out.transfers, 1);
+        // The dead position preserved the model it held at death.
+        assert_eq!(out.final_models[1].as_slice(), &[0.0, 100.0]);
+        assert_eq!(out.next_models[1].as_slice(), &[0.0, 100.0]);
+    }
+
+    #[test]
+    fn drop_policy_loses_in_flight_models() {
+        let out = marked_two_device_failure(FailurePolicy::DropInFlight);
+        assert_eq!(out.alive, vec![true, false]);
+        // Nothing was forwarded: the survivor only ever refined its own
+        // lineage (3 steps on its own coordinate, no marker).
+        assert_eq!(out.final_models[0].as_slice(), &[3.0, 0.0]);
+        assert_eq!(out.transfers, 0, "ring repair stops sends to the dead");
+        // Device storage still survives the crash for rejoin carry-over.
+        assert_eq!(out.final_models[1].as_slice(), &[0.0, 100.0]);
+    }
+
+    #[test]
+    fn ring_repairs_around_dead_position() {
+        // Three devices; middle position dies instantly. The ring must
+        // keep circulating between the two survivors: both end up with
+        // each other's provenance.
+        let (out, ring) = run_faulty(
+            &[1.0, 1.0, 1.0],
+            6.0,
+            FailurePolicy::ForwardToSuccessor,
+            &[None, Some(0.1), None],
+        );
+        let d0 = ring.order()[0];
+        let d2 = ring.order()[2];
+        assert!(out.final_models[0].as_slice()[d2] > 0.0, "0 got 2's work");
+        assert!(out.final_models[2].as_slice()[d0] > 0.0, "2 got 0's work");
+    }
+
+    #[test]
+    fn all_but_one_dead_degenerates_to_solo_refinement() {
+        let (out, _) = run_faulty(
+            &[1.0, 1.0, 1.0],
+            3.0,
+            FailurePolicy::ForwardToSuccessor,
+            &[Some(0.1), None, Some(0.2)],
+        );
+        assert_eq!(out.alive, vec![false, true, false]);
+        assert_eq!(out.steps[1], 3, "survivor trains its full budget");
+    }
+
+    #[test]
+    fn failures_at_or_past_interval_are_ignored() {
+        let clean = run_faulty(
+            &[1.0, 2.0],
+            4.0,
+            FailurePolicy::ForwardToSuccessor,
+            &[None, None],
+        )
+        .0;
+        let late = run_faulty(
+            &[1.0, 2.0],
+            4.0,
+            FailurePolicy::ForwardToSuccessor,
+            &[Some(4.0), Some(100.0)],
+        )
+        .0;
+        assert_eq!(clean.final_models, late.final_models);
+        assert_eq!(clean.steps, late.steps);
+        assert!(late.alive.iter().all(|&a| a));
+    }
+
+    #[test]
+    fn faulty_simulation_is_deterministic() {
+        let run = || {
+            run_faulty(
+                &[1.0, 2.0, 3.0, 4.0],
+                6.0,
+                FailurePolicy::ForwardToSuccessor,
+                &[None, Some(2.5), None, Some(1.0)],
+            )
+            .0
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.final_models, b.final_models);
+        assert_eq!(a.next_models, b.next_models);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.transfers, b.transfers);
+        assert_eq!(a.alive, b.alive);
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! Configuration of the fleet-dynamics processes.
+//!
+//! Everything here is *declarative*: the structs describe stochastic
+//! processes (Markov-modulated capacity, churn, straggler spikes,
+//! mid-round failures) whose realisations are produced by
+//! [`crate::FleetModel`] purely from the experiment seed. The same
+//! config + seed always yields the same fleet trajectory, bit for bit.
+
+use serde::{Deserialize, Serialize};
+
+/// What a ring does with the models a device holds when it fails
+/// mid-interval. Mirrors `ReceivePolicy`: one small enum per in-ring
+/// decision point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FailurePolicy {
+    /// The dead device's freshest model (pending arrival, else the model
+    /// it was training) is forwarded to its ring successor, and the ring
+    /// is repaired around the gap — the relay's self-healing mode.
+    #[default]
+    ForwardToSuccessor,
+    /// Models held by the dead device are lost; arrivals addressed to it
+    /// are dropped. Successors keep refining their own models (Eq. 7).
+    DropInFlight,
+}
+
+/// Markov-modulated capacity: each device walks a small state machine
+/// (e.g. idle / loaded / throttled) whose states scale its base latency.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarkovCapacity {
+    /// Latency multiplier of each state (state 0 is conventionally the
+    /// baseline, multiplier 1.0). All must be positive.
+    pub multipliers: Vec<f64>,
+    /// Row-major `K × K` transition matrix applied once per round; each
+    /// row must sum to ~1.
+    pub transitions: Vec<f64>,
+    /// Initial state distribution (length `K`, sums to ~1).
+    pub initial: Vec<f64>,
+}
+
+impl MarkovCapacity {
+    /// The canonical three-state edge-device profile: mostly idle,
+    /// sometimes loaded (2.5× slower), occasionally thermally throttled
+    /// (6× slower). States are sticky, so capacity drifts over rounds
+    /// instead of being resampled i.i.d.
+    pub fn idle_loaded_throttled() -> Self {
+        MarkovCapacity {
+            multipliers: vec![1.0, 2.5, 6.0],
+            transitions: vec![
+                0.85, 0.12, 0.03, // idle → …
+                0.25, 0.65, 0.10, // loaded → …
+                0.20, 0.30, 0.50, // throttled → …
+            ],
+            initial: vec![0.70, 0.25, 0.05],
+        }
+    }
+
+    /// A single-state chain with multiplier 1.0 — dynamically *active*
+    /// but numerically the identity. Used by equivalence tests to prove
+    /// the dynamic code path reproduces the static one bit-for-bit.
+    pub fn identity() -> Self {
+        MarkovCapacity {
+            multipliers: vec![1.0],
+            transitions: vec![1.0],
+            initial: vec![1.0],
+        }
+    }
+
+    /// Number of states `K`.
+    pub fn states(&self) -> usize {
+        self.multipliers.len()
+    }
+
+    /// Panics unless the chain is well-formed.
+    pub fn validate(&self) {
+        let k = self.states();
+        assert!(k > 0, "capacity chain needs at least one state");
+        assert_eq!(
+            self.transitions.len(),
+            k * k,
+            "transition matrix must be K×K"
+        );
+        assert_eq!(
+            self.initial.len(),
+            k,
+            "initial distribution must have K entries"
+        );
+        assert!(
+            self.multipliers.iter().all(|&m| m.is_finite() && m > 0.0),
+            "state multipliers must be positive"
+        );
+        for row in self.transitions.chunks(k) {
+            let sum: f64 = row.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-6 && row.iter().all(|&p| p >= 0.0),
+                "each transition row must be a distribution, got {row:?}"
+            );
+        }
+        let init_sum: f64 = self.initial.iter().sum();
+        assert!(
+            (init_sum - 1.0).abs() < 1e-6 && self.initial.iter().all(|&p| p >= 0.0),
+            "initial state weights must be a distribution"
+        );
+    }
+}
+
+/// How a device's effective training latency evolves over rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum CapacityModel {
+    /// Latencies never change (the paper's setting).
+    #[default]
+    Static,
+    /// Markov-modulated latency states.
+    Markov(MarkovCapacity),
+}
+
+/// Whether devices come and go between rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum AvailabilityModel {
+    /// Every device is reachable every round (the paper's setting).
+    #[default]
+    AlwaysOn,
+    /// Two-state churn chain: an online device drops out with probability
+    /// `dropout` per round; an offline device rejoins with probability
+    /// `rejoin`. The chain starts from an all-online fleet, with the
+    /// first transition applied at round 0 — so even the first round may
+    /// see dropouts.
+    Churn {
+        /// Per-round P(online → offline).
+        dropout: f64,
+        /// Per-round P(offline → online).
+        rejoin: f64,
+    },
+}
+
+impl AvailabilityModel {
+    fn validate(&self) {
+        if let AvailabilityModel::Churn { dropout, rejoin } = self {
+            assert!(
+                (0.0..=1.0).contains(dropout) && (0.0..=1.0).contains(rejoin),
+                "churn probabilities must be in [0, 1]"
+            );
+        }
+    }
+}
+
+/// Transient straggler spikes: independently each round, a device's
+/// latency is multiplied by `magnitude` with probability `prob` —
+/// modelling GC pauses, backup jobs, contended radios.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpikeModel {
+    /// Per-(device, round) spike probability.
+    pub prob: f64,
+    /// Latency multiplier while spiking (≥ 1).
+    pub magnitude: f64,
+}
+
+impl Default for SpikeModel {
+    fn default() -> Self {
+        SpikeModel {
+            prob: 0.0,
+            magnitude: 1.0,
+        }
+    }
+}
+
+/// The full fleet-dynamics specification. [`FleetDynamics::default`] is
+/// the static fleet: the runtime takes a zero-cost fast path that is
+/// bit-identical to the pre-dynamics code. (Note: configs serialized
+/// before the `fleet` field existed need the field added before they
+/// deserialize — the offline serde shim does not support field
+/// defaulting.)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct FleetDynamics {
+    /// Time-varying capacity (latency multipliers).
+    pub capacity: CapacityModel,
+    /// Round-level dropout / rejoin churn.
+    pub availability: AvailabilityModel,
+    /// Transient straggler spikes.
+    pub spikes: SpikeModel,
+    /// Per-round probability that an *online* device fails mid-interval
+    /// (crashes while relaying inside a ring, or before uploading).
+    pub mid_round_failure: f64,
+    /// What rings do with models held by a mid-interval casualty.
+    pub failure_policy: FailurePolicy,
+}
+
+impl FleetDynamics {
+    /// True when every process is degenerate — the runtime then skips the
+    /// trace machinery entirely, guaranteeing the static fast path.
+    pub fn is_static(&self) -> bool {
+        matches!(self.capacity, CapacityModel::Static)
+            && self.availability == AvailabilityModel::AlwaysOn
+            && self.spikes.prob == 0.0
+            && self.mid_round_failure == 0.0
+    }
+
+    /// Pure churn at the given per-round dropout rate — the knob
+    /// `fig_churn` sweeps. Rejoin is `max(rate, 0.25)`: floored so that
+    /// low-dropout fleets recover devices within a few rounds (steady-
+    /// state offline fraction `rate / (rate + rejoin)` stays below 50%),
+    /// and symmetric (`rejoin == dropout`) once `rate >= 0.25`.
+    pub fn churn(rate: f64) -> Self {
+        FleetDynamics {
+            availability: AvailabilityModel::Churn {
+                dropout: rate,
+                rejoin: rate.max(0.25),
+            },
+            ..FleetDynamics::default()
+        }
+    }
+
+    /// The full edge-fleet stress preset: sticky Markov capacity states,
+    /// churn, occasional 4× straggler spikes and mid-ring failures.
+    pub fn edge_fleet(dropout: f64, mid_round_failure: f64) -> Self {
+        FleetDynamics {
+            capacity: CapacityModel::Markov(MarkovCapacity::idle_loaded_throttled()),
+            availability: AvailabilityModel::Churn {
+                dropout,
+                rejoin: 0.5,
+            },
+            spikes: SpikeModel {
+                prob: 0.05,
+                magnitude: 4.0,
+            },
+            mid_round_failure,
+            failure_policy: FailurePolicy::ForwardToSuccessor,
+        }
+    }
+
+    /// Panics unless every sub-model is well-formed.
+    pub fn validate(&self) {
+        if let CapacityModel::Markov(chain) = &self.capacity {
+            chain.validate();
+        }
+        self.availability.validate();
+        assert!(
+            (0.0..=1.0).contains(&self.spikes.prob) && self.spikes.magnitude >= 1.0,
+            "spike prob must be in [0, 1] and magnitude >= 1"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.mid_round_failure),
+            "mid_round_failure must be in [0, 1]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_static() {
+        assert!(FleetDynamics::default().is_static());
+        FleetDynamics::default().validate();
+    }
+
+    #[test]
+    fn presets_are_dynamic_and_valid() {
+        for d in [
+            FleetDynamics::churn(0.1),
+            FleetDynamics::edge_fleet(0.1, 0.05),
+        ] {
+            assert!(!d.is_static());
+            d.validate();
+        }
+    }
+
+    #[test]
+    fn identity_chain_is_active_but_neutral() {
+        let d = FleetDynamics {
+            capacity: CapacityModel::Markov(MarkovCapacity::identity()),
+            ..FleetDynamics::default()
+        };
+        // Active (exercises the dynamic path) …
+        assert!(!d.is_static());
+        // … and valid.
+        d.validate();
+    }
+
+    #[test]
+    fn canonical_chain_is_well_formed() {
+        MarkovCapacity::idle_loaded_throttled().validate();
+        assert_eq!(MarkovCapacity::idle_loaded_throttled().states(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "distribution")]
+    fn bad_transition_row_panics() {
+        let mut chain = MarkovCapacity::identity();
+        chain.transitions = vec![0.5];
+        chain.validate();
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = FleetDynamics::edge_fleet(0.2, 0.1);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: FleetDynamics = serde_json::from_str(&json).unwrap();
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic fleet dynamics for heterogeneous federated simulation.
+//!
+//! The paper (and the seed reproduction) freezes the fleet: latencies are
+//! sampled once, every device participates every round, and rings never
+//! lose a member. Real edge fleets are nothing like that — capacity
+//! drifts as devices heat up and background jobs come and go, devices
+//! churn in and out of reachability, and a relay partner can die with a
+//! model in flight. This crate is the substrate for simulating all of
+//! that **without giving up bit-reproducibility**:
+//!
+//! * [`FleetDynamics`] — declarative config: Markov-modulated capacity
+//!   states ([`MarkovCapacity`], e.g. idle/loaded/throttled), dropout /
+//!   rejoin churn ([`AvailabilityModel`]), transient straggler spikes
+//!   ([`SpikeModel`]), and mid-interval failures governed by a
+//!   [`FailurePolicy`].
+//! * [`FleetModel`] — the realised trajectory. Every random decision is
+//!   a pure hash of `(seed, round, device, role)`; state chains advance
+//!   round-by-round from that stream and are memoized, so the same seed
+//!   and config always produce the same fleet history regardless of
+//!   query order, thread count or platform.
+//!
+//! # Determinism contract
+//!
+//! `FleetDynamics::default()` is the static fleet: [`FleetModel`] then
+//! short-circuits every query (`multiplier = 1.0`, `online = true`,
+//! `fail_frac = None`) without touching the trace, which keeps default
+//! experiments bit-identical to the pre-dynamics implementation — the
+//! workspace's equivalence tests assert exactly that. Active dynamics
+//! are reproducible in the same sense as the rest of the stack: one
+//! `u64` seed pins the entire fleet trajectory.
+
+pub mod dynamics;
+pub mod model;
+
+pub use dynamics::{
+    AvailabilityModel, CapacityModel, FailurePolicy, FleetDynamics, MarkovCapacity, SpikeModel,
+};
+pub use model::{FleetModel, RoundFleet};

@@ -1,0 +1,482 @@
+//! The realised fleet trajectory: deterministic, memoized, seed-driven.
+
+use std::sync::RwLock;
+
+use fedhisyn_simnet::DeviceProfile;
+
+use crate::dynamics::{AvailabilityModel, CapacityModel, FleetDynamics};
+
+/// SplitMix64 finalizer over the XOR of the inputs — the same stateless
+/// seed-derivation scheme the core crate uses (`core::env::seed_mix`),
+/// duplicated here so `fleet` stays below `core` in the dependency graph.
+fn mix(master: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut z = master
+        ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ c.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` from a hash — the top 53 bits, so the mapping is
+/// exact in f64 and identical on every platform.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+}
+
+/// Roles keeping the per-(round, device) random streams independent.
+const ROLE_CAPACITY: u64 = 0xCA9A_C17F;
+const ROLE_AVAIL: u64 = 0xA1A1_B111;
+const ROLE_SPIKE: u64 = 0x005B_1CE5;
+const ROLE_FAIL: u64 = 0x00FA_110F;
+const ROLE_FAIL_TIME: u64 = 0xFA11_71ED;
+
+/// Sample an index from a discrete distribution by inverse CDF.
+fn pick(weights: &[f64], u: f64) -> usize {
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if u < acc {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// One round's realised fleet conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundFleet {
+    /// Whether each device is reachable at round start.
+    pub online: Vec<bool>,
+    /// Effective latency multiplier per device (capacity state × spike).
+    pub multiplier: Vec<f64>,
+    /// For online devices that crash mid-interval: the fraction of the
+    /// round interval at which they die. `None` = survives the round.
+    pub fail_frac: Vec<Option<f64>>,
+    /// Capacity-chain state per device (internal, carried between rounds).
+    cap_state: Vec<usize>,
+}
+
+/// The fleet's realised trajectory over rounds.
+///
+/// # Determinism contract
+///
+/// Round `r`'s conditions are a pure function of `(seed, dynamics, r)`:
+/// every random decision hashes `(seed, round, device, role)` through the
+/// same SplitMix64 mix the rest of the stack uses, and state chains
+/// (capacity, availability) advance strictly round-by-round from that
+/// hash stream. The trace is memoized behind a reader-writer lock —
+/// parallel training loops querying an already-realised round share a
+/// read lock; the write lock is only taken to extend the trace — and the
+/// *values* never depend on query order or thread timing: two processes
+/// asking for round 500 in any order see identical vectors. The static
+/// config ([`FleetDynamics::is_static`]) bypasses the trace entirely, so
+/// default experiments pay nothing and stay bit-identical to the
+/// pre-dynamics code.
+#[derive(Debug)]
+pub struct FleetModel {
+    base: Vec<f64>,
+    dynamics: FleetDynamics,
+    seed: u64,
+    is_static: bool,
+    trace: RwLock<Vec<RoundFleet>>,
+}
+
+impl FleetModel {
+    /// Build from the fleet's sampled base profiles.
+    pub fn new(profiles: &[DeviceProfile], dynamics: FleetDynamics, seed: u64) -> Self {
+        dynamics.validate();
+        let is_static = dynamics.is_static();
+        FleetModel {
+            base: profiles.iter().map(|p| p.train_time).collect(),
+            dynamics,
+            seed,
+            is_static,
+            trace: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// A static fleet over `profiles` (the default in every test env).
+    pub fn static_fleet(profiles: &[DeviceProfile]) -> Self {
+        FleetModel::new(profiles, FleetDynamics::default(), 0)
+    }
+
+    /// The dynamics specification this model realises.
+    pub fn dynamics(&self) -> &FleetDynamics {
+        &self.dynamics
+    }
+
+    /// True when the model is the degenerate static fleet.
+    pub fn is_static(&self) -> bool {
+        self.is_static
+    }
+
+    /// Fleet size.
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// True when the fleet has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// Effective latency multiplier of `device` at `round` (1.0 static).
+    pub fn multiplier(&self, device: usize, round: usize) -> f64 {
+        if self.is_static {
+            return 1.0;
+        }
+        self.with_round(round, |r| r.multiplier[device])
+    }
+
+    /// Whether `device` is reachable at the start of `round`.
+    pub fn online(&self, device: usize, round: usize) -> bool {
+        if self.is_static {
+            return true;
+        }
+        self.with_round(round, |r| r.online[device])
+    }
+
+    /// Mid-interval failure point of `device` in `round`, as a fraction
+    /// of the round interval. `None` = the device survives the round.
+    pub fn fail_frac(&self, device: usize, round: usize) -> Option<f64> {
+        if self.is_static {
+            return None;
+        }
+        self.with_round(round, |r| r.fail_frac[device])
+    }
+
+    /// Effective latency of `device` at `round`: the base profile scaled
+    /// by the round's capacity multiplier.
+    pub fn latency(&self, device: usize, round: usize) -> f64 {
+        self.base[device] * self.multiplier(device, round)
+    }
+
+    /// Clone out one round's realised conditions (benches, figures).
+    pub fn round_snapshot(&self, round: usize) -> RoundFleet {
+        if self.is_static {
+            let n = self.len();
+            return RoundFleet {
+                online: vec![true; n],
+                multiplier: vec![1.0; n],
+                fail_frac: vec![None; n],
+                cap_state: vec![0; n],
+            };
+        }
+        self.with_round(round, |r| r.clone())
+    }
+
+    fn with_round<R>(&self, round: usize, f: impl FnOnce(&RoundFleet) -> R) -> R {
+        // Fast path: the round is already realised — readers share the
+        // lock, so per-device queries inside parallel training loops do
+        // not serialize each other.
+        {
+            let trace = self.trace.read().expect("fleet trace poisoned");
+            if round < trace.len() {
+                return f(&trace[round]);
+            }
+        }
+        let mut trace = self.trace.write().expect("fleet trace poisoned");
+        while trace.len() <= round {
+            let next = self.advance(trace.last(), trace.len());
+            trace.push(next);
+        }
+        f(&trace[round])
+    }
+
+    /// Realise round `round` from the previous round's state vectors.
+    fn advance(&self, prev: Option<&RoundFleet>, round: usize) -> RoundFleet {
+        let n = self.len();
+        let r = round as u64;
+        let mut online = Vec::with_capacity(n);
+        let mut multiplier = Vec::with_capacity(n);
+        let mut fail_frac = Vec::with_capacity(n);
+        let mut cap_state = Vec::with_capacity(n);
+
+        for d in 0..n {
+            let du = d as u64;
+
+            // Capacity chain.
+            let state = match &self.dynamics.capacity {
+                CapacityModel::Static => 0,
+                CapacityModel::Markov(chain) => {
+                    let u = unit(mix(self.seed, r, du, ROLE_CAPACITY));
+                    match prev {
+                        None => pick(&chain.initial, u),
+                        Some(p) => {
+                            let k = chain.states();
+                            let row =
+                                &chain.transitions[p.cap_state[d] * k..(p.cap_state[d] + 1) * k];
+                            pick(row, u)
+                        }
+                    }
+                }
+            };
+            let mut m = match &self.dynamics.capacity {
+                CapacityModel::Static => 1.0,
+                CapacityModel::Markov(chain) => chain.multipliers[state],
+            };
+
+            // Transient straggler spike.
+            if self.dynamics.spikes.prob > 0.0
+                && unit(mix(self.seed, r, du, ROLE_SPIKE)) < self.dynamics.spikes.prob
+            {
+                m *= self.dynamics.spikes.magnitude;
+            }
+
+            // Availability chain. A device that failed mid-interval last
+            // round counts as offline going into the churn transition —
+            // it has to "rejoin" like any other dropout. Under AlwaysOn
+            // it reboots in time for the next round.
+            let on = match self.dynamics.availability {
+                AvailabilityModel::AlwaysOn => true,
+                AvailabilityModel::Churn { dropout, rejoin } => {
+                    let was_on = match prev {
+                        None => true,
+                        Some(p) => p.online[d] && p.fail_frac[d].is_none(),
+                    };
+                    let u = unit(mix(self.seed, r, du, ROLE_AVAIL));
+                    if was_on {
+                        u >= dropout
+                    } else {
+                        u < rejoin
+                    }
+                }
+            };
+
+            // Mid-interval failure (only meaningful for online devices).
+            let fail = if on
+                && self.dynamics.mid_round_failure > 0.0
+                && unit(mix(self.seed, r, du, ROLE_FAIL)) < self.dynamics.mid_round_failure
+            {
+                Some(unit(mix(self.seed, r, du, ROLE_FAIL_TIME)))
+            } else {
+                None
+            };
+
+            online.push(on);
+            multiplier.push(m);
+            fail_frac.push(fail);
+            cap_state.push(state);
+        }
+
+        RoundFleet {
+            online,
+            multiplier,
+            fail_frac,
+            cap_state,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::{MarkovCapacity, SpikeModel};
+
+    fn profiles(n: usize) -> Vec<DeviceProfile> {
+        (0..n)
+            .map(|i| DeviceProfile::new(i, 1.0 + i as f64 * 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn static_fleet_is_identity() {
+        let m = FleetModel::static_fleet(&profiles(4));
+        assert!(m.is_static());
+        for r in 0..5 {
+            for d in 0..4 {
+                assert_eq!(m.multiplier(d, r), 1.0);
+                assert!(m.online(d, r));
+                assert_eq!(m.fail_frac(d, r), None);
+                assert_eq!(m.latency(d, r), 1.0 + d as f64 * 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_chain_matches_static_values() {
+        let dynamic = FleetModel::new(
+            &profiles(6),
+            FleetDynamics {
+                capacity: CapacityModel::Markov(MarkovCapacity::identity()),
+                ..FleetDynamics::default()
+            },
+            7,
+        );
+        assert!(!dynamic.is_static());
+        for r in 0..4 {
+            for d in 0..6 {
+                assert_eq!(dynamic.multiplier(d, r), 1.0);
+                assert!(dynamic.online(d, r));
+                assert_eq!(dynamic.fail_frac(d, r), None);
+            }
+        }
+    }
+
+    #[test]
+    fn trajectory_is_deterministic_and_query_order_independent() {
+        let make = || FleetModel::new(&profiles(10), FleetDynamics::edge_fleet(0.2, 0.1), 42);
+        let a = make();
+        let b = make();
+        // Query b backwards, a forwards — identical realisations.
+        let rounds = 8;
+        let fwd: Vec<RoundFleet> = (0..rounds).map(|r| a.round_snapshot(r)).collect();
+        let bwd: Vec<RoundFleet> = (0..rounds).rev().map(|r| b.round_snapshot(r)).collect();
+        for (r, snap) in fwd.iter().enumerate() {
+            assert_eq!(*snap, bwd[rounds - 1 - r], "round {r} diverged");
+        }
+    }
+
+    #[test]
+    fn churn_takes_devices_offline_and_back() {
+        let m = FleetModel::new(&profiles(50), FleetDynamics::churn(0.3), 3);
+        let mut ever_off = 0;
+        let mut came_back = 0;
+        for d in 0..50 {
+            let mut was_off = false;
+            for r in 0..20 {
+                let on = m.online(d, r);
+                if !on {
+                    was_off = true;
+                } else if was_off {
+                    came_back += 1;
+                    break;
+                }
+            }
+            if was_off {
+                ever_off += 1;
+            }
+        }
+        assert!(
+            ever_off > 20,
+            "30% churn should hit most devices: {ever_off}"
+        );
+        assert!(
+            came_back > 10,
+            "rejoin must bring devices back: {came_back}"
+        );
+    }
+
+    #[test]
+    fn markov_states_change_latency_over_time() {
+        let m = FleetModel::new(
+            &profiles(20),
+            FleetDynamics {
+                capacity: CapacityModel::Markov(MarkovCapacity::idle_loaded_throttled()),
+                ..FleetDynamics::default()
+            },
+            11,
+        );
+        let mut distinct = std::collections::BTreeSet::new();
+        for r in 0..30 {
+            for d in 0..20 {
+                distinct.insert((m.multiplier(d, r) * 10.0) as i64);
+            }
+        }
+        assert!(
+            distinct.len() >= 3,
+            "all three states should be visited: {distinct:?}"
+        );
+    }
+
+    #[test]
+    fn spikes_inflate_latency_occasionally() {
+        let m = FleetModel::new(
+            &profiles(30),
+            FleetDynamics {
+                spikes: SpikeModel {
+                    prob: 0.2,
+                    magnitude: 4.0,
+                },
+                ..FleetDynamics::default()
+            },
+            5,
+        );
+        let mut spiked = 0;
+        let mut total = 0;
+        for r in 0..20 {
+            for d in 0..30 {
+                total += 1;
+                if m.multiplier(d, r) > 1.0 {
+                    spiked += 1;
+                }
+            }
+        }
+        let rate = spiked as f64 / total as f64;
+        assert!((0.1..0.3).contains(&rate), "spike rate {rate}");
+    }
+
+    #[test]
+    fn failures_only_strike_online_devices() {
+        let m = FleetModel::new(
+            &profiles(40),
+            FleetDynamics {
+                availability: AvailabilityModel::Churn {
+                    dropout: 0.4,
+                    rejoin: 0.3,
+                },
+                mid_round_failure: 0.3,
+                ..FleetDynamics::default()
+            },
+            9,
+        );
+        let mut failures = 0;
+        for r in 0..15 {
+            for d in 0..40 {
+                if let Some(f) = m.fail_frac(d, r) {
+                    failures += 1;
+                    assert!(m.online(d, r), "only online devices can fail mid-round");
+                    assert!((0.0..1.0).contains(&f));
+                }
+            }
+        }
+        assert!(failures > 20, "failures should occur: {failures}");
+    }
+
+    #[test]
+    fn failed_devices_count_as_offline_for_the_churn_transition() {
+        // With rejoin = 0, any device that fails mid-round under churn
+        // must stay offline forever after.
+        let m = FleetModel::new(
+            &profiles(30),
+            FleetDynamics {
+                availability: AvailabilityModel::Churn {
+                    dropout: 0.0,
+                    rejoin: 0.0,
+                },
+                mid_round_failure: 0.5,
+                ..FleetDynamics::default()
+            },
+            13,
+        );
+        for d in 0..30 {
+            let mut dead = false;
+            for r in 0..10 {
+                if dead {
+                    assert!(!m.online(d, r), "device {d} must stay down after failing");
+                }
+                if m.fail_frac(d, r).is_some() {
+                    dead = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_realise_different_fleets() {
+        let a = FleetModel::new(&profiles(20), FleetDynamics::edge_fleet(0.2, 0.1), 1);
+        let b = FleetModel::new(&profiles(20), FleetDynamics::edge_fleet(0.2, 0.1), 2);
+        let same = (0..10).all(|r| a.round_snapshot(r) == b.round_snapshot(r));
+        assert!(!same, "different seeds must diverge");
+    }
+
+    #[test]
+    fn pick_covers_edges() {
+        assert_eq!(pick(&[0.5, 0.5], 0.0), 0);
+        assert_eq!(pick(&[0.5, 0.5], 0.75), 1);
+        // u beyond the accumulated mass (rounding) clamps to the last.
+        assert_eq!(pick(&[0.5, 0.5], 1.0), 1);
+    }
+}

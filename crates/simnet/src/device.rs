@@ -33,6 +33,19 @@ impl DeviceProfile {
     pub fn steps_within(&self, interval: f64) -> usize {
         ((interval / self.train_time).floor() as usize).max(1)
     }
+
+    /// Time-indexed latency query: the device's effective per-step time
+    /// under a capacity `multiplier` (1.0 = the static base profile; a
+    /// fleet-dynamics model supplies per-round multipliers for loaded or
+    /// throttled states). `t × 1.0 ≡ t` exactly in IEEE arithmetic, so
+    /// the static path is bit-identical to reading `train_time`.
+    pub fn train_time_at(&self, multiplier: f64) -> f64 {
+        assert!(
+            multiplier.is_finite() && multiplier > 0.0,
+            "capacity multiplier must be positive"
+        );
+        self.train_time * multiplier
+    }
 }
 
 /// How local-training latencies are distributed across the fleet.
@@ -170,6 +183,19 @@ mod tests {
             1,
             "every device completes at least one step"
         );
+    }
+
+    #[test]
+    fn time_indexed_latency_scales_and_is_exact_at_one() {
+        let p = DeviceProfile::new(0, 3.0);
+        assert_eq!(p.train_time_at(1.0), p.train_time);
+        assert_eq!(p.train_time_at(2.5), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier")]
+    fn zero_multiplier_panics() {
+        let _ = DeviceProfile::new(0, 1.0).train_time_at(0.0);
     }
 
     #[test]

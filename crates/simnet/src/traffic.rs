@@ -10,6 +10,12 @@
 //! and distinguishes server uploads (the paper's costed quantity), server
 //! downloads/broadcasts, and device-to-device ring transfers (free in the
 //! paper's cost model, tracked here for ablations).
+//!
+//! Two byte ledgers run side by side: `parameters_moved` (the paper's
+//! idealised payload, `×4` for f32) and `wire_bytes`, charged by callers
+//! with the *encoded frame size* of the transfer (header + checksum +
+//! payload, `nn::wire::encoded_len` in this workspace) — the honest
+//! bytes-on-wire figure churn and bandwidth studies report.
 
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
@@ -26,6 +32,10 @@ pub struct TrafficSnapshot {
     /// Total parameters moved (uploads + downloads + peers), for byte
     /// accounting (`×4` for f32).
     pub parameters_moved: f64,
+    /// Total encoded bytes on the wire (frame headers + checksums +
+    /// payloads), accumulated from the per-transfer frame sizes callers
+    /// pass to the record methods.
+    pub wire_bytes: f64,
 }
 
 impl TrafficSnapshot {
@@ -41,9 +51,15 @@ impl TrafficSnapshot {
         self.uploads / participants as f64
     }
 
-    /// Bytes moved assuming 4-byte parameters.
+    /// Bytes moved assuming 4-byte parameters (idealised payload only).
     pub fn bytes_moved(&self) -> f64 {
         self.parameters_moved * 4.0
+    }
+
+    /// Wire-format framing overhead: encoded bytes beyond the raw f32
+    /// payload (headers, checksums).
+    pub fn framing_overhead(&self) -> f64 {
+        self.wire_bytes - self.bytes_moved()
     }
 }
 
@@ -64,25 +80,29 @@ impl TrafficMeter {
     }
 
     /// Record a device→server upload of `model_equivalents` models, each
-    /// carrying `parameters` parameters.
-    pub fn record_upload(&self, model_equivalents: f64, parameters: usize) {
+    /// carrying `parameters` parameters encoded as `frame_bytes` on the
+    /// wire.
+    pub fn record_upload(&self, model_equivalents: f64, parameters: usize, frame_bytes: usize) {
         let mut s = self.inner.lock().expect("traffic meter poisoned");
         s.uploads += model_equivalents;
         s.parameters_moved += model_equivalents * parameters as f64;
+        s.wire_bytes += model_equivalents * frame_bytes as f64;
     }
 
     /// Record a server→device download.
-    pub fn record_download(&self, model_equivalents: f64, parameters: usize) {
+    pub fn record_download(&self, model_equivalents: f64, parameters: usize, frame_bytes: usize) {
         let mut s = self.inner.lock().expect("traffic meter poisoned");
         s.downloads += model_equivalents;
         s.parameters_moved += model_equivalents * parameters as f64;
+        s.wire_bytes += model_equivalents * frame_bytes as f64;
     }
 
     /// Record a device→device transfer (ring hop).
-    pub fn record_peer(&self, model_equivalents: f64, parameters: usize) {
+    pub fn record_peer(&self, model_equivalents: f64, parameters: usize, frame_bytes: usize) {
         let mut s = self.inner.lock().expect("traffic meter poisoned");
         s.peer_transfers += model_equivalents;
         s.parameters_moved += model_equivalents * parameters as f64;
+        s.wire_bytes += model_equivalents * frame_bytes as f64;
     }
 
     /// Copy out the counters.
@@ -100,26 +120,34 @@ impl TrafficMeter {
 mod tests {
     use super::*;
 
+    /// The workspace's weight frame is 20 header bytes + 4 per parameter;
+    /// tests use the same shape so the overhead arithmetic is realistic.
+    fn frame(parameters: usize) -> usize {
+        20 + parameters * 4
+    }
+
     #[test]
     fn counters_accumulate() {
         let m = TrafficMeter::new();
-        m.record_upload(1.0, 100);
-        m.record_upload(2.0, 100);
-        m.record_download(1.0, 100);
-        m.record_peer(5.0, 100);
+        m.record_upload(1.0, 100, frame(100));
+        m.record_upload(2.0, 100, frame(100));
+        m.record_download(1.0, 100, frame(100));
+        m.record_peer(5.0, 100, frame(100));
         let s = m.snapshot();
         assert_eq!(s.uploads, 3.0);
         assert_eq!(s.downloads, 1.0);
         assert_eq!(s.peer_transfers, 5.0);
         assert_eq!(s.parameters_moved, 900.0);
         assert_eq!(s.bytes_moved(), 3600.0);
+        assert_eq!(s.wire_bytes, 9.0 * frame(100) as f64);
+        assert_eq!(s.framing_overhead(), 9.0 * 20.0);
         assert_eq!(s.server_models(), 4.0);
     }
 
     #[test]
     fn upload_rounds_normalizes() {
         let m = TrafficMeter::new();
-        m.record_upload(50.0, 10);
+        m.record_upload(50.0, 10, frame(10));
         assert_eq!(m.snapshot().upload_rounds(10), 5.0);
     }
 
@@ -127,15 +155,16 @@ mod tests {
     fn scaffold_double_counting() {
         let m = TrafficMeter::new();
         // SCAFFOLD moves model + control variate: 2 model-equivalents.
-        m.record_upload(2.0, 1000);
+        m.record_upload(2.0, 1000, frame(1000));
         assert_eq!(m.snapshot().uploads, 2.0);
         assert_eq!(m.snapshot().parameters_moved, 2000.0);
+        assert_eq!(m.snapshot().wire_bytes, 2.0 * frame(1000) as f64);
     }
 
     #[test]
     fn reset_zeroes() {
         let m = TrafficMeter::new();
-        m.record_upload(1.0, 1);
+        m.record_upload(1.0, 1, frame(1));
         m.reset();
         assert_eq!(m.snapshot(), TrafficSnapshot::default());
     }
@@ -155,7 +184,7 @@ mod tests {
                 let m = Arc::clone(&m);
                 std::thread::spawn(move || {
                     for _ in 0..1000 {
-                        m.record_peer(1.0, 10);
+                        m.record_peer(1.0, 10, frame(10));
                     }
                 })
             })

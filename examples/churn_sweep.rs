@@ -1,0 +1,68 @@
+//! Accuracy versus churn rate on a dynamic fleet.
+//!
+//! The fleet-dynamics subsystem (`fedhisyn::fleet`) makes the simulated
+//! fleet *time-varying*: devices drop out and rejoin between rounds,
+//! capacity drifts through Markov latency states, and a relay partner can
+//! die mid-ring with a model in flight. This example sweeps the per-round
+//! dropout rate and shows how FedHiSyn's self-healing rings compare with
+//! server-collected FedAvg as the fleet gets flakier — deterministically:
+//! rerunning prints the identical table.
+//!
+//! ```sh
+//! cargo run --release --example churn_sweep
+//! ```
+
+use fedhisyn::prelude::*;
+
+fn main() {
+    println!("== Churn sweep (MNIST-like, 20 devices, Dirichlet(0.3), H=10) ==\n");
+    println!(
+        "{:>6} {:>12} {:>10} {:>16}",
+        "churn", "FedHiSyn", "FedAvg", "uploads(FHS)"
+    );
+
+    for rate in [0.0, 0.1, 0.2, 0.4] {
+        // Dropout/rejoin churn plus mid-ring failures at half the rate;
+        // rate 0.0 is the static fleet (the paper's setting, bit-identical
+        // to a config without the .fleet() call).
+        let dynamics = if rate == 0.0 {
+            FleetDynamics::default()
+        } else {
+            let mut d = FleetDynamics::churn(rate);
+            d.mid_round_failure = rate / 2.0;
+            d.failure_policy = FailurePolicy::ForwardToSuccessor;
+            d
+        };
+        let cfg = ExperimentConfig::builder(DatasetProfile::MnistLike)
+            .scale(Scale::Smoke)
+            .devices(20)
+            .partition(Partition::Dirichlet { beta: 0.3 })
+            .heterogeneity(HeterogeneityModel::Uniform { h: 10.0 })
+            .fleet(dynamics)
+            .rounds(8)
+            .local_epochs(2)
+            .seed(7)
+            .build();
+
+        let mut env = cfg.build_env();
+        let mut hisyn = FedHiSyn::new(&cfg, 4);
+        let r_hisyn = run_experiment(&mut hisyn, &mut env, cfg.rounds);
+
+        let mut env = cfg.build_env();
+        let mut avg = FedAvg::new(&cfg);
+        let r_avg = run_experiment(&mut avg, &mut env, cfg.rounds);
+
+        println!(
+            "{:>5.0}% {:>11.1}% {:>9.1}% {:>16.0}",
+            rate * 100.0,
+            r_hisyn.final_accuracy() * 100.0,
+            r_avg.final_accuracy() * 100.0,
+            r_hisyn.total_uploads(),
+        );
+    }
+    println!(
+        "\nChurn shrinks every cohort (fewer uploads), but the ring's failure\n\
+         repair keeps in-flight work alive: FedHiSyn degrades gracefully\n\
+         where straggler-bound protocols lose whole rounds."
+    );
+}

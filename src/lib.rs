@@ -18,6 +18,7 @@
 //! | [`nn`] | `fedhisyn-nn` | layers, losses, SGD, flat parameter vectors |
 //! | [`data`] | `fedhisyn-data` | synthetic datasets, Dirichlet/IID/shard partitioning |
 //! | [`cluster`] | `fedhisyn-cluster` | k-means device tiering |
+//! | [`fleet`] | `fedhisyn-fleet` | deterministic fleet dynamics: capacity drift, churn, mid-ring failures |
 //! | [`simnet`] | `fedhisyn-simnet` | virtual clock, event queue, latency/link models, traffic meter |
 //! | [`tensor`] | `fedhisyn-tensor` | dense f32 tensors and GEMM kernels |
 //!
@@ -44,6 +45,7 @@ pub use fedhisyn_baselines as baselines;
 pub use fedhisyn_cluster as cluster;
 pub use fedhisyn_core as core;
 pub use fedhisyn_data as data;
+pub use fedhisyn_fleet as fleet;
 pub use fedhisyn_nn as nn;
 pub use fedhisyn_simnet as simnet;
 pub use fedhisyn_tensor as tensor;
@@ -57,6 +59,9 @@ pub mod prelude {
         RoundContext, RoundRecord, RunRecord,
     };
     pub use fedhisyn_data::{Dataset, DatasetProfile, Partition, Scale};
+    pub use fedhisyn_fleet::{
+        AvailabilityModel, CapacityModel, FailurePolicy, FleetDynamics, MarkovCapacity, SpikeModel,
+    };
     pub use fedhisyn_nn::{ModelSpec, ParamVec};
     pub use fedhisyn_simnet::{HeterogeneityModel, LinkModel};
 }

@@ -80,3 +80,51 @@ fn rayon_parallelism_does_not_break_determinism() {
         assert_eq!(run_algo(&cfg(77), "fedhisyn"), reference);
     }
 }
+
+// ---- fleet-dynamics determinism -----------------------------------------
+
+fn churn_cfg(seed: u64, dynamics: FleetDynamics) -> ExperimentConfig {
+    ExperimentConfig::builder(DatasetProfile::MnistLike)
+        .scale(Scale::Smoke)
+        .devices(10)
+        .partition(Partition::Dirichlet { beta: 0.5 })
+        .heterogeneity(HeterogeneityModel::Uniform { h: 5.0 })
+        .fleet(dynamics)
+        .rounds(3)
+        .local_epochs(1)
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn churned_runs_reproduce_identical_traces() {
+    // Stochastic fleet dynamics derive entirely from the experiment seed:
+    // the same seed + dynamics config must replay the identical run for
+    // every algorithm family, including which devices dropped, crashed,
+    // or throttled.
+    let dynamics = FleetDynamics::edge_fleet(0.25, 0.1);
+    for which in ["fedhisyn", "fedavg", "scaffold", "tafedavg"] {
+        let a = run_algo(&churn_cfg(42, dynamics.clone()), which);
+        let b = run_algo(&churn_cfg(42, dynamics.clone()), which);
+        assert_eq!(a, b, "{which} must be bit-deterministic under churn");
+    }
+}
+
+#[test]
+fn different_seeds_realise_different_fleet_trajectories() {
+    let dynamics = FleetDynamics::edge_fleet(0.25, 0.1);
+    let a = run_algo(&churn_cfg(1, dynamics.clone()), "fedhisyn");
+    let b = run_algo(&churn_cfg(2, dynamics), "fedhisyn");
+    assert_ne!(a, b, "different seeds must realise different fleets");
+}
+
+#[test]
+fn dynamics_compose_deterministically_across_rates() {
+    // Sweeping the churn rate (fig_churn's axis) must be reproducible
+    // point by point.
+    for rate in [0.05, 0.1, 0.2] {
+        let a = run_algo(&churn_cfg(7, FleetDynamics::churn(rate)), "fedhisyn");
+        let b = run_algo(&churn_cfg(7, FleetDynamics::churn(rate)), "fedhisyn");
+        assert_eq!(a, b, "churn rate {rate} must be deterministic");
+    }
+}

@@ -71,3 +71,107 @@ fn scaffold_hooked_training_matches_reference_bit_for_bit() {
     assert_eq!(fast_rec, ref_rec);
     assert_eq!(fast_global, ref_global);
 }
+
+// ---- fleet-dynamics equivalence -----------------------------------------
+//
+// `FleetDynamics::default()` must be the *exact* static fleet: the entire
+// dynamic plumbing (round-indexed latency queries, per-round re-clustering,
+// failure-aware relay, availability filtering) has to reproduce the
+// pre-dynamics implementation bit for bit. Two layers of proof:
+//
+// 1. A default-dynamics run IS the static run (same config struct — the
+//    golden tests above already run it through both exec modes).
+// 2. An *identity* dynamics config — a chain that is dynamically active
+//    (every dynamic code path executes: trace advancement, multiplier
+//    lookups, failure schedules, cohort filtering) but numerically neutral
+//    (multiplier 1.0, no churn, no failures) — must match the default
+//    static run exactly, for every algorithm family.
+
+use fedhisyn::prelude::{
+    AvailabilityModel, CapacityModel, FleetDynamics, MarkovCapacity, SpikeModel,
+};
+
+fn identity_dynamics() -> FleetDynamics {
+    FleetDynamics {
+        capacity: CapacityModel::Markov(MarkovCapacity::identity()),
+        availability: AvailabilityModel::Churn {
+            dropout: 0.0,
+            rejoin: 1.0,
+        },
+        spikes: SpikeModel {
+            prob: 0.0,
+            magnitude: 1.0,
+        },
+        mid_round_failure: 0.0,
+        ..FleetDynamics::default()
+    }
+}
+
+fn run_with_dynamics<A: FlAlgorithm>(
+    make: impl Fn(&ExperimentConfig) -> A,
+    global_of: impl Fn(&A) -> &ParamVec,
+    dynamics: FleetDynamics,
+) -> (RunRecord, ParamVec) {
+    let mut cfg = golden_config();
+    cfg.fleet = dynamics;
+    let mut env = cfg.build_env();
+    let mut algo = make(&cfg);
+    let record = run_experiment(&mut algo, &mut env, cfg.rounds);
+    let global = global_of(&algo).clone();
+    (record, global)
+}
+
+#[test]
+fn identity_fleet_dynamics_match_the_static_path_bit_for_bit() {
+    // FedHiSyn exercises re-clustering + the failure-aware relay; FedAvg
+    // exercises the baselines' effective-latency/survivor seam; SCAFFOLD
+    // additionally routes variate state through the partial-cohort path.
+    let fedhisyn = |cfg: &ExperimentConfig| FedHiSyn::new(cfg, 2);
+    let (s_rec, s_glob) = run_with_dynamics(fedhisyn, FedHiSyn::global, FleetDynamics::default());
+    let (d_rec, d_glob) = run_with_dynamics(fedhisyn, FedHiSyn::global, identity_dynamics());
+    assert_eq!(
+        s_rec, d_rec,
+        "FedHiSyn records diverged under identity dynamics"
+    );
+    assert_eq!(
+        s_glob, d_glob,
+        "FedHiSyn global diverged under identity dynamics"
+    );
+
+    let (s_rec, s_glob) = run_with_dynamics(FedAvg::new, FedAvg::global, FleetDynamics::default());
+    let (d_rec, d_glob) = run_with_dynamics(FedAvg::new, FedAvg::global, identity_dynamics());
+    assert_eq!(
+        s_rec, d_rec,
+        "FedAvg records diverged under identity dynamics"
+    );
+    assert_eq!(s_glob, d_glob);
+
+    let (s_rec, s_glob) =
+        run_with_dynamics(Scaffold::new, Scaffold::global, FleetDynamics::default());
+    let (d_rec, d_glob) = run_with_dynamics(Scaffold::new, Scaffold::global, identity_dynamics());
+    assert_eq!(
+        s_rec, d_rec,
+        "SCAFFOLD records diverged under identity dynamics"
+    );
+    assert_eq!(s_glob, d_glob);
+}
+
+#[test]
+fn churn_runs_are_identical_across_exec_modes() {
+    // The engine-equivalence contract must also hold on a *dynamic*
+    // fleet: churn + failures change which devices train, never how a
+    // given device trains.
+    let run = |mode: ExecMode| {
+        let mut cfg = golden_config();
+        cfg.fleet = FleetDynamics::edge_fleet(0.25, 0.1);
+        let mut env = cfg.build_env();
+        env.exec = mode;
+        let mut algo = FedHiSyn::new(&cfg, 2);
+        let record = run_experiment(&mut algo, &mut env, cfg.rounds);
+        (record, algo.global().clone())
+    };
+    let (fast_rec, fast_global) = run(ExecMode::Cached);
+    let (ref_rec, ref_global) = run(ExecMode::Reference);
+    assert_eq!(fast_rec, ref_rec);
+    assert_eq!(fast_global, ref_global);
+}

@@ -35,17 +35,22 @@ fn trained_global_model_survives_the_wire() {
 
 #[test]
 fn wire_byte_count_matches_traffic_meter_model() {
-    // The simnet byte accounting assumes 4 bytes per parameter; the wire
-    // format adds a constant header. Check they agree to within the
-    // header size.
+    // The meter keeps two ledgers: the idealised payload (4 bytes per
+    // parameter) and the encoded frame size. The real frame must match
+    // both — payload exactly, wire bytes including the constant header.
     let cfg = cfg();
     let n = cfg.model_spec().param_count();
     let params = cfg.initial_params();
     let frame = wire::encode(&params);
     let meter = fedhisyn::simnet::TrafficMeter::new();
-    meter.record_upload(1.0, n);
-    let accounted = meter.snapshot().bytes_moved();
-    assert_eq!(frame.len() as f64 - wire::HEADER_LEN as f64, accounted);
+    meter.record_upload(1.0, n, wire::encoded_len(n));
+    let snap = meter.snapshot();
+    assert_eq!(
+        frame.len() as f64 - wire::HEADER_LEN as f64,
+        snap.bytes_moved()
+    );
+    assert_eq!(frame.len() as f64, snap.wire_bytes);
+    assert_eq!(snap.framing_overhead(), wire::HEADER_LEN as f64);
 }
 
 #[test]

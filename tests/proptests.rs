@@ -2,7 +2,9 @@
 
 use fedhisyn::cluster::{kmeans_1d, quantile_bins};
 use fedhisyn::core::aggregate::{AggregationRule, Contribution};
-use fedhisyn::core::ring_sim::{simulate_ring_interval, ReceivePolicy, RingStart};
+use fedhisyn::core::ring_sim::{
+    simulate_ring_interval, simulate_ring_interval_faulty, FailurePolicy, ReceivePolicy, RingStart,
+};
 use fedhisyn::core::{Ring, RingOrder};
 use fedhisyn::data::{partition_indices, Dataset, Partition};
 use fedhisyn::nn::ParamVec;
@@ -175,6 +177,92 @@ proptest! {
         let mean = ParamVec::mean(vs.iter());
         for (a, b) in mean.as_slice().iter().zip(&v) {
             prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn faulty_ring_outcomes_are_deterministic_and_conservative(
+        n in 2usize..10,
+        seed in 0u64..200,
+        interval_factor in 1.0f64..6.0,
+        fail_mask in 0u32..64,
+    ) {
+        // Arbitrary failure schedules: a masked subset of positions dies
+        // at seed-derived times. The relay must (a) reproduce identical
+        // outcomes on replay, (b) keep exactly the non-failed positions
+        // alive, and (c) hand back one model per position regardless.
+        let members: Vec<usize> = (0..n).collect();
+        let latencies: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 7 + seed as usize) % 5) as f64).collect();
+        let mut rng = rng_from_seed(seed);
+        let ring = Ring::build(&members, &latencies, &LinkModel::zero(), RingOrder::SmallToLarge, &mut rng);
+        let ring_lat: Vec<f64> = ring.order().iter().map(|&d| latencies[d]).collect();
+        let interval = interval_factor * ring_lat.iter().cloned().fold(0.0, f64::max);
+        let failures: Vec<Option<f64>> = (0..n)
+            .map(|p| {
+                if fail_mask & (1 << (p % 32)) != 0 {
+                    Some(interval * ((p as f64 * 0.37 + seed as f64 * 0.11) % 1.0))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let run = || {
+            simulate_ring_interval_faulty(
+                &ring,
+                &ring_lat,
+                &LinkModel::zero(),
+                RingStart::PerPosition(vec![ParamVec::zeros(n); n]),
+                interval,
+                ReceivePolicy::TrainReceived,
+                FailurePolicy::ForwardToSuccessor,
+                &failures,
+                |device, mut m, _salt| {
+                    m.as_mut_slice()[device] += 1.0;
+                    m
+                },
+            )
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(&a.final_models, &b.final_models);
+        prop_assert_eq!(&a.next_models, &b.next_models);
+        prop_assert_eq!(&a.steps, &b.steps);
+        prop_assert_eq!(a.transfers, b.transfers);
+        prop_assert_eq!(&a.alive, &b.alive);
+        for (p, alive) in a.alive.iter().enumerate() {
+            prop_assert_eq!(*alive, failures[p].is_none(), "position {}", p);
+            prop_assert_eq!(a.next_models[p].len(), n, "carry-over model present");
+            if *alive {
+                prop_assert!(a.steps[p] >= 1, "survivors complete at least one step");
+            }
+        }
+    }
+
+    #[test]
+    fn fleet_trajectories_are_pure_functions_of_the_seed(
+        n in 1usize..30,
+        seed in 0u64..300,
+        dropout in 0.0f64..0.6,
+        failure in 0.0f64..0.4,
+        rounds in 1usize..12,
+    ) {
+        use fedhisyn::fleet::{FleetDynamics, FleetModel};
+        use fedhisyn::simnet::DeviceProfile;
+        let profiles: Vec<DeviceProfile> =
+            (0..n).map(|i| DeviceProfile::new(i, 1.0 + i as f64 * 0.25)).collect();
+        let mut dynamics = FleetDynamics::edge_fleet(dropout, failure);
+        dynamics.spikes.prob = 0.1;
+        let a = FleetModel::new(&profiles, dynamics.clone(), seed);
+        let b = FleetModel::new(&profiles, dynamics, seed);
+        // Query in opposite orders: memoization must not affect values.
+        for r in 0..rounds {
+            let fwd = a.round_snapshot(r);
+            let bwd = b.round_snapshot(rounds - 1 - r);
+            prop_assert_eq!(fwd, a.round_snapshot(r));
+            prop_assert_eq!(&bwd, &b.round_snapshot(rounds - 1 - r));
+        }
+        for r in 0..rounds {
+            prop_assert_eq!(a.round_snapshot(r), b.round_snapshot(r), "round {}", r);
         }
     }
 }

@@ -113,16 +113,43 @@ fn only_fedhisyn_uses_peer_links() {
 #[test]
 fn parameters_moved_match_model_equivalents() {
     // Conservation: the meter's parameter count is model-equivalents x
-    // param_count for every protocol.
+    // param_count for every protocol, and the wire ledger charges the
+    // encoded frame size per transfer.
     let cfg = cfg();
     let env = cfg.build_env();
     let n = env.param_count();
-    env.meter.record_upload(3.0, n);
-    env.meter.record_download(2.0, n);
-    env.meter.record_peer(5.0, n);
+    env.charge_upload(3.0);
+    env.charge_download(2.0);
+    env.charge_peer(5.0);
     let snap = env.meter.snapshot();
     assert_eq!(snap.parameters_moved, 10.0 * n as f64);
     assert_eq!(snap.bytes_moved(), 40.0 * n as f64);
+    assert_eq!(
+        snap.wire_bytes,
+        10.0 * fedhisyn::nn::wire::encoded_len(n) as f64
+    );
+    assert!(snap.framing_overhead() > 0.0);
+}
+
+#[test]
+fn every_protocol_accounts_wire_bytes() {
+    // All algorithms route transfers through the wire-charged helpers, so
+    // a run's wire ledger must exceed its idealised payload ledger by
+    // exactly the per-frame header overhead.
+    let cfg = cfg();
+    let mut env = cfg.build_env();
+    let mut a = FedHiSyn::new(&cfg, 2);
+    let _ = run_experiment(&mut a, &mut env, 1);
+    let snap = env.meter.snapshot();
+    let transfers = snap.uploads + snap.downloads + snap.peer_transfers;
+    assert!(snap.wire_bytes > snap.bytes_moved());
+    let expected_overhead = transfers * fedhisyn::nn::wire::HEADER_LEN as f64;
+    assert!(
+        (snap.framing_overhead() - expected_overhead).abs() < 1e-6,
+        "overhead {} != transfers x header {}",
+        snap.framing_overhead(),
+        expected_overhead
+    );
 }
 
 #[test]

@@ -2,8 +2,8 @@
 //!
 //! Implements the subset of the parallel-iterator API this workspace uses
 //! (`par_iter().map(..).collect()/sum()`, `enumerate`, `par_chunks`,
-//! `par_chunks_mut(..).zip(..).for_each(..)`) on top of a small persistent
-//! worker pool.
+//! `par_chunks_mut(..).for_each(..)` — standalone or `.zip(..)`ped) on top
+//! of a small persistent worker pool.
 //!
 //! The pool is deliberately **persistent** (workers live for the whole
 //! process): `fedhisyn-core`'s execution engine keys one cached model per
@@ -234,6 +234,27 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
             left: self,
             right: other,
         }
+    }
+
+    /// Run `f` over each mutable chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        let mut chunks: Vec<Option<&mut [T]>> =
+            self.items.chunks_mut(self.size).map(Some).collect();
+        let n = chunks.len();
+        let slots = ForceSync(chunks.as_mut_ptr());
+        run_chunked(n, &|lo, hi| {
+            let slots = &slots;
+            for i in lo..hi {
+                // Safety: worker chunks are disjoint, so each slot is taken
+                // by exactly one thread, and `chunks` outlives `run_chunked`.
+                if let Some(c) = unsafe { (*slots.0.add(i)).take() } {
+                    f(c);
+                }
+            }
+        });
     }
 }
 
