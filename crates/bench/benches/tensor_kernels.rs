@@ -1,7 +1,7 @@
 //! Microbenchmarks for the GEMM kernels that dominate training time.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use fedhisyn_tensor::{gemm, gemm_nt, gemm_tn, par_gemm, rng_from_seed, Tensor};
+use fedhisyn_tensor::{gemm, gemm_nt, gemm_reference, gemm_tn, par_gemm, rng_from_seed, Tensor};
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
@@ -10,9 +10,15 @@ fn bench_gemm(c: &mut Criterion) {
         let a = Tensor::randn(vec![n, n], 1.0, &mut rng);
         let b = Tensor::randn(vec![n, n], 1.0, &mut rng);
         let mut out = vec![0.0f32; n * n];
-        group.bench_with_input(BenchmarkId::new("serial", n), &n, |bench, _| {
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
             bench.iter(|| {
                 gemm(a.data(), b.data(), &mut out, n, n, n, 1.0, 0.0);
+                black_box(out[0])
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_reference", n), &n, |bench, _| {
+            bench.iter(|| {
+                gemm_reference::gemm(a.data(), b.data(), &mut out, n, n, n, 1.0, 0.0);
                 black_box(out[0])
             })
         });

@@ -2,18 +2,69 @@
 //! smoke-scale MLP workload through the cached zero-copy engine and the
 //! naive rebuild-per-call reference, verifies they agree bit-for-bit,
 //! runs the 1k-device churn stress smoke (FedHiSyn + two baselines on a
-//! dynamic fleet, determinism-checked), and writes `BENCH_engine.json`
-//! so future PRs can track the trajectory.
+//! dynamic fleet, determinism-checked), benchmarks the blocked GEMM
+//! kernel against the naive reference, times the allocation-free arena
+//! training step against the copy-based reference epoch (asserting the
+//! steady-state step performs **zero** heap allocations via a counting
+//! global allocator), and writes `BENCH_engine.json` so future PRs can
+//! track the trajectory against the recorded PR 2 baselines.
 //!
-//! Usage: `cargo run --release --bin bench_engine [--rounds N]`
+//! Usage: `cargo run --release --bin bench_engine [--rounds N] [--gemm-only]`
+//!
+//! `--gemm-only` runs just the GEMM micro-benchmark (the CI smoke).
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::time::Instant;
 
 use fedhisyn_baselines::{FedAvg, TFedAvg};
 use fedhisyn_core::{run_experiment, ExecMode, ExperimentConfig, FedHiSyn, RunRecord};
 use fedhisyn_data::{DatasetProfile, Partition, Scale};
 use fedhisyn_fleet::FleetDynamics;
+use fedhisyn_nn::{sgd_epoch, sgd_epoch_reference, ModelSpec, NoHook, Sgd, SgdConfig};
+use fedhisyn_tensor::{gemm, gemm_reference, rng_from_seed, Tensor};
 use serde::Serialize;
+
+// ---- counting allocator (steady-state zero-alloc proof) ------------------
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// PR 2 baselines recorded in `BENCH_engine.json` history (same workloads)
+/// — the reference points the acceptance criteria compare against.
+const PR2_CACHED_ROUNDS_PER_SEC: f64 = 46.35;
+const PR2_CHURN_FEDHISYN_ROUNDS_PER_SEC: f64 = 26.42;
 
 #[derive(Debug, Serialize)]
 struct ModeResult {
@@ -45,6 +96,30 @@ struct ChurnReport {
 }
 
 #[derive(Debug, Serialize)]
+struct GemmBench {
+    m: usize,
+    k: usize,
+    n: usize,
+    blocked_gflops: f64,
+    naive_gflops: f64,
+    speedup: f64,
+    bit_identical: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct StepBench {
+    model: String,
+    batch_size: usize,
+    arena_steps_per_sec: f64,
+    reference_steps_per_sec: f64,
+    speedup: f64,
+    /// Heap allocations in one steady-state arena training step (the
+    /// acceptance criterion: must be zero).
+    steady_state_allocs: u64,
+    zero_alloc_steady_state: bool,
+}
+
+#[derive(Debug, Serialize)]
 struct EngineReport {
     workload: String,
     devices: usize,
@@ -52,7 +127,136 @@ struct EngineReport {
     results: Vec<ModeResult>,
     speedup: f64,
     bit_identical: bool,
+    /// Speedup of this build's cached path over the recorded PR 2 cached
+    /// baseline (same workload).
+    speedup_vs_pr2: f64,
+    churn_speedup_vs_pr2: f64,
+    gemm: Vec<GemmBench>,
+    step: StepBench,
     churn: ChurnReport,
+}
+
+/// Time `f` repeatedly until ~0.2 s of wall clock, returning seconds per
+/// call (first call excluded as warm-up).
+fn time_per_call(mut f: impl FnMut()) -> f64 {
+    f(); // warm caches, size pools
+    let mut iters = 1u32;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed > 0.2 {
+            return elapsed / iters as f64;
+        }
+        iters = iters.saturating_mul(4);
+    }
+}
+
+/// Blocked kernel vs naive reference at training-relevant shapes.
+fn bench_gemm() -> Vec<GemmBench> {
+    // Forward of the paper MLP's first layer, a square mid-size, and a
+    // conv-lowered shape (filters × CKK × OHOW).
+    let shapes: &[(usize, usize, usize)] = &[(50, 784, 200), (128, 128, 128), (32, 288, 256)];
+    shapes
+        .iter()
+        .map(|&(m, k, n)| {
+            let mut rng = rng_from_seed(99);
+            let a = Tensor::randn(vec![m, k], 1.0, &mut rng);
+            let b = Tensor::randn(vec![k, n], 1.0, &mut rng);
+            let mut c_blocked = vec![0.0f32; m * n];
+            let mut c_naive = vec![0.0f32; m * n];
+            let blocked_secs = time_per_call(|| {
+                gemm(a.data(), b.data(), &mut c_blocked, m, k, n, 1.0, 0.0);
+            });
+            let naive_secs = time_per_call(|| {
+                gemm_reference::gemm(a.data(), b.data(), &mut c_naive, m, k, n, 1.0, 0.0);
+            });
+            let flops = 2.0 * (m * k * n) as f64;
+            GemmBench {
+                m,
+                k,
+                n,
+                blocked_gflops: flops / blocked_secs / 1e9,
+                naive_gflops: flops / naive_secs / 1e9,
+                speedup: naive_secs / blocked_secs,
+                bit_identical: c_blocked == c_naive,
+            }
+        })
+        .collect()
+}
+
+/// Arena epoch vs copy-based reference epoch on the paper-shaped MLP,
+/// plus the zero-allocation steady-state measurement.
+///
+/// Every GEMM in this workload stays under the parallel FLOP threshold
+/// (largest: 16·196·64 ≈ 200k < 2^18) so the step runs inline on the
+/// measuring thread on any host — parallel dispatch would both escape the
+/// thread-local allocation counter and allocate its job boxes.
+fn bench_step() -> StepBench {
+    let spec = ModelSpec::mlp(&[196, 64, 32, 10]);
+    let mut rng = rng_from_seed(7);
+    let n = 128;
+    let batch_size = 16;
+    let x = Tensor::randn(vec![n, 196], 1.0, &mut rng);
+    let y: Vec<usize> = (0..n).map(|i| i % 10).collect();
+    let cfg = SgdConfig::default();
+
+    let mut arena_model = spec.build(&mut rng_from_seed(8));
+    let mut arena_sgd = Sgd::new(cfg);
+    let mut arena_rng = rng_from_seed(9);
+    let arena_secs = time_per_call(|| {
+        sgd_epoch(
+            &mut arena_model,
+            &x,
+            &y,
+            batch_size,
+            &mut arena_sgd,
+            &NoHook,
+            &mut arena_rng,
+        );
+    });
+
+    // Steady-state allocation count: one further epoch (4 steps) on the
+    // warmed model must not touch the heap at all.
+    let before = thread_allocs();
+    sgd_epoch(
+        &mut arena_model,
+        &x,
+        &y,
+        batch_size,
+        &mut arena_sgd,
+        &NoHook,
+        &mut arena_rng,
+    );
+    let steady_state_allocs = thread_allocs() - before;
+
+    let mut ref_model = spec.build(&mut rng_from_seed(8));
+    let mut ref_sgd = Sgd::new(cfg);
+    let mut ref_rng = rng_from_seed(9);
+    let ref_secs = time_per_call(|| {
+        sgd_epoch_reference(
+            &mut ref_model,
+            &x,
+            &y,
+            batch_size,
+            &mut ref_sgd,
+            &NoHook,
+            &mut ref_rng,
+        );
+    });
+
+    let steps_per_epoch = n.div_ceil(batch_size) as f64;
+    StepBench {
+        model: "MLP 196-64-32-10".into(),
+        batch_size,
+        arena_steps_per_sec: steps_per_epoch / arena_secs,
+        reference_steps_per_sec: steps_per_epoch / ref_secs,
+        speedup: ref_secs / arena_secs,
+        steady_state_allocs,
+        zero_alloc_steady_state: steady_state_allocs == 0,
+    }
 }
 
 /// The paper's fleet size (100 devices, K = 10) on smoke-scale MNIST-like
@@ -156,9 +360,31 @@ fn time_mode(cfg: &ExperimentConfig, mode: ExecMode) -> (ModeResult, fedhisyn_nn
     )
 }
 
+fn print_gemm(gemm_results: &[GemmBench]) {
+    println!("== blocked GEMM vs naive reference ==");
+    for g in gemm_results {
+        println!(
+            "  {:>3}x{:<3}x{:<3}  blocked {:>6.2} GFLOP/s  naive {:>6.2} GFLOP/s  \
+             ({:.2}x, bit-identical: {})",
+            g.m, g.k, g.n, g.blocked_gflops, g.naive_gflops, g.speedup, g.bit_identical
+        );
+        assert!(
+            g.bit_identical,
+            "blocked kernel diverged from the naive reference"
+        );
+    }
+}
+
 fn main() {
-    let rounds = std::env::args()
-        .skip_while(|a| a != "--rounds")
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--gemm-only") {
+        // CI smoke: just the kernel benchmark + its exactness assertion.
+        print_gemm(&bench_gemm());
+        return;
+    }
+    let rounds = args
+        .iter()
+        .skip_while(|a| *a != "--rounds")
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(4);
@@ -166,6 +392,8 @@ fn main() {
 
     let (cached, cached_global) = time_mode(&cfg, ExecMode::Cached);
     let (reference, reference_global) = time_mode(&cfg, ExecMode::Reference);
+    let gemm_results = bench_gemm();
+    let step = bench_step();
 
     let churn_cfg = churn_workload();
     let churn = ChurnReport {
@@ -184,13 +412,23 @@ fn main() {
             .collect(),
     };
 
+    let churn_fedhisyn_rps = churn
+        .results
+        .iter()
+        .find(|r| r.algorithm == "FedHiSyn")
+        .map(|r| r.rounds_per_sec)
+        .unwrap_or(0.0);
     let report = EngineReport {
         workload: "smoke MNIST-like MLP, 100 devices, Dirichlet(0.1), K=10".into(),
         devices: cfg.n_devices,
         local_epochs: cfg.local_epochs,
         speedup: cached.rounds_per_sec / reference.rounds_per_sec.max(1e-12),
         bit_identical: cached_global == reference_global,
+        speedup_vs_pr2: cached.rounds_per_sec / PR2_CACHED_ROUNDS_PER_SEC,
+        churn_speedup_vs_pr2: churn_fedhisyn_rps / PR2_CHURN_FEDHISYN_ROUNDS_PER_SEC,
         results: vec![cached, reference],
+        gemm: gemm_results,
+        step,
         churn,
     };
 
@@ -206,15 +444,36 @@ fn main() {
         );
     }
     println!(
-        "  speedup {:.2}x, bit-identical: {}",
-        report.speedup, report.bit_identical
+        "  speedup {:.2}x, bit-identical: {}, vs PR2 baseline {:.2}x",
+        report.speedup, report.bit_identical, report.speedup_vs_pr2
     );
     assert!(
         report.bit_identical,
         "engine and reference paths diverged — determinism contract broken"
     );
 
-    println!("\n== churn stress: {} ==", report.churn.workload);
+    print_gemm(&report.gemm);
+
+    println!("== arena training step ==");
+    println!(
+        "  arena {:>7.0} steps/s  reference {:>7.0} steps/s  ({:.2}x)  \
+         steady-state allocs: {} (zero-alloc: {})",
+        report.step.arena_steps_per_sec,
+        report.step.reference_steps_per_sec,
+        report.step.speedup,
+        report.step.steady_state_allocs,
+        report.step.zero_alloc_steady_state
+    );
+    assert!(
+        report.step.zero_alloc_steady_state,
+        "steady-state arena step allocated {} times",
+        report.step.steady_state_allocs
+    );
+
+    println!(
+        "\n== churn stress: {} (FedHiSyn vs PR2 baseline: {:.2}x) ==",
+        report.churn.workload, report.churn_speedup_vs_pr2
+    );
     for r in &report.churn.results {
         println!(
             "  {:<10} {:>6.2} rounds/s  ({} rounds in {:.2}s, final acc {:.1}%, \

@@ -166,6 +166,8 @@ mod tests {
             sgd: SgdConfig::default(),
             seed: 3,
             exec: crate::engine::ExecMode::default(),
+            momentum: crate::env::MomentumBank::disabled(),
+            wire_check: false,
         }
     }
 

@@ -8,7 +8,7 @@ use fedhisyn_tensor::rng_from_seed;
 use serde::{Deserialize, Serialize};
 
 use crate::aggregate::AggregationRule;
-use crate::env::{seed_mix, FlEnv};
+use crate::env::{seed_mix, FlEnv, MomentumBank};
 
 /// A fully-specified federated experiment.
 ///
@@ -43,6 +43,16 @@ pub struct ExperimentConfig {
     pub batch_size: usize,
     /// SGD learning rate.
     pub lr: f32,
+    /// SGD momentum coefficient (the paper uses 0 — plain SGD).
+    pub momentum: f32,
+    /// Keep per-device momentum velocity across ring hops and rounds
+    /// (extension experiment; the paper-faithful default recreates
+    /// optimizer state on every local-training call).
+    pub persist_momentum: bool,
+    /// Round-trip every ring-relay transfer through the wire codec and
+    /// assert bit-identity — a serialization-drift tripwire for CI runs
+    /// (off by default: it taxes each hop with an encode/decode).
+    pub wire_check: bool,
     /// Server aggregation rule for FedHiSyn.
     pub aggregation: AggregationRule,
     /// Master seed (data, partition, participation, training order).
@@ -68,6 +78,9 @@ impl ExperimentConfig {
                 local_epochs: 5,
                 batch_size: 50,
                 lr: 0.1,
+                momentum: 0.0,
+                persist_momentum: false,
+                wire_check: false,
                 aggregation: AggregationRule::Uniform,
                 seed: 0,
                 model_override: None,
@@ -136,11 +149,17 @@ impl ExperimentConfig {
             batch_size: self.batch_size,
             sgd: SgdConfig {
                 lr: self.lr,
-                momentum: 0.0,
+                momentum: self.momentum,
                 weight_decay: 0.0,
             },
             seed: self.seed,
             exec: crate::engine::ExecMode::default(),
+            momentum: if self.persist_momentum {
+                MomentumBank::new(self.n_devices)
+            } else {
+                MomentumBank::disabled()
+            },
+            wire_check: self.wire_check,
         }
     }
 }
@@ -221,6 +240,26 @@ impl ExperimentConfigBuilder {
     pub fn lr(mut self, lr: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         self.cfg.lr = lr;
+        self
+    }
+
+    /// Set the SGD momentum coefficient.
+    pub fn momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum in [0, 1)");
+        self.cfg.momentum = momentum;
+        self
+    }
+
+    /// Persist per-device momentum velocity across ring hops and rounds.
+    pub fn persist_momentum(mut self, persist: bool) -> Self {
+        self.cfg.persist_momentum = persist;
+        self
+    }
+
+    /// Round-trip every ring-relay transfer through the wire codec
+    /// (serialization-drift tripwire).
+    pub fn wire_check(mut self, check: bool) -> Self {
+        self.cfg.wire_check = check;
         self
     }
 

@@ -344,7 +344,11 @@ impl DecentralSim {
                 failure_policy,
                 &job.failures,
                 |device, params, salt| {
-                    local_train_plain_owned(env, device, params, env.local_epochs, round, salt)
+                    let trained =
+                        local_train_plain_owned(env, device, params, env.local_epochs, round, salt);
+                    // Serialization-drift tripwire (no-op unless enabled).
+                    env.wire_round_trip_check(&trained);
+                    trained
                 },
             );
             // Carry the buffer state (pending arrivals) into the next

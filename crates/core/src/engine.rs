@@ -76,6 +76,11 @@ fn with_validated_cache<T>(f: impl FnOnce(&mut Vec<(ModelSpec, Sequential)>) -> 
     })
 }
 
+/// Cache hits across all workers (diagnostics; relaxed counters).
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+/// Cache misses (model builds) across all workers.
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
 /// Facade over the per-worker model cache.
 pub struct ExecutionEngine;
 
@@ -85,32 +90,52 @@ impl ExecutionEngine {
     ///
     /// The cached model's weights are whatever the previous caller left
     /// behind — callers must `set_params` before training (every engine
-    /// call site does).
+    /// call site does). The model's per-step scratch arena rides along,
+    /// which is what makes the steady-state training step allocation-free:
+    /// with the vendored pool's deterministic chunk→worker affinity, the
+    /// same worker keeps servicing the same specs, so both the built
+    /// layers and the sized arena are reused round after round.
     ///
     /// The model is **checked out** of the cache while `f` runs (the
     /// `RefCell` borrow is never held across `f`), so re-entrant use on
     /// the same thread is safe: the worker pool's work-helping can start
     /// another training job on this thread while one is mid-epoch, and
     /// the inner call simply checks out (or builds) a second model for
-    /// the same spec. Both are returned to the cache afterwards.
+    /// the same spec. Both are returned to the cache afterwards. A hit
+    /// hands the owned `(spec, model)` entry out and back, so the hot
+    /// path clones nothing — not even the spec.
     pub fn with_model<T>(spec: &ModelSpec, f: impl FnOnce(&mut Sequential) -> T) -> T {
-        let mut model = with_validated_cache(|cache| {
+        let (spec_owned, mut model) = with_validated_cache(|cache| {
             match cache.iter().position(|(cached, _)| cached == spec) {
-                Some(idx) => cache.swap_remove(idx).1,
+                Some(idx) => {
+                    CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+                    cache.swap_remove(idx)
+                }
                 None => {
+                    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
                     // The init RNG is irrelevant — weights are overwritten
                     // by set_params before every use — but keep it fixed so
                     // building is deterministic regardless of caller state.
                     let mut rng = rng_from_seed(0x0E0E_0E0E);
-                    spec.build(&mut rng)
+                    (spec.clone(), spec.build(&mut rng))
                 }
             }
         });
         let out = f(&mut model);
         // Return under a fresh validation: if an eviction raced `f`, the
         // stale entries are dropped and only this model is re-cached.
-        with_validated_cache(|cache| cache.push((spec.clone(), model)));
+        with_validated_cache(|cache| cache.push((spec_owned, model)));
         out
+    }
+
+    /// Process-wide `(hits, misses)` of the model cache. A miss builds a
+    /// model; steady-state rounds should be all hits — the scheduler's
+    /// affinity hints make this deterministic rather than best-effort.
+    pub fn cache_stats() -> (u64, u64) {
+        (
+            CACHE_HITS.load(Ordering::Relaxed),
+            CACHE_MISSES.load(Ordering::Relaxed),
+        )
     }
 
     /// Number of models cached on the calling thread (diagnostics/tests),
@@ -209,6 +234,22 @@ mod tests {
         assert_eq!(outer_n, inner_n);
         // Both checked-out models were returned to the cache.
         assert_eq!(ExecutionEngine::cached_models(), 2);
+        ExecutionEngine::clear_thread_cache();
+    }
+
+    #[test]
+    fn cache_stats_count_hits_and_misses() {
+        let _guard = CACHE_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        ExecutionEngine::clear_thread_cache();
+        // A spec no other test uses, so the first call must miss.
+        let spec = ModelSpec::mlp(&[9, 5, 2]);
+        let (_, m0) = ExecutionEngine::cache_stats();
+        ExecutionEngine::with_model(&spec, |_| {});
+        let (h1, m1) = ExecutionEngine::cache_stats();
+        assert!(m1 > m0, "first checkout builds");
+        ExecutionEngine::with_model(&spec, |_| {});
+        let (h2, _) = ExecutionEngine::cache_stats();
+        assert!(h2 > h1, "second checkout hits");
         ExecutionEngine::clear_thread_cache();
     }
 

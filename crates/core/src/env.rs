@@ -1,11 +1,65 @@
 //! The simulated federated environment shared by all algorithms.
 
+use std::sync::Mutex;
+
 use fedhisyn_data::Dataset;
 use fedhisyn_fleet::FleetModel;
-use fedhisyn_nn::{wire, ModelSpec, SgdConfig};
+use fedhisyn_nn::{wire, ModelSpec, ParamVec, SgdConfig};
 use fedhisyn_simnet::{DeviceProfile, LinkModel, TrafficMeter};
 
 use crate::engine::ExecMode;
+
+/// Per-device SGD momentum state persisted across ring hops and rounds —
+/// the opt-in extension experiment the paper-faithful default disables
+/// (where every `local_train` call starts from zero velocity).
+///
+/// Devices train concurrently but each device trains in at most one ring
+/// position at a time, so a per-device mutex is uncontended; `take`/`store`
+/// move the buffer rather than cloning it.
+#[derive(Debug, Default)]
+pub struct MomentumBank {
+    /// One slot per device; an empty vector means the bank is disabled.
+    slots: Vec<Mutex<Option<ParamVec>>>,
+}
+
+impl MomentumBank {
+    /// The paper-faithful disabled bank.
+    pub fn disabled() -> Self {
+        MomentumBank::default()
+    }
+
+    /// An enabled bank with one (initially empty) slot per device.
+    pub fn new(n_devices: usize) -> Self {
+        MomentumBank {
+            slots: (0..n_devices).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    /// Whether velocity persistence is active.
+    pub fn enabled(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// Check out `device`'s velocity (None when disabled or not yet
+    /// created).
+    pub fn take(&self, device: usize) -> Option<ParamVec> {
+        if !self.enabled() {
+            return None;
+        }
+        self.slots[device].lock().unwrap().take()
+    }
+
+    /// Return `device`'s velocity after a training step. No-op when the
+    /// bank is disabled or the optimizer never created state.
+    pub fn store(&self, device: usize, velocity: Option<ParamVec>) {
+        if !self.enabled() {
+            return;
+        }
+        if let Some(v) = velocity {
+            *self.slots[device].lock().unwrap() = Some(v);
+        }
+    }
+}
 
 /// Everything an FL algorithm needs to run one experiment:
 /// the model architecture, each device's private shard, the global test
@@ -46,6 +100,14 @@ pub struct FlEnv {
     /// [`ExecMode::Reference`] rebuilds models per call for equivalence
     /// testing). Both produce bit-identical results.
     pub exec: ExecMode,
+    /// Per-device momentum persistence (disabled by default — the
+    /// paper-faithful setting recreates optimizer state per call).
+    pub momentum: MomentumBank,
+    /// When set, every ring-relay transfer is round-tripped through the
+    /// [`fedhisyn_nn::wire`] frame codec and asserted bit-identical —
+    /// the CI serialization-drift tripwire (off by default: it taxes each
+    /// hop with an encode/decode).
+    pub wire_check: bool,
 }
 
 impl FlEnv {
@@ -129,6 +191,34 @@ impl FlEnv {
         self.meter
             .record_peer(model_equivalents, self.param_count(), self.frame_bytes());
     }
+
+    /// When [`FlEnv::wire_check`] is set, encode `params` into a wire
+    /// frame, decode it back and assert bit-identity — catching any drift
+    /// between in-memory models and the transfer format the byte
+    /// accounting charges for. A no-op (zero cost) when the flag is off.
+    ///
+    /// # Panics
+    /// Panics on any round-trip divergence (the point: CI trips on drift).
+    pub fn wire_round_trip_check(&self, params: &ParamVec) {
+        if !self.wire_check {
+            return;
+        }
+        let frame = wire::encode(params);
+        assert_eq!(
+            frame.len(),
+            self.frame_bytes(),
+            "wire frame size disagrees with the byte accounting"
+        );
+        let decoded = wire::decode(&frame).expect("relay frame must decode");
+        assert!(
+            decoded
+                .as_slice()
+                .iter()
+                .zip(params.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "wire round-trip drift: decoded parameters differ from the originals"
+        );
+    }
 }
 
 /// Derive an independent RNG seed from the experiment seed and a role.
@@ -181,6 +271,8 @@ mod tests {
             sgd: SgdConfig::default(),
             seed: 42,
             exec: ExecMode::default(),
+            momentum: MomentumBank::disabled(),
+            wire_check: false,
         }
     }
 
@@ -230,6 +322,31 @@ mod tests {
         assert_eq!(s.wire_bytes, 6.0 * env.frame_bytes() as f64);
         assert_eq!(env.frame_bytes(), wire::encoded_len(env.param_count()));
         assert!(s.framing_overhead() > 0.0, "headers must cost bytes");
+    }
+
+    #[test]
+    fn wire_round_trip_check_is_gated_and_exact() {
+        let mut env = tiny_env();
+        let params = ParamVec::from_vec(vec![1.5; env.param_count()]);
+        env.wire_round_trip_check(&params); // off: no-op
+        env.wire_check = true;
+        env.wire_round_trip_check(&params); // on: must pass for exact data
+    }
+
+    #[test]
+    fn momentum_bank_moves_state_per_device() {
+        let bank = MomentumBank::new(2);
+        assert!(bank.enabled());
+        assert_eq!(bank.take(0), None);
+        bank.store(0, Some(ParamVec::from_vec(vec![1.0, 2.0])));
+        bank.store(1, None); // optimizer never created state: no-op
+        assert_eq!(bank.take(0).unwrap().as_slice(), &[1.0, 2.0]);
+        assert_eq!(bank.take(0), None, "take moves the buffer out");
+        assert_eq!(bank.take(1), None);
+        let off = MomentumBank::disabled();
+        assert!(!off.enabled());
+        assert_eq!(off.take(0), None, "disabled bank ignores any device id");
+        off.store(7, Some(ParamVec::zeros(3))); // and swallows stores
     }
 
     #[test]

@@ -184,7 +184,18 @@ impl FlAlgorithm for FedHiSyn {
                     failure_policy,
                     failures,
                     |device, params, salt| {
-                        local_train_plain_owned(env, device, params, env.local_epochs, round, salt)
+                        let trained = local_train_plain_owned(
+                            env,
+                            device,
+                            params,
+                            env.local_epochs,
+                            round,
+                            salt,
+                        );
+                        // Serialization-drift tripwire: what this hop puts
+                        // on the wire must survive the frame codec exactly.
+                        env.wire_round_trip_check(&trained);
+                        trained
                     },
                 );
                 (outcome, ring, *mean_time)

@@ -54,7 +54,7 @@ pub use aggregate::AggregationRule;
 pub use algorithm::{run_experiment, FlAlgorithm, RoundContext};
 pub use config::{ExperimentConfig, ExperimentConfigBuilder};
 pub use engine::{ExecMode, ExecutionEngine};
-pub use env::{seed_mix, FlEnv};
+pub use env::{seed_mix, FlEnv, MomentumBank};
 pub use fedhisyn::FedHiSyn;
 pub use metrics::{RoundRecord, RunRecord};
 pub use ring_sim::FailurePolicy;

@@ -33,28 +33,29 @@ pub fn local_train_owned(
     if data.is_empty() {
         return params;
     }
-    match env.exec {
-        ExecMode::Cached => ExecutionEngine::with_model(&env.spec, move |model| {
-            model.set_params(&params);
-            let mut sgd = Sgd::new(env.sgd);
-            let mut rng = rng_from_seed(seed_mix(env.seed, round as u64, device as u64, salt));
-            for _ in 0..epochs {
-                sgd_epoch(
-                    model,
-                    &data.x,
-                    &data.y,
-                    env.batch_size,
-                    &mut sgd,
-                    hook,
-                    &mut rng,
-                );
-            }
-            model.copy_params_into(&mut params);
-            params
-        }),
+    // Persistent-momentum extension: check the device's velocity out of
+    // the bank, run the step with it installed, and return it afterwards.
+    // With the bank disabled (the paper-faithful default) this is a no-op
+    // and every call starts from zero velocity, exactly as before.
+    let mut sgd = Sgd::new(env.sgd);
+    if let Some(velocity) = env.momentum.take(device) {
+        sgd.set_velocity(velocity);
+    }
+    let out = match env.exec {
+        ExecMode::Cached => {
+            let sgd = &mut sgd;
+            ExecutionEngine::with_model(&env.spec, move |model| {
+                model.set_params(&params);
+                let mut rng = rng_from_seed(seed_mix(env.seed, round as u64, device as u64, salt));
+                for _ in 0..epochs {
+                    sgd_epoch(model, &data.x, &data.y, env.batch_size, sgd, hook, &mut rng);
+                }
+                model.copy_params_into(&mut params);
+                params
+            })
+        }
         ExecMode::Reference => {
             let mut model = build_model(env, device, &params);
-            let mut sgd = Sgd::new(env.sgd);
             let mut rng = rng_from_seed(seed_mix(env.seed, round as u64, device as u64, salt));
             for _ in 0..epochs {
                 sgd_epoch_reference(
@@ -69,7 +70,9 @@ pub fn local_train_owned(
             }
             model.params()
         }
-    }
+    };
+    env.momentum.store(device, sgd.take_velocity());
+    out
 }
 
 /// [`local_train_owned`] keeping the caller's input (clones once).
@@ -172,6 +175,8 @@ mod tests {
             sgd: SgdConfig::default(),
             seed: 77,
             exec: ExecMode::default(),
+            momentum: crate::env::MomentumBank::disabled(),
+            wire_check: false,
         }
     }
 

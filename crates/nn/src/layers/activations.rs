@@ -4,9 +4,86 @@
 //! own [`crate::Sequential`] stacks (e.g. the `custom_algorithm` example)
 //! get the classic saturating nonlinearities too.
 
-use fedhisyn_tensor::Tensor;
+use fedhisyn_tensor::{Scratch, Tensor};
 
+use crate::arena::ArenaBuf;
 use crate::layers::Layer;
+
+/// Generates the boilerplate shared by the saturating activations: both
+/// execution paths evaluate the same elementwise closure and cache the
+/// outputs in a persistent grow-only field for the derivative.
+macro_rules! saturating_activation {
+    ($name:ident, $label:literal, $fwd:expr, $deriv:expr) => {
+        impl $name {
+            /// New layer.
+            pub fn new() -> Self {
+                Self::default()
+            }
+
+            fn forward_core(&mut self, x: &[f32], out: &mut [f32]) {
+                let f = $fwd;
+                for (o, &v) in out.iter_mut().zip(x) {
+                    *o = f(v);
+                }
+                self.output.clear();
+                self.output.extend_from_slice(out);
+            }
+
+            fn backward_core(&self, grad_out: &[f32], grad_in: &mut [f32]) {
+                let d = $deriv;
+                for ((gi, &g), &y) in grad_in.iter_mut().zip(grad_out).zip(&self.output) {
+                    *gi = g * d(y);
+                }
+            }
+        }
+
+        impl Layer for $name {
+            fn forward(&mut self, input: &Tensor) -> Tensor {
+                let mut out = Tensor::zeros(input.shape().to_vec());
+                self.forward_core(input.data(), out.data_mut());
+                out
+            }
+
+            fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+                assert_eq!(
+                    grad_out.len(),
+                    self.output.len(),
+                    concat!($label, "::backward before forward")
+                );
+                let mut grad_in = Tensor::zeros(grad_out.shape().to_vec());
+                self.backward_core(grad_out.data(), grad_in.data_mut());
+                grad_in
+            }
+
+            fn forward_arena(&mut self, input: ArenaBuf, scratch: &mut Scratch) -> ArenaBuf {
+                let out = scratch.alloc(input.len());
+                let (x, o) = scratch.ro_rw(input.slot(), out);
+                self.forward_core(x, o);
+                ArenaBuf::new(out, input.dims())
+            }
+
+            fn backward_arena(&mut self, grad_out: ArenaBuf, scratch: &mut Scratch) -> ArenaBuf {
+                assert_eq!(
+                    grad_out.len(),
+                    self.output.len(),
+                    concat!($label, "::backward before forward")
+                );
+                let gin = scratch.alloc(grad_out.len());
+                let (g, gi) = scratch.ro_rw(grad_out.slot(), gin);
+                self.backward_core(g, gi);
+                ArenaBuf::new(gin, grad_out.dims())
+            }
+
+            fn clone_box(&self) -> Box<dyn Layer> {
+                Box::new(self.clone())
+            }
+
+            fn name(&self) -> &'static str {
+                $label
+            }
+        }
+    };
+}
 
 /// Elementwise logistic sigmoid `σ(x) = 1 / (1 + e^{−x})`.
 ///
@@ -16,42 +93,12 @@ pub struct Sigmoid {
     output: Vec<f32>,
 }
 
-impl Sigmoid {
-    /// New sigmoid layer.
-    pub fn new() -> Self {
-        Sigmoid::default()
-    }
-}
-
-impl Layer for Sigmoid {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        let out = input.map(|x| 1.0 / (1.0 + (-x).exp()));
-        self.output.clear();
-        self.output.extend_from_slice(out.data());
-        out
-    }
-
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert_eq!(
-            grad_out.len(),
-            self.output.len(),
-            "Sigmoid::backward before forward"
-        );
-        let mut grad_in = grad_out.clone();
-        for (g, &y) in grad_in.data_mut().iter_mut().zip(&self.output) {
-            *g *= y * (1.0 - y);
-        }
-        grad_in
-    }
-
-    fn clone_box(&self) -> Box<dyn Layer> {
-        Box::new(self.clone())
-    }
-
-    fn name(&self) -> &'static str {
-        "sigmoid"
-    }
-}
+saturating_activation!(
+    Sigmoid,
+    "sigmoid",
+    |x: f32| 1.0 / (1.0 + (-x).exp()),
+    |y: f32| y * (1.0 - y)
+);
 
 /// Elementwise hyperbolic tangent.
 ///
@@ -61,42 +108,7 @@ pub struct Tanh {
     output: Vec<f32>,
 }
 
-impl Tanh {
-    /// New tanh layer.
-    pub fn new() -> Self {
-        Tanh::default()
-    }
-}
-
-impl Layer for Tanh {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        let out = input.map(f32::tanh);
-        self.output.clear();
-        self.output.extend_from_slice(out.data());
-        out
-    }
-
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert_eq!(
-            grad_out.len(),
-            self.output.len(),
-            "Tanh::backward before forward"
-        );
-        let mut grad_in = grad_out.clone();
-        for (g, &y) in grad_in.data_mut().iter_mut().zip(&self.output) {
-            *g *= 1.0 - y * y;
-        }
-        grad_in
-    }
-
-    fn clone_box(&self) -> Box<dyn Layer> {
-        Box::new(self.clone())
-    }
-
-    fn name(&self) -> &'static str {
-        "tanh"
-    }
-}
+saturating_activation!(Tanh, "tanh", f32::tanh, |y: f32| 1.0 - y * y);
 
 #[cfg(test)]
 mod tests {

@@ -1,8 +1,9 @@
 //! 2-D convolution via im2col + GEMM.
 
-use fedhisyn_tensor::{gemm, gemm_nt, gemm_tn, Tensor};
+use fedhisyn_tensor::{par_gemm, par_gemm_nt, par_gemm_tn, Scratch, ScratchSlot, Tensor};
 use rand::Rng;
 
+use crate::arena::ArenaBuf;
 use crate::init::Init;
 use crate::layers::Layer;
 
@@ -12,6 +13,12 @@ use crate::layers::Layer;
 /// `OH = H + 2·pad − k + 1`. The kernel bank is stored as a `[F, C·k·k]`
 /// matrix so the forward pass is a single GEMM against the im2col buffer —
 /// the standard lowering used by CPU conv implementations.
+///
+/// Both execution paths lower through the same flat `[B · C·k·k · OH·OW]`
+/// im2col buffer and identical per-sample GEMM calls: the allocating path
+/// keeps it in a persistent grow-only field, the arena path carves it from
+/// the step's [`Scratch`] — so results are bit-identical and neither path
+/// allocates per batch in steady state.
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     weight: Tensor,
@@ -22,9 +29,16 @@ pub struct Conv2d {
     out_channels: usize,
     kernel: usize,
     pad: usize,
-    /// Cached im2col buffers for the last forward batch (one per sample).
-    cached_cols: Vec<Vec<f32>>,
+    /// Flat im2col workspace for the allocating path (persistent,
+    /// grow-only; one `[C·k·k, OH·OW]` block per sample).
+    cols: Vec<f32>,
+    /// Backward column-gradient workspace for the allocating path (one
+    /// sample at a time, persistent).
+    dcols: Vec<f32>,
+    /// Arena-path im2col location for the current step.
+    cols_slot: Option<ScratchSlot>,
     cached_input_hw: (usize, usize),
+    cached_batch: usize,
 }
 
 impl Conv2d {
@@ -49,8 +63,11 @@ impl Conv2d {
             out_channels,
             kernel,
             pad,
-            cached_cols: Vec::new(),
+            cols: Vec::new(),
+            dcols: Vec::new(),
+            cols_slot: None,
             cached_input_hw: (0, 0),
+            cached_batch: 0,
         }
     }
 
@@ -151,25 +168,35 @@ fn col2im(
     }
 }
 
-impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        let dims = input.shape();
+impl Conv2d {
+    fn check_input(&self, dims: &[usize]) -> (usize, usize, usize, usize) {
         assert_eq!(dims.len(), 4, "Conv2d expects [B, C, H, W], got {dims:?}");
         let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         assert_eq!(c, self.in_channels, "Conv2d channel mismatch");
-        let (oh, ow) = self.out_size(h, w);
-        self.cached_input_hw = (h, w);
+        (b, c, h, w)
+    }
 
-        let ckk = self.ckk();
-        self.cached_cols.resize(b, Vec::new());
-        let mut out = Tensor::zeros(vec![b, self.out_channels, oh, ow]);
+    /// Lower `x:[B,C,H,W]` into the flat `cols` workspace and compute the
+    /// output — the per-sample choreography both paths share.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_core(
+        &self,
+        x: &[f32],
+        cols: &mut [f32],
+        out: &mut [f32],
+        b: usize,
+        h: usize,
+        w: usize,
+    ) {
+        let (c, ckk) = (self.in_channels, self.ckk());
+        let (oh, ow) = self.out_size(h, w);
         let sample_in = c * h * w;
+        let sample_cols = ckk * oh * ow;
         let sample_out = self.out_channels * oh * ow;
         for bi in 0..b {
-            let cols = &mut self.cached_cols[bi];
-            cols.resize(ckk * oh * ow, 0.0);
+            let cols_b = &mut cols[bi * sample_cols..(bi + 1) * sample_cols];
             im2col(
-                &input.data()[bi * sample_in..(bi + 1) * sample_in],
+                &x[bi * sample_in..(bi + 1) * sample_in],
                 c,
                 h,
                 w,
@@ -177,12 +204,12 @@ impl Layer for Conv2d {
                 self.pad,
                 oh,
                 ow,
-                cols,
+                cols_b,
             );
-            let out_b = &mut out.data_mut()[bi * sample_out..(bi + 1) * sample_out];
-            gemm(
+            let out_b = &mut out[bi * sample_out..(bi + 1) * sample_out];
+            par_gemm(
                 self.weight.data(),
-                cols,
+                cols_b,
                 out_b,
                 self.out_channels,
                 ckk,
@@ -200,33 +227,22 @@ impl Layer for Conv2d {
                 }
             }
         }
-        out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    /// Accumulate `dW`/`db` from the cached columns — backward phase 1.
+    fn backward_params_core(&mut self, cols: &[f32], grad_out: &[f32], b: usize) {
         let (h, w) = self.cached_input_hw;
-        assert!(h > 0, "Conv2d::backward before forward");
-        let b = self.cached_cols.len();
-        let (oh, ow) = self.out_size(h, w);
         let ckk = self.ckk();
+        let (oh, ow) = self.out_size(h, w);
+        let sample_cols = ckk * oh * ow;
         let sample_out = self.out_channels * oh * ow;
-        assert_eq!(
-            grad_out.len(),
-            b * sample_out,
-            "Conv2d: bad grad_out length"
-        );
-
-        let c = self.in_channels;
-        let mut grad_in = Tensor::zeros(vec![b, c, h, w]);
-        let sample_in = c * h * w;
-        let mut dcols = vec![0.0f32; ckk * oh * ow];
         for bi in 0..b {
-            let gout_b = &grad_out.data()[bi * sample_out..(bi + 1) * sample_out];
-            let cols = &self.cached_cols[bi];
+            let gout_b = &grad_out[bi * sample_out..(bi + 1) * sample_out];
+            let cols_b = &cols[bi * sample_cols..(bi + 1) * sample_cols];
             // dW += dY_b · colsᵀ   (F×OHOW) · (CKK×OHOW)ᵀ
-            gemm_nt(
+            par_gemm_nt(
                 gout_b,
-                cols,
+                cols_b,
                 self.grad_weight.data_mut(),
                 self.out_channels,
                 oh * ow,
@@ -238,30 +254,140 @@ impl Layer for Conv2d {
             for (f, plane) in gout_b.chunks_exact(oh * ow).enumerate() {
                 self.grad_bias.data_mut()[f] += plane.iter().sum::<f32>();
             }
-            // dcols = Wᵀ · dY_b   (F×CKK)ᵀ · (F×OHOW)
-            gemm_tn(
-                self.weight.data(),
-                gout_b,
+        }
+    }
+
+    /// `dX` for one sample: `dcols = Wᵀ·dY_b`, scattered back by col2im —
+    /// backward phase 2. `grad_in_b` must be zeroed (col2im accumulates).
+    fn backward_input_sample(&self, gout_b: &[f32], dcols: &mut [f32], grad_in_b: &mut [f32]) {
+        let (h, w) = self.cached_input_hw;
+        let ckk = self.ckk();
+        let (oh, ow) = self.out_size(h, w);
+        // dcols = Wᵀ · dY_b   (F×CKK)ᵀ · (F×OHOW)
+        par_gemm_tn(
+            self.weight.data(),
+            gout_b,
+            dcols,
+            ckk,
+            self.out_channels,
+            oh * ow,
+            1.0,
+            0.0,
+        );
+        col2im(
+            dcols,
+            self.in_channels,
+            h,
+            w,
+            self.kernel,
+            self.pad,
+            oh,
+            ow,
+            grad_in_b,
+        );
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (b, _c, h, w) = self.check_input(input.shape());
+        let (oh, ow) = self.out_size(h, w);
+        self.cached_input_hw = (h, w);
+        self.cached_batch = b;
+        self.cols_slot = None;
+
+        let mut cols = std::mem::take(&mut self.cols);
+        cols.resize(b * self.ckk() * oh * ow, 0.0);
+        let mut out = Tensor::zeros(vec![b, self.out_channels, oh, ow]);
+        self.forward_core(input.data(), &mut cols, out.data_mut(), b, h, w);
+        self.cols = cols;
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (h, w) = self.cached_input_hw;
+        assert!(h > 0, "Conv2d::backward before forward");
+        let b = self.cached_batch;
+        let (oh, ow) = self.out_size(h, w);
+        let ckk = self.ckk();
+        let sample_out = self.out_channels * oh * ow;
+        assert_eq!(
+            grad_out.len(),
+            b * sample_out,
+            "Conv2d: bad grad_out length"
+        );
+
+        let cols = std::mem::take(&mut self.cols);
+        self.backward_params_core(&cols, grad_out.data(), b);
+        self.cols = cols;
+
+        let c = self.in_channels;
+        let mut grad_in = Tensor::zeros(vec![b, c, h, w]);
+        let sample_in = c * h * w;
+        let mut dcols = std::mem::take(&mut self.dcols);
+        dcols.resize(ckk * oh * ow, 0.0);
+        for bi in 0..b {
+            self.backward_input_sample(
+                &grad_out.data()[bi * sample_out..(bi + 1) * sample_out],
                 &mut dcols,
-                ckk,
-                self.out_channels,
-                oh * ow,
-                1.0,
-                0.0,
-            );
-            col2im(
-                &dcols,
-                c,
-                h,
-                w,
-                self.kernel,
-                self.pad,
-                oh,
-                ow,
                 &mut grad_in.data_mut()[bi * sample_in..(bi + 1) * sample_in],
             );
         }
+        self.dcols = dcols;
         grad_in
+    }
+
+    fn forward_arena(&mut self, input: ArenaBuf, scratch: &mut Scratch) -> ArenaBuf {
+        let (b, _c, h, w) = self.check_input(input.dims());
+        let (oh, ow) = self.out_size(h, w);
+        self.cached_input_hw = (h, w);
+        self.cached_batch = b;
+
+        let cols = scratch.alloc(b * self.ckk() * oh * ow);
+        let out = scratch.alloc(b * self.out_channels * oh * ow);
+        {
+            let (x, cols_mut, out_mut) = scratch.ro_rw_rw(input.slot(), cols, out);
+            self.forward_core(x, cols_mut, out_mut, b, h, w);
+        }
+        self.cols_slot = Some(cols);
+        ArenaBuf::new(out, &[b, self.out_channels, oh, ow])
+    }
+
+    fn backward_arena(&mut self, grad_out: ArenaBuf, scratch: &mut Scratch) -> ArenaBuf {
+        let (h, w) = self.cached_input_hw;
+        assert!(h > 0, "Conv2d::backward before forward");
+        let b = self.cached_batch;
+        let cols = self
+            .cols_slot
+            .expect("Conv2d::backward_arena called before forward_arena");
+        let (oh, ow) = self.out_size(h, w);
+        let ckk = self.ckk();
+        let c = self.in_channels;
+        let sample_in = c * h * w;
+        let sample_out = self.out_channels * oh * ow;
+        assert_eq!(
+            grad_out.len(),
+            b * sample_out,
+            "Conv2d: bad grad_out length"
+        );
+
+        {
+            let cols_ro = scratch.slice(cols);
+            let gout = scratch.slice(grad_out.slot());
+            self.backward_params_core(cols_ro, gout, b);
+        }
+
+        let dcols = scratch.alloc(ckk * oh * ow);
+        let grad_in = scratch.alloc(b * sample_in); // zero-filled for col2im
+        for bi in 0..b {
+            let (gout_b, dc, gin_b) = scratch.ro_rw_rw(
+                grad_out.slot().sub(bi * sample_out, sample_out),
+                dcols,
+                grad_in.sub(bi * sample_in, sample_in),
+            );
+            self.backward_input_sample(gout_b, dc, gin_b);
+        }
+        ArenaBuf::new(grad_in, &[b, c, h, w])
     }
 
     fn visit_params(&self, f: &mut dyn FnMut(&Tensor)) {

@@ -1,8 +1,9 @@
 //! Fully-connected layer.
 
-use fedhisyn_tensor::{gemm_nt, gemm_tn, par_gemm, Tensor};
+use fedhisyn_tensor::{par_gemm, par_gemm_nt, par_gemm_tn, Scratch, Tensor};
 use rand::Rng;
 
+use crate::arena::ArenaBuf;
 use crate::init::Init;
 use crate::layers::Layer;
 
@@ -11,6 +12,11 @@ use crate::layers::Layer;
 /// * `X`: `[batch, in_features]`
 /// * `W`: `[in_features, out_features]`
 /// * `b`: `[out_features]`
+///
+/// Both execution paths route through the same slice-level kernels
+/// ([`Dense::forward_core`] / the backward phases), so the allocating and
+/// arena paths are bit-identical; the arena path additionally keeps the
+/// backward input as a slot handle instead of cloning the tensor.
 #[derive(Debug, Clone)]
 pub struct Dense {
     weight: Tensor,
@@ -18,6 +24,7 @@ pub struct Dense {
     grad_weight: Tensor,
     grad_bias: Tensor,
     cached_input: Option<Tensor>,
+    cached_arena_input: Option<ArenaBuf>,
     in_features: usize,
     out_features: usize,
 }
@@ -37,6 +44,7 @@ impl Dense {
             grad_weight: Tensor::zeros(vec![in_features, out_features]),
             grad_bias: Tensor::zeros(vec![out_features]),
             cached_input: None,
+            cached_arena_input: None,
             in_features,
             out_features,
         }
@@ -51,23 +59,26 @@ impl Dense {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
-}
 
-impl Layer for Dense {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        let batch = input.len() / self.in_features;
+    fn batch_of(&self, elems: usize) -> usize {
+        let batch = elems / self.in_features;
         assert_eq!(
             batch * self.in_features,
-            input.len(),
+            elems,
             "Dense: input length {} not divisible by in_features {}",
-            input.len(),
+            elems,
             self.in_features
         );
-        let mut out = Tensor::zeros(vec![batch, self.out_features]);
+        batch
+    }
+
+    /// `out = X · W + b` on raw slices — the single forward kernel both
+    /// paths share.
+    fn forward_core(&self, x: &[f32], out: &mut [f32], batch: usize) {
         par_gemm(
-            input.data(),
+            x,
             self.weight.data(),
-            out.data_mut(),
+            out,
             batch,
             self.in_features,
             self.out_features,
@@ -76,31 +87,18 @@ impl Layer for Dense {
         );
         // Broadcast-add the bias to every row.
         let bias = self.bias.data();
-        for row in out.data_mut().chunks_exact_mut(self.out_features) {
+        for row in out.chunks_exact_mut(self.out_features) {
             for (o, &b) in row.iter_mut().zip(bias) {
                 *o += b;
             }
         }
-        self.cached_input = Some(input.clone());
-        out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("Dense::backward called before forward");
-        let batch = input.len() / self.in_features;
-        assert_eq!(
-            grad_out.len(),
-            batch * self.out_features,
-            "Dense: bad grad_out length"
-        );
-
-        // dW += Xᵀ · dY
-        gemm_tn(
-            input.data(),
-            grad_out.data(),
+    /// Accumulate `dW += Xᵀ·dY` and `db += Σ rows(dY)` — backward phase 1.
+    fn backward_params_core(&mut self, x: &[f32], grad_out: &[f32], batch: usize) {
+        par_gemm_tn(
+            x,
+            grad_out,
             self.grad_weight.data_mut(),
             self.in_features,
             batch,
@@ -108,26 +106,88 @@ impl Layer for Dense {
             1.0,
             1.0,
         );
-        // db += column sums of dY
         let gb = self.grad_bias.data_mut();
-        for row in grad_out.data().chunks_exact(self.out_features) {
+        for row in grad_out.chunks_exact(self.out_features) {
             for (g, &d) in gb.iter_mut().zip(row) {
                 *g += d;
             }
         }
-        // dX = dY · Wᵀ
-        let mut grad_in = Tensor::zeros(vec![batch, self.in_features]);
-        gemm_nt(
-            grad_out.data(),
+    }
+
+    /// `dX = dY · Wᵀ` — backward phase 2.
+    fn backward_input_core(&self, grad_out: &[f32], grad_in: &mut [f32], batch: usize) {
+        par_gemm_nt(
+            grad_out,
             self.weight.data(),
-            grad_in.data_mut(),
+            grad_in,
             batch,
             self.out_features,
             self.in_features,
             1.0,
             0.0,
         );
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let batch = self.batch_of(input.len());
+        let mut out = Tensor::zeros(vec![batch, self.out_features]);
+        self.forward_core(input.data(), out.data_mut(), batch);
+        self.cached_input = Some(input.clone());
+        self.cached_arena_input = None;
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("Dense::backward called before forward");
+        let batch = self.batch_of(input.len());
+        assert_eq!(
+            grad_out.len(),
+            batch * self.out_features,
+            "Dense: bad grad_out length"
+        );
+        self.backward_params_core(input.data(), grad_out.data(), batch);
+        let mut grad_in = Tensor::zeros(vec![batch, self.in_features]);
+        self.backward_input_core(grad_out.data(), grad_in.data_mut(), batch);
+        self.cached_input = Some(input);
         grad_in
+    }
+
+    fn forward_arena(&mut self, input: ArenaBuf, scratch: &mut Scratch) -> ArenaBuf {
+        let batch = self.batch_of(input.len());
+        let out = scratch.alloc(batch * self.out_features);
+        let (x, o) = scratch.ro_rw(input.slot(), out);
+        self.forward_core(x, o, batch);
+        // The input lives in the arena until the step's reset — keeping
+        // the handle replaces the allocating path's tensor clone.
+        self.cached_arena_input = Some(input);
+        self.cached_input = None;
+        ArenaBuf::new(out, &[batch, self.out_features])
+    }
+
+    fn backward_arena(&mut self, grad_out: ArenaBuf, scratch: &mut Scratch) -> ArenaBuf {
+        let input = self
+            .cached_arena_input
+            .expect("Dense::backward_arena called before forward_arena");
+        let batch = self.batch_of(input.len());
+        assert_eq!(
+            grad_out.len(),
+            batch * self.out_features,
+            "Dense: bad grad_out length"
+        );
+        {
+            let x = scratch.slice(input.slot());
+            let gout = scratch.slice(grad_out.slot());
+            self.backward_params_core(x, gout, batch);
+        }
+        let gin = scratch.alloc(batch * self.in_features);
+        let (gout, gi) = scratch.ro_rw(grad_out.slot(), gin);
+        self.backward_input_core(gout, gi, batch);
+        ArenaBuf::new(gin, &[batch, self.in_features])
     }
 
     fn visit_params(&self, f: &mut dyn FnMut(&Tensor)) {

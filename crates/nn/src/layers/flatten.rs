@@ -1,13 +1,15 @@
 //! Flatten `[B, C, H, W]` feature maps into `[B, C·H·W]` rows.
 
-use fedhisyn_tensor::Tensor;
+use fedhisyn_tensor::{Scratch, Tensor};
 
+use crate::arena::ArenaBuf;
 use crate::layers::Layer;
 
 /// Reshapes batch-first feature maps into dense-layer rows.
 ///
 /// Data is row-major so no copy is needed beyond the clone; the backward
-/// pass restores the cached input shape.
+/// pass restores the cached input shape. On the arena path the reshape is
+/// a pure handle rewrite — zero bytes move.
 #[derive(Debug, Clone, Default)]
 pub struct Flatten {
     input_dims: Vec<usize>,
@@ -39,6 +41,25 @@ impl Layer for Flatten {
         grad_out
             .reshape(self.input_dims.clone())
             .expect("flatten backward reshape cannot change element count")
+    }
+
+    fn forward_arena(&mut self, input: ArenaBuf, _scratch: &mut Scratch) -> ArenaBuf {
+        assert!(input.rank() >= 2, "Flatten expects a batch dimension");
+        self.input_dims.clear();
+        self.input_dims.extend_from_slice(input.dims());
+        let batch = input.batch();
+        let features = input.len() / batch.max(1);
+        input.reshaped(&[batch, features])
+    }
+
+    fn backward_arena(&mut self, grad_out: ArenaBuf, _scratch: &mut Scratch) -> ArenaBuf {
+        assert!(
+            !self.input_dims.is_empty(),
+            "Flatten::backward before forward"
+        );
+        let mut dims = [1usize; 4];
+        dims[..self.input_dims.len()].copy_from_slice(&self.input_dims);
+        grad_out.reshaped(&dims[..self.input_dims.len()])
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

@@ -20,7 +20,9 @@ pub use flatten::Flatten;
 pub use pool::MaxPool2d;
 pub use relu::Relu;
 
-use fedhisyn_tensor::Tensor;
+use fedhisyn_tensor::{Scratch, Tensor};
+
+use crate::arena::ArenaBuf;
 
 /// An object-safe neural-network layer.
 ///
@@ -28,6 +30,18 @@ use fedhisyn_tensor::Tensor;
 /// **accumulates** into the layer's gradient buffers (callers reset with
 /// [`Layer::zero_grad`] between optimizer steps) and returns the gradient
 /// with respect to the layer input.
+///
+/// # Two execution paths
+///
+/// Layers expose the original allocating path ([`Layer::forward`] /
+/// [`Layer::backward`], one fresh `Tensor` per call) and the arena path
+/// ([`Layer::forward_arena`] / [`Layer::backward_arena`]), where inputs
+/// and outputs live in a per-model [`Scratch`] arena that the training
+/// loop resets once per step. The built-in layers implement the arena
+/// path natively through the same slice-level kernels as the allocating
+/// path, so the two are **bit-identical**; third-party layers get a
+/// default bridge that round-trips through the allocating path (correct,
+/// but it allocates).
 pub trait Layer: Send {
     /// Compute the layer output for a batch-first input.
     fn forward(&mut self, input: &Tensor) -> Tensor;
@@ -37,6 +51,32 @@ pub trait Layer: Send {
     ///
     /// Must be called after a matching [`Layer::forward`].
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Arena-path forward: consume an arena-resident input, produce an
+    /// arena-resident output, allocating only from `scratch`.
+    ///
+    /// The default implementation bridges through [`Layer::forward`].
+    fn forward_arena(&mut self, input: ArenaBuf, scratch: &mut Scratch) -> ArenaBuf {
+        let x = Tensor::from_vec(input.dims().to_vec(), input.read(scratch).to_vec())
+            .expect("arena buffer shape is consistent by construction");
+        let out = self.forward(&x);
+        let slot = scratch.alloc(out.len());
+        scratch.slice_mut(slot).copy_from_slice(out.data());
+        ArenaBuf::new(slot, out.shape())
+    }
+
+    /// Arena-path backward: must follow a matching
+    /// [`Layer::forward_arena`] within the same arena step.
+    ///
+    /// The default implementation bridges through [`Layer::backward`].
+    fn backward_arena(&mut self, grad_out: ArenaBuf, scratch: &mut Scratch) -> ArenaBuf {
+        let g = Tensor::from_vec(grad_out.dims().to_vec(), grad_out.read(scratch).to_vec())
+            .expect("arena buffer shape is consistent by construction");
+        let gin = self.backward(&g);
+        let slot = scratch.alloc(gin.len());
+        scratch.slice_mut(slot).copy_from_slice(gin.data());
+        ArenaBuf::new(slot, gin.shape())
+    }
 
     /// Visit parameters in a fixed, deterministic order.
     fn visit_params(&self, _f: &mut dyn FnMut(&Tensor)) {}

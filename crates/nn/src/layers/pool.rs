@@ -1,7 +1,8 @@
 //! 2-D max pooling.
 
-use fedhisyn_tensor::Tensor;
+use fedhisyn_tensor::{Scratch, Tensor};
 
+use crate::arena::ArenaBuf;
 use crate::layers::Layer;
 
 /// Non-overlapping `k×k` max pooling (stride = kernel).
@@ -26,11 +27,8 @@ impl MaxPool2d {
             input_dims: Vec::new(),
         }
     }
-}
 
-impl Layer for MaxPool2d {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
-        let dims = input.shape();
+    fn check_input(&self, dims: &[usize]) -> (usize, usize, usize, usize) {
         assert_eq!(dims.len(), 4, "MaxPool2d expects [B, C, H, W]");
         let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let k = self.kernel;
@@ -38,14 +36,16 @@ impl Layer for MaxPool2d {
             h % k == 0 && w % k == 0,
             "MaxPool2d: {h}x{w} not divisible by {k}"
         );
+        (b, c, h, w)
+    }
+
+    /// Window maxima + argmax recording — the forward kernel both paths
+    /// share. `argmax` is persistent and grow-only.
+    fn forward_core(&mut self, x: &[f32], o: &mut [f32], b: usize, c: usize, h: usize, w: usize) {
+        let k = self.kernel;
         let (oh, ow) = (h / k, w / k);
-        self.input_dims = dims.to_vec();
         self.argmax.clear();
         self.argmax.reserve(b * c * oh * ow);
-
-        let mut out = Tensor::zeros(vec![b, c, oh, ow]);
-        let x = input.data();
-        let o = out.data_mut();
         let mut oi = 0usize;
         for bc in 0..b * c {
             let plane = bc * h * w;
@@ -69,6 +69,23 @@ impl Layer for MaxPool2d {
                 }
             }
         }
+    }
+
+    /// Scatter gradients to the recorded maxima; `gi` must be zeroed.
+    fn backward_core(&self, grad_out: &[f32], gi: &mut [f32]) {
+        for (&idx, &g) in self.argmax.iter().zip(grad_out) {
+            gi[idx] += g;
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (b, c, h, w) = self.check_input(input.shape());
+        let k = self.kernel;
+        self.input_dims = input.shape().to_vec();
+        let mut out = Tensor::zeros(vec![b, c, h / k, w / k]);
+        self.forward_core(input.data(), out.data_mut(), b, c, h, w);
         out
     }
 
@@ -83,11 +100,43 @@ impl Layer for MaxPool2d {
             "MaxPool2d: bad grad_out length"
         );
         let mut grad_in = Tensor::zeros(self.input_dims.clone());
-        let gi = grad_in.data_mut();
-        for (&idx, &g) in self.argmax.iter().zip(grad_out.data()) {
-            gi[idx] += g;
-        }
+        self.backward_core(grad_out.data(), grad_in.data_mut());
         grad_in
+    }
+
+    fn forward_arena(&mut self, input: ArenaBuf, scratch: &mut Scratch) -> ArenaBuf {
+        let (b, c, h, w) = self.check_input(input.dims());
+        let k = self.kernel;
+        // Record the input shape without reallocating once sized.
+        self.input_dims.clear();
+        self.input_dims.extend_from_slice(input.dims());
+        let out = scratch.alloc(b * c * (h / k) * (w / k));
+        let (x, o) = scratch.ro_rw(input.slot(), out);
+        self.forward_core(x, o, b, c, h, w);
+        ArenaBuf::new(out, &[b, c, h / k, w / k])
+    }
+
+    fn backward_arena(&mut self, grad_out: ArenaBuf, scratch: &mut Scratch) -> ArenaBuf {
+        assert!(
+            !self.input_dims.is_empty(),
+            "MaxPool2d::backward before forward"
+        );
+        assert_eq!(
+            grad_out.len(),
+            self.argmax.len(),
+            "MaxPool2d: bad grad_out length"
+        );
+        let n: usize = self.input_dims.iter().product();
+        let gin = scratch.alloc(n); // zero-filled for the scatter-add
+        let (g, gi) = scratch.ro_rw(grad_out.slot(), gin);
+        self.backward_core(g, gi);
+        let dims = [
+            self.input_dims[0],
+            self.input_dims[1],
+            self.input_dims[2],
+            self.input_dims[3],
+        ];
+        ArenaBuf::new(gin, &dims)
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

@@ -1,10 +1,14 @@
 //! Rectified linear activation.
 
-use fedhisyn_tensor::Tensor;
+use fedhisyn_tensor::{Scratch, Tensor};
 
+use crate::arena::ArenaBuf;
 use crate::layers::Layer;
 
 /// Elementwise `max(0, x)` with a cached activation mask for backprop.
+///
+/// The mask is a persistent grow-only field, so neither execution path
+/// allocates for it after the first batch.
 #[derive(Debug, Clone, Default)]
 pub struct Relu {
     /// True where the forward input was positive.
@@ -16,13 +20,27 @@ impl Relu {
     pub fn new() -> Self {
         Relu::default()
     }
+
+    fn forward_core(&mut self, x: &[f32], out: &mut [f32]) {
+        self.mask.clear();
+        self.mask.extend(x.iter().map(|&v| v > 0.0));
+        for (o, &v) in out.iter_mut().zip(x) {
+            *o = v.max(0.0);
+        }
+    }
+
+    fn backward_core(&self, grad_out: &[f32], grad_in: &mut [f32]) {
+        for ((gi, &g), &m) in grad_in.iter_mut().zip(grad_out).zip(&self.mask) {
+            *gi = if m { g } else { 0.0 };
+        }
+    }
 }
 
 impl Layer for Relu {
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        self.mask.clear();
-        self.mask.extend(input.data().iter().map(|&x| x > 0.0));
-        input.map(|x| x.max(0.0))
+        let mut out = Tensor::zeros(input.shape().to_vec());
+        self.forward_core(input.data(), out.data_mut());
+        out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -31,13 +49,28 @@ impl Layer for Relu {
             self.mask.len(),
             "Relu::backward before forward"
         );
-        let mut grad_in = grad_out.clone();
-        for (g, &m) in grad_in.data_mut().iter_mut().zip(&self.mask) {
-            if !m {
-                *g = 0.0;
-            }
-        }
+        let mut grad_in = Tensor::zeros(grad_out.shape().to_vec());
+        self.backward_core(grad_out.data(), grad_in.data_mut());
         grad_in
+    }
+
+    fn forward_arena(&mut self, input: ArenaBuf, scratch: &mut Scratch) -> ArenaBuf {
+        let out = scratch.alloc(input.len());
+        let (x, o) = scratch.ro_rw(input.slot(), out);
+        self.forward_core(x, o);
+        ArenaBuf::new(out, input.dims())
+    }
+
+    fn backward_arena(&mut self, grad_out: ArenaBuf, scratch: &mut Scratch) -> ArenaBuf {
+        assert_eq!(
+            grad_out.len(),
+            self.mask.len(),
+            "Relu::backward before forward"
+        );
+        let gin = scratch.alloc(grad_out.len());
+        let (g, gi) = scratch.ro_rw(grad_out.slot(), gin);
+        self.backward_core(g, gi);
+        ArenaBuf::new(gin, grad_out.dims())
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {

@@ -32,6 +32,7 @@
 //! ```
 
 pub mod arch;
+pub mod arena;
 pub mod init;
 pub mod layers;
 pub mod loss;
@@ -41,8 +42,9 @@ pub mod train;
 pub mod wire;
 
 pub use arch::ModelSpec;
+pub use arena::ArenaBuf;
 pub use layers::Layer;
-pub use loss::softmax_cross_entropy;
+pub use loss::{softmax_cross_entropy, softmax_cross_entropy_arena};
 pub use model::Sequential;
 pub use params::ParamVec;
 pub use train::{

@@ -1,6 +1,41 @@
 //! Softmax cross-entropy loss.
 
-use fedhisyn_tensor::Tensor;
+use fedhisyn_tensor::{Scratch, Tensor};
+
+use crate::arena::ArenaBuf;
+
+/// The slice-level loss kernel both entry points share: fills `grad` with
+/// the mean-loss logit gradient and returns the mean loss.
+fn softmax_cross_entropy_core(logits: &[f32], grad: &mut [f32], c: usize, labels: &[usize]) -> f32 {
+    let b = labels.len();
+    let mut total_loss = 0.0f64;
+    let inv_b = 1.0 / b as f32;
+
+    for (bi, (&label, row)) in labels.iter().zip(logits.chunks_exact(c)).enumerate() {
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        let grow = &mut grad[bi * c..(bi + 1) * c];
+        for (g, &z) in grow.iter_mut().zip(row) {
+            let e = (z - max).exp();
+            *g = e;
+            sum += e;
+        }
+        let inv_sum = 1.0 / sum;
+        for g in grow.iter_mut() {
+            *g *= inv_sum; // now softmax probabilities
+        }
+        // loss_b = −log p[label]; clamp avoids -inf when p underflows.
+        let p = grow[label].max(1e-12);
+        total_loss += -(p.ln()) as f64;
+        // grad = (p − onehot) / B
+        grow[label] -= 1.0;
+        for g in grow.iter_mut() {
+            *g *= inv_b;
+        }
+    }
+    (total_loss / b as f64) as f32
+}
 
 /// Mean softmax cross-entropy over a batch, plus the logit gradient.
 ///
@@ -20,33 +55,27 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     assert_eq!(labels.len(), b, "one label per batch row");
 
     let mut grad = Tensor::zeros(vec![b, c]);
-    let mut total_loss = 0.0f64;
-    let inv_b = 1.0 / b as f32;
+    let loss = softmax_cross_entropy_core(logits.data(), grad.data_mut(), c, labels);
+    (loss, grad)
+}
 
-    for (bi, (&label, row)) in labels.iter().zip(logits.data().chunks_exact(c)).enumerate() {
-        assert!(label < c, "label {label} out of range for {c} classes");
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0f32;
-        let grow = &mut grad.data_mut()[bi * c..(bi + 1) * c];
-        for (g, &z) in grow.iter_mut().zip(row) {
-            let e = (z - max).exp();
-            *g = e;
-            sum += e;
-        }
-        let inv_sum = 1.0 / sum;
-        for g in grow.iter_mut() {
-            *g *= inv_sum; // now softmax probabilities
-        }
-        // loss_b = −log p[label]; clamp avoids -inf when p underflows.
-        let p = grow[label].max(1e-12);
-        total_loss += -(p.ln()) as f64;
-        // grad = (p − onehot) / B
-        grow[label] -= 1.0;
-        for g in grow.iter_mut() {
-            *g *= inv_b;
-        }
-    }
-    ((total_loss / b as f64) as f32, grad)
+/// Arena-path [`softmax_cross_entropy`]: the logit gradient is carved from
+/// `scratch` instead of allocating a tensor. Bit-identical to the
+/// allocating entry point (same kernel).
+pub fn softmax_cross_entropy_arena(
+    scratch: &mut Scratch,
+    logits: ArenaBuf,
+    labels: &[usize],
+) -> (f32, ArenaBuf) {
+    let dims = logits.dims();
+    assert_eq!(dims.len(), 2, "logits must be [batch, classes]");
+    let (b, c) = (dims[0], dims[1]);
+    assert_eq!(labels.len(), b, "one label per batch row");
+
+    let grad = scratch.alloc(b * c);
+    let (z, g) = scratch.ro_rw(logits.slot(), grad);
+    let loss = softmax_cross_entropy_core(z, g, c, labels);
+    (loss, ArenaBuf::new(grad, &[b, c]))
 }
 
 /// Softmax probabilities for a batch of logits (used by evaluation code).

@@ -1,7 +1,8 @@
 //! Sequential model container.
 
-use fedhisyn_tensor::Tensor;
+use fedhisyn_tensor::{Scratch, Tensor};
 
+use crate::arena::ArenaBuf;
 use crate::layers::Layer;
 use crate::params::ParamVec;
 
@@ -15,9 +16,23 @@ pub type ParamGradVisitor<'a> = dyn FnMut(usize, &mut [f32], &mut [f32]) + 'a;
 /// model *state* moves between devices as flat [`ParamVec`]s via
 /// [`Sequential::params`] / [`Sequential::set_params`], which is exactly the
 /// weight-transfer the paper's ring topology performs.
+///
+/// # The per-model scratch arena
+///
+/// Every `Sequential` owns a [`Scratch`] arena holding the transient
+/// buffers of one training step: the staged batch, each layer's
+/// activations, the loss gradient and each layer's backward gradients.
+/// The arena training path ([`Sequential::forward_arena`] /
+/// [`Sequential::backward_arena`], driven by `sgd_epoch`) resets it once
+/// per step ([`Sequential::begin_step`]) and re-carves the same ranges, so
+/// the arena is sized by the first (largest) batch and reused for the life
+/// of the model — which, for cached execution-engine models, is the life
+/// of the worker thread. Cloning a model clones layers but starts with an
+/// empty arena.
 #[derive(Clone, Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    scratch: Scratch,
 }
 
 impl std::fmt::Debug for Sequential {
@@ -33,7 +48,7 @@ impl std::fmt::Debug for Sequential {
 impl Sequential {
     /// Empty model.
     pub fn new() -> Self {
-        Sequential { layers: Vec::new() }
+        Sequential::default()
     }
 
     /// Append a layer (builder style).
@@ -68,6 +83,63 @@ impl Sequential {
             g = layer.backward(&g);
         }
         g
+    }
+
+    /// Reset the per-model arena for a new training step. All
+    /// [`ArenaBuf`]s from the previous step become invalid.
+    pub fn begin_step(&mut self) {
+        self.scratch.reset();
+    }
+
+    /// Gather rows `indices` of batch-first `x` into the arena — the
+    /// allocation-free counterpart of materialising a batch tensor.
+    pub fn stage_batch(&mut self, x: &Tensor, indices: &[usize]) -> ArenaBuf {
+        let dims = x.shape();
+        assert!(
+            (1..=crate::arena::MAX_RANK).contains(&dims.len()),
+            "stage_batch: unsupported rank {}",
+            dims.len()
+        );
+        let sample: usize = dims[1..].iter().product();
+        let slot = self.scratch.alloc(indices.len() * sample);
+        let dst = self.scratch.slice_mut(slot);
+        for (row, &i) in indices.iter().enumerate() {
+            dst[row * sample..(row + 1) * sample]
+                .copy_from_slice(&x.data()[i * sample..(i + 1) * sample]);
+        }
+        let mut bdims = [1usize; crate::arena::MAX_RANK];
+        bdims[0] = indices.len();
+        bdims[1..dims.len()].copy_from_slice(&dims[1..]);
+        ArenaBuf::new(slot, &bdims[..dims.len()])
+    }
+
+    /// Arena-path forward through all layers (see the type-level docs).
+    pub fn forward_arena(&mut self, input: ArenaBuf) -> ArenaBuf {
+        let mut x = input;
+        for layer in &mut self.layers {
+            x = layer.forward_arena(x, &mut self.scratch);
+        }
+        x
+    }
+
+    /// Arena-path backward; accumulates gradients in each layer.
+    pub fn backward_arena(&mut self, grad_out: ArenaBuf) -> ArenaBuf {
+        let mut g = grad_out;
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward_arena(g, &mut self.scratch);
+        }
+        g
+    }
+
+    /// The model's scratch arena (the loss computes its gradient here,
+    /// between the forward and backward passes).
+    pub fn scratch_mut(&mut self) -> &mut Scratch {
+        &mut self.scratch
+    }
+
+    /// Read an arena buffer produced by this model's arena passes.
+    pub fn read_arena(&self, buf: ArenaBuf) -> &[f32] {
+        buf.read(&self.scratch)
     }
 
     /// Reset all gradient accumulators.

@@ -8,25 +8,33 @@
 //! * SCAFFOLD adds `c − c_i` (control-variate drift correction),
 //! * plain FedAvg/FedHiSyn use [`NoHook`].
 //!
-//! # Zero-copy execution
+//! # Allocation-free execution
 //!
-//! [`sgd_epoch`] updates model storage **in place**: after backprop it
-//! walks `(offset, params, grads)` slices via
-//! [`Sequential::for_each_param_grad_mut`], applies the hook and the SGD
-//! rule directly on layer memory, and reuses its batch scratch buffers
-//! across batches. Steady-state, a batch performs **zero** full parameter
-//! copies — the `params()` → `step` → `set_params()` round-trip of the
-//! original implementation (kept as [`sgd_epoch_reference`] for the golden
-//! equivalence test) is gone. Both paths apply identical element-wise
-//! arithmetic in identical order, so their results are bit-identical; the
-//! golden test in the workspace root asserts this.
+//! [`sgd_epoch`] runs the **arena path** end to end: the batch is staged
+//! into the model's per-step [`Scratch`] arena, every layer reads and
+//! writes arena buffers ([`Sequential::forward_arena`] /
+//! [`Sequential::backward_arena`]), the loss gradient is carved from the
+//! same arena, and the SGD update walks `(offset, params, grads)` slices
+//! via [`Sequential::for_each_param_grad_mut`] directly on layer memory.
+//! Epoch-level index buffers (shuffle order, batch labels) live in a
+//! thread-local pool. Steady state — after the first (largest) batch has
+//! sized the arena — a training step performs **zero heap allocations**
+//! and zero full-model copies; `tests/alloc_free.rs` asserts this with a
+//! counting allocator. The original flatten/step/scatter implementation is
+//! kept as [`sgd_epoch_reference`] for the golden equivalence test: both
+//! paths apply identical element-wise arithmetic in identical order, so
+//! their results are bit-identical.
+//!
+//! [`Scratch`]: fedhisyn_tensor::Scratch
+
+use std::cell::Cell;
 
 use fedhisyn_tensor::Tensor;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::loss::softmax_cross_entropy;
+use crate::loss::{softmax_cross_entropy, softmax_cross_entropy_arena};
 use crate::model::Sequential;
 use crate::params::ParamVec;
 
@@ -79,6 +87,23 @@ impl Sgd {
     /// Reset momentum state (used when a device adopts a foreign model).
     pub fn reset(&mut self) {
         self.velocity = None;
+    }
+
+    /// Install previously persisted momentum state (the opt-in
+    /// persistent-momentum experiments thread per-device velocity across
+    /// ring hops and rounds through this seam).
+    ///
+    /// # Panics
+    /// Panics in [`Sgd::step`]/[`Sgd::step_in_place`] if the installed
+    /// buffer's length disagrees with the model.
+    pub fn set_velocity(&mut self, velocity: ParamVec) {
+        self.velocity = Some(velocity);
+    }
+
+    /// Extract the momentum state for persistence (`None` when no update
+    /// with momentum has run yet).
+    pub fn take_velocity(&mut self) -> Option<ParamVec> {
+        self.velocity.take()
     }
 
     /// One update: `w ← w − lr · (g + wd·w)` with optional momentum.
@@ -191,16 +216,27 @@ fn gather_batch(x: &Tensor, indices: &[usize], out: &mut Vec<f32>) -> Vec<usize>
     bdims
 }
 
+thread_local! {
+    /// Epoch-level index buffers (shuffle order, batch labels), pooled per
+    /// thread so steady-state epochs allocate nothing. Checked out with
+    /// `take`/`set` so a nested epoch on the same thread (possible under
+    /// the pool's work-helping) simply starts from fresh buffers instead
+    /// of aliasing these.
+    static EPOCH_BUFS: Cell<(Vec<usize>, Vec<usize>)> = const { Cell::new((Vec::new(), Vec::new())) };
+}
+
 /// One epoch of mini-batch SGD over `(x, y)`; returns the mean batch loss.
 ///
 /// `x` is batch-first (`[N, D]` for MLPs, `[N, C, H, W]` for CNNs) and `y`
 /// holds `N` class labels. Samples are reshuffled every epoch with `rng`, so the
 /// whole federated simulation stays deterministic under a fixed seed.
 ///
-/// Parameters are updated **in place** (see the module docs); the batch
-/// input and label buffers are reused across batches, so the steady-state
-/// loop performs no full-model copies and no per-batch scratch
-/// allocations.
+/// Runs the arena path: the model's per-step scratch arena is reset at
+/// the top of every batch and holds the staged batch, all activations and
+/// all gradients (see the module docs). Parameters are updated **in
+/// place**; after the first batch has sized the arena, the steady-state
+/// loop performs **zero heap allocations**. Bit-identical to
+/// [`sgd_epoch_reference`].
 pub fn sgd_epoch<R: Rng>(
     model: &mut Sequential,
     x: &Tensor,
@@ -216,29 +252,29 @@ pub fn sgd_epoch<R: Rng>(
     if n == 0 {
         return 0.0;
     }
-    let mut order: Vec<usize> = (0..n).collect();
+    let (mut order, mut ybuf) = EPOCH_BUFS.with(Cell::take);
+    order.clear();
+    order.extend(0..n);
     order.shuffle(rng);
 
-    let mut xbuf: Vec<f32> = Vec::new();
-    let mut ybuf: Vec<usize> = Vec::with_capacity(batch_size);
     let mut total = 0.0f64;
     let mut batches = 0usize;
     for chunk in order.chunks(batch_size) {
-        let bdims = gather_batch(x, chunk, &mut xbuf);
-        let xb = Tensor::from_vec(bdims, std::mem::take(&mut xbuf)).expect("batch shape");
+        model.begin_step();
+        let xb = model.stage_batch(x, chunk);
         ybuf.clear();
         ybuf.extend(chunk.iter().map(|&i| y[i]));
 
         model.zero_grad();
-        let logits = model.forward(&xb);
-        let (loss, dlogits) = softmax_cross_entropy(&logits, &ybuf);
-        model.backward(&dlogits);
+        let logits = model.forward_arena(xb);
+        let (loss, dlogits) = softmax_cross_entropy_arena(model.scratch_mut(), logits, &ybuf);
+        model.backward_arena(dlogits);
         sgd.step_in_place(model, hook);
 
-        xbuf = xb.into_vec();
         total += loss as f64;
         batches += 1;
     }
+    EPOCH_BUFS.with(|bufs| bufs.set((order, ybuf)));
     (total / batches.max(1) as f64) as f32
 }
 
@@ -540,6 +576,54 @@ mod tests {
                 "in-place and reference paths diverged (momentum {momentum})"
             );
         }
+    }
+
+    /// The CNN stack (conv, pool, flatten) has its own arena-path
+    /// implementations; prove they match the allocating reference too.
+    #[test]
+    fn cnn_arena_epoch_is_bit_identical_to_reference() {
+        let spec = ModelSpec::smoke_cnn(8, 3);
+        let mut rng = rng_from_seed(30);
+        let n = 12;
+        let x = Tensor::randn(spec_input_dims(&spec, n), 1.0, &mut rng);
+        let y: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        for momentum in [0.0f32, 0.9] {
+            let cfg = SgdConfig {
+                lr: 0.05,
+                momentum,
+                weight_decay: 0.001,
+            };
+            let mut fast = spec.build(&mut rng_from_seed(31));
+            let mut slow = fast.clone();
+            let mut sgd_fast = Sgd::new(cfg);
+            let mut sgd_slow = Sgd::new(cfg);
+            let mut rng_fast = rng_from_seed(32);
+            let mut rng_slow = rng_from_seed(32);
+            for _ in 0..2 {
+                let lf = sgd_epoch(&mut fast, &x, &y, 5, &mut sgd_fast, &NoHook, &mut rng_fast);
+                let ls = sgd_epoch_reference(
+                    &mut slow,
+                    &x,
+                    &y,
+                    5,
+                    &mut sgd_slow,
+                    &NoHook,
+                    &mut rng_slow,
+                );
+                assert_eq!(lf.to_bits(), ls.to_bits(), "losses must match bit-for-bit");
+            }
+            assert_eq!(
+                fast.params(),
+                slow.params(),
+                "CNN arena and reference paths diverged (momentum {momentum})"
+            );
+        }
+    }
+
+    fn spec_input_dims(spec: &ModelSpec, n: usize) -> Vec<usize> {
+        let mut dims = vec![n];
+        dims.extend(spec.input_dims());
+        dims
     }
 
     #[test]

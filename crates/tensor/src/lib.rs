@@ -25,15 +25,20 @@ mod error;
 mod gemm;
 pub mod ops;
 mod rng;
+mod scratch;
 mod shape;
 mod tensor;
 
 pub use error::TensorError;
-pub use gemm::{gemm, gemm_nt, gemm_tn, matmul, matmul_nt, matmul_tn, par_gemm};
+pub use gemm::reference as gemm_reference;
+pub use gemm::{
+    gemm, gemm_nt, gemm_tn, matmul, matmul_nt, matmul_tn, par_gemm, par_gemm_nt, par_gemm_tn,
+};
 pub use ops::{
     add, add_assign, axpy, dot, hadamard, l2_norm, lerp, scale, scale_assign, sub, sub_assign,
 };
 pub use rng::{fill_normal, fill_uniform, normal_f32, rng_from_seed, TensorRng};
+pub use scratch::{Scratch, ScratchSlot};
 pub use shape::{num_elements, Shape};
 pub use tensor::Tensor;
 

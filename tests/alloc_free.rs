@@ -1,0 +1,150 @@
+//! Allocation regression test for the compute hot path.
+//!
+//! The whole point of the arena-backed training refactor is that a
+//! steady-state training step — after the first batch has sized the
+//! per-model scratch arena, the cached model exists and the GEMM pack
+//! pools are warm — performs **zero heap allocations** in `Cached`
+//! execution mode. This test pins that property with a counting global
+//! allocator so any future change that sneaks a per-batch `Vec` or tensor
+//! allocation back into the step fails CI immediately.
+//!
+//! The counter is **thread-local** (a const-initialised `Cell`, which the
+//! allocator can touch without allocating), so pool worker threads and the
+//! libtest harness cannot perturb the measurement. The workload is sized
+//! to stay under the GEMM parallel threshold, so the entire step runs
+//! inline on the measuring thread on any host.
+//!
+//! This file intentionally contains a single `#[test]`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use fedhisyn::core::engine::ExecMode;
+use fedhisyn::core::env::MomentumBank;
+use fedhisyn::core::local::local_train_plain_owned;
+use fedhisyn::core::FlEnv;
+use fedhisyn::nn::{ModelSpec, SgdConfig};
+use fedhisyn::prelude::Dataset;
+use fedhisyn::simnet::{sample_latencies, HeterogeneityModel, LinkModel, TrafficMeter};
+use fedhisyn::tensor::{rng_from_seed, Tensor};
+
+thread_local! {
+    /// Heap allocations performed by the current thread. Const-init +
+    /// no-Drop payload means accessing it from inside the allocator never
+    /// allocates or races thread teardown.
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+fn bump() {
+    THREAD_ALLOCS.with(|c| c.set(c.get() + 1));
+}
+
+/// Allocations on the calling thread since process start.
+fn thread_allocs() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// A small fleet env whose every GEMM stays below the parallel threshold
+/// (so the step runs inline on this thread) while still exercising the
+/// blocked kernel path (above its packing threshold).
+fn tiny_env() -> FlEnv {
+    let mut rng = rng_from_seed(42);
+    let n = 64;
+    let x = Tensor::randn(vec![n, 32], 1.0, &mut rng);
+    let y: Vec<usize> = (0..n).map(|i| i % 10).collect();
+    let shard = Dataset::new(x, y, 10);
+    let test = Dataset::new(Tensor::zeros(vec![4, 32]), vec![0, 1, 2, 3], 10);
+    let profiles = sample_latencies(2, HeterogeneityModel::Homogeneous, 1.0, &mut rng);
+    FlEnv {
+        spec: ModelSpec::mlp(&[32, 24, 10]),
+        device_data: vec![shard.clone(), shard],
+        test,
+        fleet: fedhisyn::fleet::FleetModel::static_fleet(&profiles),
+        profiles,
+        link: LinkModel::zero(),
+        meter: TrafficMeter::new(),
+        local_epochs: 1,
+        batch_size: 16,
+        sgd: SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        },
+        seed: 7,
+        exec: ExecMode::Cached,
+        momentum: MomentumBank::disabled(),
+        wire_check: false,
+    }
+}
+
+#[test]
+fn steady_state_training_step_is_allocation_free() {
+    let env = tiny_env();
+    let init = env.spec.build(&mut rng_from_seed(0)).params();
+
+    // Warm-up: builds the cached model, sizes its arena on the first
+    // batch, fills the epoch-buffer and GEMM pack pools.
+    let mut params = init.clone();
+    for salt in 0..2 {
+        params = local_train_plain_owned(&env, 0, params, 1, 0, salt);
+    }
+
+    // Sanity: the counter must actually observe this thread's allocations.
+    let before_probe = thread_allocs();
+    let probe = vec![0u8; 4096];
+    assert!(
+        thread_allocs() > before_probe,
+        "counting allocator is not wired up"
+    );
+    drop(probe);
+
+    // The pinned property: a steady-state Cached training step allocates
+    // NOTHING — no batch tensors, no activation buffers, no grad vectors,
+    // no pack buffers, no epoch bookkeeping.
+    let before = thread_allocs();
+    let trained = local_train_plain_owned(&env, 0, params, 1, 0, 9);
+    let steady_allocs = thread_allocs() - before;
+    assert_eq!(
+        steady_allocs, 0,
+        "steady-state Cached training step performed {steady_allocs} heap allocations"
+    );
+    assert!(trained.is_finite());
+
+    // Contrast: the rebuild-per-call Reference path allocates heavily —
+    // which both sanity-checks the counter against real training work and
+    // documents what the engine path saves.
+    let mut ref_env = tiny_env();
+    ref_env.exec = ExecMode::Reference;
+    let before = thread_allocs();
+    let _ = local_train_plain_owned(&ref_env, 0, trained, 1, 0, 9);
+    assert!(
+        thread_allocs() - before > 50,
+        "reference path should allocate per batch"
+    );
+}

@@ -157,6 +157,28 @@ fn identity_fleet_dynamics_match_the_static_path_bit_for_bit() {
 }
 
 #[test]
+fn persistent_momentum_is_identical_across_exec_modes() {
+    // The momentum bank sits *outside* the execution engine (velocity is
+    // checked out around the whole local step), so the cached/reference
+    // equivalence contract must keep holding with persistence enabled.
+    let run = |mode: ExecMode| {
+        let mut cfg = golden_config();
+        cfg.momentum = 0.9;
+        cfg.persist_momentum = true;
+        let mut env = cfg.build_env();
+        env.exec = mode;
+        let mut algo = FedHiSyn::new(&cfg, 2);
+        let record = run_experiment(&mut algo, &mut env, cfg.rounds);
+        (record, algo.global().clone())
+    };
+    let (fast_rec, fast_global) = run(ExecMode::Cached);
+    let (ref_rec, ref_global) = run(ExecMode::Reference);
+    assert_eq!(fast_rec, ref_rec);
+    assert_eq!(fast_global, ref_global);
+    assert!(fast_global.is_finite());
+}
+
+#[test]
 fn churn_runs_are_identical_across_exec_modes() {
     // The engine-equivalence contract must also hold on a *dynamic*
     // fleet: churn + failures change which devices train, never how a

@@ -17,6 +17,103 @@ fn cfg() -> ExperimentConfig {
         .build()
 }
 
+/// The behind-a-flag frame round-trip drift check: a whole FedHiSyn
+/// experiment with `wire_check` on encodes/decodes every ring-relay
+/// transfer through the frame codec and asserts bit-identity inside the
+/// relay. The check is read-only, so the run must also be bit-identical
+/// to the unchecked run.
+#[test]
+fn wire_check_flag_verifies_every_relay_transfer() {
+    let plain_cfg = cfg();
+    let mut checked_cfg = cfg();
+    checked_cfg.wire_check = true;
+    assert!(checked_cfg.build_env().wire_check);
+
+    let run = |cfg: &ExperimentConfig| {
+        let mut env = cfg.build_env();
+        let mut algo = FedHiSyn::new(cfg, 2);
+        let rec = run_experiment(&mut algo, &mut env, cfg.rounds);
+        (rec, algo.global().clone())
+    };
+    let (plain_rec, plain_global) = run(&plain_cfg);
+    let (checked_rec, checked_global) = run(&checked_cfg);
+    assert_eq!(
+        plain_rec, checked_rec,
+        "wire check must be observation-only"
+    );
+    assert_eq!(plain_global, checked_global);
+
+    // The decentralized ring relay carries the same tripwire.
+    let mut env = checked_cfg.build_env();
+    let mut sim = DecentralSim::new(
+        &env,
+        DecentralMode::ClusteredRings {
+            k: 2,
+            order: RingOrder::SmallToLarge,
+            average: false,
+        },
+    );
+    env.wire_check = true;
+    sim.run_round(&env, 0);
+}
+
+/// Opt-in persistent momentum: velocity carries across ring hops and
+/// rounds per device. Off (the default) must be exactly the paper
+/// behaviour; on, with momentum > 0, the trajectory must change — and
+/// stay deterministic.
+#[test]
+fn persistent_momentum_is_optional_and_deterministic() {
+    let base = || {
+        ExperimentConfig::builder(DatasetProfile::MnistLike)
+            .scale(Scale::Smoke)
+            .devices(5)
+            .partition(Partition::Dirichlet { beta: 0.5 })
+            .rounds(2)
+            .local_epochs(1)
+            .momentum(0.9)
+            .seed(515)
+    };
+    let run = |cfg: &ExperimentConfig| {
+        let mut env = cfg.build_env();
+        let mut algo = FedHiSyn::new(cfg, 2);
+        let rec = run_experiment(&mut algo, &mut env, cfg.rounds);
+        (rec, algo.global().clone())
+    };
+
+    // Momentum 0.9 without persistence: fresh velocity per call (the
+    // pre-existing behaviour, still available).
+    let transient = base().build();
+    let (rec_t, glob_t) = run(&transient);
+
+    // With persistence the velocity survives hops/rounds → different
+    // trajectory, same determinism.
+    let persistent = base().persist_momentum(true).build();
+    assert!(persistent.build_env().momentum.enabled());
+    let (rec_p1, glob_p1) = run(&persistent);
+    let (rec_p2, glob_p2) = run(&persistent);
+    assert_eq!(
+        rec_p1, rec_p2,
+        "persistent momentum must stay deterministic"
+    );
+    assert_eq!(glob_p1, glob_p2);
+    assert_ne!(
+        glob_t, glob_p1,
+        "persisted velocity must change the trajectory"
+    );
+    assert_ne!(rec_t, rec_p1);
+    assert!(glob_p1.is_finite());
+
+    // Persistence with zero momentum is a no-op: the optimizer never
+    // creates velocity, so the bank stays empty and results are exactly
+    // the default run's.
+    let zero_default = base().momentum(0.0).build();
+    let zero_persist = base().momentum(0.0).persist_momentum(true).build();
+    let (rec_d, glob_d) = run(&zero_default);
+    let (rec_z, glob_z) = run(&zero_persist);
+    assert_eq!(rec_d, rec_z, "empty bank must be bit-neutral");
+    assert_eq!(glob_d, glob_z);
+}
+
 #[test]
 fn trained_global_model_survives_the_wire() {
     let cfg = cfg();

@@ -8,10 +8,14 @@
 //! The pool is deliberately **persistent** (workers live for the whole
 //! process): `fedhisyn-core`'s execution engine keys one cached model per
 //! worker via `thread_local!`, which only pays off when the same OS threads
-//! service successive rounds. Scheduling is contiguous-chunk per worker, so
-//! results are collected in input order and every reduction is performed
-//! sequentially over the ordered output — parallelism never perturbs float
-//! summation order, preserving the workspace's bit-determinism guarantee.
+//! service successive rounds. Scheduling deals chunk `t` to worker deque
+//! `(t − 1) mod W` — a deterministic affinity hint, so uncontended rounds
+//! land the same chunk indices on the same workers — and idle workers
+//! **steal half** of the richest victim's deque so one slow chunk cannot
+//! serialize a region's tail (see [`mod@pool`]'s docs). Results are still
+//! collected in input order and every reduction is performed sequentially
+//! over the ordered output — work stealing moves *execution*, never the
+//! reduction order, preserving the workspace's bit-determinism guarantee.
 
 mod pool;
 
@@ -19,8 +23,8 @@ pub mod prelude {
     pub use crate::{ParChunksExt, ParChunksMutExt, ParIterExt};
 }
 
-pub use pool::current_num_threads;
 use pool::run_chunked;
+pub use pool::{current_num_threads, worker_index};
 
 /// Entry point: `.par_iter()` on slices (and anything derefing to one).
 pub trait ParIterExt<T: Sync> {
@@ -236,6 +240,11 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
         }
     }
 
+    /// Pair each mutable chunk with its index.
+    pub fn enumerate(self) -> ParEnumChunksMut<'a, T> {
+        ParEnumChunksMut { inner: self }
+    }
+
     /// Run `f` over each mutable chunk in parallel.
     pub fn for_each<F>(self, f: F)
     where
@@ -252,6 +261,38 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
                 // by exactly one thread, and `chunks` outlives `run_chunked`.
                 if let Some(c) = unsafe { (*slots.0.add(i)).take() } {
                     f(c);
+                }
+            }
+        });
+    }
+}
+
+/// Index-tagged parallel iterator over mutable chunks.
+pub struct ParEnumChunksMut<'a, T> {
+    inner: ParChunksMut<'a, T>,
+}
+
+impl<'a, T: Send> ParEnumChunksMut<'a, T> {
+    /// Run `f` over each `(index, mutable chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let mut chunks: Vec<Option<&mut [T]>> = self
+            .inner
+            .items
+            .chunks_mut(self.inner.size)
+            .map(Some)
+            .collect();
+        let n = chunks.len();
+        let slots = ForceSync(chunks.as_mut_ptr());
+        run_chunked(n, &|lo, hi| {
+            let slots = &slots;
+            for i in lo..hi {
+                // Safety: worker chunks are disjoint, so each slot is taken
+                // by exactly one thread, and `chunks` outlives `run_chunked`.
+                if let Some(c) = unsafe { (*slots.0.add(i)).take() } {
+                    f((i, c));
                 }
             }
         });

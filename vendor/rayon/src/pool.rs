@@ -1,14 +1,33 @@
-//! A minimal persistent worker pool with work-helping.
+//! A minimal persistent worker pool with per-worker deques and steal-half
+//! work stealing.
 //!
 //! Workers are spawned once and live for the whole process, so
 //! `thread_local!` caches held by higher layers (the execution engine's
 //! per-worker model cache) stay warm across successive parallel regions.
 //!
-//! A thread that submits a parallel region executes the first chunk itself
-//! and, while waiting for the rest, *helps* by draining the shared queue.
-//! That makes nested regions (a `par_chunks_mut` GEMM inside a `par_iter`
-//! round) deadlock-free without work stealing.
+//! # Scheduling
+//!
+//! Every worker owns a deque. A parallel region's chunks are dealt out
+//! deterministically — chunk `t` lands on deque `(t − 1) mod W` (chunk 0
+//! runs on the submitting thread) — which is the **affinity hint**: in an
+//! uncontended round, worker `w` services the same chunk indices every
+//! region, so per-worker caches keyed by `thread_local!` see the same
+//! work (the same rings, hence the same model specs) round after round.
+//!
+//! When a worker's own deque runs dry it **steals half** of the richest
+//! victim's deque (from the back, preserving relative order) instead of
+//! idling — one slow chunk no longer serializes the tail of a region the
+//! way contiguous-chunk splitting did. Stealing only changes *which
+//! thread* executes a chunk; chunk boundaries and the order-preserving
+//! reduction over results are untouched, so the workspace's
+//! bit-determinism guarantee survives any interleaving.
+//!
+//! A thread that submits a region executes its own first chunk and then
+//! *helps*: it drains jobs from any deque while waiting. That makes
+//! nested regions (a `par_chunks_mut` GEMM inside a `par_iter` round)
+//! deadlock-free.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -16,56 +35,140 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
-struct Queue {
-    jobs: Mutex<VecDeque<Job>>,
+struct Pool {
+    /// One deque per worker; workers pop the front, thieves take from the
+    /// back.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Sleeping workers park here; any push notifies.
+    sleep: Mutex<()>,
     ready: Condvar,
 }
 
-static QUEUE: OnceLock<Arc<Queue>> = OnceLock::new();
+static POOL: OnceLock<Arc<Pool>> = OnceLock::new();
 
-/// Number of threads a parallel region can occupy (workers + caller).
-pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+thread_local! {
+    /// The pool index of the current thread (`None` off the pool).
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
-fn queue() -> &'static Arc<Queue> {
-    QUEUE.get_or_init(|| {
-        let q = Arc::new(Queue {
-            jobs: Mutex::new(VecDeque::new()),
-            ready: Condvar::new(),
-        });
-        let workers = current_num_threads().saturating_sub(1);
-        for i in 0..workers {
-            let q2 = Arc::clone(&q);
-            std::thread::Builder::new()
-                .name(format!("fedhisyn-worker-{i}"))
-                .spawn(move || worker_loop(q2))
-                .expect("failed to spawn pool worker");
-        }
-        q
+/// Number of threads a parallel region can occupy (workers + caller).
+///
+/// Memoized: `available_parallelism` allocates on every query (it reads
+/// procfs/cgroup state), which would put heap traffic on the GEMM
+/// dispatch hot path — and the pool size is fixed after spawn anyway.
+pub fn current_num_threads() -> usize {
+    static NUM_THREADS: OnceLock<usize> = OnceLock::new();
+    *NUM_THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     })
 }
 
-fn worker_loop(q: Arc<Queue>) {
-    loop {
-        let job = {
-            let mut jobs = q.jobs.lock().unwrap();
-            loop {
-                if let Some(j) = jobs.pop_front() {
-                    break j;
-                }
-                jobs = q.ready.wait(jobs).unwrap();
+/// The calling thread's pool worker index, or `None` for non-pool threads
+/// (the main thread, test threads). Chunk `t` of a region prefers worker
+/// `(t − 1) mod W` — see the module docs on affinity.
+pub fn worker_index() -> Option<usize> {
+    WORKER_INDEX.with(Cell::get)
+}
+
+fn pool() -> &'static Arc<Pool> {
+    POOL.get_or_init(|| {
+        let workers = current_num_threads().saturating_sub(1);
+        let p = Arc::new(Pool {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(()),
+            ready: Condvar::new(),
+        });
+        for i in 0..workers {
+            let p2 = Arc::clone(&p);
+            std::thread::Builder::new()
+                .name(format!("fedhisyn-worker-{i}"))
+                .spawn(move || {
+                    WORKER_INDEX.with(|w| w.set(Some(i)));
+                    worker_loop(p2, i)
+                })
+                .expect("failed to spawn pool worker");
+        }
+        p
+    })
+}
+
+impl Pool {
+    /// Pop the next job for worker `own`: front of its own deque, else
+    /// steal half of the largest victim deque (back half, order kept).
+    fn next_job_for(&self, own: usize) -> Option<Job> {
+        if let Some(job) = self.deques[own].lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        // Pick the richest victim first so one steal rebalances most.
+        let w = self.deques.len();
+        let mut victim = None;
+        let mut best = 0usize;
+        for off in 1..w {
+            let v = (own + off) % w;
+            let len = self.deques[v].lock().unwrap().len();
+            if len > best {
+                best = len;
+                victim = Some(v);
             }
+        }
+        let victim = victim?;
+        let mut stolen: VecDeque<Job> = {
+            let mut vq = self.deques[victim].lock().unwrap();
+            let keep = vq.len() / 2;
+            vq.split_off(keep)
         };
-        job();
+        let first = stolen.pop_front();
+        if !stolen.is_empty() {
+            let mut own_q = self.deques[own].lock().unwrap();
+            // Steal-half keeps the spare jobs local: the next dry spell is
+            // served from our own deque instead of another steal.
+            own_q.extend(stolen);
+        }
+        first
+    }
+
+    /// Grab one job from anywhere (helper threads without a deque).
+    fn steal_one(&self) -> Option<Job> {
+        for q in &self.deques {
+            if let Some(job) = q.lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn any_pending(&self) -> bool {
+        self.deques.iter().any(|q| !q.lock().unwrap().is_empty())
+    }
+}
+
+fn worker_loop(p: Arc<Pool>, own: usize) {
+    loop {
+        match p.next_job_for(own) {
+            Some(job) => job(),
+            None => {
+                // Untimed wait, so an idle pool consumes no CPU. Lost
+                // wakeups are impossible: the pending-check happens under
+                // the sleep lock, and submitters notify under the same
+                // lock (see `run_chunked`), so a push either lands before
+                // the check (seen) or its notification is delivered after
+                // this thread is parked.
+                let guard = p.sleep.lock().unwrap();
+                if !p.any_pending() {
+                    let g = p.ready.wait(guard).unwrap();
+                    drop(g);
+                }
+            }
+        }
     }
 }
 
 /// Split `0..n` into contiguous chunks and run `f(lo, hi)` on each, in
-/// parallel. Blocks until every chunk has finished; panics (once) if any
-/// chunk panicked.
+/// parallel. Chunk `t` is dealt to worker deque `(t − 1) mod W` (the
+/// affinity hint); idle workers steal half a victim's deque. Blocks until
+/// every chunk has finished; panics (once) if any chunk panicked.
 pub(crate) fn run_chunked(n: usize, f: &(dyn Fn(usize, usize) + Sync)) {
     if n == 0 {
         return;
@@ -86,7 +189,7 @@ pub(crate) fn run_chunked(n: usize, f: &(dyn Fn(usize, usize) + Sync)) {
     });
 
     // Safety: every job referencing `f` is guaranteed to finish before this
-    // function returns (we spin until `remaining == 0`), so erasing the
+    // function returns (we wait until `remaining == 0`), so erasing the
     // borrow's lifetime cannot produce a dangling reference.
     let f_static: &'static (dyn Fn(usize, usize) + Sync) = unsafe { std::mem::transmute(f) };
 
@@ -100,46 +203,121 @@ pub(crate) fn run_chunked(n: usize, f: &(dyn Fn(usize, usize) + Sync)) {
         lo += len;
     }
 
-    let q = queue();
+    let p = pool();
+    let workers = p.deques.len();
+    for (t, &(jlo, jhi)) in bounds.iter().enumerate().skip(1) {
+        let st = Arc::clone(&state);
+        let job: Job = Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(|| f_static(jlo, jhi))).is_err() {
+                st.panicked.store(true, Ordering::SeqCst);
+            }
+            st.remaining.fetch_sub(1, Ordering::SeqCst);
+        });
+        p.deques[(t - 1) % workers].lock().unwrap().push_back(job);
+    }
+    // Notify under the sleep lock: a worker between its pending-check and
+    // its park would otherwise miss this wakeup (workers block untimed).
     {
-        let mut jobs = q.jobs.lock().unwrap();
-        for &(jlo, jhi) in &bounds[1..] {
-            let st = Arc::clone(&state);
-            jobs.push_back(Box::new(move || {
-                if catch_unwind(AssertUnwindSafe(|| f_static(jlo, jhi))).is_err() {
-                    st.panicked.store(true, Ordering::SeqCst);
-                }
-                st.remaining.fetch_sub(1, Ordering::SeqCst);
-            }));
-        }
-        q.ready.notify_all();
+        let _guard = p.sleep.lock().unwrap();
+        p.ready.notify_all();
     }
 
     let own = catch_unwind(AssertUnwindSafe(|| f_static(bounds[0].0, bounds[0].1)));
 
-    // Help drain the queue while waiting — the popped job may belong to
-    // another in-flight region; that is fine, it tracks its own state.
-    // With the queue empty, block on the condvar (with a timeout, since
-    // job *completions* don't signal it) instead of burning a core
-    // spinning through the region's tail.
+    // Help while waiting: drain one job at a time from any deque. The
+    // popped job may belong to another in-flight region; that is fine, it
+    // tracks its own state. With every deque empty, park briefly instead
+    // of burning a core spinning through the region's tail.
     while state.remaining.load(Ordering::SeqCst) > 0 {
-        let mut jobs = q.jobs.lock().unwrap();
-        match jobs.pop_front() {
-            Some(j) => {
-                drop(jobs);
-                j();
-            }
+        match p.steal_one() {
+            Some(job) => job(),
             None => {
-                let (guard, _) = q
-                    .ready
-                    .wait_timeout(jobs, std::time::Duration::from_micros(200))
-                    .unwrap();
-                drop(guard);
+                let guard = p.sleep.lock().unwrap();
+                if state.remaining.load(Ordering::SeqCst) > 0 && !p.any_pending() {
+                    let (g, _) = p
+                        .ready
+                        .wait_timeout(guard, std::time::Duration::from_micros(200))
+                        .unwrap();
+                    drop(g);
+                }
             }
         }
     }
 
     if own.is_err() || state.panicked.load(Ordering::SeqCst) {
         panic!("worker panicked in parallel region");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunks_tile_the_range_exactly_once() {
+        let n = 1013;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        run_chunked(n, &|lo, hi| {
+            for h in &hits[lo..hi] {
+                h.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn uneven_chunk_durations_all_complete() {
+        // One deliberately slow chunk must not lose the fast chunks' work
+        // (the steal path executes them elsewhere).
+        let n = 64;
+        let sum = AtomicU64::new(0);
+        run_chunked(n, &|lo, hi| {
+            for i in lo..hi {
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                sum.fetch_add(i as u64, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), (0..64u64).sum());
+    }
+
+    #[test]
+    fn nested_regions_do_not_deadlock() {
+        let total = AtomicU64::new(0);
+        run_chunked(8, &|lo, hi| {
+            for _ in lo..hi {
+                run_chunked(8, &|ilo, ihi| {
+                    total.fetch_add((ihi - ilo) as u64, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn submitting_thread_is_not_a_worker() {
+        assert_eq!(worker_index(), None);
+    }
+
+    #[test]
+    fn pool_threads_report_their_index() {
+        // With at least one worker, some chunk of a wide region runs on a
+        // pool thread and must observe a stable index < W. On a single-CPU
+        // host everything runs on the caller and the set stays empty.
+        let workers = current_num_threads().saturating_sub(1);
+        let seen = Mutex::new(Vec::new());
+        run_chunked(256, &|_, _| {
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            if let Some(w) = worker_index() {
+                seen.lock().unwrap().push(w);
+            }
+        });
+        let seen = seen.into_inner().unwrap();
+        assert!(seen.iter().all(|&w| w < workers.max(1)));
+        if workers == 0 {
+            assert!(seen.is_empty());
+        }
     }
 }
