@@ -125,11 +125,20 @@ pub fn build_model(env: &FlEnv, device: usize, params: &ParamVec) -> Sequential 
 }
 
 /// Evaluate `params` on the environment's global test split.
+///
+/// The cached path runs [`fedhisyn_nn::evaluate_arena`] on the worker's
+/// cached model, whose sized scratch arena makes a steady-state round
+/// (train + evaluate) perform zero heap allocations; the reference path
+/// rebuilds a model per call and goes through [`fedhisyn_nn::evaluate`].
+/// Both modes are bit-identical (same batching, same forward arithmetic —
+/// note `evaluate` itself forwards through the arena path too, so the
+/// independent allocating-`forward` reference for evaluation lives in
+/// `tests/alloc_free.rs`, not in the cross-mode comparison).
 pub fn evaluate_on_test(env: &FlEnv, params: &ParamVec) -> f32 {
     match env.exec {
         ExecMode::Cached => ExecutionEngine::with_model(&env.spec, |model| {
             model.set_params(params);
-            fedhisyn_nn::evaluate(model, &env.test.x, &env.test.y, 256)
+            fedhisyn_nn::evaluate_arena(model, &env.test.x, &env.test.y, 256)
         }),
         ExecMode::Reference => {
             let mut model = build_model(env, 0, params);

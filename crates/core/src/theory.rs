@@ -20,7 +20,7 @@
 //! both computed at the same optimization budget so their *difference* is
 //! meaningful even though neither is the exact infimum.
 
-use fedhisyn_nn::{mean_loss, NoHook, Sgd};
+use fedhisyn_nn::{mean_loss_arena, NoHook, Sgd};
 use fedhisyn_tensor::rng_from_seed;
 
 use crate::env::{seed_mix, FlEnv};
@@ -84,7 +84,7 @@ fn optimize_group(env: &FlEnv, members: &[usize], min_updates: usize, seed: u64)
         if data.is_empty() {
             continue;
         }
-        let loss = mean_loss(&mut model, &data.x, &data.y, 256);
+        let loss = mean_loss_arena(&mut model, &data.x, &data.y, 256);
         total += loss as f64 * data.len() as f64;
         count += data.len();
     }
@@ -163,7 +163,7 @@ pub fn pooled_loss(env: &FlEnv, params: &fedhisyn_nn::ParamVec) -> f32 {
         if data.is_empty() {
             continue;
         }
-        let loss = mean_loss(&mut model, &data.x, &data.y, 256);
+        let loss = mean_loss_arena(&mut model, &data.x, &data.y, 256);
         total += loss as f64 * data.len() as f64;
         count += data.len();
     }

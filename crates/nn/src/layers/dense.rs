@@ -1,6 +1,6 @@
 //! Fully-connected layer.
 
-use fedhisyn_tensor::{par_gemm, par_gemm_nt, par_gemm_tn, Scratch, Tensor};
+use fedhisyn_tensor::{par_gemm_nt, par_gemm_packed, par_gemm_tn, PackedPanels, Scratch, Tensor};
 use rand::Rng;
 
 use crate::arena::ArenaBuf;
@@ -17,6 +17,15 @@ use crate::layers::Layer;
 /// ([`Dense::forward_core`] / the backward phases), so the allocating and
 /// arena paths are bit-identical; the arena path additionally keeps the
 /// backward input as a slot handle instead of cloning the tensor.
+///
+/// The forward GEMM runs against pre-packed weight panels
+/// ([`PackedPanels`], bit-identical to the unpacked kernel), refreshed
+/// lazily when a visitor hands out the weights mutably — so the panels are
+/// packed once per parameter update and reused across every forward until
+/// the next one. During training that is once per step; during an
+/// evaluation pass over many batches it is exactly once. The backward
+/// GEMMs keep the plain entry points: both run once per step against
+/// operands that change every step, so there is nothing to amortize.
 #[derive(Debug, Clone)]
 pub struct Dense {
     weight: Tensor,
@@ -27,6 +36,10 @@ pub struct Dense {
     cached_arena_input: Option<ArenaBuf>,
     in_features: usize,
     out_features: usize,
+    /// Forward-orientation weight panels (`pack_from_b` of `[in, out]`).
+    packed_weight: PackedPanels,
+    packed_version: u64,
+    weights_version: u64,
 }
 
 impl Dense {
@@ -47,6 +60,9 @@ impl Dense {
             cached_arena_input: None,
             in_features,
             out_features,
+            packed_weight: PackedPanels::new(),
+            packed_version: 0,
+            weights_version: 1,
         }
     }
 
@@ -72,19 +88,21 @@ impl Dense {
         batch
     }
 
+    /// Repack the forward weight panels iff the weights changed since the
+    /// last pack.
+    fn ensure_packed(&mut self) {
+        if self.packed_version != self.weights_version {
+            self.packed_weight
+                .pack_from_b(self.weight.data(), self.in_features, self.out_features);
+            self.packed_version = self.weights_version;
+        }
+    }
+
     /// `out = X · W + b` on raw slices — the single forward kernel both
-    /// paths share.
-    fn forward_core(&self, x: &[f32], out: &mut [f32], batch: usize) {
-        par_gemm(
-            x,
-            self.weight.data(),
-            out,
-            batch,
-            self.in_features,
-            self.out_features,
-            1.0,
-            0.0,
-        );
+    /// paths share, run against the cached weight panels.
+    fn forward_core(&mut self, x: &[f32], out: &mut [f32], batch: usize) {
+        self.ensure_packed();
+        par_gemm_packed(x, &self.packed_weight, out, batch, 1.0, 0.0);
         // Broadcast-add the bias to every row.
         let bias = self.bias.data();
         for row in out.chunks_exact_mut(self.out_features) {
@@ -196,6 +214,8 @@ impl Layer for Dense {
     }
 
     fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
+        // The caller may rewrite the weights; invalidate the panel cache.
+        self.weights_version += 1;
         f(&mut self.weight);
         f(&mut self.bias);
     }
@@ -206,6 +226,7 @@ impl Layer for Dense {
     }
 
     fn visit_params_grads_mut(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        self.weights_version += 1;
         f(&mut self.weight, &mut self.grad_weight);
         f(&mut self.bias, &mut self.grad_bias);
     }
@@ -285,6 +306,32 @@ mod tests {
         let mut rng = rng_from_seed(4);
         let layer = Dense::new(7, 5, Init::HeNormal, &mut rng);
         assert_eq!(layer.param_count(), 7 * 5 + 5);
+    }
+
+    /// Weight-panel reuse must never serve stale panels: rewriting the
+    /// weights through a visitor (the set_params / in-place-SGD seam) has
+    /// to invalidate the pack.
+    #[test]
+    fn packed_panels_follow_weight_updates() {
+        let mut rng = rng_from_seed(6);
+        let mut layer = Dense::new(4, 3, Init::HeNormal, &mut rng);
+        let x = Tensor::randn(vec![2, 4], 1.0, &mut rng);
+        let y0 = layer.forward(&x);
+        layer.visit_params_mut(&mut |t| {
+            if t.len() == 12 {
+                t.fill(0.25);
+            }
+        });
+        let y1 = layer.forward(&x);
+        assert_ne!(y0.data(), y1.data(), "stale packed panels served");
+        let mut fresh = Dense::new(4, 3, Init::HeNormal, &mut rng_from_seed(6));
+        fresh.visit_params_mut(&mut |t| {
+            if t.len() == 12 {
+                t.fill(0.25);
+            }
+        });
+        let y2 = fresh.forward(&x);
+        assert_eq!(y1.data(), y2.data());
     }
 
     #[test]

@@ -14,7 +14,7 @@ mod pool;
 mod relu;
 
 pub use activations::{Sigmoid, Tanh};
-pub use conv::Conv2d;
+pub use conv::{Conv2d, ConvExec};
 pub use dense::Dense;
 pub use flatten::Flatten;
 pub use pool::MaxPool2d;

@@ -43,10 +43,11 @@ pub mod wire;
 
 pub use arch::ModelSpec;
 pub use arena::ArenaBuf;
-pub use layers::Layer;
+pub use layers::{ConvExec, Layer};
 pub use loss::{softmax_cross_entropy, softmax_cross_entropy_arena};
 pub use model::Sequential;
 pub use params::ParamVec;
 pub use train::{
-    evaluate, mean_loss, sgd_epoch, sgd_epoch_reference, GradHook, NoHook, Sgd, SgdConfig,
+    evaluate, evaluate_arena, mean_loss, mean_loss_arena, sgd_epoch, sgd_epoch_reference, GradHook,
+    NoHook, Sgd, SgdConfig,
 };

@@ -113,6 +113,59 @@ impl Sequential {
         ArenaBuf::new(slot, &bdims[..dims.len()])
     }
 
+    /// Stage a **contiguous** row range of batch-first `x` into the arena —
+    /// the evaluation-path counterpart of [`Sequential::stage_batch`].
+    /// Evaluation walks the dataset in order, so the gather collapses to a
+    /// single `memcpy` with no index buffer.
+    pub fn stage_rows(&mut self, x: &Tensor, start: usize, end: usize) -> ArenaBuf {
+        let dims = x.shape();
+        assert!(
+            (1..=crate::arena::MAX_RANK).contains(&dims.len()),
+            "stage_rows: unsupported rank {}",
+            dims.len()
+        );
+        assert!(
+            start <= end && end <= dims[0],
+            "stage_rows: bad range {start}..{end} of {}",
+            dims[0]
+        );
+        let sample: usize = dims[1..].iter().product();
+        let slot = self.scratch.alloc((end - start) * sample);
+        self.scratch
+            .slice_mut(slot)
+            .copy_from_slice(&x.data()[start * sample..end * sample]);
+        let mut bdims = [1usize; crate::arena::MAX_RANK];
+        bdims[0] = end - start;
+        bdims[1..dims.len()].copy_from_slice(&dims[1..]);
+        ArenaBuf::new(slot, &bdims[..dims.len()])
+    }
+
+    /// Drive the arena forward path over `x` in contiguous row chunks of
+    /// `batch` (clamped to ≥ 1): per chunk, reset the arena, stage the
+    /// rows, forward, and hand `f` the model, the logits buffer and the
+    /// chunk's row range. The one evaluation loop `evaluate_arena`,
+    /// `mean_loss_arena` and [`Sequential::predict_arena`] all share —
+    /// chunking never changes results, since every logit row's arithmetic
+    /// depends only on its own sample.
+    pub(crate) fn for_each_logit_chunk(
+        &mut self,
+        x: &Tensor,
+        batch: usize,
+        f: &mut dyn FnMut(&mut Sequential, ArenaBuf, usize, usize),
+    ) {
+        let n = x.shape()[0];
+        let batch = batch.max(1);
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + batch).min(n);
+            self.begin_step();
+            let xb = self.stage_rows(x, start, end);
+            let logits = self.forward_arena(xb);
+            f(self, logits, start, end);
+            start = end;
+        }
+    }
+
     /// Arena-path forward through all layers (see the type-level docs).
     pub fn forward_arena(&mut self, input: ArenaBuf) -> ArenaBuf {
         let mut x = input;
@@ -140,6 +193,13 @@ impl Sequential {
     /// Read an arena buffer produced by this model's arena passes.
     pub fn read_arena(&self, buf: ArenaBuf) -> &[f32] {
         buf.read(&self.scratch)
+    }
+
+    /// High-water mark of the model's scratch arena in bytes (see
+    /// [`Scratch::high_water_bytes`]) — benchmarks report this so arena
+    /// growth regressions are visible in recorded numbers.
+    pub fn arena_high_water_bytes(&self) -> usize {
+        self.scratch.high_water_bytes()
     }
 
     /// Reset all gradient accumulators.
@@ -235,21 +295,47 @@ impl Sequential {
     }
 
     /// Class predictions (argmax of logits) for a batch.
+    ///
+    /// Runs the arena forward path — the logits live in the model's
+    /// scratch arena instead of a freshly allocated tensor, so the only
+    /// allocation is the returned vector (and none at all through
+    /// [`Sequential::predict_arena`]). Bit-identical to forwarding through
+    /// the allocating path and taking the argmax.
     pub fn predict(&mut self, input: &Tensor) -> Vec<usize> {
-        let logits = self.forward(input);
-        let c = *logits.shape().last().expect("logits rank");
-        logits
-            .data()
-            .chunks_exact(c)
-            .map(|row| {
-                row.iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                    .map(|(i, _)| i)
-                    .unwrap_or(0)
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.predict_arena(input, &mut out);
+        out
     }
+
+    /// [`Sequential::predict`] into a caller-owned buffer: `out` is
+    /// cleared and refilled, so a reused buffer makes steady-state
+    /// prediction completely allocation-free.
+    ///
+    /// Processes the input in fixed-size chunks
+    /// ([`Sequential::for_each_logit_chunk`]) so one oversized call cannot
+    /// permanently inflate the grow-only arena of a long-lived
+    /// (worker-cached) model. Resets the model's arena (like any arena
+    /// step); arena buffers from a previous step are invalidated.
+    pub fn predict_arena(&mut self, input: &Tensor, out: &mut Vec<usize>) {
+        /// Rows staged per forward pass — caps the arena footprint of a
+        /// dataset-sized call at one batch (matches round evaluation).
+        const PREDICT_BATCH: usize = 256;
+        out.clear();
+        self.for_each_logit_chunk(input, PREDICT_BATCH, &mut |model, logits, _, _| {
+            let c = *logits.dims().last().expect("logits rank");
+            out.extend(model.read_arena(logits).chunks_exact(c).map(argmax_row));
+        });
+    }
+}
+
+/// Index of the row maximum (first occurrence wins; ties and NaNs resolve
+/// exactly as the historical allocating `predict` did).
+pub(crate) fn argmax_row(row: &[f32]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
 }
 
 #[cfg(test)]

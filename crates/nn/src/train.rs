@@ -329,6 +329,54 @@ pub fn sgd_epoch_reference<R: Rng>(
     (total / batches.max(1) as f64) as f32
 }
 
+/// Classification accuracy of `model` on `(x, y)` through the arena
+/// forward path, evaluated in batches.
+///
+/// The complement of [`sgd_epoch`] on the metrics side: batches are staged
+/// as contiguous row ranges ([`Sequential::stage_rows`], one `memcpy`, no
+/// index buffer), activations live in the model's scratch arena, and the
+/// running correct-count needs no prediction vector — so once the arena is
+/// sized by the first batch, evaluation performs **zero heap allocations**
+/// (`tests/alloc_free.rs` pins this for both MLP and CNN stacks).
+/// Bit-identical to [`evaluate`]: same batching, same forward arithmetic
+/// (the arena and allocating layer paths share their kernels), same
+/// argmax.
+pub fn evaluate_arena(model: &mut Sequential, x: &Tensor, y: &[usize], batch_size: usize) -> f32 {
+    let n = x.shape()[0];
+    assert_eq!(y.len(), n, "label count mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    model.for_each_logit_chunk(x, batch_size, &mut |model, logits, start, end| {
+        let c = *logits.dims().last().expect("logits rank");
+        correct += model
+            .read_arena(logits)
+            .chunks_exact(c)
+            .zip(&y[start..end])
+            .filter(|(row, &label)| crate::model::argmax_row(row) == label)
+            .count();
+    });
+    correct as f32 / n as f32
+}
+
+/// Mean softmax cross-entropy of `model` on `(x, y)` through the arena
+/// forward path, without training. The arena counterpart of
+/// [`mean_loss`]: bit-identical results, zero steady-state allocations.
+pub fn mean_loss_arena(model: &mut Sequential, x: &Tensor, y: &[usize], batch_size: usize) -> f32 {
+    let n = x.shape()[0];
+    assert_eq!(y.len(), n, "label count mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    model.for_each_logit_chunk(x, batch_size, &mut |model, logits, start, end| {
+        let (loss, _) = softmax_cross_entropy_arena(model.scratch_mut(), logits, &y[start..end]);
+        total += loss as f64 * (end - start) as f64;
+    });
+    (total / n as f64) as f32
+}
+
 /// Classification accuracy of `model` on `(x, y)`, evaluated in batches.
 pub fn evaluate(model: &mut Sequential, x: &Tensor, y: &[usize], batch_size: usize) -> f32 {
     let n = x.shape()[0];

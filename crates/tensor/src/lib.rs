@@ -32,7 +32,8 @@ mod tensor;
 pub use error::TensorError;
 pub use gemm::reference as gemm_reference;
 pub use gemm::{
-    gemm, gemm_nt, gemm_tn, matmul, matmul_nt, matmul_tn, par_gemm, par_gemm_nt, par_gemm_tn,
+    gemm, gemm_nt, gemm_tn, matmul, matmul_nt, matmul_tn, par_gemm, par_gemm_nt,
+    par_gemm_nt_packed, par_gemm_packed, par_gemm_tn, PackedPanels,
 };
 pub use ops::{
     add, add_assign, axpy, dot, hadamard, l2_norm, lerp, scale, scale_assign, sub, sub_assign,

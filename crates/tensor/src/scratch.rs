@@ -196,6 +196,15 @@ impl Scratch {
     pub fn capacity(&self) -> usize {
         self.data.len()
     }
+
+    /// [`Scratch::capacity`] in **bytes** — the heap footprint the arena
+    /// has grown to across all steps so far. Benchmarks report this so
+    /// arena growth regressions (a layer carving more scratch than it
+    /// used to) are visible in the recorded numbers, not just in RSS.
+    #[inline]
+    pub fn high_water_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<f32>()
+    }
 }
 
 #[cfg(test)]

@@ -1,27 +1,31 @@
-//! Allocation regression test for the compute hot path.
+//! Allocation regression tests for the compute hot path.
 //!
-//! The whole point of the arena-backed training refactor is that a
-//! steady-state training step — after the first batch has sized the
-//! per-model scratch arena, the cached model exists and the GEMM pack
-//! pools are warm — performs **zero heap allocations** in `Cached`
-//! execution mode. This test pins that property with a counting global
+//! The arena-backed refactors promise that a steady-state **round** — a
+//! training step plus the round's evaluation, after the first batch has
+//! sized the per-model scratch arena, the cached model exists and the GEMM
+//! pack pools are warm — performs **zero heap allocations** in `Cached`
+//! execution mode. These tests pin that property with a counting global
 //! allocator so any future change that sneaks a per-batch `Vec` or tensor
-//! allocation back into the step fails CI immediately.
+//! allocation back into the round fails CI immediately:
+//!
+//! * the MLP engine round (`local_train_plain_owned` + `evaluate_on_test`),
+//! * `evaluate_arena` / `mean_loss_arena` / `predict_arena` on an MLP,
+//! * a CNN stack (batched conv kernels) through `sgd_epoch` +
+//!   `evaluate_arena`.
 //!
 //! The counter is **thread-local** (a const-initialised `Cell`, which the
 //! allocator can touch without allocating), so pool worker threads and the
-//! libtest harness cannot perturb the measurement. The workload is sized
-//! to stay under the GEMM parallel threshold, so the entire step runs
-//! inline on the measuring thread on any host.
-//!
-//! This file intentionally contains a single `#[test]`.
+//! libtest harness cannot perturb the measurement. Every workload is sized
+//! to stay under the GEMM parallel threshold, so the measured work runs
+//! inline on the measuring thread on any host (and each `#[test]` runs on
+//! its own libtest thread with its own counter and warm-up).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
 use fedhisyn::core::engine::ExecMode;
 use fedhisyn::core::env::MomentumBank;
-use fedhisyn::core::local::local_train_plain_owned;
+use fedhisyn::core::local::{evaluate_on_test, local_train_plain_owned};
 use fedhisyn::core::FlEnv;
 use fedhisyn::nn::{ModelSpec, SgdConfig};
 use fedhisyn::prelude::Dataset;
@@ -103,19 +107,8 @@ fn tiny_env() -> FlEnv {
     }
 }
 
-#[test]
-fn steady_state_training_step_is_allocation_free() {
-    let env = tiny_env();
-    let init = env.spec.build(&mut rng_from_seed(0)).params();
-
-    // Warm-up: builds the cached model, sizes its arena on the first
-    // batch, fills the epoch-buffer and GEMM pack pools.
-    let mut params = init.clone();
-    for salt in 0..2 {
-        params = local_train_plain_owned(&env, 0, params, 1, 0, salt);
-    }
-
-    // Sanity: the counter must actually observe this thread's allocations.
+/// Sanity-check that the counting allocator observes this thread.
+fn assert_counter_wired() {
     let before_probe = thread_allocs();
     let probe = vec![0u8; 4096];
     assert!(
@@ -123,18 +116,38 @@ fn steady_state_training_step_is_allocation_free() {
         "counting allocator is not wired up"
     );
     drop(probe);
+}
 
-    // The pinned property: a steady-state Cached training step allocates
-    // NOTHING — no batch tensors, no activation buffers, no grad vectors,
-    // no pack buffers, no epoch bookkeeping.
+#[test]
+fn steady_state_round_is_allocation_free() {
+    let env = tiny_env();
+    let init = env.spec.build(&mut rng_from_seed(0)).params();
+
+    // Warm-up: builds the cached model, sizes its arena on the first
+    // batch, fills the epoch-buffer and GEMM pack pools — for both the
+    // training step and the round's evaluation.
+    let mut params = init.clone();
+    for salt in 0..2 {
+        params = local_train_plain_owned(&env, 0, params, 1, 0, salt);
+        let _ = evaluate_on_test(&env, &params);
+    }
+
+    assert_counter_wired();
+
+    // The pinned property: a steady-state Cached **round** — training step
+    // plus test-set evaluation — allocates NOTHING: no batch tensors, no
+    // activation buffers, no grad vectors, no pack buffers, no epoch
+    // bookkeeping, no prediction vectors.
     let before = thread_allocs();
     let trained = local_train_plain_owned(&env, 0, params, 1, 0, 9);
+    let acc = evaluate_on_test(&env, &trained);
     let steady_allocs = thread_allocs() - before;
     assert_eq!(
         steady_allocs, 0,
-        "steady-state Cached training step performed {steady_allocs} heap allocations"
+        "steady-state Cached round performed {steady_allocs} heap allocations"
     );
     assert!(trained.is_finite());
+    assert!((0.0..=1.0).contains(&acc));
 
     // Contrast: the rebuild-per-call Reference path allocates heavily —
     // which both sanity-checks the counter against real training work and
@@ -147,4 +160,123 @@ fn steady_state_training_step_is_allocation_free() {
         thread_allocs() - before > 50,
         "reference path should allocate per batch"
     );
+}
+
+/// The arena metric entry points on an MLP: `evaluate_arena`,
+/// `mean_loss_arena` and `predict_arena` (into a reused buffer) must all
+/// be zero-allocation once the model's arena is sized.
+#[test]
+fn steady_state_mlp_evaluation_is_allocation_free() {
+    let mut rng = rng_from_seed(11);
+    let n = 48;
+    let x = Tensor::randn(vec![n, 32], 1.0, &mut rng);
+    let y: Vec<usize> = (0..n).map(|i| i % 10).collect();
+    let mut model = ModelSpec::mlp(&[32, 24, 10]).build(&mut rng);
+    let mut preds = Vec::new();
+
+    // Warm-up sizes the arena and the prediction buffer.
+    let _ = fedhisyn::nn::evaluate_arena(&mut model, &x, &y, 16);
+    let _ = fedhisyn::nn::mean_loss_arena(&mut model, &x, &y, 16);
+    model.predict_arena(&x, &mut preds);
+
+    assert_counter_wired();
+
+    let before = thread_allocs();
+    let acc = fedhisyn::nn::evaluate_arena(&mut model, &x, &y, 16);
+    let loss = fedhisyn::nn::mean_loss_arena(&mut model, &x, &y, 16);
+    model.predict_arena(&x, &mut preds);
+    let steady_allocs = thread_allocs() - before;
+    assert_eq!(
+        steady_allocs, 0,
+        "steady-state MLP evaluation performed {steady_allocs} heap allocations"
+    );
+    assert!((0.0..=1.0).contains(&acc));
+    assert!(loss.is_finite());
+    assert_eq!(preds.len(), n);
+
+    // And the arena entry points agree exactly with the allocating layer
+    // path. `evaluate`/`predict` themselves route through the arena now,
+    // so compare against an explicit `Sequential::forward` (allocating
+    // `Layer::forward` stack) argmax to keep an independent reference.
+    let logits = model.forward(&x);
+    let c = logits.shape()[1];
+    let argmax = |row: &[f32]| {
+        row.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    };
+    let correct = logits
+        .data()
+        .chunks_exact(c)
+        .zip(&y)
+        .filter(|(row, &label)| argmax(row) == label)
+        .count();
+    assert_eq!(acc, correct as f32 / n as f32);
+    assert_eq!(
+        preds,
+        logits
+            .data()
+            .chunks_exact(c)
+            .map(argmax)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(loss, fedhisyn::nn::mean_loss(&mut model, &x, &y, 16));
+}
+
+/// The CNN stack (batched im2col conv, pool, flatten) through the arena
+/// paths: steady-state `sgd_epoch` + `evaluate_arena` must not allocate.
+/// Shapes keep every batched GEMM under the parallel FLOP threshold
+/// (largest: conv1 forward at 6·64·27·8 ≈ 83k < 2^18), so the whole
+/// epoch runs inline on the measuring thread.
+#[test]
+fn steady_state_cnn_round_is_allocation_free() {
+    let mut rng = rng_from_seed(21);
+    let n = 12;
+    let x = Tensor::randn(vec![n, 3, 8, 8], 1.0, &mut rng);
+    let y: Vec<usize> = (0..n).map(|i| i % 3).collect();
+    let mut model = ModelSpec::smoke_cnn(8, 3).build(&mut rng);
+    let mut sgd = fedhisyn::nn::Sgd::new(SgdConfig {
+        lr: 0.05,
+        momentum: 0.0,
+        weight_decay: 0.0,
+    });
+    let mut train_rng = rng_from_seed(22);
+
+    // Warm-up: sizes the (batched-conv) arena, packs the weight panels,
+    // fills the epoch-buffer pools.
+    for _ in 0..2 {
+        let _ = fedhisyn::nn::sgd_epoch(
+            &mut model,
+            &x,
+            &y,
+            6,
+            &mut sgd,
+            &fedhisyn::nn::NoHook,
+            &mut train_rng,
+        );
+        let _ = fedhisyn::nn::evaluate_arena(&mut model, &x, &y, 6);
+    }
+
+    assert_counter_wired();
+
+    let before = thread_allocs();
+    let loss = fedhisyn::nn::sgd_epoch(
+        &mut model,
+        &x,
+        &y,
+        6,
+        &mut sgd,
+        &fedhisyn::nn::NoHook,
+        &mut train_rng,
+    );
+    let acc = fedhisyn::nn::evaluate_arena(&mut model, &x, &y, 6);
+    let steady_allocs = thread_allocs() - before;
+    assert_eq!(
+        steady_allocs, 0,
+        "steady-state CNN round performed {steady_allocs} heap allocations"
+    );
+    assert!(loss.is_finite());
+    assert!((0.0..=1.0).contains(&acc));
 }
