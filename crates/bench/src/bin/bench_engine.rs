@@ -24,11 +24,14 @@ use fedhisyn_core::{run_experiment, ExecMode, ExperimentConfig, FedHiSyn, RunRec
 use fedhisyn_data::{DatasetProfile, Partition, Scale};
 use fedhisyn_fleet::FleetDynamics;
 use fedhisyn_nn::init::Init;
+use fedhisyn_nn::layers::ConvStageProfile;
 use fedhisyn_nn::layers::{Conv2d, ConvExec, Dense, Flatten, MaxPool2d, Relu};
 use fedhisyn_nn::{
     evaluate_arena, sgd_epoch, sgd_epoch_reference, ModelSpec, NoHook, Sequential, Sgd, SgdConfig,
 };
-use fedhisyn_tensor::{gemm, gemm_reference, rng_from_seed, Tensor};
+use fedhisyn_tensor::{
+    active_tier, gemm, gemm_reference, gemm_with_tier, rng_from_seed, KernelTier, Tensor,
+};
 use serde::Serialize;
 
 // ---- counting allocator (steady-state zero-alloc proof) ------------------
@@ -72,6 +75,15 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 const PR2_CACHED_ROUNDS_PER_SEC: f64 = 46.35;
 const PR2_CHURN_FEDHISYN_ROUNDS_PER_SEC: f64 = 26.42;
 
+/// PR 4 blocked-GEMM GFLOP/s at the benchmark shapes (scalar 4×8 tier on
+/// this box) — the baselines the AVX2 dispatch acceptance criterion
+/// (≥ 1.5× on an AVX2 host) compares against.
+const PR4_GEMM_BLOCKED_GFLOPS: &[(usize, usize, usize, f64)] = &[
+    (50, 784, 200, 20.21),
+    (128, 128, 128, 20.44),
+    (32, 288, 256, 19.17),
+];
+
 #[derive(Debug, Serialize)]
 struct ModeResult {
     mode: String,
@@ -106,10 +118,23 @@ struct GemmBench {
     m: usize,
     k: usize,
     n: usize,
+    /// The dispatched tier's blocked kernel (scalar, AVX2 or AVX2+FMA —
+    /// whatever `active_tier()` selected for this process).
     blocked_gflops: f64,
     naive_gflops: f64,
+    /// The FMA tier on the same operands, when the host supports it
+    /// (0.0 otherwise) — recorded even when FMA is not the dispatch
+    /// default so the headroom is visible.
+    fma_gflops: f64,
     speedup: f64,
+    /// Dispatched kernel vs the recorded PR 4 (scalar-tier) baseline at
+    /// this shape; the acceptance bar is ≥ 1.5× on an AVX2 host.
+    speedup_vs_pr4: f64,
     bit_identical: bool,
+    /// The dispatched tier and what it *claims*: a tier claiming
+    /// bit-identity must measure bit-identical (asserted in `print_gemm`).
+    kernel_tier: String,
+    tier_claims_bit_identical: bool,
 }
 
 #[derive(Debug, Serialize)]
@@ -155,6 +180,10 @@ struct EngineReport {
     workload: String,
     devices: usize,
     local_epochs: usize,
+    /// The GEMM micro-kernel tier every step in this report dispatched to,
+    /// and whether that tier is inside the bit-determinism contract.
+    kernel_tier: String,
+    kernel_tier_bit_identical: bool,
     results: Vec<ModeResult>,
     speedup: f64,
     bit_identical: bool,
@@ -163,6 +192,7 @@ struct EngineReport {
     speedup_vs_pr2: f64,
     churn_speedup_vs_pr2: f64,
     gemm: Vec<GemmBench>,
+    conv_stages: ConvStageBench,
     step: StepBench,
     cnn_step: CnnStepBench,
     churn: ChurnReport,
@@ -186,8 +216,11 @@ fn time_per_call(mut f: impl FnMut()) -> f64 {
     }
 }
 
-/// Blocked kernel vs naive reference at training-relevant shapes.
+/// Dispatched blocked kernel vs naive reference at training-relevant
+/// shapes, stamped with the kernel tier and compared against the recorded
+/// PR 4 (scalar-tier) baselines.
 fn bench_gemm() -> Vec<GemmBench> {
+    let tier = active_tier();
     // Forward of the paper MLP's first layer, a square mid-size, and a
     // conv-lowered shape (filters × CKK × OHOW).
     let shapes: &[(usize, usize, usize)] = &[(50, 784, 200), (128, 128, 128), (32, 288, 256)];
@@ -199,24 +232,120 @@ fn bench_gemm() -> Vec<GemmBench> {
             let b = Tensor::randn(vec![k, n], 1.0, &mut rng);
             let mut c_blocked = vec![0.0f32; m * n];
             let mut c_naive = vec![0.0f32; m * n];
+            let mut c_fma = vec![0.0f32; m * n];
             let blocked_secs = time_per_call(|| {
                 gemm(a.data(), b.data(), &mut c_blocked, m, k, n, 1.0, 0.0);
             });
             let naive_secs = time_per_call(|| {
                 gemm_reference::gemm(a.data(), b.data(), &mut c_naive, m, k, n, 1.0, 0.0);
             });
+            let fma_secs = if KernelTier::Avx2Fma.available() {
+                time_per_call(|| {
+                    gemm_with_tier(
+                        KernelTier::Avx2Fma,
+                        a.data(),
+                        b.data(),
+                        &mut c_fma,
+                        m,
+                        k,
+                        n,
+                        1.0,
+                        0.0,
+                    );
+                })
+            } else {
+                f64::INFINITY
+            };
             let flops = 2.0 * (m * k * n) as f64;
+            let blocked_gflops = flops / blocked_secs / 1e9;
+            let pr4 = PR4_GEMM_BLOCKED_GFLOPS
+                .iter()
+                .find(|&&(bm, bk, bn, _)| (bm, bk, bn) == (m, k, n))
+                .map(|&(_, _, _, g)| g)
+                .unwrap_or(f64::NAN);
             GemmBench {
                 m,
                 k,
                 n,
-                blocked_gflops: flops / blocked_secs / 1e9,
+                blocked_gflops,
                 naive_gflops: flops / naive_secs / 1e9,
+                fma_gflops: if fma_secs.is_finite() {
+                    flops / fma_secs / 1e9
+                } else {
+                    0.0
+                },
                 speedup: naive_secs / blocked_secs,
+                speedup_vs_pr4: blocked_gflops / pr4,
                 bit_identical: c_blocked == c_naive,
+                kernel_tier: tier.name().into(),
+                tier_claims_bit_identical: tier.bit_identical(),
             }
         })
         .collect()
+}
+
+#[derive(Debug, Serialize)]
+struct ConvStageBench {
+    workload: String,
+    kernel_tier: String,
+    steps: u32,
+    /// Seconds per step spent in each stage kind.
+    im2col_secs: f64,
+    gemm_secs: f64,
+    transpose_secs: f64,
+    col2im_secs: f64,
+    /// Shares of the instrumented step total — the memory-bound
+    /// (im2col + transpose + col2im) vs compute-bound (GEMM) split.
+    im2col_share: f64,
+    gemm_share: f64,
+    transpose_share: f64,
+    col2im_share: f64,
+}
+
+/// Per-stage timing breakdown of a conv forward+backward step at the CNN
+/// benchmark's first-layer shape, so the memory-bound-vs-compute-bound
+/// split is visible in `BENCH_engine.json` across PRs.
+fn bench_conv_stages() -> ConvStageBench {
+    let mut rng = rng_from_seed(55);
+    let (b, c, hw, f, k, pad) = (16, 3, 16, 8, 3, 1);
+    let mut layer = Conv2d::new(c, f, k, pad, Init::HeNormal, &mut rng);
+    let x = Tensor::randn(vec![b, c, hw, hw], 1.0, &mut rng);
+    let _ = layer.profile_step(&x); // warm buffers, panels, pools
+    let mut total = ConvStageProfile::default();
+    let mut steps = 0u32;
+    while total.total_secs() < 0.2 {
+        total.accumulate(&layer.profile_step(&x));
+        steps += 1;
+    }
+    let per = 1.0 / f64::from(steps);
+    let sum = total.total_secs();
+    ConvStageBench {
+        workload: format!("conv {c}→{f} k{k} pad{pad} on [{b}, {c}, {hw}, {hw}]"),
+        kernel_tier: active_tier().name().into(),
+        steps,
+        im2col_secs: total.im2col_secs * per,
+        gemm_secs: total.gemm_secs * per,
+        transpose_secs: total.transpose_secs * per,
+        col2im_secs: total.col2im_secs * per,
+        im2col_share: total.im2col_secs / sum,
+        gemm_share: total.gemm_secs / sum,
+        transpose_share: total.transpose_secs / sum,
+        col2im_share: total.col2im_secs / sum,
+    }
+}
+
+fn print_conv_stages(cs: &ConvStageBench) {
+    println!("== conv per-stage breakdown ({}) ==", cs.workload);
+    println!(
+        "  im2col {:>5.1}%  gemm {:>5.1}%  transpose {:>5.1}%  col2im {:>5.1}%  \
+         ({} steps, kernel tier: {})",
+        cs.im2col_share * 100.0,
+        cs.gemm_share * 100.0,
+        cs.transpose_share * 100.0,
+        cs.col2im_share * 100.0,
+        cs.steps,
+        cs.kernel_tier
+    );
 }
 
 /// Arena epoch vs copy-based reference epoch on the paper-shaped MLP,
@@ -544,17 +673,35 @@ fn time_mode(cfg: &ExperimentConfig, mode: ExecMode) -> (ModeResult, fedhisyn_nn
 }
 
 fn print_gemm(gemm_results: &[GemmBench]) {
-    println!("== blocked GEMM vs naive reference ==");
+    println!(
+        "== blocked GEMM ({} tier) vs naive reference ==",
+        active_tier().name()
+    );
     for g in gemm_results {
         println!(
             "  {:>3}x{:<3}x{:<3}  blocked {:>6.2} GFLOP/s  naive {:>6.2} GFLOP/s  \
-             ({:.2}x, bit-identical: {})",
-            g.m, g.k, g.n, g.blocked_gflops, g.naive_gflops, g.speedup, g.bit_identical
+             fma {:>6.2} GFLOP/s  ({:.2}x, vs PR4 {:.2}x, bit-identical: {})",
+            g.m,
+            g.k,
+            g.n,
+            g.blocked_gflops,
+            g.naive_gflops,
+            g.fma_gflops,
+            g.speedup,
+            g.speedup_vs_pr4,
+            g.bit_identical
         );
-        assert!(
-            g.bit_identical,
-            "blocked kernel diverged from the naive reference"
-        );
+        // The dispatched kernel must honour its tier's bit-identity claim:
+        // scalar and AVX2 promise exact equality with the naive reference
+        // and must deliver it. (A non-claiming tier — FMA — promises
+        // nothing here; its accuracy is covered by the dispatch tests.)
+        if g.tier_claims_bit_identical {
+            assert!(
+                g.bit_identical,
+                "{} tier claims bit-identity but diverged from the reference",
+                g.kernel_tier
+            );
+        }
     }
 }
 
@@ -582,6 +729,7 @@ fn main() {
     let (cached, cached_global) = time_mode(&cfg, ExecMode::Cached);
     let (reference, reference_global) = time_mode(&cfg, ExecMode::Reference);
     let gemm_results = bench_gemm();
+    let conv_stages = bench_conv_stages();
     let step = bench_step();
     let cnn_step = bench_cnn_step();
 
@@ -612,18 +760,24 @@ fn main() {
         workload: "smoke MNIST-like MLP, 100 devices, Dirichlet(0.1), K=10".into(),
         devices: cfg.n_devices,
         local_epochs: cfg.local_epochs,
+        kernel_tier: fedhisyn_core::ExecutionEngine::kernel_tier().into(),
+        kernel_tier_bit_identical: fedhisyn_core::ExecutionEngine::kernel_tier_bit_identical(),
         speedup: cached.rounds_per_sec / reference.rounds_per_sec.max(1e-12),
         bit_identical: cached_global == reference_global,
         speedup_vs_pr2: cached.rounds_per_sec / PR2_CACHED_ROUNDS_PER_SEC,
         churn_speedup_vs_pr2: churn_fedhisyn_rps / PR2_CHURN_FEDHISYN_ROUNDS_PER_SEC,
         results: vec![cached, reference],
         gemm: gemm_results,
+        conv_stages,
         step,
         cnn_step,
         churn,
     };
 
-    println!("== execution engine: FedHiSyn rounds/sec ==");
+    println!(
+        "== execution engine: FedHiSyn rounds/sec (kernel tier: {}) ==",
+        report.kernel_tier
+    );
     for r in &report.results {
         println!(
             "  {:<10} {:>6.2} rounds/s  ({} rounds in {:.2}s, final acc {:.1}%)",
@@ -644,6 +798,7 @@ fn main() {
     );
 
     print_gemm(&report.gemm);
+    print_conv_stages(&report.conv_stages);
 
     println!("== arena training step ==");
     println!(

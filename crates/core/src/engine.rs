@@ -128,6 +128,20 @@ impl ExecutionEngine {
         out
     }
 
+    /// Which GEMM micro-kernel tier every training/evaluation step in this
+    /// process dispatches to (`"scalar"`, `"avx2"` or `"avx2_fma"`) —
+    /// surfaced here so runners and benches can stamp results with the
+    /// kernel that produced them.
+    pub fn kernel_tier() -> &'static str {
+        fedhisyn_tensor::active_tier().name()
+    }
+
+    /// Whether the dispatched kernel tier is covered by the workspace's
+    /// bit-determinism contract (everything except the opt-in FMA tier).
+    pub fn kernel_tier_bit_identical() -> bool {
+        fedhisyn_tensor::active_tier().bit_identical()
+    }
+
     /// Process-wide `(hits, misses)` of the model cache. A miss builds a
     /// model; steady-state rounds should be all hits — the scheduler's
     /// affinity hints make this deterministic rather than best-effort.

@@ -1,11 +1,11 @@
 //! Fully-connected layer.
 
-use fedhisyn_tensor::{par_gemm_nt, par_gemm_packed, par_gemm_tn, PackedPanels, Scratch, Tensor};
+use fedhisyn_tensor::{par_gemm_nt, par_gemm_packed, par_gemm_tn, Scratch, Tensor};
 use rand::Rng;
 
 use crate::arena::ArenaBuf;
 use crate::init::Init;
-use crate::layers::Layer;
+use crate::layers::{Layer, WeightPanelCache};
 
 /// A fully-connected layer: `Y = X · W + b`.
 ///
@@ -36,10 +36,9 @@ pub struct Dense {
     cached_arena_input: Option<ArenaBuf>,
     in_features: usize,
     out_features: usize,
-    /// Forward-orientation weight panels (`pack_from_b` of `[in, out]`).
-    packed_weight: PackedPanels,
-    packed_version: u64,
-    weights_version: u64,
+    /// Forward-orientation weight panels (`pack_from_b` of `[in, out]`),
+    /// content-keyed (see [`WeightPanelCache`]).
+    panel_cache: WeightPanelCache,
 }
 
 impl Dense {
@@ -60,9 +59,7 @@ impl Dense {
             cached_arena_input: None,
             in_features,
             out_features,
-            packed_weight: PackedPanels::new(),
-            packed_version: 0,
-            weights_version: 1,
+            panel_cache: WeightPanelCache::new(),
         }
     }
 
@@ -88,21 +85,19 @@ impl Dense {
         batch
     }
 
-    /// Repack the forward weight panels iff the weights changed since the
-    /// last pack.
-    fn ensure_packed(&mut self) {
-        if self.packed_version != self.weights_version {
-            self.packed_weight
-                .pack_from_b(self.weight.data(), self.in_features, self.out_features);
-            self.packed_version = self.weights_version;
-        }
+    /// Actual panel packs performed over this layer's lifetime (content
+    /// hash hits replay the pack without bumping this).
+    pub fn weight_pack_count(&self) -> u64 {
+        self.panel_cache.pack_count()
     }
 
     /// `out = X · W + b` on raw slices — the single forward kernel both
     /// paths share, run against the cached weight panels.
     fn forward_core(&mut self, x: &[f32], out: &mut [f32], batch: usize) {
-        self.ensure_packed();
-        par_gemm_packed(x, &self.packed_weight, out, batch, 1.0, 0.0);
+        let (kin, kout) = (self.in_features, self.out_features);
+        self.panel_cache
+            .ensure(self.weight.data(), |p, w| p.pack_from_b(w, kin, kout));
+        par_gemm_packed(x, self.panel_cache.panels(), out, batch, 1.0, 0.0);
         // Broadcast-add the bias to every row.
         let bias = self.bias.data();
         for row in out.chunks_exact_mut(self.out_features) {
@@ -214,8 +209,9 @@ impl Layer for Dense {
     }
 
     fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Tensor)) {
-        // The caller may rewrite the weights; invalidate the panel cache.
-        self.weights_version += 1;
+        // The caller may rewrite the weights — possibly with identical
+        // bits (set_params relaying a model): content-check next forward.
+        self.panel_cache.note_maybe_changed();
         f(&mut self.weight);
         f(&mut self.bias);
     }
@@ -226,7 +222,9 @@ impl Layer for Dense {
     }
 
     fn visit_params_grads_mut(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
-        self.weights_version += 1;
+        // The params+grads visitor is the in-place SGD step: the weights
+        // certainly change, so the next forward repacks without hashing.
+        self.panel_cache.note_certainly_changed();
         f(&mut self.weight, &mut self.grad_weight);
         f(&mut self.bias, &mut self.grad_bias);
     }
@@ -332,6 +330,33 @@ mod tests {
         });
         let y2 = fresh.forward(&x);
         assert_eq!(y1.data(), y2.data());
+    }
+
+    /// Content-keyed panel reuse on the dense forward: identical bits
+    /// handed out mutably must not repack; changed bits must.
+    #[test]
+    fn identical_weight_content_shares_one_pack() {
+        let mut rng = rng_from_seed(7);
+        let mut layer = Dense::new(4, 3, Init::HeNormal, &mut rng);
+        let x = Tensor::randn(vec![2, 4], 1.0, &mut rng);
+        let y0 = layer.forward(&x);
+        assert_eq!(layer.weight_pack_count(), 1);
+        let snapshot = layer.weight.data().to_vec();
+        layer.visit_params_mut(&mut |t| {
+            if t.len() == snapshot.len() {
+                t.data_mut().copy_from_slice(&snapshot);
+            }
+        });
+        let y1 = layer.forward(&x);
+        assert_eq!(layer.weight_pack_count(), 1, "identical content repacked");
+        assert_eq!(y0.data(), y1.data());
+        layer.visit_params_mut(&mut |t| {
+            if t.len() == snapshot.len() {
+                t.fill(0.5);
+            }
+        });
+        let _ = layer.forward(&x);
+        assert_eq!(layer.weight_pack_count(), 2, "changed content not repacked");
     }
 
     #[test]

@@ -10,11 +10,14 @@ mod activations;
 mod conv;
 mod dense;
 mod flatten;
+mod panel_cache;
 mod pool;
 mod relu;
 
+pub(crate) use panel_cache::WeightPanelCache;
+
 pub use activations::{Sigmoid, Tanh};
-pub use conv::{Conv2d, ConvExec};
+pub use conv::{Conv2d, ConvExec, ConvStageProfile};
 pub use dense::Dense;
 pub use flatten::Flatten;
 pub use pool::MaxPool2d;

@@ -1,0 +1,147 @@
+//! Content-keyed cache around [`PackedPanels`], shared by every layer
+//! that replays pre-packed forward weight panels.
+//!
+//! The cache distinguishes two kinds of weight mutation (see the conv
+//! module docs on content keying):
+//!
+//! * **certainly changed** — the in-place SGD step. The next [`ensure`]
+//!   repacks immediately, without hashing: the steady training path pays
+//!   nothing beyond the pack it always needed.
+//! * **maybe same** — a `set_params`-style rewrite (ring hops relaying a
+//!   model, broadcast starts, eval sweeps). The next [`ensure`] hashes
+//!   the weight content ([`content_hash_f32`]) and, when the bits match
+//!   the pack's recorded hash, re-keys the existing pack instead of
+//!   repacking — hops relaying the *same* upstream model share one pack.
+//!
+//! [`ensure`]: WeightPanelCache::ensure
+
+use fedhisyn_tensor::{content_hash_f32, PackedPanels};
+
+/// Content-keyed [`PackedPanels`] holder (state machine described in the
+/// module docs). Layer-agnostic: the packing orientation and geometry
+/// live in the closure the owning layer passes to [`ensure`].
+///
+/// [`ensure`]: WeightPanelCache::ensure
+#[derive(Debug, Clone)]
+pub(crate) struct WeightPanelCache {
+    panels: PackedPanels,
+    /// Version of the weights the current pack was taken at.
+    packed_version: u64,
+    /// Content hash the current pack was taken from; `None` when the pack
+    /// was refreshed on the certainly-changed path without hashing.
+    packed_hash: Option<u64>,
+    /// Set by [`WeightPanelCache::note_certainly_changed`]; cleared by the
+    /// next [`WeightPanelCache::ensure`].
+    certainly_changed: bool,
+    /// Bumped whenever a caller could have mutated the weights.
+    version: u64,
+}
+
+impl WeightPanelCache {
+    pub(crate) fn new() -> Self {
+        WeightPanelCache {
+            panels: PackedPanels::new(),
+            packed_version: 0,
+            packed_hash: None,
+            certainly_changed: false,
+            version: 1,
+        }
+    }
+
+    /// A visitor may have rewritten the weights with anything, including
+    /// the same bits (`set_params` relaying a model): content-check on the
+    /// next [`WeightPanelCache::ensure`].
+    pub(crate) fn note_maybe_changed(&mut self) {
+        self.version += 1;
+    }
+
+    /// A visitor certainly rewrote the weights (the in-place SGD step):
+    /// skip the content check and repack on the next
+    /// [`WeightPanelCache::ensure`].
+    pub(crate) fn note_certainly_changed(&mut self) {
+        self.version += 1;
+        self.certainly_changed = true;
+    }
+
+    /// Bring the pack up to date with `weights`, invoking `pack` only when
+    /// the content actually changed since the last pack.
+    pub(crate) fn ensure(&mut self, weights: &[f32], pack: impl FnOnce(&mut PackedPanels, &[f32])) {
+        if self.packed_version == self.version {
+            return;
+        }
+        if self.certainly_changed {
+            pack(&mut self.panels, weights);
+            self.packed_hash = None;
+        } else {
+            let hash = content_hash_f32(weights);
+            if self.panels.is_empty() || self.packed_hash != Some(hash) {
+                pack(&mut self.panels, weights);
+                self.packed_hash = Some(hash);
+            }
+        }
+        self.certainly_changed = false;
+        self.packed_version = self.version;
+    }
+
+    /// The cached panels (valid after [`WeightPanelCache::ensure`]).
+    #[inline]
+    pub(crate) fn panels(&self) -> &PackedPanels {
+        &self.panels
+    }
+
+    /// Actual packs performed over this cache's lifetime (content-hash
+    /// hits replay the pack without bumping this).
+    #[inline]
+    pub(crate) fn pack_count(&self) -> u64 {
+        self.panels.pack_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pack_all(p: &mut PackedPanels, w: &[f32]) {
+        p.pack_from_b(w, 1, w.len());
+    }
+
+    #[test]
+    fn maybe_same_content_reuses_the_pack() {
+        let mut cache = WeightPanelCache::new();
+        let w = [1.0f32, 2.0, 3.0];
+        cache.ensure(&w, pack_all);
+        assert_eq!(cache.pack_count(), 1);
+        // No mutation noted: ensure is a version-check no-op.
+        cache.ensure(&w, pack_all);
+        assert_eq!(cache.pack_count(), 1);
+        // Maybe-changed with identical bits: hash hit, pack replayed.
+        cache.note_maybe_changed();
+        cache.ensure(&w, pack_all);
+        assert_eq!(cache.pack_count(), 1);
+        // Maybe-changed with different bits: repack.
+        cache.note_maybe_changed();
+        cache.ensure(&[1.0, 2.0, 4.0], pack_all);
+        assert_eq!(cache.pack_count(), 2);
+    }
+
+    #[test]
+    fn certainly_changed_skips_hashing_and_always_repacks() {
+        let mut cache = WeightPanelCache::new();
+        let w = [5.0f32, 6.0];
+        cache.ensure(&w, pack_all);
+        assert_eq!(cache.pack_count(), 1);
+        // Even identical bits repack on the certainly-changed path (the
+        // training path never pays for hashing).
+        cache.note_certainly_changed();
+        cache.ensure(&w, pack_all);
+        assert_eq!(cache.pack_count(), 2);
+        // The stale (None) hash cannot be matched: the next maybe-same
+        // rewrite hashes fresh, repacks once, then reuses.
+        cache.note_maybe_changed();
+        cache.ensure(&w, pack_all);
+        assert_eq!(cache.pack_count(), 3);
+        cache.note_maybe_changed();
+        cache.ensure(&w, pack_all);
+        assert_eq!(cache.pack_count(), 3);
+    }
+}

@@ -4,30 +4,38 @@
 //! * `gemm_nt` — `C = α·A·Bᵀ + β·C` with `A:[m,k]`, `B:[n,k]` (input grads)
 //! * `gemm_tn` — `C = α·Aᵀ·B + β·C` with `A:[k,m]`, `B:[k,n]` (weight grads)
 //!
-//! # Blocked micro-kernel
+//! # Blocked micro-kernel, runtime-dispatched
 //!
 //! All three orientations are computed by one register-tiled micro-kernel
 //! over `MR×NR` output panels. A and B are first repacked into p-major
 //! panels (`apack[p·MR + r]`, `bpack[p·NR + j]`) so the inner loop streams
-//! both operands contiguously and LLVM auto-vectorizes the fixed-bound
-//! `MR×NR` multiply-add lattice into `f32` lanes; the packing cost is
-//! `O(mk + kn)` against `O(mkn)` arithmetic. Pack buffers live in
-//! thread-local pools (checked out per call, returned after), so
-//! steady-state kernels perform **no heap allocation**. Problems under
-//! [`BLOCKED_MIN_FLOPS`] skip packing and run a streaming scalar kernel.
+//! both operands contiguously; the packing cost is `O(mk + kn)` against
+//! `O(mkn)` arithmetic. Pack buffers live in thread-local pools (checked
+//! out per call, returned after), so steady-state kernels perform **no
+//! heap allocation**. Problems under [`BLOCKED_MIN_FLOPS`] skip packing
+//! and run a streaming scalar kernel.
+//!
+//! **Which** micro-kernel runs — and with which tile geometry — is decided
+//! once per process by [`crate::dispatch`]: the portable scalar `4×8`
+//! lattice (LLVM auto-vectorized at the baseline target), a hand-written
+//! AVX2 `6×16` tile, or its FMA variant (opt-in; see the dispatch docs for
+//! the per-tier determinism contract). `FEDHISYN_FORCE_SCALAR=1` pins the
+//! scalar tier.
 //!
 //! # Determinism invariants
 //!
 //! Every path — naive reference, small scalar, blocked serial, blocked
-//! parallel, any thread count — accumulates each output element in the
-//! **same order**: `p = 0..k` sequentially, with identical α/β placement
-//! per orientation (`gemm`/`gemm_tn` start from the β-scaled output and
-//! add `(α·a)·b` terms; `gemm_nt` sums raw `a·b` products and applies
-//! `α·Σ + β·c` once). Blocking tiles only `m` and `n`, never the reduction
-//! dimension, and parallelism splits rows of `C`, so results are
-//! bit-identical everywhere. The [`reference`] module keeps the naive
-//! triple-loop kernels as the executable statement of that contract; the
-//! equivalence tests assert exact equality against them.
+//! parallel, scalar or AVX2 tier, any thread count — accumulates each
+//! output element in the **same order**: `p = 0..k` sequentially, with
+//! identical α/β placement per orientation (`gemm`/`gemm_tn` start from
+//! the β-scaled output and add `(α·a)·b` terms; `gemm_nt` sums raw `a·b`
+//! products and applies `α·Σ + β·c` once). Blocking tiles only `m` and
+//! `n`, never the reduction dimension; parallelism splits rows of `C`; and
+//! the AVX2 tile vectorizes across columns with separate IEEE multiply and
+//! add — so results are bit-identical everywhere (the opt-in FMA tier is
+//! the sole, documented exception). The [`reference`] module keeps the
+//! naive triple-loop kernels as the executable statement of that contract;
+//! the equivalence tests assert exact equality against them.
 //!
 //! [`par_gemm`], [`par_gemm_nt`] and [`par_gemm_tn`] fan out across the
 //! rayon pool above a FLOP threshold and fall back to the serial kernels
@@ -37,6 +45,7 @@ use std::cell::Cell;
 
 use rayon::prelude::*;
 
+use crate::dispatch::{active_tier, KernelTier};
 use crate::{Result, Tensor, TensorError};
 
 /// Minimum number of `m·k·n` multiply-adds before the parallel entry
@@ -49,10 +58,10 @@ const PAR_FLOP_THRESHOLD: usize = 1 << 18;
 /// produce bit-identical results — see the module docs).
 const BLOCKED_MIN_FLOPS: usize = 1 << 13;
 
-/// Rows per register tile.
-const MR: usize = 4;
-/// Columns per register tile (two SSE / one AVX `f32` vector).
-const NR: usize = 8;
+/// Rows per scalar-tier register tile.
+pub(crate) const SCALAR_MR: usize = 4;
+/// Columns per scalar-tier register tile (two SSE / one AVX `f32` vector).
+pub(crate) const SCALAR_NR: usize = 8;
 
 thread_local! {
     /// Per-thread pack-buffer pools, checked out per kernel invocation so
@@ -168,54 +177,68 @@ fn checkin_b(buf: Vec<f32>) {
 }
 
 // ---- panel packing -------------------------------------------------------
+//
+// Packing is tier-geometry-parameterized but always scalar code: the packed
+// values (including the α pre-scale) are produced identically for every
+// tier, which is one leg of the cross-tier bit-identity argument.
 
-/// Pack columns `j0..j0+w` of row-major `B:[k,n]` into a p-major `[k, NR]`
+/// Pack columns `j0..j0+w` of row-major `B:[k,n]` into a p-major `[k, nr]`
 /// panel, zero-padding lanes past `w`.
-fn pack_b_n(b: &[f32], k: usize, n: usize, j0: usize, w: usize, out: &mut [f32]) {
-    debug_assert_eq!(out.len(), k * NR);
+fn pack_b_n(b: &[f32], k: usize, n: usize, j0: usize, w: usize, nr: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), k * nr);
     for p in 0..k {
         let brow = &b[p * n + j0..p * n + j0 + w];
-        let dst = &mut out[p * NR..(p + 1) * NR];
+        let dst = &mut out[p * nr..(p + 1) * nr];
         dst[..w].copy_from_slice(brow);
         dst[w..].fill(0.0);
     }
 }
 
 /// Pack rows `j0..j0+w` of row-major `B:[n,k]` (the transposed operand of
-/// `gemm_nt`) into a p-major `[k, NR]` panel.
-fn pack_b_t(b: &[f32], k: usize, j0: usize, w: usize, out: &mut [f32]) {
-    debug_assert_eq!(out.len(), k * NR);
-    for chunk in out.chunks_exact_mut(NR) {
+/// `gemm_nt`) into a p-major `[k, nr]` panel.
+fn pack_b_t(b: &[f32], k: usize, j0: usize, w: usize, nr: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), k * nr);
+    for chunk in out.chunks_exact_mut(nr) {
         chunk.fill(0.0);
     }
     for (j, brow) in b[j0 * k..(j0 + w) * k].chunks_exact(k).enumerate() {
         for (p, &v) in brow.iter().enumerate() {
-            out[p * NR + j] = v;
+            out[p * nr + j] = v;
         }
     }
 }
 
-/// Pack rows `i0..i0+h` of row-major `A:[m,k]` into a p-major `[k, MR]`
+/// Pack rows `i0..i0+h` of row-major `A:[m,k]` into a p-major `[k, mr]`
 /// panel, pre-scaled by `alpha`.
-fn pack_a_n(a: &[f32], k: usize, i0: usize, h: usize, alpha: f32, out: &mut [f32]) {
-    debug_assert_eq!(out.len(), k * MR);
-    for chunk in out.chunks_exact_mut(MR) {
+fn pack_a_n(a: &[f32], k: usize, i0: usize, h: usize, alpha: f32, mr: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), k * mr);
+    for chunk in out.chunks_exact_mut(mr) {
         chunk.fill(0.0);
     }
     for (r, arow) in a[i0 * k..(i0 + h) * k].chunks_exact(k).enumerate() {
         for (p, &v) in arow.iter().enumerate() {
-            out[p * MR + r] = alpha * v;
+            out[p * mr + r] = alpha * v;
         }
     }
 }
 
 /// Pack columns `i0..i0+h` of row-major `A:[k,m]` (the transposed operand
-/// of `gemm_tn`) into a p-major `[k, MR]` panel, pre-scaled by `alpha`.
-fn pack_a_t(a: &[f32], m: usize, k: usize, i0: usize, h: usize, alpha: f32, out: &mut [f32]) {
-    debug_assert_eq!(out.len(), k * MR);
+/// of `gemm_tn`) into a p-major `[k, mr]` panel, pre-scaled by `alpha`.
+#[allow(clippy::too_many_arguments)] // BLAS-style internals
+fn pack_a_t(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    i0: usize,
+    h: usize,
+    alpha: f32,
+    mr: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), k * mr);
     for p in 0..k {
         let arow = &a[p * m + i0..p * m + i0 + h];
-        let dst = &mut out[p * MR..(p + 1) * MR];
+        let dst = &mut out[p * mr..(p + 1) * mr];
         for (d, &v) in dst[..h].iter_mut().zip(arow) {
             *d = alpha * v;
         }
@@ -227,7 +250,7 @@ fn pack_a_t(a: &[f32], m: usize, k: usize, i0: usize, h: usize, alpha: f32, out:
 
 /// How the register tile is seeded and written back.
 #[derive(Clone, Copy, PartialEq)]
-enum Accum {
+pub(crate) enum Accum {
     /// Seed `acc = β·c` (0 when β = 0, clobbering NaNs) and store `acc`
     /// directly — the `gemm`/`gemm_tn` flavour, whose A panels carry the
     /// α pre-scale.
@@ -237,8 +260,9 @@ enum Accum {
     ScaledOnStore { alpha: f32, beta: f32 },
 }
 
-/// The register-tiled inner kernel: one `rows×cols` corner of an `MR×NR`
-/// tile of `C`, accumulated over the full reduction dimension.
+/// The scalar register-tiled inner kernel: one `rows×cols` corner of an
+/// `SCALAR_MR×SCALAR_NR` tile of `C`, accumulated over the full reduction
+/// dimension.
 ///
 /// The `p` loop walks the packed panels with fixed `MR`/`NR` bounds, which
 /// LLVM unrolls into `f32`-lane FMAs-without-contraction (plain mul+add,
@@ -246,7 +270,7 @@ enum Accum {
 /// added in `p` order — the determinism contract of the module docs.
 #[allow(clippy::needless_range_loop)] // fixed-bound lattice, kept explicit for the vectorizer
 #[allow(clippy::too_many_arguments)] // BLAS-style internals
-fn micro_kernel(
+fn micro_kernel_scalar(
     apack: &[f32],
     bpack: &[f32],
     c: &mut [f32],
@@ -258,6 +282,8 @@ fn micro_kernel(
     k: usize,
     mode: Accum,
 ) {
+    const MR: usize = SCALAR_MR;
+    const NR: usize = SCALAR_NR;
     let mut acc = [[0.0f32; NR]; MR];
     if let Accum::SeededByBeta { beta } = mode {
         if beta != 0.0 {
@@ -297,6 +323,44 @@ fn micro_kernel(
                     };
                 }
             }
+        }
+    }
+}
+
+/// Run one tile through the given tier's micro-kernel. Panels must have
+/// been packed with the same tier's geometry.
+#[allow(clippy::too_many_arguments)] // BLAS-style internals
+#[inline]
+fn run_tile(
+    tier: KernelTier,
+    apack: &[f32],
+    bpack: &[f32],
+    c: &mut [f32],
+    row0: usize,
+    col0: usize,
+    n: usize,
+    rows: usize,
+    cols: usize,
+    k: usize,
+    mode: Accum,
+) {
+    match tier {
+        KernelTier::Scalar => {
+            micro_kernel_scalar(apack, bpack, c, row0, col0, n, rows, cols, k, mode)
+        }
+        #[cfg(target_arch = "x86_64")]
+        // Safety: the dispatcher (and the `with_tier` entry points) only
+        // hand out AVX2 tiers after the CPUID check.
+        KernelTier::Avx2 => unsafe {
+            crate::gemm_avx2::tile_avx2(apack, bpack, c, row0, col0, n, rows, cols, k, mode)
+        },
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx2Fma => unsafe {
+            crate::gemm_avx2::tile_avx2_fma(apack, bpack, c, row0, col0, n, rows, cols, k, mode)
+        },
+        #[cfg(not(target_arch = "x86_64"))]
+        KernelTier::Avx2 | KernelTier::Avx2Fma => {
+            unreachable!("AVX2 tiers are never selected off x86_64")
         }
     }
 }
@@ -409,26 +473,28 @@ fn gemm_tn_small(
 
 // ---- blocked serial drivers ----------------------------------------------
 
-/// Pack every NR-wide panel of the B operand into `bpack`.
-fn pack_b_all(b: &[f32], k: usize, n: usize, transposed: bool, bpack: &mut Vec<f32>) {
-    let panels = n.div_ceil(NR);
-    bpack.resize(panels * k * NR, 0.0);
+/// Pack every nr-wide panel of the B operand into `bpack`.
+fn pack_b_all(b: &[f32], k: usize, n: usize, transposed: bool, nr: usize, bpack: &mut Vec<f32>) {
+    let panels = n.div_ceil(nr);
+    bpack.resize(panels * k * nr, 0.0);
     for pi in 0..panels {
-        let j0 = pi * NR;
-        let w = NR.min(n - j0);
-        let panel = &mut bpack[pi * k * NR..(pi + 1) * k * NR];
+        let j0 = pi * nr;
+        let w = nr.min(n - j0);
+        let panel = &mut bpack[pi * k * nr..(pi + 1) * k * nr];
         if transposed {
-            pack_b_t(b, k, j0, w, panel);
+            pack_b_t(b, k, j0, w, nr, panel);
         } else {
-            pack_b_n(b, k, n, j0, w, panel);
+            pack_b_n(b, k, n, j0, w, nr, panel);
         }
     }
 }
 
-/// Run the packed tiles for rows `i0..i0+h` of `C` (a multiple of `MR`
-/// tall except at the tail). `pack_rows` fills the A panel for one tile.
+/// Run the packed tiles for rows `i0..i0+h` of `C` (a multiple of the
+/// tier's `MR` tall except at the tail). `pack_rows` fills the A panel for
+/// one tile.
 #[allow(clippy::too_many_arguments)] // BLAS-style internals
 fn blocked_rows(
+    tier: KernelTier,
     bpack: &[f32],
     c: &mut [f32],
     row_base: usize,
@@ -438,19 +504,21 @@ fn blocked_rows(
     mode: Accum,
     pack_rows: &dyn Fn(usize, usize, &mut [f32]),
 ) {
+    let (mr, nr) = tier.tile();
     let mut apack = checkout_a();
-    apack.resize(k * MR, 0.0);
-    let panels = n.div_ceil(NR);
+    apack.resize(k * mr, 0.0);
+    let panels = n.div_ceil(nr);
     let mut i0 = 0;
     while i0 < rows {
-        let h = MR.min(rows - i0);
+        let h = mr.min(rows - i0);
         pack_rows(row_base + i0, h, &mut apack);
         for pi in 0..panels {
-            let j0 = pi * NR;
-            let w = NR.min(n - j0);
-            micro_kernel(
+            let j0 = pi * nr;
+            let w = nr.min(n - j0);
+            run_tile(
+                tier,
                 &apack,
-                &bpack[pi * k * NR..(pi + 1) * k * NR],
+                &bpack[pi * k * nr..(pi + 1) * k * nr],
                 c,
                 i0,
                 j0,
@@ -461,7 +529,7 @@ fn blocked_rows(
                 mode,
             );
         }
-        i0 += MR;
+        i0 += mr;
     }
     checkin_a(apack);
 }
@@ -476,6 +544,7 @@ enum Orient {
 
 #[allow(clippy::too_many_arguments)]
 fn gemm_blocked(
+    tier: KernelTier,
     orient: Orient,
     a: &[f32],
     b: &[f32],
@@ -486,23 +555,25 @@ fn gemm_blocked(
     alpha: f32,
     beta: f32,
 ) {
+    let (mr, nr) = tier.tile();
     let mut bpack = checkout_b();
-    pack_b_all(b, k, n, matches!(orient, Orient::Nt), &mut bpack);
+    pack_b_all(b, k, n, matches!(orient, Orient::Nt), nr, &mut bpack);
     let mode = match orient {
         Orient::Nn | Orient::Tn => Accum::SeededByBeta { beta },
         Orient::Nt => Accum::ScaledOnStore { alpha, beta },
     };
     let pack_rows: &dyn Fn(usize, usize, &mut [f32]) = match orient {
-        Orient::Nn => &|i0, h, out| pack_a_n(a, k, i0, h, alpha, out),
-        Orient::Nt => &|i0, h, out| pack_a_n(a, k, i0, h, 1.0, out),
-        Orient::Tn => &|i0, h, out| pack_a_t(a, m, k, i0, h, alpha, out),
+        Orient::Nn => &|i0, h, out| pack_a_n(a, k, i0, h, alpha, mr, out),
+        Orient::Nt => &|i0, h, out| pack_a_n(a, k, i0, h, 1.0, mr, out),
+        Orient::Tn => &|i0, h, out| pack_a_t(a, m, k, i0, h, alpha, mr, out),
     };
-    blocked_rows(&bpack, c, 0, m, k, n, mode, pack_rows);
+    blocked_rows(tier, &bpack, c, 0, m, k, n, mode, pack_rows);
     checkin_b(bpack);
 }
 
 #[allow(clippy::too_many_arguments)]
 fn gemm_parallel(
+    tier: KernelTier,
     orient: Orient,
     a: &[f32],
     b: &[f32],
@@ -513,8 +584,9 @@ fn gemm_parallel(
     alpha: f32,
     beta: f32,
 ) {
+    let (mr, nr) = tier.tile();
     let mut bpack_own = checkout_b();
-    pack_b_all(b, k, n, matches!(orient, Orient::Nt), &mut bpack_own);
+    pack_b_all(b, k, n, matches!(orient, Orient::Nt), nr, &mut bpack_own);
     let bpack = &bpack_own[..];
     let mode = match orient {
         Orient::Nn | Orient::Tn => Accum::SeededByBeta { beta },
@@ -524,17 +596,17 @@ fn gemm_parallel(
     // worker-local buffer and walks the shared packed B. Accumulation
     // order per element is independent of the banding, so this is
     // bit-identical to the serial driver for any thread count.
-    c.par_chunks_mut(MR * n)
+    c.par_chunks_mut(mr * n)
         .enumerate()
         .for_each(|(band, cband)| {
-            let row_base = band * MR;
+            let row_base = band * mr;
             let rows = cband.len() / n;
             let pack_rows: &dyn Fn(usize, usize, &mut [f32]) = match orient {
-                Orient::Nn => &|i0, h, out| pack_a_n(a, k, i0, h, alpha, out),
-                Orient::Nt => &|i0, h, out| pack_a_n(a, k, i0, h, 1.0, out),
-                Orient::Tn => &|i0, h, out| pack_a_t(a, m, k, i0, h, alpha, out),
+                Orient::Nn => &|i0, h, out| pack_a_n(a, k, i0, h, alpha, mr, out),
+                Orient::Nt => &|i0, h, out| pack_a_n(a, k, i0, h, 1.0, mr, out),
+                Orient::Tn => &|i0, h, out| pack_a_t(a, m, k, i0, h, alpha, mr, out),
             };
-            blocked_rows(bpack, cband, row_base, rows, k, n, mode, pack_rows);
+            blocked_rows(tier, bpack, cband, row_base, rows, k, n, mode, pack_rows);
         });
     checkin_b(bpack_own);
 }
@@ -551,6 +623,11 @@ fn gemm_parallel(
 /// that cost to zero. The buffer is owned and grow-only, so steady-state
 /// repacks (same or smaller shape) never touch the allocator.
 ///
+/// Panels are laid out for the kernel tier that was active at pack time
+/// ([`crate::active_tier`]; the tier is process-constant, so pack and
+/// replay always agree) and [`PackedPanels::pack_count`] counts actual
+/// packs, so callers keying the pack on a content hash can observe reuse.
+///
 /// Results are **bit-identical** to the unpacked entry points: the panels
 /// are produced by the same packing routines and consumed by the same
 /// micro-kernel in the same order (see the module-level determinism
@@ -560,6 +637,8 @@ pub struct PackedPanels {
     buf: Vec<f32>,
     k: usize,
     n: usize,
+    tier: KernelTier,
+    packs: u64,
 }
 
 impl PackedPanels {
@@ -572,18 +651,24 @@ impl PackedPanels {
     /// [`par_gemm_packed`].
     pub fn pack_from_b(&mut self, b: &[f32], k: usize, n: usize) {
         assert_eq!(b.len(), k * n, "pack_from_b: bad B length");
-        pack_b_all(b, k, n, false, &mut self.buf);
+        let tier = active_tier();
+        pack_b_all(b, k, n, false, tier.tile().1, &mut self.buf);
         self.k = k;
         self.n = n;
+        self.tier = tier;
+        self.packs += 1;
     }
 
     /// Pack a row-major `B:[n, k]` (the transposed operand of [`gemm_nt`] /
     /// [`par_gemm_nt_packed`]).
     pub fn pack_from_bt(&mut self, b: &[f32], k: usize, n: usize) {
         assert_eq!(b.len(), n * k, "pack_from_bt: bad B length");
-        pack_b_all(b, k, n, true, &mut self.buf);
+        let tier = active_tier();
+        pack_b_all(b, k, n, true, tier.tile().1, &mut self.buf);
         self.k = k;
         self.n = n;
+        self.tier = tier;
+        self.packs += 1;
     }
 
     /// Reduction dimension of the packed operand.
@@ -602,6 +687,13 @@ impl PackedPanels {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.k == 0 || self.n == 0
+    }
+
+    /// Number of actual `pack_*` calls performed over this pack's lifetime
+    /// — the observable for content-hash pack-reuse tests.
+    #[inline]
+    pub fn pack_count(&self) -> u64 {
+        self.packs
     }
 
     /// Heap bytes held by the panel buffer (capacity accounting).
@@ -623,6 +715,9 @@ fn gemm_prepacked(
     beta: f32,
 ) {
     let (k, n) = (bp.k, bp.n);
+    // Consume with the tier the panels were packed for (process-constant).
+    let tier = bp.tier;
+    let mr = tier.tile().0;
     assert_eq!(a.len(), m * k, "gemm_prepacked: bad A length");
     assert_eq!(c.len(), m * n, "gemm_prepacked: bad C length");
     let bpack = &bp.buf[..];
@@ -631,20 +726,20 @@ fn gemm_prepacked(
         Orient::Nt => Accum::ScaledOnStore { alpha, beta },
     };
     let pack_rows: &(dyn Fn(usize, usize, &mut [f32]) + Sync) = match orient {
-        Orient::Nn => &|i0, h, out| pack_a_n(a, k, i0, h, alpha, out),
-        Orient::Nt => &|i0, h, out| pack_a_n(a, k, i0, h, 1.0, out),
+        Orient::Nn => &|i0, h, out| pack_a_n(a, k, i0, h, alpha, mr, out),
+        Orient::Nt => &|i0, h, out| pack_a_n(a, k, i0, h, 1.0, mr, out),
         Orient::Tn => unreachable!("prepacked Tn orientation is not exposed"),
     };
-    if parallel_worthwhile(m, k, n) {
-        c.par_chunks_mut(MR * n)
+    if parallel_worthwhile(m, k, n, mr) {
+        c.par_chunks_mut(mr * n)
             .enumerate()
             .for_each(|(band, cband)| {
-                let row_base = band * MR;
+                let row_base = band * mr;
                 let rows = cband.len() / n;
-                blocked_rows(bpack, cband, row_base, rows, k, n, mode, pack_rows);
+                blocked_rows(tier, bpack, cband, row_base, rows, k, n, mode, pack_rows);
             });
     } else {
-        blocked_rows(bpack, c, 0, m, k, n, mode, pack_rows);
+        blocked_rows(tier, bpack, c, 0, m, k, n, mode, pack_rows);
     }
 }
 
@@ -676,13 +771,80 @@ pub fn par_gemm_nt_packed(
     gemm_prepacked(Orient::Nt, a, bp, c, m, alpha, beta);
 }
 
+// ---- explicit-tier entry points ------------------------------------------
+
+/// [`gemm`] forced through a specific kernel tier's blocked path (no
+/// small-problem shortcut), so tests and benches can compare tiers on the
+/// same operands. Panics if the tier is not executable on this CPU.
+#[allow(clippy::too_many_arguments)] // BLAS-style signature, on purpose
+pub fn gemm_with_tier(
+    tier: KernelTier,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    beta: f32,
+) {
+    assert!(tier.available(), "kernel tier {} unavailable", tier.name());
+    assert_eq!(a.len(), m * k, "gemm_with_tier: bad A length");
+    assert_eq!(b.len(), k * n, "gemm_with_tier: bad B length");
+    assert_eq!(c.len(), m * n, "gemm_with_tier: bad C length");
+    gemm_blocked(tier, Orient::Nn, a, b, c, m, k, n, alpha, beta);
+}
+
+/// [`gemm_nt`] forced through a specific kernel tier (see
+/// [`gemm_with_tier`]).
+#[allow(clippy::too_many_arguments)] // BLAS-style signature, on purpose
+pub fn gemm_nt_with_tier(
+    tier: KernelTier,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    beta: f32,
+) {
+    assert!(tier.available(), "kernel tier {} unavailable", tier.name());
+    assert_eq!(a.len(), m * k, "gemm_nt_with_tier: bad A length");
+    assert_eq!(b.len(), n * k, "gemm_nt_with_tier: bad B length");
+    assert_eq!(c.len(), m * n, "gemm_nt_with_tier: bad C length");
+    gemm_blocked(tier, Orient::Nt, a, b, c, m, k, n, alpha, beta);
+}
+
+/// [`gemm_tn`] forced through a specific kernel tier (see
+/// [`gemm_with_tier`]).
+#[allow(clippy::too_many_arguments)] // BLAS-style signature, on purpose
+pub fn gemm_tn_with_tier(
+    tier: KernelTier,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    beta: f32,
+) {
+    assert!(tier.available(), "kernel tier {} unavailable", tier.name());
+    assert_eq!(a.len(), k * m, "gemm_tn_with_tier: bad A length");
+    assert_eq!(b.len(), k * n, "gemm_tn_with_tier: bad B length");
+    assert_eq!(c.len(), m * n, "gemm_tn_with_tier: bad C length");
+    gemm_blocked(tier, Orient::Tn, a, b, c, m, k, n, alpha, beta);
+}
+
 // ---- public entry points -------------------------------------------------
 
 /// `C = alpha * A @ B + beta * C` on raw row-major slices.
 ///
 /// `a` is `[m, k]`, `b` is `[k, n]`, `c` is `[m, n]`. Dispatches between a
 /// streaming scalar kernel and the packed blocked kernel by problem size;
-/// both produce bit-identical results (see the module docs).
+/// the blocked kernel runs the process's [`crate::active_tier`]. All
+/// default paths produce bit-identical results (see the module docs).
 ///
 /// # Panics
 /// Panics if slice lengths do not match the given dimensions.
@@ -703,7 +865,7 @@ pub fn gemm(
     if m * k * n < BLOCKED_MIN_FLOPS {
         gemm_small(a, b, c, m, k, n, alpha, beta);
     } else {
-        gemm_blocked(Orient::Nn, a, b, c, m, k, n, alpha, beta);
+        gemm_blocked(active_tier(), Orient::Nn, a, b, c, m, k, n, alpha, beta);
     }
 }
 
@@ -726,7 +888,7 @@ pub fn gemm_nt(
     if m * k * n < BLOCKED_MIN_FLOPS {
         gemm_nt_small(a, b, c, m, k, n, alpha, beta);
     } else {
-        gemm_blocked(Orient::Nt, a, b, c, m, k, n, alpha, beta);
+        gemm_blocked(active_tier(), Orient::Nt, a, b, c, m, k, n, alpha, beta);
     }
 }
 
@@ -749,14 +911,14 @@ pub fn gemm_tn(
     if m * k * n < BLOCKED_MIN_FLOPS {
         gemm_tn_small(a, b, c, m, k, n, alpha, beta);
     } else {
-        gemm_blocked(Orient::Tn, a, b, c, m, k, n, alpha, beta);
+        gemm_blocked(active_tier(), Orient::Tn, a, b, c, m, k, n, alpha, beta);
     }
 }
 
 /// True when the problem is worth fanning out to the pool.
 #[inline]
-fn parallel_worthwhile(m: usize, k: usize, n: usize) -> bool {
-    m * k * n >= PAR_FLOP_THRESHOLD && m > MR && rayon::current_num_threads() > 1
+fn parallel_worthwhile(m: usize, k: usize, n: usize, mr: usize) -> bool {
+    m * k * n >= PAR_FLOP_THRESHOLD && m > mr && rayon::current_num_threads() > 1
 }
 
 /// Parallel version of [`gemm`]: MR-row bands of `C` are distributed over
@@ -776,8 +938,9 @@ pub fn par_gemm(
     assert_eq!(a.len(), m * k, "par_gemm: bad A length");
     assert_eq!(b.len(), k * n, "par_gemm: bad B length");
     assert_eq!(c.len(), m * n, "par_gemm: bad C length");
-    if parallel_worthwhile(m, k, n) {
-        gemm_parallel(Orient::Nn, a, b, c, m, k, n, alpha, beta);
+    let tier = active_tier();
+    if parallel_worthwhile(m, k, n, tier.tile().0) {
+        gemm_parallel(tier, Orient::Nn, a, b, c, m, k, n, alpha, beta);
     } else {
         gemm(a, b, c, m, k, n, alpha, beta);
     }
@@ -798,8 +961,9 @@ pub fn par_gemm_nt(
     assert_eq!(a.len(), m * k, "par_gemm_nt: bad A length");
     assert_eq!(b.len(), n * k, "par_gemm_nt: bad B length");
     assert_eq!(c.len(), m * n, "par_gemm_nt: bad C length");
-    if parallel_worthwhile(m, k, n) {
-        gemm_parallel(Orient::Nt, a, b, c, m, k, n, alpha, beta);
+    let tier = active_tier();
+    if parallel_worthwhile(m, k, n, tier.tile().0) {
+        gemm_parallel(tier, Orient::Nt, a, b, c, m, k, n, alpha, beta);
     } else {
         gemm_nt(a, b, c, m, k, n, alpha, beta);
     }
@@ -820,8 +984,9 @@ pub fn par_gemm_tn(
     assert_eq!(a.len(), k * m, "par_gemm_tn: bad A length");
     assert_eq!(b.len(), k * n, "par_gemm_tn: bad B length");
     assert_eq!(c.len(), m * n, "par_gemm_tn: bad C length");
-    if parallel_worthwhile(m, k, n) {
-        gemm_parallel(Orient::Tn, a, b, c, m, k, n, alpha, beta);
+    let tier = active_tier();
+    if parallel_worthwhile(m, k, n, tier.tile().0) {
+        gemm_parallel(tier, Orient::Tn, a, b, c, m, k, n, alpha, beta);
     } else {
         gemm_tn(a, b, c, m, k, n, alpha, beta);
     }
@@ -897,12 +1062,15 @@ mod tests {
         }
     }
 
-    /// Shapes spanning the small-kernel regime, MR/NR edge cases and the
-    /// blocked regime (33·17·9 < 2^13 ≤ 16·64·16).
+    /// Shapes spanning the small-kernel regime, MR/NR edge cases for both
+    /// tile geometries (4×8 scalar, 6×16 AVX2) and the blocked regime
+    /// (33·17·9 < 2^13 ≤ 16·64·16).
     const SHAPES: &[(usize, usize, usize)] = &[
         (1, 1, 1),
         (2, 3, 4),
         (5, 7, 3),
+        (6, 5, 16),
+        (7, 9, 17),
         (16, 16, 16),
         (33, 17, 9),
         (16, 64, 16),
@@ -915,9 +1083,15 @@ mod tests {
 
     /// The central proof: every optimized orientation, serial and
     /// parallel, is **exactly** (bit-for-bit) the naive reference kernel,
-    /// across the small/blocked dispatch boundary and all α/β cases.
+    /// across the small/blocked dispatch boundary and all α/β cases —
+    /// under whatever kernel tier the process dispatched to (the FMA tier
+    /// is opt-in and excluded from this contract).
     #[test]
     fn blocked_kernels_are_bit_identical_to_reference() {
+        assert!(
+            active_tier().bit_identical(),
+            "tests assume a bit-identical default tier"
+        );
         for &(m, k, n) in SHAPES {
             for &(alpha, beta) in AB_CASES {
                 let seed = (m * 31 + k * 7 + n) as u64;
@@ -950,6 +1124,51 @@ mod tests {
                     kernel(&a_t, &b_nn, &mut got, m, k, n, alpha, beta);
                     assert_eq!(got, want, "gemm_tn {m}x{k}x{n} α={alpha} β={beta}");
                 }
+            }
+        }
+    }
+
+    /// Cross-tier bit-identity at the tensor-crate level: the explicit-tier
+    /// entry points must agree exactly between `Scalar` and `Avx2` (when
+    /// the host has AVX2) on every shape and α/β case. The exhaustive
+    /// property-based version lives in `tests/kernel_dispatch.rs`.
+    #[test]
+    fn avx2_tier_is_bit_identical_to_scalar_tier() {
+        if !KernelTier::Avx2.available() {
+            return; // nothing to compare on this host
+        }
+        for &(m, k, n) in SHAPES {
+            for &(alpha, beta) in AB_CASES {
+                let seed = (m * 11 + k * 3 + n) as u64;
+                let a = random_vec(m * k, seed);
+                let b = random_vec(k * n, seed + 1);
+                let bt = random_vec(n * k, seed + 2);
+                let at = random_vec(k * m, seed + 3);
+                let c0 = random_vec(m * n, seed + 4);
+
+                let mut s = c0.clone();
+                let mut v = c0.clone();
+                gemm_with_tier(KernelTier::Scalar, &a, &b, &mut s, m, k, n, alpha, beta);
+                gemm_with_tier(KernelTier::Avx2, &a, &b, &mut v, m, k, n, alpha, beta);
+                assert_eq!(s, v, "gemm tiers diverged {m}x{k}x{n} α={alpha} β={beta}");
+
+                let mut s = c0.clone();
+                let mut v = c0.clone();
+                gemm_nt_with_tier(KernelTier::Scalar, &a, &bt, &mut s, m, k, n, alpha, beta);
+                gemm_nt_with_tier(KernelTier::Avx2, &a, &bt, &mut v, m, k, n, alpha, beta);
+                assert_eq!(
+                    s, v,
+                    "gemm_nt tiers diverged {m}x{k}x{n} α={alpha} β={beta}"
+                );
+
+                let mut s = c0.clone();
+                let mut v = c0.clone();
+                gemm_tn_with_tier(KernelTier::Scalar, &at, &b, &mut s, m, k, n, alpha, beta);
+                gemm_tn_with_tier(KernelTier::Avx2, &at, &b, &mut v, m, k, n, alpha, beta);
+                assert_eq!(
+                    s, v,
+                    "gemm_tn tiers diverged {m}x{k}x{n} α={alpha} β={beta}"
+                );
             }
         }
     }
@@ -989,6 +1208,7 @@ mod tests {
     #[test]
     fn packed_panels_buffer_is_grow_only() {
         let mut bp = PackedPanels::new();
+        assert_eq!(bp.pack_count(), 0);
         let b = random_vec(64 * 48, 7);
         bp.pack_from_b(&b, 64, 48);
         let cap = bp.capacity_bytes();
@@ -999,6 +1219,7 @@ mod tests {
         bp.pack_from_bt(&b[..8 * 6], 6, 8);
         assert_eq!(bp.capacity_bytes(), cap);
         assert_eq!((bp.k(), bp.n()), (6, 8));
+        assert_eq!(bp.pack_count(), 3);
     }
 
     #[test]
@@ -1084,6 +1305,21 @@ mod tests {
         let mut c = [f32::NAN];
         gemm_tn(&a, &b, &mut c, 1, 1, 1, 1.0, 0.0);
         assert_eq!(c[0], 1.0);
+        // And through the blocked tier paths too (no small-kernel shortcut).
+        for tier in [KernelTier::Scalar, KernelTier::Avx2, KernelTier::Avx2Fma] {
+            if !tier.available() {
+                continue;
+            }
+            let mut c = [f32::NAN];
+            gemm_with_tier(tier, &a, &b, &mut c, 1, 1, 1, 1.0, 0.0);
+            assert_eq!(c[0], 1.0, "tier {} must clobber NaN", tier.name());
+            let mut c = [f32::NAN];
+            gemm_nt_with_tier(tier, &a, &b, &mut c, 1, 1, 1, 1.0, 0.0);
+            assert_eq!(c[0], 1.0);
+            let mut c = [f32::NAN];
+            gemm_tn_with_tier(tier, &a, &b, &mut c, 1, 1, 1, 1.0, 0.0);
+            assert_eq!(c[0], 1.0);
+        }
     }
 
     #[test]
@@ -1133,5 +1369,23 @@ mod tests {
             let mut small = vec![0.0f32; 4];
             gemm(&a[..4], &b[..4], &mut small, 2, 2, 2, 1.0, 0.0);
         }
+    }
+
+    /// The FMA tier (when the host supports it) must agree with the scalar
+    /// reference to tight relative error — fused contraction reorders
+    /// rounding, never magnitude.
+    #[test]
+    fn fma_tier_is_close_but_not_required_identical() {
+        if !KernelTier::Avx2Fma.available() {
+            return;
+        }
+        let (m, k, n) = (37, 41, 23);
+        let a = random_vec(m * k, 201);
+        let b = random_vec(k * n, 202);
+        let mut want = vec![0.0f32; m * n];
+        reference::gemm(&a, &b, &mut want, m, k, n, 1.0, 0.0);
+        let mut got = vec![0.0f32; m * n];
+        gemm_with_tier(KernelTier::Avx2Fma, &a, &b, &mut got, m, k, n, 1.0, 0.0);
+        assert_close(&got, &want, 1e-5);
     }
 }

@@ -21,22 +21,28 @@
 //! assert_eq!(c.data(), &[58., 64., 139., 154.]);
 //! ```
 
+pub mod dispatch;
 mod error;
 mod gemm;
+#[cfg(target_arch = "x86_64")]
+mod gemm_avx2;
 pub mod ops;
 mod rng;
 mod scratch;
 mod shape;
 mod tensor;
 
+pub use dispatch::{active_tier, select_tier, KernelTier};
 pub use error::TensorError;
 pub use gemm::reference as gemm_reference;
 pub use gemm::{
-    gemm, gemm_nt, gemm_tn, matmul, matmul_nt, matmul_tn, par_gemm, par_gemm_nt,
-    par_gemm_nt_packed, par_gemm_packed, par_gemm_tn, PackedPanels,
+    gemm, gemm_nt, gemm_nt_with_tier, gemm_tn, gemm_tn_with_tier, gemm_with_tier, matmul,
+    matmul_nt, matmul_tn, par_gemm, par_gemm_nt, par_gemm_nt_packed, par_gemm_packed, par_gemm_tn,
+    PackedPanels,
 };
 pub use ops::{
-    add, add_assign, axpy, dot, hadamard, l2_norm, lerp, scale, scale_assign, sub, sub_assign,
+    add, add_assign, axpy, content_hash_f32, dot, hadamard, l2_norm, lerp, scale, scale_assign,
+    sub, sub_assign,
 };
 pub use rng::{fill_normal, fill_uniform, normal_f32, rng_from_seed, TensorRng};
 pub use scratch::{Scratch, ScratchSlot};

@@ -1,0 +1,244 @@
+//! Kernel-dispatch edge proof: the runtime-selected micro-kernel tiers
+//! honour their determinism claims.
+//!
+//! The dispatch layer (`fedhisyn_tensor::dispatch`) promises:
+//!
+//! * `Scalar` (4×8) and `Avx2` (6×16) are **bit-identical** on every
+//!   shape, orientation and α/β case — the AVX2 tile vectorizes across
+//!   columns with separate IEEE multiply and add, never across the
+//!   reduction, so per-element operation order matches the scalar kernel
+//!   exactly even though the tile geometry differs.
+//! * `Avx2Fma` is **not** claimed bit-identical (fused contraction rounds
+//!   once per step) but must stay within tight relative error of the
+//!   scalar reference.
+//! * The selection truth table: `FEDHISYN_FORCE_SCALAR` dominates, FMA
+//!   requires both the opt-in and hardware, AVX2 is the non-FMA default
+//!   on capable hosts.
+//!
+//! Shapes are generated across both tile geometries' remainder edges
+//! (`m, n ∈ {1, MR−1, MR, MR+1, NR−1, NR, NR+1, …}` for MR ∈ {4, 6},
+//! NR ∈ {8, 16}) plus a proptest sweep; the explicit-tier entry points
+//! run the blocked path unconditionally so tiny shapes exercise the tile
+//! kernels rather than the small-problem shortcut. AVX2 comparisons are
+//! skipped (not failed) on hosts without the feature — CI runs the whole
+//! suite under both `FEDHISYN_FORCE_SCALAR=1` and default dispatch, so
+//! the dispatched-path behaviour is covered end to end either way.
+
+use fedhisyn::tensor::{
+    gemm_nt_with_tier, gemm_reference, gemm_tn_with_tier, gemm_with_tier, rng_from_seed,
+    select_tier, KernelTier, Tensor,
+};
+use proptest::prelude::*;
+
+fn random_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = rng_from_seed(seed);
+    Tensor::randn(vec![1, n.max(1)], 1.0, &mut rng).into_vec()
+}
+
+/// All tile-remainder edges for both geometries, plus blocked-regime sizes.
+const EDGE_DIMS: &[usize] = &[1, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 33];
+
+const AB_CASES: &[(f32, f32)] = &[(1.0, 0.0), (2.0, 0.5), (1.0, 1.0), (-0.5, 2.0)];
+
+type TierKernel = fn(KernelTier, &[f32], &[f32], &mut [f32], usize, usize, usize, f32, f32);
+
+/// Run one orientation through two tiers on identical operands and return
+/// both outputs.
+#[allow(clippy::too_many_arguments)]
+fn run_pair(
+    kernel: TierKernel,
+    ta: KernelTier,
+    tb: KernelTier,
+    a: &[f32],
+    b: &[f32],
+    c0: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    alpha: f32,
+    beta: f32,
+) -> (Vec<f32>, Vec<f32>) {
+    let mut ca = c0.to_vec();
+    kernel(ta, a, b, &mut ca, m, k, n, alpha, beta);
+    let mut cb = c0.to_vec();
+    kernel(tb, a, b, &mut cb, m, k, n, alpha, beta);
+    (ca, cb)
+}
+
+/// Operand triples for the three orientations at one logical shape.
+fn operands(m: usize, k: usize, n: usize, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+    (
+        random_vec(m * k, seed),     // A (nn/nt)
+        random_vec(k * n, seed + 1), // B (nn/tn)
+        random_vec(n * k, seed + 2), // Bᵀ (nt)
+        random_vec(k * m, seed + 3), // Aᵀ (tn)
+    )
+}
+
+/// Scalar ≡ AVX2 bit-identity across the full explicit edge lattice, all
+/// three orientations, all α/β cases.
+#[test]
+fn scalar_and_avx2_are_bit_identical_on_tile_edges() {
+    if !KernelTier::Avx2.available() {
+        eprintln!("(host has no AVX2 — cross-tier identity check skipped)");
+        return;
+    }
+    for &m in EDGE_DIMS {
+        for &n in EDGE_DIMS {
+            for &k in &[1usize, 5, 17] {
+                for &(alpha, beta) in AB_CASES {
+                    let seed = (m * 131 + n * 17 + k) as u64;
+                    let (a, b, bt, at) = operands(m, k, n, seed);
+                    let c0 = random_vec(m * n, seed + 4);
+                    for (name, kernel, aa, bb) in [
+                        ("gemm", gemm_with_tier as TierKernel, &a, &b),
+                        ("gemm_nt", gemm_nt_with_tier as TierKernel, &a, &bt),
+                        ("gemm_tn", gemm_tn_with_tier as TierKernel, &at, &b),
+                    ] {
+                        let (s, v) = run_pair(
+                            kernel,
+                            KernelTier::Scalar,
+                            KernelTier::Avx2,
+                            aa,
+                            bb,
+                            &c0,
+                            m,
+                            k,
+                            n,
+                            alpha,
+                            beta,
+                        );
+                        assert_eq!(
+                            s, v,
+                            "{name} {m}x{k}x{n} α={alpha} β={beta}: scalar vs avx2 diverged"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The scalar tier itself is bit-identical to the naive reference on the
+/// same lattice — anchoring the cross-tier chain to the executable spec.
+#[test]
+fn scalar_tier_matches_naive_reference_on_tile_edges() {
+    for &m in EDGE_DIMS {
+        for &n in EDGE_DIMS {
+            let k = 9;
+            for &(alpha, beta) in AB_CASES {
+                let seed = (m * 73 + n * 29) as u64;
+                let (a, b, _, _) = operands(m, k, n, seed);
+                let c0 = random_vec(m * n, seed + 4);
+                let mut want = c0.clone();
+                gemm_reference::gemm(&a, &b, &mut want, m, k, n, alpha, beta);
+                let mut got = c0.clone();
+                gemm_with_tier(KernelTier::Scalar, &a, &b, &mut got, m, k, n, alpha, beta);
+                assert_eq!(got, want, "scalar tier vs reference {m}x{k}x{n}");
+            }
+        }
+    }
+}
+
+/// The FMA tier is finite, close to the scalar reference (tight relative
+/// error) — and explicitly **not** required to be bit-identical, which is
+/// exactly the claim its `bit_identical() == false` flag records.
+#[test]
+fn fma_tier_stays_within_relative_error_of_scalar() {
+    if !KernelTier::Avx2Fma.available() {
+        eprintln!("(host has no FMA — FMA accuracy check skipped)");
+        return;
+    }
+    assert!(!KernelTier::Avx2Fma.bit_identical());
+    for &(m, k, n) in &[(6usize, 32usize, 16usize), (17, 65, 23), (33, 17, 9)] {
+        for &(alpha, beta) in AB_CASES {
+            let seed = (m * 7 + k * 3 + n) as u64;
+            let (a, b, bt, at) = operands(m, k, n, seed);
+            let c0 = random_vec(m * n, seed + 4);
+            for (name, kernel, aa, bb) in [
+                ("gemm", gemm_with_tier as TierKernel, &a, &b),
+                ("gemm_nt", gemm_nt_with_tier as TierKernel, &a, &bt),
+                ("gemm_tn", gemm_tn_with_tier as TierKernel, &at, &b),
+            ] {
+                let (s, f) = run_pair(
+                    kernel,
+                    KernelTier::Scalar,
+                    KernelTier::Avx2Fma,
+                    aa,
+                    bb,
+                    &c0,
+                    m,
+                    k,
+                    n,
+                    alpha,
+                    beta,
+                );
+                for (i, (&sv, &fv)) in s.iter().zip(&f).enumerate() {
+                    assert!(fv.is_finite(), "{name}: FMA produced non-finite at {i}");
+                    let tol = 1e-4 * (1.0 + sv.abs().max(fv.abs()));
+                    assert!(
+                        (sv - fv).abs() <= tol,
+                        "{name} {m}x{k}x{n} α={alpha} β={beta} elem {i}: {sv} vs {fv}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The tier-selection truth table, end to end through the public pure
+/// function (the env plumbing on top of it is covered by the CI matrix
+/// running the whole suite under `FEDHISYN_FORCE_SCALAR=1`).
+#[test]
+fn tier_selection_truth_table() {
+    // Force-scalar dominates every other input.
+    for fma_req in [false, true] {
+        for avx2 in [false, true] {
+            for fma in [false, true] {
+                assert_eq!(
+                    select_tier(true, fma_req, avx2, fma),
+                    KernelTier::Scalar,
+                    "force_scalar must dominate"
+                );
+            }
+        }
+    }
+    assert_eq!(select_tier(false, false, false, false), KernelTier::Scalar);
+    assert_eq!(select_tier(false, false, true, true), KernelTier::Avx2);
+    assert_eq!(select_tier(false, true, true, false), KernelTier::Avx2);
+    assert_eq!(select_tier(false, true, true, true), KernelTier::Avx2Fma);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Randomized sweep over shapes straddling both tile geometries and
+    /// the packing edges: scalar and AVX2 must agree bit-for-bit on all
+    /// three orientations.
+    #[test]
+    fn scalar_and_avx2_agree_on_random_shapes(
+        m in 1usize..40,
+        k in 1usize..48,
+        n in 1usize..40,
+        case in 0usize..4,
+        seed in 0u64..10_000,
+    ) {
+        if !KernelTier::Avx2.available() {
+            return Ok(());
+        }
+        let (alpha, beta) = AB_CASES[case];
+        let (a, b, bt, at) = operands(m, k, n, seed);
+        let c0 = random_vec(m * n, seed + 4);
+        for (name, kernel, aa, bb) in [
+            ("gemm", gemm_with_tier as TierKernel, &a, &b),
+            ("gemm_nt", gemm_nt_with_tier as TierKernel, &a, &bt),
+            ("gemm_tn", gemm_tn_with_tier as TierKernel, &at, &b),
+        ] {
+            let (s, v) = run_pair(
+                kernel, KernelTier::Scalar, KernelTier::Avx2,
+                aa, bb, &c0, m, k, n, alpha, beta,
+            );
+            prop_assert_eq!(s, v, "{} {}x{}x{} α={} β={}", name, m, k, n, alpha, beta);
+        }
+    }
+}

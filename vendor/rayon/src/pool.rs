@@ -14,13 +14,20 @@
 //! region, so per-worker caches keyed by `thread_local!` see the same
 //! work (the same rings, hence the same model specs) round after round.
 //!
-//! When a worker's own deque runs dry it **steals half** of the richest
-//! victim's deque (from the back, preserving relative order) instead of
-//! idling — one slow chunk no longer serializes the tail of a region the
-//! way contiguous-chunk splitting did. Stealing only changes *which
-//! thread* executes a chunk; chunk boundaries and the order-preserving
-//! reduction over results are untouched, so the workspace's
-//! bit-determinism guarantee survives any interleaving.
+//! When a worker's own deque runs dry it **steals half** of a victim's
+//! deque (from the back, preserving relative order) instead of idling —
+//! one slow chunk no longer serializes the tail of a region the way
+//! contiguous-chunk splitting did. Victim choice is a locality heuristic:
+//! the worker first re-tries the **last victim it successfully stole
+//! from** — packed weight panels and cached models pulled over during the
+//! previous steal are likely still warm in the cache domain shared with
+//! that victim — and only when that deque is dry does it scan for the
+//! **richest** victim (one steal rebalances most). This is the first step
+//! toward full NUMA/affinity-aware stealing (topology-distance victim
+//! order). Stealing only changes *which thread* executes a chunk; chunk
+//! boundaries and the order-preserving reduction over results are
+//! untouched, so the workspace's bit-determinism guarantee survives any
+//! interleaving.
 //!
 //! A thread that submits a region executes its own first chunk and then
 //! *helps*: it drains jobs from any deque while waiting. That makes
@@ -39,6 +46,9 @@ struct Pool {
     /// One deque per worker; workers pop the front, thieves take from the
     /// back.
     deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Per-worker index of the last victim it successfully stole from
+    /// (`usize::MAX` = none yet) — the warm-victim steal heuristic.
+    last_victim: Vec<AtomicUsize>,
     /// Sleeping workers park here; any push notifies.
     sleep: Mutex<()>,
     ready: Condvar,
@@ -77,6 +87,7 @@ fn pool() -> &'static Arc<Pool> {
         let workers = current_num_threads().saturating_sub(1);
         let p = Arc::new(Pool {
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            last_victim: (0..workers).map(|_| AtomicUsize::new(usize::MAX)).collect(),
             sleep: Mutex::new(()),
             ready: Condvar::new(),
         });
@@ -96,13 +107,23 @@ fn pool() -> &'static Arc<Pool> {
 
 impl Pool {
     /// Pop the next job for worker `own`: front of its own deque, else
-    /// steal half of the largest victim deque (back half, order kept).
+    /// steal half of a victim's deque (back half, order kept) — warm
+    /// victim first, richest victim as the fallback (module docs).
     fn next_job_for(&self, own: usize) -> Option<Job> {
         if let Some(job) = self.deques[own].lock().unwrap().pop_front() {
             return Some(job);
         }
-        // Pick the richest victim first so one steal rebalances most.
         let w = self.deques.len();
+        // Warm-victim heuristic: whatever we pulled over during the last
+        // successful steal (panels, cached models) is likely still in the
+        // cache domain shared with that victim — try it before scanning.
+        let last = self.last_victim[own].load(Ordering::Relaxed);
+        if last < w && last != own {
+            if let Some(job) = self.steal_half_from(own, last) {
+                return Some(job);
+            }
+        }
+        // Fall back: pick the richest victim so one steal rebalances most.
         let mut victim = None;
         let mut best = 0usize;
         for off in 1..w {
@@ -113,7 +134,16 @@ impl Pool {
                 victim = Some(v);
             }
         }
-        let victim = victim?;
+        let job = self.steal_half_from(own, victim?);
+        if job.is_some() {
+            self.last_victim[own].store(victim?, Ordering::Relaxed);
+        }
+        job
+    }
+
+    /// Steal the back half of `victim`'s deque into `own`'s, returning the
+    /// first stolen job (or `None` when the victim is dry).
+    fn steal_half_from(&self, own: usize, victim: usize) -> Option<Job> {
         let mut stolen: VecDeque<Job> = {
             let mut vq = self.deques[victim].lock().unwrap();
             let keep = vq.len() / 2;
@@ -299,6 +329,28 @@ mod tests {
     #[test]
     fn submitting_thread_is_not_a_worker() {
         assert_eq!(worker_index(), None);
+    }
+
+    /// Repeated uneven regions drive the steal path through both the
+    /// warm-victim retry and the richest-victim fallback; every chunk must
+    /// still execute exactly once, region after region.
+    #[test]
+    fn repeated_uneven_regions_complete_under_warm_victim_stealing() {
+        for round in 0..8u64 {
+            let n = 97;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            run_chunked(n, &|lo, hi| {
+                for (i, h) in hits[lo..hi].iter().enumerate() {
+                    // A different slow chunk each round moves the steal
+                    // pressure around, exercising stale last-victim hints.
+                    if (lo + i) as u64 == round * 11 {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    h.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        }
     }
 
     #[test]
