@@ -6,14 +6,18 @@
 //! kernel against the naive reference, times the allocation-free arena
 //! training step against the copy-based reference epoch (asserting the
 //! steady-state step performs **zero** heap allocations via a counting
-//! global allocator), and writes `BENCH_engine.json` so future PRs can
-//! track the trajectory against the recorded PR 2 baselines.
+//! global allocator), drives a million-device churn round loop through
+//! the lazy sharded fleet (proving realised state stays O(cohort), not
+//! O(fleet)), and writes `BENCH_engine.json` so future PRs can track the
+//! trajectory against the recorded PR 2 baselines.
 //!
 //! Usage: `cargo run --release --bin bench_engine [--rounds N] [--gemm-only]
-//! [--cnn-only]`
+//! [--cnn-only] [--fleet-scale [N]]`
 //!
 //! `--gemm-only` runs just the GEMM micro-benchmark; `--cnn-only` runs
-//! just the batched-vs-per-sample CNN step benchmark (the CI smokes).
+//! just the batched-vs-per-sample CNN step benchmark; `--fleet-scale [N]`
+//! runs just the lazy-fleet scale benchmark at `N` devices (default
+//! 100 000) with a fixed peak-RSS budget (the CI smokes).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -22,13 +26,14 @@ use std::time::Instant;
 use fedhisyn_baselines::{FedAvg, TFedAvg};
 use fedhisyn_core::{run_experiment, ExecMode, ExperimentConfig, FedHiSyn, RunRecord};
 use fedhisyn_data::{DatasetProfile, Partition, Scale};
-use fedhisyn_fleet::FleetDynamics;
+use fedhisyn_fleet::{sample_online_cohort, FleetDynamics, FleetModel};
 use fedhisyn_nn::init::Init;
 use fedhisyn_nn::layers::ConvStageProfile;
 use fedhisyn_nn::layers::{Conv2d, ConvExec, Dense, Flatten, MaxPool2d, Relu};
 use fedhisyn_nn::{
     evaluate_arena, sgd_epoch, sgd_epoch_reference, ModelSpec, NoHook, Sequential, Sgd, SgdConfig,
 };
+use fedhisyn_simnet::{HeterogeneityModel, ProfileSource};
 use fedhisyn_tensor::{
     active_tier, gemm, gemm_reference, gemm_with_tier, rng_from_seed, KernelTier, Tensor,
 };
@@ -74,6 +79,12 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 /// — the reference points the acceptance criteria compare against.
 const PR2_CACHED_ROUNDS_PER_SEC: f64 = 46.35;
 const PR2_CHURN_FEDHISYN_ROUNDS_PER_SEC: f64 = 26.42;
+
+/// Fleet-scale benchmark shape: the full report's million-device run and
+/// the `--fleet-scale` CI smoke share the cohort size.
+const FLEET_SCALE_DEVICES: usize = 1_000_000;
+const FLEET_SCALE_ROUNDS: usize = 200;
+const FLEET_SCALE_COHORT: usize = 32;
 
 /// PR 4 blocked-GEMM GFLOP/s at the benchmark shapes (scalar 4×8 tier on
 /// this box) — the baselines the AVX2 dispatch acceptance criterion
@@ -176,6 +187,33 @@ struct CnnStepBench {
 }
 
 #[derive(Debug, Serialize)]
+struct FleetScaleBench {
+    /// Fleet size — devices that *exist*, not devices that are touched.
+    devices: usize,
+    rounds: usize,
+    /// Devices sampled per round (the paper's per-round participants).
+    cohort: usize,
+    seconds: f64,
+    rounds_per_sec: f64,
+    /// Process peak RSS (`VmHWM`) after the run, in bytes. In the
+    /// `--fleet-scale` smoke this is dominated by the fleet layer and is
+    /// held to a fixed budget; in the full report it includes the other
+    /// benchmarks and is recorded for the trend only.
+    peak_rss_bytes: u64,
+    /// Devices whose trajectories actually realised — bounded by draws
+    /// made, never by fleet size.
+    realised_devices: usize,
+    realised_device_rounds: usize,
+    realised_state_bytes: usize,
+    /// The tentpole invariant: realised devices stay proportional to
+    /// cohort × rounds (devices *queried*), not to the fleet size.
+    o_cohort: bool,
+    /// Two fresh models under the same seed must replay the identical
+    /// cohorts and latencies bit-for-bit.
+    deterministic: bool,
+}
+
+#[derive(Debug, Serialize)]
 struct EngineReport {
     workload: String,
     devices: usize,
@@ -196,6 +234,117 @@ struct EngineReport {
     step: StepBench,
     cnn_step: CnnStepBench,
     churn: ChurnReport,
+    fleet_scale: FleetScaleBench,
+}
+
+/// Linux peak resident set size (`VmHWM` in `/proc/self/status`), bytes;
+/// 0 when the file or field is unavailable.
+fn read_peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<u64>().ok())
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+/// Fleet-scale churn rounds against the lazy sharded `FleetModel`.
+///
+/// Drives the fleet layer directly — `FlEnv` carries a materialised
+/// per-device dataset vector and is deliberately bypassed, because the
+/// point of this benchmark is the fleet layer's own cost and footprint:
+/// per round it streams an online cohort out of `devices` candidates
+/// (`sample_online_cohort`) and reads every member's latency and
+/// mid-round failure state, exactly what the runner consumes to schedule
+/// a ring. Afterwards the realised-trajectory counters must show state
+/// proportional to cohort × rounds, not to the fleet size.
+fn bench_fleet_scale(devices: usize, rounds: usize, cohort: usize) -> FleetScaleBench {
+    const SEED: u64 = 2022;
+    const DROPOUT: f64 = 0.15;
+    let build = || {
+        FleetModel::with_source(
+            // The paper's h = 20 heterogeneity band, derived on demand.
+            ProfileSource::lazy(devices, HeterogeneityModel::Uniform { h: 20.0 }, 1.0, SEED),
+            FleetDynamics::planet_scale(DROPOUT),
+            SEED,
+        )
+    };
+    // Fold everything a round reads from the fleet into checksums, so two
+    // fresh models under one seed can be compared for bit-equality.
+    let run = |fleet: &FleetModel| -> (u64, u64) {
+        let (mut ids, mut bits) = (0u64, 0u64);
+        for r in 0..rounds {
+            for &d in &sample_online_cohort(fleet, cohort, r, SEED ^ 0x5EED) {
+                ids = ids.wrapping_add(d as u64).rotate_left(1);
+                bits ^= fleet.latency(d, r).to_bits().rotate_left((r % 61) as u32);
+                if let Some(f) = fleet.fail_frac(d, r) {
+                    bits ^= f.to_bits().rotate_left(17);
+                }
+            }
+        }
+        (ids, bits)
+    };
+    let fleet = build();
+    let start = Instant::now();
+    let first = run(&fleet);
+    let seconds = start.elapsed().as_secs_f64();
+    let replay = run(&build());
+
+    let realised_devices = fleet.realised_devices();
+    // Generous constant: ~1/online-fraction draws per cohort slot plus
+    // collision retries is well under 8; the bound is still ~100x below
+    // any O(fleet) realisation at the benchmark scales.
+    let o_cohort = realised_devices <= rounds * cohort * 8 && realised_devices * 10 <= devices;
+    FleetScaleBench {
+        devices,
+        rounds,
+        cohort,
+        seconds,
+        rounds_per_sec: rounds as f64 / seconds.max(1e-9),
+        peak_rss_bytes: read_peak_rss_bytes(),
+        realised_devices,
+        realised_device_rounds: fleet.realised_device_rounds(),
+        realised_state_bytes: fleet.realised_state_bytes(),
+        o_cohort,
+        deterministic: first == replay,
+    }
+}
+
+fn print_fleet_scale(f: &FleetScaleBench) {
+    println!("\n== fleet scale: lazy O(cohort) realisation ==");
+    println!(
+        "  {} devices, {} rounds, cohort {}: {:>6.1} rounds/s  ({:.2}s, peak RSS {:.1} MiB)",
+        f.devices,
+        f.rounds,
+        f.cohort,
+        f.rounds_per_sec,
+        f.seconds,
+        f.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "  realised: {} devices, {} device-rounds, {} bytes  \
+         (O(cohort): {}, deterministic: {})",
+        f.realised_devices,
+        f.realised_device_rounds,
+        f.realised_state_bytes,
+        f.o_cohort,
+        f.deterministic
+    );
+    assert!(
+        f.deterministic,
+        "fleet-scale replay diverged between identical seeded runs — \
+         determinism contract broken"
+    );
+    assert!(
+        f.o_cohort,
+        "{} of {} devices realised over {} rounds x cohort {} — \
+         fleet realisation is not O(cohort)",
+        f.realised_devices, f.devices, f.rounds, f.cohort
+    );
 }
 
 /// Time `f` repeatedly until ~0.2 s of wall clock, returning seconds per
@@ -497,20 +646,52 @@ fn bench_cnn_step() -> CnnStepBench {
         same && batched.params() == per_sample.params()
     };
 
+    // Paired, alternating measurement: one batched epoch then one
+    // per-sample epoch per iteration, so slow drift on the host (load,
+    // frequency scaling) hits both paths equally instead of whichever
+    // happened to be timed last — the ratio is the quantity of record.
     let mut batched = build_cnn(18, ConvExec::Batched);
+    let mut per_sample = build_cnn(18, ConvExec::PerSample);
     let mut sgd_b = Sgd::new(cfg);
+    let mut sgd_s = Sgd::new(cfg);
     let mut rng_b = rng_from_seed(19);
-    let batched_secs = time_per_call(|| {
-        sgd_epoch(
-            &mut batched,
-            &x,
-            &y,
-            batch_size,
-            &mut sgd_b,
-            &NoHook,
-            &mut rng_b,
-        );
-    });
+    let mut rng_s = rng_from_seed(19);
+    let epoch_b = |m: &mut Sequential, s: &mut Sgd, r: &mut _| {
+        sgd_epoch(m, &x, &y, batch_size, s, &NoHook, r);
+    };
+    // Warm both models (buffers, panels, pools) before timing.
+    epoch_b(&mut batched, &mut sgd_b, &mut rng_b);
+    epoch_b(&mut per_sample, &mut sgd_s, &mut rng_s);
+    // ABBA ordering inside each iteration cancels first-vs-second bias
+    // within the pair as well (cache state handed from one path to the
+    // other, scheduler quantum boundaries). Each path is scored by its
+    // *minimum* epoch time: host noise (CPU steal, interrupts) is strictly
+    // additive, so the min is the cleanest observation of the actual work
+    // — the estimator that makes a 1–2% structural difference visible at
+    // all on a shared machine.
+    let (mut min_b, mut min_s) = (f64::INFINITY, f64::INFINITY);
+    let mut spent = 0.0f64;
+    let mut iters = 0u32;
+    while spent < 0.8 || iters < 12 {
+        let t = Instant::now();
+        epoch_b(&mut batched, &mut sgd_b, &mut rng_b);
+        let tb1 = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        epoch_b(&mut per_sample, &mut sgd_s, &mut rng_s);
+        let ts1 = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        epoch_b(&mut per_sample, &mut sgd_s, &mut rng_s);
+        let ts2 = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        epoch_b(&mut batched, &mut sgd_b, &mut rng_b);
+        let tb2 = t.elapsed().as_secs_f64();
+        min_b = min_b.min(tb1).min(tb2);
+        min_s = min_s.min(ts1).min(ts2);
+        spent += tb1 + ts1 + ts2 + tb2;
+        iters += 1;
+    }
+    let batched_secs = min_b;
+    let per_sample_secs = min_s;
 
     // Steady-state evaluation allocations on the warmed batched model, at
     // the inline-sized eval batch (see the function docs).
@@ -519,21 +700,6 @@ fn bench_cnn_step() -> CnnStepBench {
     let _ = evaluate_arena(&mut batched, &x, &y, eval_batch);
     let eval_steady_state_allocs = thread_allocs() - before;
     let arena_high_water_bytes = batched.arena_high_water_bytes();
-
-    let mut per_sample = build_cnn(18, ConvExec::PerSample);
-    let mut sgd_s = Sgd::new(cfg);
-    let mut rng_s = rng_from_seed(19);
-    let per_sample_secs = time_per_call(|| {
-        sgd_epoch(
-            &mut per_sample,
-            &x,
-            &y,
-            batch_size,
-            &mut sgd_s,
-            &NoHook,
-            &mut rng_s,
-        );
-    });
 
     let steps_per_epoch = n.div_ceil(batch_size) as f64;
     CnnStepBench {
@@ -718,6 +884,30 @@ fn main() {
         print_cnn(&bench_cnn_step());
         return;
     }
+    if let Some(pos) = args.iter().position(|a| a == "--fleet-scale") {
+        // CI smoke: the lazy-fleet scale benchmark alone, so `VmHWM` is
+        // dominated by the fleet layer and the budget below is a real
+        // ceiling on its footprint, not on the other benchmarks'.
+        let devices = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100_000);
+        let smoke = bench_fleet_scale(devices, 50, FLEET_SCALE_COHORT);
+        print_fleet_scale(&smoke);
+        const SMOKE_RSS_BUDGET: u64 = 256 * 1024 * 1024;
+        assert!(
+            smoke.peak_rss_bytes <= SMOKE_RSS_BUDGET,
+            "peak RSS {} bytes exceeds the {} MiB smoke budget — \
+             lazy realisation is leaking toward O(fleet)",
+            smoke.peak_rss_bytes,
+            SMOKE_RSS_BUDGET >> 20
+        );
+        println!(
+            "  peak RSS within the {} MiB smoke budget",
+            SMOKE_RSS_BUDGET >> 20
+        );
+        return;
+    }
     let rounds = args
         .iter()
         .skip_while(|a| *a != "--rounds")
@@ -732,6 +922,9 @@ fn main() {
     let conv_stages = bench_conv_stages();
     let step = bench_step();
     let cnn_step = bench_cnn_step();
+
+    let fleet_scale =
+        bench_fleet_scale(FLEET_SCALE_DEVICES, FLEET_SCALE_ROUNDS, FLEET_SCALE_COHORT);
 
     let churn_cfg = churn_workload();
     let churn = ChurnReport {
@@ -772,6 +965,7 @@ fn main() {
         step,
         cnn_step,
         churn,
+        fleet_scale,
     };
 
     println!(
@@ -841,6 +1035,8 @@ fn main() {
             r.algorithm
         );
     }
+
+    print_fleet_scale(&report.fleet_scale);
 
     match serde_json::to_string_pretty(&report) {
         Ok(json) => {

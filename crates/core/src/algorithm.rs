@@ -77,6 +77,12 @@ pub fn sample_participants(n_devices: usize, p: f64, rng: &mut impl Rng) -> Vec<
 /// *every* sampled device is offline (a blackout), the round is recorded
 /// with zero participants and the algorithm is not invoked — the server
 /// idles until devices rejoin. Static fleets never hit either path.
+///
+/// With [`FlEnv::cohort`] set, participation is instead a fixed-size
+/// cohort of K online devices drawn by streaming rejection sampling —
+/// O(cohort) per round regardless of fleet size, never iterating (or
+/// realising fleet state for) unsampled devices. The algorithm's
+/// [`FlAlgorithm::participation`] probability is ignored in that mode.
 pub fn run_experiment(
     algorithm: &mut dyn FlAlgorithm,
     env: &mut FlEnv,
@@ -87,11 +93,17 @@ pub fn run_experiment(
     let mut virtual_time = 0.0f64;
     for round in 0..rounds {
         let mut rng = rng_from_seed(seed_mix(env.seed, round as u64, 0x5e55_105e, 0));
-        let mut participants =
-            sample_participants(env.n_devices(), algorithm.participation(), &mut rng);
-        if env.dynamics_active() {
-            participants.retain(|&d| env.online(d, round));
-        }
+        let participants = match env.cohort {
+            Some(k) => fedhisyn_fleet::sample_online_cohort(&env.fleet, k, round, env.seed),
+            None => {
+                let mut p =
+                    sample_participants(env.n_devices(), algorithm.participation(), &mut rng);
+                if env.dynamics_active() {
+                    p.retain(|&d| env.online(d, round));
+                }
+                p
+            }
+        };
         if participants.is_empty() {
             // Blackout: nobody reachable. Carry the previous accuracy
             // forward (the global is unchanged) and advance no time.
@@ -168,6 +180,7 @@ mod tests {
             exec: crate::engine::ExecMode::default(),
             momentum: crate::env::MomentumBank::disabled(),
             wire_check: false,
+            cohort: None,
         }
     }
 
@@ -282,5 +295,26 @@ mod tests {
             rec.rounds.iter().any(|r| r.participants < env.n_devices()),
             "churn at 70% must shrink some cohort"
         );
+    }
+
+    #[test]
+    fn streaming_cohort_mode_samples_fixed_k_online_devices() {
+        use fedhisyn_fleet::{sample_online_cohort, FleetDynamics, FleetModel};
+        let mut env = tiny_env();
+        env.cohort = Some(3);
+        let mut algo = Null { p: 1.0 };
+        // Static fleet: exactly K participants every round.
+        let rec = run_experiment(&mut algo, &mut env, 4);
+        assert!(rec.rounds.iter().all(|r| r.participants == 3));
+        // The runner's cohort is the sampler's output verbatim.
+        let expect = sample_online_cohort(&env.fleet, 3, 0, env.seed);
+        assert_eq!(expect.len(), 3);
+        // Churned fleet: cohorts shrink to the online population but stay
+        // deterministic.
+        env.fleet = FleetModel::new(&env.profiles, FleetDynamics::churn(0.4), 9);
+        let a = run_experiment(&mut algo, &mut env, 5);
+        let b = run_experiment(&mut algo, &mut env, 5);
+        assert_eq!(a, b, "cohort mode must be bit-deterministic");
+        assert!(a.rounds.iter().all(|r| r.participants <= 3));
     }
 }

@@ -59,6 +59,11 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Override the model architecture (defaults derive from the profile).
     pub model_override: Option<ModelSpec>,
+    /// Fixed-size streaming cohort: when set, each round samples exactly
+    /// this many online devices in O(cohort) work (rejection sampling over
+    /// the hash stream) instead of Bernoulli-sampling every device. `None`
+    /// (the default) keeps the paper's per-device participation draw.
+    pub cohort: Option<usize>,
 }
 
 impl ExperimentConfig {
@@ -84,6 +89,7 @@ impl ExperimentConfig {
                 aggregation: AggregationRule::Uniform,
                 seed: 0,
                 model_override: None,
+                cohort: None,
             },
         }
     }
@@ -160,6 +166,7 @@ impl ExperimentConfig {
                 MomentumBank::disabled()
             },
             wire_check: self.wire_check,
+            cohort: self.cohort,
         }
     }
 }
@@ -281,6 +288,15 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Sample a fixed-size cohort of `k` online devices per round by
+    /// streaming rejection sampling (O(cohort), never iterating the
+    /// fleet) instead of per-device Bernoulli participation.
+    pub fn cohort(mut self, k: usize) -> Self {
+        assert!(k > 0, "cohort must be non-empty");
+        self.cfg.cohort = Some(k);
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> ExperimentConfig {
         self.cfg
@@ -389,6 +405,19 @@ mod tests {
         let json = serde_json::to_string(&cfg).unwrap();
         let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn cohort_defaults_off_and_threads_through_to_the_env() {
+        let cfg = base();
+        assert_eq!(cfg.cohort, None);
+        let cfg = ExperimentConfig::builder(DatasetProfile::MnistLike)
+            .devices(10)
+            .cohort(4)
+            .seed(9)
+            .build();
+        assert_eq!(cfg.cohort, Some(4));
+        assert_eq!(cfg.build_env().cohort, Some(4));
     }
 
     #[test]

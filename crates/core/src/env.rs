@@ -108,6 +108,13 @@ pub struct FlEnv {
     /// the CI serialization-drift tripwire (off by default: it taxes each
     /// hop with an encode/decode).
     pub wire_check: bool,
+    /// When set, the runner samples a **fixed-size cohort** of this many
+    /// online devices per round by streaming rejection sampling
+    /// ([`fedhisyn_fleet::sample_online_cohort`]) — O(cohort) work, never
+    /// iterating the fleet — instead of the paper's per-device Bernoulli
+    /// participation. `None` (the default) keeps the legacy O(fleet)
+    /// Bernoulli sampler and its exact historical draw stream.
+    pub cohort: Option<usize>,
 }
 
 impl FlEnv {
@@ -273,6 +280,7 @@ mod tests {
             exec: ExecMode::default(),
             momentum: MomentumBank::disabled(),
             wire_check: false,
+            cohort: None,
         }
     }
 

@@ -186,6 +186,7 @@ mod tests {
             exec: ExecMode::default(),
             momentum: crate::env::MomentumBank::disabled(),
             wire_check: false,
+            cohort: None,
         }
     }
 

@@ -26,15 +26,26 @@ pub struct RoundRecord {
 pub struct RunRecord {
     /// Algorithm name (e.g. "FedHiSyn", "FedAvg").
     pub algorithm: String,
+    /// GEMM micro-kernel tier that produced this run (`"scalar"`,
+    /// `"avx2"` or `"avx2_fma"`) — the numeric mode, stamped so results
+    /// are only ever compared against baselines from the same tier.
+    pub kernel_tier: String,
+    /// Whether that tier is covered by the workspace's bit-determinism
+    /// contract. `false` only for the opt-in FMA tier (fused rounding):
+    /// FMA runs must compare against FMA baselines, not the default ones.
+    pub kernel_tier_bit_identical: bool,
     /// Per-round metrics in order.
     pub rounds: Vec<RoundRecord>,
 }
 
 impl RunRecord {
-    /// New empty record for an algorithm.
+    /// New empty record for an algorithm, stamped with the numeric mode
+    /// (kernel tier + FMA opt-in status) active in this process.
     pub fn new(algorithm: impl Into<String>) -> Self {
         RunRecord {
             algorithm: algorithm.into(),
+            kernel_tier: crate::engine::ExecutionEngine::kernel_tier().to_string(),
+            kernel_tier_bit_identical: crate::engine::ExecutionEngine::kernel_tier_bit_identical(),
             rounds: Vec::new(),
         }
     }
@@ -138,6 +149,21 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: RunRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);
+    }
+
+    #[test]
+    fn records_are_stamped_with_the_numeric_mode() {
+        let r = RunRecord::new("stamped");
+        assert!(
+            ["scalar", "avx2", "avx2_fma"].contains(&r.kernel_tier.as_str()),
+            "unexpected tier {}",
+            r.kernel_tier
+        );
+        assert_eq!(
+            r.kernel_tier_bit_identical,
+            r.kernel_tier != "avx2_fma",
+            "only the FMA tier opts out of bit-determinism"
+        );
     }
 
     #[test]

@@ -65,6 +65,24 @@ impl MarkovCapacity {
         }
     }
 
+    /// A fleet-wide diurnal/burst chain for the shared modulator: the
+    /// fleet is mostly off-peak (1.0), drifts into peak hours where
+    /// every device is 1.8× slower, and occasionally hits a partition
+    /// burst (a backbone or regional outage echo) at 4×. One chain
+    /// serves the whole fleet, so correlated slowdowns cost O(1) state
+    /// per round regardless of fleet size.
+    pub fn diurnal_burst() -> Self {
+        MarkovCapacity {
+            multipliers: vec![1.0, 1.8, 4.0],
+            transitions: vec![
+                0.90, 0.09, 0.01, // off-peak → …
+                0.15, 0.82, 0.03, // peak → …
+                0.30, 0.30, 0.40, // burst → …
+            ],
+            initial: vec![0.85, 0.14, 0.01],
+        }
+    }
+
     /// Number of states `K`.
     pub fn states(&self) -> usize {
         self.multipliers.len()
@@ -74,6 +92,9 @@ impl MarkovCapacity {
     pub fn validate(&self) {
         let k = self.states();
         assert!(k > 0, "capacity chain needs at least one state");
+        // Realised states are stored as one byte per (device, round) in
+        // the lazy trajectory shards.
+        assert!(k <= 256, "capacity chains support at most 256 states");
         assert_eq!(
             self.transitions.len(),
             k * k,
@@ -182,6 +203,15 @@ pub struct FleetDynamics {
     pub mid_round_failure: f64,
     /// What rings do with models held by a mid-interval casualty.
     pub failure_policy: FailurePolicy,
+    /// Fleet-wide *shared* capacity modulator: one Markov chain whose
+    /// per-round multiplier scales **every** device's effective latency
+    /// (diurnal load, regional partition bursts). Unlike `capacity`,
+    /// which walks an independent chain per device, the modulator costs
+    /// O(1) state per round regardless of fleet size — the correlated
+    /// half of the churn model. `Static` (the default) is the exact
+    /// identity: no multiply is applied, so pre-modulator trajectories
+    /// are reproduced bit-for-bit.
+    pub modulator: CapacityModel,
 }
 
 impl FleetDynamics {
@@ -192,6 +222,7 @@ impl FleetDynamics {
             && self.availability == AvailabilityModel::AlwaysOn
             && self.spikes.prob == 0.0
             && self.mid_round_failure == 0.0
+            && matches!(self.modulator, CapacityModel::Static)
     }
 
     /// Pure churn at the given per-round dropout rate — the knob
@@ -224,12 +255,33 @@ impl FleetDynamics {
             },
             mid_round_failure,
             failure_policy: FailurePolicy::ForwardToSuccessor,
+            modulator: CapacityModel::Static,
+        }
+    }
+
+    /// The million-device testbed preset: pure per-device churn plus the
+    /// fleet-wide diurnal/burst modulator — the regime where lazy O(cohort)
+    /// realisation matters and correlated slowdowns stay O(1) per round.
+    /// (Per-device Markov capacity is deliberately off: at planet scale
+    /// the shared modulator carries the correlated signal.)
+    pub fn planet_scale(dropout: f64) -> Self {
+        FleetDynamics {
+            availability: AvailabilityModel::Churn {
+                dropout,
+                rejoin: dropout.max(0.25),
+            },
+            mid_round_failure: 0.02,
+            modulator: CapacityModel::Markov(MarkovCapacity::diurnal_burst()),
+            ..FleetDynamics::default()
         }
     }
 
     /// Panics unless every sub-model is well-formed.
     pub fn validate(&self) {
         if let CapacityModel::Markov(chain) = &self.capacity {
+            chain.validate();
+        }
+        if let CapacityModel::Markov(chain) = &self.modulator {
             chain.validate();
         }
         self.availability.validate();
@@ -259,10 +311,22 @@ mod tests {
         for d in [
             FleetDynamics::churn(0.1),
             FleetDynamics::edge_fleet(0.1, 0.05),
+            FleetDynamics::planet_scale(0.1),
         ] {
             assert!(!d.is_static());
             d.validate();
         }
+    }
+
+    #[test]
+    fn modulator_alone_activates_dynamics() {
+        let d = FleetDynamics {
+            modulator: CapacityModel::Markov(MarkovCapacity::diurnal_burst()),
+            ..FleetDynamics::default()
+        };
+        assert!(!d.is_static());
+        d.validate();
+        MarkovCapacity::diurnal_burst().validate();
     }
 
     #[test]

@@ -14,10 +14,17 @@
 //!   ([`SpikeModel`]), and mid-interval failures governed by a
 //!   [`FailurePolicy`].
 //! * [`FleetModel`] — the realised trajectory. Every random decision is
-//!   a pure hash of `(seed, round, device, role)`; state chains advance
-//!   round-by-round from that stream and are memoized, so the same seed
-//!   and config always produce the same fleet history regardless of
-//!   query order, thread count or platform.
+//!   a pure hash of `(seed, round, device, role)`; each device's state
+//!   chain advances round-by-round from its own stream and is realised
+//!   **lazily** (64-way sharded, O(devices queried) — never O(fleet)),
+//!   so the same seed and config always produce the same fleet history
+//!   regardless of query order, thread count or platform.
+//! * [`sample_online_cohort`] — streaming rejection sampling of a K-device
+//!   online cohort in O(K) expected work, the piece that makes
+//!   million-device rounds cost O(cohort) end to end.
+//! * [`ReferenceFleet`] — the dense whole-fleet-per-round realisation,
+//!   kept as the executable specification the lazy path is proven
+//!   bit-identical against.
 //!
 //! # Determinism contract
 //!
@@ -31,8 +38,12 @@
 
 pub mod dynamics;
 pub mod model;
+pub mod reference;
+pub mod sampling;
 
 pub use dynamics::{
     AvailabilityModel, CapacityModel, FailurePolicy, FleetDynamics, MarkovCapacity, SpikeModel,
 };
 pub use model::{FleetModel, RoundFleet};
+pub use reference::ReferenceFleet;
+pub use sampling::sample_online_cohort;

@@ -1,15 +1,23 @@
-//! The realised fleet trajectory: deterministic, memoized, seed-driven.
+//! The realised fleet trajectory: deterministic, lazy, seed-driven.
+//!
+//! Per-round cost is **O(devices queried)**, not O(fleet): each device's
+//! capacity/availability chain is realised independently and on demand,
+//! stored in sharded per-device state. A million-device fleet where only
+//! a 10-device cohort is queried per round costs ten trajectories —
+//! every other device costs zero bytes and zero hashes.
 
-use std::sync::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
 
-use fedhisyn_simnet::DeviceProfile;
+use fedhisyn_simnet::{DeviceProfile, ProfileSource};
 
 use crate::dynamics::{AvailabilityModel, CapacityModel, FleetDynamics};
 
 /// SplitMix64 finalizer over the XOR of the inputs — the same stateless
 /// seed-derivation scheme the core crate uses (`core::env::seed_mix`),
 /// duplicated here so `fleet` stays below `core` in the dependency graph.
-fn mix(master: u64, a: u64, b: u64, c: u64) -> u64 {
+pub(crate) fn mix(master: u64, a: u64, b: u64, c: u64) -> u64 {
     let mut z = master
         ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9)
@@ -21,19 +29,23 @@ fn mix(master: u64, a: u64, b: u64, c: u64) -> u64 {
 
 /// Uniform in `[0, 1)` from a hash — the top 53 bits, so the mapping is
 /// exact in f64 and identical on every platform.
-fn unit(h: u64) -> f64 {
+pub(crate) fn unit(h: u64) -> f64 {
     (h >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
 }
 
 /// Roles keeping the per-(round, device) random streams independent.
-const ROLE_CAPACITY: u64 = 0xCA9A_C17F;
-const ROLE_AVAIL: u64 = 0xA1A1_B111;
-const ROLE_SPIKE: u64 = 0x005B_1CE5;
-const ROLE_FAIL: u64 = 0x00FA_110F;
-const ROLE_FAIL_TIME: u64 = 0xFA11_71ED;
+pub(crate) const ROLE_CAPACITY: u64 = 0xCA9A_C17F;
+pub(crate) const ROLE_AVAIL: u64 = 0xA1A1_B111;
+pub(crate) const ROLE_SPIKE: u64 = 0x005B_1CE5;
+pub(crate) const ROLE_FAIL: u64 = 0x00FA_110F;
+pub(crate) const ROLE_FAIL_TIME: u64 = 0xFA11_71ED;
+/// The fleet-wide modulator chain draws from its own stream; the device
+/// slot is pinned to `u64::MAX` (no real device) so it can never collide
+/// with a per-device role.
+pub(crate) const ROLE_MODULATOR: u64 = 0x00D1_0DA7;
 
 /// Sample an index from a discrete distribution by inverse CDF.
-fn pick(weights: &[f64], u: f64) -> usize {
+pub(crate) fn pick(weights: &[f64], u: f64) -> usize {
     let mut acc = 0.0;
     for (i, &w) in weights.iter().enumerate() {
         acc += w;
@@ -44,56 +56,162 @@ fn pick(weights: &[f64], u: f64) -> usize {
     weights.len() - 1
 }
 
-/// One round's realised fleet conditions.
+/// The per-(device, round) state that must be *carried* between rounds.
+///
+/// Everything else (spike, mid-round failure and its fraction, the
+/// effective multiplier) is memoryless — recomputable from hashes given
+/// this state — so the lazy trajectory stores two bytes per realised
+/// round instead of the dense path's ~26.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DevRound {
+    /// Capacity-chain state (chains are capped at 256 states).
+    pub(crate) cap_state: u8,
+    /// Whether the device is reachable at round start.
+    pub(crate) online: bool,
+}
+
+/// One device's realised trajectory: rounds `0..len` in order.
+type DeviceTraj = Vec<DevRound>;
+
+/// One shard of the fleet's lazy per-device state.
+#[derive(Debug, Default)]
+struct Shard {
+    /// Realised trajectories keyed by device id.
+    slots: Mutex<HashMap<u64, DeviceTraj>>,
+    /// Queries routed to this shard (diagnostics: the O(cohort) tripwire).
+    touched: AtomicU64,
+}
+
+/// One round's realised fleet conditions — a compact SoA snapshot.
+///
+/// `online` is a bitset, failures are a sparse sorted list, and the
+/// static fast path uses `None` for the uniform vectors, so snapshotting
+/// a static fleet allocates nothing at all.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoundFleet {
-    /// Whether each device is reachable at round start.
-    pub online: Vec<bool>,
-    /// Effective latency multiplier per device (capacity state × spike).
-    pub multiplier: Vec<f64>,
-    /// For online devices that crash mid-interval: the fraction of the
-    /// round interval at which they die. `None` = survives the round.
-    pub fail_frac: Vec<Option<f64>>,
-    /// Capacity-chain state per device (internal, carried between rounds).
-    cap_state: Vec<usize>,
+    n: usize,
+    /// Online bitset (`None` = every device online).
+    online: Option<Vec<u64>>,
+    /// Effective latency multiplier per device (`None` = all 1.0).
+    multiplier: Option<Vec<f64>>,
+    /// Sparse `(device, fraction)` mid-round failures, sorted by device.
+    failures: Vec<(usize, f64)>,
+}
+
+impl RoundFleet {
+    /// Number of devices the snapshot covers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the snapshot covers no devices.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Whether `device` is reachable at round start.
+    pub fn online(&self, device: usize) -> bool {
+        assert!(device < self.n, "device {device} out of range");
+        match &self.online {
+            None => true,
+            Some(bits) => bits[device / 64] >> (device % 64) & 1 == 1,
+        }
+    }
+
+    /// Effective latency multiplier of `device`.
+    pub fn multiplier(&self, device: usize) -> f64 {
+        assert!(device < self.n, "device {device} out of range");
+        match &self.multiplier {
+            None => 1.0,
+            Some(m) => m[device],
+        }
+    }
+
+    /// Mid-round failure fraction of `device` (`None` = survives).
+    pub fn fail_frac(&self, device: usize) -> Option<f64> {
+        assert!(device < self.n, "device {device} out of range");
+        self.failures
+            .binary_search_by_key(&device, |&(d, _)| d)
+            .ok()
+            .map(|i| self.failures[i].1)
+    }
+
+    /// Number of online devices.
+    pub fn online_count(&self) -> usize {
+        match &self.online {
+            None => self.n,
+            Some(bits) => bits.iter().map(|w| w.count_ones() as usize).sum(),
+        }
+    }
 }
 
 /// The fleet's realised trajectory over rounds.
 ///
 /// # Determinism contract
 ///
-/// Round `r`'s conditions are a pure function of `(seed, dynamics, r)`:
-/// every random decision hashes `(seed, round, device, role)` through the
-/// same SplitMix64 mix the rest of the stack uses, and state chains
-/// (capacity, availability) advance strictly round-by-round from that
-/// hash stream. The trace is memoized behind a reader-writer lock —
-/// parallel training loops querying an already-realised round share a
-/// read lock; the write lock is only taken to extend the trace — and the
-/// *values* never depend on query order or thread timing: two processes
-/// asking for round 500 in any order see identical vectors. The static
-/// config ([`FleetDynamics::is_static`]) bypasses the trace entirely, so
-/// default experiments pay nothing and stay bit-identical to the
-/// pre-dynamics code.
+/// Device `d`'s conditions at round `r` are a **pure function of
+/// `(seed, dynamics, d, r)`**: every random decision hashes
+/// `(seed, round, device, role)` through the same SplitMix64 mix the rest
+/// of the stack uses, and each device's state chain (capacity,
+/// availability) advances strictly round-by-round from *its own* hash
+/// stream — device chains never read each other, which is what makes
+/// per-device lazy realisation bit-identical to realising the whole
+/// fleet densely. The invariants, asserted by the workspace's
+/// equivalence proptests:
+///
+/// * **Query-order independence** — asking for `(d, r)` in any order,
+///   from any number of threads, yields identical values; memoization
+///   (64-way sharded, per-device) only caches, never perturbs.
+/// * **O(queried) realisation** — a device that is never queried costs
+///   zero bytes and zero hash evaluations; realised state is bounded by
+///   `devices queried × rounds`, never fleet size.
+/// * **Static fast path** — [`FleetDynamics::is_static`] short-circuits
+///   every query with no shard traffic, keeping default experiments
+///   bit-identical to the pre-dynamics code.
+/// * **Carried state is minimal** — only `(capacity state, online)` is
+///   stored per realised round (two bytes); spikes, failures and the
+///   effective multiplier are memoryless and recomputed from hashes,
+///   bit-identically, on every read.
+///
+/// The shared fleet-wide modulator chain ([`FleetDynamics::modulator`])
+/// realises one state per round for the *whole* fleet (O(1) memoized),
+/// and its multiplier is applied after the per-device capacity × spike
+/// product. `CapacityModel::Static` (the default) applies no multiply,
+/// so pre-modulator trajectories are reproduced exactly.
 #[derive(Debug)]
 pub struct FleetModel {
-    base: Vec<f64>,
+    profiles: ProfileSource,
     dynamics: FleetDynamics,
     seed: u64,
     is_static: bool,
-    trace: RwLock<Vec<RoundFleet>>,
+    shards: Vec<Shard>,
+    /// Memoized fleet-wide modulator states (one byte per round).
+    modulator_memo: RwLock<Vec<u8>>,
 }
 
 impl FleetModel {
+    /// Number of trajectory shards (queries hash by `device % SHARD_COUNT`).
+    pub const SHARD_COUNT: usize = 64;
+
     /// Build from the fleet's sampled base profiles.
     pub fn new(profiles: &[DeviceProfile], dynamics: FleetDynamics, seed: u64) -> Self {
+        FleetModel::with_source(ProfileSource::from_profiles(profiles), dynamics, seed)
+    }
+
+    /// Build over any profile source — in particular a lazy one, so a
+    /// million-device fleet costs no per-device memory up front.
+    pub fn with_source(profiles: ProfileSource, dynamics: FleetDynamics, seed: u64) -> Self {
         dynamics.validate();
         let is_static = dynamics.is_static();
         FleetModel {
-            base: profiles.iter().map(|p| p.train_time).collect(),
+            profiles,
             dynamics,
             seed,
             is_static,
-            trace: RwLock::new(Vec::new()),
+            shards: (0..FleetModel::SHARD_COUNT)
+                .map(|_| Shard::default())
+                .collect(),
+            modulator_memo: RwLock::new(Vec::new()),
         }
     }
 
@@ -107,6 +225,11 @@ impl FleetModel {
         &self.dynamics
     }
 
+    /// The base-profile source (dense or lazy).
+    pub fn profile_source(&self) -> &ProfileSource {
+        &self.profiles
+    }
+
     /// True when the model is the degenerate static fleet.
     pub fn is_static(&self) -> bool {
         self.is_static
@@ -114,12 +237,17 @@ impl FleetModel {
 
     /// Fleet size.
     pub fn len(&self) -> usize {
-        self.base.len()
+        self.profiles.len()
     }
 
     /// True when the fleet has no devices.
     pub fn is_empty(&self) -> bool {
-        self.base.is_empty()
+        self.profiles.is_empty()
+    }
+
+    /// Base (multiplier-1.0) latency of `device`.
+    pub fn base_latency(&self, device: usize) -> f64 {
+        self.profiles.train_time(device)
     }
 
     /// Effective latency multiplier of `device` at `round` (1.0 static).
@@ -127,7 +255,8 @@ impl FleetModel {
         if self.is_static {
             return 1.0;
         }
-        self.with_round(round, |r| r.multiplier[device])
+        let dr = self.device_round(device, round);
+        self.multiplier_of(device, round, dr)
     }
 
     /// Whether `device` is reachable at the start of `round`.
@@ -135,7 +264,7 @@ impl FleetModel {
         if self.is_static {
             return true;
         }
-        self.with_round(round, |r| r.online[device])
+        self.device_round(device, round).online
     }
 
     /// Mid-interval failure point of `device` in `round`, as a fraction
@@ -144,129 +273,241 @@ impl FleetModel {
         if self.is_static {
             return None;
         }
-        self.with_round(round, |r| r.fail_frac[device])
+        let dr = self.device_round(device, round);
+        self.fail_of(device, round, dr)
     }
 
     /// Effective latency of `device` at `round`: the base profile scaled
     /// by the round's capacity multiplier.
     pub fn latency(&self, device: usize, round: usize) -> f64 {
-        self.base[device] * self.multiplier(device, round)
+        self.profiles.train_time(device) * self.multiplier(device, round)
     }
 
-    /// Clone out one round's realised conditions (benches, figures).
+    /// The fleet-wide modulator multiplier at `round` (1.0 when the
+    /// modulator is `Static`). O(1) amortised: one byte of memoized chain
+    /// state per round, shared by the whole fleet.
+    pub fn modulator_multiplier(&self, round: usize) -> f64 {
+        match &self.dynamics.modulator {
+            CapacityModel::Static => 1.0,
+            CapacityModel::Markov(chain) => chain.multipliers[self.modulator_state(round) as usize],
+        }
+    }
+
+    /// Snapshot one round's realised conditions for every device — the
+    /// dense small-fleet path (benches, figures). O(fleet) by nature; on
+    /// a static fleet the snapshot is uniform and allocates nothing.
     pub fn round_snapshot(&self, round: usize) -> RoundFleet {
-        if self.is_static {
-            let n = self.len();
-            return RoundFleet {
-                online: vec![true; n],
-                multiplier: vec![1.0; n],
-                fail_frac: vec![None; n],
-                cap_state: vec![0; n],
-            };
-        }
-        self.with_round(round, |r| r.clone())
-    }
-
-    fn with_round<R>(&self, round: usize, f: impl FnOnce(&RoundFleet) -> R) -> R {
-        // Fast path: the round is already realised — readers share the
-        // lock, so per-device queries inside parallel training loops do
-        // not serialize each other.
-        {
-            let trace = self.trace.read().expect("fleet trace poisoned");
-            if round < trace.len() {
-                return f(&trace[round]);
-            }
-        }
-        let mut trace = self.trace.write().expect("fleet trace poisoned");
-        while trace.len() <= round {
-            let next = self.advance(trace.last(), trace.len());
-            trace.push(next);
-        }
-        f(&trace[round])
-    }
-
-    /// Realise round `round` from the previous round's state vectors.
-    fn advance(&self, prev: Option<&RoundFleet>, round: usize) -> RoundFleet {
         let n = self.len();
-        let r = round as u64;
-        let mut online = Vec::with_capacity(n);
+        if self.is_static {
+            return RoundFleet {
+                n,
+                online: None,
+                multiplier: None,
+                failures: Vec::new(),
+            };
+        }
+        let mut online = vec![0u64; n.div_ceil(64)];
         let mut multiplier = Vec::with_capacity(n);
-        let mut fail_frac = Vec::with_capacity(n);
-        let mut cap_state = Vec::with_capacity(n);
-
+        let mut failures = Vec::new();
         for d in 0..n {
-            let du = d as u64;
-
-            // Capacity chain.
-            let state = match &self.dynamics.capacity {
-                CapacityModel::Static => 0,
-                CapacityModel::Markov(chain) => {
-                    let u = unit(mix(self.seed, r, du, ROLE_CAPACITY));
-                    match prev {
-                        None => pick(&chain.initial, u),
-                        Some(p) => {
-                            let k = chain.states();
-                            let row =
-                                &chain.transitions[p.cap_state[d] * k..(p.cap_state[d] + 1) * k];
-                            pick(row, u)
-                        }
-                    }
-                }
-            };
-            let mut m = match &self.dynamics.capacity {
-                CapacityModel::Static => 1.0,
-                CapacityModel::Markov(chain) => chain.multipliers[state],
-            };
-
-            // Transient straggler spike.
-            if self.dynamics.spikes.prob > 0.0
-                && unit(mix(self.seed, r, du, ROLE_SPIKE)) < self.dynamics.spikes.prob
-            {
-                m *= self.dynamics.spikes.magnitude;
+            let dr = self.device_round(d, round);
+            if dr.online {
+                online[d / 64] |= 1 << (d % 64);
             }
+            multiplier.push(self.multiplier_of(d, round, dr));
+            if let Some(f) = self.fail_of(d, round, dr) {
+                failures.push((d, f));
+            }
+        }
+        RoundFleet {
+            n,
+            online: Some(online),
+            multiplier: Some(multiplier),
+            failures,
+        }
+    }
 
-            // Availability chain. A device that failed mid-interval last
-            // round counts as offline going into the churn transition —
-            // it has to "rejoin" like any other dropout. Under AlwaysOn
-            // it reboots in time for the next round.
-            let on = match self.dynamics.availability {
-                AvailabilityModel::AlwaysOn => true,
-                AvailabilityModel::Churn { dropout, rejoin } => {
-                    let was_on = match prev {
-                        None => true,
-                        Some(p) => p.online[d] && p.fail_frac[d].is_none(),
-                    };
-                    let u = unit(mix(self.seed, r, du, ROLE_AVAIL));
-                    if was_on {
-                        u >= dropout
-                    } else {
-                        u < rejoin
+    // ---- lazy realisation ------------------------------------------------
+
+    /// Which shard holds `device`'s trajectory.
+    pub fn shard_of(device: usize) -> usize {
+        device % FleetModel::SHARD_COUNT
+    }
+
+    /// Per-shard query counters — the tripwire proving unqueried shards
+    /// are never touched.
+    pub fn shard_touches(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.touched.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Number of devices whose trajectories have been realised.
+    pub fn realised_devices(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.slots.lock().expect("fleet shard poisoned").len())
+            .sum()
+    }
+
+    /// Total realised (device, round) states across the fleet.
+    pub fn realised_device_rounds(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.slots
+                    .lock()
+                    .expect("fleet shard poisoned")
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Approximate bytes of realised trajectory state (carried chain
+    /// state only; memoryless quantities are recomputed, not stored).
+    pub fn realised_state_bytes(&self) -> usize {
+        self.realised_device_rounds() * std::mem::size_of::<DevRound>()
+            + self.realised_devices()
+                * (std::mem::size_of::<u64>() + std::mem::size_of::<DeviceTraj>())
+    }
+
+    /// The carried state of `device` at `round`, realising any missing
+    /// prefix of its trajectory (and nothing else).
+    fn device_round(&self, device: usize, round: usize) -> DevRound {
+        assert!(device < self.len(), "device {device} out of range");
+        let shard = &self.shards[FleetModel::shard_of(device)];
+        shard.touched.fetch_add(1, Ordering::Relaxed);
+        let mut slots = shard.slots.lock().expect("fleet shard poisoned");
+        let traj = slots.entry(device as u64).or_default();
+        while traj.len() <= round {
+            let r = traj.len();
+            let prev = if r == 0 { None } else { Some(traj[r - 1]) };
+            let next = self.advance_device(device, r, prev);
+            traj.push(next);
+        }
+        traj[round]
+    }
+
+    /// Advance `device`'s chain one round — the same decision sequence,
+    /// hash stream and branch order as the dense reference realisation,
+    /// restricted to a single device.
+    fn advance_device(&self, device: usize, round: usize, prev: Option<DevRound>) -> DevRound {
+        let r = round as u64;
+        let du = device as u64;
+
+        // Capacity chain.
+        let state = match &self.dynamics.capacity {
+            CapacityModel::Static => 0,
+            CapacityModel::Markov(chain) => {
+                let u = unit(mix(self.seed, r, du, ROLE_CAPACITY));
+                match prev {
+                    None => pick(&chain.initial, u),
+                    Some(p) => {
+                        let k = chain.states();
+                        let s = p.cap_state as usize;
+                        pick(&chain.transitions[s * k..(s + 1) * k], u)
                     }
                 }
-            };
+            }
+        };
 
-            // Mid-interval failure (only meaningful for online devices).
-            let fail = if on
-                && self.dynamics.mid_round_failure > 0.0
-                && unit(mix(self.seed, r, du, ROLE_FAIL)) < self.dynamics.mid_round_failure
-            {
-                Some(unit(mix(self.seed, r, du, ROLE_FAIL_TIME)))
+        // Availability chain. A device that failed mid-interval last
+        // round counts as offline going into the churn transition — it
+        // has to "rejoin" like any other dropout. Under AlwaysOn it
+        // reboots in time for the next round.
+        let on = match self.dynamics.availability {
+            AvailabilityModel::AlwaysOn => true,
+            AvailabilityModel::Churn { dropout, rejoin } => {
+                let was_on = match prev {
+                    None => true,
+                    Some(p) => p.online && self.fail_of(device, round - 1, p).is_none(),
+                };
+                let u = unit(mix(self.seed, r, du, ROLE_AVAIL));
+                if was_on {
+                    u >= dropout
+                } else {
+                    u < rejoin
+                }
+            }
+        };
+
+        DevRound {
+            cap_state: state as u8,
+            online: on,
+        }
+    }
+
+    /// Recompute the (memoryless) effective multiplier from carried state.
+    fn multiplier_of(&self, device: usize, round: usize, dr: DevRound) -> f64 {
+        let mut m = match &self.dynamics.capacity {
+            CapacityModel::Static => 1.0,
+            CapacityModel::Markov(chain) => chain.multipliers[dr.cap_state as usize],
+        };
+
+        // Transient straggler spike.
+        if self.dynamics.spikes.prob > 0.0
+            && unit(mix(self.seed, round as u64, device as u64, ROLE_SPIKE))
+                < self.dynamics.spikes.prob
+        {
+            m *= self.dynamics.spikes.magnitude;
+        }
+
+        // Fleet-wide correlated modulator (identity ⇒ no multiply, so
+        // modulator-free configs stay bit-identical to the pre-modulator
+        // realisation).
+        if let CapacityModel::Markov(chain) = &self.dynamics.modulator {
+            m *= chain.multipliers[self.modulator_state(round) as usize];
+        }
+        m
+    }
+
+    /// Recompute the (memoryless) mid-round failure from carried state.
+    /// Only meaningful for online devices.
+    fn fail_of(&self, device: usize, round: usize, dr: DevRound) -> Option<f64> {
+        let r = round as u64;
+        let du = device as u64;
+        if dr.online
+            && self.dynamics.mid_round_failure > 0.0
+            && unit(mix(self.seed, r, du, ROLE_FAIL)) < self.dynamics.mid_round_failure
+        {
+            Some(unit(mix(self.seed, r, du, ROLE_FAIL_TIME)))
+        } else {
+            None
+        }
+    }
+
+    /// Memoized fleet-wide modulator state at `round`.
+    fn modulator_state(&self, round: usize) -> u8 {
+        let chain = match &self.dynamics.modulator {
+            CapacityModel::Static => return 0,
+            CapacityModel::Markov(chain) => chain,
+        };
+        {
+            let memo = self.modulator_memo.read().expect("modulator memo poisoned");
+            if round < memo.len() {
+                return memo[round];
+            }
+        }
+        let mut memo = self
+            .modulator_memo
+            .write()
+            .expect("modulator memo poisoned");
+        while memo.len() <= round {
+            let r = memo.len();
+            let u = unit(mix(self.seed, r as u64, u64::MAX, ROLE_MODULATOR));
+            let s = if r == 0 {
+                pick(&chain.initial, u)
             } else {
-                None
+                let k = chain.states();
+                let p = memo[r - 1] as usize;
+                pick(&chain.transitions[p * k..(p + 1) * k], u)
             };
-
-            online.push(on);
-            multiplier.push(m);
-            fail_frac.push(fail);
-            cap_state.push(state);
+            memo.push(s as u8);
         }
-
-        RoundFleet {
-            online,
-            multiplier,
-            fail_frac,
-            cap_state,
-        }
+        memo[round]
     }
 }
 
@@ -293,6 +534,9 @@ mod tests {
                 assert_eq!(m.latency(d, r), 1.0 + d as f64 * 0.5);
             }
         }
+        // The static path never touches the trajectory shards.
+        assert_eq!(m.realised_devices(), 0);
+        assert!(m.shard_touches().iter().all(|&t| t == 0));
     }
 
     #[test]
@@ -478,5 +722,115 @@ mod tests {
         assert_eq!(pick(&[0.5, 0.5], 0.75), 1);
         // u beyond the accumulated mass (rounding) clamps to the last.
         assert_eq!(pick(&[0.5, 0.5], 1.0), 1);
+    }
+
+    #[test]
+    fn realisation_is_proportional_to_devices_queried() {
+        // 10k-device fleet, but only devices 3 and 17 are ever queried:
+        // exactly two trajectories realise and only their two shards see
+        // any traffic at all.
+        let src = ProfileSource::lazy(
+            10_000,
+            fedhisyn_simnet::HeterogeneityModel::Uniform { h: 10.0 },
+            1.0,
+            99,
+        );
+        let m = FleetModel::with_source(src, FleetDynamics::edge_fleet(0.2, 0.1), 21);
+        for r in 0..12 {
+            let _ = m.multiplier(3, r);
+            let _ = m.online(17, r);
+            let _ = m.fail_frac(3, r);
+        }
+        assert_eq!(m.realised_devices(), 2);
+        assert_eq!(m.realised_device_rounds(), 24);
+        let touches = m.shard_touches();
+        for (s, &t) in touches.iter().enumerate() {
+            if s == FleetModel::shard_of(3) || s == FleetModel::shard_of(17) {
+                assert!(t > 0, "queried shard {s} must register traffic");
+            } else {
+                assert_eq!(t, 0, "unqueried shard {s} must never be touched");
+            }
+        }
+        assert!(m.realised_state_bytes() < 1024, "footprint stays tiny");
+    }
+
+    #[test]
+    fn modulator_is_shared_and_correlated_across_the_fleet() {
+        let m = FleetModel::new(
+            &profiles(30),
+            FleetDynamics {
+                modulator: CapacityModel::Markov(MarkovCapacity::diurnal_burst()),
+                ..FleetDynamics::default()
+            },
+            17,
+        );
+        assert!(!m.is_static());
+        let mut distinct = std::collections::BTreeSet::new();
+        for r in 0..60 {
+            let shared = m.modulator_multiplier(r);
+            distinct.insert((shared * 10.0) as i64);
+            for d in 0..30 {
+                // No per-device capacity/spike processes: every device
+                // carries exactly the shared modulator multiplier.
+                assert_eq!(m.multiplier(d, r), shared, "round {r} device {d}");
+            }
+        }
+        assert!(
+            distinct.len() >= 2,
+            "the chain should visit several states: {distinct:?}"
+        );
+    }
+
+    #[test]
+    fn modulator_multiplier_is_query_order_independent() {
+        let make = || {
+            FleetModel::new(
+                &profiles(4),
+                FleetDynamics {
+                    modulator: CapacityModel::Markov(MarkovCapacity::diurnal_burst()),
+                    ..FleetDynamics::default()
+                },
+                23,
+            )
+        };
+        let a = make();
+        let b = make();
+        let fwd: Vec<f64> = (0..40).map(|r| a.modulator_multiplier(r)).collect();
+        let bwd: Vec<f64> = (0..40).rev().map(|r| b.modulator_multiplier(r)).collect();
+        for (r, &v) in fwd.iter().enumerate() {
+            assert_eq!(v, bwd[39 - r], "round {r}");
+        }
+    }
+
+    #[test]
+    fn compact_snapshot_agrees_with_point_queries() {
+        let m = FleetModel::new(&profiles(70), FleetDynamics::edge_fleet(0.3, 0.2), 8);
+        for r in 0..6 {
+            let snap = m.round_snapshot(r);
+            assert_eq!(snap.len(), 70);
+            let mut online = 0;
+            for d in 0..70 {
+                assert_eq!(snap.online(d), m.online(d, r));
+                assert_eq!(snap.multiplier(d), m.multiplier(d, r));
+                assert_eq!(snap.fail_frac(d), m.fail_frac(d, r));
+                online += snap.online(d) as usize;
+            }
+            assert_eq!(snap.online_count(), online);
+        }
+    }
+
+    #[test]
+    fn static_snapshot_is_uniform_and_unallocated() {
+        let m = FleetModel::static_fleet(&profiles(5));
+        let snap = m.round_snapshot(3);
+        assert_eq!(snap.len(), 5);
+        assert_eq!(snap.online_count(), 5);
+        for d in 0..5 {
+            assert!(snap.online(d));
+            assert_eq!(snap.multiplier(d), 1.0);
+            assert_eq!(snap.fail_frac(d), None);
+        }
+        // The uniform representation carries no per-device vectors.
+        assert_eq!(snap, snap.clone());
     }
 }

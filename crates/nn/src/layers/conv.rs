@@ -15,8 +15,11 @@
 //! many batches they are packed exactly once.
 //!
 //! Backward is three batched stages on the same layout: `dW += dY_rowsᵀ ·
-//! cols` (one `gemm_tn` over the whole batch), `dcols = dY_rows · W` (one
-//! `gemm`), and a batched `col2im` scatter back onto `[B, C, H, W]`.
+//! cols` (chained per-sample `β = 1` `gemm_tn` calls — the identical
+//! addition sequence as one whole-batch reduction, but each chunk's packed
+//! `cols` panel stays L2-resident instead of `k = B·OH·OW` panels being
+//! re-streamed per row-tile), `dcols = dY_rows · W` (one `gemm`), and a
+//! batched `col2im` scatter back onto `[B, C, H, W]`.
 //!
 //! # The retained per-sample reference
 //!
@@ -205,6 +208,11 @@ impl Conv2d {
 
 /// Lower one `[C, H, W]` sample into its `[OH·OW, C·k·k]` block of the
 /// batch-major column matrix (row = output position, columns = `(c,ki,kj)`).
+///
+/// Interior output positions — where the whole `k`-wide window is
+/// in-bounds — copy their window as one contiguous slice; only the
+/// `pad`-clipped border positions pay the per-element bounds checks. Pure
+/// data movement either way, so the output is bit-identical.
 #[allow(clippy::too_many_arguments)] // BLAS-style kernel internals
 fn im2col_rows(
     x: &[f32],
@@ -224,6 +232,8 @@ fn im2col_rows(
     for oy in 0..oh {
         for ox in 0..ow {
             let row = &mut rows[(oy * ow + ox) * ckk..(oy * ow + ox + 1) * ckk];
+            let x0 = (ox * stride) as isize - pad as isize;
+            let x_interior = x0 >= 0 && x0 as usize + k <= w;
             let mut r = 0usize;
             for ci in 0..c {
                 let plane = &x[ci * h * w..(ci + 1) * h * w];
@@ -234,13 +244,17 @@ fn im2col_rows(
                         dst.fill(0.0);
                     } else {
                         let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
-                        for (kj, d) in dst.iter_mut().enumerate() {
-                            let ix = (ox * stride + kj) as isize - pad as isize;
-                            *d = if ix < 0 || ix >= w as isize {
-                                0.0
-                            } else {
-                                src_row[ix as usize]
-                            };
+                        if x_interior {
+                            dst.copy_from_slice(&src_row[x0 as usize..x0 as usize + k]);
+                        } else {
+                            for (kj, d) in dst.iter_mut().enumerate() {
+                                let ix = x0 + kj as isize;
+                                *d = if ix < 0 || ix >= w as isize {
+                                    0.0
+                                } else {
+                                    src_row[ix as usize]
+                                };
+                            }
                         }
                     }
                     r += k;
@@ -252,6 +266,10 @@ fn im2col_rows(
 
 /// Scatter one sample's `[OH·OW, C·k·k]` column-gradient block back onto
 /// `[C, H, W]` (accumulating; `x` must be zeroed by the caller).
+///
+/// Interior positions accumulate their window without per-element bounds
+/// checks (same additions in the same `kj` order, so bit-identical);
+/// border positions keep the clipped loop.
 #[allow(clippy::too_many_arguments)] // BLAS-style kernel internals
 fn col2im_rows(
     rows: &[f32],
@@ -271,6 +289,8 @@ fn col2im_rows(
     for oy in 0..oh {
         for ox in 0..ow {
             let row = &rows[(oy * ow + ox) * ckk..(oy * ow + ox + 1) * ckk];
+            let x0 = (ox * stride) as isize - pad as isize;
+            let x_interior = x0 >= 0 && x0 as usize + k <= w;
             let mut r = 0usize;
             for ci in 0..c {
                 let plane = &mut x[ci * h * w..(ci + 1) * h * w];
@@ -278,10 +298,17 @@ fn col2im_rows(
                     let iy = (oy * stride + ki) as isize - pad as isize;
                     if iy >= 0 && iy < h as isize {
                         let dst_row = &mut plane[iy as usize * w..(iy as usize + 1) * w];
-                        for (kj, &s) in row[r..r + k].iter().enumerate() {
-                            let ix = (ox * stride + kj) as isize - pad as isize;
-                            if ix >= 0 && ix < w as isize {
-                                dst_row[ix as usize] += s;
+                        if x_interior {
+                            let dst = &mut dst_row[x0 as usize..x0 as usize + k];
+                            for (d, &s) in dst.iter_mut().zip(&row[r..r + k]) {
+                                *d += s;
+                            }
+                        } else {
+                            for (kj, &s) in row[r..r + k].iter().enumerate() {
+                                let ix = x0 + kj as isize;
+                                if ix >= 0 && ix < w as isize {
+                                    dst_row[ix as usize] += s;
+                                }
                             }
                         }
                     }
@@ -297,7 +324,13 @@ fn col2im_rows(
 /// fork/join overhead (and the job boxing it implies) dominates — and the
 /// zero-alloc steady-state tests/smokes are all sized under it, so they
 /// keep running inline on the measuring thread on any host.
-const PAR_STAGE_MIN_ELEMS: usize = 1 << 15;
+///
+/// Re-tuned from `1 << 15` after the interior-window memcpy fast path
+/// landed: the stages now move ≥ 2× the bytes per cycle, so the batch-8
+/// smoke shapes (conv1 cols ≈ 55k elements) that used to straddle the old
+/// threshold — paying fork/join for microseconds of copying — stay inline,
+/// while real training batches (≥ 16) still fan out.
+const PAR_STAGE_MIN_ELEMS: usize = 1 << 16;
 
 /// Square tile side of the blocked transposes: both the row-major and the
 /// plane-major side of a tile stay within `TRANSPOSE_TILE` rows/planes, so
@@ -333,6 +366,31 @@ fn rows_to_planes(rows_b: &[f32], out_b: &mut [f32], f: usize, ohow: usize, bias
             p0 = p1;
         }
         f0 = f1;
+    }
+}
+
+/// Blocked transpose-accumulate of one sample's position-major rows
+/// (`[H·W, C]`) onto its `[C, H·W]` planes — the degenerate col2im of a
+/// 1×1 stride-1 unpadded conv, where every input position receives
+/// exactly one column contribution.
+fn rows_to_planes_acc(rows_b: &[f32], x_b: &mut [f32], c: usize, hw: usize) {
+    debug_assert_eq!(rows_b.len(), hw * c);
+    debug_assert_eq!(x_b.len(), c * hw);
+    let mut c0 = 0;
+    while c0 < c {
+        let c1 = (c0 + TRANSPOSE_TILE).min(c);
+        let mut p0 = 0;
+        while p0 < hw {
+            let p1 = (p0 + TRANSPOSE_TILE).min(hw);
+            for ci in c0..c1 {
+                let plane = &mut x_b[ci * hw..(ci + 1) * hw];
+                for p in p0..p1 {
+                    plane[p] += rows_b[p * c + ci];
+                }
+            }
+            p0 = p1;
+        }
+        c0 = c1;
     }
 }
 
@@ -379,6 +437,14 @@ impl Conv2d {
         self.panel_cache.pack_count()
     }
 
+    /// True when the lowering degenerates to a pure transpose: a 1×1
+    /// stride-1 unpadded kernel's column matrix *is* the `[H·W, C]`
+    /// transpose of the input planes (and its col2im the inverse), so both
+    /// run as blocked transposes instead of the windowed copy.
+    fn unit_kernel(&self) -> bool {
+        self.kernel == 1 && self.stride == 1 && self.pad == 0
+    }
+
     /// Stage 1 of forward: lower the whole batch into `cols` —
     /// per-sample-disjoint, fanned out in one-sample bands when large.
     fn lower_batch(&self, x: &[f32], cols: &mut [f32], b: usize, h: usize, w: usize) {
@@ -386,19 +452,25 @@ impl Conv2d {
         let (oh, ow) = self.out_size(h, w);
         let sample_in = c * h * w;
         let sample_cols = oh * ow * ckk;
+        let unit = self.unit_kernel();
         let lower_one = |bi: usize, chunk: &mut [f32]| {
-            im2col_rows(
-                &x[bi * sample_in..(bi + 1) * sample_in],
-                c,
-                h,
-                w,
-                self.kernel,
-                self.stride,
-                self.pad,
-                oh,
-                ow,
-                chunk,
-            );
+            let x_b = &x[bi * sample_in..(bi + 1) * sample_in];
+            if unit {
+                planes_to_rows(x_b, chunk, c, h * w);
+            } else {
+                im2col_rows(
+                    x_b,
+                    c,
+                    h,
+                    w,
+                    self.kernel,
+                    self.stride,
+                    self.pad,
+                    oh,
+                    ow,
+                    chunk,
+                );
+            }
         };
         if stage_parallel(b, b * sample_cols) {
             cols.par_chunks_mut(sample_cols)
@@ -517,38 +589,27 @@ impl Conv2d {
         }
     }
 
-    /// Backward stage 3: `dW += dY_rowsᵀ · cols`. One whole-batch `gemm_tn`
-    /// in batched mode; the per-sample reference chains `β = 1` calls,
-    /// which performs the identical addition sequence (module docs).
+    /// Backward stage 3: `dW += dY_rowsᵀ · cols`, k-blocked in per-sample
+    /// chunks in **both** modes. Chaining `β = 1` calls performs the
+    /// identical addition sequence of the single whole-batch `gemm_tn`
+    /// (module docs; proven exhaustively in `tests/conv_batched.rs`), and
+    /// the per-chunk packed `cols` panel stays cache-resident — the
+    /// whole-batch pack has `k = B·OH·OW`, which overflows L2 at training
+    /// batch sizes and was re-streamed from memory once per row-tile of
+    /// the tiny `[F, C·k·k]` output.
     fn gemm_grad_weight(&mut self, dy_rows: &[f32], cols: &[f32], b: usize, ohow: usize) {
         let (f, ckk) = (self.out_channels, self.ckk());
-        match self.exec {
-            ConvExec::Batched => {
-                par_gemm_tn(
-                    dy_rows,
-                    cols,
-                    self.grad_weight.data_mut(),
-                    f,
-                    b * ohow,
-                    ckk,
-                    1.0,
-                    1.0,
-                );
-            }
-            ConvExec::PerSample => {
-                for bi in 0..b {
-                    par_gemm_tn(
-                        &dy_rows[bi * ohow * f..(bi + 1) * ohow * f],
-                        &cols[bi * ohow * ckk..(bi + 1) * ohow * ckk],
-                        self.grad_weight.data_mut(),
-                        f,
-                        ohow,
-                        ckk,
-                        1.0,
-                        1.0,
-                    );
-                }
-            }
+        for bi in 0..b {
+            par_gemm_tn(
+                &dy_rows[bi * ohow * f..(bi + 1) * ohow * f],
+                &cols[bi * ohow * ckk..(bi + 1) * ohow * ckk],
+                self.grad_weight.data_mut(),
+                f,
+                ohow,
+                ckk,
+                1.0,
+                1.0,
+            );
         }
     }
 
@@ -594,19 +655,25 @@ impl Conv2d {
         let (oh, ow) = self.out_size(h, w);
         let sample_in = c * h * w;
         let sample_cols = oh * ow * ckk;
+        let unit = self.unit_kernel();
         let scatter_one = |bi: usize, gin_b: &mut [f32]| {
-            col2im_rows(
-                &dcols[bi * sample_cols..(bi + 1) * sample_cols],
-                c,
-                h,
-                w,
-                self.kernel,
-                self.stride,
-                self.pad,
-                oh,
-                ow,
-                gin_b,
-            );
+            let dcols_b = &dcols[bi * sample_cols..(bi + 1) * sample_cols];
+            if unit {
+                rows_to_planes_acc(dcols_b, gin_b, c, h * w);
+            } else {
+                col2im_rows(
+                    dcols_b,
+                    c,
+                    h,
+                    w,
+                    self.kernel,
+                    self.stride,
+                    self.pad,
+                    oh,
+                    ow,
+                    gin_b,
+                );
+            }
         };
         if stage_parallel(b, b * sample_cols) {
             grad_in
@@ -1006,6 +1073,107 @@ mod tests {
         let mut layer = Conv2d::with_stride(1, 2, 3, 2, 1, Init::HeNormal, &mut rng);
         let x = Tensor::randn(vec![1, 1, 5, 5], 1.0, &mut rng);
         check_param_gradients(&mut layer, &x, 3e-2);
+    }
+
+    #[test]
+    fn unit_kernel_transposes_match_the_windowed_kernels_bitwise() {
+        // The 1×1 stride-1 unpadded fast paths must reproduce the general
+        // windowed im2col/col2im exactly: lowering is the [H·W, C]
+        // transpose of the planes, the scatter its accumulate inverse.
+        let mut rng = rng_from_seed(40);
+        let (c, h, w) = (5, 7, 9);
+        let x = Tensor::randn(vec![c, h, w], 1.0, &mut rng);
+        let mut general = vec![0.0f32; h * w * c];
+        im2col_rows(x.data(), c, h, w, 1, 1, 0, h, w, &mut general);
+        let mut fast = vec![0.0f32; h * w * c];
+        planes_to_rows(x.data(), &mut fast, c, h * w);
+        assert_eq!(general, fast, "unit-kernel lowering must be bitwise equal");
+
+        let rows = Tensor::randn(vec![h * w, c], 1.0, &mut rng);
+        let mut gin_general = vec![0.0f32; c * h * w];
+        col2im_rows(rows.data(), c, h, w, 1, 1, 0, h, w, &mut gin_general);
+        let mut gin_fast = vec![0.0f32; c * h * w];
+        rows_to_planes_acc(rows.data(), &mut gin_fast, c, h * w);
+        assert_eq!(
+            gin_general, gin_fast,
+            "unit-kernel scatter must be bitwise equal"
+        );
+    }
+
+    #[test]
+    fn unit_kernel_conv_matches_direct_convolution_and_gradients() {
+        // End-to-end through the fast-path dispatch: a 1×1 conv forward
+        // against the nested-loop reference, and both gradient checks.
+        let mut rng = rng_from_seed(41);
+        let (c, h, w, f) = (3, 4, 5, 4);
+        let mut layer = Conv2d::new(c, f, 1, 0, Init::HeNormal, &mut rng);
+        let bias = Tensor::randn(vec![f], 0.5, &mut rng);
+        layer.bias = bias.clone();
+        let x = Tensor::randn(vec![2, c, h, w], 1.0, &mut rng);
+        let got = layer.forward(&x);
+        assert_eq!(got.shape(), &[2, f, h, w]);
+        for bi in 0..2 {
+            let expected = reference_conv(
+                &x.data()[bi * c * h * w..(bi + 1) * c * h * w],
+                c,
+                h,
+                w,
+                layer.weight.data(),
+                f,
+                1,
+                1,
+                0,
+                bias.data(),
+            );
+            let got_b = &got.data()[bi * f * h * w..(bi + 1) * f * h * w];
+            for (i, (&g, &e)) in got_b.iter().zip(&expected).enumerate() {
+                assert!((g - e).abs() < 1e-4, "sample {bi} elem {i}: {g} vs {e}");
+            }
+        }
+        let mut layer = Conv2d::new(2, 3, 1, 0, Init::HeNormal, &mut rng);
+        let x = Tensor::randn(vec![2, 2, 4, 4], 1.0, &mut rng);
+        check_input_gradient(&mut layer, &x, 3e-2);
+        check_param_gradients(&mut layer, &x, 3e-2);
+    }
+
+    #[test]
+    fn border_windows_match_the_checked_copy_across_strides() {
+        // The interior-window memcpy fast path must splice exactly with
+        // the clipped border path for every (stride, pad) combination the
+        // layer supports — compare whole forwards against the reference.
+        for &(h, w, k, stride, pad) in &[
+            (6, 6, 3, 1, 1),
+            (7, 5, 3, 2, 1),
+            (5, 5, 5, 1, 2),
+            (8, 8, 3, 3, 0),
+        ] {
+            let mut rng = rng_from_seed(42);
+            let c = 2;
+            let f = 3;
+            let mut layer = Conv2d::with_stride(c, f, k, stride, pad, Init::HeNormal, &mut rng);
+            let bias = Tensor::randn(vec![f], 0.5, &mut rng);
+            layer.bias = bias.clone();
+            let x = Tensor::randn(vec![1, c, h, w], 1.0, &mut rng);
+            let got = layer.forward(&x);
+            let expected = reference_conv(
+                x.data(),
+                c,
+                h,
+                w,
+                layer.weight.data(),
+                f,
+                k,
+                stride,
+                pad,
+                bias.data(),
+            );
+            for (i, (&g, &e)) in got.data().iter().zip(&expected).enumerate() {
+                assert!(
+                    (g - e).abs() < 1e-4,
+                    "k{k} s{stride} p{pad} elem {i}: {g} vs {e}"
+                );
+            }
+        }
     }
 
     #[test]

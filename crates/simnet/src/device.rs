@@ -116,6 +116,124 @@ pub fn sample_latencies<R: Rng>(
         .collect()
 }
 
+/// SplitMix64 finalizer over `(seed, id)` — the stateless derivation the
+/// lazy profile source draws from. Kept private to this module: the only
+/// contract is "pure function of `(seed, id)`", not the exact stream.
+fn profile_hash(seed: u64, id: u64) -> u64 {
+    let mut z = seed ^ id.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x00DE_71CE_5EED_0000;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` from a hash — top 53 bits, exact in f64.
+fn profile_unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+}
+
+/// Where a fleet's base latency profiles come from.
+///
+/// * [`ProfileSource::Dense`] — materialised per-device train times, the
+///   classic small-fleet path (what [`sample_latencies`] produces).
+/// * [`ProfileSource::Lazy`] — profiles derived on demand as a pure
+///   function of `(seed, device id)`; a million-device fleet costs zero
+///   bytes until a device is actually queried, and querying never
+///   mutates anything.
+///
+/// The two variants intentionally use *different* random streams: `Dense`
+/// keeps the historical sequential-RNG sampling bit-identical, while
+/// `Lazy` hashes each id independently so device 999_999's latency never
+/// depends on devices 0..999_998 having been drawn first.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileSource {
+    /// Materialised base train times, indexed by device id.
+    Dense(Vec<f64>),
+    /// Profiles derived on demand from `(seed, id)`.
+    Lazy {
+        /// Fleet size.
+        n: usize,
+        /// Heterogeneity model shaping the latency factor.
+        model: HeterogeneityModel,
+        /// Base (fastest-device) train time.
+        base_time: f64,
+        /// Derivation seed.
+        seed: u64,
+    },
+}
+
+impl ProfileSource {
+    /// Dense source over already-sampled profiles.
+    pub fn from_profiles(profiles: &[DeviceProfile]) -> Self {
+        ProfileSource::Dense(profiles.iter().map(|p| p.train_time).collect())
+    }
+
+    /// Lazy source deriving `n` profiles on demand.
+    pub fn lazy(n: usize, model: HeterogeneityModel, base_time: f64, seed: u64) -> Self {
+        assert!(n > 0, "need at least one device");
+        assert!(
+            base_time.is_finite() && base_time > 0.0,
+            "base_time must be positive"
+        );
+        assert!(model.degree() >= 1.0, "heterogeneity degree must be >= 1");
+        ProfileSource::Lazy {
+            n,
+            model,
+            base_time,
+            seed,
+        }
+    }
+
+    /// Fleet size.
+    pub fn len(&self) -> usize {
+        match self {
+            ProfileSource::Dense(v) => v.len(),
+            ProfileSource::Lazy { n, .. } => *n,
+        }
+    }
+
+    /// True when the source covers no devices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Base train time of device `id` (`t_i` at multiplier 1.0).
+    pub fn train_time(&self, id: usize) -> f64 {
+        match self {
+            ProfileSource::Dense(v) => v[id],
+            ProfileSource::Lazy {
+                n,
+                model,
+                base_time,
+                seed,
+            } => {
+                assert!(id < *n, "device {id} out of range for fleet of {n}");
+                let factor = match *model {
+                    HeterogeneityModel::Homogeneous => 1.0,
+                    HeterogeneityModel::Uniform { h } => {
+                        1.0 + profile_unit(profile_hash(*seed, id as u64)) * (h - 1.0)
+                    }
+                    HeterogeneityModel::Bimodal {
+                        h,
+                        straggler_fraction,
+                    } => {
+                        if profile_unit(profile_hash(*seed, id as u64)) < straggler_fraction {
+                            h
+                        } else {
+                            1.0
+                        }
+                    }
+                };
+                base_time * factor
+            }
+        }
+    }
+
+    /// Materialise device `id`'s profile.
+    pub fn profile(&self, id: usize) -> DeviceProfile {
+        DeviceProfile::new(id, self.train_time(id))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +333,59 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_latency_panics() {
         let _ = DeviceProfile::new(0, 0.0);
+    }
+
+    #[test]
+    fn dense_source_mirrors_profiles() {
+        let profiles =
+            sample_latencies(8, HeterogeneityModel::Uniform { h: 4.0 }, 1.0, &mut rng(4));
+        let src = ProfileSource::from_profiles(&profiles);
+        assert_eq!(src.len(), 8);
+        for p in &profiles {
+            assert_eq!(src.train_time(p.id), p.train_time);
+            assert_eq!(src.profile(p.id), *p);
+        }
+    }
+
+    #[test]
+    fn lazy_source_is_pure_and_order_independent() {
+        let src = ProfileSource::lazy(1_000_000, HeterogeneityModel::Uniform { h: 10.0 }, 1.0, 42);
+        assert_eq!(src.len(), 1_000_000);
+        // Query far-apart ids in both orders — identical values.
+        let a = src.train_time(999_999);
+        let b = src.train_time(3);
+        assert_eq!(src.train_time(3), b);
+        assert_eq!(src.train_time(999_999), a);
+        assert!((1.0..10.0).contains(&a) && (1.0..10.0).contains(&b));
+        // Same (seed, id) on a fresh source → same value.
+        let again =
+            ProfileSource::lazy(1_000_000, HeterogeneityModel::Uniform { h: 10.0 }, 1.0, 42);
+        assert_eq!(again.train_time(999_999), a);
+    }
+
+    #[test]
+    fn lazy_source_respects_model_shapes() {
+        let homo = ProfileSource::lazy(100, HeterogeneityModel::Homogeneous, 2.0, 7);
+        assert!((0..100).all(|d| homo.train_time(d) == 2.0));
+        let bi = ProfileSource::lazy(
+            400,
+            HeterogeneityModel::Bimodal {
+                h: 8.0,
+                straggler_fraction: 0.25,
+            },
+            1.0,
+            7,
+        );
+        let stragglers = (0..400).filter(|&d| bi.train_time(d) == 8.0).count();
+        let fast = (0..400).filter(|&d| bi.train_time(d) == 1.0).count();
+        assert_eq!(stragglers + fast, 400);
+        assert!((60..=140).contains(&stragglers), "got {stragglers}");
+    }
+
+    #[test]
+    fn lazy_sources_with_different_seeds_diverge() {
+        let a = ProfileSource::lazy(50, HeterogeneityModel::Uniform { h: 5.0 }, 1.0, 1);
+        let b = ProfileSource::lazy(50, HeterogeneityModel::Uniform { h: 5.0 }, 1.0, 2);
+        assert!((0..50).any(|d| a.train_time(d) != b.train_time(d)));
     }
 }

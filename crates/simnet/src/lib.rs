@@ -20,7 +20,7 @@ pub mod link;
 pub mod time;
 pub mod traffic;
 
-pub use device::{sample_latencies, DeviceProfile, HeterogeneityModel};
+pub use device::{sample_latencies, DeviceProfile, HeterogeneityModel, ProfileSource};
 pub use event::EventQueue;
 pub use link::LinkModel;
 pub use time::SimTime;

@@ -104,6 +104,7 @@ fn tiny_env() -> FlEnv {
         exec: ExecMode::Cached,
         momentum: MomentumBank::disabled(),
         wire_check: false,
+        cohort: None,
     }
 }
 
@@ -279,4 +280,46 @@ fn steady_state_cnn_round_is_allocation_free() {
     );
     assert!(loss.is_finite());
     assert!((0.0..=1.0).contains(&acc));
+}
+
+/// Fleet fast-path queries must stay off the heap: static-fleet point
+/// queries and `round_snapshot` (previously four fresh `Vec`s per call)
+/// allocate nothing, and neither do *realised* lazy point queries —
+/// reads of already-memoized trajectory state are pure hash recomputes.
+#[test]
+fn fleet_fast_path_queries_are_allocation_free() {
+    use fedhisyn::fleet::{FleetDynamics, FleetModel};
+
+    let mut rng = rng_from_seed(5);
+    let profiles = sample_latencies(64, HeterogeneityModel::Uniform { h: 10.0 }, 1.0, &mut rng);
+    let static_fleet = FleetModel::static_fleet(&profiles);
+    let churned = FleetModel::new(&profiles, FleetDynamics::edge_fleet(0.2, 0.1), 7);
+
+    // Warm-up: realise the rounds the measured queries will touch.
+    for d in 0..64 {
+        for r in 0..4 {
+            let _ = churned.multiplier(d, r);
+        }
+    }
+
+    assert_counter_wired();
+
+    let before = thread_allocs();
+    let mut acc = 0.0f64;
+    for r in 0..4 {
+        let snap = static_fleet.round_snapshot(r);
+        acc += snap.multiplier(3) + snap.online_count() as f64;
+        for d in 0..64 {
+            acc += static_fleet.latency(d, r);
+            acc += churned.multiplier(d, r);
+            acc += churned.online(d, r) as u64 as f64;
+            acc += churned.fail_frac(d, r).unwrap_or(0.0);
+        }
+    }
+    let steady_allocs = thread_allocs() - before;
+    assert_eq!(
+        steady_allocs, 0,
+        "fleet fast-path queries performed {steady_allocs} heap allocations"
+    );
+    assert!(acc.is_finite());
 }

@@ -1,0 +1,182 @@
+//! Lazy sharded fleet realisation vs the dense reference trace.
+//!
+//! The tentpole contract: per-device lazy realisation is **bit-identical**
+//! to realising the whole fleet densely — for any dynamics config, any
+//! query order, and any interleaving of threads — while realised state
+//! stays proportional to the devices actually queried.
+
+use std::sync::Arc;
+
+use fedhisyn::fleet::{
+    sample_online_cohort, AvailabilityModel, CapacityModel, FleetDynamics, FleetModel,
+    MarkovCapacity, ReferenceFleet, SpikeModel,
+};
+use fedhisyn::simnet::DeviceProfile;
+use proptest::prelude::*;
+
+fn profiles(n: usize) -> Vec<DeviceProfile> {
+    (0..n)
+        .map(|i| DeviceProfile::new(i, 1.0 + i as f64 * 0.25))
+        .collect()
+}
+
+/// A randomised dynamics config exercising every process at once.
+fn dynamics(
+    dropout: f64,
+    failure: f64,
+    spike: f64,
+    capacity: bool,
+    modulator: bool,
+) -> FleetDynamics {
+    FleetDynamics {
+        capacity: if capacity {
+            CapacityModel::Markov(MarkovCapacity::idle_loaded_throttled())
+        } else {
+            CapacityModel::Static
+        },
+        availability: AvailabilityModel::Churn {
+            dropout,
+            rejoin: 0.4,
+        },
+        spikes: SpikeModel {
+            prob: spike,
+            magnitude: 4.0,
+        },
+        mid_round_failure: failure,
+        modulator: if modulator {
+            CapacityModel::Markov(MarkovCapacity::diurnal_burst())
+        } else {
+            CapacityModel::Static
+        },
+        ..FleetDynamics::default()
+    }
+}
+
+fn assert_point_identical(lazy: &FleetModel, dense: &ReferenceFleet, d: usize, r: usize) {
+    assert_eq!(lazy.online(d, r), dense.online(d, r), "online {d}@{r}");
+    assert_eq!(
+        lazy.multiplier(d, r).to_bits(),
+        dense.multiplier(d, r).to_bits(),
+        "multiplier {d}@{r}"
+    );
+    assert_eq!(
+        lazy.fail_frac(d, r).map(f64::to_bits),
+        dense.fail_frac(d, r).map(f64::to_bits),
+        "fail_frac {d}@{r}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lazy_realisation_is_bit_identical_to_the_dense_trace(
+        n in 1usize..25,
+        seed in 0u64..500,
+        dropout in 0.0f64..0.6,
+        failure in 0.0f64..0.4,
+        spike in 0.0f64..0.3,
+        capacity in 0usize..2,
+        modulator in 0usize..2,
+        rounds in 1usize..10,
+    ) {
+        let dyn_cfg = dynamics(dropout, failure, spike, capacity == 1, modulator == 1);
+        let dense = ReferenceFleet::new(&profiles(n), dyn_cfg.clone(), seed);
+        // Forward query order.
+        let fwd = FleetModel::new(&profiles(n), dyn_cfg.clone(), seed);
+        for r in 0..rounds {
+            for d in 0..n {
+                assert_point_identical(&fwd, &dense, d, r);
+            }
+        }
+        // Reverse query order (rounds backwards, devices backwards):
+        // memoization must not leak into values.
+        let bwd = FleetModel::new(&profiles(n), dyn_cfg, seed);
+        for r in (0..rounds).rev() {
+            for d in (0..n).rev() {
+                assert_point_identical(&bwd, &dense, d, r);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_cohorts_equal_the_dense_online_filter(
+        n in 1usize..40,
+        k in 1usize..12,
+        seed in 0u64..300,
+        dropout in 0.0f64..0.7,
+        round in 0usize..6,
+    ) {
+        // Every device the streaming sampler returns must be online per
+        // the dense reference, and the draw must be reproducible.
+        let dyn_cfg = dynamics(dropout, 0.1, 0.0, false, false);
+        let lazy = FleetModel::new(&profiles(n), dyn_cfg.clone(), seed);
+        let dense = ReferenceFleet::new(&profiles(n), dyn_cfg, seed);
+        let cohort = sample_online_cohort(&lazy, k, round, seed ^ 0xC0FE);
+        prop_assert!(cohort.len() <= k.min(n));
+        prop_assert!(cohort.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        for &d in &cohort {
+            prop_assert!(dense.online(d, round), "sampled device {d} offline");
+        }
+        let again = sample_online_cohort(&lazy, k, round, seed ^ 0xC0FE);
+        prop_assert_eq!(cohort, again);
+    }
+}
+
+#[test]
+fn concurrent_interleaved_queries_match_the_dense_trace() {
+    // Eight threads hammer the same model with different (device, round)
+    // walks; afterwards every point matches the dense reference — thread
+    // timing must never leak into realised values.
+    let n = 30;
+    let rounds = 12;
+    let dyn_cfg = dynamics(0.3, 0.2, 0.1, true, true);
+    let lazy = Arc::new(FleetModel::new(&profiles(n), dyn_cfg.clone(), 91));
+    let dense = ReferenceFleet::new(&profiles(n), dyn_cfg, 91);
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let m = Arc::clone(&lazy);
+            std::thread::spawn(move || {
+                // Each thread visits every point in a different order.
+                for i in 0..n * rounds {
+                    let j = (i * (t * 2 + 1)) % (n * rounds);
+                    let (d, r) = (j % n, j / n);
+                    let _ = m.multiplier(d, r);
+                    let _ = m.online(d, r);
+                    let _ = m.fail_frac(d, r);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("query thread panicked");
+    }
+    for r in 0..rounds {
+        for d in 0..n {
+            assert_point_identical(&lazy, &dense, d, r);
+        }
+    }
+}
+
+#[test]
+fn querying_two_devices_of_a_10k_fleet_touches_only_their_shards() {
+    let m = FleetModel::new(&profiles(10_000), FleetDynamics::edge_fleet(0.2, 0.1), 55);
+    for r in 0..10 {
+        let _ = m.multiplier(3, r);
+        let _ = m.online(17, r);
+        let _ = m.fail_frac(17, r);
+    }
+    assert_eq!(m.realised_devices(), 2, "exactly two trajectories realise");
+    let touched: Vec<usize> = m
+        .shard_touches()
+        .iter()
+        .enumerate()
+        .filter(|(_, &t)| t > 0)
+        .map(|(s, _)| s)
+        .collect();
+    assert_eq!(
+        touched,
+        vec![FleetModel::shard_of(3), FleetModel::shard_of(17)],
+        "all other shards stay untouched"
+    );
+}
