@@ -12,12 +12,14 @@
 //! trajectory against the recorded PR 2 baselines.
 //!
 //! Usage: `cargo run --release --bin bench_engine [--rounds N] [--gemm-only]
-//! [--cnn-only] [--fleet-scale [N]]`
+//! [--cnn-only] [--fleet-scale [N]] [--trace <path>]`
 //!
 //! `--gemm-only` runs just the GEMM micro-benchmark; `--cnn-only` runs
 //! just the batched-vs-per-sample CNN step benchmark; `--fleet-scale [N]`
 //! runs just the lazy-fleet scale benchmark at `N` devices (default
-//! 100 000) with a fixed peak-RSS budget (the CI smokes).
+//! 100 000) with a fixed peak-RSS budget (the CI smokes); `--trace <path>`
+//! runs a short traced round loop and writes + validates a
+//! Perfetto-loadable Chrome trace.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -873,6 +875,26 @@ fn print_gemm(gemm_results: &[GemmBench]) {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = fedhisyn_bench::trace::trace_path_from_args() {
+        // CI smoke: run a short traced round loop on the engine workload,
+        // emit + validate the Perfetto trace, and exit without touching
+        // the recorded benchmark numbers.
+        let cfg = ExperimentConfig::builder(DatasetProfile::MnistLike)
+            .scale(Scale::Smoke)
+            .devices(12)
+            .partition(Partition::Dirichlet { beta: 0.1 })
+            .local_epochs(1)
+            .rounds(3)
+            .seed(2022)
+            .build();
+        let (record, _) = fedhisyn_bench::trace::run_traced(&cfg, 4, std::path::Path::new(&path));
+        println!(
+            "traced engine smoke: final acc {:.1}%, {} rounds",
+            record.final_accuracy() * 100.0,
+            record.rounds.len()
+        );
+        return;
+    }
     if args.iter().any(|a| a == "--gemm-only") {
         // CI smoke: just the kernel benchmark + its exactness assertion.
         print_gemm(&bench_gemm());

@@ -14,10 +14,13 @@
 //!
 //! `--stress` swaps the sweep for the 1k-device churn regime (tiny
 //! shards, many rings) and fewer rounds — the large-cohort smoke the
-//! ROADMAP calls for.
+//! ROADMAP calls for. `--trace <path>` runs one short churned cell with
+//! the telemetry sink enabled, writes a Perfetto-loadable Chrome trace
+//! (plus JSONL event log) to `path`, validates it in-process and exits.
 
 use fedhisyn_baselines::{FedAvg, TFedAvg};
 use fedhisyn_bench::harness::{write_json, BenchScale};
+use fedhisyn_bench::trace::{run_traced, trace_path_from_args};
 use fedhisyn_core::{run_experiment, ExperimentConfig, FedHiSyn, RunRecord};
 use fedhisyn_data::{DatasetProfile, Partition};
 use fedhisyn_fleet::FleetDynamics;
@@ -80,6 +83,22 @@ fn run_cell(cfg: &ExperimentConfig, which: &str) -> (RunRecord, f64) {
 
 fn main() {
     let scale = BenchScale::from_args();
+
+    // `--trace <path>`: trace-only smoke — run one short churned FedHiSyn
+    // cell with telemetry enabled, emit + validate the Perfetto trace and
+    // exit. Kept separate from the sweep so tracing never perturbs the
+    // recorded figures.
+    if let Some(path) = trace_path_from_args() {
+        let cfg = config(&scale, 8.min(scale.devices), 3, 0.1);
+        let (record, _) = run_traced(&cfg, 10.min(cfg.n_devices), std::path::Path::new(&path));
+        println!(
+            "traced churn smoke: final acc {:.1}%, {} rounds",
+            record.final_accuracy() * 100.0,
+            record.rounds.len()
+        );
+        return;
+    }
+
     let stress = std::env::args().any(|a| a == "--stress");
     let (devices, rounds, rates): (usize, usize, &[f64]) = if stress {
         (1000, 3, &[0.0, 0.1])

@@ -8,3 +8,4 @@
 
 pub mod harness;
 pub mod table;
+pub mod trace;

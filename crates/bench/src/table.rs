@@ -110,8 +110,10 @@ mod tests {
                 uploads: ((i + 1) * 5) as f64,
                 downloads: 0.0,
                 peer_transfers: 0.0,
+                wire_bytes: 0.0,
                 participants: 5,
                 virtual_time: i as f64,
+                telemetry: Default::default(),
             });
         }
         r

@@ -1,11 +1,14 @@
 //! The federated-algorithm trait and the shared experiment runner.
 
 use fedhisyn_nn::ParamVec;
+use fedhisyn_simnet::TrafficSnapshot;
+use fedhisyn_telemetry::{Phase, RoundTelemetry, RuntimeGauges, SpanCtx};
 use fedhisyn_tensor::{rng_from_seed, TensorRng};
 use rand::Rng;
 
+use crate::engine::ExecutionEngine;
 use crate::env::{seed_mix, FlEnv};
-use crate::local::evaluate_on_test;
+use crate::local::{cached_model_stats, evaluate_on_test};
 use crate::metrics::{RoundRecord, RunRecord};
 
 /// Per-round context handed to an algorithm by the runner.
@@ -18,6 +21,10 @@ pub struct RoundContext<'a> {
     pub participants: &'a [usize],
     /// Round-scoped RNG (derived deterministically from the master seed).
     pub rng: &'a mut TensorRng,
+    /// Virtual time at which this round starts (the experiment clock
+    /// before the round's duration is added) — the base algorithms stamp
+    /// their telemetry spans against.
+    pub vt_base: f64,
 }
 
 /// A federated-learning algorithm.
@@ -92,6 +99,9 @@ pub fn run_experiment(
     let mut record = RunRecord::new(algorithm.name());
     let mut virtual_time = 0.0f64;
     for round in 0..rounds {
+        let round_wall = env.telemetry.wall_start();
+        let traffic_before = env.meter.snapshot();
+        let cache_before = ExecutionEngine::cache_stats();
         let mut rng = rng_from_seed(seed_mix(env.seed, round as u64, 0x5e55_105e, 0));
         let participants = match env.cohort {
             Some(k) => fedhisyn_fleet::sample_online_cohort(&env.fleet, k, round, env.seed),
@@ -109,19 +119,30 @@ pub fn run_experiment(
             // forward (the global is unchanged) and advance no time.
             let t = env.meter.snapshot();
             let accuracy = record.rounds.last().map(|r| r.accuracy).unwrap_or(0.0);
+            let telemetry = fold_round_telemetry(env, &traffic_before, &t, cache_before);
+            env.telemetry.span(
+                Phase::Round,
+                round as u32,
+                SpanCtx::ROOT,
+                (virtual_time, virtual_time),
+                round_wall,
+            );
             record.rounds.push(RoundRecord {
                 round,
                 accuracy,
                 uploads: t.uploads,
                 downloads: t.downloads,
                 peer_transfers: t.peer_transfers,
+                wire_bytes: telemetry.wire_bytes,
                 participants: 0,
                 virtual_time,
+                telemetry,
             });
             continue;
         }
         // `t_i` already covers one full local step (E epochs), so the round
         // duration is the slowest participant's `t_i` — no epoch factor.
+        let vt_base = virtual_time;
         virtual_time += algorithm.round_duration(env, &participants, round);
         let global = {
             let mut ctx = RoundContext {
@@ -129,22 +150,82 @@ pub fn run_experiment(
                 round,
                 participants: &participants,
                 rng: &mut rng,
+                vt_base,
             };
             algorithm.round(&mut ctx)
         };
+        let eval_wall = env.telemetry.wall_start();
         let accuracy = evaluate_on_test(env, &global);
+        env.telemetry.span(
+            Phase::Evaluation,
+            round as u32,
+            SpanCtx::ROOT,
+            (virtual_time, virtual_time),
+            eval_wall,
+        );
         let t = env.meter.snapshot();
+        let telemetry = fold_round_telemetry(env, &traffic_before, &t, cache_before);
+        env.telemetry.span(
+            Phase::Round,
+            round as u32,
+            SpanCtx::ROOT,
+            (vt_base, virtual_time),
+            round_wall,
+        );
         record.rounds.push(RoundRecord {
             round,
             accuracy,
             uploads: t.uploads,
             downloads: t.downloads,
             peer_transfers: t.peer_transfers,
+            wire_bytes: telemetry.wire_bytes,
             participants: participants.len(),
             virtual_time,
+            telemetry,
         });
     }
     record
+}
+
+/// Fold the round's observability into one [`RoundTelemetry`]: traffic
+/// deltas against the round-start snapshot (deterministic) plus engine,
+/// arena and fleet runtime counters (best-effort), mirroring the latter
+/// into the sink's gauges when telemetry is enabled.
+fn fold_round_telemetry(
+    env: &FlEnv,
+    before: &TrafficSnapshot,
+    after: &TrafficSnapshot,
+    cache_before: (u64, u64),
+) -> RoundTelemetry {
+    // Read the process-global cache counters *before* querying the cached
+    // model below — that query itself goes through the cache and would
+    // otherwise count as a hit of this round.
+    let (hits, misses) = ExecutionEngine::cache_stats();
+    let (arena_high_water_bytes, weight_packs) = cached_model_stats(env);
+    let telemetry = RoundTelemetry {
+        uploads: after.uploads - before.uploads,
+        downloads: after.downloads - before.downloads,
+        peer_transfers: after.peer_transfers - before.peer_transfers,
+        parameters_moved: after.parameters_moved - before.parameters_moved,
+        wire_bytes: after.wire_bytes - before.wire_bytes,
+        cache_hits: hits.saturating_sub(cache_before.0),
+        cache_misses: misses.saturating_sub(cache_before.1),
+        weight_packs,
+        arena_high_water_bytes,
+        fleet_realised_devices: env.fleet.realised_devices() as u64,
+        fleet_realised_state_bytes: env.fleet.realised_state_bytes() as u64,
+        fleet_shard_touches: env.fleet.shard_touch_total(),
+    };
+    env.telemetry.update_gauges(&RuntimeGauges {
+        arena_high_water_bytes,
+        weight_packs,
+        cache_hits: hits,
+        cache_misses: misses,
+        fleet_realised_devices: telemetry.fleet_realised_devices,
+        fleet_realised_state_bytes: telemetry.fleet_realised_state_bytes,
+        fleet_shard_touches: telemetry.fleet_shard_touches,
+    });
+    telemetry
 }
 
 #[cfg(test)]
@@ -181,6 +262,7 @@ mod tests {
             momentum: crate::env::MomentumBank::disabled(),
             wire_check: false,
             cohort: None,
+            telemetry: fedhisyn_telemetry::TelemetrySink::disabled(),
         }
     }
 

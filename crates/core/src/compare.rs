@@ -94,8 +94,10 @@ mod tests {
                 uploads: (i + 1) as f64 * uploads_per_round,
                 downloads: 0.0,
                 peer_transfers: 0.0,
+                wire_bytes: 0.0,
                 participants: 10,
                 virtual_time: i as f64 + 1.0,
+                telemetry: Default::default(),
             });
         }
         r

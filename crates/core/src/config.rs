@@ -167,6 +167,7 @@ impl ExperimentConfig {
             },
             wire_check: self.wire_check,
             cohort: self.cohort,
+            telemetry: fedhisyn_telemetry::TelemetrySink::disabled(),
         }
     }
 }

@@ -20,9 +20,11 @@ use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use fedhisyn_telemetry::{Phase, SpanCtx};
+
 use crate::env::{seed_mix, FlEnv};
 use crate::local::{evaluate_on_test, local_train_plain_owned};
-use crate::ring_sim::{simulate_ring_interval_faulty, ReceivePolicy, RingStart};
+use crate::ring_sim::{simulate_ring_interval_traced, ReceivePolicy, RingStart, RingTrace};
 use crate::topology::{Ring, RingOrder};
 
 /// A decentralized communication mode.
@@ -79,6 +81,9 @@ pub struct DecentralSim {
     models: Vec<ParamVec>,
     /// Latency classes (fastest first), fixed for the whole run.
     classes: Vec<Vec<usize>>,
+    /// Virtual time accumulated across ring rounds (stamps telemetry
+    /// spans on the experiment clock).
+    virtual_time: f64,
 }
 
 impl DecentralSim {
@@ -102,6 +107,7 @@ impl DecentralSim {
             mode,
             models,
             classes,
+            virtual_time: 0.0,
         }
     }
 
@@ -331,10 +337,12 @@ impl DecentralSim {
             .collect();
         // One job per chunk: each worker gets exclusive `&mut` access, so
         // the start models move into the relay without any locking.
-        jobs.par_chunks_mut(1).for_each(|chunk| {
+        let vt_base = self.virtual_time;
+        jobs.par_chunks_mut(1).enumerate().for_each(|(ci, chunk)| {
             let job = &mut chunk[0];
             let start = job.start.take().expect("each ring job runs exactly once");
-            let out = simulate_ring_interval_faulty(
+            let ring_wall = env.telemetry.wall_start();
+            let out = simulate_ring_interval_traced(
                 &job.ring,
                 &job.ring_lat,
                 &env.link,
@@ -343,6 +351,12 @@ impl DecentralSim {
                 policy,
                 failure_policy,
                 &job.failures,
+                RingTrace {
+                    sink: &env.telemetry,
+                    round: round as u32,
+                    lane: ci as u32,
+                    vt_base,
+                },
                 |device, params, salt| {
                     let trained =
                         local_train_plain_owned(env, device, params, env.local_epochs, round, salt);
@@ -350,6 +364,13 @@ impl DecentralSim {
                     env.wire_round_trip_check(&trained);
                     trained
                 },
+            );
+            env.telemetry.span(
+                Phase::RingInterval,
+                round as u32,
+                SpanCtx::lane(ci as u32),
+                (vt_base, vt_base + interval),
+                ring_wall,
             );
             // Carry the buffer state (pending arrivals) into the next
             // interval — this is what keeps models circulating when a
@@ -368,6 +389,7 @@ impl DecentralSim {
             .into_iter()
             .map(|slot| slot.expect("every device model restored after the round"))
             .collect();
+        self.virtual_time += interval;
     }
 
     /// Mean device-model accuracy on the global test split (the paper's

@@ -6,6 +6,7 @@ use fedhisyn_data::Dataset;
 use fedhisyn_fleet::FleetModel;
 use fedhisyn_nn::{wire, ModelSpec, ParamVec, SgdConfig};
 use fedhisyn_simnet::{DeviceProfile, LinkModel, TrafficMeter};
+use fedhisyn_telemetry::TelemetrySink;
 
 use crate::engine::ExecMode;
 
@@ -115,6 +116,11 @@ pub struct FlEnv {
     /// participation. `None` (the default) keeps the legacy O(fleet)
     /// Bernoulli sampler and its exact historical draw stream.
     pub cohort: Option<usize>,
+    /// Instrumentation sink for round-lifecycle spans and runtime
+    /// metrics. [`TelemetrySink::disabled`] (the default) reduces every
+    /// recording call to an inlined `None` branch, preserving the
+    /// zero-alloc steady-state round.
+    pub telemetry: TelemetrySink,
 }
 
 impl FlEnv {
@@ -281,6 +287,7 @@ mod tests {
             momentum: MomentumBank::disabled(),
             wire_check: false,
             cohort: None,
+            telemetry: TelemetrySink::disabled(),
         }
     }
 

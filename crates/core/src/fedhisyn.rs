@@ -2,6 +2,7 @@
 
 use fedhisyn_cluster::kmeans_1d;
 use fedhisyn_nn::ParamVec;
+use fedhisyn_telemetry::{Phase, SpanCtx};
 use fedhisyn_tensor::{rng_from_seed, TensorRng};
 use rayon::prelude::*;
 
@@ -10,7 +11,9 @@ use crate::algorithm::{FlAlgorithm, RoundContext};
 use crate::config::ExperimentConfig;
 use crate::env::{seed_mix, FlEnv};
 use crate::local::local_train_plain_owned;
-use crate::ring_sim::{simulate_ring_interval_faulty, ReceivePolicy, RingOutcome, RingStart};
+use crate::ring_sim::{
+    simulate_ring_interval_traced, ReceivePolicy, RingOutcome, RingStart, RingTrace,
+};
 use crate::topology::{Ring, RingOrder};
 
 /// The FedHiSyn algorithm.
@@ -110,7 +113,15 @@ impl FlAlgorithm for FedHiSyn {
 
         // 2. Cluster by the latencies observed *this round*, fastest
         //    class first.
+        let cluster_wall = env.telemetry.wall_start();
         let classes = Self::cluster_participants(env, s, self.k, round, ctx.rng);
+        env.telemetry.span(
+            Phase::Clustering,
+            round as u32,
+            SpanCtx::ROOT,
+            (ctx.vt_base, ctx.vt_base),
+            cluster_wall,
+        );
 
         // 3. Round interval: slowest participant overall ("the time
         //    required to complete the local training of the slowest
@@ -162,19 +173,22 @@ impl FlAlgorithm for FedHiSyn {
         let global = &self.global;
         let policy = self.receive_policy;
         let failure_policy = env.fleet.dynamics().failure_policy;
+        let vt_base = ctx.vt_base;
         let outcomes: Vec<(RingOutcome, &Ring, f64)> = rings
             .par_iter()
-            .map(|job| {
+            .enumerate()
+            .map(|(ci, job)| {
                 let ClassRing {
                     ring,
                     ring_lat,
                     failures,
                     mean_time,
                 } = job;
+                let ring_wall = env.telemetry.wall_start();
                 // The round-start broadcast is *shared*: the relay copies
                 // the global lazily, once per position, instead of this
                 // call materialising `ring.len()` clones up front.
-                let outcome = simulate_ring_interval_faulty(
+                let outcome = simulate_ring_interval_traced(
                     ring,
                     ring_lat,
                     &env.link,
@@ -183,6 +197,12 @@ impl FlAlgorithm for FedHiSyn {
                     policy,
                     failure_policy,
                     failures,
+                    RingTrace {
+                        sink: &env.telemetry,
+                        round: round as u32,
+                        lane: ci as u32,
+                        vt_base,
+                    },
                     |device, params, salt| {
                         let trained = local_train_plain_owned(
                             env,
@@ -198,12 +218,20 @@ impl FlAlgorithm for FedHiSyn {
                         trained
                     },
                 );
+                env.telemetry.span(
+                    Phase::RingInterval,
+                    round as u32,
+                    SpanCtx::lane(ci as u32),
+                    (vt_base, vt_base + interval),
+                    ring_wall,
+                );
                 (outcome, ring, *mean_time)
             })
             .collect();
 
         // 5. Record ring traffic and upload every *surviving* device's
         //    newest model (a mid-interval casualty cannot upload).
+        let agg_wall = env.telemetry.wall_start();
         let mut uploaded: Vec<(ParamVec, usize, f64)> = Vec::with_capacity(s.len());
         for (outcome, ring, mean_time) in outcomes {
             env.charge_peer(outcome.transfers as f64);
@@ -220,18 +248,26 @@ impl FlAlgorithm for FedHiSyn {
         // 6. Synchronous aggregation (Eq. 9 / Eq. 10). If every
         //    participant died mid-interval the server has nothing to
         //    aggregate and keeps the current global.
-        if uploaded.is_empty() {
-            return self.global.clone();
+        if !uploaded.is_empty() {
+            let contributions: Vec<Contribution<'_>> = uploaded
+                .iter()
+                .map(|(params, samples, mean_time)| Contribution {
+                    params,
+                    samples: *samples,
+                    class_mean_time: *mean_time,
+                })
+                .collect();
+            self.global = self.aggregation.aggregate(&contributions);
         }
-        let contributions: Vec<Contribution<'_>> = uploaded
-            .iter()
-            .map(|(params, samples, mean_time)| Contribution {
-                params,
-                samples: *samples,
-                class_mean_time: *mean_time,
-            })
-            .collect();
-        self.global = self.aggregation.aggregate(&contributions);
+        // Aggregation happens at interval end on the virtual clock
+        // (synchronous barrier), whatever its wall-clock cost.
+        env.telemetry.span(
+            Phase::Aggregation,
+            round as u32,
+            SpanCtx::ROOT,
+            (vt_base + interval, vt_base + interval),
+            agg_wall,
+        );
         self.global.clone()
     }
 }

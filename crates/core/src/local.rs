@@ -124,6 +124,25 @@ pub fn build_model(env: &FlEnv, device: usize, params: &ParamVec) -> Sequential 
     model
 }
 
+/// Best-effort runtime stats of this thread's cached model:
+/// `(arena high-water bytes, cumulative weight-panel packs)`.
+///
+/// Cached mode reads them off the worker's cached model (building it on
+/// first use); Reference mode has no persistent model to observe and
+/// reports zeros. Values are per-thread runtime observations — telemetry
+/// only, outside the determinism contract.
+pub fn cached_model_stats(env: &FlEnv) -> (u64, u64) {
+    match env.exec {
+        ExecMode::Cached => ExecutionEngine::with_model(&env.spec, |model| {
+            (
+                model.arena_high_water_bytes() as u64,
+                model.weight_pack_count(),
+            )
+        }),
+        ExecMode::Reference => (0, 0),
+    }
+}
+
 /// Evaluate `params` on the environment's global test split.
 ///
 /// The cached path runs [`fedhisyn_nn::evaluate_arena`] on the worker's
@@ -187,6 +206,7 @@ mod tests {
             momentum: crate::env::MomentumBank::disabled(),
             wire_check: false,
             cohort: None,
+            telemetry: fedhisyn_telemetry::TelemetrySink::disabled(),
         }
     }
 

@@ -1,5 +1,6 @@
 //! Experiment records: per-round metrics and Table 1 accounting.
 
+use fedhisyn_telemetry::RoundTelemetry;
 use serde::{Deserialize, Serialize};
 
 /// Metrics captured after one communication round.
@@ -15,10 +16,19 @@ pub struct RoundRecord {
     pub downloads: f64,
     /// Cumulative device→device ring transfers, in model-equivalents.
     pub peer_transfers: f64,
+    /// Encoded wire bytes moved **this round** (per-round delta of the
+    /// meter's cumulative `wire_bytes` ledger), so framing/compression
+    /// studies read it directly instead of differencing ledgers.
+    pub wire_bytes: f64,
     /// Devices that participated this round.
     pub participants: usize,
     /// Virtual time elapsed since the experiment started.
     pub virtual_time: f64,
+    /// Unified per-round observability snapshot (traffic deltas +
+    /// engine/fleet runtime counters). Its `PartialEq` compares only the
+    /// deterministic traffic fields, keeping record-equality assertions
+    /// meaningful across execution modes.
+    pub telemetry: RoundTelemetry,
 }
 
 /// A complete experiment run for one algorithm.
@@ -104,8 +114,10 @@ mod tests {
                 uploads: (i + 1) as f64 * 10.0,
                 downloads: (i + 1) as f64 * 10.0,
                 peer_transfers: 0.0,
+                wire_bytes: (i + 1) as f64 * 100.0,
                 participants: 10,
                 virtual_time: (i + 1) as f64,
+                telemetry: RoundTelemetry::default(),
             });
         }
         r

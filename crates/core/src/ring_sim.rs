@@ -27,11 +27,50 @@
 
 use fedhisyn_nn::ParamVec;
 use fedhisyn_simnet::{EventQueue, LinkModel, SimTime};
+use fedhisyn_telemetry::{Phase, SpanCtx, TelemetrySink};
 use serde::{Deserialize, Serialize};
 
 use crate::topology::Ring;
 
 pub use fedhisyn_fleet::FailurePolicy;
+
+/// Telemetry context for one ring interval: where spans go and how this
+/// ring's local event clock maps onto the experiment's virtual timeline.
+///
+/// The simulation emits a [`Phase::LocalTrain`] span per completed step
+/// and a [`Phase::RelayHop`] span per device→device transfer (normal
+/// forwards, dead-position re-forwards and failure salvages alike), all
+/// offset by `vt_base` so they nest under the round span.
+#[derive(Debug, Clone, Copy)]
+pub struct RingTrace<'a> {
+    /// Destination sink (a disabled sink makes every emission a no-op).
+    pub sink: &'a TelemetrySink,
+    /// Federated round index spans are tagged with.
+    pub round: u32,
+    /// Lane (class-ring index) spans are tagged with.
+    pub lane: u32,
+    /// Virtual time at which this interval starts on the experiment
+    /// clock (the simulation's own clock starts at zero).
+    pub vt_base: f64,
+}
+
+impl RingTrace<'_> {
+    /// Emit one relay-hop span covering `[now, now + delay]` on this
+    /// ring's clock.
+    fn hop(&self, now: SimTime, delay: f64, dest_device: usize, seq: usize) {
+        let wall = self.sink.wall_start();
+        self.sink.span(
+            Phase::RelayHop,
+            self.round,
+            SpanCtx::device(self.lane, dest_device as u32, seq as u32),
+            (
+                self.vt_base + now.seconds(),
+                self.vt_base + now.seconds() + delay,
+            ),
+            wall,
+        );
+    }
+}
 
 /// What a device does with a model received from its ring predecessor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -176,6 +215,71 @@ pub fn simulate_ring_interval_faulty<F>(
     policy: ReceivePolicy,
     failure_policy: FailurePolicy,
     failures: &[Option<f64>],
+    train: F,
+) -> RingOutcome
+where
+    F: FnMut(usize, ParamVec, u64) -> ParamVec,
+{
+    sim_ring_impl(
+        ring,
+        latencies,
+        link,
+        start,
+        interval,
+        policy,
+        failure_policy,
+        failures,
+        None,
+        train,
+    )
+}
+
+/// [`simulate_ring_interval_faulty`] emitting telemetry spans: one
+/// [`Phase::LocalTrain`] per completed step, one [`Phase::RelayHop`] per
+/// transfer, stamped on the experiment's virtual clock via
+/// `trace.vt_base`. With a disabled sink this is bit- and
+/// allocation-identical to the untraced entry points.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_ring_interval_traced<F>(
+    ring: &Ring,
+    latencies: &[f64],
+    link: &LinkModel,
+    start: RingStart<'_>,
+    interval: f64,
+    policy: ReceivePolicy,
+    failure_policy: FailurePolicy,
+    failures: &[Option<f64>],
+    trace: RingTrace<'_>,
+    train: F,
+) -> RingOutcome
+where
+    F: FnMut(usize, ParamVec, u64) -> ParamVec,
+{
+    sim_ring_impl(
+        ring,
+        latencies,
+        link,
+        start,
+        interval,
+        policy,
+        failure_policy,
+        failures,
+        Some(trace),
+        train,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn sim_ring_impl<F>(
+    ring: &Ring,
+    latencies: &[f64],
+    link: &LinkModel,
+    start: RingStart<'_>,
+    interval: f64,
+    policy: ReceivePolicy,
+    failure_policy: FailurePolicy,
+    failures: &[Option<f64>],
+    trace: Option<RingTrace<'_>>,
     mut train: F,
 ) -> RingOutcome
 where
@@ -255,6 +359,9 @@ where
                                 CLASS_ARRIVAL,
                                 Event::Arrival { pos: succ, model },
                             );
+                            if let Some(tr) = &trace {
+                                tr.hop(now, delay, ring.order()[succ], transfers);
+                            }
                             transfers += 1;
                         }
                     }
@@ -283,6 +390,9 @@ where
                                     model: held.clone(),
                                 },
                             );
+                            if let Some(tr) = &trace {
+                                tr.hop(now, delay, ring.order()[succ], transfers);
+                            }
                             transfers += 1;
                         }
                     }
@@ -299,7 +409,26 @@ where
                 let input = working[pos]
                     .take()
                     .unwrap_or_else(|| shared.expect("start model").clone());
-                let trained = train(ring.order()[pos], input, salt);
+                let trained = match &trace {
+                    Some(tr) => {
+                        let wall = tr.sink.wall_start();
+                        let trained = train(ring.order()[pos], input, salt);
+                        // The step completing at `now` started one local
+                        // latency earlier.
+                        tr.sink.span(
+                            Phase::LocalTrain,
+                            tr.round,
+                            SpanCtx::device(tr.lane, ring.order()[pos] as u32, steps[pos] as u32),
+                            (
+                                tr.vt_base + now.seconds() - latencies[pos],
+                                tr.vt_base + now.seconds(),
+                            ),
+                            wall,
+                        );
+                        trained
+                    }
+                    None => train(ring.order()[pos], input, salt),
+                };
                 steps[pos] += 1;
 
                 // Forward along the ring to the next *live* successor
@@ -319,6 +448,9 @@ where
                                 model: trained.clone(),
                             },
                         );
+                        if let Some(tr) = &trace {
+                            tr.hop(now, delay, ring.order()[succ], transfers);
+                        }
                         transfers += 1;
                     }
                 }

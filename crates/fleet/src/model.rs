@@ -343,6 +343,16 @@ impl FleetModel {
             .collect()
     }
 
+    /// Total shard queries across the fleet — the same information as
+    /// [`FleetModel::shard_touches`] folded to one number, without
+    /// allocating the per-shard vector (telemetry hot path).
+    pub fn shard_touch_total(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.touched.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Number of devices whose trajectories have been realised.
     pub fn realised_devices(&self) -> usize {
         self.shards

@@ -932,6 +932,10 @@ impl Layer for Conv2d {
     fn name(&self) -> &'static str {
         "conv2d"
     }
+
+    fn weight_pack_count(&self) -> u64 {
+        Conv2d::weight_pack_count(self)
+    }
 }
 
 #[cfg(test)]

@@ -241,6 +241,10 @@ impl Layer for Dense {
     fn name(&self) -> &'static str {
         "dense"
     }
+
+    fn weight_pack_count(&self) -> u64 {
+        Dense::weight_pack_count(self)
+    }
 }
 
 #[cfg(test)]

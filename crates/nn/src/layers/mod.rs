@@ -116,6 +116,12 @@ pub trait Layer: Send {
         self.visit_params(&mut |t| n += t.len());
         n
     }
+
+    /// GEMM weight-panel packs this layer has performed over its
+    /// lifetime (telemetry). Layers without a panel cache report 0.
+    fn weight_pack_count(&self) -> u64 {
+        0
+    }
 }
 
 impl Clone for Box<dyn Layer> {

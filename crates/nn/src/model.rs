@@ -214,6 +214,12 @@ impl Sequential {
         self.layers.iter().map(|l| l.param_count()).sum()
     }
 
+    /// Cumulative GEMM weight-panel packs across all layers (telemetry;
+    /// content-hash hits replay packs without bumping this).
+    pub fn weight_pack_count(&self) -> u64 {
+        self.layers.iter().map(|l| l.weight_pack_count()).sum()
+    }
+
     /// Snapshot all parameters into a flat vector.
     pub fn params(&self) -> ParamVec {
         let mut out = Vec::with_capacity(self.param_count());

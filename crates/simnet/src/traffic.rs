@@ -18,7 +18,7 @@
 //! bytes-on-wire figure churn and bandwidth studies report.
 
 use serde::{Deserialize, Serialize};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A point-in-time copy of the meter's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -63,14 +63,53 @@ impl TrafficSnapshot {
     }
 }
 
+/// A lock-free `f64` accumulator: the value lives as bits in an
+/// `AtomicU64`, additions are a CAS loop. Zero bits are `0.0`, so
+/// `Default` is a zeroed counter.
+#[derive(Debug, Default)]
+struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    #[inline]
+    fn add(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+}
+
 /// Thread-safe transmission meter shared across simulated devices.
 ///
-/// Interior mutability (a `std::sync::Mutex`) lets rayon-parallel device
-/// updates record transfers without threading `&mut` through every
-/// algorithm; contention is negligible because recording is two adds.
+/// Each ledger field is an independent lock-free atomic (`f64` bits in an
+/// `AtomicU64`, CAS-accumulated), so rayon-parallel device updates never
+/// contend on a lock and never allocate. A [`TrafficMeter::snapshot`]
+/// reads the fields individually: it is not a single atomic cut across
+/// all five ledgers, but every call site in the workspace records and
+/// snapshots from the same thread (or after joining workers), where the
+/// relaxed reads observe all prior writes.
 #[derive(Debug, Default)]
 pub struct TrafficMeter {
-    inner: Mutex<TrafficSnapshot>,
+    uploads: AtomicF64,
+    downloads: AtomicF64,
+    peer_transfers: AtomicF64,
+    parameters_moved: AtomicF64,
+    wire_bytes: AtomicF64,
 }
 
 impl TrafficMeter {
@@ -83,36 +122,46 @@ impl TrafficMeter {
     /// carrying `parameters` parameters encoded as `frame_bytes` on the
     /// wire.
     pub fn record_upload(&self, model_equivalents: f64, parameters: usize, frame_bytes: usize) {
-        let mut s = self.inner.lock().expect("traffic meter poisoned");
-        s.uploads += model_equivalents;
-        s.parameters_moved += model_equivalents * parameters as f64;
-        s.wire_bytes += model_equivalents * frame_bytes as f64;
+        self.uploads.add(model_equivalents);
+        self.parameters_moved
+            .add(model_equivalents * parameters as f64);
+        self.wire_bytes.add(model_equivalents * frame_bytes as f64);
     }
 
     /// Record a server→device download.
     pub fn record_download(&self, model_equivalents: f64, parameters: usize, frame_bytes: usize) {
-        let mut s = self.inner.lock().expect("traffic meter poisoned");
-        s.downloads += model_equivalents;
-        s.parameters_moved += model_equivalents * parameters as f64;
-        s.wire_bytes += model_equivalents * frame_bytes as f64;
+        self.downloads.add(model_equivalents);
+        self.parameters_moved
+            .add(model_equivalents * parameters as f64);
+        self.wire_bytes.add(model_equivalents * frame_bytes as f64);
     }
 
     /// Record a device→device transfer (ring hop).
     pub fn record_peer(&self, model_equivalents: f64, parameters: usize, frame_bytes: usize) {
-        let mut s = self.inner.lock().expect("traffic meter poisoned");
-        s.peer_transfers += model_equivalents;
-        s.parameters_moved += model_equivalents * parameters as f64;
-        s.wire_bytes += model_equivalents * frame_bytes as f64;
+        self.peer_transfers.add(model_equivalents);
+        self.parameters_moved
+            .add(model_equivalents * parameters as f64);
+        self.wire_bytes.add(model_equivalents * frame_bytes as f64);
     }
 
     /// Copy out the counters.
     pub fn snapshot(&self) -> TrafficSnapshot {
-        *self.inner.lock().expect("traffic meter poisoned")
+        TrafficSnapshot {
+            uploads: self.uploads.get(),
+            downloads: self.downloads.get(),
+            peer_transfers: self.peer_transfers.get(),
+            parameters_moved: self.parameters_moved.get(),
+            wire_bytes: self.wire_bytes.get(),
+        }
     }
 
     /// Reset all counters to zero.
     pub fn reset(&self) {
-        *self.inner.lock().expect("traffic meter poisoned") = TrafficSnapshot::default();
+        self.uploads.set(0.0);
+        self.downloads.set(0.0);
+        self.peer_transfers.set(0.0);
+        self.parameters_moved.set(0.0);
+        self.wire_bytes.set(0.0);
     }
 }
 

@@ -1,0 +1,344 @@
+//! Lock-free metrics registry.
+//!
+//! All storage is allocated at **registration time**; the hot path only
+//! touches pre-sized atomic cells, so recording a metric never allocates
+//! and never takes a lock. Three metric kinds:
+//!
+//! * **counters** — monotone `u64`, relaxed `fetch_add`;
+//! * **gauges** — last-written (or running-max) `u64`, excluded from the
+//!   determinism fingerprint because they observe runtime state (cache
+//!   occupancy, arena high-water) that legitimately varies across hosts;
+//! * **histograms** — fixed bucket bounds chosen at registration, one
+//!   atomic count per bucket plus a CAS-accumulated `f64` sum.
+//!
+//! Counter and histogram contents are pure functions of the simulated
+//! workload, so they participate in the deterministic fingerprint used by
+//! the telemetry determinism tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Handle to a registered counter (index into the registry, `Copy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+#[derive(Debug)]
+struct Cell {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Cell {
+    fn new(name: &'static str) -> Self {
+        Cell {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCell {
+    name: &'static str,
+    /// Upper bucket bounds (ascending); an implicit overflow bucket
+    /// catches everything above the last bound.
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` bucket counts.
+    counts: Vec<AtomicU64>,
+    /// Sum of observed values, stored as `f64` bits, CAS-accumulated.
+    sum_bits: AtomicU64,
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Registered name.
+    pub name: &'static str,
+    /// Upper bucket bounds (ascending), overflow bucket implicit.
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations across all buckets.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Point-in-time copy of the whole registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter, in registration order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, value)` per gauge, in registration order.
+    pub gauges: Vec<(&'static str, u64)>,
+    /// One snapshot per histogram, in registration order.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Pre-registered metric storage; see the module docs for the contract.
+///
+/// Registration takes `&mut self` (setup phase); recording takes `&self`
+/// and is safe from any thread.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Vec<Cell>,
+    gauges: Vec<Cell>,
+    histograms: Vec<HistogramCell>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Register a monotone counter.
+    pub fn register_counter(&mut self, name: &'static str) -> CounterId {
+        self.counters.push(Cell::new(name));
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register a gauge.
+    pub fn register_gauge(&mut self, name: &'static str) -> GaugeId {
+        self.gauges.push(Cell::new(name));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Register a histogram with fixed ascending bucket bounds.
+    pub fn register_histogram(&mut self, name: &'static str, bounds: &[f64]) -> HistogramId {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        self.histograms.push(HistogramCell {
+            name,
+            bounds: bounds.to_vec(),
+            counts,
+            sum_bits: AtomicU64::new(0),
+        });
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Add `n` to a counter (relaxed; no lock, no allocation).
+    #[inline]
+    pub fn inc(&self, id: CounterId, n: u64) {
+        self.counters[id.0].value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current counter value.
+    pub fn counter(&self, id: CounterId) -> u64 {
+        self.counters[id.0].value.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite a gauge.
+    #[inline]
+    pub fn gauge_set(&self, id: GaugeId, v: u64) {
+        self.gauges[id.0].value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise a gauge to at least `v` (running maximum).
+    #[inline]
+    pub fn gauge_max(&self, id: GaugeId, v: u64) {
+        self.gauges[id.0].value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current gauge value.
+    pub fn gauge(&self, id: GaugeId) -> u64 {
+        self.gauges[id.0].value.load(Ordering::Relaxed)
+    }
+
+    /// Record one observation into a histogram.
+    #[inline]
+    pub fn observe(&self, id: HistogramId, v: f64) {
+        let h = &self.histograms[id.0];
+        let bucket = h.bounds.partition_point(|&b| v > b);
+        h.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        let mut cur = h.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match h
+                .sum_bits
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Copy out every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|c| (c.name, c.value.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|c| (c.name, c.value.load(Ordering::Relaxed)))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|h| HistogramSnapshot {
+                    name: h.name,
+                    bounds: h.bounds.clone(),
+                    counts: h.counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                    sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
+                })
+                .collect(),
+        }
+    }
+
+    /// FNV-1a fingerprint of the **deterministic** metrics: counters and
+    /// histograms only. Gauges observe host-dependent runtime state and
+    /// are excluded from the determinism contract.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        for c in &self.counters {
+            h.str(c.name);
+            h.u64(c.value.load(Ordering::Relaxed));
+        }
+        for hist in &self.histograms {
+            h.str(hist.name);
+            for b in &hist.bounds {
+                h.u64(b.to_bits());
+            }
+            for c in &hist.counts {
+                h.u64(c.load(Ordering::Relaxed));
+            }
+            h.u64(hist.sum_bits.load(Ordering::Relaxed));
+        }
+        h.finish()
+    }
+}
+
+/// Minimal FNV-1a accumulator shared by the fingerprint paths.
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    #[inline]
+    pub(crate) fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    pub(crate) fn str(&mut self, s: &str) {
+        for b in s.as_bytes() {
+            self.byte(*b);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut r = MetricsRegistry::new();
+        let c = r.register_counter("c");
+        let g = r.register_gauge("g");
+        r.inc(c, 3);
+        r.inc(c, 4);
+        r.gauge_set(g, 10);
+        r.gauge_max(g, 7);
+        r.gauge_max(g, 12);
+        assert_eq!(r.counter(c), 7);
+        assert_eq!(r.gauge(g), 12);
+        let s = r.snapshot();
+        assert_eq!(s.counters, vec![("c", 7)]);
+        assert_eq!(s.gauges, vec![("g", 12)]);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut r = MetricsRegistry::new();
+        let h = r.register_histogram("h", &[1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 3.0, 100.0] {
+            r.observe(h, v);
+        }
+        let s = &r.snapshot().histograms[0];
+        // <=1.0: {0.5, 1.0}; <=2.0: {1.5}; <=4.0: {3.0}; overflow: {100.0}
+        assert_eq!(s.counts, vec![2, 1, 1, 1]);
+        assert_eq!(s.sum, 106.0);
+        assert_eq!(s.total(), 5);
+    }
+
+    #[test]
+    fn gauges_excluded_from_fingerprint() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        let (ca, ga) = (a.register_counter("c"), a.register_gauge("g"));
+        let (cb, gb) = (b.register_counter("c"), b.register_gauge("g"));
+        a.inc(ca, 5);
+        b.inc(cb, 5);
+        a.gauge_set(ga, 1);
+        b.gauge_set(gb, 999);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.inc(cb, 1);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn concurrent_increments() {
+        use std::sync::Arc;
+        let mut r = MetricsRegistry::new();
+        let c = r.register_counter("c");
+        let h = r.register_histogram("h", &[10.0]);
+        let r = Arc::new(r);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        r.inc(c, 1);
+                        r.observe(h, 1.0);
+                    }
+                })
+            })
+            .collect();
+        for th in handles {
+            th.join().expect("thread panicked");
+        }
+        assert_eq!(r.counter(c), 4000);
+        let s = &r.snapshot().histograms[0];
+        assert_eq!(s.total(), 4000);
+        assert_eq!(s.sum, 4000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_bounds_panic() {
+        MetricsRegistry::new().register_histogram("bad", &[2.0, 1.0]);
+    }
+}

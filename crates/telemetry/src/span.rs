@@ -1,0 +1,523 @@
+//! Round-lifecycle spans and the `TelemetrySink` handle.
+//!
+//! Every span carries **two clocks**:
+//!
+//! * **virtual time** (`vt_start`/`vt_end`, simulated seconds) — a pure
+//!   function of the experiment seed, bit-identical across runs and
+//!   across Cached/Reference execution modes; this is the clock the
+//!   determinism contract covers;
+//! * **wall-clock time** (`wall_start_ns`/`wall_end_ns`, nanoseconds
+//!   since the sink's epoch) — real elapsed time for profiling, *excluded*
+//!   from every determinism comparison.
+//!
+//! The sink is a cheap cloneable handle. Disabled (the default for every
+//! `FlEnv`) it is a `None` and each call is an inlined branch on it — no
+//! clock reads, no atomics, no allocation, so the counting-allocator
+//! harness still certifies steady-state rounds as zero-alloc. Enabled, it
+//! appends `Copy` events into a buffer whose capacity was reserved up
+//! front (events beyond capacity are counted, not stored) and bumps
+//! pre-registered metrics, so even the enabled hot path never allocates.
+
+use crate::registry::{CounterId, Fnv, GaugeId, HistogramId, MetricsRegistry, MetricsSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Sentinel for span fields that do not apply (no lane, no device).
+pub const NO_ID: u32 = u32::MAX;
+
+/// Lifecycle phase a span belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Phase {
+    /// One full federated round (clustering through evaluation).
+    Round = 0,
+    /// Latency-profile clustering of the sampled cohort.
+    Clustering = 1,
+    /// One class ring's interval simulation (a lane of the round).
+    RingInterval = 2,
+    /// A device→device model relay inside a ring.
+    RelayHop = 3,
+    /// One device's local training step inside a ring.
+    LocalTrain = 4,
+    /// Server-side aggregation of surviving ring models.
+    Aggregation = 5,
+    /// Centralised test-set evaluation of the aggregated model.
+    Evaluation = 6,
+}
+
+impl Phase {
+    /// Number of phases (array-index bound).
+    pub const COUNT: usize = 7;
+
+    /// All phases, in discriminant order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::Round,
+        Phase::Clustering,
+        Phase::RingInterval,
+        Phase::RelayHop,
+        Phase::LocalTrain,
+        Phase::Aggregation,
+        Phase::Evaluation,
+    ];
+
+    /// Stable snake_case name (used as trace-event name and metric key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Round => "round",
+            Phase::Clustering => "clustering",
+            Phase::RingInterval => "ring_interval",
+            Phase::RelayHop => "relay_hop",
+            Phase::LocalTrain => "local_train",
+            Phase::Aggregation => "aggregation",
+            Phase::Evaluation => "evaluation",
+        }
+    }
+}
+
+/// One recorded span. `Copy` so the hot path moves it by value into the
+/// pre-reserved buffer without touching the heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanEvent {
+    /// Lifecycle phase.
+    pub phase: Phase,
+    /// Federated round index.
+    pub round: u32,
+    /// Sub-round lane (class-ring index), or [`NO_ID`].
+    pub lane: u32,
+    /// Device id, or [`NO_ID`] for round/lane-level spans.
+    pub device: u32,
+    /// Disambiguator within `(round, lane, device)` — step or hop index.
+    pub seq: u32,
+    /// Virtual start time, simulated seconds (deterministic).
+    pub vt_start: f64,
+    /// Virtual end time, simulated seconds (deterministic).
+    pub vt_end: f64,
+    /// Wall-clock start, ns since sink epoch (non-deterministic).
+    pub wall_start_ns: u64,
+    /// Wall-clock end, ns since sink epoch (non-deterministic).
+    pub wall_end_ns: u64,
+}
+
+impl SpanEvent {
+    /// The event with wall-clock fields zeroed — the shape every
+    /// determinism comparison uses.
+    pub fn masked(mut self) -> SpanEvent {
+        self.wall_start_ns = 0;
+        self.wall_end_ns = 0;
+        self
+    }
+}
+
+/// Identity of a span below the round level.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanCtx {
+    /// Sub-round lane (class-ring index), or [`NO_ID`].
+    pub lane: u32,
+    /// Device id, or [`NO_ID`].
+    pub device: u32,
+    /// Disambiguator within `(round, lane, device)`.
+    pub seq: u32,
+}
+
+impl SpanCtx {
+    /// Round-level span: no lane, no device.
+    pub const ROOT: SpanCtx = SpanCtx {
+        lane: NO_ID,
+        device: NO_ID,
+        seq: 0,
+    };
+
+    /// Lane-level span (one class ring).
+    pub fn lane(lane: u32) -> SpanCtx {
+        SpanCtx {
+            lane,
+            device: NO_ID,
+            seq: 0,
+        }
+    }
+
+    /// Device-level span inside a lane.
+    pub fn device(lane: u32, device: u32, seq: u32) -> SpanCtx {
+        SpanCtx { lane, device, seq }
+    }
+}
+
+/// Wall-clock anchor returned by [`TelemetrySink::wall_start`]; `None`
+/// when the sink is disabled so no clock is ever read.
+#[derive(Debug, Clone, Copy)]
+pub struct WallStart(Option<Instant>);
+
+/// Runtime gauge bundle folded once per round (see
+/// [`TelemetrySink::update_gauges`]). All fields are best-effort runtime
+/// observations outside the determinism contract.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuntimeGauges {
+    /// Peak arena bytes across cached models.
+    pub arena_high_water_bytes: u64,
+    /// Cumulative GEMM panel packs across cached model layers.
+    pub weight_packs: u64,
+    /// Process-wide engine cache hits.
+    pub cache_hits: u64,
+    /// Process-wide engine cache misses.
+    pub cache_misses: u64,
+    /// Devices with realised fleet trajectories.
+    pub fleet_realised_devices: u64,
+    /// Bytes of realised fleet trajectory state.
+    pub fleet_realised_state_bytes: u64,
+    /// Cumulative fleet shard queries.
+    pub fleet_shard_touches: u64,
+}
+
+#[derive(Debug)]
+struct EventLog {
+    events: Vec<SpanEvent>,
+    capacity: usize,
+}
+
+/// Ids of the metrics the sink maintains centrally.
+#[derive(Debug)]
+struct WellKnown {
+    /// Spans recorded, per phase.
+    phase_counts: [CounterId; Phase::COUNT],
+    /// Virtual-duration histograms for the timed phases.
+    vt_local_train: HistogramId,
+    vt_relay_hop: HistogramId,
+    vt_ring_interval: HistogramId,
+    /// Spans dropped because the event buffer was full.
+    spans_dropped: CounterId,
+    gauges: WellKnownGauges,
+}
+
+#[derive(Debug)]
+struct WellKnownGauges {
+    arena_high_water_bytes: GaugeId,
+    weight_packs: GaugeId,
+    cache_hits: GaugeId,
+    cache_misses: GaugeId,
+    fleet_realised_devices: GaugeId,
+    fleet_realised_state_bytes: GaugeId,
+    fleet_shard_touches: GaugeId,
+}
+
+/// Backing store behind an enabled [`TelemetrySink`].
+#[derive(Debug)]
+pub struct Telemetry {
+    epoch: Instant,
+    log: Mutex<EventLog>,
+    dropped: AtomicU64,
+    registry: MetricsRegistry,
+    ids: WellKnown,
+}
+
+/// Virtual-duration histogram bounds, in simulated seconds. Device
+/// latencies in the workspace's profiles run from sub-second to tens of
+/// seconds per step.
+const VT_BOUNDS: [f64; 8] = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+impl Telemetry {
+    fn new(capacity: usize) -> Self {
+        let mut registry = MetricsRegistry::new();
+        let phase_counts = [
+            registry.register_counter("spans.round"),
+            registry.register_counter("spans.clustering"),
+            registry.register_counter("spans.ring_interval"),
+            registry.register_counter("spans.relay_hop"),
+            registry.register_counter("spans.local_train"),
+            registry.register_counter("spans.aggregation"),
+            registry.register_counter("spans.evaluation"),
+        ];
+        let ids = WellKnown {
+            phase_counts,
+            vt_local_train: registry.register_histogram("vt.local_train_seconds", &VT_BOUNDS),
+            vt_relay_hop: registry.register_histogram("vt.relay_hop_seconds", &VT_BOUNDS),
+            vt_ring_interval: registry.register_histogram("vt.ring_interval_seconds", &VT_BOUNDS),
+            spans_dropped: registry.register_counter("spans.dropped"),
+            gauges: WellKnownGauges {
+                arena_high_water_bytes: registry.register_gauge("engine.arena_high_water_bytes"),
+                weight_packs: registry.register_gauge("engine.weight_packs"),
+                cache_hits: registry.register_gauge("engine.cache_hits"),
+                cache_misses: registry.register_gauge("engine.cache_misses"),
+                fleet_realised_devices: registry.register_gauge("fleet.realised_devices"),
+                fleet_realised_state_bytes: registry.register_gauge("fleet.realised_state_bytes"),
+                fleet_shard_touches: registry.register_gauge("fleet.shard_touches"),
+            },
+        };
+        Telemetry {
+            epoch: Instant::now(),
+            log: Mutex::new(EventLog {
+                events: Vec::with_capacity(capacity),
+                capacity,
+            }),
+            dropped: AtomicU64::new(0),
+            registry,
+            ids,
+        }
+    }
+
+    /// The metrics registry (for ad-hoc registration or inspection).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Copy of every recorded span, in record order.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.log
+            .lock()
+            .expect("telemetry log poisoned")
+            .events
+            .clone()
+    }
+
+    /// Spans dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of every metric.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// The recorded spans in their canonical deterministic order —
+    /// sorted by `(round, phase, lane, device, seq, vt bits)` with
+    /// wall-clock fields zeroed. Ring lanes run on rayon workers, so raw
+    /// record order is scheduler-dependent; this ordering is not.
+    pub fn deterministic_stream(&self) -> Vec<SpanEvent> {
+        let mut evs: Vec<SpanEvent> = self.events().into_iter().map(SpanEvent::masked).collect();
+        evs.sort_by_key(|e| {
+            (
+                e.round,
+                e.phase as u8,
+                e.lane,
+                e.device,
+                e.seq,
+                e.vt_start.to_bits(),
+                e.vt_end.to_bits(),
+            )
+        });
+        evs
+    }
+
+    /// FNV-1a fingerprint of the deterministic span stream plus the
+    /// deterministic metrics (counters + histograms; gauges and
+    /// wall-clock excluded). Equal fingerprints across two runs mean the
+    /// virtual-time telemetry is bit-identical.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        for e in self.deterministic_stream() {
+            h.byte(e.phase as u8);
+            h.u64(e.round as u64);
+            h.u64(e.lane as u64);
+            h.u64(e.device as u64);
+            h.u64(e.seq as u64);
+            h.u64(e.vt_start.to_bits());
+            h.u64(e.vt_end.to_bits());
+        }
+        h.u64(self.registry.fingerprint());
+        h.finish()
+    }
+
+    fn record(&self, ev: SpanEvent) {
+        self.registry
+            .inc(self.ids.phase_counts[ev.phase as usize], 1);
+        let dur = ev.vt_end - ev.vt_start;
+        match ev.phase {
+            Phase::LocalTrain => self.registry.observe(self.ids.vt_local_train, dur),
+            Phase::RelayHop => self.registry.observe(self.ids.vt_relay_hop, dur),
+            Phase::RingInterval => self.registry.observe(self.ids.vt_ring_interval, dur),
+            _ => {}
+        }
+        let mut log = self.log.lock().expect("telemetry log poisoned");
+        if log.events.len() < log.capacity {
+            log.events.push(ev);
+        } else {
+            drop(log);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.registry.inc(self.ids.spans_dropped, 1);
+        }
+    }
+}
+
+/// Cheap cloneable instrumentation handle threaded through `FlEnv`.
+///
+/// [`TelemetrySink::disabled`] is the default everywhere; every method on
+/// a disabled sink reduces to a branch on `None`.
+#[derive(Clone, Default)]
+pub struct TelemetrySink(Option<Arc<Telemetry>>);
+
+impl std::fmt::Debug for TelemetrySink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => f.write_str("TelemetrySink(disabled)"),
+            Some(t) => write!(
+                f,
+                "TelemetrySink(enabled, {} events)",
+                t.log.lock().expect("telemetry log poisoned").events.len()
+            ),
+        }
+    }
+}
+
+impl TelemetrySink {
+    /// The no-op sink: records nothing, allocates nothing.
+    pub fn disabled() -> TelemetrySink {
+        TelemetrySink(None)
+    }
+
+    /// An enabled sink whose event buffer holds up to `capacity` spans
+    /// (allocated here, never grown; overflow is counted and dropped).
+    pub fn enabled(capacity: usize) -> TelemetrySink {
+        TelemetrySink(Some(Arc::new(Telemetry::new(capacity))))
+    }
+
+    /// Whether this sink records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The backing store, when enabled (exporters and tests read it).
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.0.as_deref()
+    }
+
+    /// Anchor a wall-clock measurement; reads the clock only when
+    /// enabled.
+    #[inline]
+    pub fn wall_start(&self) -> WallStart {
+        WallStart(self.0.as_ref().map(|_| Instant::now()))
+    }
+
+    /// Record a span covering virtual `[vt.0, vt.1]` whose wall-clock
+    /// extent runs from `wall` (from [`TelemetrySink::wall_start`]) to
+    /// now. No-op on a disabled sink.
+    #[inline]
+    pub fn span(&self, phase: Phase, round: u32, ctx: SpanCtx, vt: (f64, f64), wall: WallStart) {
+        if let Some(t) = &self.0 {
+            let (wall_start_ns, wall_end_ns) = match wall.0 {
+                Some(start) => (
+                    start.saturating_duration_since(t.epoch).as_nanos() as u64,
+                    t.epoch.elapsed().as_nanos() as u64,
+                ),
+                None => (0, 0),
+            };
+            t.record(SpanEvent {
+                phase,
+                round,
+                lane: ctx.lane,
+                device: ctx.device,
+                seq: ctx.seq,
+                vt_start: vt.0,
+                vt_end: vt.1,
+                wall_start_ns,
+                wall_end_ns,
+            });
+        }
+    }
+
+    /// Fold a bundle of runtime observations into the well-known gauges.
+    /// `arena_high_water_bytes` keeps a running maximum; the rest are
+    /// last-writer-wins. No-op on a disabled sink.
+    pub fn update_gauges(&self, g: &RuntimeGauges) {
+        if let Some(t) = &self.0 {
+            let ids = &t.ids.gauges;
+            t.registry
+                .gauge_max(ids.arena_high_water_bytes, g.arena_high_water_bytes);
+            t.registry.gauge_set(ids.weight_packs, g.weight_packs);
+            t.registry.gauge_set(ids.cache_hits, g.cache_hits);
+            t.registry.gauge_set(ids.cache_misses, g.cache_misses);
+            t.registry
+                .gauge_set(ids.fleet_realised_devices, g.fleet_realised_devices);
+            t.registry
+                .gauge_set(ids.fleet_realised_state_bytes, g.fleet_realised_state_bytes);
+            t.registry
+                .gauge_set(ids.fleet_shard_touches, g.fleet_shard_touches);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let sink = TelemetrySink::disabled();
+        assert!(!sink.is_enabled());
+        assert!(sink.telemetry().is_none());
+        let w = sink.wall_start();
+        sink.span(Phase::Round, 0, SpanCtx::ROOT, (0.0, 1.0), w);
+        sink.update_gauges(&RuntimeGauges::default());
+    }
+
+    #[test]
+    fn spans_are_recorded_and_counted() {
+        let sink = TelemetrySink::enabled(16);
+        let w = sink.wall_start();
+        sink.span(
+            Phase::LocalTrain,
+            3,
+            SpanCtx::device(1, 42, 0),
+            (1.0, 3.5),
+            w,
+        );
+        sink.span(Phase::Round, 3, SpanCtx::ROOT, (0.0, 9.0), w);
+        let t = sink.telemetry().expect("enabled");
+        let evs = t.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].phase, Phase::LocalTrain);
+        assert_eq!(evs[0].device, 42);
+        assert_eq!(evs[0].vt_end, 3.5);
+        assert!(evs[0].wall_end_ns >= evs[0].wall_start_ns);
+        let m = t.metrics();
+        assert!(m.counters.contains(&("spans.local_train", 1)));
+        assert!(m.counters.contains(&("spans.round", 1)));
+        // The local-train duration (2.5s) landed in the (2.0, 4.0] bucket.
+        let hist = m
+            .histograms
+            .iter()
+            .find(|h| h.name == "vt.local_train_seconds")
+            .expect("registered");
+        assert_eq!(hist.sum, 2.5);
+        assert_eq!(hist.total(), 1);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let sink = TelemetrySink::enabled(1);
+        let w = sink.wall_start();
+        sink.span(Phase::Round, 0, SpanCtx::ROOT, (0.0, 1.0), w);
+        sink.span(Phase::Round, 1, SpanCtx::ROOT, (1.0, 2.0), w);
+        let t = sink.telemetry().expect("enabled");
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.dropped(), 1);
+        // The dropped span still counted toward its phase metric.
+        assert!(t.metrics().counters.contains(&("spans.round", 2)));
+    }
+
+    #[test]
+    fn deterministic_stream_masks_wall_and_sorts() {
+        let a = TelemetrySink::enabled(8);
+        let b = TelemetrySink::enabled(8);
+        // Record in different orders; wall clocks necessarily differ.
+        for (lane, vt) in [(1u32, (2.0, 3.0)), (0u32, (0.0, 1.0))] {
+            let w = a.wall_start();
+            a.span(Phase::RingInterval, 0, SpanCtx::lane(lane), vt, w);
+        }
+        for (lane, vt) in [(0u32, (0.0, 1.0)), (1u32, (2.0, 3.0))] {
+            let w = b.wall_start();
+            b.span(Phase::RingInterval, 0, SpanCtx::lane(lane), vt, w);
+        }
+        let (ta, tb) = (a.telemetry().unwrap(), b.telemetry().unwrap());
+        assert_eq!(ta.deterministic_stream(), tb.deterministic_stream());
+        assert_eq!(ta.fingerprint(), tb.fingerprint());
+        assert!(ta.deterministic_stream().iter().all(|e| e.wall_end_ns == 0));
+    }
+
+    #[test]
+    fn sink_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TelemetrySink>();
+    }
+}

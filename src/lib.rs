@@ -20,6 +20,7 @@
 //! | [`cluster`] | `fedhisyn-cluster` | k-means device tiering |
 //! | [`fleet`] | `fedhisyn-fleet` | deterministic fleet dynamics: capacity drift, churn, mid-ring failures |
 //! | [`simnet`] | `fedhisyn-simnet` | virtual clock, event queue, latency/link models, traffic meter |
+//! | [`telemetry`] | `fedhisyn-telemetry` | metrics registry, round-lifecycle spans, Perfetto trace export |
 //! | [`tensor`] | `fedhisyn-tensor` | dense f32 tensors and GEMM kernels |
 //!
 //! # Example
@@ -48,6 +49,7 @@ pub use fedhisyn_data as data;
 pub use fedhisyn_fleet as fleet;
 pub use fedhisyn_nn as nn;
 pub use fedhisyn_simnet as simnet;
+pub use fedhisyn_telemetry as telemetry;
 pub use fedhisyn_tensor as tensor;
 
 /// One-stop imports for applications.
@@ -64,6 +66,7 @@ pub mod prelude {
     };
     pub use fedhisyn_nn::{ModelSpec, ParamVec};
     pub use fedhisyn_simnet::{HeterogeneityModel, LinkModel};
+    pub use fedhisyn_telemetry::{RoundTelemetry, TelemetrySink};
 }
 
 #[cfg(test)]

@@ -105,6 +105,7 @@ fn tiny_env() -> FlEnv {
         momentum: MomentumBank::disabled(),
         wire_check: false,
         cohort: None,
+        telemetry: fedhisyn::telemetry::TelemetrySink::disabled(),
     }
 }
 
@@ -280,6 +281,70 @@ fn steady_state_cnn_round_is_allocation_free() {
     );
     assert!(loss.is_finite());
     assert!((0.0..=1.0).contains(&acc));
+}
+
+/// The telemetry hot path must stay off the heap: a **disabled** sink is
+/// pure branches (this is what keeps the steady-state round above
+/// zero-alloc with the sink field threaded through `FlEnv`), and an
+/// **enabled** sink records `Copy` events into its pre-reserved buffer
+/// and bumps pre-registered atomics — no per-event allocation, not even
+/// on buffer overflow (overflow is a counter bump, not a growth).
+#[test]
+fn telemetry_recording_is_allocation_free() {
+    use fedhisyn::telemetry::{Phase, RuntimeGauges, SpanCtx, TelemetrySink};
+
+    let disabled = TelemetrySink::disabled();
+    let enabled = TelemetrySink::enabled(1024);
+    let tiny = TelemetrySink::enabled(8); // overflows below
+    let gauges = RuntimeGauges::default();
+
+    // Warm-up: first lock/first record on each sink.
+    for sink in [&disabled, &enabled, &tiny] {
+        let w = sink.wall_start();
+        sink.span(Phase::Round, 0, SpanCtx::ROOT, (0.0, 1.0), w);
+        sink.update_gauges(&gauges);
+    }
+
+    assert_counter_wired();
+
+    let before = thread_allocs();
+    for round in 0..256u32 {
+        let w = disabled.wall_start();
+        disabled.span(
+            Phase::LocalTrain,
+            round,
+            SpanCtx::device(0, round, 0),
+            (0.0, 1.0),
+            w,
+        );
+        disabled.update_gauges(&gauges);
+
+        let w = enabled.wall_start();
+        enabled.span(
+            Phase::RelayHop,
+            round,
+            SpanCtx::device(1, round, 2),
+            (0.5, 1.5),
+            w,
+        );
+        enabled.update_gauges(&gauges);
+
+        // Past capacity from round 8 on: dropped + counted, still no heap.
+        let w = tiny.wall_start();
+        tiny.span(Phase::RingInterval, round, SpanCtx::lane(0), (0.0, 8.0), w);
+    }
+    let steady_allocs = thread_allocs() - before;
+    assert_eq!(
+        steady_allocs, 0,
+        "telemetry recording performed {steady_allocs} heap allocations"
+    );
+
+    let t = enabled.telemetry().expect("enabled");
+    assert_eq!(t.events().len(), 257, "all spans under capacity retained");
+    assert_eq!(t.dropped(), 0);
+    let t = tiny.telemetry().expect("enabled");
+    assert_eq!(t.events().len(), 8, "buffer never grows past capacity");
+    assert_eq!(t.dropped(), 249);
 }
 
 /// Fleet fast-path queries must stay off the heap: static-fleet point

@@ -79,6 +79,21 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, DeError>;
 }
 
+// A `Value` serializes to itself, so generic JSON (schema validation,
+// dynamic inspection) can round-trip through `serde_json` without a
+// concrete target type.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 // ---- primitive impls ----------------------------------------------------
 
 macro_rules! impl_unsigned {
