@@ -70,7 +70,7 @@ pub fn continuous_local_train_plain(
 /// (epochs × batches per epoch) — SCAFFOLD's `K` in its control-variate
 /// update.
 pub fn minibatch_steps(env: &FlEnv, device: usize) -> usize {
-    let n = env.device_data[device].len();
+    let n = env.shard_len(device);
     let batches = n.div_ceil(env.batch_size).max(1);
     batches * env.local_epochs
 }
@@ -114,7 +114,7 @@ mod tests {
     #[test]
     fn minibatch_steps_counts_batches() {
         let env = env();
-        let n = env.device_data[0].len();
+        let n = env.shard_len(0);
         let expect = n.div_ceil(env.batch_size).max(1) * env.local_epochs;
         assert_eq!(minibatch_steps(&env, 0), expect);
     }

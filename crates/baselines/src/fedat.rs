@@ -136,7 +136,7 @@ impl FlAlgorithm for FedAT {
                         .iter()
                         .map(|(d, params)| Contribution {
                             params,
-                            samples: env.device_data[*d].len(),
+                            samples: env.shard_len(*d),
                             class_mean_time: env.latency_at(*d, round),
                         })
                         .collect();

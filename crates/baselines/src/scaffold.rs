@@ -151,7 +151,7 @@ impl FlAlgorithm for Scaffold {
             .iter()
             .map(|(d, params, _)| Contribution {
                 params,
-                samples: env.device_data[*d].len(),
+                samples: env.shard_len(*d),
                 class_mean_time: env.latency_at(*d, round),
             })
             .collect();

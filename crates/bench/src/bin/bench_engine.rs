@@ -12,21 +12,23 @@
 //! trajectory against the recorded PR 2 baselines.
 //!
 //! Usage: `cargo run --release --bin bench_engine [--rounds N] [--gemm-only]
-//! [--cnn-only] [--fleet-scale [N]] [--trace <path>]`
+//! [--cnn-only] [--fleet-scale [N]] [--train-scale [N]] [--trace <path>]`
 //!
 //! `--gemm-only` runs just the GEMM micro-benchmark; `--cnn-only` runs
 //! just the batched-vs-per-sample CNN step benchmark; `--fleet-scale [N]`
 //! runs just the lazy-fleet scale benchmark at `N` devices (default
-//! 100 000) with a fixed peak-RSS budget (the CI smokes); `--trace <path>`
-//! runs a short traced round loop and writes + validates a
-//! Perfetto-loadable Chrome trace.
+//! 100 000) with a fixed peak-RSS budget (the CI smokes); `--train-scale
+//! [N]` runs end-to-end FedHiSyn training rounds over the lazy data plane
+//! at `N` devices (default 100 000) under the same peak-RSS budget;
+//! `--trace <path>` runs a short traced round loop and writes + validates
+//! a Perfetto-loadable Chrome trace.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::time::Instant;
 
 use fedhisyn_baselines::{FedAvg, TFedAvg};
-use fedhisyn_core::{run_experiment, ExecMode, ExperimentConfig, FedHiSyn, RunRecord};
+use fedhisyn_core::{run_experiment, DataMode, ExecMode, ExperimentConfig, FedHiSyn, RunRecord};
 use fedhisyn_data::{DatasetProfile, Partition, Scale};
 use fedhisyn_fleet::{sample_online_cohort, FleetDynamics, FleetModel};
 use fedhisyn_nn::init::Init;
@@ -87,6 +89,17 @@ const PR2_CHURN_FEDHISYN_ROUNDS_PER_SEC: f64 = 26.42;
 const FLEET_SCALE_DEVICES: usize = 1_000_000;
 const FLEET_SCALE_ROUNDS: usize = 200;
 const FLEET_SCALE_COHORT: usize = 32;
+
+/// Train-scale benchmark shape: *full* FedHiSyn training rounds (local
+/// SGD, rings, aggregation, evaluation) against a lazily-realised
+/// million-device fleet — the end-to-end proof that the data plane, not
+/// just the fleet layer, is O(cohort). The `--train-scale` CI smoke runs
+/// the same shape at 100k devices.
+const TRAIN_SCALE_DEVICES: usize = 1_000_000;
+const TRAIN_SCALE_ROUNDS: usize = 5;
+const TRAIN_SCALE_COHORT: usize = 50;
+const TRAIN_SMOKE_DEVICES: usize = 100_000;
+const TRAIN_SMOKE_ROUNDS: usize = 3;
 
 /// PR 4 blocked-GEMM GFLOP/s at the benchmark shapes (scalar 4×8 tier on
 /// this box) — the baselines the AVX2 dispatch acceptance criterion
@@ -237,6 +250,7 @@ struct EngineReport {
     cnn_step: CnnStepBench,
     churn: ChurnReport,
     fleet_scale: FleetScaleBench,
+    train_scale: TrainScaleBench,
 }
 
 /// Linux peak resident set size (`VmHWM` in `/proc/self/status`), bytes;
@@ -346,6 +360,150 @@ fn print_fleet_scale(f: &FleetScaleBench) {
         "{} of {} devices realised over {} rounds x cohort {} — \
          fleet realisation is not O(cohort)",
         f.realised_devices, f.devices, f.rounds, f.cohort
+    );
+}
+
+#[derive(Debug, Serialize)]
+struct TrainScaleBench {
+    /// Fleet size — devices that *exist*; only sampled cohorts train.
+    devices: usize,
+    rounds: usize,
+    /// FedHiSyn's per-round participants K.
+    cohort: usize,
+    seconds: f64,
+    rounds_per_sec: f64,
+    final_accuracy: f32,
+    /// Process peak RSS (`VmHWM`) after the run, in bytes. In the
+    /// `--train-scale` smoke this is held to a fixed budget.
+    peak_rss_bytes: u64,
+    /// Shards actually materialised across the run — bounded by the
+    /// cohorts trained, never by fleet size.
+    shards_realised: u64,
+    shard_cache_hits: u64,
+    resident_shard_bytes: u64,
+    /// The tentpole invariant: realisations stay proportional to
+    /// rounds × cohort (devices *trained*), not to the fleet.
+    o_cohort: bool,
+    /// Cache-served shards must be bit-identical to fresh realisations
+    /// from the pure plan (the lazy ≡ dense contract, spot-checked on
+    /// sampled devices; `tests/data_lazy.rs` proves it exhaustively).
+    lazy_matches_dense: bool,
+    /// Two fresh envs under the same seed must replay the identical run.
+    deterministic: bool,
+}
+
+/// Full FedHiSyn training rounds against a lazily-realised fleet.
+///
+/// Unlike `bench_fleet_scale` (which drives the fleet layer directly),
+/// this goes through the whole stack: `build_env` in `DataMode::Lazy`,
+/// cohort sampling, clustering on mixture-derived class histograms,
+/// ring relay with real local SGD on demand-realised shards, synchronous
+/// aggregation and test evaluation — with nothing O(fleet) materialised.
+fn bench_train_scale(devices: usize, rounds: usize, cohort: usize) -> TrainScaleBench {
+    let cfg = ExperimentConfig::builder(DatasetProfile::MnistLike)
+        .scale(Scale::Smoke)
+        .devices(devices)
+        .data_mode(DataMode::Lazy {
+            beta: 0.3,
+            min_samples: 20,
+            max_samples: 40,
+            // Headroom over K so ring-relay retraining within a round
+            // never evicts the active cohort.
+            cache_capacity: 4 * cohort,
+        })
+        .cohort(cohort)
+        .local_epochs(1)
+        .rounds(rounds)
+        .seed(2022)
+        .build();
+    let run = || {
+        let mut env = cfg.build_env();
+        let mut algo = FedHiSyn::new(&cfg, 10);
+        let start = Instant::now();
+        let rec = run_experiment(&mut algo, &mut env, rounds);
+        (rec, start.elapsed().as_secs_f64(), env)
+    };
+    let (rec, seconds, env) = run();
+    let (replay, _, _) = run();
+
+    let shards_realised = env.data.shards_realised();
+    // Each round realises at most the cohort when the cache holds it;
+    // the 4x slack covers cohort drift across cache generations. The
+    // second clause pins "never O(fleet)" directly.
+    let o_cohort = shards_realised <= (rounds * cohort * 4) as u64
+        && (shards_realised as usize) * 10 <= devices;
+
+    // Spot-check the lazy ≡ dense contract: shards served through the
+    // cache must equal independent realisations from the pure plan.
+    let plan = env.data.plan().expect("train-scale env is lazy").clone();
+    let lazy_matches_dense = (0..8).all(|i| {
+        let d = ((i * devices) / 8 + i).min(devices - 1); // spread probes across the fleet
+        let via_cache = env.shard(d);
+        let fresh = plan.realise(d);
+        via_cache.y == fresh.y
+            && via_cache
+                .x
+                .data()
+                .iter()
+                .zip(fresh.x.data())
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    });
+
+    TrainScaleBench {
+        devices,
+        rounds,
+        cohort,
+        seconds,
+        rounds_per_sec: rounds as f64 / seconds.max(1e-9),
+        final_accuracy: rec.final_accuracy(),
+        peak_rss_bytes: read_peak_rss_bytes(),
+        shards_realised,
+        shard_cache_hits: env.data.shard_cache_hits(),
+        resident_shard_bytes: env.data.resident_shard_bytes(),
+        o_cohort,
+        lazy_matches_dense,
+        deterministic: rec == replay,
+    }
+}
+
+fn print_train_scale(t: &TrainScaleBench) {
+    println!("\n== train scale: end-to-end FedHiSyn over a lazy data plane ==");
+    println!(
+        "  {} devices, {} rounds, K={}: {:>6.2} rounds/s  ({:.2}s, final acc {:.1}%, \
+         peak RSS {:.1} MiB)",
+        t.devices,
+        t.rounds,
+        t.cohort,
+        t.rounds_per_sec,
+        t.seconds,
+        t.final_accuracy * 100.0,
+        t.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "  shards realised: {}, cache hits: {}, resident: {} bytes  \
+         (O(cohort): {}, lazy≡dense: {}, deterministic: {})",
+        t.shards_realised,
+        t.shard_cache_hits,
+        t.resident_shard_bytes,
+        t.o_cohort,
+        t.lazy_matches_dense,
+        t.deterministic
+    );
+    assert!(
+        t.deterministic,
+        "train-scale replay diverged between identical seeded runs — \
+         determinism contract broken"
+    );
+    assert!(
+        t.o_cohort,
+        "{} shards realised over {} rounds x cohort {} in a {}-device fleet — \
+         the data plane is not O(cohort)",
+        t.shards_realised, t.rounds, t.cohort, t.devices
+    );
+    assert!(
+        t.lazy_matches_dense,
+        "cache-served shards diverged from pure plan realisations — \
+         lazy ≡ dense contract broken"
     );
 }
 
@@ -930,6 +1088,30 @@ fn main() {
         );
         return;
     }
+    if let Some(pos) = args.iter().position(|a| a == "--train-scale") {
+        // CI smoke: end-to-end FedHiSyn rounds over the lazy data plane
+        // alone, so `VmHWM` is dominated by the data plane + fleet layer
+        // and the budget is a real ceiling on O(cohort) residency.
+        let devices = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(TRAIN_SMOKE_DEVICES);
+        let smoke = bench_train_scale(devices, TRAIN_SMOKE_ROUNDS, TRAIN_SCALE_COHORT);
+        print_train_scale(&smoke);
+        const SMOKE_RSS_BUDGET: u64 = 256 * 1024 * 1024;
+        assert!(
+            smoke.peak_rss_bytes <= SMOKE_RSS_BUDGET,
+            "peak RSS {} bytes exceeds the {} MiB smoke budget — \
+             shard realisation is leaking toward O(fleet)",
+            smoke.peak_rss_bytes,
+            SMOKE_RSS_BUDGET >> 20
+        );
+        println!(
+            "  peak RSS within the {} MiB smoke budget",
+            SMOKE_RSS_BUDGET >> 20
+        );
+        return;
+    }
     let rounds = args
         .iter()
         .skip_while(|a| *a != "--rounds")
@@ -947,6 +1129,8 @@ fn main() {
 
     let fleet_scale =
         bench_fleet_scale(FLEET_SCALE_DEVICES, FLEET_SCALE_ROUNDS, FLEET_SCALE_COHORT);
+    let train_scale =
+        bench_train_scale(TRAIN_SCALE_DEVICES, TRAIN_SCALE_ROUNDS, TRAIN_SCALE_COHORT);
 
     let churn_cfg = churn_workload();
     let churn = ChurnReport {
@@ -988,6 +1172,7 @@ fn main() {
         cnn_step,
         churn,
         fleet_scale,
+        train_scale,
     };
 
     println!(
@@ -1059,6 +1244,7 @@ fn main() {
     }
 
     print_fleet_scale(&report.fleet_scale);
+    print_train_scale(&report.train_scale);
 
     match serde_json::to_string_pretty(&report) {
         Ok(json) => {

@@ -215,6 +215,9 @@ fn fold_round_telemetry(
         fleet_realised_devices: env.fleet.realised_devices() as u64,
         fleet_realised_state_bytes: env.fleet.realised_state_bytes() as u64,
         fleet_shard_touches: env.fleet.shard_touch_total(),
+        data_shards_realised: env.data.shards_realised(),
+        data_shard_cache_hits: env.data.shard_cache_hits(),
+        data_resident_shard_bytes: env.data.resident_shard_bytes(),
     };
     env.telemetry.update_gauges(&RuntimeGauges {
         arena_high_water_bytes,
@@ -224,6 +227,9 @@ fn fold_round_telemetry(
         fleet_realised_devices: telemetry.fleet_realised_devices,
         fleet_realised_state_bytes: telemetry.fleet_realised_state_bytes,
         fleet_shard_touches: telemetry.fleet_shard_touches,
+        data_shards_realised: telemetry.data_shards_realised,
+        data_shard_cache_hits: telemetry.data_shard_cache_hits,
+        data_resident_shard_bytes: telemetry.data_resident_shard_bytes,
     });
     telemetry
 }
@@ -248,10 +254,10 @@ mod tests {
         let profiles = sample_latencies(5, HeterogeneityModel::Homogeneous, 1.0, &mut rng);
         FlEnv {
             spec: ModelSpec::mlp(&[4, 4, 2]),
-            device_data: (0..5).map(|_| mk(6)).collect(),
+            data: fedhisyn_data::DataSource::Dense((0..5).map(|_| mk(6)).collect()),
+            n_devices: 5,
             test: mk(20),
             fleet: fedhisyn_fleet::FleetModel::static_fleet(&profiles),
-            profiles,
             link: LinkModel::zero(),
             meter: TrafficMeter::new(),
             local_epochs: 1,
@@ -348,8 +354,14 @@ mod tests {
         let mut env = tiny_env();
         // Heavy churn: ~70% of online devices drop each round (the first
         // transition already applies at round 0).
+        let profiles = sample_latencies(
+            5,
+            HeterogeneityModel::Homogeneous,
+            1.0,
+            &mut rng_from_seed(0),
+        );
         env.fleet = FleetModel::new(
-            &env.profiles,
+            &profiles,
             FleetDynamics {
                 availability: AvailabilityModel::Churn {
                     dropout: 0.7,
@@ -393,7 +405,13 @@ mod tests {
         assert_eq!(expect.len(), 3);
         // Churned fleet: cohorts shrink to the online population but stay
         // deterministic.
-        env.fleet = FleetModel::new(&env.profiles, FleetDynamics::churn(0.4), 9);
+        let profiles = sample_latencies(
+            5,
+            HeterogeneityModel::Homogeneous,
+            1.0,
+            &mut rng_from_seed(0),
+        );
+        env.fleet = FleetModel::new(&profiles, FleetDynamics::churn(0.4), 9);
         let a = run_experiment(&mut algo, &mut env, 5);
         let b = run_experiment(&mut algo, &mut env, 5);
         assert_eq!(a, b, "cohort mode must be bit-deterministic");

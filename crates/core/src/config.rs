@@ -1,14 +1,47 @@
 //! Experiment configuration and environment construction.
 
-use fedhisyn_data::{partition_indices, Dataset, DatasetProfile, Partition, Scale};
+use fedhisyn_data::{
+    partition_indices, DataSource, Dataset, DatasetProfile, Partition, Scale, ShardPlan,
+};
 use fedhisyn_fleet::{FleetDynamics, FleetModel};
 use fedhisyn_nn::{ModelSpec, ParamVec, SgdConfig};
-use fedhisyn_simnet::{sample_latencies, HeterogeneityModel, LinkModel, TrafficMeter};
+use fedhisyn_simnet::{
+    sample_latencies, HeterogeneityModel, LinkModel, ProfileSource, TrafficMeter,
+};
 use fedhisyn_tensor::rng_from_seed;
 use serde::{Deserialize, Serialize};
 
 use crate::aggregate::AggregationRule;
 use crate::env::{seed_mix, FlEnv, MomentumBank};
+
+/// How device shards are produced when the environment is built.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DataMode {
+    /// Materialise every shard up front: pooled synthesis followed by the
+    /// configured [`Partition`]. The historical path — bit-identical
+    /// streams for every existing configuration — and O(fleet) memory.
+    Dense,
+    /// Realise shards on demand as pure functions of `(seed, device)`:
+    /// per-device `Dir(beta)` label mixtures, sample counts in
+    /// `[min_samples, max_samples]`, features synthesised only when a
+    /// device actually trains, behind a bounded LRU shard cache. Memory
+    /// and per-round cost are O(cohort), so training rounds scale to
+    /// million-device fleets. (The configured [`Partition`] is unused in
+    /// this mode — label skew comes from the per-device mixtures.)
+    Lazy {
+        /// Dirichlet concentration of the per-device label mixture
+        /// (smaller ⇒ more skew, the same β semantics as
+        /// [`Partition::Dirichlet`]).
+        beta: f64,
+        /// Smallest per-device shard.
+        min_samples: usize,
+        /// Largest per-device shard.
+        max_samples: usize,
+        /// Shard-cache capacity in shards — size it to the per-round
+        /// cohort (a small multiple gives headroom for cohort drift).
+        cache_capacity: usize,
+    },
+}
 
 /// A fully-specified federated experiment.
 ///
@@ -27,6 +60,8 @@ pub struct ExperimentConfig {
     pub participation: f64,
     /// How data is split across devices.
     pub partition: Partition,
+    /// Whether shards are materialised up front or realised lazily.
+    pub data_mode: DataMode,
     /// Latency heterogeneity across the fleet.
     pub heterogeneity: HeterogeneityModel,
     /// Time-varying fleet conditions (capacity drift, churn, mid-round
@@ -76,6 +111,7 @@ impl ExperimentConfig {
                 n_devices: 100,
                 participation: 1.0,
                 partition: Partition::Dirichlet { beta: 0.3 },
+                data_mode: DataMode::Dense,
                 heterogeneity: HeterogeneityModel::Uniform { h: 10.0 },
                 fleet: FleetDynamics::default(),
                 link: LinkModel::zero(),
@@ -127,28 +163,59 @@ impl ExperimentConfig {
         self.model_spec().build(&mut rng).params()
     }
 
-    /// Materialize the simulated environment: synthesize data, partition
-    /// it, sample latencies.
+    /// Materialize the simulated environment. Dense mode synthesizes the
+    /// pooled dataset, partitions it and samples latencies — all O(fleet)
+    /// up front. Lazy mode builds O(1)-sized pure plans (shards and
+    /// latency profiles both derived on demand), so construction cost is
+    /// independent of fleet size.
     pub fn build_env(&self) -> FlEnv {
-        let fd = self.profile.synth_config(self.scale, self.seed).generate();
-        let mut part_rng = rng_from_seed(seed_mix(self.seed, 0xDA7A, 0, 0));
-        let indices = partition_indices(&fd.train, self.n_devices, self.partition, &mut part_rng);
-        let device_data: Vec<Dataset> = indices.iter().map(|idx| fd.train.subset(idx)).collect();
-        let mut lat_rng = rng_from_seed(seed_mix(self.seed, 0x1A7E, 0, 0));
-        let profiles = sample_latencies(self.n_devices, self.heterogeneity, 1.0, &mut lat_rng);
         // The fleet trajectory derives from its own seed stream so adding
         // dynamics never perturbs data, partition or latency sampling.
-        let fleet = FleetModel::new(
-            &profiles,
-            self.fleet.clone(),
-            seed_mix(self.seed, 0xF1EE7, 0, 0),
-        );
+        let fleet_seed = seed_mix(self.seed, 0xF1EE7, 0, 0);
+        let (data, test, fleet) = match self.data_mode {
+            DataMode::Dense => {
+                let fd = self.profile.synth_config(self.scale, self.seed).generate();
+                let mut part_rng = rng_from_seed(seed_mix(self.seed, 0xDA7A, 0, 0));
+                let indices =
+                    partition_indices(&fd.train, self.n_devices, self.partition, &mut part_rng);
+                let device_data: Vec<Dataset> =
+                    indices.iter().map(|idx| fd.train.subset(idx)).collect();
+                let mut lat_rng = rng_from_seed(seed_mix(self.seed, 0x1A7E, 0, 0));
+                let profiles =
+                    sample_latencies(self.n_devices, self.heterogeneity, 1.0, &mut lat_rng);
+                let fleet = FleetModel::new(&profiles, self.fleet.clone(), fleet_seed);
+                (DataSource::Dense(device_data), fd.test, fleet)
+            }
+            DataMode::Lazy {
+                beta,
+                min_samples,
+                max_samples,
+                cache_capacity,
+            } => {
+                let plan = ShardPlan::new(
+                    self.profile.synth_config(self.scale, self.seed),
+                    self.n_devices,
+                    beta,
+                    min_samples,
+                    max_samples,
+                );
+                let test = plan.test_split();
+                let profiles = ProfileSource::lazy(
+                    self.n_devices,
+                    self.heterogeneity,
+                    1.0,
+                    seed_mix(self.seed, 0x1A7E, 0, 0),
+                );
+                let fleet = FleetModel::with_source(profiles, self.fleet.clone(), fleet_seed);
+                (DataSource::lazy(plan, cache_capacity), test, fleet)
+            }
+        };
         FlEnv {
             spec: self.model_spec(),
-            device_data,
-            test: fd.test,
+            data,
+            n_devices: self.n_devices,
+            test,
             fleet,
-            profiles,
             link: self.link.clone(),
             meter: TrafficMeter::new(),
             local_epochs: self.local_epochs,
@@ -161,7 +228,7 @@ impl ExperimentConfig {
             seed: self.seed,
             exec: crate::engine::ExecMode::default(),
             momentum: if self.persist_momentum {
-                MomentumBank::new(self.n_devices)
+                MomentumBank::new()
             } else {
                 MomentumBank::disabled()
             },
@@ -202,6 +269,29 @@ impl ExperimentConfigBuilder {
     /// Set the data partition.
     pub fn partition(mut self, p: Partition) -> Self {
         self.cfg.partition = p;
+        self
+    }
+
+    /// Set the data mode (dense materialisation vs lazy realisation).
+    pub fn data_mode(mut self, mode: DataMode) -> Self {
+        if let DataMode::Lazy {
+            beta,
+            min_samples,
+            max_samples,
+            cache_capacity,
+        } = mode
+        {
+            assert!(beta > 0.0, "Dirichlet beta must be positive");
+            assert!(
+                (1..=max_samples).contains(&min_samples),
+                "need 1 <= min_samples <= max_samples"
+            );
+            assert!(
+                cache_capacity > 0,
+                "shard cache must hold at least one shard"
+            );
+        }
+        self.cfg.data_mode = mode;
         self
     }
 
@@ -346,11 +436,44 @@ mod tests {
         let cfg = base();
         let env = cfg.build_env();
         assert_eq!(env.n_devices(), 5);
-        assert!(env.device_data.iter().all(|d| !d.is_empty()));
-        let total: usize = env.device_data.iter().map(|d| d.len()).sum();
+        assert!((0..5).all(|d| !env.shard(d).is_empty()));
+        let total: usize = (0..5).map(|d| env.shard_len(d)).sum();
         // All training samples distributed.
         let fd = cfg.profile.synth_config(cfg.scale, cfg.seed).generate();
         assert_eq!(total, fd.train.len());
+    }
+
+    #[test]
+    fn lazy_mode_builds_an_on_demand_env() {
+        let cfg = ExperimentConfig::builder(DatasetProfile::MnistLike)
+            .devices(50)
+            .data_mode(DataMode::Lazy {
+                beta: 0.3,
+                min_samples: 10,
+                max_samples: 30,
+                cache_capacity: 16,
+            })
+            .seed(9)
+            .build();
+        let env = cfg.build_env();
+        assert_eq!(env.n_devices(), 50);
+        assert_eq!(
+            env.data.shards_realised(),
+            0,
+            "construction realises nothing"
+        );
+        // Metadata is free; realisation happens only on shard access.
+        let hist = env.class_histogram(7);
+        assert_eq!(hist.iter().sum::<usize>(), env.shard_len(7));
+        assert_eq!(env.data.shards_realised(), 0);
+        let shard = env.shard(7);
+        assert_eq!(shard.class_histogram(), hist);
+        assert_eq!(env.data.shards_realised(), 1);
+        // The test split is non-empty and deterministic across builds.
+        assert!(!env.test.is_empty());
+        assert_eq!(env.test.x.data(), cfg.build_env().test.x.data());
+        // Latencies come from the lazy profile source, same stream both builds.
+        assert_eq!(env.latency(23), cfg.build_env().latency(23));
     }
 
     #[test]
@@ -438,8 +561,8 @@ mod tests {
         // Dynamics ride on their own seed stream: base profiles, data and
         // partition are unchanged relative to the static config.
         let static_env = base().build_env();
-        for (a, b) in static_env.profiles.iter().zip(&env.profiles) {
-            assert_eq!(a.train_time, b.train_time);
+        for d in 0..5 {
+            assert_eq!(static_env.latency(d), env.latency(d));
         }
     }
 }

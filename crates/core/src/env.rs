@@ -1,26 +1,35 @@
 //! The simulated federated environment shared by all algorithms.
 
+use std::collections::HashMap;
 use std::sync::Mutex;
 
-use fedhisyn_data::Dataset;
+use fedhisyn_data::{DataSource, Dataset, ShardRef};
 use fedhisyn_fleet::FleetModel;
 use fedhisyn_nn::{wire, ModelSpec, ParamVec, SgdConfig};
-use fedhisyn_simnet::{DeviceProfile, LinkModel, TrafficMeter};
+use fedhisyn_simnet::{LinkModel, TrafficMeter};
 use fedhisyn_telemetry::TelemetrySink;
 
 use crate::engine::ExecMode;
+
+/// Lock shards in an enabled [`MomentumBank`] (device id modulo).
+const BANK_SHARDS: usize = 64;
 
 /// Per-device SGD momentum state persisted across ring hops and rounds —
 /// the opt-in extension experiment the paper-faithful default disables
 /// (where every `local_train` call starts from zero velocity).
 ///
-/// Devices train concurrently but each device trains in at most one ring
-/// position at a time, so a per-device mutex is uncontended; `take`/`store`
-/// move the buffer rather than cloning it.
+/// Storage is a fixed number of lock-sharded maps keyed by device id, so
+/// an enabled bank costs O(devices actually trained) — O(cohort) per
+/// round — not O(fleet): enabling it against a million-device fleet no
+/// longer allocates a million mutex slots. Devices train concurrently
+/// but each device trains in at most one ring position at a time, so a
+/// shard mutex is only contended between different devices that happen
+/// to collide; `take`/`store` move the buffer rather than cloning it.
 #[derive(Debug, Default)]
 pub struct MomentumBank {
-    /// One slot per device; an empty vector means the bank is disabled.
-    slots: Vec<Mutex<Option<ParamVec>>>,
+    /// Lock-sharded `device → velocity` maps; an empty vector means the
+    /// bank is disabled.
+    shards: Vec<Mutex<HashMap<usize, ParamVec>>>,
 }
 
 impl MomentumBank {
@@ -29,16 +38,19 @@ impl MomentumBank {
         MomentumBank::default()
     }
 
-    /// An enabled bank with one (initially empty) slot per device.
-    pub fn new(n_devices: usize) -> Self {
+    /// An enabled bank. O(1) to construct regardless of fleet size;
+    /// memory grows only with devices that actually store state.
+    pub fn new() -> Self {
         MomentumBank {
-            slots: (0..n_devices).map(|_| Mutex::new(None)).collect(),
+            shards: (0..BANK_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 
     /// Whether velocity persistence is active.
     pub fn enabled(&self) -> bool {
-        !self.slots.is_empty()
+        !self.shards.is_empty()
     }
 
     /// Check out `device`'s velocity (None when disabled or not yet
@@ -47,7 +59,10 @@ impl MomentumBank {
         if !self.enabled() {
             return None;
         }
-        self.slots[device].lock().unwrap().take()
+        self.shards[device % BANK_SHARDS]
+            .lock()
+            .unwrap()
+            .remove(&device)
     }
 
     /// Return `device`'s velocity after a training step. No-op when the
@@ -57,7 +72,10 @@ impl MomentumBank {
             return;
         }
         if let Some(v) = velocity {
-            *self.slots[device].lock().unwrap() = Some(v);
+            self.shards[device % BANK_SHARDS]
+                .lock()
+                .unwrap()
+                .insert(device, v);
         }
     }
 }
@@ -73,13 +91,15 @@ impl MomentumBank {
 pub struct FlEnv {
     /// Model architecture every device instantiates.
     pub spec: ModelSpec,
-    /// Private training shard of each device (index = device id).
-    pub device_data: Vec<Dataset>,
+    /// Private training shards, dense (one materialised [`Dataset`] per
+    /// device) or lazily realised on demand from a pure plan — see
+    /// [`DataSource`].
+    pub data: DataSource,
+    /// Enrolled fleet size. Held explicitly so Lazy data mode never
+    /// needs an O(fleet) dense vector to answer [`FlEnv::n_devices`].
+    pub n_devices: usize,
     /// Global held-out test split.
     pub test: Dataset,
-    /// Per-device *base* local-training latency `t_i` (one local step =
-    /// `E` epochs over the device's shard).
-    pub profiles: Vec<DeviceProfile>,
     /// Time-varying fleet conditions layered on the base profiles:
     /// capacity multipliers, churn and mid-round failures. The default
     /// ([`FleetModel::static_fleet`]) short-circuits every query, keeping
@@ -124,9 +144,10 @@ pub struct FlEnv {
 }
 
 impl FlEnv {
-    /// Number of devices in the fleet.
+    /// Number of devices in the fleet. An explicit field — O(1) in both
+    /// data modes, never derived from a dense vector.
     pub fn n_devices(&self) -> usize {
-        self.device_data.len()
+        self.n_devices
     }
 
     /// Parameter count of the shared architecture.
@@ -134,16 +155,35 @@ impl FlEnv {
         self.spec.param_count()
     }
 
-    /// Base latency of device `id` (the static profile).
+    /// `device`'s private training shard. Dense mode borrows (free);
+    /// lazy mode returns a cache-resident realisation (an allocation-free
+    /// `Arc` bump on a hit).
+    pub fn shard(&self, device: usize) -> ShardRef<'_> {
+        self.data.shard(device)
+    }
+
+    /// `device`'s shard size without realising any features — O(1).
+    pub fn shard_len(&self, device: usize) -> usize {
+        self.data.shard_len(device)
+    }
+
+    /// `device`'s class histogram without realising any features —
+    /// O(classes). What label-aware clustering should consume.
+    pub fn class_histogram(&self, device: usize) -> Vec<usize> {
+        self.data.class_histogram(device)
+    }
+
+    /// Base latency of device `id` (the static profile, served by the
+    /// fleet's profile source).
     pub fn latency(&self, id: usize) -> f64 {
-        self.profiles[id].train_time
+        self.fleet.base_latency(id)
     }
 
     /// Effective latency of device `id` at `round`: the base profile
     /// scaled by the fleet's capacity multiplier (1.0 on a static fleet,
     /// so the static path is bit-identical to [`FlEnv::latency`]).
     pub fn latency_at(&self, id: usize, round: usize) -> f64 {
-        self.profiles[id].train_time_at(self.fleet.multiplier(id, round))
+        self.fleet.latency(id, round)
     }
 
     /// Whether device `id` is reachable at the start of `round`.
@@ -273,10 +313,10 @@ mod tests {
         );
         FlEnv {
             spec: ModelSpec::mlp(&[4, 4, 2]),
-            device_data: vec![mk(4), mk(6), mk(8)],
+            data: DataSource::Dense(vec![mk(4), mk(6), mk(8)]),
+            n_devices: 3,
             test: mk(10),
             fleet: FleetModel::static_fleet(&profiles),
-            profiles,
             link: LinkModel::zero(),
             meter: TrafficMeter::new(),
             local_epochs: 5,
@@ -350,7 +390,7 @@ mod tests {
 
     #[test]
     fn momentum_bank_moves_state_per_device() {
-        let bank = MomentumBank::new(2);
+        let bank = MomentumBank::new();
         assert!(bank.enabled());
         assert_eq!(bank.take(0), None);
         bank.store(0, Some(ParamVec::from_vec(vec![1.0, 2.0])));
@@ -358,6 +398,15 @@ mod tests {
         assert_eq!(bank.take(0).unwrap().as_slice(), &[1.0, 2.0]);
         assert_eq!(bank.take(0), None, "take moves the buffer out");
         assert_eq!(bank.take(1), None);
+        // Sharded storage is keyed, not indexed: ids far beyond any dense
+        // range work and colliding ids (device % shards) stay distinct.
+        bank.store(1_000_000, Some(ParamVec::from_vec(vec![9.0])));
+        bank.store(1_000_000 + BANK_SHARDS, Some(ParamVec::from_vec(vec![7.0])));
+        assert_eq!(bank.take(1_000_000).unwrap().as_slice(), &[9.0]);
+        assert_eq!(
+            bank.take(1_000_000 + BANK_SHARDS).unwrap().as_slice(),
+            &[7.0]
+        );
         let off = MomentumBank::disabled();
         assert!(!off.enabled());
         assert_eq!(off.take(0), None, "disabled bank ignores any device id");

@@ -240,7 +240,7 @@ impl FlAlgorithm for FedHiSyn {
                     continue;
                 }
                 let device = ring.order()[pos];
-                uploaded.push((model, env.device_data[device].len(), mean_time));
+                uploaded.push((model, env.shard_len(device), mean_time));
             }
         }
         env.charge_upload(uploaded.len() as f64);

@@ -52,7 +52,7 @@ pub mod topology;
 
 pub use aggregate::AggregationRule;
 pub use algorithm::{run_experiment, FlAlgorithm, RoundContext};
-pub use config::{ExperimentConfig, ExperimentConfigBuilder};
+pub use config::{DataMode, ExperimentConfig, ExperimentConfigBuilder};
 pub use engine::{ExecMode, ExecutionEngine};
 pub use env::{seed_mix, FlEnv, MomentumBank};
 pub use fedhisyn::FedHiSyn;

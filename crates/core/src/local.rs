@@ -29,7 +29,10 @@ pub fn local_train_owned(
     round: usize,
     salt: u64,
 ) -> ParamVec {
-    let data = &env.device_data[device];
+    // Dense mode borrows the shard; lazy mode pins the cache-resident
+    // realisation for the duration of the step (an `Arc` bump on a hit).
+    let shard = env.shard(device);
+    let data = &*shard;
     if data.is_empty() {
         return params;
     }
@@ -192,10 +195,10 @@ mod tests {
         let profiles = sample_latencies(4, HeterogeneityModel::Uniform { h: 4.0 }, 1.0, &mut rng);
         FlEnv {
             spec: ModelSpec::mlp(&[dim, 16, 10]),
-            device_data,
+            data: fedhisyn_data::DataSource::Dense(device_data),
+            n_devices: 4,
             test: fd.test,
             fleet: fedhisyn_fleet::FleetModel::static_fleet(&profiles),
-            profiles,
             link: LinkModel::zero(),
             meter: TrafficMeter::new(),
             local_epochs: 2,
@@ -273,8 +276,11 @@ mod tests {
     #[test]
     fn empty_device_returns_input() {
         let mut env = make_env();
-        env.device_data[3] =
-            Dataset::new(Tensor::zeros(vec![0, env.spec.input_dims()[0]]), vec![], 10);
+        let empty = Dataset::new(Tensor::zeros(vec![0, env.spec.input_dims()[0]]), vec![], 10);
+        match &mut env.data {
+            fedhisyn_data::DataSource::Dense(shards) => shards[3] = empty,
+            fedhisyn_data::DataSource::Lazy { .. } => unreachable!("test env is dense"),
+        }
         let init = env.spec.build(&mut rng_from_seed(0)).params();
         let out = local_train_plain(&env, 3, &init, 3, 0, 0);
         assert_eq!(out, init);

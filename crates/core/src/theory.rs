@@ -54,13 +54,14 @@ fn optimize_group(env: &FlEnv, members: &[usize], min_updates: usize, seed: u64)
     let mut sgd = Sgd::new(env.sgd);
     let updates_per_cycle: usize = members
         .iter()
-        .map(|&d| env.device_data[d].len().div_ceil(env.batch_size))
+        .map(|&d| env.shard_len(d).div_ceil(env.batch_size))
         .sum::<usize>()
         .max(1);
     let cycles = min_updates.div_ceil(updates_per_cycle).max(1);
     for e in 0..cycles {
         for &d in members {
-            let data = &env.device_data[d];
+            let shard = env.shard(d);
+            let data = &*shard;
             if data.is_empty() {
                 continue;
             }
@@ -80,7 +81,8 @@ fn optimize_group(env: &FlEnv, members: &[usize], min_updates: usize, seed: u64)
     let mut total = 0.0f64;
     let mut count = 0usize;
     for &d in members {
-        let data = &env.device_data[d];
+        let shard = env.shard(d);
+        let data = &*shard;
         if data.is_empty() {
             continue;
         }
@@ -102,12 +104,12 @@ fn optimize_group(env: &FlEnv, members: &[usize], min_updates: usize, seed: u64)
 /// mini-batch updates as `epochs` passes over the pooled data would take.
 pub fn estimate_gamma(env: &FlEnv, epochs: usize) -> GammaEstimate {
     let all: Vec<usize> = (0..env.n_devices()).collect();
-    let total_samples: usize = env.device_data.iter().map(|d| d.len()).sum();
+    let total_samples: usize = (0..env.n_devices()).map(|d| env.shard_len(d)).sum();
     let budget = epochs * total_samples.div_ceil(env.batch_size).max(1);
     let f_star = optimize_group(env, &all, budget, seed_mix(env.seed, 0xF0, 0, 0));
     let mut weighted = 0.0f64;
     for d in 0..env.n_devices() {
-        let n = env.device_data[d].len();
+        let n = env.shard_len(d);
         if n == 0 {
             continue;
         }
@@ -130,13 +132,13 @@ pub fn estimate_ring_gamma(env: &FlEnv, classes: &[Vec<usize>], epochs: usize) -
     let total_samples: usize = classes
         .iter()
         .flat_map(|c| c.iter())
-        .map(|&d| env.device_data[d].len())
+        .map(|&d| env.shard_len(d))
         .sum();
     let budget = epochs * total_samples.div_ceil(env.batch_size).max(1);
     let f_star = optimize_group(env, &all, budget, seed_mix(env.seed, 0xF0, 0, 0));
     let mut weighted = 0.0f64;
     for (ci, class) in classes.iter().enumerate() {
-        let n: usize = class.iter().map(|&d| env.device_data[d].len()).sum();
+        let n: usize = class.iter().map(|&d| env.shard_len(d)).sum();
         if n == 0 {
             continue;
         }
@@ -159,7 +161,11 @@ pub fn pooled_loss(env: &FlEnv, params: &fedhisyn_nn::ParamVec) -> f32 {
     let mut model = build_model(env, 0, params);
     let mut total = 0.0f64;
     let mut count = 0usize;
-    for data in &env.device_data {
+    // Diagnostics over the whole federation are inherently O(fleet):
+    // meant for paper-scale (hundreds of devices) dense environments.
+    for d in 0..env.n_devices() {
+        let shard = env.shard(d);
+        let data = &*shard;
         if data.is_empty() {
             continue;
         }

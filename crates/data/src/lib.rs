@@ -22,10 +22,14 @@
 pub mod dataset;
 pub mod partition;
 pub mod profile;
+pub mod shard;
+pub mod source;
 pub mod stats;
 pub mod synth;
 
 pub use dataset::Dataset;
 pub use partition::{partition_indices, Partition};
 pub use profile::{DatasetProfile, Scale};
+pub use shard::{ShardCache, ShardPlan};
+pub use source::{DataSource, ShardRef};
 pub use synth::{FederatedDataset, SynthConfig};

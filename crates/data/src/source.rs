@@ -1,0 +1,201 @@
+//! The environment's view of device data: dense or lazily realised.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+use crate::dataset::Dataset;
+use crate::shard::{ShardCache, ShardPlan};
+
+/// Where device shards come from.
+///
+/// `Dense` is the historical path — every shard materialised up front,
+/// borrowed on access (bit-identical behaviour for all existing
+/// configurations, and still the zero-overhead choice at benchmark
+/// scale ≤ a few thousand devices). `Lazy` derives shards on demand
+/// from a [`ShardPlan`] behind a bounded [`ShardCache`], so per-round
+/// cost tracks the sampled cohort, never the enrolled fleet.
+#[derive(Debug)]
+pub enum DataSource {
+    /// One materialised shard per device.
+    Dense(Vec<Dataset>),
+    /// Shards realised on demand as pure functions of `(seed, device)`.
+    Lazy {
+        /// The pure per-device derivation.
+        plan: Arc<ShardPlan>,
+        /// Bounded LRU over realised shards, shared across workers.
+        cache: ShardCache,
+    },
+}
+
+/// A shard handle: borrowed from a dense vector or held alive by the
+/// shard cache. Derefs to [`Dataset`] either way.
+pub enum ShardRef<'a> {
+    /// Borrowed from [`DataSource::Dense`].
+    Borrowed(&'a Dataset),
+    /// Cache-resident realisation from [`DataSource::Lazy`].
+    Cached(Arc<Dataset>),
+}
+
+impl Deref for ShardRef<'_> {
+    type Target = Dataset;
+
+    fn deref(&self) -> &Dataset {
+        match self {
+            ShardRef::Borrowed(d) => d,
+            ShardRef::Cached(d) => d,
+        }
+    }
+}
+
+impl DataSource {
+    /// A lazy source over `plan` with a shard cache holding at most
+    /// `cache_capacity` realisations (size it to the per-round cohort).
+    pub fn lazy(plan: ShardPlan, cache_capacity: usize) -> Self {
+        DataSource::Lazy {
+            plan: Arc::new(plan),
+            cache: ShardCache::new(cache_capacity),
+        }
+    }
+
+    /// Number of devices the source covers.
+    pub fn n_devices(&self) -> usize {
+        match self {
+            DataSource::Dense(shards) => shards.len(),
+            DataSource::Lazy { plan, .. } => plan.n_devices(),
+        }
+    }
+
+    /// `device`'s shard. Dense: a borrow (free). Lazy: an `Arc` clone on
+    /// a cache hit (allocation-free), a realisation on a miss.
+    pub fn shard(&self, device: usize) -> ShardRef<'_> {
+        match self {
+            DataSource::Dense(shards) => ShardRef::Borrowed(&shards[device]),
+            DataSource::Lazy { plan, cache } => {
+                ShardRef::Cached(cache.get_or_realise(device, || plan.realise(device)))
+            }
+        }
+    }
+
+    /// `device`'s sample count without realising features — O(1).
+    pub fn shard_len(&self, device: usize) -> usize {
+        match self {
+            DataSource::Dense(shards) => shards[device].len(),
+            DataSource::Lazy { plan, .. } => plan.shard_len(device),
+        }
+    }
+
+    /// `device`'s class histogram without realising features —
+    /// O(classes). Exactly equals `shard(device).class_histogram()`.
+    pub fn class_histogram(&self, device: usize) -> Vec<usize> {
+        match self {
+            DataSource::Dense(shards) => shards[device].class_histogram(),
+            DataSource::Lazy { plan, .. } => plan.class_histogram(device),
+        }
+    }
+
+    /// The lazy plan, if any (bench/test hook for bit-identity checks).
+    pub fn plan(&self) -> Option<&ShardPlan> {
+        match self {
+            DataSource::Lazy { plan, .. } => Some(plan),
+            DataSource::Dense(_) => None,
+        }
+    }
+
+    /// Cumulative shards realised (0 for dense).
+    pub fn shards_realised(&self) -> u64 {
+        match self {
+            DataSource::Dense(_) => 0,
+            DataSource::Lazy { cache, .. } => cache.miss_count(),
+        }
+    }
+
+    /// Cumulative shard-cache hits (0 for dense).
+    pub fn shard_cache_hits(&self) -> u64 {
+        match self {
+            DataSource::Dense(_) => 0,
+            DataSource::Lazy { cache, .. } => cache.hit_count(),
+        }
+    }
+
+    /// Cumulative shard-cache evictions (0 for dense).
+    pub fn shard_cache_evictions(&self) -> u64 {
+        match self {
+            DataSource::Dense(_) => 0,
+            DataSource::Lazy { cache, .. } => cache.eviction_count(),
+        }
+    }
+
+    /// Bytes of cache-resident shard data (0 for dense — dense shards
+    /// are owned by the source itself, not a cache).
+    pub fn resident_shard_bytes(&self) -> u64 {
+        match self {
+            DataSource::Dense(_) => 0,
+            DataSource::Lazy { cache, .. } => cache.resident_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{InputKind, SynthConfig};
+
+    fn plan() -> ShardPlan {
+        ShardPlan::new(
+            SynthConfig {
+                classes: 4,
+                input: InputKind::Flat { dim: 6 },
+                train_per_class: 10,
+                test_per_class: 4,
+                separation: 2.0,
+                noise: 1.0,
+                seed: 11,
+            },
+            32,
+            0.5,
+            8,
+            24,
+        )
+    }
+
+    #[test]
+    fn lazy_source_matches_dense_materialisation() {
+        let p = plan();
+        let dense = DataSource::Dense(p.realise_all());
+        let lazy = DataSource::lazy(p, 64);
+        assert_eq!(dense.n_devices(), lazy.n_devices());
+        for d in 0..dense.n_devices() {
+            let a = dense.shard(d);
+            let b = lazy.shard(d);
+            assert_eq!(a.x.data(), b.x.data(), "device {d}");
+            assert_eq!(a.y, b.y, "device {d}");
+            assert_eq!(dense.shard_len(d), lazy.shard_len(d));
+            assert_eq!(dense.class_histogram(d), lazy.class_histogram(d));
+        }
+    }
+
+    #[test]
+    fn histograms_and_lengths_need_no_realisation() {
+        let lazy = DataSource::lazy(plan(), 64);
+        for d in 0..lazy.n_devices() {
+            let h = lazy.class_histogram(d);
+            assert_eq!(h.iter().sum::<usize>(), lazy.shard_len(d));
+        }
+        assert_eq!(lazy.shards_realised(), 0, "metadata queries must be free");
+    }
+
+    #[test]
+    fn counters_track_cache_behaviour() {
+        let lazy = DataSource::lazy(plan(), 64);
+        let _ = lazy.shard(3);
+        let _ = lazy.shard(3);
+        let _ = lazy.shard(5);
+        assert_eq!(lazy.shards_realised(), 2);
+        assert_eq!(lazy.shard_cache_hits(), 1);
+        assert!(lazy.resident_shard_bytes() > 0);
+        let dense = DataSource::Dense(plan().realise_all());
+        let _ = dense.shard(0);
+        assert_eq!(dense.shards_realised(), 0);
+        assert_eq!(dense.resident_shard_bytes(), 0);
+    }
+}

@@ -90,6 +90,15 @@ impl SynthConfig {
         }
     }
 
+    /// The class prototypes this config generates — the exact draws
+    /// [`SynthConfig::generate`] starts from, exposed so a lazy
+    /// [`crate::ShardPlan`] can share them without materialising the
+    /// pooled splits.
+    pub fn class_prototypes(&self) -> Vec<Vec<f32>> {
+        let mut rng = rng_from_seed(self.seed);
+        self.prototypes(&mut rng)
+    }
+
     /// One prototype per class, each of norm `separation`.
     fn prototypes<R: Rng>(&self, rng: &mut R) -> Vec<Vec<f32>> {
         let d = self.total_input_dim();
@@ -124,7 +133,12 @@ impl SynthConfig {
             .collect()
     }
 
-    fn sample_split<R: Rng>(&self, protos: &[Vec<f32>], per_class: usize, rng: &mut R) -> Dataset {
+    pub(crate) fn sample_split<R: Rng>(
+        &self,
+        protos: &[Vec<f32>],
+        per_class: usize,
+        rng: &mut R,
+    ) -> Dataset {
         let d = self.total_input_dim();
         let n = per_class * self.classes;
         let mut data = vec![0.0f32; n * d];

@@ -46,6 +46,15 @@ pub struct RoundTelemetry {
     pub fleet_realised_state_bytes: u64,
     /// Cumulative fleet shard queries after this round (best-effort).
     pub fleet_shard_touches: u64,
+    /// Cumulative data shards realised (lazy data plane) after this
+    /// round (best-effort; 0 in dense mode).
+    pub data_shards_realised: u64,
+    /// Cumulative shard-cache hits after this round (best-effort; 0 in
+    /// dense mode).
+    pub data_shard_cache_hits: u64,
+    /// Bytes of cache-resident realised shard data after this round
+    /// (best-effort; 0 in dense mode).
+    pub data_resident_shard_bytes: u64,
 }
 
 impl PartialEq for RoundTelemetry {
@@ -100,11 +109,16 @@ mod tests {
             fleet_realised_devices: 16,
             fleet_realised_state_bytes: 2048,
             fleet_shard_touches: 64,
+            data_shards_realised: 32,
+            data_shard_cache_hits: 128,
+            data_resident_shard_bytes: 65536,
         };
         let v = t.to_value();
         let back = RoundTelemetry::from_value(&v).expect("round trip");
         assert_eq!(t, back);
         assert_eq!(back.cache_hits, 4);
         assert_eq!(back.arena_high_water_bytes, 8192);
+        assert_eq!(back.data_shards_realised, 32);
+        assert_eq!(back.data_resident_shard_bytes, 65536);
     }
 }

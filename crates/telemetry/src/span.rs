@@ -167,6 +167,12 @@ pub struct RuntimeGauges {
     pub fleet_realised_state_bytes: u64,
     /// Cumulative fleet shard queries.
     pub fleet_shard_touches: u64,
+    /// Cumulative data shards realised (lazy data plane).
+    pub data_shards_realised: u64,
+    /// Cumulative shard-cache hits (lazy data plane).
+    pub data_shard_cache_hits: u64,
+    /// Bytes of cache-resident realised shard data.
+    pub data_resident_shard_bytes: u64,
 }
 
 #[derive(Debug)]
@@ -198,6 +204,9 @@ struct WellKnownGauges {
     fleet_realised_devices: GaugeId,
     fleet_realised_state_bytes: GaugeId,
     fleet_shard_touches: GaugeId,
+    data_shards_realised: GaugeId,
+    data_shard_cache_hits: GaugeId,
+    data_resident_shard_bytes: GaugeId,
 }
 
 /// Backing store behind an enabled [`TelemetrySink`].
@@ -241,6 +250,9 @@ impl Telemetry {
                 fleet_realised_devices: registry.register_gauge("fleet.realised_devices"),
                 fleet_realised_state_bytes: registry.register_gauge("fleet.realised_state_bytes"),
                 fleet_shard_touches: registry.register_gauge("fleet.shard_touches"),
+                data_shards_realised: registry.register_gauge("data.shards_realised"),
+                data_shard_cache_hits: registry.register_gauge("data.shard_cache_hits"),
+                data_resident_shard_bytes: registry.register_gauge("data.resident_shard_bytes"),
             },
         };
         Telemetry {
@@ -433,6 +445,12 @@ impl TelemetrySink {
                 .gauge_set(ids.fleet_realised_state_bytes, g.fleet_realised_state_bytes);
             t.registry
                 .gauge_set(ids.fleet_shard_touches, g.fleet_shard_touches);
+            t.registry
+                .gauge_set(ids.data_shards_realised, g.data_shards_realised);
+            t.registry
+                .gauge_set(ids.data_shard_cache_hits, g.data_shard_cache_hits);
+            t.registry
+                .gauge_set(ids.data_resident_shard_bytes, g.data_resident_shard_bytes);
         }
     }
 }

@@ -57,10 +57,10 @@ pub mod prelude {
     pub use fedhisyn_baselines::{FedAT, FedAvg, FedProx, Scaffold, TAFedAvg, TFedAvg};
     pub use fedhisyn_core::decentral::{DecentralMode, DecentralSim};
     pub use fedhisyn_core::{
-        run_experiment, AggregationRule, ExperimentConfig, FedHiSyn, FlAlgorithm, FlEnv, RingOrder,
-        RoundContext, RoundRecord, RunRecord,
+        run_experiment, AggregationRule, DataMode, ExperimentConfig, FedHiSyn, FlAlgorithm, FlEnv,
+        RingOrder, RoundContext, RoundRecord, RunRecord,
     };
-    pub use fedhisyn_data::{Dataset, DatasetProfile, Partition, Scale};
+    pub use fedhisyn_data::{DataSource, Dataset, DatasetProfile, Partition, Scale, ShardPlan};
     pub use fedhisyn_fleet::{
         AvailabilityModel, CapacityModel, FailurePolicy, FleetDynamics, MarkovCapacity, SpikeModel,
     };

@@ -87,10 +87,10 @@ fn tiny_env() -> FlEnv {
     let profiles = sample_latencies(2, HeterogeneityModel::Homogeneous, 1.0, &mut rng);
     FlEnv {
         spec: ModelSpec::mlp(&[32, 24, 10]),
-        device_data: vec![shard.clone(), shard],
+        data: fedhisyn::prelude::DataSource::Dense(vec![shard.clone(), shard]),
+        n_devices: 2,
         test,
         fleet: fedhisyn::fleet::FleetModel::static_fleet(&profiles),
-        profiles,
         link: LinkModel::zero(),
         meter: TrafficMeter::new(),
         local_epochs: 1,
@@ -345,6 +345,58 @@ fn telemetry_recording_is_allocation_free() {
     let t = tiny.telemetry().expect("enabled");
     assert_eq!(t.events().len(), 8, "buffer never grows past capacity");
     assert_eq!(t.dropped(), 249);
+}
+
+/// Lazy data-plane steady state: once a cohort's shards are
+/// cache-resident, every fetch is a mutex lock, a map probe and an `Arc`
+/// refcount bump — no heap traffic — and `shard_len` stays a pure hash.
+/// This is what makes steady-state Cached rounds over a lazy fleet as
+/// allocation-quiet as dense ones.
+#[test]
+fn lazy_shard_cache_hits_are_allocation_free() {
+    use fedhisyn::data::synth::InputKind;
+    use fedhisyn::data::{DataSource, ShardPlan, SynthConfig};
+
+    let plan = ShardPlan::new(
+        SynthConfig {
+            classes: 4,
+            input: InputKind::Flat { dim: 16 },
+            train_per_class: 8,
+            test_per_class: 4,
+            separation: 2.0,
+            noise: 1.0,
+            seed: 33,
+        },
+        256,
+        0.5,
+        8,
+        24,
+    );
+    let src = DataSource::lazy(plan, 8);
+    // Warm-up: realise the "cohort" into the cache.
+    for d in 0..8 {
+        let _ = src.shard(d);
+    }
+
+    assert_counter_wired();
+
+    let before = thread_allocs();
+    let mut acc = 0usize;
+    for _ in 0..4 {
+        for d in 0..8 {
+            let shard = src.shard(d);
+            acc += shard.len() + src.shard_len(d);
+        }
+    }
+    let steady_allocs = thread_allocs() - before;
+    assert_eq!(
+        steady_allocs, 0,
+        "steady-state lazy shard access performed {steady_allocs} heap allocations"
+    );
+    assert!(acc > 0);
+    assert_eq!(src.shards_realised(), 8);
+    assert_eq!(src.shard_cache_hits(), 4 * 8);
+    assert_eq!(src.shard_cache_evictions(), 0);
 }
 
 /// Fleet fast-path queries must stay off the heap: static-fleet point

@@ -1,0 +1,224 @@
+//! Lazy shard realisation vs dense materialisation of the same plan.
+//!
+//! The tentpole contract, mirroring `tests/fleet_lazy.rs`: realising a
+//! device's shard on demand is **bit-identical** to materialising every
+//! shard densely — for any plan geometry, any query order, and any
+//! interleaving of threads — while realisation work stays proportional
+//! to the devices actually trained, and eviction followed by
+//! re-realisation reproduces the exact same bytes.
+
+use std::sync::Arc;
+
+use fedhisyn::data::synth::InputKind;
+use fedhisyn::data::{DataSource, Dataset, ShardCache, ShardPlan, SynthConfig};
+use fedhisyn::prelude::{
+    run_experiment, DataMode, DatasetProfile, ExperimentConfig, FedHiSyn, Scale,
+};
+use proptest::prelude::*;
+
+fn plan(n: usize, classes: usize, beta: f64, seed: u64) -> ShardPlan {
+    ShardPlan::new(
+        SynthConfig {
+            classes,
+            input: InputKind::Flat { dim: 12 },
+            train_per_class: 10,
+            test_per_class: 5,
+            separation: 2.5,
+            noise: 1.0,
+            seed,
+        },
+        n,
+        beta,
+        6,
+        30,
+    )
+}
+
+fn assert_shard_identical(a: &Dataset, b: &Dataset, d: usize) {
+    assert_eq!(a.y, b.y, "labels of device {d}");
+    let bits = |t: &Dataset| t.x.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(a), bits(b), "features of device {d}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lazy_realisation_is_bit_identical_to_dense(
+        n in 1usize..40,
+        classes in 2usize..8,
+        beta in 0.1f64..5.0,
+        seed in 0u64..500,
+        cache_cap in 1usize..64,
+    ) {
+        let p = plan(n, classes, beta, seed);
+        let dense = DataSource::Dense(p.realise_all());
+        // Forward query order.
+        let fwd = DataSource::lazy(p.clone(), cache_cap);
+        for d in 0..n {
+            assert_shard_identical(&dense.shard(d), &fwd.shard(d), d);
+            prop_assert_eq!(dense.shard_len(d), fwd.shard_len(d));
+            prop_assert_eq!(dense.class_histogram(d), fwd.class_histogram(d));
+        }
+        // Reverse query order: cache state and realisation order must
+        // never leak into values — shards are pure functions of
+        // (seed, device).
+        let bwd = DataSource::lazy(p, cache_cap);
+        for d in (0..n).rev() {
+            assert_shard_identical(&dense.shard(d), &bwd.shard(d), d);
+        }
+    }
+
+    #[test]
+    fn histograms_from_the_mixture_match_realised_shards(
+        n in 1usize..30,
+        classes in 2usize..10,
+        beta in 0.05f64..10.0,
+        seed in 0u64..500,
+    ) {
+        // The O(classes) histogram (what clustering consumes) must agree
+        // exactly with the histogram of the realised features — and
+        // computing it must realise nothing.
+        let src = DataSource::lazy(plan(n, classes, beta, seed), 8);
+        for d in 0..n {
+            let hist = src.class_histogram(d);
+            prop_assert_eq!(hist.iter().sum::<usize>(), src.shard_len(d));
+            prop_assert_eq!(&hist, &src.shard(d).class_histogram(), "device {}", d);
+        }
+        prop_assert_eq!(src.shards_realised(), n as u64, "one realisation per device");
+    }
+
+    #[test]
+    fn eviction_and_rerealisation_are_bit_identical(
+        n in 8usize..40,
+        seed in 0u64..500,
+        walks in 1usize..4,
+    ) {
+        // A deliberately undersized cache (capacity 1 ⇒ one slot per
+        // lock shard) churns constantly; every access must still serve
+        // the exact dense bytes no matter how often a shard is evicted
+        // and re-realised.
+        let p = plan(n, 5, 0.4, seed);
+        let dense = p.realise_all();
+        let src = DataSource::lazy(p, 1);
+        for _ in 0..walks {
+            for (d, reference) in dense.iter().enumerate() {
+                assert_shard_identical(reference, &src.shard(d), d);
+            }
+        }
+        prop_assert!(src.shard_cache_evictions() > 0, "undersized cache must evict");
+    }
+}
+
+#[test]
+fn concurrent_interleaved_realisation_matches_dense() {
+    // Eight threads walk the devices in different strides against one
+    // shared lazy source; afterwards (and during), every shard matches
+    // the dense reference — thread timing must never leak into bytes.
+    let n = 48;
+    let p = plan(n, 6, 0.3, 91);
+    let dense = Arc::new(p.realise_all());
+    let lazy = Arc::new(DataSource::lazy(p, 16));
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let lazy = Arc::clone(&lazy);
+            let dense = Arc::clone(&dense);
+            std::thread::spawn(move || {
+                for i in 0..n * 3 {
+                    let d = (i * (t * 2 + 1)) % n;
+                    assert_shard_identical(&dense[d], &lazy.shard(d), d);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("realisation thread panicked");
+    }
+}
+
+#[test]
+fn cache_hits_return_the_resident_shard_without_realising() {
+    let p = plan(16, 4, 0.5, 7);
+    let cache = ShardCache::new(32);
+    let first = cache.get_or_realise(3, || p.realise(3));
+    let second = cache.get_or_realise(3, || panic!("hit must not realise"));
+    assert!(Arc::ptr_eq(&first, &second));
+    assert_eq!(cache.miss_count(), 1);
+    assert_eq!(cache.hit_count(), 1);
+}
+
+#[test]
+fn training_only_realises_the_cohort() {
+    // A 10k-device lazy fleet trained with cohort K=8: per-round shard
+    // realisations are bounded by the cohort, never the fleet.
+    let rounds = 3;
+    let cohort = 8;
+    let cfg = ExperimentConfig::builder(DatasetProfile::MnistLike)
+        .scale(Scale::Smoke)
+        .devices(10_000)
+        .data_mode(DataMode::Lazy {
+            beta: 0.3,
+            min_samples: 20,
+            max_samples: 40,
+            cache_capacity: 2 * cohort,
+        })
+        .cohort(cohort)
+        .local_epochs(1)
+        .rounds(rounds)
+        .seed(13)
+        .build();
+    let mut env = cfg.build_env();
+    let mut algo = FedHiSyn::new(&cfg, 4);
+    let rec = run_experiment(&mut algo, &mut env, rounds);
+    assert_eq!(rec.rounds.len(), rounds);
+    assert!(rec.rounds.iter().all(|r| r.participants == cohort));
+    let realised = env.data.shards_realised();
+    assert!(
+        realised <= (rounds * cohort) as u64,
+        "realised {realised} shards for {rounds} rounds of cohort {cohort}"
+    );
+    assert!(realised >= cohort as u64, "the first cohort must realise");
+    // The telemetry fold surfaces the same counters per round.
+    let last = rec.rounds.last().unwrap().telemetry;
+    assert_eq!(last.data_shards_realised, realised);
+}
+
+#[test]
+fn lazy_and_dense_runs_of_the_same_plan_are_bit_identical() {
+    // End-to-end FedHiSyn: a lazy env and a dense env materialised from
+    // the *same plan* (same fleet seeds, same test split) must produce
+    // bit-identical run records — accuracy, traffic, virtual time.
+    let cfg = ExperimentConfig::builder(DatasetProfile::MnistLike)
+        .scale(Scale::Smoke)
+        .devices(64)
+        .data_mode(DataMode::Lazy {
+            beta: 0.3,
+            min_samples: 15,
+            max_samples: 45,
+            cache_capacity: 16,
+        })
+        .cohort(10)
+        .local_epochs(1)
+        .rounds(2)
+        .seed(21)
+        .build();
+    let mut lazy_env = cfg.build_env();
+    let mut dense_env = cfg.build_env();
+    dense_env.data = DataSource::Dense(
+        dense_env
+            .data
+            .plan()
+            .expect("lazy mode carries a plan")
+            .realise_all(),
+    );
+    let lazy_rec = run_experiment(&mut FedHiSyn::new(&cfg, 4), &mut lazy_env, 2);
+    let dense_rec = run_experiment(&mut FedHiSyn::new(&cfg, 4), &mut dense_env, 2);
+    assert_eq!(lazy_rec, dense_rec, "lazy and dense training must agree");
+    assert!(dense_rec.final_accuracy() > 0.0);
+    assert_eq!(
+        dense_env.data.shards_realised(),
+        0,
+        "dense realises via cache never"
+    );
+    assert!(lazy_env.data.shards_realised() > 0);
+}

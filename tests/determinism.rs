@@ -61,12 +61,11 @@ fn environment_construction_is_deterministic() {
     let e2 = cfg(9).build_env();
     assert_eq!(e1.test.x.data(), e2.test.x.data());
     assert_eq!(e1.test.y, e2.test.y);
-    for (a, b) in e1.device_data.iter().zip(&e2.device_data) {
+    for d in 0..e1.n_devices() {
+        let (a, b) = (e1.shard(d), e2.shard(d));
         assert_eq!(a.y, b.y);
         assert_eq!(a.x.data(), b.x.data());
-    }
-    for (a, b) in e1.profiles.iter().zip(&e2.profiles) {
-        assert_eq!(a.train_time, b.train_time);
+        assert_eq!(e1.latency(d), e2.latency(d));
     }
 }
 

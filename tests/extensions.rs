@@ -161,7 +161,7 @@ fn quantity_skew_experiment_runs_end_to_end() {
         .seed(11)
         .build();
     let env = cfg.build_env();
-    let sizes: Vec<usize> = env.device_data.iter().map(|d| d.len()).collect();
+    let sizes: Vec<usize> = (0..env.n_devices()).map(|d| env.shard_len(d)).collect();
     let max = *sizes.iter().max().unwrap();
     let min = *sizes.iter().min().unwrap();
     assert!(

@@ -69,11 +69,9 @@ fn serialized_config_rebuilds_identical_environment() {
     let e1 = cfg.build_env();
     let e2 = back.build_env();
     assert_eq!(e1.test.x.data(), e2.test.x.data());
-    for (a, b) in e1.device_data.iter().zip(&e2.device_data) {
-        assert_eq!(a.y, b.y);
-    }
-    for (a, b) in e1.profiles.iter().zip(&e2.profiles) {
-        assert_eq!(a.train_time, b.train_time);
+    for d in 0..e1.n_devices() {
+        assert_eq!(e1.shard(d).y, e2.shard(d).y);
+        assert_eq!(e1.latency(d), e2.latency(d));
     }
 }
 
