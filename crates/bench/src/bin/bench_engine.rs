@@ -12,7 +12,8 @@
 //! trajectory against the recorded PR 2 baselines.
 //!
 //! Usage: `cargo run --release --bin bench_engine [--rounds N] [--gemm-only]
-//! [--cnn-only] [--fleet-scale [N]] [--train-scale [N]] [--trace <path>]`
+//! [--cnn-only] [--fleet-scale [N]] [--train-scale [N]] [--trace <path>]
+//! [--fault-smoke]`
 //!
 //! `--gemm-only` runs just the GEMM micro-benchmark; `--cnn-only` runs
 //! just the batched-vs-per-sample CNN step benchmark; `--fleet-scale [N]`
@@ -21,7 +22,11 @@
 //! [N]` runs end-to-end FedHiSyn training rounds over the lazy data plane
 //! at `N` devices (default 100 000) under the same peak-RSS budget;
 //! `--trace <path>` runs a short traced round loop and writes + validates
-//! a Perfetto-loadable Chrome trace.
+//! a Perfetto-loadable Chrome trace; `--fault-smoke` asserts the
+//! fault-injection transport contracts (none-plan bit-neutrality, lossy
+//! determinism across runs and exec modes, corruption detection,
+//! zero-alloc steady state with faults disabled, 1k-device churn+fault
+//! completion with visible retry bytes).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -37,7 +42,7 @@ use fedhisyn_nn::layers::{Conv2d, ConvExec, Dense, Flatten, MaxPool2d, Relu};
 use fedhisyn_nn::{
     evaluate_arena, sgd_epoch, sgd_epoch_reference, ModelSpec, NoHook, Sequential, Sgd, SgdConfig,
 };
-use fedhisyn_simnet::{HeterogeneityModel, ProfileSource};
+use fedhisyn_simnet::{FaultConfig, HeterogeneityModel, ProfileSource};
 use fedhisyn_tensor::{
     active_tier, gemm, gemm_reference, gemm_with_tier, rng_from_seed, KernelTier, Tensor,
 };
@@ -251,6 +256,119 @@ struct EngineReport {
     churn: ChurnReport,
     fleet_scale: FleetScaleBench,
     train_scale: TrainScaleBench,
+    fault_sweep: FaultSweepBench,
+}
+
+#[derive(Debug, Serialize)]
+struct FaultSweepPoint {
+    /// Per-attempt frame loss probability injected on every ring edge.
+    loss: f64,
+    rounds: usize,
+    final_accuracy: f32,
+    /// All bytes put on the wire, retransmissions included.
+    wire_bytes: f64,
+    /// The overhead share of that traffic: retry + duplicate frames.
+    retransmit_bytes: f64,
+    /// retransmit_bytes / wire_bytes — the headline overhead ratio.
+    retransmit_share: f64,
+    /// Two fresh runs under the same seed must replay bit-for-bit:
+    /// the fault schedule is a pure function of (seed, round, edge,
+    /// attempt), never of thread timing.
+    deterministic: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct FaultSweepBench {
+    workload: String,
+    points: Vec<FaultSweepPoint>,
+}
+
+/// The engine workload with a deterministic lossy-wire fault plan.
+/// `loss = 0` leaves the plan out entirely (the bit-neutral fast path).
+fn fault_workload(rounds: usize, loss: f64) -> ExperimentConfig {
+    let mut b = ExperimentConfig::builder(DatasetProfile::MnistLike)
+        .scale(Scale::Smoke)
+        .devices(100)
+        .partition(Partition::Dirichlet { beta: 0.1 })
+        .local_epochs(1)
+        .rounds(rounds)
+        .seed(2022);
+    if loss > 0.0 {
+        b = b.faults(FaultConfig::lossy(loss));
+    }
+    b.build()
+}
+
+/// Loss-rate sweep: accuracy × wire-byte overhead at increasing frame
+/// loss, each point determinism-checked against a fresh replay.
+fn bench_fault_sweep(rounds: usize) -> FaultSweepBench {
+    let points = [0.0, 0.05, 0.15, 0.30]
+        .iter()
+        .map(|&loss| {
+            let cfg = fault_workload(rounds, loss);
+            let run = || {
+                let mut env = cfg.build_env();
+                let mut algo = FedHiSyn::new(&cfg, K);
+                let rec = run_experiment(&mut algo, &mut env, rounds);
+                let traffic = env.meter.snapshot();
+                (rec, traffic)
+            };
+            let (rec, traffic) = run();
+            let (replay, replay_traffic) = run();
+            FaultSweepPoint {
+                loss,
+                rounds,
+                final_accuracy: rec.final_accuracy(),
+                wire_bytes: traffic.wire_bytes,
+                retransmit_bytes: traffic.retransmit_bytes,
+                retransmit_share: traffic.retransmit_bytes / traffic.wire_bytes.max(1e-12),
+                deterministic: rec == replay && traffic == replay_traffic,
+            }
+        })
+        .collect();
+    FaultSweepBench {
+        workload: "smoke MNIST-like MLP, 100 devices, Dirichlet(0.1), K=10, lossy wire".into(),
+        points,
+    }
+}
+
+fn print_fault_sweep(fs: &FaultSweepBench) {
+    println!("\n== fault sweep: loss rate x accuracy x wire overhead ==");
+    for p in &fs.points {
+        println!(
+            "  loss {:>4.0}%: acc {:>5.1}%  wire {:>12.0} B  retransmit {:>12.0} B \
+             ({:>4.1}% overhead, deterministic: {})",
+            p.loss * 100.0,
+            p.final_accuracy * 100.0,
+            p.wire_bytes,
+            p.retransmit_bytes,
+            p.retransmit_share * 100.0,
+            p.deterministic
+        );
+        assert!(
+            p.deterministic,
+            "fault sweep at loss {} diverged between identical seeded runs — \
+             the fault schedule is not a pure function of the seed",
+            p.loss
+        );
+        assert!(
+            p.final_accuracy.is_finite(),
+            "corrupted or lost frames leaked into training at loss {}",
+            p.loss
+        );
+    }
+    // Overhead must be monotone in the loss floor: more injected loss
+    // means more retry frames on the wire, never fewer.
+    for w in fs.points.windows(2) {
+        assert!(
+            w[1].retransmit_bytes >= w[0].retransmit_bytes,
+            "retransmit bytes fell from {} to {} as loss rose {} -> {}",
+            w[0].retransmit_bytes,
+            w[1].retransmit_bytes,
+            w[0].loss,
+            w[1].loss
+        );
+    }
 }
 
 /// Linux peak resident set size (`VmHWM` in `/proc/self/status`), bytes;
@@ -1031,6 +1149,166 @@ fn print_gemm(gemm_results: &[GemmBench]) {
     }
 }
 
+/// The `--fault-smoke` CI gate: four transport contracts, each asserted.
+///
+/// 1. **Bit-neutrality** — an explicit `FaultConfig::none()` plan replays
+///    the exact `RunRecord` of a build with no plan at all.
+/// 2. **Determinism** — a nonzero fault schedule replays bit-identically
+///    across fresh runs *and* across execution modes (Cached/Reference).
+/// 3. **No corrupted params accepted** — a flipped byte in a wire frame is
+///    a typed decode error, and a corrupt-heavy run (checksum tripwire on)
+///    completes every round with finite accuracy.
+/// 4. **Zero-alloc steady state with faults disabled** — the arena
+///    training step still performs zero heap allocations; the fault
+///    machinery costs nothing when it is off.
+///
+/// Plus the scale criterion: the 1k-device churn workload under a lossy
+/// wire completes every round with retry bytes visible in telemetry.
+fn run_fault_smoke() {
+    println!("== fault smoke: deterministic fault-injection transport ==");
+
+    // 1. FaultPlan::none() is bit-neutral against the no-plan build.
+    let plain = fault_workload(2, 0.0);
+    let none_cfg = ExperimentConfig::builder(DatasetProfile::MnistLike)
+        .scale(Scale::Smoke)
+        .devices(100)
+        .partition(Partition::Dirichlet { beta: 0.1 })
+        .local_epochs(1)
+        .rounds(2)
+        .seed(2022)
+        .faults(FaultConfig::none())
+        .build();
+    let run = |cfg: &ExperimentConfig, mode: ExecMode| {
+        let mut env = cfg.build_env();
+        env.exec = mode;
+        let mut algo = FedHiSyn::new(cfg, K);
+        let rec = run_experiment(&mut algo, &mut env, cfg.rounds);
+        (rec, env.meter.snapshot())
+    };
+    let (rec_plain, traffic_plain) = run(&plain, ExecMode::Cached);
+    let (rec_none, traffic_none) = run(&none_cfg, ExecMode::Cached);
+    assert_eq!(
+        rec_plain, rec_none,
+        "FaultPlan::none() perturbed the run — the fault-free fast path is not bit-neutral"
+    );
+    assert_eq!(traffic_plain, traffic_none);
+    assert_eq!(
+        traffic_plain.retransmit_bytes, 0.0,
+        "a fault-free run charged retransmit bytes"
+    );
+    println!("  none-plan bit-neutrality: ok");
+
+    // 2. A nonzero schedule replays bit-identically across runs and modes.
+    let lossy = fault_workload(2, 0.15);
+    let (rec_a, traffic_a) = run(&lossy, ExecMode::Cached);
+    let (rec_b, traffic_b) = run(&lossy, ExecMode::Cached);
+    let (rec_ref, traffic_ref) = run(&lossy, ExecMode::Reference);
+    assert_eq!(
+        rec_a, rec_b,
+        "lossy run diverged between identical seeded runs"
+    );
+    assert_eq!(traffic_a, traffic_b);
+    assert_eq!(
+        rec_a, rec_ref,
+        "lossy run diverged between Cached and Reference execution modes"
+    );
+    assert_eq!(traffic_a, traffic_ref);
+    assert!(
+        traffic_a.retransmit_bytes > 0.0,
+        "15% loss over 2 rounds must put at least one retry frame on the wire"
+    );
+    println!(
+        "  lossy determinism (runs + exec modes): ok ({:.0} retransmit bytes)",
+        traffic_a.retransmit_bytes
+    );
+
+    // 3. Corruption is detected, never trained on.
+    {
+        use fedhisyn_nn::wire;
+        let params =
+            fedhisyn_nn::ParamVec::from_vec((0..64).map(|i| (i as f32) * 0.37 - 9.0).collect());
+        let mut frame = wire::encode(&params).to_vec();
+        let payload_byte = wire::HEADER_LEN + 5;
+        frame[payload_byte] ^= 0x40;
+        assert!(
+            wire::decode(&frame).is_err(),
+            "a flipped payload byte must fail the frame checksum"
+        );
+        // Flipping it back restores a valid frame (the checksum is content,
+        // not position, sensitive).
+        frame[payload_byte] ^= 0x40;
+        assert_eq!(
+            wire::decode(&frame).expect("restored frame decodes"),
+            params
+        );
+    }
+    let mut corrupt_faults = FaultConfig::none();
+    corrupt_faults.corrupt = 0.3;
+    let corrupt_cfg = ExperimentConfig::builder(DatasetProfile::MnistLike)
+        .scale(Scale::Smoke)
+        .devices(60)
+        .partition(Partition::Dirichlet { beta: 0.1 })
+        .local_epochs(1)
+        .rounds(2)
+        .seed(2022)
+        .wire_check(true)
+        .faults(corrupt_faults)
+        .build();
+    let (rec_corrupt, traffic_corrupt) = run(&corrupt_cfg, ExecMode::Cached);
+    assert_eq!(
+        rec_corrupt.rounds.len(),
+        2,
+        "corruption must never abort a round"
+    );
+    assert!(
+        rec_corrupt.final_accuracy().is_finite(),
+        "corrupted payloads leaked into aggregation"
+    );
+    assert!(traffic_corrupt.retransmit_bytes > 0.0);
+    println!("  corruption detected, zero corrupted params accepted: ok");
+
+    // 4. Zero-alloc steady state with faults disabled.
+    let step = bench_step();
+    assert!(
+        step.zero_alloc_steady_state,
+        "steady-state arena step allocated {} times with faults disabled",
+        step.steady_state_allocs
+    );
+    println!("  zero-alloc steady state with faults disabled: ok");
+
+    // 5. 1k-device churn + lossy wire: every round completes, retry bytes
+    //    visible, replay bit-identical.
+    let mut churn_cfg = churn_workload();
+    churn_cfg.faults = Some(FaultConfig::edge_wireless());
+    let (rec_churn, traffic_churn) = run(&churn_cfg, ExecMode::Cached);
+    let (rec_churn2, traffic_churn2) = run(&churn_cfg, ExecMode::Cached);
+    assert_eq!(
+        rec_churn.rounds.len(),
+        CHURN_ROUNDS,
+        "churn + faults must complete every round"
+    );
+    assert!(
+        traffic_churn.retransmit_bytes > 0.0,
+        "an edge-wireless 1k-device run must show retry bytes"
+    );
+    assert_eq!(rec_churn, rec_churn2);
+    assert_eq!(traffic_churn, traffic_churn2);
+    let retry_rounds: f64 = rec_churn
+        .rounds
+        .iter()
+        .map(|r| r.telemetry.retransmit_bytes)
+        .sum();
+    assert!(
+        (retry_rounds - traffic_churn.retransmit_bytes).abs() < 1e-6,
+        "per-round retransmit deltas must fold to the meter total"
+    );
+    println!(
+        "  1k-device churn + faults: ok ({} rounds, {:.0} retransmit bytes)",
+        rec_churn.rounds.len(),
+        traffic_churn.retransmit_bytes
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if let Some(path) = fedhisyn_bench::trace::trace_path_from_args() {
@@ -1051,6 +1329,12 @@ fn main() {
             record.final_accuracy() * 100.0,
             record.rounds.len()
         );
+        return;
+    }
+    if args.iter().any(|a| a == "--fault-smoke") {
+        // CI smoke: the transport fault-injection contracts, asserted
+        // without touching the recorded benchmark numbers.
+        run_fault_smoke();
         return;
     }
     if args.iter().any(|a| a == "--gemm-only") {
@@ -1131,6 +1415,7 @@ fn main() {
         bench_fleet_scale(FLEET_SCALE_DEVICES, FLEET_SCALE_ROUNDS, FLEET_SCALE_COHORT);
     let train_scale =
         bench_train_scale(TRAIN_SCALE_DEVICES, TRAIN_SCALE_ROUNDS, TRAIN_SCALE_COHORT);
+    let fault_sweep = bench_fault_sweep(2);
 
     let churn_cfg = churn_workload();
     let churn = ChurnReport {
@@ -1173,6 +1458,7 @@ fn main() {
         churn,
         fleet_scale,
         train_scale,
+        fault_sweep,
     };
 
     println!(
@@ -1245,6 +1531,7 @@ fn main() {
 
     print_fleet_scale(&report.fleet_scale);
     print_train_scale(&report.train_scale);
+    print_fault_sweep(&report.fault_sweep);
 
     match serde_json::to_string_pretty(&report) {
         Ok(json) => {

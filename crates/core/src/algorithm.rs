@@ -208,6 +208,7 @@ fn fold_round_telemetry(
         peer_transfers: after.peer_transfers - before.peer_transfers,
         parameters_moved: after.parameters_moved - before.parameters_moved,
         wire_bytes: after.wire_bytes - before.wire_bytes,
+        retransmit_bytes: after.retransmit_bytes - before.retransmit_bytes,
         cache_hits: hits.saturating_sub(cache_before.0),
         cache_misses: misses.saturating_sub(cache_before.1),
         weight_packs,
@@ -267,6 +268,7 @@ mod tests {
             exec: crate::engine::ExecMode::default(),
             momentum: crate::env::MomentumBank::disabled(),
             wire_check: false,
+            faults: fedhisyn_simnet::FaultPlan::none(),
             cohort: None,
             telemetry: fedhisyn_telemetry::TelemetrySink::disabled(),
         }

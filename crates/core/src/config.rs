@@ -6,7 +6,8 @@ use fedhisyn_data::{
 use fedhisyn_fleet::{FleetDynamics, FleetModel};
 use fedhisyn_nn::{ModelSpec, ParamVec, SgdConfig};
 use fedhisyn_simnet::{
-    sample_latencies, HeterogeneityModel, LinkModel, ProfileSource, TrafficMeter,
+    sample_latencies, FaultConfig, FaultPlan, HeterogeneityModel, LinkModel, ProfileSource,
+    TrafficMeter,
 };
 use fedhisyn_tensor::rng_from_seed;
 use serde::{Deserialize, Serialize};
@@ -88,6 +89,12 @@ pub struct ExperimentConfig {
     /// assert bit-identity — a serialization-drift tripwire for CI runs
     /// (off by default: it taxes each hop with an encode/decode).
     pub wire_check: bool,
+    /// Deterministic wire-fault injection on every ring relay: loss,
+    /// corruption, transient timeouts and duplicate deliveries, each hop
+    /// retried with bounded exponential backoff in virtual time. `None`
+    /// (the default) injects nothing and reproduces the fault-free build
+    /// bit-for-bit.
+    pub faults: Option<FaultConfig>,
     /// Server aggregation rule for FedHiSyn.
     pub aggregation: AggregationRule,
     /// Master seed (data, partition, participation, training order).
@@ -122,6 +129,7 @@ impl ExperimentConfig {
                 momentum: 0.0,
                 persist_momentum: false,
                 wire_check: false,
+                faults: None,
                 aggregation: AggregationRule::Uniform,
                 seed: 0,
                 model_override: None,
@@ -233,6 +241,13 @@ impl ExperimentConfig {
                 MomentumBank::disabled()
             },
             wire_check: self.wire_check,
+            // The fault plan derives from its own seed stream (like the
+            // fleet trajectory) so turning faults on never perturbs data,
+            // partition, latency or participation sampling.
+            faults: match &self.faults {
+                Some(cfg) => FaultPlan::new(seed_mix(self.seed, 0xFA017, 0, 0), cfg.clone()),
+                None => FaultPlan::none(),
+            },
             cohort: self.cohort,
             telemetry: fedhisyn_telemetry::TelemetrySink::disabled(),
         }
@@ -358,6 +373,13 @@ impl ExperimentConfigBuilder {
     /// (serialization-drift tripwire).
     pub fn wire_check(mut self, check: bool) -> Self {
         self.cfg.wire_check = check;
+        self
+    }
+
+    /// Inject deterministic wire faults on every ring relay.
+    pub fn faults(mut self, cfg: FaultConfig) -> Self {
+        cfg.validate();
+        self.cfg.faults = Some(cfg);
         self
     }
 

@@ -24,7 +24,10 @@ use fedhisyn_telemetry::{Phase, SpanCtx};
 
 use crate::env::{seed_mix, FlEnv};
 use crate::local::{evaluate_on_test, local_train_plain_owned};
-use crate::ring_sim::{simulate_ring_interval_traced, ReceivePolicy, RingStart, RingTrace};
+use crate::ring_sim::{
+    simulate_ring_interval_transport, ReceivePolicy, RingFaults, RingStart, RingTrace,
+    TransportStats,
+};
 use crate::topology::{Ring, RingOrder};
 
 /// A decentralized communication mode.
@@ -298,8 +301,9 @@ impl DecentralSim {
             failures: Vec<Option<f64>>,
             /// Moved into the relay by the parallel pass…
             start: Option<Vec<ParamVec>>,
-            /// …which stores the carry-over models and transfer count here.
-            done: Option<(Vec<ParamVec>, usize)>,
+            /// …which stores the carry-over models, transfer count and
+            /// transport-fault record here.
+            done: Option<(Vec<ParamVec>, usize, TransportStats)>,
         }
         let mut jobs: Vec<RingJob> = classes
             .iter()
@@ -338,11 +342,17 @@ impl DecentralSim {
         // One job per chunk: each worker gets exclusive `&mut` access, so
         // the start models move into the relay without any locking.
         let vt_base = self.virtual_time;
+        // Same deterministic fault plan as the federated path: pure in
+        // (seed, round, edge, attempt), shared read-only across workers.
+        let faults = env.faults_active().then_some(RingFaults {
+            plan: &env.faults,
+            round: round as u64,
+        });
         jobs.par_chunks_mut(1).enumerate().for_each(|(ci, chunk)| {
             let job = &mut chunk[0];
             let start = job.start.take().expect("each ring job runs exactly once");
             let ring_wall = env.telemetry.wall_start();
-            let out = simulate_ring_interval_traced(
+            let out = simulate_ring_interval_transport(
                 &job.ring,
                 &job.ring_lat,
                 &env.link,
@@ -351,12 +361,13 @@ impl DecentralSim {
                 policy,
                 failure_policy,
                 &job.failures,
-                RingTrace {
+                faults,
+                Some(RingTrace {
                     sink: &env.telemetry,
                     round: round as u32,
                     lane: ci as u32,
                     vt_base,
-                },
+                }),
                 |device, params, salt| {
                     let trained =
                         local_train_plain_owned(env, device, params, env.local_epochs, round, salt);
@@ -376,14 +387,22 @@ impl DecentralSim {
             // interval — this is what keeps models circulating when a
             // device only fits one step per interval. Dead positions
             // carry the model they held at the crash.
-            job.done = Some((out.next_models, out.transfers));
+            job.done = Some((out.next_models, out.transfers, out.transport));
         });
+        let mut transport_total = TransportStats::default();
         for job in jobs {
-            let (nexts, transfers) = job.done.expect("every ring job ran");
+            let (nexts, transfers, transport) = job.done.expect("every ring job ran");
             env.charge_peer(transfers as f64);
+            env.charge_retransmit(transport.retransmit_frames() as f64);
+            transport_total.absorb(&transport);
             for (&device, model) in job.ring.order().iter().zip(nexts) {
                 pool[device] = Some(model);
             }
+        }
+        if env.faults_active() {
+            // Decentral rings never rebuild proactively (no coordinator
+            // holds the fault scores), so the rebuild count is zero.
+            env.telemetry.add_transport(&transport_total.counters(0));
         }
         self.models = pool
             .into_iter()
@@ -599,6 +618,40 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn faulty_ring_rounds_complete_and_stay_deterministic() {
+        use fedhisyn_simnet::FaultConfig;
+        let run = || {
+            let env = ExperimentConfig::builder(DatasetProfile::MnistLike)
+                .scale(Scale::Smoke)
+                .devices(6)
+                .partition(Partition::Dirichlet { beta: 0.5 })
+                .heterogeneity(HeterogeneityModel::Uniform { h: 5.0 })
+                .faults(FaultConfig::edge_wireless())
+                .local_epochs(1)
+                .seed(13)
+                .build()
+                .build_env();
+            let mut sim = DecentralSim::new(
+                &env,
+                DecentralMode::ClusteredRings {
+                    k: 2,
+                    order: RingOrder::SmallToLarge,
+                    average: false,
+                },
+            );
+            for round in 0..2 {
+                sim.run_round(&env, round);
+            }
+            (sim.models().to_vec(), env.meter.snapshot())
+        };
+        let (models1, traffic1) = run();
+        let (models2, traffic2) = run();
+        assert_eq!(models1, models2, "fault schedules replay bit-identically");
+        assert_eq!(traffic1, traffic2);
+        assert!(models1.iter().all(|m| !m.is_empty()));
     }
 
     #[test]

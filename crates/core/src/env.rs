@@ -6,7 +6,7 @@ use std::sync::Mutex;
 use fedhisyn_data::{DataSource, Dataset, ShardRef};
 use fedhisyn_fleet::FleetModel;
 use fedhisyn_nn::{wire, ModelSpec, ParamVec, SgdConfig};
-use fedhisyn_simnet::{LinkModel, TrafficMeter};
+use fedhisyn_simnet::{FaultPlan, LinkModel, TrafficMeter};
 use fedhisyn_telemetry::TelemetrySink;
 
 use crate::engine::ExecMode;
@@ -129,6 +129,12 @@ pub struct FlEnv {
     /// the CI serialization-drift tripwire (off by default: it taxes each
     /// hop with an encode/decode).
     pub wire_check: bool,
+    /// Deterministic wire-fault plan governing every ring relay.
+    /// [`FaultPlan::none`] (the default) injects nothing and is
+    /// bit-identical to a build without the transport layer; a non-trivial
+    /// plan turns each hop into a retry-with-backoff loop in virtual time
+    /// (see `ring_sim::simulate_ring_interval_transport`).
+    pub faults: FaultPlan,
     /// When set, the runner samples a **fixed-size cohort** of this many
     /// online devices per round by streaming rejection sampling
     /// ([`fedhisyn_fleet::sample_online_cohort`]) — O(cohort) work, never
@@ -245,6 +251,21 @@ impl FlEnv {
             .record_peer(model_equivalents, self.param_count(), self.frame_bytes());
     }
 
+    /// Record `frames` retransmitted relay frames (retries + duplicate
+    /// copies). Charged to the byte ledgers only — the logical transfer
+    /// was already counted by [`FlEnv::charge_peer`].
+    pub fn charge_retransmit(&self, frames: f64) {
+        if frames > 0.0 {
+            self.meter
+                .record_retransmit(frames, self.param_count(), self.frame_bytes());
+        }
+    }
+
+    /// True when the environment's fault plan injects anything.
+    pub fn faults_active(&self) -> bool {
+        !self.faults.is_none()
+    }
+
     /// When [`FlEnv::wire_check`] is set, encode `params` into a wire
     /// frame, decode it back and assert bit-identity — catching any drift
     /// between in-memory models and the transfer format the byte
@@ -262,6 +283,10 @@ impl FlEnv {
             self.frame_bytes(),
             "wire frame size disagrees with the byte accounting"
         );
+        // The receive-side gate every relay hop runs: header + integrity
+        // checksum must verify before the payload is handed anywhere.
+        let verified = wire::verify_frame(&frame).expect("relay frame must verify");
+        assert_eq!(verified, params.len(), "verified count disagrees");
         let decoded = wire::decode(&frame).expect("relay frame must decode");
         assert!(
             decoded
@@ -326,6 +351,7 @@ mod tests {
             exec: ExecMode::default(),
             momentum: MomentumBank::disabled(),
             wire_check: false,
+            faults: FaultPlan::none(),
             cohort: None,
             telemetry: TelemetrySink::disabled(),
         }

@@ -1,5 +1,7 @@
 //! FedHiSyn — Algorithm 1 of the paper.
 
+use std::collections::HashMap;
+
 use fedhisyn_cluster::kmeans_1d;
 use fedhisyn_nn::ParamVec;
 use fedhisyn_telemetry::{Phase, SpanCtx};
@@ -12,9 +14,14 @@ use crate::config::ExperimentConfig;
 use crate::env::{seed_mix, FlEnv};
 use crate::local::local_train_plain_owned;
 use crate::ring_sim::{
-    simulate_ring_interval_traced, ReceivePolicy, RingOutcome, RingStart, RingTrace,
+    simulate_ring_interval_transport, ReceivePolicy, RingFaults, RingOutcome, RingStart, RingTrace,
+    TransportStats,
 };
 use crate::topology::{Ring, RingOrder};
+
+/// Scores below this are dropped from the EWMA map, keeping it sized to
+/// the devices that actually misbehave rather than the whole cohort.
+const FAULT_SCORE_FLOOR: f64 = 1e-3;
 
 /// The FedHiSyn algorithm.
 ///
@@ -35,8 +42,22 @@ pub struct FedHiSyn {
     /// What devices do with received models (the paper trains them
     /// directly).
     pub receive_policy: ReceivePolicy,
+    /// EWMA fault score at which a device becomes a *suspect*: before an
+    /// interval starts, its class ring is rebuilt with all suspects
+    /// demoted to the tail ([`Ring::build_with_suspects`]), so flaky
+    /// edges stop taxing the healthy head of the ring. Only consulted
+    /// when the environment's fault plan is active.
+    pub suspect_threshold: f64,
+    /// EWMA smoothing factor for per-device fault scores
+    /// (`score ← (1-α)·score + α·faults_observed_this_round`).
+    pub fault_alpha: f64,
     participation: f64,
     global: ParamVec,
+    /// Per-device EWMA of observed transport faults (losses +
+    /// corruptions + timeouts at that device's receiving edge). Keyed by
+    /// device id and pruned below [`FAULT_SCORE_FLOOR`], so it stays
+    /// O(flaky devices) — never O(fleet).
+    fault_scores: HashMap<usize, f64>,
 }
 
 impl FedHiSyn {
@@ -48,9 +69,18 @@ impl FedHiSyn {
             aggregation: cfg.aggregation,
             ring_order: RingOrder::SmallToLarge,
             receive_policy: ReceivePolicy::TrainReceived,
+            suspect_threshold: 2.0,
+            fault_alpha: 0.25,
             participation: cfg.participation,
             global: cfg.initial_params(),
+            fault_scores: HashMap::new(),
         }
+    }
+
+    /// Current EWMA fault score of `device` (0.0 when it has never been
+    /// observed misbehaving).
+    pub fn fault_score(&self, device: usize) -> f64 {
+        self.fault_scores.get(&device).copied().unwrap_or(0.0)
     }
 
     /// Current global model.
@@ -137,6 +167,9 @@ impl FlAlgorithm for FedHiSyn {
             ring_lat: Vec<f64>,
             failures: Vec<Option<f64>>,
             mean_time: f64,
+            /// ≥1 member was a transport suspect, so this ring's order
+            /// was proactively rebuilt around them.
+            rebuilt: bool,
         }
         let ring_seed = seed_mix(env.seed, round as u64, 0x1216, 0);
         let rings: Vec<ClassRing> = classes
@@ -146,7 +179,28 @@ impl FlAlgorithm for FedHiSyn {
                 let latencies: Vec<f64> =
                     members.iter().map(|&d| env.latency_at(d, round)).collect();
                 let mut rng = rng_from_seed(seed_mix(ring_seed, ci as u64, 0, 0));
-                let ring = Ring::build(members, &latencies, &env.link, self.ring_order, &mut rng);
+                // Proactive failure-aware rebuild: devices whose EWMA
+                // fault score crossed the threshold are demoted to the
+                // ring tail *before* the interval starts. With no
+                // suspects (every fault-free run) this is bit-identical
+                // to the plain `Ring::build`.
+                let suspects: Vec<bool> = if env.faults_active() && !self.fault_scores.is_empty() {
+                    members
+                        .iter()
+                        .map(|d| self.fault_score(*d) >= self.suspect_threshold)
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let rebuilt = suspects.iter().any(|&s| s);
+                let ring = Ring::build_with_suspects(
+                    members,
+                    &latencies,
+                    &env.link,
+                    self.ring_order,
+                    &mut rng,
+                    &suspects,
+                );
                 let ring_lat: Vec<f64> = ring
                     .order()
                     .iter()
@@ -166,14 +220,24 @@ impl FlAlgorithm for FedHiSyn {
                     ring_lat,
                     failures,
                     mean_time,
+                    rebuilt,
                 }
             })
             .collect();
+        let rebuilds = rings.iter().filter(|r| r.rebuilt).count() as u64;
 
         let global = &self.global;
         let policy = self.receive_policy;
         let failure_policy = env.fleet.dynamics().failure_policy;
         let vt_base = ctx.vt_base;
+        // Fault injection is a pure function of (seed, round, edge,
+        // attempt), so the same `RingFaults` context is shared across
+        // every parallel ring worker. `None` keeps the fault-free fast
+        // path allocation-free and bit-identical to prior builds.
+        let faults = env.faults_active().then_some(RingFaults {
+            plan: &env.faults,
+            round: round as u64,
+        });
         let outcomes: Vec<(RingOutcome, &Ring, f64)> = rings
             .par_iter()
             .enumerate()
@@ -183,12 +247,13 @@ impl FlAlgorithm for FedHiSyn {
                     ring_lat,
                     failures,
                     mean_time,
+                    rebuilt: _,
                 } = job;
                 let ring_wall = env.telemetry.wall_start();
                 // The round-start broadcast is *shared*: the relay copies
                 // the global lazily, once per position, instead of this
                 // call materialising `ring.len()` clones up front.
-                let outcome = simulate_ring_interval_traced(
+                let outcome = simulate_ring_interval_transport(
                     ring,
                     ring_lat,
                     &env.link,
@@ -197,12 +262,13 @@ impl FlAlgorithm for FedHiSyn {
                     policy,
                     failure_policy,
                     failures,
-                    RingTrace {
+                    faults,
+                    Some(RingTrace {
                         sink: &env.telemetry,
                         round: round as u32,
                         lane: ci as u32,
                         vt_base,
-                    },
+                    }),
                     |device, params, salt| {
                         let trained = local_train_plain_owned(
                             env,
@@ -233,8 +299,27 @@ impl FlAlgorithm for FedHiSyn {
         //    newest model (a mid-interval casualty cannot upload).
         let agg_wall = env.telemetry.wall_start();
         let mut uploaded: Vec<(ParamVec, usize, f64)> = Vec::with_capacity(s.len());
+        let mut transport_total = TransportStats::default();
         for (outcome, ring, mean_time) in outcomes {
             env.charge_peer(outcome.transfers as f64);
+            env.charge_retransmit(outcome.transport.retransmit_frames() as f64);
+            transport_total.absorb(&outcome.transport);
+            // EWMA fault score per receiving device (proactive-rebuild
+            // signal): score ← (1-α)·score + α·faults_observed. Scores
+            // below the floor are pruned so the map stays O(flaky
+            // devices) even across million-device fleets.
+            if env.faults_active() {
+                for (pos, &device) in ring.order().iter().enumerate() {
+                    let observed = outcome.transport.faults_at.get(pos).copied().unwrap_or(0);
+                    let old = self.fault_scores.get(&device).copied().unwrap_or(0.0);
+                    let score = (1.0 - self.fault_alpha) * old + self.fault_alpha * observed as f64;
+                    if score >= FAULT_SCORE_FLOOR {
+                        self.fault_scores.insert(device, score);
+                    } else {
+                        self.fault_scores.remove(&device);
+                    }
+                }
+            }
             for (pos, model) in outcome.final_models.into_iter().enumerate() {
                 if !outcome.alive[pos] {
                     continue;
@@ -242,6 +327,10 @@ impl FlAlgorithm for FedHiSyn {
                 let device = ring.order()[pos];
                 uploaded.push((model, env.shard_len(device), mean_time));
             }
+        }
+        if env.faults_active() {
+            env.telemetry
+                .add_transport(&transport_total.counters(rebuilds));
         }
         env.charge_upload(uploaded.len() as f64);
 
@@ -405,5 +494,102 @@ mod tests {
         let mut algo2 = FedHiSyn::new(&cfg, 3);
         let rec2 = run_experiment(&mut algo2, &mut env2, 3);
         assert_eq!(rec, rec2, "dynamic fleets must stay bit-reproducible");
+    }
+
+    fn faulty_config(seed: u64, faults: fedhisyn_simnet::FaultConfig) -> ExperimentConfig {
+        ExperimentConfig::builder(DatasetProfile::MnistLike)
+            .scale(Scale::Smoke)
+            .devices(8)
+            .partition(Partition::Dirichlet { beta: 0.5 })
+            .rounds(3)
+            .local_epochs(1)
+            .seed(seed)
+            .faults(faults)
+            .build()
+    }
+
+    #[test]
+    fn faulty_run_completes_every_round_and_charges_retransmits() {
+        let cfg = faulty_config(31, fedhisyn_simnet::FaultConfig::edge_wireless());
+        let mut env = cfg.build_env();
+        let mut algo = FedHiSyn::new(&cfg, 2);
+        let rec = run_experiment(&mut algo, &mut env, 3);
+        assert_eq!(rec.rounds.len(), 3, "faults must never abort a round");
+        assert!(algo.global().is_finite());
+        let retransmit: f64 = rec
+            .rounds
+            .iter()
+            .map(|r| r.telemetry.retransmit_bytes)
+            .sum();
+        assert!(
+            retransmit > 0.0,
+            "edge_wireless over 3 rounds should cost at least one retry frame"
+        );
+        // Retransmissions are wire overhead, not extra logical transfers:
+        // goodput accounting (peer_transfers) is unchanged by retries.
+        for r in &rec.rounds {
+            assert!(r.peer_transfers >= r.participants as f64);
+        }
+    }
+
+    #[test]
+    fn faulty_runs_are_bit_reproducible() {
+        let cfg = faulty_config(77, fedhisyn_simnet::FaultConfig::edge_wireless());
+        let mut env1 = cfg.build_env();
+        let mut a1 = FedHiSyn::new(&cfg, 2);
+        let r1 = run_experiment(&mut a1, &mut env1, 3);
+        let mut env2 = cfg.build_env();
+        let mut a2 = FedHiSyn::new(&cfg, 2);
+        let r2 = run_experiment(&mut a2, &mut env2, 3);
+        assert_eq!(r1, r2, "fault schedules are pure functions of the seed");
+    }
+
+    #[test]
+    fn fault_scores_accumulate_and_decay() {
+        let cfg = faulty_config(5, fedhisyn_simnet::FaultConfig::lossy(0.45));
+        let mut env = cfg.build_env();
+        let mut algo = FedHiSyn::new(&cfg, 2);
+        let _ = run_experiment(&mut algo, &mut env, 3);
+        // A 45% loss floor over three rounds of 8-device rings must leave
+        // at least one device with a nonzero EWMA score.
+        let scored: Vec<f64> = (0..8).map(|d| algo.fault_score(d)).collect();
+        assert!(
+            scored.iter().any(|&s| s > 0.0),
+            "heavy loss should mark at least one receiver, got {scored:?}"
+        );
+        assert!(scored.iter().all(|&s| s.is_finite()));
+    }
+
+    #[test]
+    fn fault_free_plans_leave_no_scores_and_never_rebuild() {
+        let (cfg, mut algo) = smoke_config(6, 2);
+        let mut env = cfg.build_env();
+        let _ = run_experiment(&mut algo, &mut env, 2);
+        assert!(
+            algo.fault_scores.is_empty(),
+            "fault-free runs must not allocate score state"
+        );
+    }
+
+    #[test]
+    fn suspect_threshold_triggers_proactive_rebuild() {
+        // Force certain loss so every receiver's score ratchets past the
+        // threshold fast, then check the demotion machinery engages
+        // (scores present, run still completes, record stays finite).
+        let mut faults = fedhisyn_simnet::FaultConfig::lossy(1.0);
+        faults.max_retries = 1;
+        let cfg = faulty_config(9, faults);
+        let mut env = cfg.build_env();
+        let mut algo = FedHiSyn::new(&cfg, 2);
+        algo.suspect_threshold = 0.2;
+        let rec = run_experiment(&mut algo, &mut env, 3);
+        assert_eq!(rec.rounds.len(), 3);
+        assert!(
+            (0..8).any(|d| algo.fault_score(d) >= algo.suspect_threshold),
+            "certain loss must push scores past the rebuild threshold"
+        );
+        // Every transfer gave up, so no foreign model was ever delivered;
+        // devices refine their own broadcast copy (Eq. 7) and still upload.
+        assert!(rec.rounds[2].uploads > 0.0);
     }
 }

@@ -208,6 +208,7 @@ mod tests {
             exec: ExecMode::default(),
             momentum: crate::env::MomentumBank::disabled(),
             wire_check: false,
+            faults: fedhisyn_simnet::FaultPlan::none(),
             cohort: None,
             telemetry: fedhisyn_telemetry::TelemetrySink::disabled(),
         }

@@ -26,8 +26,8 @@
 //! the algorithms plug in real SGD.
 
 use fedhisyn_nn::ParamVec;
-use fedhisyn_simnet::{EventQueue, LinkModel, SimTime};
-use fedhisyn_telemetry::{Phase, SpanCtx, TelemetrySink};
+use fedhisyn_simnet::{EventQueue, FaultKind, FaultPlan, LinkModel, SimTime};
+use fedhisyn_telemetry::{Phase, SpanCtx, TelemetrySink, TransportCounters};
 use serde::{Deserialize, Serialize};
 
 use crate::topology::Ring;
@@ -69,6 +69,96 @@ impl RingTrace<'_> {
             ),
             wall,
         );
+    }
+
+    /// Emit one retransmission-attempt span (a retry frame put on the
+    /// wire after a transport fault) covering `[now, now + delay]`.
+    fn attempt(&self, now: SimTime, delay: f64, dest_device: usize, seq: usize) {
+        let wall = self.sink.wall_start();
+        self.sink.span(
+            Phase::RelayAttempt,
+            self.round,
+            SpanCtx::device(self.lane, dest_device as u32, seq as u32),
+            (
+                self.vt_base + now.seconds(),
+                self.vt_base + now.seconds() + delay,
+            ),
+            wall,
+        );
+    }
+}
+
+/// Wire-fault context for one ring interval: which deterministic fault
+/// plan governs its edges and which federated round the draws are keyed
+/// to (the plan's fault function is pure in `(round, src, dst, attempt)`,
+/// so the same plan replays bit-identically at any thread count).
+#[derive(Debug, Clone, Copy)]
+pub struct RingFaults<'a> {
+    /// The experiment's fault plan.
+    pub plan: &'a FaultPlan,
+    /// Federated round index keying the per-edge draws.
+    pub round: u64,
+}
+
+/// Transport-fault accounting for one simulated ring interval.
+///
+/// All counters are deterministic (pure functions of the fault plan and
+/// the ring choreography). `Default` is the all-zero state with an empty
+/// `faults_at`, so the fault-free path allocates nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Retransmission attempts (frames re-sent after a fault).
+    pub retries: u64,
+    /// Frames rejected by the receiver's wire checksum.
+    pub corruptions_detected: u64,
+    /// Transient transport timeouts.
+    pub timeouts: u64,
+    /// Frames lost on the wire.
+    pub losses: u64,
+    /// Duplicate deliveries (the extra copy; harmless under the
+    /// newest-wins inbox, but it costs wire bytes).
+    pub duplicates: u64,
+    /// Transfers abandoned after exhausting the retry budget. The
+    /// receiver simply keeps refining its own model (Eq. 7) — the round
+    /// still completes.
+    pub giveups: u64,
+    /// Retry-triggering faults observed per *ring position* of the
+    /// receiving end (loss + corruption + timeout), the raw signal the
+    /// proactive rebuild's EWMA scores fold in. Empty when no faults
+    /// were active.
+    pub faults_at: Vec<u32>,
+}
+
+impl TransportStats {
+    /// Physical frames beyond the logical transfers: every retry plus
+    /// every duplicate copy. This is what callers charge to the traffic
+    /// meter's retransmit ledger.
+    pub fn retransmit_frames(&self) -> u64 {
+        self.retries + self.duplicates
+    }
+
+    /// Fold another ring's counters into this one (`faults_at` is
+    /// per-ring and is *not* merged — map it through the ring order
+    /// before aggregating across rings).
+    pub fn absorb(&mut self, other: &TransportStats) {
+        self.retries += other.retries;
+        self.corruptions_detected += other.corruptions_detected;
+        self.timeouts += other.timeouts;
+        self.losses += other.losses;
+        self.duplicates += other.duplicates;
+        self.giveups += other.giveups;
+    }
+
+    /// Project onto the telemetry counter set, tagging on the round's
+    /// proactive-rebuild count (which the relay cannot know).
+    pub fn counters(&self, rebuilds: u64) -> TransportCounters {
+        TransportCounters {
+            retries: self.retries,
+            corruptions_detected: self.corruptions_detected,
+            timeouts: self.timeouts,
+            giveups: self.giveups,
+            rebuilds,
+        }
     }
 }
 
@@ -121,6 +211,9 @@ pub struct RingOutcome {
     /// cannot upload; `final_models`/`next_models` hold their last-held
     /// model (or a placeholder) for decentralized carry-over.
     pub alive: Vec<bool>,
+    /// Wire-fault accounting for the interval (all zeroes, empty
+    /// `faults_at`, when no fault plan was active).
+    pub transport: TransportStats,
 }
 
 #[derive(Debug)]
@@ -230,6 +323,7 @@ where
         failure_policy,
         failures,
         None,
+        None,
         train,
     )
 }
@@ -264,10 +358,194 @@ where
         policy,
         failure_policy,
         failures,
+        None,
         Some(trace),
         train,
     )
 }
+
+/// The full transport entry point: [`simulate_ring_interval_traced`]
+/// plus deterministic wire faults on every relay hop.
+///
+/// Every hop becomes a bounded retry loop in virtual time: a lost,
+/// corrupted (checksum-rejected) or timed-out frame is retransmitted
+/// after an exponential backoff, up to the plan's retry budget; a
+/// transfer that exhausts the budget is *given up* — the receiver simply
+/// keeps refining its own model (Eq. 7), exactly the salvage semantics
+/// the [`FailurePolicy`] paths already guarantee, so the round always
+/// completes. Duplicated frames deliver twice (harmless under the
+/// newest-wins inbox, but both copies cost wire bytes).
+///
+/// Accounting: the *logical* transfer is counted in
+/// [`RingOutcome::transfers`] exactly as in the fault-free path (even
+/// when every attempt fails); the physical extras — retries and
+/// duplicate copies — are reported in [`RingOutcome::transport`] for the
+/// caller to charge to the retransmit ledger.
+///
+/// `faults: None` — or a plan for which [`FaultPlan::is_none`] holds —
+/// is bit- and allocation-identical to [`simulate_ring_interval_traced`].
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_ring_interval_transport<F>(
+    ring: &Ring,
+    latencies: &[f64],
+    link: &LinkModel,
+    start: RingStart<'_>,
+    interval: f64,
+    policy: ReceivePolicy,
+    failure_policy: FailurePolicy,
+    failures: &[Option<f64>],
+    faults: Option<RingFaults<'_>>,
+    trace: Option<RingTrace<'_>>,
+    train: F,
+) -> RingOutcome
+where
+    F: FnMut(usize, ParamVec, u64) -> ParamVec,
+{
+    sim_ring_impl(
+        ring,
+        latencies,
+        link,
+        start,
+        interval,
+        policy,
+        failure_policy,
+        failures,
+        faults,
+        trace,
+        train,
+    )
+}
+
+/// Everything one relay transmission needs to mutate, bundled so the
+/// three send sites (normal forward, dead-position re-forward, failure
+/// salvage) share one attempt loop without a dozen-argument call.
+struct Wire<'a, 'b> {
+    queue: &'a mut EventQueue<Event>,
+    faults: Option<&'a RingFaults<'b>>,
+    trace: &'a Option<RingTrace<'b>>,
+    transport: &'a mut TransportStats,
+    /// Per-source-position monotone frame cursor: every physical attempt
+    /// consumes one value, so the pure fault function sees a fresh
+    /// `(round, src, dst, attempt)` coordinate per frame regardless of
+    /// how many transmissions the edge carries.
+    sent: &'a mut [u64],
+    transfers: &'a mut usize,
+}
+
+impl Wire<'_, '_> {
+    /// Put `model` on the wire from ring position `src_pos` to `dst_pos`
+    /// at virtual time `now`. Fault-free this is exactly the historical
+    /// single `push_class` + hop span; under a fault plan it becomes the
+    /// bounded retry loop described on
+    /// [`simulate_ring_interval_transport`].
+    fn transmit(
+        &mut self,
+        ring: &Ring,
+        link: &LinkModel,
+        now: SimTime,
+        src_pos: usize,
+        dst_pos: usize,
+        model: ParamVec,
+    ) {
+        let src = ring.order()[src_pos];
+        let dst = ring.order()[dst_pos];
+        let delay = link.delay(src, dst).max(0.0);
+        let seq = *self.transfers;
+        *self.transfers += 1;
+
+        let Some(f) = self.faults else {
+            // Fault-free fast path: bit-identical to the pre-transport
+            // choreography (one arrival, one hop span, no extra state).
+            self.queue.push_class(
+                now + delay,
+                CLASS_ARRIVAL,
+                Event::Arrival {
+                    pos: dst_pos,
+                    model,
+                },
+            );
+            if let Some(tr) = self.trace {
+                tr.hop(now, delay, dst, seq);
+            }
+            return;
+        };
+
+        let cfg = f.plan.config();
+        let mut t = now;
+        for attempt in 0..=cfg.max_retries {
+            let kind = f
+                .plan
+                .fault(f.round, src as u64, dst as u64, self.sent[src_pos]);
+            self.sent[src_pos] += 1;
+            if attempt > 0 {
+                if let Some(tr) = self.trace {
+                    tr.attempt(t, delay, dst, self.transport.retries as usize);
+                }
+                self.transport.retries += 1;
+            }
+            match kind {
+                FaultKind::Delivered | FaultKind::Duplicated => {
+                    if kind == FaultKind::Duplicated {
+                        self.transport.duplicates += 1;
+                        self.queue.push_class(
+                            t + delay,
+                            CLASS_ARRIVAL,
+                            Event::Arrival {
+                                pos: dst_pos,
+                                model: model.clone(),
+                            },
+                        );
+                    }
+                    self.queue.push_class(
+                        t + delay,
+                        CLASS_ARRIVAL,
+                        Event::Arrival {
+                            pos: dst_pos,
+                            model,
+                        },
+                    );
+                    if let Some(tr) = self.trace {
+                        tr.hop(t, delay, dst, seq);
+                    }
+                    return;
+                }
+                FaultKind::Lost => {
+                    // The frame vanished in flight: the sender learns
+                    // nothing until its (implicit) ack window lapses,
+                    // then backs off.
+                    self.transport.losses += 1;
+                    self.transport.faults_at[dst_pos] += 1;
+                    t += cfg.backoff(attempt);
+                }
+                FaultKind::Corrupted => {
+                    // The frame crossed the wire but the receiver's
+                    // checksum rejected it — corruption is *detected*,
+                    // never trained on.
+                    self.transport.corruptions_detected += 1;
+                    self.transport.faults_at[dst_pos] += 1;
+                    t += delay + cfg.backoff(attempt);
+                }
+                FaultKind::TimedOut => {
+                    self.transport.timeouts += 1;
+                    self.transport.faults_at[dst_pos] += 1;
+                    t += cfg.timeout_delay + cfg.backoff(attempt);
+                }
+            }
+        }
+        // Retry budget exhausted: give the transfer up. No arrival is
+        // scheduled; the receiver keeps refining its own model (Eq. 7),
+        // so the interval still completes for every live position.
+        self.transport.giveups += 1;
+    }
+}
+
+// Arrivals sort before completions at the same instant so that a
+// zero-delay handoff between equal-latency devices lands in time for
+// the receiver's next step (see `EventQueue` docs). Failures sort
+// last: a step finishing at the crash instant still counts.
+const CLASS_ARRIVAL: u8 = 0;
+const CLASS_COMPLETION: u8 = 1;
+const CLASS_FAILURE: u8 = 2;
 
 #[allow(clippy::too_many_arguments)]
 fn sim_ring_impl<F>(
@@ -279,6 +557,7 @@ fn sim_ring_impl<F>(
     policy: ReceivePolicy,
     failure_policy: FailurePolicy,
     failures: &[Option<f64>],
+    faults: Option<RingFaults<'_>>,
     trace: Option<RingTrace<'_>>,
     mut train: F,
 ) -> RingOutcome
@@ -319,13 +598,16 @@ where
     let mut transfers = 0usize;
     let mut dead = vec![false; n];
 
-    // Arrivals sort before completions at the same instant so that a
-    // zero-delay handoff between equal-latency devices lands in time for
-    // the receiver's next step (see `EventQueue` docs). Failures sort
-    // last: a step finishing at the crash instant still counts.
-    const CLASS_ARRIVAL: u8 = 0;
-    const CLASS_COMPLETION: u8 = 1;
-    const CLASS_FAILURE: u8 = 2;
+    // Wire-fault state. A `None` context — or a plan with zero fault
+    // probabilities — must leave this path untouched: no allocation, no
+    // draws, bit-identical event choreography.
+    let fault_ctx = faults.filter(|f| !f.plan.is_none());
+    let mut transport = TransportStats::default();
+    let mut sent: Vec<u64> = Vec::new();
+    if fault_ctx.is_some() {
+        transport.faults_at = vec![0; n];
+        sent = vec![0; n];
+    }
 
     let mut queue: EventQueue<Event> = EventQueue::new();
     for (pos, &latency) in latencies.iter().enumerate() {
@@ -353,16 +635,15 @@ where
                     // hop on the wire) — or drop the model entirely.
                     if failure_policy == FailurePolicy::ForwardToSuccessor {
                         if let Some(succ) = next_live(ring, &dead, pos) {
-                            let delay = link.delay(ring.order()[pos], ring.order()[succ]).max(0.0);
-                            queue.push_class(
-                                now + delay,
-                                CLASS_ARRIVAL,
-                                Event::Arrival { pos: succ, model },
-                            );
-                            if let Some(tr) = &trace {
-                                tr.hop(now, delay, ring.order()[succ], transfers);
+                            Wire {
+                                queue: &mut queue,
+                                faults: fault_ctx.as_ref(),
+                                trace: &trace,
+                                transport: &mut transport,
+                                sent: &mut sent,
+                                transfers: &mut transfers,
                             }
-                            transfers += 1;
+                            .transmit(ring, link, now, pos, succ, model);
                         }
                     }
                     continue;
@@ -381,19 +662,22 @@ where
                 if let Some(held) = inbox[pos].take().or_else(|| working[pos].take()) {
                     if failure_policy == FailurePolicy::ForwardToSuccessor {
                         if let Some(succ) = next_live(ring, &dead, pos) {
-                            let delay = link.delay(ring.order()[pos], ring.order()[succ]).max(0.0);
-                            queue.push_class(
-                                now + delay,
-                                CLASS_ARRIVAL,
-                                Event::Arrival {
-                                    pos: succ,
-                                    model: held.clone(),
-                                },
-                            );
-                            if let Some(tr) = &trace {
-                                tr.hop(now, delay, ring.order()[succ], transfers);
+                            Wire {
+                                queue: &mut queue,
+                                faults: fault_ctx.as_ref(),
+                                trace: &trace,
+                                transport: &mut transport,
+                                sent: &mut sent,
+                                transfers: &mut transfers,
                             }
-                            transfers += 1;
+                            .transmit(
+                                ring,
+                                link,
+                                now,
+                                pos,
+                                succ,
+                                held.clone(),
+                            );
                         }
                     }
                     latest[pos] = held;
@@ -439,19 +723,22 @@ where
                 // keeps training.
                 if n > 1 {
                     if let Some(succ) = next_live(ring, &dead, pos) {
-                        let delay = link.delay(ring.order()[pos], ring.order()[succ]).max(0.0);
-                        queue.push_class(
-                            now + delay,
-                            CLASS_ARRIVAL,
-                            Event::Arrival {
-                                pos: succ,
-                                model: trained.clone(),
-                            },
-                        );
-                        if let Some(tr) = &trace {
-                            tr.hop(now, delay, ring.order()[succ], transfers);
+                        Wire {
+                            queue: &mut queue,
+                            faults: fault_ctx.as_ref(),
+                            trace: &trace,
+                            transport: &mut transport,
+                            sent: &mut sent,
+                            transfers: &mut transfers,
                         }
-                        transfers += 1;
+                        .transmit(
+                            ring,
+                            link,
+                            now,
+                            pos,
+                            succ,
+                            trained.clone(),
+                        );
                     }
                 }
 
@@ -505,6 +792,7 @@ where
         steps,
         transfers,
         alive: dead.iter().map(|&d| !d).collect(),
+        transport,
     }
 }
 
@@ -968,6 +1256,171 @@ mod tests {
         assert_eq!(a.steps, b.steps);
         assert_eq!(a.transfers, b.transfers);
         assert_eq!(a.alive, b.alive);
+    }
+
+    use fedhisyn_simnet::FaultConfig;
+
+    /// Run the transport entry point with no failures and no trace.
+    fn run_transport(latencies: &[f64], interval: f64, plan: &FaultPlan) -> RingOutcome {
+        let (ring, lat) = ring_of(latencies);
+        let n = latencies.len();
+        simulate_ring_interval_transport(
+            &ring,
+            &lat,
+            &LinkModel::zero(),
+            zero_start(n, n),
+            interval,
+            ReceivePolicy::TrainReceived,
+            FailurePolicy::ForwardToSuccessor,
+            &[],
+            Some(RingFaults { plan, round: 7 }),
+            None,
+            mock_train(n),
+        )
+    }
+
+    #[test]
+    fn none_plan_is_identical_to_the_faultless_path() {
+        let latencies = [1.0, 2.0, 3.0];
+        let plan = FaultPlan::none();
+        let with = run_transport(&latencies, 5.0, &plan);
+        let (ring, lat) = ring_of(&latencies);
+        let without = simulate_ring_interval(
+            &ring,
+            &lat,
+            &LinkModel::zero(),
+            zero_start(3, 3),
+            5.0,
+            ReceivePolicy::TrainReceived,
+            mock_train(3),
+        );
+        assert_eq!(with.final_models, without.final_models);
+        assert_eq!(with.next_models, without.next_models);
+        assert_eq!(with.steps, without.steps);
+        assert_eq!(with.transfers, without.transfers);
+        assert_eq!(with.transport, TransportStats::default());
+        assert!(
+            with.transport.faults_at.is_empty(),
+            "no fault state allocated"
+        );
+    }
+
+    #[test]
+    fn certain_loss_exhausts_retries_and_gives_up() {
+        let cfg = FaultConfig {
+            max_retries: 2,
+            ..FaultConfig::lossy(1.0)
+        };
+        let plan = FaultPlan::new(42, cfg);
+        let out = run_transport(&[1.0, 1.0], 3.0, &plan);
+        // Nothing ever arrives: both devices refine their own model only.
+        for (p, m) in out.final_models.iter().enumerate() {
+            assert_eq!(m.as_slice()[p] as usize, out.steps[p]);
+        }
+        // Every logical transfer is still counted, burned its full retry
+        // budget (1 + 2 attempts) and was given up.
+        let t = out.transfers as u64;
+        assert!(t > 0);
+        assert_eq!(out.transport.losses, 3 * t);
+        assert_eq!(out.transport.retries, 2 * t);
+        assert_eq!(out.transport.giveups, t);
+        assert_eq!(out.transport.retransmit_frames(), 2 * t);
+        assert_eq!(
+            out.transport
+                .faults_at
+                .iter()
+                .map(|&c| c as u64)
+                .sum::<u64>(),
+            3 * t
+        );
+    }
+
+    #[test]
+    fn certain_duplication_is_harmless_but_costs_frames() {
+        let cfg = FaultConfig {
+            duplicate: 1.0,
+            ..FaultConfig::none()
+        };
+        let plan = FaultPlan::new(42, cfg);
+        let dup = run_transport(&[1.0, 1.0, 2.0], 4.0, &plan);
+        let clean = run_transport(&[1.0, 1.0, 2.0], 4.0, &FaultPlan::none());
+        // The newest-wins inbox makes the duplicate copy invisible to
+        // training; only the frame accounting differs.
+        assert_eq!(dup.final_models, clean.final_models);
+        assert_eq!(dup.next_models, clean.next_models);
+        assert_eq!(dup.steps, clean.steps);
+        assert_eq!(dup.transfers, clean.transfers);
+        assert_eq!(dup.transport.duplicates, dup.transfers as u64);
+        assert_eq!(dup.transport.retransmit_frames(), dup.transfers as u64);
+        assert_eq!(dup.transport.giveups, 0);
+    }
+
+    #[test]
+    fn corruption_is_detected_never_delivered() {
+        let cfg = FaultConfig {
+            corrupt: 1.0,
+            max_retries: 1,
+            ..FaultConfig::none()
+        };
+        let plan = FaultPlan::new(9, cfg);
+        let out = run_transport(&[1.0, 1.0], 3.0, &plan);
+        // Every frame is rejected by the checksum: no foreign provenance
+        // ever enters a model.
+        for (p, m) in out.final_models.iter().enumerate() {
+            let foreign: f32 = m
+                .as_slice()
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != p)
+                .map(|(_, &x)| x)
+                .sum();
+            assert_eq!(foreign, 0.0, "corrupted payload must never be trained on");
+        }
+        let t = out.transfers as u64;
+        assert_eq!(out.transport.corruptions_detected, 2 * t);
+        assert_eq!(out.transport.giveups, t);
+    }
+
+    #[test]
+    fn drop_policy_survives_double_and_last_position_failure_under_loss() {
+        // Satellite edge case: two positions die (including the last ring
+        // position) under DropInFlight while the wire is lossy. The round
+        // must still complete, with the lone survivor training its full
+        // budget on its own lineage.
+        let (ring, lat) = ring_of(&[1.0, 1.0, 1.0]);
+        let plan = FaultPlan::new(3, FaultConfig::lossy(0.5));
+        let out = simulate_ring_interval_transport(
+            &ring,
+            &lat,
+            &LinkModel::zero(),
+            zero_start(3, 3),
+            4.0,
+            ReceivePolicy::TrainReceived,
+            FailurePolicy::DropInFlight,
+            &[None, Some(0.5), Some(1.5)],
+            Some(RingFaults {
+                plan: &plan,
+                round: 0,
+            }),
+            None,
+            mock_train(3),
+        );
+        assert_eq!(out.alive, vec![true, false, false]);
+        assert_eq!(out.steps[0], 4, "survivor trains its full budget");
+        assert_eq!(out.steps[2], 1, "one completed step before the t=1.5 crash");
+    }
+
+    #[test]
+    fn transport_replays_bit_identically() {
+        let plan = FaultPlan::new(0xDEAD_BEEF, FaultConfig::edge_wireless());
+        let run = || run_transport(&[1.0, 2.0, 3.0, 4.0], 6.0, &plan);
+        let (a, b) = (run(), run());
+        assert_eq!(a.final_models, b.final_models);
+        assert_eq!(a.next_models, b.next_models);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.transfers, b.transfers);
+        assert_eq!(a.alive, b.alive);
+        assert_eq!(a.transport, b.transport);
     }
 
     #[test]

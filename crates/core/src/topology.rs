@@ -68,6 +68,49 @@ impl Ring {
         }
     }
 
+    /// [`Ring::build`], then demote *suspect* members — devices whose
+    /// transport fault score crossed the proactive-rebuild threshold — to
+    /// the ring tail, preserving relative order within each group.
+    ///
+    /// `suspects[i]` flags `members[i]`. Keeping flaky devices adjacent
+    /// at the tail bounds the blast radius of their lossy edges: a
+    /// giveup between two suspects costs the healthy head of the ring
+    /// nothing, whereas a suspect spliced mid-ring taxes every model
+    /// that must relay through it. An empty slice — or one with no flag
+    /// set — is **bit-identical** to [`Ring::build`] (same RNG
+    /// consumption, same order, no extra allocation), which is what
+    /// keeps fault-free runs byte-for-byte reproducible.
+    pub fn build_with_suspects<R: Rng>(
+        members: &[usize],
+        latencies: &[f64],
+        link: &LinkModel,
+        order: RingOrder,
+        rng: &mut R,
+        suspects: &[bool],
+    ) -> Ring {
+        let ring = Ring::build(members, latencies, link, order, rng);
+        if suspects.iter().all(|&s| !s) {
+            return ring;
+        }
+        assert_eq!(
+            suspects.len(),
+            members.len(),
+            "one suspect flag per member (or none at all)"
+        );
+        let flagged: std::collections::HashMap<usize, bool> = members
+            .iter()
+            .copied()
+            .zip(suspects.iter().copied())
+            .collect();
+        let (clean, tail): (Vec<usize>, Vec<usize>) = ring
+            .order
+            .iter()
+            .partition(|d| !flagged.get(d).copied().unwrap_or(false));
+        let mut order = clean;
+        order.extend(tail);
+        Ring { order }
+    }
+
     /// Devices in ring order.
     pub fn order(&self) -> &[usize] {
         &self.order
@@ -222,6 +265,85 @@ mod tests {
             &mut rng_from_seed(5),
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn no_suspects_is_bit_identical_to_plain_build() {
+        let members = vec![10, 20, 30, 40];
+        let lat = vec![4.0, 1.0, 3.0, 2.0];
+        for order in [
+            RingOrder::SmallToLarge,
+            RingOrder::LargeToSmall,
+            RingOrder::Random,
+        ] {
+            let plain = Ring::build(
+                &members,
+                &lat,
+                &LinkModel::zero(),
+                order,
+                &mut rng_from_seed(7),
+            );
+            let empty = Ring::build_with_suspects(
+                &members,
+                &lat,
+                &LinkModel::zero(),
+                order,
+                &mut rng_from_seed(7),
+                &[],
+            );
+            let all_false = Ring::build_with_suspects(
+                &members,
+                &lat,
+                &LinkModel::zero(),
+                order,
+                &mut rng_from_seed(7),
+                &[false; 4],
+            );
+            assert_eq!(plain, empty);
+            assert_eq!(plain, all_false);
+        }
+    }
+
+    #[test]
+    fn suspects_are_demoted_to_the_ring_tail() {
+        let members = vec![10, 20, 30, 40];
+        let lat = vec![4.0, 1.0, 3.0, 2.0];
+        // Plain order is [20, 40, 30, 10]; flag the fastest device (20)
+        // and a mid-ring one (30) as suspects.
+        let ring = Ring::build_with_suspects(
+            &members,
+            &lat,
+            &LinkModel::zero(),
+            RingOrder::SmallToLarge,
+            &mut rng_from_seed(0),
+            &[false, true, true, false],
+        );
+        assert_eq!(ring.order(), &[40, 10, 20, 30]);
+    }
+
+    #[test]
+    fn suspect_demotion_preserves_random_permutation_membership() {
+        let members: Vec<usize> = (0..12).collect();
+        let lat = vec![1.0; 12];
+        let suspects: Vec<bool> = (0..12).map(|i| i % 3 == 0).collect();
+        let ring = Ring::build_with_suspects(
+            &members,
+            &lat,
+            &LinkModel::zero(),
+            RingOrder::Random,
+            &mut rng_from_seed(5),
+            &suspects,
+        );
+        let mut sorted = ring.order().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, members, "still a permutation");
+        // All suspects occupy the tail.
+        let first_suspect = ring
+            .order()
+            .iter()
+            .position(|&d| suspects[d])
+            .expect("some suspects");
+        assert!(ring.order()[first_suspect..].iter().all(|&d| suspects[d]));
     }
 
     #[test]

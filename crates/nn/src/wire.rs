@@ -7,15 +7,20 @@
 //! [`encoded_len`] are what `fedhisyn-simnet`'s byte accounting models.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fedhisyn_tensor::content_hash_f32;
 
 use crate::params::ParamVec;
 
 /// Magic bytes identifying a FedHiSyn weight frame.
 pub const MAGIC: [u8; 4] = *b"FHSW";
-/// Current wire-format version.
-pub const VERSION: u16 = 1;
+/// Current wire-format version. v2 replaced the byte-wise FNV payload
+/// checksum with a fold of the workspace's `content_hash_f32` digest, so
+/// the wire integrity check and the engine's content-addressed caches
+/// agree on what "the same parameters" means.
+pub const VERSION: u16 = 2;
 /// Header size in bytes: magic (4) + version (2) + flags (2) + count (8) +
-/// checksum (4).
+/// checksum (4). Identical across v1 and v2, so `encoded_len` — and every
+/// wire-byte ledger derived from it — is version-independent.
 pub const HEADER_LEN: usize = 20;
 
 /// Errors produced when decoding a weight frame.
@@ -59,14 +64,22 @@ pub const fn encoded_len(params: usize) -> usize {
     HEADER_LEN + params * 4
 }
 
-/// FNV-1a over the payload bytes — cheap integrity check, not crypto.
-fn checksum(payload: &[u8]) -> u32 {
-    let mut hash: u32 = 0x811C_9DC5;
-    for &b in payload {
-        hash ^= b as u32;
-        hash = hash.wrapping_mul(0x0100_0193);
-    }
-    hash
+/// Integrity checksum of a parameter payload: the 64-bit
+/// [`content_hash_f32`] digest of the decoded `f32` values, truncated to
+/// the header's 32-bit checksum slot. Hashing parameter *content* (IEEE
+/// bit patterns, length included) rather than raw payload bytes means any
+/// flipped payload bit — sign, exponent or mantissa, `0.0` vs `-0.0`
+/// included — flips the digest, and the wire check agrees byte-for-byte
+/// with the engine's content-addressed panel caches.
+///
+/// Plain truncation, NOT another `h ^ (h >> 32)` fold: the digest's final
+/// step already folds its internal state that way, so folding a second
+/// time algebraically cancels back to the *pre*-fold low word — and the
+/// digest's multiply-mix only carries differences upward, which would
+/// leave that word blind to corruption in the high half of each packed
+/// element pair (every odd-indexed parameter).
+fn checksum(params: &[f32]) -> u32 {
+    content_hash_f32(params) as u32
 }
 
 /// Encode a parameter vector into a weight frame.
@@ -76,17 +89,36 @@ pub fn encode(params: &ParamVec) -> Bytes {
     buf.put_u16_le(VERSION);
     buf.put_u16_le(0); // flags, reserved
     buf.put_u64_le(params.len() as u64);
-    let mut payload = BytesMut::with_capacity(params.len() * 4);
+    buf.put_u32_le(checksum(params.as_slice()));
     for &x in params.as_slice() {
-        payload.put_f32_le(x);
+        buf.put_f32_le(x);
     }
-    buf.put_u32_le(checksum(&payload));
-    buf.extend_from_slice(&payload);
     buf.freeze()
 }
 
 /// Decode a weight frame back into a parameter vector.
 pub fn decode(frame: &[u8]) -> Result<ParamVec, WireError> {
+    let (count, stored_checksum, mut buf) = parse_header(frame)?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(buf.get_f32_le());
+    }
+    if checksum(&out) != stored_checksum {
+        return Err(WireError::BadChecksum);
+    }
+    Ok(ParamVec::from_vec(out))
+}
+
+/// Verify a frame's structure and integrity checksum without handing the
+/// payload to the caller; returns the parameter count. This is the relay
+/// hop's receive-side gate: a corrupted frame surfaces as a typed
+/// [`WireError`] here, never as garbage parameters downstream.
+pub fn verify_frame(frame: &[u8]) -> Result<usize, WireError> {
+    decode(frame).map(|p| p.len())
+}
+
+/// Validate the fixed header and return `(count, checksum, payload)`.
+fn parse_header(frame: &[u8]) -> Result<(usize, u32, &[u8]), WireError> {
     if frame.len() < HEADER_LEN {
         return Err(WireError::Truncated);
     }
@@ -102,22 +134,14 @@ pub fn decode(frame: &[u8]) -> Result<ParamVec, WireError> {
     }
     let _flags = buf.get_u16_le();
     let count = buf.get_u64_le() as usize;
-    let expected_payload = count * 4;
     let stored_checksum = buf.get_u32_le();
-    if buf.remaining() != expected_payload {
+    if buf.remaining() != count * 4 {
         return Err(WireError::LengthMismatch {
             expected: count,
             actual: buf.remaining() / 4,
         });
     }
-    if checksum(buf) != stored_checksum {
-        return Err(WireError::BadChecksum);
-    }
-    let mut out = Vec::with_capacity(count);
-    for _ in 0..count {
-        out.push(buf.get_f32_le());
-    }
-    Ok(ParamVec::from_vec(out))
+    Ok((count, stored_checksum, buf))
 }
 
 #[cfg(test)]
@@ -179,6 +203,26 @@ mod tests {
         let last = frame.len() - 1;
         frame[last] ^= 0xFF;
         assert_eq!(decode(&frame), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn corruption_in_every_byte_position_is_detected() {
+        // Wide enough to exercise the digest's packed-pair path (8-element
+        // chunks); a re-folded checksum was historically blind to the high
+        // half of each pair — every odd-indexed parameter.
+        let p = ParamVec::from_vec((0..64).map(|i| (i as f32) * 0.37 - 9.0).collect());
+        let clean = encode(&p).to_vec();
+        for byte in HEADER_LEN..clean.len() {
+            let mut frame = clean.clone();
+            frame[byte] ^= 0x40;
+            assert_eq!(
+                decode(&frame),
+                Err(WireError::BadChecksum),
+                "flip at payload byte {} (param {}) went undetected",
+                byte - HEADER_LEN,
+                (byte - HEADER_LEN) / 4
+            );
+        }
     }
 
     #[test]

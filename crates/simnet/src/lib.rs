@@ -12,16 +12,20 @@
 //!   simplifies Eq. 5 to equal delays; richer models are provided for
 //!   ablations),
 //! * [`TrafficMeter`] — model-transmission accounting behind the paper's
-//!   "number of transmitted models" metric (Table 1).
+//!   "number of transmitted models" metric (Table 1),
+//! * [`FaultPlan`] — deterministic per-edge wire faults (loss,
+//!   corruption, timeouts, duplicates) derived purely from the seed.
 
 pub mod device;
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod time;
 pub mod traffic;
 
 pub use device::{sample_latencies, DeviceProfile, HeterogeneityModel, ProfileSource};
 pub use event::EventQueue;
+pub use fault::{FaultConfig, FaultKind, FaultPlan};
 pub use link::LinkModel;
 pub use time::SimTime;
 pub use traffic::{TrafficMeter, TrafficSnapshot};

@@ -36,6 +36,10 @@ pub struct TrafficSnapshot {
     /// payloads), accumulated from the per-transfer frame sizes callers
     /// pass to the record methods.
     pub wire_bytes: f64,
+    /// The subset of `wire_bytes` that was *retransmitted*: frames
+    /// resent after a loss/corruption/timeout, plus duplicate
+    /// deliveries. Goodput is `wire_bytes - retransmit_bytes`.
+    pub retransmit_bytes: f64,
 }
 
 impl TrafficSnapshot {
@@ -60,6 +64,12 @@ impl TrafficSnapshot {
     /// payload (headers, checksums).
     pub fn framing_overhead(&self) -> f64 {
         self.wire_bytes - self.bytes_moved()
+    }
+
+    /// Useful bytes delivered: total wire bytes minus retransmissions
+    /// and duplicates.
+    pub fn goodput_bytes(&self) -> f64 {
+        self.wire_bytes - self.retransmit_bytes
     }
 }
 
@@ -110,6 +120,7 @@ pub struct TrafficMeter {
     peer_transfers: AtomicF64,
     parameters_moved: AtomicF64,
     wire_bytes: AtomicF64,
+    retransmit_bytes: AtomicF64,
 }
 
 impl TrafficMeter {
@@ -144,6 +155,18 @@ impl TrafficMeter {
         self.wire_bytes.add(model_equivalents * frame_bytes as f64);
     }
 
+    /// Record `frames` retransmitted device→device frames (resends after
+    /// loss/corruption/timeout, or duplicate deliveries). Retransmissions
+    /// move real payload and real wire bytes but are **not** additional
+    /// model-equivalents: the logical transfer was already counted by
+    /// [`TrafficMeter::record_peer`], so Table 1's transmitted-models
+    /// metric stays goodput-only while the byte ledgers stay honest.
+    pub fn record_retransmit(&self, frames: f64, parameters: usize, frame_bytes: usize) {
+        self.parameters_moved.add(frames * parameters as f64);
+        self.wire_bytes.add(frames * frame_bytes as f64);
+        self.retransmit_bytes.add(frames * frame_bytes as f64);
+    }
+
     /// Copy out the counters.
     pub fn snapshot(&self) -> TrafficSnapshot {
         TrafficSnapshot {
@@ -152,6 +175,7 @@ impl TrafficMeter {
             peer_transfers: self.peer_transfers.get(),
             parameters_moved: self.parameters_moved.get(),
             wire_bytes: self.wire_bytes.get(),
+            retransmit_bytes: self.retransmit_bytes.get(),
         }
     }
 
@@ -162,6 +186,7 @@ impl TrafficMeter {
         self.peer_transfers.set(0.0);
         self.parameters_moved.set(0.0);
         self.wire_bytes.set(0.0);
+        self.retransmit_bytes.set(0.0);
     }
 }
 
@@ -214,8 +239,24 @@ mod tests {
     fn reset_zeroes() {
         let m = TrafficMeter::new();
         m.record_upload(1.0, 1, frame(1));
+        m.record_retransmit(2.0, 1, frame(1));
         m.reset();
         assert_eq!(m.snapshot(), TrafficSnapshot::default());
+    }
+
+    #[test]
+    fn retransmits_cost_bytes_but_not_model_equivalents() {
+        let m = TrafficMeter::new();
+        m.record_peer(1.0, 100, frame(100));
+        m.record_retransmit(2.0, 100, frame(100));
+        let s = m.snapshot();
+        assert_eq!(s.peer_transfers, 1.0, "logical transfers unchanged");
+        assert_eq!(s.parameters_moved, 300.0, "payload moved three times");
+        assert_eq!(s.wire_bytes, 3.0 * frame(100) as f64);
+        assert_eq!(s.retransmit_bytes, 2.0 * frame(100) as f64);
+        assert_eq!(s.goodput_bytes(), frame(100) as f64);
+        // Framing overhead covers every physical frame, retries included.
+        assert_eq!(s.framing_overhead(), 3.0 * 20.0);
     }
 
     #[test]

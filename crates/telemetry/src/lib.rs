@@ -35,5 +35,6 @@ pub use registry::{
 };
 pub use round::RoundTelemetry;
 pub use span::{
-    Phase, RuntimeGauges, SpanCtx, SpanEvent, Telemetry, TelemetrySink, WallStart, NO_ID,
+    Phase, RuntimeGauges, SpanCtx, SpanEvent, Telemetry, TelemetrySink, TransportCounters,
+    WallStart, NO_ID,
 };

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Two field classes with different guarantees:
 ///
-/// * **deterministic** — the five traffic deltas. Pure functions of the
+/// * **deterministic** — the six traffic deltas. Pure functions of the
 ///   seed, bit-identical across runs and across Cached/Reference
 ///   execution modes. These are the only fields [`PartialEq`] compares,
 ///   so `RunRecord` equality assertions (determinism and
@@ -28,6 +28,10 @@ pub struct RoundTelemetry {
     pub parameters_moved: f64,
     /// Encoded wire bytes charged this round (deterministic).
     pub wire_bytes: f64,
+    /// Retransmitted wire bytes charged this round — resends after
+    /// loss/corruption/timeout plus duplicate deliveries (deterministic;
+    /// 0.0 in fault-free runs).
+    pub retransmit_bytes: f64,
     /// Engine cache hits during this round (best-effort).
     pub cache_hits: u64,
     /// Engine cache misses during this round (best-effort).
@@ -65,6 +69,7 @@ impl PartialEq for RoundTelemetry {
             && self.peer_transfers == other.peer_transfers
             && self.parameters_moved == other.parameters_moved
             && self.wire_bytes == other.wire_bytes
+            && self.retransmit_bytes == other.retransmit_bytes
     }
 }
 
@@ -92,6 +97,11 @@ mod tests {
             ..a
         };
         assert_ne!(a, c);
+        let d = RoundTelemetry {
+            retransmit_bytes: 40.0,
+            ..a
+        };
+        assert_ne!(a, d);
     }
 
     #[test]
@@ -102,6 +112,7 @@ mod tests {
             peer_transfers: 7.0,
             parameters_moved: 1234.0,
             wire_bytes: 5678.0,
+            retransmit_bytes: 90.0,
             cache_hits: 4,
             cache_misses: 1,
             weight_packs: 9,

@@ -44,11 +44,15 @@ pub enum Phase {
     Aggregation = 5,
     /// Centralised test-set evaluation of the aggregated model.
     Evaluation = 6,
+    /// One retransmission attempt of a relay hop after a transport fault
+    /// (loss/corruption/timeout). Absent in fault-free runs — the
+    /// delivered attempt is covered by [`Phase::RelayHop`].
+    RelayAttempt = 7,
 }
 
 impl Phase {
     /// Number of phases (array-index bound).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// All phases, in discriminant order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -59,6 +63,7 @@ impl Phase {
         Phase::LocalTrain,
         Phase::Aggregation,
         Phase::Evaluation,
+        Phase::RelayAttempt,
     ];
 
     /// Stable snake_case name (used as trace-event name and metric key).
@@ -71,6 +76,7 @@ impl Phase {
             Phase::LocalTrain => "local_train",
             Phase::Aggregation => "aggregation",
             Phase::Evaluation => "evaluation",
+            Phase::RelayAttempt => "relay_attempt",
         }
     }
 }
@@ -175,6 +181,27 @@ pub struct RuntimeGauges {
     pub data_resident_shard_bytes: u64,
 }
 
+/// Transport-fault counter bundle folded once per round (see
+/// [`TelemetrySink::add_transport`]). All fields are *increments*: the
+/// sink adds them to its cumulative `transport.*` counters.
+///
+/// Unlike [`RuntimeGauges`], every field here is deterministic — transport
+/// faults are drawn from the seed — but they are still recorded as plain
+/// counters (covered by the metrics fingerprint) rather than spans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportCounters {
+    /// Retransmission attempts after a loss/corruption/timeout.
+    pub retries: u64,
+    /// Frames whose wire checksum failed on receive.
+    pub corruptions_detected: u64,
+    /// Transient transport timeouts.
+    pub timeouts: u64,
+    /// Transfers abandoned after the retry budget was exhausted.
+    pub giveups: u64,
+    /// Rings proactively rebuilt around suspect devices.
+    pub rebuilds: u64,
+}
+
 #[derive(Debug)]
 struct EventLog {
     events: Vec<SpanEvent>,
@@ -192,7 +219,19 @@ struct WellKnown {
     vt_ring_interval: HistogramId,
     /// Spans dropped because the event buffer was full.
     spans_dropped: CounterId,
+    transport: WellKnownTransport,
     gauges: WellKnownGauges,
+}
+
+/// Counter ids for the fault-injection transport (see
+/// [`TelemetrySink::add_transport`]).
+#[derive(Debug)]
+struct WellKnownTransport {
+    retries: CounterId,
+    corruptions_detected: CounterId,
+    timeouts: CounterId,
+    giveups: CounterId,
+    rebuilds: CounterId,
 }
 
 #[derive(Debug)]
@@ -235,6 +274,7 @@ impl Telemetry {
             registry.register_counter("spans.local_train"),
             registry.register_counter("spans.aggregation"),
             registry.register_counter("spans.evaluation"),
+            registry.register_counter("spans.relay_attempt"),
         ];
         let ids = WellKnown {
             phase_counts,
@@ -242,6 +282,13 @@ impl Telemetry {
             vt_relay_hop: registry.register_histogram("vt.relay_hop_seconds", &VT_BOUNDS),
             vt_ring_interval: registry.register_histogram("vt.ring_interval_seconds", &VT_BOUNDS),
             spans_dropped: registry.register_counter("spans.dropped"),
+            transport: WellKnownTransport {
+                retries: registry.register_counter("transport.retries"),
+                corruptions_detected: registry.register_counter("transport.corruptions_detected"),
+                timeouts: registry.register_counter("transport.timeouts"),
+                giveups: registry.register_counter("transport.giveups"),
+                rebuilds: registry.register_counter("transport.rebuilds"),
+            },
             gauges: WellKnownGauges {
                 arena_high_water_bytes: registry.register_gauge("engine.arena_high_water_bytes"),
                 weight_packs: registry.register_gauge("engine.weight_packs"),
@@ -453,6 +500,21 @@ impl TelemetrySink {
                 .gauge_set(ids.data_resident_shard_bytes, g.data_resident_shard_bytes);
         }
     }
+
+    /// Add a round's transport-fault observations to the cumulative
+    /// `transport.*` counters. No-op on a disabled sink, and cheap to
+    /// call with an all-zero bundle (fault-free rounds).
+    pub fn add_transport(&self, c: &TransportCounters) {
+        if let Some(t) = &self.0 {
+            let ids = &t.ids.transport;
+            t.registry.inc(ids.retries, c.retries);
+            t.registry
+                .inc(ids.corruptions_detected, c.corruptions_detected);
+            t.registry.inc(ids.timeouts, c.timeouts);
+            t.registry.inc(ids.giveups, c.giveups);
+            t.registry.inc(ids.rebuilds, c.rebuilds);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -531,6 +593,30 @@ mod tests {
         assert_eq!(ta.deterministic_stream(), tb.deterministic_stream());
         assert_eq!(ta.fingerprint(), tb.fingerprint());
         assert!(ta.deterministic_stream().iter().all(|e| e.wall_end_ns == 0));
+    }
+
+    #[test]
+    fn transport_counters_accumulate() {
+        let sink = TelemetrySink::enabled(4);
+        sink.add_transport(&TransportCounters {
+            retries: 3,
+            corruptions_detected: 1,
+            timeouts: 2,
+            giveups: 0,
+            rebuilds: 1,
+        });
+        sink.add_transport(&TransportCounters {
+            retries: 1,
+            ..TransportCounters::default()
+        });
+        let m = sink.telemetry().expect("enabled").metrics();
+        assert!(m.counters.contains(&("transport.retries", 4)));
+        assert!(m.counters.contains(&("transport.corruptions_detected", 1)));
+        assert!(m.counters.contains(&("transport.timeouts", 2)));
+        assert!(m.counters.contains(&("transport.giveups", 0)));
+        assert!(m.counters.contains(&("transport.rebuilds", 1)));
+        // Disabled sinks swallow the bundle without touching anything.
+        TelemetrySink::disabled().add_transport(&TransportCounters::default());
     }
 
     #[test]

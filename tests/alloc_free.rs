@@ -104,6 +104,7 @@ fn tiny_env() -> FlEnv {
         exec: ExecMode::Cached,
         momentum: MomentumBank::disabled(),
         wire_check: false,
+        faults: fedhisyn::simnet::FaultPlan::none(),
         cohort: None,
         telemetry: fedhisyn::telemetry::TelemetrySink::disabled(),
     }
