@@ -13,7 +13,7 @@
 //!
 //! Usage: `cargo run --release --bin bench_engine [--rounds N] [--gemm-only]
 //! [--cnn-only] [--fleet-scale [N]] [--train-scale [N]] [--trace <path>]
-//! [--fault-smoke]`
+//! [--fault-smoke] [--codec-smoke]`
 //!
 //! `--gemm-only` runs just the GEMM micro-benchmark; `--cnn-only` runs
 //! just the batched-vs-per-sample CNN step benchmark; `--fleet-scale [N]`
@@ -26,7 +26,10 @@
 //! fault-injection transport contracts (none-plan bit-neutrality, lossy
 //! determinism across runs and exec modes, corruption detection,
 //! zero-alloc steady state with faults disabled, 1k-device churn+fault
-//! completion with visible retry bytes).
+//! completion with visible retry bytes); `--codec-smoke` asserts the
+//! compressed-wire contracts (F32 bit-neutrality, Int8/TopK determinism
+//! across runs and exec modes, zero-alloc steady-state transforms,
+//! compression composing with the lossy wire).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
@@ -39,6 +42,7 @@ use fedhisyn_fleet::{sample_online_cohort, FleetDynamics, FleetModel};
 use fedhisyn_nn::init::Init;
 use fedhisyn_nn::layers::ConvStageProfile;
 use fedhisyn_nn::layers::{Conv2d, ConvExec, Dense, Flatten, MaxPool2d, Relu};
+use fedhisyn_nn::Codec;
 use fedhisyn_nn::{
     evaluate_arena, sgd_epoch, sgd_epoch_reference, ModelSpec, NoHook, Sequential, Sgd, SgdConfig,
 };
@@ -257,6 +261,168 @@ struct EngineReport {
     fleet_scale: FleetScaleBench,
     train_scale: TrainScaleBench,
     fault_sweep: FaultSweepBench,
+    codec_sweep: CodecSweepBench,
+}
+
+#[derive(Debug, Serialize)]
+struct CodecSweepPoint {
+    /// Wire-codec label this cell's traffic crossed (`"f32"`, `"int8"`,
+    /// `"topk<permille>"`).
+    codec: String,
+    /// Per-attempt frame loss probability on every ring edge (0 = clean).
+    loss: f64,
+    rounds: usize,
+    final_accuracy: f32,
+    /// Encoded bytes actually put on the wire, retransmissions included.
+    wire_bytes: f64,
+    /// Uncompressed (f32-frame) bytes the same traffic *represents* —
+    /// the denominator-free view of what the codec saved.
+    raw_bytes: f64,
+    /// raw_bytes / wire_bytes — the headline compression ratio.
+    compression_ratio: f64,
+    /// Gap to the F32 cell at the same loss rate, in accuracy points.
+    accuracy_delta_vs_f32: f32,
+    /// Two fresh runs under the same seed must replay bit-for-bit: the
+    /// quantization grid and error-feedback residual streams are pure
+    /// functions of the seed, never of thread timing.
+    deterministic: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct CodecSweepBench {
+    workload: String,
+    points: Vec<CodecSweepPoint>,
+}
+
+/// The codec grid workload (and the `fig_codec` shape): 40 devices with
+/// the paper's E = 5 local epochs, so each device's participation does
+/// enough local work for top-k error feedback to converge within the
+/// sweep's round budget. Loss 0 leaves the fault plan out entirely.
+fn codec_workload(rounds: usize, codec: Codec, loss: f64) -> ExperimentConfig {
+    let mut b = ExperimentConfig::builder(DatasetProfile::MnistLike)
+        .scale(Scale::Smoke)
+        .devices(40)
+        .partition(Partition::Dirichlet { beta: 0.1 })
+        .local_epochs(5)
+        .rounds(rounds)
+        .seed(2022)
+        .codec(codec);
+    if loss > 0.0 {
+        b = b.faults(FaultConfig::lossy(loss));
+    }
+    b.build()
+}
+
+/// Codec × loss-rate sweep: final accuracy against encoded wire bytes for
+/// every codec, on a clean wire and a lossy one (compression and the
+/// retry relay have to compose). Each cell is determinism-checked against
+/// a fresh replay.
+fn bench_codec_sweep(rounds: usize) -> CodecSweepBench {
+    let codecs = [Codec::F32, Codec::Int8, Codec::TopK { permille: 100 }];
+    let losses = [0.0, 0.15];
+    let mut points = Vec::new();
+    for &loss in &losses {
+        let mut f32_accuracy = 0.0f32;
+        for &codec in &codecs {
+            let cfg = codec_workload(rounds, codec, loss);
+            let run = || {
+                let mut env = cfg.build_env();
+                let mut algo = FedHiSyn::new(&cfg, K);
+                let rec = run_experiment(&mut algo, &mut env, rounds);
+                let traffic = env.meter.snapshot();
+                (rec, traffic)
+            };
+            let (rec, traffic) = run();
+            let (replay, replay_traffic) = run();
+            if codec == Codec::F32 {
+                f32_accuracy = rec.final_accuracy();
+            }
+            points.push(CodecSweepPoint {
+                codec: codec.label(),
+                loss,
+                rounds,
+                final_accuracy: rec.final_accuracy(),
+                wire_bytes: traffic.wire_bytes,
+                raw_bytes: traffic.raw_bytes,
+                compression_ratio: traffic.compression_ratio(),
+                accuracy_delta_vs_f32: rec.final_accuracy() - f32_accuracy,
+                deterministic: rec == replay && traffic == replay_traffic,
+            });
+        }
+    }
+    CodecSweepBench {
+        workload: "smoke MNIST-like MLP, 40 devices, Dirichlet(0.1), E=5, K=10, codec wire".into(),
+        points,
+    }
+}
+
+fn print_codec_sweep(cs: &CodecSweepBench) {
+    println!("\n== codec sweep: accuracy vs encoded wire bytes ==");
+    for p in &cs.points {
+        println!(
+            "  {:<8} loss {:>4.0}%: acc {:>5.1}% ({:>+5.1} vs f32)  wire {:>12.0} B  \
+             raw {:>12.0} B  ({:>5.2}x, deterministic: {})",
+            p.codec,
+            p.loss * 100.0,
+            p.final_accuracy * 100.0,
+            p.accuracy_delta_vs_f32 * 100.0,
+            p.wire_bytes,
+            p.raw_bytes,
+            p.compression_ratio,
+            p.deterministic
+        );
+        assert!(
+            p.deterministic,
+            "codec sweep cell ({}, loss {}) diverged between identical seeded runs",
+            p.codec, p.loss
+        );
+        assert!(
+            p.final_accuracy.is_finite(),
+            "non-finite accuracy leaked out of the {} wire at loss {}",
+            p.codec,
+            p.loss
+        );
+        // The headline trade: each lossy codec must stay within 2 accuracy
+        // points of the F32 run at the same loss rate — error feedback is
+        // what buys this at 10% top-k density.
+        assert!(
+            p.accuracy_delta_vs_f32.abs() <= 0.02,
+            "{} at loss {} drifted {:.1} points from the f32 wire",
+            p.codec,
+            p.loss,
+            p.accuracy_delta_vs_f32 * 100.0
+        );
+        // And the byte side of the trade, at the recorded model size:
+        // Int8 ≥ 3.5x, TopK@10% ≥ 10x, F32 exactly 1.0x.
+        let floor = match p.codec.as_str() {
+            "f32" => 1.0,
+            "int8" => 3.5,
+            _ => 10.0,
+        };
+        assert!(
+            p.compression_ratio >= floor,
+            "{} compressed only {:.2}x (floor {:.1}x)",
+            p.codec,
+            p.compression_ratio,
+            floor
+        );
+    }
+    // Encoded bytes must fall monotonically F32 → Int8 → TopK within each
+    // loss rate: a codec that claims a smaller frame must put fewer bytes
+    // on the wire end-to-end, retries included.
+    for cells in cs.points.chunks(3) {
+        for w in cells.windows(2) {
+            assert!(
+                w[1].wire_bytes < w[0].wire_bytes,
+                "wire bytes rose from {} ({}) to {} ({}) at loss {}",
+                w[0].wire_bytes,
+                w[0].codec,
+                w[1].wire_bytes,
+                w[1].codec,
+                w[0].loss
+            );
+        }
+    }
 }
 
 #[derive(Debug, Serialize)]
@@ -1309,6 +1475,149 @@ fn run_fault_smoke() {
     );
 }
 
+/// The `--codec-smoke` CI gate: four compressed-wire contracts, asserted.
+///
+/// 1. **F32 bit-neutrality** — a config explicitly selecting `Codec::F32`
+///    replays the exact `RunRecord` and traffic ledgers of a build that
+///    never mentions codecs, and charges zero compression (raw ≡ wire).
+/// 2. **Lossy-codec determinism** — Int8 and TopK runs replay
+///    bit-identically across fresh runs *and* across execution modes
+///    (Cached/Reference): the quantization grid and per-device residual
+///    streams are pure functions of the seed.
+/// 3. **Zero-alloc steady state with the codec enabled** — the fused
+///    encode→decode→residual transform reuses its scratch buffers; after
+///    warm-up it performs zero heap allocations.
+/// 4. **Compression composes with faults** — a lossy wire under the Int8
+///    codec completes every round with finite accuracy, visible retry
+///    bytes, and > 3x fewer encoded than raw bytes.
+fn run_codec_smoke() {
+    println!("== codec smoke: compressed wire path ==");
+    let run = |cfg: &ExperimentConfig, mode: ExecMode| {
+        let mut env = cfg.build_env();
+        env.exec = mode;
+        let mut algo = FedHiSyn::new(cfg, K);
+        let rec = run_experiment(&mut algo, &mut env, cfg.rounds);
+        (rec, env.meter.snapshot())
+    };
+
+    // 1. Codec::F32 is bit-neutral against the codec-free build (same
+    //    engine workload, codec selected explicitly on one side).
+    let plain = workload(2);
+    let mut f32_cfg = workload(2);
+    f32_cfg.codec = Codec::F32;
+    let (rec_plain, traffic_plain) = run(&plain, ExecMode::Cached);
+    let (rec_f32, traffic_f32) = run(&f32_cfg, ExecMode::Cached);
+    assert_eq!(
+        rec_plain, rec_f32,
+        "Codec::F32 perturbed the run — the default wire is not bit-neutral"
+    );
+    assert_eq!(traffic_plain, traffic_f32);
+    assert_eq!(rec_f32.codec, "f32");
+    assert_eq!(
+        traffic_f32.raw_bytes, traffic_f32.wire_bytes,
+        "the f32 wire must charge raw and encoded ledgers identically"
+    );
+    println!("  f32 bit-neutrality: ok");
+
+    // 2. Int8 and TopK replay bit-identically across runs and exec modes.
+    for codec in [Codec::Int8, Codec::TopK { permille: 100 }] {
+        let cfg = codec_workload(2, codec, 0.0);
+        let (rec_a, traffic_a) = run(&cfg, ExecMode::Cached);
+        let (rec_b, traffic_b) = run(&cfg, ExecMode::Cached);
+        let (rec_ref, traffic_ref) = run(&cfg, ExecMode::Reference);
+        assert_eq!(
+            rec_a,
+            rec_b,
+            "{} run diverged between identical seeded runs",
+            codec.label()
+        );
+        assert_eq!(traffic_a, traffic_b);
+        assert_eq!(
+            rec_a,
+            rec_ref,
+            "{} run diverged between Cached and Reference execution modes",
+            codec.label()
+        );
+        assert_eq!(traffic_a, traffic_ref);
+        assert_eq!(rec_a.codec, codec.label(), "RunRecord codec stamp");
+        assert!(
+            traffic_a.wire_bytes < traffic_a.raw_bytes,
+            "{} charged no compression",
+            codec.label()
+        );
+        println!(
+            "  {} determinism (runs + exec modes): ok ({:.2}x compression)",
+            codec.label(),
+            traffic_a.compression_ratio()
+        );
+    }
+
+    // 3. Zero-alloc steady state: the fused transform reuses its scratch.
+    {
+        use fedhisyn_nn::{wire, CodecScratch, ParamVec};
+        for codec in [Codec::Int8, Codec::TopK { permille: 100 }] {
+            let n = 4096;
+            let mut params = ParamVec::from_vec((0..n).map(|i| (i as f32 * 0.37).sin()).collect());
+            let base = ParamVec::from_vec((0..n).map(|i| (i as f32 * 0.11).cos()).collect());
+            let mut residual = ParamVec::zeros(n);
+            let mut scratch = CodecScratch::new();
+            wire::codec_transform_in_place(
+                codec,
+                &mut params,
+                Some(&base),
+                &mut residual,
+                &mut scratch,
+            );
+            let before = thread_allocs();
+            for _ in 0..4 {
+                wire::codec_transform_in_place(
+                    codec,
+                    &mut params,
+                    Some(&base),
+                    &mut residual,
+                    &mut scratch,
+                );
+            }
+            let allocs = thread_allocs() - before;
+            assert_eq!(
+                allocs,
+                0,
+                "steady-state {} transform allocated {} times",
+                codec.label(),
+                allocs
+            );
+        }
+        println!("  zero-alloc steady state with codec enabled: ok");
+    }
+
+    // 4. Compression composes with the lossy wire and retry relay.
+    let lossy = codec_workload(2, Codec::Int8, 0.15);
+    let (rec_lossy, traffic_lossy) = run(&lossy, ExecMode::Cached);
+    let (rec_lossy2, traffic_lossy2) = run(&lossy, ExecMode::Cached);
+    assert_eq!(
+        rec_lossy.rounds.len(),
+        2,
+        "lossy wire + codec must complete every round"
+    );
+    assert!(rec_lossy.final_accuracy().is_finite());
+    assert_eq!(rec_lossy, rec_lossy2);
+    assert_eq!(traffic_lossy, traffic_lossy2);
+    assert!(
+        traffic_lossy.retransmit_bytes > 0.0,
+        "15% loss over 2 rounds must put at least one retry frame on the wire"
+    );
+    assert!(
+        traffic_lossy.compression_ratio() > 3.0,
+        "retries erased the compression win: {:.2}x",
+        traffic_lossy.compression_ratio()
+    );
+    println!(
+        "  lossy wire + codec: ok ({:.0} retransmit bytes, {:.2}x compression)",
+        traffic_lossy.retransmit_bytes,
+        traffic_lossy.compression_ratio()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if let Some(path) = fedhisyn_bench::trace::trace_path_from_args() {
@@ -1335,6 +1644,12 @@ fn main() {
         // CI smoke: the transport fault-injection contracts, asserted
         // without touching the recorded benchmark numbers.
         run_fault_smoke();
+        return;
+    }
+    if args.iter().any(|a| a == "--codec-smoke") {
+        // CI smoke: the compressed-wire contracts, asserted without
+        // touching the recorded benchmark numbers.
+        run_codec_smoke();
         return;
     }
     if args.iter().any(|a| a == "--gemm-only") {
@@ -1416,6 +1731,10 @@ fn main() {
     let train_scale =
         bench_train_scale(TRAIN_SCALE_DEVICES, TRAIN_SCALE_ROUNDS, TRAIN_SCALE_COHORT);
     let fault_sweep = bench_fault_sweep(2);
+    // Long enough for top-k error feedback to converge: early sparsified
+    // broadcasts cost accuracy that the residual stream pays back over
+    // the first handful of rounds.
+    let codec_sweep = bench_codec_sweep(12);
 
     let churn_cfg = churn_workload();
     let churn = ChurnReport {
@@ -1459,6 +1778,7 @@ fn main() {
         fleet_scale,
         train_scale,
         fault_sweep,
+        codec_sweep,
     };
 
     println!(
@@ -1532,6 +1852,7 @@ fn main() {
     print_fleet_scale(&report.fleet_scale);
     print_train_scale(&report.train_scale);
     print_fault_sweep(&report.fault_sweep);
+    print_codec_sweep(&report.codec_sweep);
 
     match serde_json::to_string_pretty(&report) {
         Ok(json) => {

@@ -97,6 +97,7 @@ pub fn run_experiment(
 ) -> RunRecord {
     env.meter.reset();
     let mut record = RunRecord::new(algorithm.name());
+    record.codec = env.codec.label();
     let mut virtual_time = 0.0f64;
     for round in 0..rounds {
         let round_wall = env.telemetry.wall_start();
@@ -208,6 +209,7 @@ fn fold_round_telemetry(
         peer_transfers: after.peer_transfers - before.peer_transfers,
         parameters_moved: after.parameters_moved - before.parameters_moved,
         wire_bytes: after.wire_bytes - before.wire_bytes,
+        raw_bytes: after.raw_bytes - before.raw_bytes,
         retransmit_bytes: after.retransmit_bytes - before.retransmit_bytes,
         cache_hits: hits.saturating_sub(cache_before.0),
         cache_misses: misses.saturating_sub(cache_before.1),
@@ -220,6 +222,10 @@ fn fold_round_telemetry(
         data_shard_cache_hits: env.data.shard_cache_hits(),
         data_resident_shard_bytes: env.data.resident_shard_bytes(),
     };
+    env.telemetry.add_codec_bytes(
+        telemetry.wire_bytes.max(0.0) as u64,
+        telemetry.raw_bytes.max(0.0) as u64,
+    );
     env.telemetry.update_gauges(&RuntimeGauges {
         arena_high_water_bytes,
         weight_packs,
@@ -268,6 +274,8 @@ mod tests {
             exec: crate::engine::ExecMode::default(),
             momentum: crate::env::MomentumBank::disabled(),
             wire_check: false,
+            codec: fedhisyn_nn::Codec::F32,
+            residuals: crate::env::ResidualBank::disabled(),
             faults: fedhisyn_simnet::FaultPlan::none(),
             cohort: None,
             telemetry: fedhisyn_telemetry::TelemetrySink::disabled(),

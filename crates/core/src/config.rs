@@ -4,7 +4,7 @@ use fedhisyn_data::{
     partition_indices, DataSource, Dataset, DatasetProfile, Partition, Scale, ShardPlan,
 };
 use fedhisyn_fleet::{FleetDynamics, FleetModel};
-use fedhisyn_nn::{ModelSpec, ParamVec, SgdConfig};
+use fedhisyn_nn::{Codec, ModelSpec, ParamVec, SgdConfig};
 use fedhisyn_simnet::{
     sample_latencies, FaultConfig, FaultPlan, HeterogeneityModel, LinkModel, ProfileSource,
     TrafficMeter,
@@ -13,7 +13,7 @@ use fedhisyn_tensor::rng_from_seed;
 use serde::{Deserialize, Serialize};
 
 use crate::aggregate::AggregationRule;
-use crate::env::{seed_mix, FlEnv, MomentumBank};
+use crate::env::{seed_mix, FlEnv, MomentumBank, ResidualBank};
 
 /// How device shards are produced when the environment is built.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -87,8 +87,14 @@ pub struct ExperimentConfig {
     pub persist_momentum: bool,
     /// Round-trip every ring-relay transfer through the wire codec and
     /// assert bit-identity — a serialization-drift tripwire for CI runs
-    /// (off by default: it taxes each hop with an encode/decode).
+    /// (off by default: it taxes each hop with an encode/decode). With a
+    /// lossy [`Codec`] the assertion compares the fused in-place
+    /// transform against the encode→decode byte path per hop.
     pub wire_check: bool,
+    /// Wire codec for every model transfer ([`Codec::F32`] by default —
+    /// bit-identical to the pre-codec engine). Lossy codecs enable
+    /// per-device error-feedback residuals automatically.
+    pub codec: Codec,
     /// Deterministic wire-fault injection on every ring relay: loss,
     /// corruption, transient timeouts and duplicate deliveries, each hop
     /// retried with bounded exponential backoff in virtual time. `None`
@@ -129,6 +135,7 @@ impl ExperimentConfig {
                 momentum: 0.0,
                 persist_momentum: false,
                 wire_check: false,
+                codec: Codec::F32,
                 faults: None,
                 aggregation: AggregationRule::Uniform,
                 seed: 0,
@@ -241,6 +248,12 @@ impl ExperimentConfig {
                 MomentumBank::disabled()
             },
             wire_check: self.wire_check,
+            codec: self.codec,
+            residuals: if self.codec.lossy() {
+                ResidualBank::new()
+            } else {
+                ResidualBank::disabled()
+            },
             // The fault plan derives from its own seed stream (like the
             // fleet trajectory) so turning faults on never perturbs data,
             // partition, latency or participation sampling.
@@ -373,6 +386,12 @@ impl ExperimentConfigBuilder {
     /// (serialization-drift tripwire).
     pub fn wire_check(mut self, check: bool) -> Self {
         self.cfg.wire_check = check;
+        self
+    }
+
+    /// Select the wire codec every model transfer is encoded with.
+    pub fn codec(mut self, codec: Codec) -> Self {
+        self.cfg.codec = codec;
         self
     }
 
@@ -564,6 +583,26 @@ mod tests {
             .build();
         assert_eq!(cfg.cohort, Some(4));
         assert_eq!(cfg.build_env().cohort, Some(4));
+    }
+
+    #[test]
+    fn codec_defaults_to_f32_and_threads_through_to_the_env() {
+        let cfg = base();
+        assert_eq!(cfg.codec, Codec::F32);
+        let env = cfg.build_env();
+        assert_eq!(env.codec, Codec::F32);
+        assert!(!env.residuals.enabled(), "F32 needs no error feedback");
+
+        let cfg = ExperimentConfig::builder(DatasetProfile::MnistLike)
+            .devices(10)
+            .codec(Codec::TopK { permille: 100 })
+            .seed(9)
+            .build();
+        assert_eq!(cfg.codec, Codec::TopK { permille: 100 });
+        let env = cfg.build_env();
+        assert_eq!(env.codec, Codec::TopK { permille: 100 });
+        assert!(env.residuals.enabled(), "lossy codec enables residuals");
+        assert!(env.frame_bytes() < env.raw_frame_bytes());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! split (the paper's estimator for Eq. 4's divergence `D`).
 
 use fedhisyn_cluster::kmeans_1d;
-use fedhisyn_nn::ParamVec;
+use fedhisyn_nn::{CodecScratch, ParamVec};
 use fedhisyn_tensor::rng_from_seed;
 use rand::Rng;
 use rayon::prelude::*;
@@ -25,7 +25,7 @@ use fedhisyn_telemetry::{Phase, SpanCtx};
 use crate::env::{seed_mix, FlEnv};
 use crate::local::{evaluate_on_test, local_train_plain_owned};
 use crate::ring_sim::{
-    simulate_ring_interval_transport, ReceivePolicy, RingFaults, RingStart, RingTrace,
+    simulate_ring_interval_transport, ReceivePolicy, RelayCodec, RingFaults, RingStart, RingTrace,
     TransportStats,
 };
 use crate::topology::{Ring, RingOrder};
@@ -224,6 +224,14 @@ impl DecentralSim {
         // a transfer — the sender cannot know).
         let mut rng = rng_from_seed(seed_mix(env.seed, round as u64, 0x9A9D, 0));
         let mut inbox: Vec<Option<usize>> = vec![None; n];
+        // With a lossy codec the model a sender puts on the wire is its
+        // decoded reconstruction (error feedback keeps the dropped mass in
+        // the sender's residual); the sender's own copy stays full
+        // precision. The transform happens at *send* time — a frame sent
+        // into the void still spends the sender's residual, exactly like a
+        // dropped ring hop.
+        let mut wire: Vec<Option<ParamVec>> = vec![None; n];
+        let mut scratch = CodecScratch::new();
         for sender in 0..n {
             let mut target = rng.gen_range(0..n);
             if n > 1 && target == sender {
@@ -233,6 +241,14 @@ impl DecentralSim {
                 continue;
             }
             env.charge_peer(1.0);
+            if env.codec.lossy() {
+                let mut sent = trained[sender].clone().expect("sender participated");
+                env.codec_transform(sender, &mut sent, None, &mut scratch);
+                wire[sender] = Some(sent);
+            } else {
+                // Serialization-drift tripwire (no-op unless enabled).
+                env.wire_round_trip_check(trained[sender].as_ref().expect("sender participated"));
+            }
             if trained[target].is_some() {
                 inbox[target] = Some(sender); // newest-wins
             }
@@ -241,13 +257,18 @@ impl DecentralSim {
         for (receiver, incoming) in inbox.iter().enumerate() {
             let own = trained[receiver].as_ref().unwrap_or(&self.models[receiver]);
             match *incoming {
-                Some(sender) if !average => {
-                    next.push(trained[sender].clone().expect("sender participated"))
-                }
                 Some(sender) => {
-                    let mut mixed = own.clone();
-                    mixed.lerp(trained[sender].as_ref().expect("sender participated"), 0.5);
-                    next.push(mixed);
+                    let sent = wire[sender]
+                        .as_ref()
+                        .or(trained[sender].as_ref())
+                        .expect("sender participated");
+                    if average {
+                        let mut mixed = own.clone();
+                        mixed.lerp(sent, 0.5);
+                        next.push(mixed);
+                    } else {
+                        next.push(sent.clone());
+                    }
                 }
                 None => next.push(own.clone()),
             }
@@ -348,6 +369,10 @@ impl DecentralSim {
             plan: &env.faults,
             round: round as u64,
         });
+        // Decentralized rings have no shared broadcast, so lossy `TopK`
+        // deltas are taken from zero (`base: None`); error feedback still
+        // accumulates per device across rounds.
+        let relay_codec = RelayCodec { env, base: None };
         jobs.par_chunks_mut(1).enumerate().for_each(|(ci, chunk)| {
             let job = &mut chunk[0];
             let start = job.start.take().expect("each ring job runs exactly once");
@@ -368,6 +393,7 @@ impl DecentralSim {
                     lane: ci as u32,
                     vt_base,
                 }),
+                Some(&relay_codec),
                 |device, params, salt| {
                     let trained =
                         local_train_plain_owned(env, device, params, env.local_epochs, round, salt);

@@ -5,7 +5,7 @@ use std::sync::Mutex;
 
 use fedhisyn_data::{DataSource, Dataset, ShardRef};
 use fedhisyn_fleet::FleetModel;
-use fedhisyn_nn::{wire, ModelSpec, ParamVec, SgdConfig};
+use fedhisyn_nn::{wire, Codec, CodecScratch, ModelSpec, ParamVec, SgdConfig};
 use fedhisyn_simnet::{FaultPlan, LinkModel, TrafficMeter};
 use fedhisyn_telemetry::TelemetrySink;
 
@@ -80,6 +80,75 @@ impl MomentumBank {
     }
 }
 
+/// Per-device **error-feedback residuals** for lossy wire codecs: the
+/// mass each device's last encode dropped, re-injected into its next
+/// transmission so compression error telescopes instead of accumulating
+/// (see `fedhisyn_nn::wire::codec_transform_in_place`).
+///
+/// Same lock-sharded O(touched devices) storage discipline as
+/// [`MomentumBank`]: an empty shard vector means disabled (the `F32`
+/// codec), `take`/`store` move buffers rather than cloning, and each
+/// device's residual is only touched from one ring position at a time, so
+/// determinism is preserved under any thread count.
+#[derive(Debug, Default)]
+pub struct ResidualBank {
+    /// Lock-sharded `device → residual` maps; empty means disabled.
+    shards: Vec<Mutex<HashMap<usize, ParamVec>>>,
+}
+
+impl ResidualBank {
+    /// Pseudo-device id under which the *server's* broadcast residual is
+    /// stored (downlink compression state). Collides with no real device:
+    /// fleets are indexed from zero.
+    pub const SERVER: usize = usize::MAX;
+
+    /// The bank used with lossless codecs: stores nothing.
+    pub fn disabled() -> Self {
+        ResidualBank::default()
+    }
+
+    /// An enabled bank. O(1) to construct regardless of fleet size.
+    pub fn new() -> Self {
+        ResidualBank {
+            shards: (0..BANK_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// Whether error feedback is active.
+    pub fn enabled(&self) -> bool {
+        !self.shards.is_empty()
+    }
+
+    /// Check out `device`'s residual, or a fresh zero vector of `n`
+    /// parameters on first touch. Returns `None` when disabled.
+    pub fn take(&self, device: usize, n: usize) -> Option<ParamVec> {
+        if !self.enabled() {
+            return None;
+        }
+        Some(
+            self.shards[device % BANK_SHARDS]
+                .lock()
+                .unwrap()
+                .remove(&device)
+                .unwrap_or_else(|| ParamVec::zeros(n)),
+        )
+    }
+
+    /// Return `device`'s residual after a transmission. No-op when
+    /// disabled.
+    pub fn store(&self, device: usize, residual: ParamVec) {
+        if !self.enabled() {
+            return;
+        }
+        self.shards[device % BANK_SHARDS]
+            .lock()
+            .unwrap()
+            .insert(device, residual);
+    }
+}
+
 /// Everything an FL algorithm needs to run one experiment:
 /// the model architecture, each device's private shard, the global test
 /// split, the fleet's latency profiles and the transmission meter.
@@ -129,6 +198,17 @@ pub struct FlEnv {
     /// the CI serialization-drift tripwire (off by default: it taxes each
     /// hop with an encode/decode).
     pub wire_check: bool,
+    /// Wire codec every transfer is encoded with ([`Codec::F32`] by
+    /// default — bit-identical to the pre-codec engine). Lossy codecs
+    /// pair with [`FlEnv::residuals`] for error feedback and charge
+    /// *encoded* bytes through the meter while [`TrafficSnapshot::raw_bytes`]
+    /// keeps the full-precision ledger for the compression ratio.
+    ///
+    /// [`TrafficSnapshot::raw_bytes`]: fedhisyn_simnet::TrafficSnapshot
+    pub codec: Codec,
+    /// Per-device error-feedback residual accumulators; enabled exactly
+    /// when [`FlEnv::codec`] is lossy.
+    pub residuals: ResidualBank,
     /// Deterministic wire-fault plan governing every ring relay.
     /// [`FaultPlan::none`] (the default) injects nothing and is
     /// bit-identical to a build without the transport layer; a non-trivial
@@ -226,29 +306,51 @@ impl FlEnv {
             .fold(0.0f64, f64::max)
     }
 
-    /// Encoded size of one model transfer on the wire (header + checksum
-    /// + f32 payload; see `fedhisyn_nn::wire`).
+    /// Encoded size of one model transfer on the wire under the active
+    /// codec (header + checksum + codec payload; see `fedhisyn_nn::wire`).
+    /// This is what every transfer charges to `wire_bytes`.
     pub fn frame_bytes(&self) -> usize {
+        wire::encoded_len_with(self.codec, self.param_count())
+    }
+
+    /// Full-precision frame size of the same transfer — the `raw_bytes`
+    /// ledger feeding [`TrafficSnapshot::compression_ratio`]. Equal to
+    /// [`FlEnv::frame_bytes`] under [`Codec::F32`].
+    ///
+    /// [`TrafficSnapshot::compression_ratio`]: fedhisyn_simnet::TrafficSnapshot::compression_ratio
+    pub fn raw_frame_bytes(&self) -> usize {
         wire::encoded_len(self.param_count())
     }
 
     /// Record `model_equivalents` device→server uploads, charged at the
     /// wire-format frame size.
     pub fn charge_upload(&self, model_equivalents: f64) {
-        self.meter
-            .record_upload(model_equivalents, self.param_count(), self.frame_bytes());
+        self.meter.record_upload(
+            model_equivalents,
+            self.param_count(),
+            self.frame_bytes(),
+            self.raw_frame_bytes(),
+        );
     }
 
     /// Record `model_equivalents` server→device downloads.
     pub fn charge_download(&self, model_equivalents: f64) {
-        self.meter
-            .record_download(model_equivalents, self.param_count(), self.frame_bytes());
+        self.meter.record_download(
+            model_equivalents,
+            self.param_count(),
+            self.frame_bytes(),
+            self.raw_frame_bytes(),
+        );
     }
 
     /// Record `model_equivalents` device→device ring transfers.
     pub fn charge_peer(&self, model_equivalents: f64) {
-        self.meter
-            .record_peer(model_equivalents, self.param_count(), self.frame_bytes());
+        self.meter.record_peer(
+            model_equivalents,
+            self.param_count(),
+            self.frame_bytes(),
+            self.raw_frame_bytes(),
+        );
     }
 
     /// Record `frames` retransmitted relay frames (retries + duplicate
@@ -256,8 +358,12 @@ impl FlEnv {
     /// was already counted by [`FlEnv::charge_peer`].
     pub fn charge_retransmit(&self, frames: f64) {
         if frames > 0.0 {
-            self.meter
-                .record_retransmit(frames, self.param_count(), self.frame_bytes());
+            self.meter.record_retransmit(
+                frames,
+                self.param_count(),
+                self.frame_bytes(),
+                self.raw_frame_bytes(),
+            );
         }
     }
 
@@ -280,7 +386,7 @@ impl FlEnv {
         let frame = wire::encode(params);
         assert_eq!(
             frame.len(),
-            self.frame_bytes(),
+            self.raw_frame_bytes(),
             "wire frame size disagrees with the byte accounting"
         );
         // The receive-side gate every relay hop runs: header + integrity
@@ -296,6 +402,66 @@ impl FlEnv {
                 .all(|(a, b)| a.to_bits() == b.to_bits()),
             "wire round-trip drift: decoded parameters differ from the originals"
         );
+    }
+
+    /// Pass one outgoing transfer from `device` through the active wire
+    /// codec: `params` becomes exactly what the receiver decodes, the
+    /// dropped mass lands in `device`'s error-feedback residual, and —
+    /// when [`FlEnv::wire_check`] is set — the fused transform is
+    /// asserted bit-identical to the encode→decode byte path on the
+    /// post-residual payload (the codec extension of the serialization
+    /// tripwire).
+    ///
+    /// `base` is the shared reference model `TopK` deltas are coded
+    /// against (the round's decoded broadcast for FedHiSyn; `None` ⇒
+    /// zero base for serverless topologies). Under [`Codec::F32`] this
+    /// degrades to the legacy [`FlEnv::wire_round_trip_check`] and the
+    /// payload is untouched — bit-identity with the pre-codec engine.
+    pub fn codec_transform(
+        &self,
+        device: usize,
+        params: &mut ParamVec,
+        base: Option<&ParamVec>,
+        scratch: &mut CodecScratch,
+    ) {
+        if !self.codec.lossy() {
+            self.wire_round_trip_check(params);
+            return;
+        }
+        let mut residual = self
+            .residuals
+            .take(device, params.len())
+            .expect("lossy codec requires an enabled ResidualBank");
+        // Snapshot the post-residual payload v before the in-place
+        // transform consumes it; only the opt-in tripwire pays the clone.
+        let check_payload = if self.wire_check {
+            let mut v = params.clone();
+            v.add_assign(&residual);
+            Some(v)
+        } else {
+            None
+        };
+        wire::codec_transform_in_place(self.codec, params, base, &mut residual, scratch);
+        if let Some(v) = check_payload {
+            let frame = wire::encode_with(&v, self.codec, base);
+            assert_eq!(
+                frame.len(),
+                self.frame_bytes(),
+                "encoded frame size disagrees with the byte accounting"
+            );
+            let verified = wire::verify_frame(&frame).expect("relay frame must verify");
+            assert_eq!(verified, v.len(), "verified count disagrees");
+            let decoded = wire::decode_with(&frame, base).expect("relay frame must decode");
+            assert!(
+                decoded
+                    .as_slice()
+                    .iter()
+                    .zip(params.as_slice())
+                    .all(|(a, b)| a.to_bits() == b.to_bits()),
+                "codec drift: byte-path decode differs from the fused transform"
+            );
+        }
+        self.residuals.store(device, residual);
     }
 }
 
@@ -351,6 +517,8 @@ mod tests {
             exec: ExecMode::default(),
             momentum: MomentumBank::disabled(),
             wire_check: false,
+            codec: Codec::F32,
+            residuals: ResidualBank::disabled(),
             faults: FaultPlan::none(),
             cohort: None,
             telemetry: TelemetrySink::disabled(),
@@ -437,6 +605,73 @@ mod tests {
         assert!(!off.enabled());
         assert_eq!(off.take(0), None, "disabled bank ignores any device id");
         off.store(7, Some(ParamVec::zeros(3))); // and swallows stores
+    }
+
+    #[test]
+    fn lossy_codec_splits_encoded_and_raw_ledgers() {
+        let mut env = tiny_env();
+        env.codec = Codec::Int8;
+        env.residuals = ResidualBank::new();
+        env.charge_peer(2.0);
+        env.charge_retransmit(1.0);
+        let s = env.meter.snapshot();
+        assert!(env.frame_bytes() < env.raw_frame_bytes());
+        assert_eq!(s.wire_bytes, 3.0 * env.frame_bytes() as f64);
+        assert_eq!(s.raw_bytes, 3.0 * env.raw_frame_bytes() as f64);
+        // The tiny test model is header-dominated; the full ≥3.5× Int8
+        // target is pinned at realistic sizes in `nn::wire`'s tests.
+        assert_eq!(
+            s.compression_ratio(),
+            env.raw_frame_bytes() as f64 / env.frame_bytes() as f64
+        );
+        assert!(s.compression_ratio() > 1.0);
+    }
+
+    #[test]
+    fn codec_transform_is_checked_and_feeds_residuals() {
+        let mut env = tiny_env();
+        env.codec = Codec::TopK { permille: 100 };
+        env.residuals = ResidualBank::new();
+        env.wire_check = true; // byte-path equivalence asserted per call
+        let base = ParamVec::from_vec(vec![0.5; env.param_count()]);
+        let mut p = ParamVec::from_vec((0..env.param_count()).map(|i| (i as f32) * 0.01).collect());
+        let mut scratch = CodecScratch::new();
+        env.codec_transform(1, &mut p, Some(&base), &mut scratch);
+        // The residual persisted and is re-injected on the next call.
+        let r = env.residuals.take(1, env.param_count()).unwrap();
+        assert!(r.as_slice().iter().any(|&x| x != 0.0));
+        env.residuals.store(1, r);
+        env.codec_transform(1, &mut p, Some(&base), &mut scratch);
+    }
+
+    #[test]
+    fn f32_codec_transform_is_a_noop() {
+        let env = tiny_env();
+        let mut p = ParamVec::from_vec(vec![1.25; env.param_count()]);
+        let before = p.clone();
+        let mut scratch = CodecScratch::new();
+        env.codec_transform(0, &mut p, None, &mut scratch);
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn residual_bank_moves_state_and_zeroes_on_first_touch() {
+        let bank = ResidualBank::new();
+        assert!(bank.enabled());
+        let first = bank.take(3, 5).unwrap();
+        assert_eq!(first.as_slice(), &[0.0; 5], "first touch is a zero vec");
+        bank.store(3, ParamVec::from_vec(vec![1.0; 5]));
+        assert_eq!(bank.take(3, 5).unwrap().as_slice(), &[1.0; 5]);
+        // The server's broadcast residual lives under a reserved key.
+        bank.store(ResidualBank::SERVER, ParamVec::from_vec(vec![2.0]));
+        assert_eq!(
+            bank.take(ResidualBank::SERVER, 1).unwrap().as_slice(),
+            &[2.0]
+        );
+        let off = ResidualBank::disabled();
+        assert!(!off.enabled());
+        assert_eq!(off.take(0, 5), None);
+        off.store(0, ParamVec::zeros(5)); // swallowed
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 
 use fedhisyn_cluster::kmeans_1d;
-use fedhisyn_nn::ParamVec;
+use fedhisyn_nn::{CodecScratch, ParamVec};
 use fedhisyn_telemetry::{Phase, SpanCtx};
 use fedhisyn_tensor::{rng_from_seed, TensorRng};
 use rayon::prelude::*;
@@ -11,11 +11,11 @@ use rayon::prelude::*;
 use crate::aggregate::{AggregationRule, Contribution};
 use crate::algorithm::{FlAlgorithm, RoundContext};
 use crate::config::ExperimentConfig;
-use crate::env::{seed_mix, FlEnv};
+use crate::env::{seed_mix, FlEnv, ResidualBank};
 use crate::local::local_train_plain_owned;
 use crate::ring_sim::{
-    simulate_ring_interval_transport, ReceivePolicy, RingFaults, RingOutcome, RingStart, RingTrace,
-    TransportStats,
+    simulate_ring_interval_transport, ReceivePolicy, RelayCodec, RingFaults, RingOutcome,
+    RingStart, RingTrace, TransportStats,
 };
 use crate::topology::{Ring, RingOrder};
 
@@ -58,6 +58,11 @@ pub struct FedHiSyn {
     /// device id and pruned below [`FAULT_SCORE_FLOOR`], so it stays
     /// O(flaky devices) — never O(fleet).
     fault_scores: HashMap<usize, f64>,
+    /// The decoded broadcast of the previous round — the shared base a
+    /// lossy codec's `TopK` deltas are taken against (every participant
+    /// already holds it). `None` for the first round (deltas from zero)
+    /// and on lossless codecs (never touched).
+    prev_broadcast: Option<ParamVec>,
 }
 
 impl FedHiSyn {
@@ -74,6 +79,7 @@ impl FedHiSyn {
             participation: cfg.participation,
             global: cfg.initial_params(),
             fault_scores: HashMap::new(),
+            prev_broadcast: None,
         }
     }
 
@@ -96,6 +102,9 @@ impl FedHiSyn {
             "global model size mismatch"
         );
         self.global = params;
+        // The warm-start model was never broadcast: a stale delta base
+        // would silently corrupt the next compressed broadcast.
+        self.prev_broadcast = None;
     }
 
     /// Cluster `participants` into at most `k` latency classes, fastest
@@ -138,8 +147,28 @@ impl FlAlgorithm for FedHiSyn {
         let s = ctx.participants;
         let round = ctx.round;
 
-        // 1. Broadcast W_G to every participant.
+        // 1. Broadcast W_G to every participant. With a lossy wire codec
+        //    the server compresses the broadcast *once* — every device
+        //    receives the same decoded reconstruction — while the
+        //    server's error-feedback residual ([`ResidualBank::SERVER`])
+        //    carries the dropped mass into the next round's broadcast.
+        //    `TopK` deltas are taken against the previous round's decoded
+        //    broadcast, which every participant already holds.
         env.charge_download(s.len() as f64);
+        let broadcast: Option<ParamVec> = if env.codec.lossy() {
+            let mut b = self.global.clone();
+            let mut scratch = CodecScratch::new();
+            env.codec_transform(
+                ResidualBank::SERVER,
+                &mut b,
+                self.prev_broadcast.as_ref(),
+                &mut scratch,
+            );
+            self.prev_broadcast = Some(b.clone());
+            Some(b)
+        } else {
+            None
+        };
 
         // 2. Cluster by the latencies observed *this round*, fastest
         //    class first.
@@ -226,7 +255,17 @@ impl FlAlgorithm for FedHiSyn {
             .collect();
         let rebuilds = rings.iter().filter(|r| r.rebuilt).count() as u64;
 
-        let global = &self.global;
+        // What the rings actually start from: the decoded broadcast under
+        // a lossy codec, the exact global otherwise.
+        let global: &ParamVec = broadcast.as_ref().unwrap_or(&self.global);
+        // Every relay hop inside the interval crosses the compressed
+        // wire; deltas are taken against the shared broadcast. With the
+        // `F32` codec this reduces to the serialization tripwire (a no-op
+        // unless `wire_check` is set).
+        let relay_codec = RelayCodec {
+            env,
+            base: Some(global),
+        };
         let policy = self.receive_policy;
         let failure_policy = env.fleet.dynamics().failure_policy;
         let vt_base = ctx.vt_base;
@@ -269,6 +308,7 @@ impl FlAlgorithm for FedHiSyn {
                         lane: ci as u32,
                         vt_base,
                     }),
+                    Some(&relay_codec),
                     |device, params, salt| {
                         let trained = local_train_plain_owned(
                             env,
@@ -299,6 +339,7 @@ impl FlAlgorithm for FedHiSyn {
         //    newest model (a mid-interval casualty cannot upload).
         let agg_wall = env.telemetry.wall_start();
         let mut uploaded: Vec<(ParamVec, usize, f64)> = Vec::with_capacity(s.len());
+        let mut upload_scratch = CodecScratch::new();
         let mut transport_total = TransportStats::default();
         for (outcome, ring, mean_time) in outcomes {
             env.charge_peer(outcome.transfers as f64);
@@ -320,11 +361,16 @@ impl FlAlgorithm for FedHiSyn {
                     }
                 }
             }
-            for (pos, model) in outcome.final_models.into_iter().enumerate() {
+            for (pos, mut model) in outcome.final_models.into_iter().enumerate() {
                 if !outcome.alive[pos] {
                     continue;
                 }
                 let device = ring.order()[pos];
+                // The upload crosses the same compressed wire: the server
+                // aggregates the decoded reconstruction, and the device's
+                // error-feedback residual carries the upload's
+                // quantization error into its next send.
+                env.codec_transform(device, &mut model, broadcast.as_ref(), &mut upload_scratch);
                 uploaded.push((model, env.shard_len(device), mean_time));
             }
         }

@@ -208,6 +208,8 @@ mod tests {
             exec: ExecMode::default(),
             momentum: crate::env::MomentumBank::disabled(),
             wire_check: false,
+            codec: fedhisyn_nn::Codec::F32,
+            residuals: crate::env::ResidualBank::disabled(),
             faults: fedhisyn_simnet::FaultPlan::none(),
             cohort: None,
             telemetry: fedhisyn_telemetry::TelemetrySink::disabled(),

@@ -44,6 +44,11 @@ pub struct RunRecord {
     /// contract. `false` only for the opt-in FMA tier (fused rounding):
     /// FMA runs must compare against FMA baselines, not the default ones.
     pub kernel_tier_bit_identical: bool,
+    /// Wire-codec label this run's traffic crossed (`"f32"`, `"int8"`,
+    /// `"topk<permille>"`) — stamped next to `kernel_tier` so
+    /// accuracy-vs-bytes results are never compared across codecs by
+    /// accident.
+    pub codec: String,
     /// Per-round metrics in order.
     pub rounds: Vec<RoundRecord>,
 }
@@ -56,6 +61,7 @@ impl RunRecord {
             algorithm: algorithm.into(),
             kernel_tier: crate::engine::ExecutionEngine::kernel_tier().to_string(),
             kernel_tier_bit_identical: crate::engine::ExecutionEngine::kernel_tier_bit_identical(),
+            codec: fedhisyn_nn::Codec::F32.label(),
             rounds: Vec::new(),
         }
     }
@@ -176,6 +182,7 @@ mod tests {
             r.kernel_tier != "avx2_fma",
             "only the FMA tier opts out of bit-determinism"
         );
+        assert_eq!(r.codec, "f32", "fresh records default to the f32 wire");
     }
 
     #[test]

@@ -25,11 +25,12 @@
 //! tests can verify the event choreography with arithmetic mocks while
 //! the algorithms plug in real SGD.
 
-use fedhisyn_nn::ParamVec;
+use fedhisyn_nn::{CodecScratch, ParamVec};
 use fedhisyn_simnet::{EventQueue, FaultKind, FaultPlan, LinkModel, SimTime};
 use fedhisyn_telemetry::{Phase, SpanCtx, TelemetrySink, TransportCounters};
 use serde::{Deserialize, Serialize};
 
+use crate::env::FlEnv;
 use crate::topology::Ring;
 
 pub use fedhisyn_fleet::FailurePolicy;
@@ -324,6 +325,7 @@ where
         failures,
         None,
         None,
+        None,
         train,
     )
 }
@@ -360,6 +362,7 @@ where
         failures,
         None,
         Some(trace),
+        None,
         train,
     )
 }
@@ -396,6 +399,7 @@ pub fn simulate_ring_interval_transport<F>(
     failures: &[Option<f64>],
     faults: Option<RingFaults<'_>>,
     trace: Option<RingTrace<'_>>,
+    codec: Option<&RelayCodec<'_>>,
     train: F,
 ) -> RingOutcome
 where
@@ -412,8 +416,26 @@ where
         failures,
         faults,
         trace,
+        codec,
         train,
     )
+}
+
+/// Wire-codec context for one ring interval: the environment holding the
+/// active [`fedhisyn_nn::Codec`], its error-feedback residual bank and
+/// the `wire_check` tripwire, plus the shared base model `TopK` deltas
+/// are coded against (the round's decoded broadcast for FedHiSyn; `None`
+/// for serverless topologies).
+///
+/// `None` — or a context whose codec is `F32` with `wire_check` off —
+/// leaves every relay untouched: bit- and allocation-identical to the
+/// pre-codec engine.
+#[derive(Debug, Clone, Copy)]
+pub struct RelayCodec<'a> {
+    /// Environment carrying codec, residuals and the wire-check flag.
+    pub env: &'a FlEnv,
+    /// Shared reference model for delta coding.
+    pub base: Option<&'a ParamVec>,
 }
 
 /// Everything one relay transmission needs to mutate, bundled so the
@@ -423,6 +445,8 @@ struct Wire<'a, 'b> {
     queue: &'a mut EventQueue<Event>,
     faults: Option<&'a RingFaults<'b>>,
     trace: &'a Option<RingTrace<'b>>,
+    codec: Option<&'a RelayCodec<'b>>,
+    codec_scratch: &'a mut CodecScratch,
     transport: &'a mut TransportStats,
     /// Per-source-position monotone frame cursor: every physical attempt
     /// consumes one value, so the pure fault function sees a fresh
@@ -445,10 +469,17 @@ impl Wire<'_, '_> {
         now: SimTime,
         src_pos: usize,
         dst_pos: usize,
-        model: ParamVec,
+        mut model: ParamVec,
     ) {
         let src = ring.order()[src_pos];
         let dst = ring.order()[dst_pos];
+        // Every physical send crosses the codec: the receiver observes
+        // the decoded reconstruction, the sender's residual absorbs what
+        // this hop's encode dropped. A no-op under `F32`.
+        if let Some(c) = self.codec {
+            c.env
+                .codec_transform(src, &mut model, c.base, self.codec_scratch);
+        }
         let delay = link.delay(src, dst).max(0.0);
         let seq = *self.transfers;
         *self.transfers += 1;
@@ -559,6 +590,7 @@ fn sim_ring_impl<F>(
     failures: &[Option<f64>],
     faults: Option<RingFaults<'_>>,
     trace: Option<RingTrace<'_>>,
+    codec: Option<&RelayCodec<'_>>,
     mut train: F,
 ) -> RingOutcome
 where
@@ -603,6 +635,10 @@ where
     // draws, bit-identical event choreography.
     let fault_ctx = faults.filter(|f| !f.plan.is_none());
     let mut transport = TransportStats::default();
+    // One scratch per ring interval: the event loop is single-threaded,
+    // so every hop's codec transform reuses these buffers and the steady
+    // state stays allocation-free after the first compressed send.
+    let mut codec_scratch = CodecScratch::new();
     let mut sent: Vec<u64> = Vec::new();
     if fault_ctx.is_some() {
         transport.faults_at = vec![0; n];
@@ -642,6 +678,8 @@ where
                                 transport: &mut transport,
                                 sent: &mut sent,
                                 transfers: &mut transfers,
+                                codec,
+                                codec_scratch: &mut codec_scratch,
                             }
                             .transmit(ring, link, now, pos, succ, model);
                         }
@@ -669,6 +707,8 @@ where
                                 transport: &mut transport,
                                 sent: &mut sent,
                                 transfers: &mut transfers,
+                                codec,
+                                codec_scratch: &mut codec_scratch,
                             }
                             .transmit(
                                 ring,
@@ -730,6 +770,8 @@ where
                             transport: &mut transport,
                             sent: &mut sent,
                             transfers: &mut transfers,
+                            codec,
+                            codec_scratch: &mut codec_scratch,
                         }
                         .transmit(
                             ring,
@@ -1275,6 +1317,7 @@ mod tests {
             &[],
             Some(RingFaults { plan, round: 7 }),
             None,
+            None,
             mock_train(n),
         )
     }
@@ -1402,6 +1445,7 @@ mod tests {
                 plan: &plan,
                 round: 0,
             }),
+            None,
             None,
             mock_train(3),
         );

@@ -51,3 +51,4 @@ pub use train::{
     evaluate, evaluate_arena, mean_loss, mean_loss_arena, sgd_epoch, sgd_epoch_reference, GradHook,
     NoHook, Sgd, SgdConfig,
 };
+pub use wire::{Codec, CodecScratch, WireError};

@@ -1,27 +1,148 @@
-//! Wire format for model exchange.
+//! Wire format for model exchange: framing, integrity, and compression.
 //!
 //! Federated deployments ship weights over the network; this module
 //! defines the compact binary encoding the simulated transfers stand in
-//! for: a fixed header (magic, version, parameter count, seed-checksum)
-//! followed by little-endian `f32` parameters. The byte counts reported by
-//! [`encoded_len`] are what `fedhisyn-simnet`'s byte accounting models.
+//! for: a fixed header (magic, version, codec tag, parameter count,
+//! checksum) followed by a codec-specific payload. The byte counts
+//! reported by [`encoded_len_with`] are what `fedhisyn-simnet`'s byte
+//! accounting models.
+//!
+//! # v3: the codec layer
+//!
+//! v3 introduces a [`Codec`] selecting the payload encoding:
+//!
+//! | codec | payload | bytes (n params) | lossy |
+//! |-------|---------|------------------|-------|
+//! | [`Codec::F32`]  | little-endian `f32`s | `4n` | no |
+//! | [`Codec::Int8`] | per-256-chunk `[min, scale]` grid + 1 B/param | `n + 8⌈n/256⌉` | yes |
+//! | [`Codec::TopK`] | `[k, min, scale]` + presence bitmap + `k` quantized deltas | `12 + ⌈n/8⌉ + k` | yes |
+//!
+//! The codec tag lives in the previously-reserved `flags` field, so
+//! `HEADER_LEN` — and with it every `F32` frame size and every historical
+//! wire-byte ledger — is unchanged from v2.
+//!
+//! `TopK` codes *deltas from a shared base* (the round's broadcast model,
+//! or zero when no base exists): only the `k = ⌈n·permille/1000⌉`
+//! largest-magnitude deltas survive, quantized to 8 bits on a shared
+//! linear grid. Lossy codecs pair with **error feedback**: the caller
+//! accumulates what the codec dropped into a per-device residual
+//! ([`codec_transform_in_place`]) and re-injects it before the next
+//! encode, so dropped mass re-enters later hops instead of vanishing.
+//!
+//! # Integrity
+//!
+//! The v3 checksum is a byte-wise FNV-1a-64 over the `flags` and `count`
+//! header fields **and the encoded payload**, finalized with a
+//! SplitMix64-style avalanche and truncated to the header's 32-bit slot.
+//! Hashing encoded bytes (rather than decoded parameters, as v2 did)
+//! means corruption of *compressed* frames — including a flipped codec
+//! tag that aliases another codec's payload length — is caught before any
+//! dequantization runs. The avalanche step matters: plain FNV's multiply
+//! only carries differences upward, so truncating its raw state would
+//! leave the low word blind to high-byte corruption (the PR 9 lesson).
+//!
+//! # Determinism
+//!
+//! Every codec is a pure function of `(payload, base, codec)`: quantize /
+//! dequantize kernels are dispatched through the tensor crate's
+//! `KernelTier` table and are bit-identical across scalar and AVX2 tiers
+//! (see `fedhisyn_tensor::quant`), top-k selection uses the total order
+//! (|Δ| descending, index ascending), and the fused in-place transform is
+//! bit-equal to the encode→decode byte path (asserted by the `wire_check`
+//! tripwire).
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use fedhisyn_tensor::content_hash_f32;
+use fedhisyn_tensor::quant::{dequantize_slice, finite_min_max, quant_scale, quantize_slice};
+use serde::{Deserialize, Serialize};
 
 use crate::params::ParamVec;
 
 /// Magic bytes identifying a FedHiSyn weight frame.
 pub const MAGIC: [u8; 4] = *b"FHSW";
-/// Current wire-format version. v2 replaced the byte-wise FNV payload
-/// checksum with a fold of the workspace's `content_hash_f32` digest, so
-/// the wire integrity check and the engine's content-addressed caches
-/// agree on what "the same parameters" means.
-pub const VERSION: u16 = 2;
+/// Current wire-format version. v3 turned the reserved `flags` field into
+/// a codec tag and moved the checksum to the *encoded* payload bytes so
+/// compressed frames get the same corruption coverage as raw ones.
+pub const VERSION: u16 = 3;
 /// Header size in bytes: magic (4) + version (2) + flags (2) + count (8) +
-/// checksum (4). Identical across v1 and v2, so `encoded_len` — and every
-/// wire-byte ledger derived from it — is version-independent.
+/// checksum (4). Identical across v1–v3, so `F32` frame sizes — and every
+/// wire-byte ledger derived from them — are version-independent.
 pub const HEADER_LEN: usize = 20;
+
+/// Parameters per `Int8` quantization chunk. Each chunk carries its own
+/// `[min, scale]` pair so one outlier only widens the grid locally.
+pub const INT8_CHUNK: usize = 256;
+
+/// Payload encoding for a weight frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Codec {
+    /// Full-precision little-endian `f32` — the historical path, proven
+    /// bit-identical to v2 accounting.
+    #[default]
+    F32,
+    /// Per-chunk 8-bit linear quantization of absolute values (~3.9×).
+    Int8,
+    /// Magnitude top-k sparsification of deltas-from-base, 8-bit
+    /// quantized (~17× at `permille = 100`). Requires error feedback to
+    /// converge; pair with [`codec_transform_in_place`].
+    TopK {
+        /// Parts-per-thousand of parameters kept (`100` ⇒ k = 10 %).
+        permille: u16,
+    },
+}
+
+impl Codec {
+    /// True for codecs that discard information (and therefore need
+    /// error-feedback residuals).
+    pub fn lossy(self) -> bool {
+        !matches!(self, Codec::F32)
+    }
+
+    /// Stable label for records and reports (`f32`, `int8`, `topk100`).
+    pub fn label(self) -> String {
+        match self {
+            Codec::F32 => "f32".to_string(),
+            Codec::Int8 => "int8".to_string(),
+            Codec::TopK { permille } => format!("topk{permille}"),
+        }
+    }
+
+    /// Pack into the header's `flags` field: bits 0–2 carry the codec
+    /// kind, bits 6–15 the `TopK` permille.
+    pub fn to_flags(self) -> u16 {
+        match self {
+            Codec::F32 => 0,
+            Codec::Int8 => 1,
+            Codec::TopK { permille } => 2 | (permille.min(1000) << 6),
+        }
+    }
+
+    /// Recover a codec from the `flags` field.
+    pub fn from_flags(flags: u16) -> Result<Codec, WireError> {
+        match flags & 0x7 {
+            0 => Ok(Codec::F32),
+            1 => Ok(Codec::Int8),
+            2 => Ok(Codec::TopK {
+                permille: (flags >> 6) & 0x3FF,
+            }),
+            _ => Err(WireError::BadCodec(flags)),
+        }
+    }
+}
+
+/// Number of parameters a `TopK` frame keeps: `⌈n·permille/1000⌉`,
+/// clamped to `[1, n]` (at least one survivor so a frame is never empty),
+/// and `0` only for empty vectors. Deterministic in `(n, permille)`, so
+/// frame sizes are too.
+pub fn topk_k(params: usize, permille: u16) -> usize {
+    if params == 0 {
+        return 0;
+    }
+    // Saturating: `params` can come from a *corrupted* header's count
+    // field during parsing, and a length computation must never panic —
+    // a saturated size simply fails the length gate.
+    let k = params.saturating_mul(permille as usize).div_ceil(1000);
+    k.clamp(1, params)
+}
 
 /// Errors produced when decoding a weight frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,11 +153,13 @@ pub enum WireError {
     BadMagic,
     /// Unsupported version.
     BadVersion(u16),
-    /// Payload length disagrees with the header's parameter count.
+    /// The `flags` field does not name a known codec.
+    BadCodec(u16),
+    /// Payload length disagrees with the header's codec and count.
     LengthMismatch {
-        /// Parameters promised by the header.
+        /// Payload bytes promised by the header.
         expected: usize,
-        /// Parameters actually present.
+        /// Payload bytes actually present.
         actual: usize,
     },
     /// Checksum mismatch (corrupted transfer).
@@ -49,8 +172,9 @@ impl std::fmt::Display for WireError {
             WireError::Truncated => write!(f, "frame truncated"),
             WireError::BadMagic => write!(f, "bad magic bytes"),
             WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadCodec(flags) => write!(f, "unknown codec flags {flags:#06x}"),
             WireError::LengthMismatch { expected, actual } => {
-                write!(f, "payload has {actual} params, header says {expected}")
+                write!(f, "payload has {actual} bytes, header implies {expected}")
             }
             WireError::BadChecksum => write!(f, "checksum mismatch"),
         }
@@ -59,51 +183,229 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
-/// Total encoded size of a model with `params` parameters.
+/// Payload bytes for `params` parameters under `codec`. Saturating for
+/// the same reason as [`topk_k`]: `params` may be a corrupted header
+/// count, and a saturated length fails the length gate instead of
+/// panicking.
+fn payload_len(codec: Codec, params: usize) -> usize {
+    match codec {
+        Codec::F32 => params.saturating_mul(4),
+        Codec::Int8 => params.saturating_add(8usize.saturating_mul(params.div_ceil(INT8_CHUNK))),
+        Codec::TopK { permille } => {
+            if params == 0 {
+                12
+            } else {
+                12usize
+                    .saturating_add(params.div_ceil(8))
+                    .saturating_add(topk_k(params, permille))
+            }
+        }
+    }
+}
+
+/// Total encoded size of a model with `params` parameters under the
+/// historical full-precision path.
 pub const fn encoded_len(params: usize) -> usize {
     HEADER_LEN + params * 4
 }
 
-/// Integrity checksum of a parameter payload: the 64-bit
-/// [`content_hash_f32`] digest of the decoded `f32` values, truncated to
-/// the header's 32-bit checksum slot. Hashing parameter *content* (IEEE
-/// bit patterns, length included) rather than raw payload bytes means any
-/// flipped payload bit — sign, exponent or mantissa, `0.0` vs `-0.0`
-/// included — flips the digest, and the wire check agrees byte-for-byte
-/// with the engine's content-addressed panel caches.
-///
-/// Plain truncation, NOT another `h ^ (h >> 32)` fold: the digest's final
-/// step already folds its internal state that way, so folding a second
-/// time algebraically cancels back to the *pre*-fold low word — and the
-/// digest's multiply-mix only carries differences upward, which would
-/// leave that word blind to corruption in the high half of each packed
-/// element pair (every odd-indexed parameter).
-fn checksum(params: &[f32]) -> u32 {
-    content_hash_f32(params) as u32
+/// Total encoded size of a model with `params` parameters under `codec`.
+pub fn encoded_len_with(codec: Codec, params: usize) -> usize {
+    HEADER_LEN + payload_len(codec, params)
 }
 
-/// Encode a parameter vector into a weight frame.
+/// v3 integrity checksum: byte-wise FNV-1a-64 over the `flags` and
+/// `count` header bytes and the encoded payload, avalanched and truncated
+/// to 32 bits (see module docs for why both steps matter).
+fn frame_checksum(flags: u16, count: u64, payload: &[u8]) -> u32 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &b in flags
+        .to_le_bytes()
+        .iter()
+        .chain(count.to_le_bytes().iter())
+        .chain(payload.iter())
+    {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    // SplitMix64 finalizer: full-width diffusion before truncation.
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    h as u32
+}
+
+// ---- encode --------------------------------------------------------------
+
+/// Encode a parameter vector into a full-precision (`F32`) weight frame.
 pub fn encode(params: &ParamVec) -> Bytes {
-    let mut buf = BytesMut::with_capacity(encoded_len(params.len()));
+    encode_with(params, Codec::F32, None)
+}
+
+/// Encode a parameter vector under `codec`.
+///
+/// `base` is the shared reference model `TopK` deltas are taken against
+/// (`None` ⇒ zero base); `F32` and `Int8` ignore it. For lossy codecs the
+/// caller is responsible for error feedback — encode `v = payload +
+/// residual`, not the raw payload (see [`codec_transform_in_place`]).
+///
+/// # Panics
+/// If `base` is given with a different length than `params`.
+pub fn encode_with(params: &ParamVec, codec: Codec, base: Option<&ParamVec>) -> Bytes {
+    if let Some(b) = base {
+        assert_eq!(b.len(), params.len(), "encode_with: base length mismatch");
+    }
+    let n = params.len();
+    let flags = codec.to_flags();
+    let mut payload = BytesMut::with_capacity(payload_len(codec, n));
+    match codec {
+        Codec::F32 => {
+            for &x in params.as_slice() {
+                payload.put_f32_le(x);
+            }
+        }
+        Codec::Int8 => encode_int8(params.as_slice(), &mut payload),
+        Codec::TopK { permille } => {
+            let mut scratch = CodecScratch::new();
+            let base_slice = base.map(ParamVec::as_slice);
+            topk_plan(params.as_slice(), base_slice, permille, &mut scratch);
+            encode_topk(n, &scratch, &mut payload);
+        }
+    }
+    debug_assert_eq!(payload.len(), payload_len(codec, n));
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len());
     buf.put_slice(&MAGIC);
     buf.put_u16_le(VERSION);
-    buf.put_u16_le(0); // flags, reserved
-    buf.put_u64_le(params.len() as u64);
-    buf.put_u32_le(checksum(params.as_slice()));
-    for &x in params.as_slice() {
-        buf.put_f32_le(x);
-    }
+    buf.put_u16_le(flags);
+    buf.put_u64_le(n as u64);
+    buf.put_u32_le(frame_checksum(flags, n as u64, &payload));
+    buf.put_slice(&payload);
     buf.freeze()
 }
 
-/// Decode a weight frame back into a parameter vector.
-pub fn decode(frame: &[u8]) -> Result<ParamVec, WireError> {
-    let (count, stored_checksum, mut buf) = parse_header(frame)?;
-    let mut out = Vec::with_capacity(count);
-    for _ in 0..count {
-        out.push(buf.get_f32_le());
+/// Quantize `xs` chunk-by-chunk into `payload` (`[min, scale]` then one
+/// byte per parameter).
+fn encode_int8(xs: &[f32], payload: &mut BytesMut) {
+    let mut q = [0u8; INT8_CHUNK];
+    for chunk in xs.chunks(INT8_CHUNK) {
+        let (min, scale, inv) = int8_grid(chunk);
+        payload.put_f32_le(min);
+        payload.put_f32_le(scale);
+        quantize_slice(chunk, min, inv, &mut q[..chunk.len()]);
+        payload.put_slice(&q[..chunk.len()]);
     }
-    if checksum(&out) != stored_checksum {
+}
+
+/// The `[min, scale]` grid for one `Int8` chunk. A chunk with no finite
+/// value collapses to the zero grid (every parameter decodes to `0.0`).
+fn int8_grid(chunk: &[f32]) -> (f32, f32, f32) {
+    let (lo, hi) = finite_min_max(chunk).unwrap_or((0.0, 0.0));
+    let (scale, inv) = quant_scale(lo, hi);
+    (lo, scale, inv)
+}
+
+/// Serialize a prepared top-k plan: `[k, min, scale]`, presence bitmap,
+/// then the k quantized deltas in index-ascending order.
+fn encode_topk(n: usize, plan: &CodecScratch, payload: &mut BytesMut) {
+    payload.put_u32_le(plan.idx.len() as u32);
+    payload.put_f32_le(plan.min);
+    payload.put_f32_le(plan.scale);
+    if n == 0 {
+        return;
+    }
+    let mut bitmap = vec![0u8; n.div_ceil(8)];
+    for &i in &plan.idx {
+        bitmap[i as usize / 8] |= 1 << (i as usize % 8);
+    }
+    payload.put_slice(&bitmap);
+    payload.put_slice(&plan.qs);
+}
+
+// ---- decode --------------------------------------------------------------
+
+/// Decode a weight frame back into a parameter vector (zero base).
+pub fn decode(frame: &[u8]) -> Result<ParamVec, WireError> {
+    decode_with(frame, None)
+}
+
+/// Decode a weight frame, reconstructing `TopK` deltas against `base`
+/// (`None` ⇒ zero base; `F32`/`Int8` ignore it).
+pub fn decode_with(frame: &[u8], base: Option<&ParamVec>) -> Result<ParamVec, WireError> {
+    let header = parse_header(frame)?;
+    let payload = &frame[HEADER_LEN..];
+    let n = header.count;
+    match header.codec {
+        Codec::F32 => {
+            let mut buf = payload;
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(buf.get_f32_le());
+            }
+            Ok(ParamVec::from_vec(out))
+        }
+        Codec::Int8 => decode_int8(n, payload),
+        Codec::TopK { permille } => decode_topk(n, permille, payload, base),
+    }
+}
+
+fn decode_int8(n: usize, payload: &[u8]) -> Result<ParamVec, WireError> {
+    let mut out = vec![0.0f32; n];
+    let mut buf = payload;
+    for chunk in out.chunks_mut(INT8_CHUNK) {
+        let min = buf.get_f32_le();
+        let scale = buf.get_f32_le();
+        dequantize_slice(&buf[..chunk.len()], min, scale, chunk);
+        buf = &buf[chunk.len()..];
+    }
+    Ok(ParamVec::from_vec(out))
+}
+
+fn decode_topk(
+    n: usize,
+    permille: u16,
+    payload: &[u8],
+    base: Option<&ParamVec>,
+) -> Result<ParamVec, WireError> {
+    if let Some(b) = base {
+        assert_eq!(b.len(), n, "decode_with: base length mismatch");
+    }
+    let mut buf = payload;
+    let k = buf.get_u32_le() as usize;
+    let min = buf.get_f32_le();
+    let scale = buf.get_f32_le();
+    let expected_k = topk_k(n, permille);
+    if k != expected_k {
+        // The checksum already covers the payload, so this only fires on
+        // an encoder bug; reject rather than index out of bounds.
+        return Err(WireError::LengthMismatch {
+            expected: expected_k,
+            actual: k,
+        });
+    }
+    let mut out = match base {
+        Some(b) => b.as_slice().to_vec(),
+        None => vec![0.0f32; n],
+    };
+    if n == 0 {
+        return Ok(ParamVec::from_vec(out));
+    }
+    let bitmap_len = n.div_ceil(8);
+    let bitmap = &buf[..bitmap_len];
+    let qs = &buf[bitmap_len..bitmap_len + k];
+    let mut dq = vec![0.0f32; k];
+    dequantize_slice(qs, min, scale, &mut dq);
+    let mut j = 0usize;
+    for i in 0..n {
+        if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+            if j >= k {
+                return Err(WireError::BadChecksum);
+            }
+            out[i] += dq[j];
+            j += 1;
+        }
+    }
+    if j != k {
         return Err(WireError::BadChecksum);
     }
     Ok(ParamVec::from_vec(out))
@@ -112,13 +414,19 @@ pub fn decode(frame: &[u8]) -> Result<ParamVec, WireError> {
 /// Verify a frame's structure and integrity checksum without handing the
 /// payload to the caller; returns the parameter count. This is the relay
 /// hop's receive-side gate: a corrupted frame surfaces as a typed
-/// [`WireError`] here, never as garbage parameters downstream.
+/// [`WireError`] here, never as garbage parameters downstream. Because
+/// the v3 checksum covers encoded bytes, no decode base is needed.
 pub fn verify_frame(frame: &[u8]) -> Result<usize, WireError> {
-    decode(frame).map(|p| p.len())
+    parse_header(frame).map(|h| h.count)
 }
 
-/// Validate the fixed header and return `(count, checksum, payload)`.
-fn parse_header(frame: &[u8]) -> Result<(usize, u32, &[u8]), WireError> {
+struct Header {
+    codec: Codec,
+    count: usize,
+}
+
+/// Validate the fixed header, payload length and checksum.
+fn parse_header(frame: &[u8]) -> Result<Header, WireError> {
     if frame.len() < HEADER_LEN {
         return Err(WireError::Truncated);
     }
@@ -132,16 +440,176 @@ fn parse_header(frame: &[u8]) -> Result<(usize, u32, &[u8]), WireError> {
     if version != VERSION {
         return Err(WireError::BadVersion(version));
     }
-    let _flags = buf.get_u16_le();
+    let flags = buf.get_u16_le();
+    let codec = Codec::from_flags(flags)?;
     let count = buf.get_u64_le() as usize;
     let stored_checksum = buf.get_u32_le();
-    if buf.remaining() != count * 4 {
+    let expected = payload_len(codec, count);
+    if buf.remaining() != expected {
         return Err(WireError::LengthMismatch {
-            expected: count,
-            actual: buf.remaining() / 4,
+            expected,
+            actual: buf.remaining(),
         });
     }
-    Ok((count, stored_checksum, buf))
+    if frame_checksum(flags, count as u64, buf) != stored_checksum {
+        return Err(WireError::BadChecksum);
+    }
+    Ok(Header { codec, count })
+}
+
+// ---- fused in-place transform (error feedback) ---------------------------
+
+/// Reusable workspaces for the codec transform. One per call-site thread;
+/// after first use the steady state performs zero allocations.
+#[derive(Debug, Default, Clone)]
+pub struct CodecScratch {
+    /// Deltas-from-base, length n (`TopK`).
+    deltas: Vec<f32>,
+    /// Index workspace for top-k selection, length n (`TopK`).
+    order: Vec<u32>,
+    /// Selected indices, ascending, length k (`TopK`).
+    idx: Vec<u32>,
+    /// Selected delta values in index order, length k (`TopK`).
+    vals: Vec<f32>,
+    /// Quantized selected deltas, length k (`TopK`).
+    qs: Vec<u8>,
+    /// Dequantized selected deltas, length k (`TopK`).
+    dq: Vec<f32>,
+    /// Grid minimum of the current plan.
+    min: f32,
+    /// Grid step of the current plan.
+    scale: f32,
+}
+
+impl CodecScratch {
+    /// Empty workspaces; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Build the top-k plan for `xs` against `base` into `scratch`: selected
+/// indices (ascending), their quantized deltas, and the shared grid.
+fn topk_plan(xs: &[f32], base: Option<&[f32]>, permille: u16, scratch: &mut CodecScratch) {
+    let n = xs.len();
+    let k = topk_k(n, permille);
+    scratch.deltas.clear();
+    match base {
+        Some(b) => scratch.deltas.extend(xs.iter().zip(b).map(|(x, b)| x - b)),
+        None => scratch.deltas.extend_from_slice(xs),
+    }
+    scratch.order.clear();
+    scratch.order.extend(0..n as u32);
+    if k > 0 && k < n {
+        let deltas = &scratch.deltas;
+        // Total order: |Δ| descending (total_cmp, so NaN deltas sort
+        // first and deterministically), index ascending on ties. The
+        // first k elements of any partition under a total order are a
+        // unique set, so the selection is deterministic.
+        scratch.order.select_nth_unstable_by(k - 1, |&a, &b| {
+            let da = deltas[a as usize].abs();
+            let db = deltas[b as usize].abs();
+            db.total_cmp(&da).then_with(|| a.cmp(&b))
+        });
+    }
+    scratch.idx.clear();
+    scratch.idx.extend_from_slice(&scratch.order[..k]);
+    scratch.idx.sort_unstable();
+    scratch.vals.clear();
+    let deltas = &scratch.deltas;
+    scratch
+        .vals
+        .extend(scratch.idx.iter().map(|&i| deltas[i as usize]));
+    let (lo, hi) = finite_min_max(&scratch.vals).unwrap_or((0.0, 0.0));
+    let (scale, inv) = quant_scale(lo, hi);
+    scratch.min = lo;
+    scratch.scale = scale;
+    scratch.qs.clear();
+    scratch.qs.resize(k, 0);
+    quantize_slice(&scratch.vals, lo, inv, &mut scratch.qs);
+}
+
+/// Apply `codec` to `params` in place with error feedback, exactly as the
+/// encode→decode byte path would: the value actually coded is
+/// `v = params + residual`, `params` becomes the receiver-visible
+/// reconstruction of `v`, and `residual` becomes `v − params` (the mass
+/// the codec dropped, re-injected on the next call).
+///
+/// `Codec::F32` is a strict no-op — the full-precision path carries no
+/// loss, so no residual ever forms and bit-identity with the pre-codec
+/// engine holds trivially.
+///
+/// Bit-equality with `decode_with(encode_with(v, codec, base), base)` is
+/// by construction (identical kernel calls in identical order) and is
+/// asserted per hop by the `wire_check` tripwire in `fedhisyn-core`.
+///
+/// # Panics
+/// If `residual` or `base` lengths disagree with `params`.
+pub fn codec_transform_in_place(
+    codec: Codec,
+    params: &mut ParamVec,
+    base: Option<&ParamVec>,
+    residual: &mut ParamVec,
+    scratch: &mut CodecScratch,
+) {
+    if !codec.lossy() {
+        return;
+    }
+    let n = params.len();
+    assert_eq!(residual.len(), n, "codec residual length mismatch");
+    if let Some(b) = base {
+        assert_eq!(b.len(), n, "codec base length mismatch");
+    }
+    match codec {
+        Codec::F32 => unreachable!("handled by the lossless early return"),
+        Codec::Int8 => {
+            let xs = params.as_mut_slice();
+            let rs = residual.as_mut_slice();
+            let mut v = [0.0f32; INT8_CHUNK];
+            let mut q = [0u8; INT8_CHUNK];
+            let mut c = 0;
+            while c < n {
+                let m = (n - c).min(INT8_CHUNK);
+                for j in 0..m {
+                    v[j] = xs[c + j] + rs[c + j];
+                }
+                let (min, scale, inv) = int8_grid(&v[..m]);
+                quantize_slice(&v[..m], min, inv, &mut q[..m]);
+                dequantize_slice(&q[..m], min, scale, &mut xs[c..c + m]);
+                for j in 0..m {
+                    rs[c + j] = v[j] - xs[c + j];
+                }
+                c += m;
+            }
+        }
+        Codec::TopK { permille } => {
+            // v = params + residual, computed in place in `params` so the
+            // plan sees exactly what the byte path would encode.
+            params.add_assign(residual);
+            let base_slice = base.map(ParamVec::as_slice);
+            topk_plan(params.as_slice(), base_slice, permille, scratch);
+            let k = scratch.idx.len();
+            scratch.dq.clear();
+            scratch.dq.resize(k, 0.0);
+            dequantize_slice(&scratch.qs, scratch.min, scratch.scale, &mut scratch.dq);
+            let xs = params.as_mut_slice();
+            let rs = residual.as_mut_slice();
+            // Unselected positions reconstruct to the base exactly;
+            // selected ones to base + dequantized delta — the same
+            // arithmetic decode_topk performs.
+            for i in 0..n {
+                let b = base_slice.map_or(0.0, |bs| bs[i]);
+                rs[i] = xs[i];
+                xs[i] = b;
+            }
+            for (j, &i) in scratch.idx.iter().enumerate() {
+                xs[i as usize] += scratch.dq[j];
+            }
+            for i in 0..n {
+                rs[i] -= xs[i];
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +620,17 @@ mod tests {
         ParamVec::from_vec(vec![1.0, -2.5, 0.0, f32::MAX, f32::MIN_POSITIVE])
     }
 
+    fn wave(n: usize) -> ParamVec {
+        ParamVec::from_vec((0..n).map(|i| ((i as f32) * 0.37).sin() * 2.0).collect())
+    }
+
+    const ALL_CODECS: [Codec; 4] = [
+        Codec::F32,
+        Codec::Int8,
+        Codec::TopK { permille: 100 },
+        Codec::TopK { permille: 500 },
+    ];
+
     #[test]
     fn round_trip_preserves_exact_bits() {
         let p = sample();
@@ -161,16 +640,83 @@ mod tests {
     }
 
     #[test]
-    fn encoded_len_matches_frame_size() {
-        let p = sample();
-        assert_eq!(encode(&p).len(), encoded_len(p.len()));
+    fn encoded_len_matches_frame_size_for_every_codec() {
+        let p = wave(300);
+        for codec in ALL_CODECS {
+            let frame = encode_with(&p, codec, None);
+            assert_eq!(frame.len(), encoded_len_with(codec, p.len()), "{codec:?}");
+        }
         assert_eq!(encoded_len(0), HEADER_LEN);
+        assert_eq!(encoded_len_with(Codec::F32, 7), encoded_len(7));
     }
 
     #[test]
-    fn empty_vector_round_trips() {
+    fn codec_flags_round_trip() {
+        for codec in ALL_CODECS {
+            assert_eq!(Codec::from_flags(codec.to_flags()), Ok(codec));
+        }
+        assert!(matches!(
+            Codec::from_flags(0x7),
+            Err(WireError::BadCodec(_))
+        ));
+    }
+
+    #[test]
+    fn compression_ratios_meet_targets() {
+        let n = 10_000;
+        let raw = encoded_len(n) as f64;
+        let int8 = encoded_len_with(Codec::Int8, n) as f64;
+        let topk = encoded_len_with(Codec::TopK { permille: 100 }, n) as f64;
+        assert!(raw / int8 >= 3.5, "int8 ratio {}", raw / int8);
+        assert!(raw / topk >= 10.0, "topk ratio {}", raw / topk);
+    }
+
+    #[test]
+    fn empty_vector_round_trips_under_every_codec() {
         let p = ParamVec::zeros(0);
-        assert_eq!(decode(&encode(&p)).unwrap(), p);
+        for codec in ALL_CODECS {
+            let frame = encode_with(&p, codec, None);
+            assert_eq!(decode_with(&frame, None).unwrap(), p, "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn int8_round_trip_error_is_bounded() {
+        let p = wave(700);
+        let frame = encode_with(&p, Codec::Int8, None);
+        let back = decode_with(&frame, None).unwrap();
+        // Grid step = range/255 per chunk; range ≤ 4 here.
+        for (x, y) in p.as_slice().iter().zip(back.as_slice()) {
+            assert!((x - y).abs() <= 4.0 / 255.0 * 0.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn topk_keeps_only_k_deltas_from_base() {
+        let base = wave(500);
+        let mut p = base.clone();
+        // Perturb 30 positions; k = 50 at permille 100, so all survive.
+        for i in 0..30 {
+            p.as_mut_slice()[i * 7] += 1.0 + i as f32;
+        }
+        let codec = Codec::TopK { permille: 100 };
+        let frame = encode_with(&p, codec, Some(&base));
+        let back = decode_with(&frame, Some(&base)).unwrap();
+        let mut changed = 0;
+        for i in 0..p.len() {
+            let (b, r) = (base.as_slice()[i], back.as_slice()[i]);
+            if r != b {
+                changed += 1;
+            }
+        }
+        assert!(changed <= topk_k(p.len(), 100));
+        // The perturbed positions dominate the magnitude order, so they
+        // all reconstruct close to their true value.
+        for i in 0..30 {
+            let j = i * 7;
+            let err = (back.as_slice()[j] - p.as_slice()[j]).abs();
+            assert!(err <= 30.0 / 255.0 + 1e-5, "idx {j} err {err}");
+        }
     }
 
     #[test]
@@ -206,22 +752,41 @@ mod tests {
     }
 
     #[test]
-    fn corruption_in_every_byte_position_is_detected() {
-        // Wide enough to exercise the digest's packed-pair path (8-element
-        // chunks); a re-folded checksum was historically blind to the high
-        // half of each pair — every odd-indexed parameter.
+    fn payload_corruption_in_every_byte_position_is_detected() {
+        // Every codec, every payload byte: a single flipped bit must
+        // surface as BadChecksum (payload flips never change the length).
         let p = ParamVec::from_vec((0..64).map(|i| (i as f32) * 0.37 - 9.0).collect());
-        let clean = encode(&p).to_vec();
-        for byte in HEADER_LEN..clean.len() {
-            let mut frame = clean.clone();
-            frame[byte] ^= 0x40;
-            assert_eq!(
-                decode(&frame),
-                Err(WireError::BadChecksum),
-                "flip at payload byte {} (param {}) went undetected",
-                byte - HEADER_LEN,
-                (byte - HEADER_LEN) / 4
-            );
+        for codec in ALL_CODECS {
+            let clean = encode_with(&p, codec, None).to_vec();
+            for byte in HEADER_LEN..clean.len() {
+                let mut frame = clean.clone();
+                frame[byte] ^= 0x40;
+                assert_eq!(
+                    verify_frame(&frame),
+                    Err(WireError::BadChecksum),
+                    "{codec:?}: flip at payload byte {} went undetected",
+                    byte - HEADER_LEN,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn codec_tag_corruption_is_detected() {
+        // Flipping the codec tag aliases another codec's length contract;
+        // either the length gate or the flags-covering checksum must fire.
+        let p = wave(64);
+        for codec in ALL_CODECS {
+            let clean = encode_with(&p, codec, None).to_vec();
+            for bit in 0..16 {
+                let mut frame = clean.clone();
+                let flags = u16::from_le_bytes([frame[6], frame[7]]) ^ (1 << bit);
+                frame[6..8].copy_from_slice(&flags.to_le_bytes());
+                assert!(
+                    verify_frame(&frame).is_err(),
+                    "{codec:?}: flags bit {bit} flip went undetected"
+                );
+            }
         }
     }
 
@@ -233,8 +798,131 @@ mod tests {
     }
 
     #[test]
+    fn int8_saturates_non_finite_deterministically() {
+        let p = ParamVec::from_vec(vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 0.0, 2.0]);
+        let a = decode_with(&encode_with(&p, Codec::Int8, None), None).unwrap();
+        let b = decode_with(&encode_with(&p, Codec::Int8, None), None).unwrap();
+        assert_eq!(a, b, "non-finite handling must be deterministic");
+        // Finite grid is [0, 2]; NaN and −∞ clamp to min, +∞ to max.
+        assert_eq!(a.as_slice()[0], 0.0);
+        assert_eq!(a.as_slice()[1], 2.0);
+        assert_eq!(a.as_slice()[2], 0.0);
+        assert!(a.is_finite());
+    }
+
+    #[test]
+    fn fused_transform_matches_byte_path() {
+        for codec in [Codec::Int8, Codec::TopK { permille: 100 }] {
+            let base = wave(500);
+            let mut params = wave(500);
+            for (i, x) in params.as_mut_slice().iter_mut().enumerate() {
+                *x += ((i * 31 + 7) % 17) as f32 * 0.01;
+            }
+            let mut residual =
+                ParamVec::from_vec((0..500).map(|i| ((i as f32) * 0.11).cos() * 0.02).collect());
+            let b = if matches!(codec, Codec::TopK { .. }) {
+                Some(&base)
+            } else {
+                None
+            };
+            // Byte path on v = params + residual.
+            let mut v = params.clone();
+            v.add_assign(&residual);
+            let frame = encode_with(&v, codec, b);
+            let byte_out = decode_with(&frame, b).unwrap();
+            // Fused path.
+            let mut scratch = CodecScratch::new();
+            codec_transform_in_place(codec, &mut params, b, &mut residual, &mut scratch);
+            assert_eq!(params, byte_out, "{codec:?} fused ≠ byte path");
+            // Residual is exactly the coding error of v.
+            for i in 0..v.len() {
+                let want = v.as_slice()[i] - byte_out.as_slice()[i];
+                assert_eq!(residual.as_slice()[i].to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn f32_transform_is_a_strict_noop() {
+        let mut params = wave(64);
+        let before = params.clone();
+        let mut residual = ParamVec::from_vec(vec![9.0; 64]);
+        let mut scratch = CodecScratch::new();
+        codec_transform_in_place(Codec::F32, &mut params, None, &mut residual, &mut scratch);
+        assert_eq!(params, before);
+        assert_eq!(residual.as_slice()[0], 9.0, "residual untouched");
+    }
+
+    #[test]
+    fn error_feedback_reinjects_dropped_mass() {
+        // Stream the same dense update g through a TopK transform T times
+        // with a persistent residual. Each hop transmits only k of n
+        // coordinates, but error feedback telescopes exactly:
+        //   Σ out_t = T·g − residual_T
+        // i.e. no mass is ever lost — what one hop drops, a later hop
+        // carries. Without the residual the sum would be missing every
+        // never-selected coordinate entirely.
+        let n = 200;
+        let hops = 40;
+        let codec = Codec::TopK { permille: 100 };
+        let g = ParamVec::from_vec((0..n).map(|i| 0.5 + (i as f32) / n as f32).collect());
+        let mut residual = ParamVec::zeros(n);
+        let mut scratch = CodecScratch::new();
+        let mut sum = ParamVec::zeros(n);
+        for _ in 0..hops {
+            let mut send = g.clone();
+            codec_transform_in_place(codec, &mut send, None, &mut residual, &mut scratch);
+            sum.add_assign(&send);
+        }
+        for i in 0..n {
+            let conserved = sum.as_slice()[i] + residual.as_slice()[i];
+            let want = hops as f32 * g.as_slice()[i];
+            assert!(
+                (conserved - want).abs() < 1e-2,
+                "mass leaked at {i}: {conserved} vs {want}"
+            );
+            // Residual growth forces rotation: every coordinate is
+            // eventually selected, so every coordinate received mass.
+            assert!(sum.as_slice()[i] > 0.0, "coordinate {i} never selected");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_repeated_encodes() {
+        let p = wave(333);
+        let base = wave(333);
+        for codec in ALL_CODECS {
+            let a = encode_with(&p, codec, Some(&base));
+            let b = encode_with(&p, codec, Some(&base));
+            assert_eq!(a, b, "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn codec_labels_and_serde() {
+        assert_eq!(Codec::F32.label(), "f32");
+        assert_eq!(Codec::Int8.label(), "int8");
+        assert_eq!(Codec::TopK { permille: 100 }.label(), "topk100");
+        for codec in ALL_CODECS {
+            let v = codec.to_value();
+            assert_eq!(Codec::from_value(&v), Ok(codec));
+        }
+    }
+
+    #[test]
+    fn topk_k_is_clamped_and_deterministic() {
+        assert_eq!(topk_k(0, 100), 0);
+        assert_eq!(topk_k(5, 0), 1, "at least one survivor");
+        assert_eq!(topk_k(1000, 100), 100);
+        assert_eq!(topk_k(1000, 1000), 1000);
+        assert_eq!(topk_k(3, 1000), 3);
+        assert_eq!(topk_k(999, 100), 100, "ceil rounding");
+    }
+
+    #[test]
     fn error_messages_are_informative() {
         assert!(WireError::Truncated.to_string().contains("truncated"));
         assert!(WireError::BadVersion(7).to_string().contains('7'));
+        assert!(WireError::BadCodec(7).to_string().contains("codec"));
     }
 }

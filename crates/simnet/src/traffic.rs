@@ -11,11 +11,15 @@
 //! downloads/broadcasts, and device-to-device ring transfers (free in the
 //! paper's cost model, tracked here for ablations).
 //!
-//! Two byte ledgers run side by side: `parameters_moved` (the paper's
-//! idealised payload, `×4` for f32) and `wire_bytes`, charged by callers
+//! Three byte ledgers run side by side: `parameters_moved` (the paper's
+//! idealised payload, `×4` for f32), `wire_bytes`, charged by callers
 //! with the *encoded frame size* of the transfer (header + checksum +
-//! payload, `nn::wire::encoded_len` in this workspace) — the honest
-//! bytes-on-wire figure churn and bandwidth studies report.
+//! codec payload, `nn::wire::encoded_len_with` in this workspace) — the
+//! honest bytes-on-wire figure churn and bandwidth studies report — and
+//! `raw_bytes`, the frame size the same transfer would have cost at full
+//! precision (`nn::wire::encoded_len`). The encoded/raw split is what
+//! makes wire-codec savings auditable: `compression_ratio()` is their
+//! quotient, and with the `F32` codec the two ledgers are identical.
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,6 +44,11 @@ pub struct TrafficSnapshot {
     /// resent after a loss/corruption/timeout, plus duplicate
     /// deliveries. Goodput is `wire_bytes - retransmit_bytes`.
     pub retransmit_bytes: f64,
+    /// Bytes the same transfers would have cost at full precision (the
+    /// `F32` frame size). `raw_bytes / wire_bytes` is the realised
+    /// compression ratio; the two ledgers coincide when no lossy codec
+    /// is active.
+    pub raw_bytes: f64,
 }
 
 impl TrafficSnapshot {
@@ -70,6 +79,17 @@ impl TrafficSnapshot {
     /// and duplicates.
     pub fn goodput_bytes(&self) -> f64 {
         self.wire_bytes - self.retransmit_bytes
+    }
+
+    /// Realised wire compression: full-precision bytes over encoded
+    /// bytes. `1.0` before any traffic (and exactly `1.0` under the
+    /// `F32` codec, where the ledgers coincide).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.wire_bytes == 0.0 {
+            1.0
+        } else {
+            self.raw_bytes / self.wire_bytes
+        }
     }
 }
 
@@ -121,6 +141,7 @@ pub struct TrafficMeter {
     parameters_moved: AtomicF64,
     wire_bytes: AtomicF64,
     retransmit_bytes: AtomicF64,
+    raw_bytes: AtomicF64,
 }
 
 impl TrafficMeter {
@@ -131,28 +152,53 @@ impl TrafficMeter {
 
     /// Record a device→server upload of `model_equivalents` models, each
     /// carrying `parameters` parameters encoded as `frame_bytes` on the
-    /// wire.
-    pub fn record_upload(&self, model_equivalents: f64, parameters: usize, frame_bytes: usize) {
+    /// wire (`raw_frame_bytes` is what the same frame would cost at full
+    /// precision — identical under the `F32` codec).
+    pub fn record_upload(
+        &self,
+        model_equivalents: f64,
+        parameters: usize,
+        frame_bytes: usize,
+        raw_frame_bytes: usize,
+    ) {
         self.uploads.add(model_equivalents);
         self.parameters_moved
             .add(model_equivalents * parameters as f64);
         self.wire_bytes.add(model_equivalents * frame_bytes as f64);
+        self.raw_bytes
+            .add(model_equivalents * raw_frame_bytes as f64);
     }
 
     /// Record a server→device download.
-    pub fn record_download(&self, model_equivalents: f64, parameters: usize, frame_bytes: usize) {
+    pub fn record_download(
+        &self,
+        model_equivalents: f64,
+        parameters: usize,
+        frame_bytes: usize,
+        raw_frame_bytes: usize,
+    ) {
         self.downloads.add(model_equivalents);
         self.parameters_moved
             .add(model_equivalents * parameters as f64);
         self.wire_bytes.add(model_equivalents * frame_bytes as f64);
+        self.raw_bytes
+            .add(model_equivalents * raw_frame_bytes as f64);
     }
 
     /// Record a device→device transfer (ring hop).
-    pub fn record_peer(&self, model_equivalents: f64, parameters: usize, frame_bytes: usize) {
+    pub fn record_peer(
+        &self,
+        model_equivalents: f64,
+        parameters: usize,
+        frame_bytes: usize,
+        raw_frame_bytes: usize,
+    ) {
         self.peer_transfers.add(model_equivalents);
         self.parameters_moved
             .add(model_equivalents * parameters as f64);
         self.wire_bytes.add(model_equivalents * frame_bytes as f64);
+        self.raw_bytes
+            .add(model_equivalents * raw_frame_bytes as f64);
     }
 
     /// Record `frames` retransmitted device→device frames (resends after
@@ -161,10 +207,17 @@ impl TrafficMeter {
     /// model-equivalents: the logical transfer was already counted by
     /// [`TrafficMeter::record_peer`], so Table 1's transmitted-models
     /// metric stays goodput-only while the byte ledgers stay honest.
-    pub fn record_retransmit(&self, frames: f64, parameters: usize, frame_bytes: usize) {
+    pub fn record_retransmit(
+        &self,
+        frames: f64,
+        parameters: usize,
+        frame_bytes: usize,
+        raw_frame_bytes: usize,
+    ) {
         self.parameters_moved.add(frames * parameters as f64);
         self.wire_bytes.add(frames * frame_bytes as f64);
         self.retransmit_bytes.add(frames * frame_bytes as f64);
+        self.raw_bytes.add(frames * raw_frame_bytes as f64);
     }
 
     /// Copy out the counters.
@@ -176,6 +229,7 @@ impl TrafficMeter {
             parameters_moved: self.parameters_moved.get(),
             wire_bytes: self.wire_bytes.get(),
             retransmit_bytes: self.retransmit_bytes.get(),
+            raw_bytes: self.raw_bytes.get(),
         }
     }
 
@@ -187,6 +241,7 @@ impl TrafficMeter {
         self.parameters_moved.set(0.0);
         self.wire_bytes.set(0.0);
         self.retransmit_bytes.set(0.0);
+        self.raw_bytes.set(0.0);
     }
 }
 
@@ -203,10 +258,10 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let m = TrafficMeter::new();
-        m.record_upload(1.0, 100, frame(100));
-        m.record_upload(2.0, 100, frame(100));
-        m.record_download(1.0, 100, frame(100));
-        m.record_peer(5.0, 100, frame(100));
+        m.record_upload(1.0, 100, frame(100), frame(100));
+        m.record_upload(2.0, 100, frame(100), frame(100));
+        m.record_download(1.0, 100, frame(100), frame(100));
+        m.record_peer(5.0, 100, frame(100), frame(100));
         let s = m.snapshot();
         assert_eq!(s.uploads, 3.0);
         assert_eq!(s.downloads, 1.0);
@@ -214,14 +269,16 @@ mod tests {
         assert_eq!(s.parameters_moved, 900.0);
         assert_eq!(s.bytes_moved(), 3600.0);
         assert_eq!(s.wire_bytes, 9.0 * frame(100) as f64);
+        assert_eq!(s.raw_bytes, s.wire_bytes, "no codec: ledgers coincide");
         assert_eq!(s.framing_overhead(), 9.0 * 20.0);
         assert_eq!(s.server_models(), 4.0);
+        assert_eq!(s.compression_ratio(), 1.0);
     }
 
     #[test]
     fn upload_rounds_normalizes() {
         let m = TrafficMeter::new();
-        m.record_upload(50.0, 10, frame(10));
+        m.record_upload(50.0, 10, frame(10), frame(10));
         assert_eq!(m.snapshot().upload_rounds(10), 5.0);
     }
 
@@ -229,7 +286,7 @@ mod tests {
     fn scaffold_double_counting() {
         let m = TrafficMeter::new();
         // SCAFFOLD moves model + control variate: 2 model-equivalents.
-        m.record_upload(2.0, 1000, frame(1000));
+        m.record_upload(2.0, 1000, frame(1000), frame(1000));
         assert_eq!(m.snapshot().uploads, 2.0);
         assert_eq!(m.snapshot().parameters_moved, 2000.0);
         assert_eq!(m.snapshot().wire_bytes, 2.0 * frame(1000) as f64);
@@ -238,17 +295,36 @@ mod tests {
     #[test]
     fn reset_zeroes() {
         let m = TrafficMeter::new();
-        m.record_upload(1.0, 1, frame(1));
-        m.record_retransmit(2.0, 1, frame(1));
+        m.record_upload(1.0, 1, frame(1), frame(1));
+        m.record_retransmit(2.0, 1, frame(1), frame(1));
         m.reset();
         assert_eq!(m.snapshot(), TrafficSnapshot::default());
     }
 
     #[test]
+    fn compressed_frames_split_encoded_and_raw_ledgers() {
+        let m = TrafficMeter::new();
+        // A 4× codec: every transfer charges the encoded size to
+        // wire_bytes and the full-precision size to raw_bytes.
+        let (enc, raw) = (frame(100) / 4, frame(100));
+        m.record_peer(1.0, 100, enc, raw);
+        m.record_upload(1.0, 100, enc, raw);
+        m.record_download(1.0, 100, enc, raw);
+        m.record_retransmit(1.0, 100, enc, raw);
+        let s = m.snapshot();
+        assert_eq!(s.wire_bytes, 4.0 * enc as f64);
+        assert_eq!(s.raw_bytes, 4.0 * raw as f64);
+        assert_eq!(s.compression_ratio(), raw as f64 / enc as f64);
+        // Retransmit goodput math still runs on encoded bytes.
+        assert_eq!(s.retransmit_bytes, enc as f64);
+        assert_eq!(s.goodput_bytes(), 3.0 * enc as f64);
+    }
+
+    #[test]
     fn retransmits_cost_bytes_but_not_model_equivalents() {
         let m = TrafficMeter::new();
-        m.record_peer(1.0, 100, frame(100));
-        m.record_retransmit(2.0, 100, frame(100));
+        m.record_peer(1.0, 100, frame(100), frame(100));
+        m.record_retransmit(2.0, 100, frame(100), frame(100));
         let s = m.snapshot();
         assert_eq!(s.peer_transfers, 1.0, "logical transfers unchanged");
         assert_eq!(s.parameters_moved, 300.0, "payload moved three times");
@@ -274,7 +350,7 @@ mod tests {
                 let m = Arc::clone(&m);
                 std::thread::spawn(move || {
                     for _ in 0..1000 {
-                        m.record_peer(1.0, 10, frame(10));
+                        m.record_peer(1.0, 10, frame(10), frame(10));
                     }
                 })
             })

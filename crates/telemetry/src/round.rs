@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// Two field classes with different guarantees:
 ///
-/// * **deterministic** — the six traffic deltas. Pure functions of the
+/// * **deterministic** — the seven traffic deltas. Pure functions of the
 ///   seed, bit-identical across runs and across Cached/Reference
 ///   execution modes. These are the only fields [`PartialEq`] compares,
 ///   so `RunRecord` equality assertions (determinism and
@@ -28,6 +28,10 @@ pub struct RoundTelemetry {
     pub parameters_moved: f64,
     /// Encoded wire bytes charged this round (deterministic).
     pub wire_bytes: f64,
+    /// Uncompressed (f32-frame) bytes the round's traffic *represents*
+    /// (deterministic). Equals `wire_bytes` under the `F32` codec; the
+    /// gap is what the wire codec saved this round.
+    pub raw_bytes: f64,
     /// Retransmitted wire bytes charged this round — resends after
     /// loss/corruption/timeout plus duplicate deliveries (deterministic;
     /// 0.0 in fault-free runs).
@@ -69,6 +73,7 @@ impl PartialEq for RoundTelemetry {
             && self.peer_transfers == other.peer_transfers
             && self.parameters_moved == other.parameters_moved
             && self.wire_bytes == other.wire_bytes
+            && self.raw_bytes == other.raw_bytes
             && self.retransmit_bytes == other.retransmit_bytes
     }
 }
@@ -102,6 +107,11 @@ mod tests {
             ..a
         };
         assert_ne!(a, d);
+        let e = RoundTelemetry {
+            raw_bytes: 4000.0,
+            ..a
+        };
+        assert_ne!(a, e, "raw_bytes is a deterministic delta");
     }
 
     #[test]
@@ -112,6 +122,7 @@ mod tests {
             peer_transfers: 7.0,
             parameters_moved: 1234.0,
             wire_bytes: 5678.0,
+            raw_bytes: 6789.0,
             retransmit_bytes: 90.0,
             cache_hits: 4,
             cache_misses: 1,

@@ -220,6 +220,7 @@ struct WellKnown {
     /// Spans dropped because the event buffer was full.
     spans_dropped: CounterId,
     transport: WellKnownTransport,
+    codec: WellKnownCodec,
     gauges: WellKnownGauges,
 }
 
@@ -232,6 +233,14 @@ struct WellKnownTransport {
     timeouts: CounterId,
     giveups: CounterId,
     rebuilds: CounterId,
+}
+
+/// Counter ids for the wire-codec byte ledgers (see
+/// [`TelemetrySink::add_codec_bytes`]).
+#[derive(Debug)]
+struct WellKnownCodec {
+    encoded_bytes: CounterId,
+    raw_bytes: CounterId,
 }
 
 #[derive(Debug)]
@@ -288,6 +297,10 @@ impl Telemetry {
                 timeouts: registry.register_counter("transport.timeouts"),
                 giveups: registry.register_counter("transport.giveups"),
                 rebuilds: registry.register_counter("transport.rebuilds"),
+            },
+            codec: WellKnownCodec {
+                encoded_bytes: registry.register_counter("wire.codec.encoded_bytes"),
+                raw_bytes: registry.register_counter("wire.codec.raw_bytes"),
             },
             gauges: WellKnownGauges {
                 arena_high_water_bytes: registry.register_gauge("engine.arena_high_water_bytes"),
@@ -515,6 +528,19 @@ impl TelemetrySink {
             t.registry.inc(ids.rebuilds, c.rebuilds);
         }
     }
+
+    /// Add a round's wire-codec byte deltas to the cumulative
+    /// `wire.codec.{encoded,raw}_bytes` counters: what actually crossed
+    /// the wire versus the f32 frames that traffic represents. Equal
+    /// under the lossless `F32` codec; the gap is the codec's saving.
+    /// No-op on a disabled sink.
+    pub fn add_codec_bytes(&self, encoded: u64, raw: u64) {
+        if let Some(t) = &self.0 {
+            let ids = &t.ids.codec;
+            t.registry.inc(ids.encoded_bytes, encoded);
+            t.registry.inc(ids.raw_bytes, raw);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -617,6 +643,17 @@ mod tests {
         assert!(m.counters.contains(&("transport.rebuilds", 1)));
         // Disabled sinks swallow the bundle without touching anything.
         TelemetrySink::disabled().add_transport(&TransportCounters::default());
+    }
+
+    #[test]
+    fn codec_byte_counters_accumulate() {
+        let sink = TelemetrySink::enabled(4);
+        sink.add_codec_bytes(1_000, 4_000);
+        sink.add_codec_bytes(500, 2_000);
+        let m = sink.telemetry().expect("enabled").metrics();
+        assert!(m.counters.contains(&("wire.codec.encoded_bytes", 1_500)));
+        assert!(m.counters.contains(&("wire.codec.raw_bytes", 6_000)));
+        TelemetrySink::disabled().add_codec_bytes(1, 1);
     }
 
     #[test]

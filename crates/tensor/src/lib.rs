@@ -27,6 +27,7 @@ mod gemm;
 #[cfg(target_arch = "x86_64")]
 mod gemm_avx2;
 pub mod ops;
+pub mod quant;
 mod rng;
 mod scratch;
 mod shape;
@@ -44,6 +45,7 @@ pub use ops::{
     add, add_assign, axpy, content_hash_f32, dot, hadamard, l2_norm, lerp, scale, scale_assign,
     sub, sub_assign,
 };
+pub use quant::{dequant8, dequantize_slice, finite_min_max, quant8, quant_scale, quantize_slice};
 pub use rng::{fill_normal, fill_uniform, normal_f32, rng_from_seed, TensorRng};
 pub use scratch::{Scratch, ScratchSlot};
 pub use shape::{num_elements, Shape};

@@ -1,0 +1,256 @@
+//! 8-bit linear quantization kernels for the wire codec.
+//!
+//! The wire layer (`fedhisyn_nn::wire`) maps f32 spans onto a 256-level
+//! linear grid `[min, min + 255·scale]`. Encoding computes
+//! `q = clamp(floor((x − min)·inv_scale + 0.5), 0, 255)`; decoding computes
+//! `min + q·scale` with one multiply and one add. Both directions are
+//! dispatched through [`crate::active_tier`]: the scalar loop and the AVX2
+//! loop execute the identical IEEE-754 operation sequence per element, so
+//! the tiers are bit-identical by construction.
+//!
+//! # Rounding and non-finite inputs
+//!
+//! Rounding is the explicit `floor(t + 0.5)` form rather than
+//! `f32::round`: Rust's `round` is half-away-from-zero while
+//! `_mm256_round_ps` is half-to-even, and the two disagree on exact
+//! halves. `floor(t + 0.5)` compiles to the same `_mm256_floor_ps`
+//! semantics on both tiers.
+//!
+//! Non-finite inputs saturate deterministically: the clamp is
+//! `max(0) → min(255)` in that order, and both `f32::max` and
+//! `_mm256_max_ps` return the *second* operand when the first is NaN, so
+//! `NaN → 0` (the `min` end of the grid), `+∞ → 255`, `−∞ → 0` on every
+//! tier.
+
+use crate::dispatch::{active_tier, KernelTier};
+
+/// Quantize one value onto the `[min, min + 255·scale]` grid.
+///
+/// `inv_scale` must be `1/scale` when `scale > 0` and `0.0` otherwise
+/// (the degenerate all-equal / non-finite-range chunk collapses every
+/// value to level 0).
+#[inline(always)]
+#[allow(clippy::manual_clamp)] // clamp propagates NaN; max→min saturates it to 0
+pub fn quant8(x: f32, min: f32, inv_scale: f32) -> u8 {
+    let t = (x - min) * inv_scale + 0.5;
+    t.floor().max(0.0).min(255.0) as u8
+}
+
+/// Reconstruct a value from its 8-bit level.
+#[inline(always)]
+pub fn dequant8(q: u8, min: f32, scale: f32) -> f32 {
+    min + (q as f32) * scale
+}
+
+/// Min/max over the finite values of a slice; `None` when no value is
+/// finite. NaN and ±∞ are skipped so one bad element cannot poison the
+/// whole grid (they still quantize deterministically, see module docs).
+pub fn finite_min_max(xs: &[f32]) -> Option<(f32, f32)> {
+    let mut bounds: Option<(f32, f32)> = None;
+    for &x in xs {
+        if x.is_finite() {
+            bounds = Some(match bounds {
+                None => (x, x),
+                Some((lo, hi)) => (lo.min(x), hi.max(x)),
+            });
+        }
+    }
+    bounds
+}
+
+/// Derive the `(scale, inv_scale)` pair for a `[min, max]` span.
+///
+/// `scale = (max − min)/255`, forced to zero when the subtraction
+/// overflows f32 range (e.g. `MAX − (−MAX) = ∞`) so decode never computes
+/// `0·∞ = NaN`.
+#[inline]
+pub fn quant_scale(min: f32, max: f32) -> (f32, f32) {
+    let scale = (max - min) / 255.0;
+    if scale.is_finite() && scale > 0.0 {
+        (scale, 1.0 / scale)
+    } else {
+        (0.0, 0.0)
+    }
+}
+
+/// Quantize `xs` into `out` on the active kernel tier.
+///
+/// # Panics
+/// If `out.len() != xs.len()`.
+pub fn quantize_slice(xs: &[f32], min: f32, inv_scale: f32, out: &mut [u8]) {
+    assert_eq!(xs.len(), out.len(), "quantize_slice length mismatch");
+    match active_tier() {
+        KernelTier::Scalar => quantize_scalar(xs, min, inv_scale, out),
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx2 | KernelTier::Avx2Fma => {
+            // Safety: these tiers are only selected after the CPUID check
+            // in `KernelTier::available`.
+            unsafe { quantize_avx2(xs, min, inv_scale, out) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => quantize_scalar(xs, min, inv_scale, out),
+    }
+}
+
+/// Dequantize `qs` into `out` on the active kernel tier.
+///
+/// # Panics
+/// If `out.len() != qs.len()`.
+pub fn dequantize_slice(qs: &[u8], min: f32, scale: f32, out: &mut [f32]) {
+    assert_eq!(qs.len(), out.len(), "dequantize_slice length mismatch");
+    match active_tier() {
+        KernelTier::Scalar => dequantize_scalar(qs, min, scale, out),
+        #[cfg(target_arch = "x86_64")]
+        KernelTier::Avx2 | KernelTier::Avx2Fma => {
+            // Safety: tier selection implies AVX2 is present.
+            unsafe { dequantize_avx2(qs, min, scale, out) }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => dequantize_scalar(qs, min, scale, out),
+    }
+}
+
+fn quantize_scalar(xs: &[f32], min: f32, inv_scale: f32, out: &mut [u8]) {
+    for (x, o) in xs.iter().zip(out.iter_mut()) {
+        *o = quant8(*x, min, inv_scale);
+    }
+}
+
+fn dequantize_scalar(qs: &[u8], min: f32, scale: f32, out: &mut [f32]) {
+    for (q, o) in qs.iter().zip(out.iter_mut()) {
+        *o = dequant8(*q, min, scale);
+    }
+}
+
+/// AVX2 quantize: 8 lanes of sub/mul/add/floor/max/min, then an exact
+/// f32→i32 conversion (the value is integral in `[0, 255]`) and a byte
+/// store through a stack buffer. Per-element operation sequence is
+/// identical to [`quant8`], hence bit-identical output.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn quantize_avx2(xs: &[f32], min: f32, inv_scale: f32, out: &mut [u8]) {
+    use std::arch::x86_64::*;
+    let n = xs.len();
+    let vmin = _mm256_set1_ps(min);
+    let vinv = _mm256_set1_ps(inv_scale);
+    let vhalf = _mm256_set1_ps(0.5);
+    let vzero = _mm256_setzero_ps();
+    let vhi = _mm256_set1_ps(255.0);
+    let mut i = 0;
+    while i + 8 <= n {
+        let x = _mm256_loadu_ps(xs.as_ptr().add(i));
+        let t = _mm256_add_ps(_mm256_mul_ps(_mm256_sub_ps(x, vmin), vinv), vhalf);
+        // max(t, 0): NaN in `t` yields the second operand (0), matching
+        // `f32::max` exactly — see module docs.
+        let c = _mm256_min_ps(_mm256_max_ps(_mm256_floor_ps(t), vzero), vhi);
+        let qi = _mm256_cvtps_epi32(c);
+        let mut lanes = [0i32; 8];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, qi);
+        for (j, lane) in lanes.iter().enumerate() {
+            *out.get_unchecked_mut(i + j) = *lane as u8;
+        }
+        i += 8;
+    }
+    quantize_scalar(&xs[i..], min, inv_scale, &mut out[i..]);
+}
+
+/// AVX2 dequantize: widen 8 bytes to i32, convert to f32 (exact for
+/// 0..=255), then one mul and one separate add — no FMA on any tier, so
+/// the result is bit-identical to [`dequant8`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dequantize_avx2(qs: &[u8], min: f32, scale: f32, out: &mut [f32]) {
+    use std::arch::x86_64::*;
+    let n = qs.len();
+    let vmin = _mm256_set1_ps(min);
+    let vscale = _mm256_set1_ps(scale);
+    let mut i = 0;
+    while i + 8 <= n {
+        let bytes = _mm_loadl_epi64(qs.as_ptr().add(i) as *const __m128i);
+        let wide = _mm256_cvtepu8_epi32(bytes);
+        let f = _mm256_cvtepi32_ps(wide);
+        let v = _mm256_add_ps(_mm256_mul_ps(f, vscale), vmin);
+        _mm256_storeu_ps(out.as_mut_ptr().add(i), v);
+        i += 8;
+    }
+    dequantize_scalar(&qs[i..], min, scale, &mut out[i..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(xs: &[f32]) -> (f32, f32, f32) {
+        let (lo, hi) = finite_min_max(xs).unwrap_or((0.0, 0.0));
+        let (scale, inv) = quant_scale(lo, hi);
+        (lo, scale, inv)
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_a_step() {
+        let xs: Vec<f32> = (0..1000).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+        let (min, scale, inv) = grid(&xs);
+        let mut qs = vec![0u8; xs.len()];
+        quantize_slice(&xs, min, inv, &mut qs);
+        let mut back = vec![0.0f32; xs.len()];
+        dequantize_slice(&qs, min, scale, &mut back);
+        for (x, y) in xs.iter().zip(back.iter()) {
+            assert!((x - y).abs() <= scale * 0.5 + 1e-6, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn tiers_are_bit_identical() {
+        // Compare the dispatched path against the scalar loop directly;
+        // on AVX2 hosts the dispatched path is the vector kernel.
+        let xs: Vec<f32> = (0..259).map(|i| ((i as f32) * 1.7 - 200.0) / 3.0).collect();
+        let (min, scale, inv) = grid(&xs);
+        let mut qa = vec![0u8; xs.len()];
+        let mut qb = vec![0u8; xs.len()];
+        quantize_slice(&xs, min, inv, &mut qa);
+        quantize_scalar(&xs, min, inv, &mut qb);
+        assert_eq!(qa, qb);
+        let mut da = vec![0.0f32; xs.len()];
+        let mut db = vec![0.0f32; xs.len()];
+        dequantize_slice(&qa, min, scale, &mut da);
+        dequantize_scalar(&qb, min, scale, &mut db);
+        for (a, b) in da.iter().zip(db.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn non_finite_inputs_saturate_deterministically() {
+        let xs = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 0.0, 1.0];
+        let (min, scale, inv) = grid(&xs);
+        assert_eq!(min, 0.0);
+        let mut qs = vec![0u8; xs.len()];
+        quantize_slice(&xs, min, inv, &mut qs);
+        assert_eq!(qs[0], 0, "NaN saturates to the min level");
+        assert_eq!(qs[1], 255, "+inf saturates to the max level");
+        assert_eq!(qs[2], 0, "-inf saturates to the min level");
+        assert_eq!(qs[3], 0);
+        assert_eq!(qs[4], 255);
+        let _ = scale;
+    }
+
+    #[test]
+    fn degenerate_and_overflowing_ranges_collapse_to_min() {
+        // All-equal chunk: scale 0 ⇒ every value decodes to min.
+        let (scale, inv) = quant_scale(2.5, 2.5);
+        assert_eq!((scale, inv), (0.0, 0.0));
+        // f32-range overflow: (MAX − (−MAX)) = inf must not poison decode.
+        let (scale, inv) = quant_scale(-f32::MAX, f32::MAX);
+        assert_eq!((scale, inv), (0.0, 0.0));
+        assert_eq!(dequant8(200, -f32::MAX, scale), -f32::MAX);
+    }
+
+    #[test]
+    fn half_rounding_is_floor_of_t_plus_half() {
+        // x = 1.5 on a unit grid: floor(1.5 + 0.5) = 2 on every tier
+        // (f32::round would also give 2 here, but 2.5 → floor(3.0) = 3
+        // whereas half-even rounding would give 2).
+        assert_eq!(quant8(1.5, 0.0, 1.0), 2);
+        assert_eq!(quant8(2.5, 0.0, 1.0), 3);
+    }
+}

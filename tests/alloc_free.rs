@@ -104,6 +104,8 @@ fn tiny_env() -> FlEnv {
         exec: ExecMode::Cached,
         momentum: MomentumBank::disabled(),
         wire_check: false,
+        codec: fedhisyn::nn::Codec::F32,
+        residuals: fedhisyn::core::env::ResidualBank::disabled(),
         faults: fedhisyn::simnet::FaultPlan::none(),
         cohort: None,
         telemetry: fedhisyn::telemetry::TelemetrySink::disabled(),
@@ -282,6 +284,55 @@ fn steady_state_cnn_round_is_allocation_free() {
     );
     assert!(loss.is_finite());
     assert!((0.0..=1.0).contains(&acc));
+}
+
+/// The compressed wire path's steady state must stay off the heap: once
+/// a `CodecScratch` has been sized by its first send (and the device's
+/// error-feedback residual exists), every further quantize/sparsify
+/// transform — the per-hop work of a codec-enabled round — reuses those
+/// buffers. Int8 additionally works through fixed stack chunks.
+#[test]
+fn steady_state_codec_transform_is_allocation_free() {
+    use fedhisyn::nn::{wire, Codec, CodecScratch, ParamVec};
+
+    let n = 4096;
+    let g: Vec<f32> = (0..n)
+        .map(|i| ((i * 37) % 101) as f32 * 0.01 - 0.5)
+        .collect();
+    for codec in [Codec::Int8, Codec::TopK { permille: 100 }] {
+        let mut scratch = CodecScratch::new();
+        let mut params = ParamVec::from_vec(g.clone());
+        let mut residual = ParamVec::zeros(n);
+        let base = ParamVec::zeros(n);
+        // Warm-up: sizes the selection/quantization scratch buffers.
+        wire::codec_transform_in_place(
+            codec,
+            &mut params,
+            Some(&base),
+            &mut residual,
+            &mut scratch,
+        );
+
+        assert_counter_wired();
+
+        let before = thread_allocs();
+        for _ in 0..4 {
+            wire::codec_transform_in_place(
+                codec,
+                &mut params,
+                Some(&base),
+                &mut residual,
+                &mut scratch,
+            );
+        }
+        let steady_allocs = thread_allocs() - before;
+        assert_eq!(
+            steady_allocs, 0,
+            "steady-state {codec:?} transform performed {steady_allocs} heap allocations"
+        );
+        assert!(params.is_finite());
+        assert!(residual.is_finite());
+    }
 }
 
 /// The telemetry hot path must stay off the heap: a **disabled** sink is
